@@ -1,0 +1,151 @@
+//! The Kolmogorov–Smirnov (KS) statistic baseline (§4.1.3).
+//!
+//! Each column is described by the KS distance between its empirical CDF and seven fitted
+//! reference distributions (normal, uniform, exponential, beta, gamma, log-normal,
+//! logistic). Families that cannot be fitted to a column (e.g. a log-normal to data with
+//! non-positive values) contribute the maximal distance 1.0.
+
+use crate::ColumnEmbedder;
+use gem_core::GemColumn;
+use gem_numeric::dist::{fit_reference_distributions, reference_family_names, ContinuousDistribution};
+use gem_numeric::Matrix;
+
+/// The KS-statistic baseline.
+#[derive(Debug, Clone, Default)]
+pub struct KsEncoder;
+
+impl KsEncoder {
+    /// Compute the two-sided KS statistic between the empirical CDF of `values` and a
+    /// theoretical distribution: `sup_x |F_n(x) − F(x)|`.
+    ///
+    /// Returns 1.0 (the maximal distance) for an empty sample.
+    pub fn ks_statistic(values: &[f64], dist: &dyn ContinuousDistribution) -> f64 {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return 1.0;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len() as f64;
+        let mut d = 0.0f64;
+        for (i, &x) in sorted.iter().enumerate() {
+            let cdf = dist.cdf(x);
+            let upper = (i as f64 + 1.0) / n - cdf;
+            let lower = cdf - i as f64 / n;
+            d = d.max(upper.abs()).max(lower.abs());
+        }
+        d.min(1.0)
+    }
+
+    /// The KS feature vector of a column: one entry per reference family, in
+    /// [`reference_family_names`] order.
+    pub fn column_features(values: &[f64]) -> Vec<f64> {
+        let families = reference_family_names();
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let mut features = vec![1.0; families.len()];
+        if finite.is_empty() {
+            return features;
+        }
+        if let Ok(dists) = fit_reference_distributions(&finite) {
+            for d in dists {
+                if let Some(pos) = families.iter().position(|&n| n == d.name()) {
+                    features[pos] = Self::ks_statistic(&finite, d.as_ref());
+                }
+            }
+        }
+        features
+    }
+}
+
+impl ColumnEmbedder for KsEncoder {
+    fn name(&self) -> &'static str {
+        "KS statistic"
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+        let rows: Vec<Vec<f64>> = columns
+            .iter()
+            .map(|c| Self::column_features(&c.values))
+            .collect();
+        Matrix::from_rows(&rows).unwrap_or_else(|_| Matrix::zeros(0, reference_family_names().len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_numeric::dist::{NormalDist, UniformDist};
+
+    #[test]
+    fn ks_statistic_is_small_for_matching_distribution() {
+        // Data drawn (deterministically, via inverse CDF on a grid) from N(0, 1).
+        let normal = NormalDist::new(0.0, 1.0).unwrap();
+        let values: Vec<f64> = (1..200)
+            .map(|i| {
+                // Inverse-CDF by bisection on the standard normal.
+                let target = i as f64 / 200.0;
+                let mut lo = -10.0;
+                let mut hi = 10.0;
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    if normal.cdf(mid) < target {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            })
+            .collect();
+        let d = KsEncoder::ks_statistic(&values, &normal);
+        assert!(d < 0.05, "KS distance was {d}");
+        // The same data against a badly mismatched uniform is far worse.
+        let uniform = UniformDist::new(10.0, 20.0).unwrap();
+        assert!(KsEncoder::ks_statistic(&values, &uniform) > 0.9);
+    }
+
+    #[test]
+    fn ks_statistic_bounds() {
+        let normal = NormalDist::new(0.0, 1.0).unwrap();
+        assert_eq!(KsEncoder::ks_statistic(&[], &normal), 1.0);
+        let d = KsEncoder::ks_statistic(&[0.0, 0.1, -0.1], &normal);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn column_features_have_seven_entries_in_unit_interval() {
+        let values: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let f = KsEncoder::column_features(&values);
+        assert_eq!(f.len(), 7);
+        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // At least one family fits a simple increasing sequence reasonably well.
+        assert!(f.iter().cloned().fold(f64::INFINITY, f64::min) < 0.2);
+    }
+
+    #[test]
+    fn infeasible_families_get_maximal_distance() {
+        // Negative data: exponential / gamma / lognormal cannot be fitted.
+        let values: Vec<f64> = (-50..50).map(|i| i as f64).collect();
+        let f = KsEncoder::column_features(&values);
+        let names = reference_family_names();
+        let idx = |n: &str| names.iter().position(|&x| x == n).unwrap();
+        assert_eq!(f[idx("exponential")], 1.0);
+        assert_eq!(f[idx("lognormal")], 1.0);
+        assert!(f[idx("normal")] < 1.0);
+        assert!(f[idx("uniform")] < 0.1);
+    }
+
+    #[test]
+    fn embed_columns_shape_and_distinction() {
+        let enc = KsEncoder;
+        let cols = vec![
+            GemColumn::values_only((1..200).map(|i| i as f64).collect()), // uniform-ish
+            GemColumn::values_only((1..200).map(|i| ((i as f64) / 20.0).exp()).collect()), // skewed
+            GemColumn::values_only(vec![]),
+        ];
+        let emb = enc.embed_columns(&cols);
+        assert_eq!(emb.shape(), (3, 7));
+        assert_ne!(emb.row(0), emb.row(1));
+        assert!(emb.row(2).iter().all(|&v| v == 1.0));
+        assert_eq!(enc.name(), "KS statistic");
+    }
+}

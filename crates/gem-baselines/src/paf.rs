@@ -1,0 +1,181 @@
+//! Periodic Activation Functions (PAF) of Gorishniy et al., adapted to column embeddings.
+//!
+//! Each value `x` is mapped to `[sin(2π f₁ x̃), cos(2π f₁ x̃), ..., sin(2π f_F x̃), cos(2π f_F x̃)]`
+//! where the frequencies follow a geometric ladder and `x̃` is the value min-max normalised
+//! over the corpus (the original method learns the frequencies; the evaluation in the Gem
+//! paper uses a fixed bank of 50 frequencies, §4.1.4). A column's embedding is the mean of
+//! its value encodings.
+
+use crate::ColumnEmbedder;
+use gem_core::GemColumn;
+use gem_numeric::Matrix;
+
+/// The PAF baseline.
+#[derive(Debug, Clone)]
+pub struct PeriodicEncoder {
+    /// Number of frequencies (the embedding has `2 × n_frequencies` dimensions).
+    pub n_frequencies: usize,
+    /// Lowest frequency of the geometric ladder.
+    pub min_frequency: f64,
+    /// Highest frequency of the geometric ladder.
+    pub max_frequency: f64,
+}
+
+impl Default for PeriodicEncoder {
+    fn default() -> Self {
+        PeriodicEncoder {
+            n_frequencies: 50,
+            min_frequency: 0.1,
+            max_frequency: 100.0,
+        }
+    }
+}
+
+impl PeriodicEncoder {
+    /// Create an encoder with a custom number of frequencies.
+    pub fn new(n_frequencies: usize) -> Self {
+        assert!(n_frequencies >= 1, "PAF needs at least one frequency");
+        PeriodicEncoder {
+            n_frequencies,
+            ..PeriodicEncoder::default()
+        }
+    }
+
+    fn frequencies(&self) -> Vec<f64> {
+        if self.n_frequencies == 1 {
+            return vec![self.min_frequency];
+        }
+        let ratio = (self.max_frequency / self.min_frequency)
+            .powf(1.0 / (self.n_frequencies - 1) as f64);
+        (0..self.n_frequencies)
+            .map(|i| self.min_frequency * ratio.powi(i as i32))
+            .collect()
+    }
+
+    fn corpus_range(columns: &[GemColumn]) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in columns {
+            for &v in &c.values {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+impl ColumnEmbedder for PeriodicEncoder {
+    fn name(&self) -> &'static str {
+        "PAF"
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+        let freqs = self.frequencies();
+        let dim = 2 * freqs.len();
+        let (lo, hi) = Self::corpus_range(columns);
+        let width = hi - lo;
+        let mut out = Matrix::zeros(columns.len(), dim);
+        for (i, col) in columns.iter().enumerate() {
+            let finite: Vec<f64> = col.values.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0.0; dim];
+            for &v in &finite {
+                let x = (v - lo) / width;
+                for (fi, &f) in freqs.iter().enumerate() {
+                    let angle = 2.0 * std::f64::consts::PI * f * x;
+                    acc[2 * fi] += angle.sin();
+                    acc[2 * fi + 1] += angle.cos();
+                }
+            }
+            let n = finite.len() as f64;
+            for (j, a) in acc.iter().enumerate() {
+                out.set(i, j, a / n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::values_only((0..200).map(|i| (i % 10) as f64).collect()),
+            GemColumn::values_only((0..200).map(|i| (i % 97) as f64).collect()),
+            GemColumn::values_only((0..200).map(|i| (i % 10) as f64).collect()),
+        ]
+    }
+
+    #[test]
+    fn embedding_dimension_is_twice_the_frequency_count() {
+        let enc = PeriodicEncoder::new(7);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.shape(), (3, 14));
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn values_are_bounded_by_one() {
+        let enc = PeriodicEncoder::default();
+        let emb = enc.embed_columns(&columns());
+        assert!(emb.as_slice().iter().all(|&v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn identical_columns_match_and_different_columns_differ() {
+        let enc = PeriodicEncoder::new(16);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.row(0), emb.row(2));
+        assert_ne!(emb.row(0), emb.row(1));
+    }
+
+    #[test]
+    fn frequencies_form_a_geometric_ladder() {
+        let enc = PeriodicEncoder::new(5);
+        let f = enc.frequencies();
+        assert_eq!(f.len(), 5);
+        assert!((f[0] - enc.min_frequency).abs() < 1e-12);
+        assert!((f[4] - enc.max_frequency).abs() < 1e-6);
+        for w in f.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(PeriodicEncoder::new(1).frequencies().len(), 1);
+    }
+
+    #[test]
+    fn empty_and_degenerate_columns_are_safe() {
+        let enc = PeriodicEncoder::new(4);
+        let cols = vec![
+            GemColumn::values_only(vec![]),
+            GemColumn::values_only(vec![3.0; 10]),
+            GemColumn::values_only(vec![f64::NAN, 1.0]),
+        ];
+        let emb = enc.embed_columns(&cols);
+        assert!(emb.all_finite());
+        assert!(emb.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frequency")]
+    fn zero_frequencies_panics() {
+        PeriodicEncoder::new(0);
+    }
+
+    #[test]
+    fn default_matches_paper_parameterisation() {
+        let enc = PeriodicEncoder::default();
+        assert_eq!(enc.n_frequencies, 50);
+        assert_eq!(enc.name(), "PAF");
+    }
+}

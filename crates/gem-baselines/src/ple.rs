@@ -1,0 +1,187 @@
+//! Piece-wise Linear Encoding (PLE) of Gorishniy et al., adapted to column embeddings.
+//!
+//! PLE splits the numeric range into `T` bins (here: quantile bins computed over the stacked
+//! corpus values, as in the original paper's quantile variant) and encodes a value as a
+//! vector whose `t`-th entry is 1 for bins entirely below the value, 0 for bins entirely
+//! above, and the fractional position within the bin that contains it. A column's embedding
+//! is the mean encoding of its values — the natural column-level aggregation used in the Gem
+//! evaluation.
+
+use crate::ColumnEmbedder;
+use gem_core::GemColumn;
+use gem_numeric::Matrix;
+
+/// The PLE baseline. The paper's parameter setting uses 50 bins (§4.1.4).
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinearEncoder {
+    /// Number of bins.
+    pub n_bins: usize,
+}
+
+impl Default for PiecewiseLinearEncoder {
+    fn default() -> Self {
+        PiecewiseLinearEncoder { n_bins: 50 }
+    }
+}
+
+impl PiecewiseLinearEncoder {
+    /// Create an encoder with a custom bin count.
+    pub fn new(n_bins: usize) -> Self {
+        assert!(n_bins >= 1, "PLE needs at least one bin");
+        PiecewiseLinearEncoder { n_bins }
+    }
+
+    /// Quantile bin edges over the stacked corpus values (length `n_bins + 1`).
+    fn bin_edges(&self, columns: &[GemColumn]) -> Vec<f64> {
+        let mut stacked: Vec<f64> = columns
+            .iter()
+            .flat_map(|c| c.values.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if stacked.is_empty() {
+            return (0..=self.n_bins).map(|i| i as f64).collect();
+        }
+        stacked.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut edges = Vec::with_capacity(self.n_bins + 1);
+        for i in 0..=self.n_bins {
+            let q = i as f64 / self.n_bins as f64;
+            let idx = ((stacked.len() - 1) as f64 * q).round() as usize;
+            edges.push(stacked[idx]);
+        }
+        // Strictly increasing edges: collapse duplicates by nudging.
+        for i in 1..edges.len() {
+            if edges[i] <= edges[i - 1] {
+                edges[i] = edges[i - 1] + f64::EPSILON.max(edges[i - 1].abs() * 1e-12) + 1e-12;
+            }
+        }
+        edges
+    }
+
+    /// Encode a single value against the bin edges.
+    fn encode_value(&self, x: f64, edges: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_bins];
+        for t in 0..self.n_bins {
+            let lo = edges[t];
+            let hi = edges[t + 1];
+            out[t] = if x >= hi {
+                1.0
+            } else if x < lo {
+                0.0
+            } else {
+                (x - lo) / (hi - lo)
+            };
+        }
+        out
+    }
+}
+
+impl ColumnEmbedder for PiecewiseLinearEncoder {
+    fn name(&self) -> &'static str {
+        "PLE"
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+        let edges = self.bin_edges(columns);
+        let mut out = Matrix::zeros(columns.len(), self.n_bins);
+        for (i, col) in columns.iter().enumerate() {
+            if col.values.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0.0; self.n_bins];
+            let mut count = 0usize;
+            for &v in &col.values {
+                if !v.is_finite() {
+                    continue;
+                }
+                for (a, e) in acc.iter_mut().zip(self.encode_value(v, &edges)) {
+                    *a += e;
+                }
+                count += 1;
+            }
+            if count > 0 {
+                for (j, a) in acc.iter().enumerate() {
+                    out.set(i, j, a / count as f64);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::values_only((0..100).map(|i| i as f64).collect()),
+            GemColumn::values_only((0..100).map(|i| 1000.0 + i as f64).collect()),
+            GemColumn::values_only((0..100).map(|i| i as f64).collect()),
+        ]
+    }
+
+    #[test]
+    fn embedding_shape_and_monotonicity() {
+        let enc = PiecewiseLinearEncoder::new(10);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.shape(), (3, 10));
+        // Each row's entries are non-increasing from left to right only for single values;
+        // for column means they stay within [0, 1].
+        assert!(emb.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn identical_columns_get_identical_embeddings() {
+        let enc = PiecewiseLinearEncoder::new(16);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.row(0), emb.row(2));
+        assert_ne!(emb.row(0), emb.row(1));
+    }
+
+    #[test]
+    fn low_column_mass_below_high_column() {
+        let enc = PiecewiseLinearEncoder::new(8);
+        let emb = enc.embed_columns(&columns());
+        // The high-valued column saturates more bins (values exceed most edges).
+        let low_sum: f64 = emb.row(0).iter().sum();
+        let high_sum: f64 = emb.row(1).iter().sum();
+        assert!(high_sum > low_sum);
+    }
+
+    #[test]
+    fn encode_value_is_piecewise_linear() {
+        let enc = PiecewiseLinearEncoder::new(4);
+        let edges = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let e = enc.encode_value(2.5, &edges);
+        assert_eq!(e, vec![1.0, 1.0, 0.5, 0.0]);
+        let below = enc.encode_value(-1.0, &edges);
+        assert_eq!(below, vec![0.0; 4]);
+        let above = enc.encode_value(10.0, &edges);
+        assert_eq!(above, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn handles_empty_and_constant_columns() {
+        let enc = PiecewiseLinearEncoder::default();
+        let cols = vec![
+            GemColumn::values_only(vec![]),
+            GemColumn::values_only(vec![5.0; 20]),
+        ];
+        let emb = enc.embed_columns(&cols);
+        assert_eq!(emb.rows(), 2);
+        assert!(emb.row(0).iter().all(|&v| v == 0.0));
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        PiecewiseLinearEncoder::new(0);
+    }
+
+    #[test]
+    fn default_uses_fifty_bins() {
+        assert_eq!(PiecewiseLinearEncoder::default().n_bins, 50);
+        assert_eq!(PiecewiseLinearEncoder::default().name(), "PLE");
+    }
+}

@@ -1,0 +1,178 @@
+//! Pythagoras_SC: the context-reduced re-implementation of Pythagoras (Langenecker et al.,
+//! EDBT 2024) described in §4.1.3 of the Gem paper.
+//!
+//! Pythagoras builds a heterogeneous graph over columns, tables and metadata and encodes it
+//! with a GNN. The Gem paper's single-column variant keeps only the header context: we build
+//! a column graph whose edges connect columns with similar headers, attach the same
+//! statistical + header features used by the other `_SC` baselines to the nodes, and encode
+//! them with a two-layer GCN trained against coarse semantic-type labels. The final GCN
+//! layer's activations are the column embeddings.
+
+use crate::sherlock::{one_hot_labels, sc_input_matrix};
+use crate::SupervisedColumnEmbedder;
+use gem_core::GemColumn;
+use gem_nn::{cross_entropy_loss, normalize_adjacency, Activation, GcnLayer, Sequential};
+use gem_nn::Optimizer;
+use gem_numeric::distance::cosine_similarity;
+use gem_numeric::Matrix;
+use gem_text::{HashEmbedder, TextEmbedder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Pythagoras_SC baseline.
+#[derive(Debug, Clone)]
+pub struct PythagorasSc {
+    /// Header-embedding dimensionality.
+    pub text_dim: usize,
+    /// Hidden GCN width.
+    pub hidden_dim: usize,
+    /// Output GCN width (the embedding dimensionality).
+    pub embedding_dim: usize,
+    /// Cosine-similarity threshold above which two columns' headers are connected by an
+    /// edge in the column graph.
+    pub edge_threshold: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for PythagorasSc {
+    fn default() -> Self {
+        PythagorasSc {
+            text_dim: 64,
+            hidden_dim: 64,
+            embedding_dim: 48,
+            edge_threshold: 0.5,
+            epochs: 100,
+            seed: 47,
+        }
+    }
+}
+
+impl PythagorasSc {
+    /// Build the header-similarity adjacency matrix of the column graph.
+    fn header_adjacency(&self, columns: &[GemColumn]) -> Matrix {
+        let embedder = HashEmbedder::new(self.text_dim);
+        let headers: Vec<Vec<f64>> = columns.iter().map(|c| embedder.embed(&c.header)).collect();
+        let n = columns.len();
+        let mut adj = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sim = cosine_similarity(&headers[i], &headers[j]).unwrap_or(0.0);
+                if sim >= self.edge_threshold {
+                    adj.set(i, j, 1.0);
+                    adj.set(j, i, 1.0);
+                }
+            }
+        }
+        adj
+    }
+}
+
+impl SupervisedColumnEmbedder for PythagorasSc {
+    fn name(&self) -> &'static str {
+        "Pythagoras_SC"
+    }
+
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
+        assert_eq!(
+            columns.len(),
+            labels.len(),
+            "Pythagoras_SC needs one label per column"
+        );
+        if columns.is_empty() {
+            return Matrix::zeros(0, self.embedding_dim);
+        }
+        let x = sc_input_matrix(columns, self.text_dim);
+        let norm_adj = normalize_adjacency(&self.header_adjacency(columns));
+        let (targets, n_classes) = one_hot_labels(labels);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut gcn1 = GcnLayer::new(x.cols(), self.hidden_dim, Activation::Relu, &mut rng);
+        let mut gcn2 = GcnLayer::new(self.hidden_dim, self.embedding_dim, Activation::Tanh, &mut rng);
+        let mut head = Sequential::new(self.seed.wrapping_add(1))
+            .dense(self.embedding_dim, n_classes)
+            .activation(Activation::Softmax);
+        let optimizer = Optimizer::adam(5e-3);
+
+        for _ in 0..self.epochs {
+            let h1 = gcn1.forward(&norm_adj, &x, true);
+            let h2 = gcn2.forward(&norm_adj, &h1, true);
+            let probs = head.forward(&h2, true);
+            let loss = cross_entropy_loss(&probs, &targets);
+            let d_h2 = head.backward(&loss.gradient);
+            let d_h1 = gcn2.backward(&h2, &d_h2);
+            gcn1.backward(&h1, &d_h1);
+            head.step(optimizer);
+            gcn2.adam_step(optimizer.learning_rate);
+            gcn1.adam_step(optimizer.learning_rate);
+        }
+
+        let h1 = gcn1.forward(&norm_adj, &x, false);
+        gcn2.forward(&norm_adj, &h1, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<GemColumn>, Vec<String>) {
+        let mut columns = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..3 {
+            columns.push(GemColumn::new(
+                (0..40).map(|i| 160.0 + ((i + s) % 30) as f64).collect(),
+                "height",
+            ));
+            labels.push("height".to_string());
+        }
+        for s in 0..3 {
+            columns.push(GemColumn::new(
+                (0..40).map(|i| ((i * 3 + s) % 60) as f64 * 1000.0).collect(),
+                "salary",
+            ));
+            labels.push("salary".to_string());
+        }
+        (columns, labels)
+    }
+
+    #[test]
+    fn adjacency_connects_identical_headers_only() {
+        let p = PythagorasSc::default();
+        let (cols, _) = corpus();
+        let adj = p.header_adjacency(&cols);
+        // Columns 0-2 share the header "height", columns 3-5 share "salary".
+        assert_eq!(adj.get(0, 1), 1.0);
+        assert_eq!(adj.get(3, 4), 1.0);
+        assert_eq!(adj.get(0, 3), 0.0);
+        // Diagonal stays zero (self-loops are added during normalisation).
+        assert_eq!(adj.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fit_embed_shape_and_finiteness() {
+        let (cols, labels) = corpus();
+        let p = PythagorasSc {
+            epochs: 40,
+            ..PythagorasSc::default()
+        };
+        let emb = p.fit_embed(&cols, &labels);
+        assert_eq!(emb.shape(), (6, p.embedding_dim));
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let emb = PythagorasSc::default().fit_embed(&[], &[]);
+        assert_eq!(emb.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per column")]
+    fn mismatched_labels_panic() {
+        let (cols, _) = corpus();
+        PythagorasSc::default().fit_embed(&cols, &["x".to_string()]);
+    }
+}

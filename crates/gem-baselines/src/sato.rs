@@ -1,0 +1,148 @@
+//! Sato_SC: the single-column re-implementation of Sato (Zhang et al., VLDB 2020) described
+//! in §4.1.3 of the Gem paper.
+//!
+//! Sato extends Sherlock with topic-model features and a CRF over neighbouring columns; the
+//! Gem paper's single-column variant drops the table-level context ("we exclude Sato's
+//! global and local context features") and keeps the same per-column statistical features
+//! plus SBERT header embeddings, processed through Sato's deeper dense architecture. As in
+//! the paper, the model is trained against coarse semantic-type labels and the penultimate
+//! layer provides the embedding.
+
+use crate::sherlock::{one_hot_labels, sc_input_matrix};
+use crate::SupervisedColumnEmbedder;
+use gem_core::GemColumn;
+use gem_nn::{cross_entropy_loss, Activation, Optimizer, Sequential};
+use gem_numeric::Matrix;
+
+/// The Sato_SC baseline: a deeper variant of the Sherlock_SC architecture.
+#[derive(Debug, Clone)]
+pub struct SatoSc {
+    /// Header-embedding dimensionality.
+    pub text_dim: usize,
+    /// Width of the first hidden layer.
+    pub hidden_dim: usize,
+    /// Width of the second hidden layer (the embedding dimensionality).
+    pub embedding_dim: usize,
+    /// Dropout rate.
+    pub dropout: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SatoSc {
+    fn default() -> Self {
+        SatoSc {
+            text_dim: 64,
+            hidden_dim: 96,
+            embedding_dim: 48,
+            dropout: 0.3,
+            epochs: 120,
+            seed: 43,
+        }
+    }
+}
+
+impl SupervisedColumnEmbedder for SatoSc {
+    fn name(&self) -> &'static str {
+        "Sato_SC"
+    }
+
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
+        assert_eq!(
+            columns.len(),
+            labels.len(),
+            "Sato_SC needs one label per column"
+        );
+        if columns.is_empty() {
+            return Matrix::zeros(0, self.embedding_dim);
+        }
+        let x = sc_input_matrix(columns, self.text_dim);
+        let (targets, n_classes) = one_hot_labels(labels);
+
+        let mut encoder = Sequential::new(self.seed)
+            .dense(x.cols(), self.hidden_dim)
+            .activation(Activation::Relu)
+            .dropout(self.dropout)
+            .dense(self.hidden_dim, self.embedding_dim)
+            .activation(Activation::Relu);
+        let mut head = Sequential::new(self.seed.wrapping_add(1))
+            .dense(self.embedding_dim, n_classes)
+            .activation(Activation::Softmax);
+
+        let optimizer = Optimizer::adam(5e-3);
+        for _ in 0..self.epochs {
+            let hidden = encoder.forward(&x, true);
+            let probs = head.forward(&hidden, true);
+            let loss = cross_entropy_loss(&probs, &targets);
+            let d_hidden = head.backward(&loss.gradient);
+            encoder.backward(&d_hidden);
+            head.step(optimizer);
+            encoder.step(optimizer);
+        }
+        encoder.predict(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<GemColumn>, Vec<String>) {
+        let mut columns = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..3 {
+            columns.push(GemColumn::new(
+                (0..50).map(|i| 1980.0 + ((i + s) % 30) as f64).collect(),
+                format!("year_{s}"),
+            ));
+            labels.push("year".to_string());
+        }
+        for s in 0..3 {
+            columns.push(GemColumn::new(
+                (0..50).map(|i| ((i * 7 + s) % 10) as f64 / 2.0).collect(),
+                format!("rating_{s}"),
+            ));
+            labels.push("rating".to_string());
+        }
+        (columns, labels)
+    }
+
+    #[test]
+    fn fit_embed_returns_embedding_dim_columns() {
+        let (cols, labels) = corpus();
+        let sato = SatoSc {
+            epochs: 50,
+            ..SatoSc::default()
+        };
+        let emb = sato.fit_embed(&cols, &labels);
+        assert_eq!(emb.shape(), (6, sato.embedding_dim));
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let emb = SatoSc::default().fit_embed(&[], &[]);
+        assert_eq!(emb.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per column")]
+    fn mismatched_labels_panic() {
+        let (cols, _) = corpus();
+        SatoSc::default().fit_embed(&cols, &[]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (cols, labels) = corpus();
+        let sato = SatoSc {
+            epochs: 20,
+            ..SatoSc::default()
+        };
+        let a = sato.fit_embed(&cols, &labels);
+        let b = sato.fit_embed(&cols, &labels);
+        assert_eq!(a, b);
+    }
+}

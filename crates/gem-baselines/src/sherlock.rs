@@ -1,0 +1,215 @@
+//! Sherlock_SC: the single-column re-implementation of Sherlock (Hulsebos et al., KDD 2019)
+//! described in §4.1.3 of the Gem paper.
+//!
+//! The original Sherlock extracts per-column statistical features, character distributions
+//! and word/paragraph embeddings and trains a multi-input network with dense layers,
+//! dropout and a softmax head. The Gem paper's single-column variant keeps only the
+//! statistical features of the numeric values plus SBERT header embeddings and trains the
+//! same dense/dropout/softmax architecture against (coarse) semantic-type labels; the
+//! penultimate hidden layer then provides the column embedding.
+
+use crate::SupervisedColumnEmbedder;
+use gem_core::GemColumn;
+use gem_numeric::stats::ColumnStats;
+use gem_numeric::standardize::standardize_columns;
+use gem_numeric::Matrix;
+use gem_text::{HashEmbedder, TextEmbedder};
+use gem_nn::{Activation, Optimizer, Sequential, TrainConfig};
+use std::collections::BTreeMap;
+
+/// Build the input matrix shared by the `_SC` baselines: extended statistical features of
+/// the values concatenated with header embeddings, each block standardised across columns.
+pub(crate) fn sc_input_matrix(columns: &[GemColumn], text_dim: usize) -> Matrix {
+    let embedder = HashEmbedder::new(text_dim);
+    let mut stat_rows = Vec::with_capacity(columns.len());
+    let mut text_rows = Vec::with_capacity(columns.len());
+    for c in columns {
+        let finite: Vec<f64> = c.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let stats = if finite.is_empty() {
+            vec![0.0; 12]
+        } else {
+            ColumnStats::compute(&finite)
+                .map(|s| {
+                    s.extended_features()
+                        .into_iter()
+                        .map(|v| if v.is_finite() { v } else { 0.0 })
+                        .collect()
+                })
+                .unwrap_or_else(|_| vec![0.0; 12])
+        };
+        stat_rows.push(stats);
+        text_rows.push(embedder.embed(&c.header));
+    }
+    let stats = standardize_columns(&Matrix::from_rows(&stat_rows).expect("uniform width"));
+    let text = Matrix::from_rows(&text_rows).expect("uniform width");
+    stats.hconcat(&text).expect("same row count")
+}
+
+/// One-hot encode labels; returns the target matrix and the number of classes.
+pub(crate) fn one_hot_labels(labels: &[String]) -> (Matrix, usize) {
+    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+    for l in labels {
+        let next = index.len();
+        index.entry(l.as_str()).or_insert(next);
+    }
+    let n_classes = index.len().max(1);
+    let mut out = Matrix::zeros(labels.len(), n_classes);
+    for (i, l) in labels.iter().enumerate() {
+        out.set(i, index[l.as_str()], 1.0);
+    }
+    (out, n_classes)
+}
+
+/// The Sherlock_SC baseline.
+#[derive(Debug, Clone)]
+pub struct SherlockSc {
+    /// Header-embedding dimensionality.
+    pub text_dim: usize,
+    /// Hidden layer width (the embedding dimensionality).
+    pub hidden_dim: usize,
+    /// Dropout rate between the hidden layers.
+    pub dropout: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SherlockSc {
+    fn default() -> Self {
+        SherlockSc {
+            text_dim: 64,
+            hidden_dim: 64,
+            dropout: 0.3,
+            epochs: 120,
+            seed: 41,
+        }
+    }
+}
+
+impl SupervisedColumnEmbedder for SherlockSc {
+    fn name(&self) -> &'static str {
+        "Sherlock_SC"
+    }
+
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
+        assert_eq!(
+            columns.len(),
+            labels.len(),
+            "Sherlock_SC needs one label per column"
+        );
+        if columns.is_empty() {
+            return Matrix::zeros(0, self.hidden_dim);
+        }
+        let x = sc_input_matrix(columns, self.text_dim);
+        let (targets, n_classes) = one_hot_labels(labels);
+
+        // Encoder: input → hidden (the representation we keep as the embedding).
+        let mut encoder = Sequential::new(self.seed)
+            .dense(x.cols(), self.hidden_dim)
+            .activation(Activation::Relu)
+            .dropout(self.dropout);
+        // Head: hidden → classes with softmax.
+        let mut head = Sequential::new(self.seed.wrapping_add(1))
+            .dense(self.hidden_dim, n_classes)
+            .activation(Activation::Softmax);
+
+        let optimizer = Optimizer::adam(5e-3);
+        for _ in 0..self.epochs {
+            let hidden = encoder.forward(&x, true);
+            let probs = head.forward(&hidden, true);
+            let loss = gem_nn::cross_entropy_loss(&probs, &targets);
+            let d_hidden = head.backward(&loss.gradient);
+            encoder.backward(&d_hidden);
+            head.step(optimizer);
+            encoder.step(optimizer);
+        }
+        encoder.predict(&x)
+    }
+}
+
+// The `TrainConfig` import is used by the sibling `_SC` baselines re-exporting this module's
+// helpers; keep a reference here so the import is exercised in this module too.
+#[allow(dead_code)]
+pub(crate) fn default_train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        optimizer: Optimizer::adam(5e-3),
+        seed: 41,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_numeric::distance::cosine_similarity;
+
+    fn corpus() -> (Vec<GemColumn>, Vec<String>) {
+        let mut columns = Vec::new();
+        let mut labels = Vec::new();
+        for s in 0..4 {
+            let values: Vec<f64> = (0..60).map(|i| 20.0 + ((i + s) % 40) as f64).collect();
+            columns.push(GemColumn::new(values, format!("age_{s}")));
+            labels.push("age".to_string());
+        }
+        for s in 0..4 {
+            let values: Vec<f64> = (0..60).map(|i| 1000.0 + ((i * 3 + s) % 50) as f64 * 37.0).collect();
+            columns.push(GemColumn::new(values, format!("price_{s}")));
+            labels.push("price".to_string());
+        }
+        (columns, labels)
+    }
+
+    #[test]
+    fn sc_input_matrix_combines_stats_and_text() {
+        let (cols, _) = corpus();
+        let x = sc_input_matrix(&cols, 32);
+        assert_eq!(x.shape(), (8, 12 + 32));
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn one_hot_labels_are_valid() {
+        let labels = vec!["a".to_string(), "b".to_string(), "a".to_string()];
+        let (t, k) = one_hot_labels(&labels);
+        assert_eq!(k, 2);
+        assert_eq!(t.shape(), (3, 2));
+        for r in 0..3 {
+            assert_eq!(t.row(r).iter().sum::<f64>(), 1.0);
+        }
+        assert_eq!(t.row(0), t.row(2));
+        assert_ne!(t.row(0), t.row(1));
+    }
+
+    #[test]
+    fn fit_embed_shape_and_type_separation() {
+        let (cols, labels) = corpus();
+        let sherlock = SherlockSc {
+            epochs: 60,
+            ..SherlockSc::default()
+        };
+        let emb = sherlock.fit_embed(&cols, &labels);
+        assert_eq!(emb.shape(), (8, sherlock.hidden_dim));
+        assert!(emb.all_finite());
+        // Columns of the same class should be more similar on average than columns of
+        // different classes.
+        let sim = |a: usize, b: usize| cosine_similarity(emb.row(a), emb.row(b)).unwrap();
+        let within = (sim(0, 1) + sim(4, 5)) / 2.0;
+        let across = (sim(0, 4) + sim(1, 5)) / 2.0;
+        assert!(within > across - 0.15, "within {within}, across {across}");
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let sherlock = SherlockSc::default();
+        let emb = sherlock.fit_embed(&[], &[]);
+        assert_eq!(emb.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per column")]
+    fn mismatched_labels_panic() {
+        let (cols, _) = corpus();
+        SherlockSc::default().fit_embed(&cols, &["age".to_string()]);
+    }
+}

@@ -1,0 +1,237 @@
+//! A one-dimensional Self-Organizing Map over scalar values.
+//!
+//! The Squashing_SOM baseline (Jiang et al., adapted in §4.1.3) projects log-squashed
+//! numeric values onto a low-dimensional grid of prototypes while preserving topology. For
+//! scalar inputs a one-dimensional chain of prototypes suffices; training follows the
+//! classic online SOM rule with an exponentially decaying learning rate and neighbourhood
+//! radius.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A trained 1-D SOM: an ordered chain of scalar prototypes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfOrganizingMap {
+    prototypes: Vec<f64>,
+}
+
+/// Training hyper-parameters for the SOM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SomConfig {
+    /// Number of prototypes on the chain (paper setting: 50).
+    pub n_prototypes: usize,
+    /// Training epochs (full passes over the data).
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub initial_learning_rate: f64,
+    /// Initial neighbourhood radius (in prototype-index units).
+    pub initial_radius: f64,
+    /// RNG seed for sample ordering.
+    pub seed: u64,
+}
+
+impl Default for SomConfig {
+    fn default() -> Self {
+        SomConfig {
+            n_prototypes: 50,
+            epochs: 10,
+            initial_learning_rate: 0.5,
+            initial_radius: 10.0,
+            seed: 23,
+        }
+    }
+}
+
+impl SelfOrganizingMap {
+    /// Train a SOM on scalar data.
+    ///
+    /// # Panics
+    /// Panics when `data` is empty or the configuration requests zero prototypes.
+    pub fn train(data: &[f64], config: &SomConfig) -> Self {
+        assert!(!data.is_empty(), "cannot train a SOM on empty data");
+        assert!(config.n_prototypes > 0, "SOM needs at least one prototype");
+        let k = config.n_prototypes;
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+        // Initialise prototypes evenly over the data range — a standard, deterministic
+        // initialisation that already respects the 1-D topology.
+        let mut prototypes: Vec<f64> = (0..k)
+            .map(|i| lo + (hi - lo) * (i as f64 + 0.5) / k as f64)
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let total_steps = (config.epochs * data.len()).max(1) as f64;
+        let mut step = 0usize;
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let x = data[idx];
+                if !x.is_finite() {
+                    step += 1;
+                    continue;
+                }
+                let t = step as f64 / total_steps;
+                let lr = config.initial_learning_rate * (1.0 - t).max(0.01);
+                let radius = (config.initial_radius * (1.0 - t)).max(0.5);
+                // Best matching unit.
+                let bmu = prototypes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (a.1 - x)
+                            .abs()
+                            .partial_cmp(&(b.1 - x).abs())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                // Neighbourhood update.
+                for (j, p) in prototypes.iter_mut().enumerate() {
+                    let d = (j as f64 - bmu as f64).abs();
+                    let influence = (-d * d / (2.0 * radius * radius)).exp();
+                    *p += lr * influence * (x - *p);
+                }
+                step += 1;
+            }
+        }
+        SelfOrganizingMap { prototypes }
+    }
+
+    /// The trained prototypes, in chain order.
+    pub fn prototypes(&self) -> &[f64] {
+        &self.prototypes
+    }
+
+    /// Number of prototypes.
+    pub fn n_prototypes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// Index of the best matching unit for a value.
+    pub fn best_matching_unit(&self, x: f64) -> usize {
+        self.prototypes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - x)
+                    .abs()
+                    .partial_cmp(&(b.1 - x).abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Soft similarity of a value to every prototype: a Gaussian kernel on the value-space
+    /// distance, normalised to sum to 1 (the "similarity function" the Squashing methods use
+    /// to weight prototypes).
+    pub fn soft_assignment(&self, x: f64, bandwidth: f64) -> Vec<f64> {
+        let bw = bandwidth.max(1e-9);
+        let mut weights: Vec<f64> = self
+            .prototypes
+            .iter()
+            .map(|&p| (-(x - p) * (x - p) / (2.0 * bw * bw)).exp())
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        if sum > 1e-300 {
+            for w in weights.iter_mut() {
+                *w /= sum;
+            }
+        } else {
+            // The value is far from every prototype: fall back to the nearest one.
+            let bmu = self.best_matching_unit(x);
+            weights = vec![0.0; self.prototypes.len()];
+            weights[bmu] = 1.0;
+        }
+        weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal_data() -> Vec<f64> {
+        let mut d: Vec<f64> = (0..200).map(|i| (i % 20) as f64 * 0.05).collect();
+        d.extend((0..200).map(|i| 10.0 + (i % 20) as f64 * 0.05));
+        d
+    }
+
+    fn small_config(k: usize) -> SomConfig {
+        SomConfig {
+            n_prototypes: k,
+            epochs: 5,
+            ..SomConfig::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        SelfOrganizingMap::train(&[], &SomConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prototype")]
+    fn zero_prototypes_panics() {
+        SelfOrganizingMap::train(&[1.0], &small_config(0));
+    }
+
+    #[test]
+    fn prototypes_cover_both_modes() {
+        let som = SelfOrganizingMap::train(&bimodal_data(), &small_config(10));
+        assert_eq!(som.n_prototypes(), 10);
+        let near_low = som.prototypes().iter().filter(|&&p| p < 2.0).count();
+        let near_high = som.prototypes().iter().filter(|&&p| p > 8.0).count();
+        assert!(near_low >= 2, "prototypes: {:?}", som.prototypes());
+        assert!(near_high >= 2, "prototypes: {:?}", som.prototypes());
+    }
+
+    #[test]
+    fn prototypes_preserve_chain_topology() {
+        // After training on 1-D data from an evenly-spread initialisation, the chain should
+        // remain (almost) monotone — the defining property of a SOM.
+        let som = SelfOrganizingMap::train(&bimodal_data(), &small_config(12));
+        let p = som.prototypes();
+        let inversions = p.windows(2).filter(|w| w[1] < w[0] - 1e-6).count();
+        assert!(inversions <= 1, "prototypes lost topology: {p:?}");
+    }
+
+    #[test]
+    fn bmu_picks_nearest_prototype() {
+        let som = SelfOrganizingMap::train(&bimodal_data(), &small_config(8));
+        let bmu_low = som.best_matching_unit(0.1);
+        let bmu_high = som.best_matching_unit(10.4);
+        assert_ne!(bmu_low, bmu_high);
+        let p = som.prototypes();
+        assert!((p[bmu_low] - 0.1).abs() < (p[bmu_high] - 0.1).abs());
+    }
+
+    #[test]
+    fn soft_assignment_is_a_probability_vector() {
+        let som = SelfOrganizingMap::train(&bimodal_data(), &small_config(8));
+        for x in [0.0, 5.0, 10.5, 1e9] {
+            let a = som.soft_assignment(x, 1.0);
+            assert_eq!(a.len(), 8);
+            assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9, "x = {x}");
+            assert!(a.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn constant_data_is_handled() {
+        let som = SelfOrganizingMap::train(&[5.0; 100], &small_config(4));
+        assert!(som.prototypes().iter().all(|p| p.is_finite()));
+        let a = som.soft_assignment(5.0, 0.5);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let a = SelfOrganizingMap::train(&bimodal_data(), &small_config(6));
+        let b = SelfOrganizingMap::train(&bimodal_data(), &small_config(6));
+        assert_eq!(a, b);
+    }
+}

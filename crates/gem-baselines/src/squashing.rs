@@ -1,0 +1,239 @@
+//! The Squashing_GMM and Squashing_SOM baselines (Jiang et al., "Learning Numeral
+//! Embedding", adapted to column embeddings in §4.1.3 of the Gem paper).
+//!
+//! Both methods first *squash* numeric values into log space with the signed transform
+//! `sign(x) · ln(1 + |x|)`, then induce a set of prototypes — Gaussian components for
+//! Squashing_GMM, SOM nodes for Squashing_SOM — and describe each value by its similarity to
+//! the prototypes. A column's embedding is the mean of its value descriptions.
+
+use crate::som::{SelfOrganizingMap, SomConfig};
+use crate::ColumnEmbedder;
+use gem_core::GemColumn;
+use gem_gmm::{GmmConfig, UnivariateGmm};
+use gem_numeric::Matrix;
+
+/// The signed logarithmic squashing transform `sign(x) · ln(1 + |x|)`.
+pub fn squash(x: f64) -> f64 {
+    x.signum() * (1.0 + x.abs()).ln()
+}
+
+fn squash_columns(columns: &[GemColumn]) -> Vec<Vec<f64>> {
+    columns
+        .iter()
+        .map(|c| {
+            c.values
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .map(squash)
+                .collect()
+        })
+        .collect()
+}
+
+fn stack(columns: &[Vec<f64>]) -> Vec<f64> {
+    columns.iter().flat_map(|c| c.iter().copied()).collect()
+}
+
+/// Squashing + GMM prototype induction. Unlike Gem, no statistical features are added and
+/// the values are log-squashed before fitting, which is exactly what lets Gem pull ahead on
+/// columns whose raw-scale distribution matters (§4.2.1, observation 4).
+#[derive(Debug, Clone)]
+pub struct SquashingGmm {
+    /// GMM configuration (the paper uses the same component count as Gem, §4.1.4).
+    pub gmm: GmmConfig,
+}
+
+impl Default for SquashingGmm {
+    fn default() -> Self {
+        SquashingGmm {
+            gmm: GmmConfig::default(),
+        }
+    }
+}
+
+impl SquashingGmm {
+    /// Create a Squashing_GMM baseline with `n_components` prototypes.
+    pub fn new(n_components: usize) -> Self {
+        SquashingGmm {
+            gmm: GmmConfig::with_components(n_components).restarts(3),
+        }
+    }
+}
+
+impl ColumnEmbedder for SquashingGmm {
+    fn name(&self) -> &'static str {
+        "Squashing_GMM"
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+        let squashed = squash_columns(columns);
+        let stacked = stack(&squashed);
+        if stacked.is_empty() {
+            return Matrix::zeros(columns.len(), self.gmm.n_components);
+        }
+        let gmm = match UnivariateGmm::fit(&stacked, &self.gmm) {
+            Ok(g) => g,
+            Err(_) => return Matrix::zeros(columns.len(), self.gmm.n_components),
+        };
+        let k = gmm.n_components();
+        let mut out = Matrix::zeros(columns.len(), k);
+        for (i, col) in squashed.iter().enumerate() {
+            let sig = gmm.mean_responsibilities(col);
+            out.row_mut(i).copy_from_slice(&sig);
+        }
+        out
+    }
+}
+
+/// Squashing + SOM prototype induction.
+#[derive(Debug, Clone)]
+pub struct SquashingSom {
+    /// SOM configuration (50 prototypes in the paper's setting).
+    pub som: SomConfig,
+    /// Bandwidth of the Gaussian similarity used to soft-assign values to prototypes,
+    /// expressed as a fraction of the squashed data's standard deviation.
+    pub bandwidth_fraction: f64,
+}
+
+impl Default for SquashingSom {
+    fn default() -> Self {
+        SquashingSom {
+            som: SomConfig::default(),
+            bandwidth_fraction: 0.25,
+        }
+    }
+}
+
+impl SquashingSom {
+    /// Create a Squashing_SOM baseline with `n_prototypes` SOM nodes.
+    pub fn new(n_prototypes: usize) -> Self {
+        SquashingSom {
+            som: SomConfig {
+                n_prototypes,
+                ..SomConfig::default()
+            },
+            bandwidth_fraction: 0.25,
+        }
+    }
+}
+
+impl ColumnEmbedder for SquashingSom {
+    fn name(&self) -> &'static str {
+        "Squashing_SOM"
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+        let squashed = squash_columns(columns);
+        let stacked = stack(&squashed);
+        if stacked.is_empty() {
+            return Matrix::zeros(columns.len(), self.som.n_prototypes);
+        }
+        let som = SelfOrganizingMap::train(&stacked, &self.som);
+        let mean = stacked.iter().sum::<f64>() / stacked.len() as f64;
+        let var = stacked.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / stacked.len() as f64;
+        let bandwidth = (var.sqrt() * self.bandwidth_fraction).max(1e-6);
+        let k = som.n_prototypes();
+        let mut out = Matrix::zeros(columns.len(), k);
+        for (i, col) in squashed.iter().enumerate() {
+            if col.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0.0; k];
+            for &x in col {
+                for (a, w) in acc.iter_mut().zip(som.soft_assignment(x, bandwidth)) {
+                    *a += w;
+                }
+            }
+            let n = col.len() as f64;
+            for (j, a) in acc.iter().enumerate() {
+                out.set(i, j, a / n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_numeric::distance::cosine_similarity;
+
+    fn columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::values_only((0..80).map(|i| 20.0 + (i % 30) as f64).collect()),
+            GemColumn::values_only((0..80).map(|i| 25.0 + (i % 25) as f64).collect()),
+            GemColumn::values_only((0..80).map(|i| 1e5 + (i % 40) as f64 * 1e4).collect()),
+        ]
+    }
+
+    #[test]
+    fn squash_is_odd_and_monotone() {
+        assert_eq!(squash(0.0), 0.0);
+        assert!((squash(1.0) - (2.0f64).ln()).abs() < 1e-12);
+        assert!((squash(-1.0) + (2.0f64).ln()).abs() < 1e-12);
+        let mut prev = squash(-1e6);
+        for i in -100..100 {
+            let v = squash(i as f64 * 1000.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn squashing_gmm_rows_are_probability_vectors() {
+        let enc = SquashingGmm::new(6);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.rows(), 3);
+        for r in 0..3 {
+            let s: f64 = emb.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn squashing_gmm_groups_similar_scales() {
+        let enc = SquashingGmm::new(4);
+        let emb = enc.embed_columns(&columns());
+        let s01 = cosine_similarity(emb.row(0), emb.row(1)).unwrap();
+        let s02 = cosine_similarity(emb.row(0), emb.row(2)).unwrap();
+        assert!(s01 > s02, "similar-scale columns should be closer ({s01} vs {s02})");
+    }
+
+    #[test]
+    fn squashing_som_rows_are_probability_vectors() {
+        let enc = SquashingSom::new(8);
+        let emb = enc.embed_columns(&columns());
+        assert_eq!(emb.shape(), (3, 8));
+        for r in 0..3 {
+            let s: f64 = emb.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn squashing_som_groups_similar_scales() {
+        let enc = SquashingSom::new(8);
+        let emb = enc.embed_columns(&columns());
+        let s01 = cosine_similarity(emb.row(0), emb.row(1)).unwrap();
+        let s02 = cosine_similarity(emb.row(0), emb.row(2)).unwrap();
+        assert!(s01 > s02);
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_columns_are_safe() {
+        let gmm = SquashingGmm::new(4);
+        let som = SquashingSom::new(4);
+        let empty: Vec<GemColumn> = vec![GemColumn::values_only(vec![]); 2];
+        assert_eq!(gmm.embed_columns(&empty).rows(), 2);
+        assert_eq!(som.embed_columns(&empty).rows(), 2);
+        assert!(gmm.embed_columns(&empty).all_finite());
+        assert!(som.embed_columns(&empty).all_finite());
+    }
+
+    #[test]
+    fn default_prototype_counts_match_paper() {
+        assert_eq!(SquashingGmm::default().gmm.n_components, 50);
+        assert_eq!(SquashingSom::default().som.n_prototypes, 50);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the EM fit and the signature mechanism — the two
+//! components that dominate Gem's runtime in the Figure 5 scalability analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_core::{signature_matrix, stack_values};
+use gem_gmm::{GmmConfig, UnivariateGmm};
+
+fn synthetic_columns(n_columns: usize, values_per_column: usize) -> Vec<Vec<f64>> {
+    (0..n_columns)
+        .map(|c| {
+            (0..values_per_column)
+                .map(|i| {
+                    let base = (c % 7) as f64 * 50.0;
+                    base + ((i * 37 + c * 11) % 100) as f64 * 0.3
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_em_fit(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("gmm_em_fit");
+    group.sample_size(10);
+    for &n_points in &[2_000usize, 10_000] {
+        for &k in &[10usize, 50] {
+            let data: Vec<f64> = synthetic_columns(n_points / 100, 100)
+                .into_iter()
+                .flatten()
+                .collect();
+            let config = GmmConfig::with_components(k).restarts(1).with_seed(3);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n_points),
+                &data,
+                |b, data| b.iter(|| UnivariateGmm::fit(data, &config).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_signature(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("gmm_signature");
+    group.sample_size(10);
+    let columns = synthetic_columns(200, 100);
+    let stacked = stack_values(&columns);
+    let gmm = UnivariateGmm::fit(
+        &stacked,
+        &GmmConfig::with_components(20).restarts(1).with_seed(3),
+    )
+    .unwrap();
+    group.bench_function("serial_200_columns", |b| {
+        b.iter(|| signature_matrix(&gmm, &columns, false))
+    });
+    group.bench_function("parallel_200_columns", |b| {
+        b.iter(|| signature_matrix(&gmm, &columns, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_em_fit, bench_signature);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion version of the Figure 5 scalability sweep: embedding-generation time of Gem,
+//! PLE, Squashing_GMM and the KS statistic as the number of columns grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_bench::{run_numeric_method, strip_headers, to_gem_columns};
+use gem_data::{gds, CorpusConfig};
+
+fn bench_scalability(criterion: &mut Criterion) {
+    let pool = gds(&CorpusConfig {
+        scale: 0.35,
+        min_values: 40,
+        max_values: 80,
+        seed: 13,
+    });
+    let mut group = criterion.benchmark_group("scalability_columns");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 600] {
+        let dataset = pool.truncated(n);
+        let columns = strip_headers(&to_gem_columns(&dataset));
+        for method in ["Gem (D+S)", "PLE", "Squashing_GMM", "KS statistic"] {
+            group.bench_with_input(BenchmarkId::new(method, n), &columns, |b, cols| {
+                b.iter(|| run_numeric_method(method, cols, 10))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 3: ablation of Gem's feature combinations (D, S, C, D+S, C+S, D+C, D+C+S) on the
+//! fine-grained WDC and GDS corpora.
+
+use gem_bench::{bench_corpus_config, fmt3, run_gem, save_records};
+use gem_core::{ablation_feature_sets, Composition};
+use gem_data::{gds, wdc, Granularity};
+use gem_eval::{ExperimentRecord, ResultTable};
+
+fn paper_value(label: &str, dataset: &str) -> Option<f64> {
+    let (wdc_v, gds_v): (f64, f64) = match label {
+        "D" => (0.02, 0.30),
+        "S" => (0.14, 0.39),
+        "C" => (0.37, 0.79),
+        "D+S" => (0.15, 0.45),
+        "C+S" => (0.11, 0.40),
+        "D+C" => (0.40, 0.81),
+        "D+C+S" => (0.43, 0.82),
+        _ => return None,
+    };
+    match dataset {
+        "WDC" => Some(wdc_v),
+        "GDS" => Some(gds_v),
+        _ => None,
+    }
+}
+
+fn main() {
+    let config = bench_corpus_config();
+    println!(
+        "Regenerating Figure 3 at scale {:.2} (feature-combination ablation, fine-grained GT)\n",
+        config.scale
+    );
+    let datasets = [("WDC", wdc(&config)), ("GDS", gds(&config))];
+
+    let mut table = ResultTable::new(
+        "Figure 3: average precision per feature combination",
+        vec![
+            "features".into(),
+            "WDC (measured)".into(),
+            "WDC (paper)".into(),
+            "GDS (measured)".into(),
+            "GDS (paper)".into(),
+        ],
+    );
+    let mut records = Vec::new();
+    for features in ablation_feature_sets() {
+        let label = features.label();
+        let mut row = vec![label.clone()];
+        for (name, dataset) in &datasets {
+            let precision = run_gem(
+                dataset,
+                features,
+                Composition::Concatenation,
+                Granularity::Fine,
+            );
+            row.push(fmt3(precision));
+            let paper = paper_value(&label, name);
+            row.push(paper.map(|p| format!("{p:.2}")).unwrap_or_default());
+            records.push(ExperimentRecord {
+                experiment: "Figure 3".into(),
+                setting: (*name).into(),
+                method: label.clone(),
+                metric: "average precision".into(),
+                paper_value: paper,
+                measured_value: precision,
+            });
+            eprintln!("  {label:<6} on {name}: {precision:.3}");
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+    save_records(&records);
+}

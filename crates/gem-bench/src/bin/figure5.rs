@@ -1,0 +1,65 @@
+//! Figure 5: scalability — embedding-generation runtime of Gem, PLE, Squashing_GMM and the
+//! KS statistic as the number of columns grows from 200 to 2000. Each point is the mean of
+//! several repetitions, as in the paper.
+
+use gem_bench::{bench_components, fmt3, run_numeric_method, save_records, strip_headers, to_gem_columns, timed};
+use gem_data::{gds, CorpusConfig};
+use gem_eval::{ExperimentRecord, ResultTable};
+
+fn main() {
+    let repetitions: usize = std::env::var("GEM_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let column_counts = [200usize, 600, 1000, 1400, 1800, 2000];
+    let methods = ["Gem (D+S)", "PLE", "Squashing_GMM", "KS statistic"];
+    let components = bench_components();
+    println!(
+        "Regenerating Figure 5 (runtime vs number of columns, mean of {repetitions} runs, {components} components)\n"
+    );
+
+    // One large pool of columns, truncated to each sweep size (as the paper scales the
+    // number of columns of a single corpus).
+    let pool = gds(&CorpusConfig {
+        scale: 1.0,
+        min_values: 60,
+        max_values: 120,
+        seed: 13,
+    });
+
+    let mut headers = vec!["# columns".to_string()];
+    headers.extend(methods.iter().map(|m| format!("{m} (s)")));
+    let mut table = ResultTable::new("Figure 5: embedding runtime in seconds", headers);
+    let mut records = Vec::new();
+
+    for &n in &column_counts {
+        let dataset = pool.truncated(n);
+        let columns = strip_headers(&to_gem_columns(&dataset));
+        let mut row = vec![n.to_string()];
+        for method in methods {
+            let mut total = 0.0;
+            for _ in 0..repetitions {
+                let (_, secs) = timed(|| run_numeric_method(method, &columns, components));
+                total += secs;
+            }
+            let mean = total / repetitions as f64;
+            row.push(fmt3(mean));
+            records.push(ExperimentRecord {
+                experiment: "Figure 5".into(),
+                setting: format!("{n} columns"),
+                method: method.into(),
+                metric: "runtime seconds".into(),
+                paper_value: None,
+                measured_value: mean,
+            });
+            eprintln!("  {method:>15} @ {n:>4} columns: {mean:.3}s");
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "Paper finding to compare against: KS grows linearly and is the most expensive; PLE is \
+         nearly flat; Gem and Squashing_GMM grow sub-linearly."
+    );
+    save_records(&records);
+}

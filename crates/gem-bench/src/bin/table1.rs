@@ -1,0 +1,66 @@
+//! Table 1: dataset statistics — number of numeric columns and ground-truth clusters for
+//! the four (synthetic) corpora, at coarse and fine granularity.
+
+use gem_bench::{bench_corpus_config, save_records};
+use gem_data::{build_corpus, dataset_statistics, CorpusKind};
+use gem_eval::{ExperimentRecord, ResultTable};
+
+fn main() {
+    let config = bench_corpus_config();
+    println!(
+        "Regenerating Table 1 at scale {:.2} (set GEM_BENCH_SCALE=1.0 for paper-sized corpora)\n",
+        config.scale
+    );
+
+    let mut table = ResultTable::new(
+        "Table 1: dataset statistics (synthetic corpora)",
+        vec![
+            "dataset".into(),
+            "# columns".into(),
+            "# coarse GT clusters".into(),
+            "# fine GT clusters".into(),
+            "paper # columns".into(),
+            "paper coarse (fine) clusters".into(),
+        ],
+    );
+    let mut records = Vec::new();
+    for kind in [
+        CorpusKind::Gds,
+        CorpusKind::Wdc,
+        CorpusKind::SatoTables,
+        CorpusKind::GitTables,
+    ] {
+        let dataset = build_corpus(kind, &config);
+        let stats = dataset_statistics(&dataset);
+        table.push_row(vec![
+            stats.name.clone(),
+            stats.n_columns.to_string(),
+            stats.coarse_clusters.to_string(),
+            stats.fine_clusters.to_string(),
+            kind.paper_columns().to_string(),
+            format!(
+                "{} ({})",
+                kind.paper_coarse_clusters(),
+                kind.paper_fine_clusters()
+            ),
+        ]);
+        records.push(ExperimentRecord {
+            experiment: "Table 1".into(),
+            setting: stats.name.clone(),
+            method: "corpus generator".into(),
+            metric: "n_columns".into(),
+            paper_value: Some(kind.paper_columns() as f64),
+            measured_value: stats.n_columns as f64,
+        });
+        records.push(ExperimentRecord {
+            experiment: "Table 1".into(),
+            setting: stats.name.clone(),
+            method: "corpus generator".into(),
+            metric: "fine_clusters".into(),
+            paper_value: Some(kind.paper_fine_clusters() as f64),
+            measured_value: stats.fine_clusters as f64,
+        });
+    }
+    println!("{}", table.to_markdown());
+    save_records(&records);
+}

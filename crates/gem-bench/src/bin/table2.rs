@@ -1,0 +1,85 @@
+//! Table 2: average precision of the numeric-only methods (Squashing_GMM, Squashing_SOM,
+//! PLE, PAF, KS statistic, Gem D+S) on the coarse-grained versions of GitTables, Sato
+//! Tables, WDC and GDS.
+
+use gem_bench::{
+    bench_components, bench_corpus_config, fmt3, run_numeric_method, save_records, score,
+    strip_headers, to_gem_columns, NUMERIC_ONLY_METHODS,
+};
+use gem_data::{build_corpus, CorpusKind, Granularity};
+use gem_eval::{ExperimentRecord, ResultTable};
+
+/// Average-precision values reported in the paper's Table 2, keyed by (method, corpus).
+fn paper_value(method: &str, kind: CorpusKind) -> Option<f64> {
+    let idx = match kind {
+        CorpusKind::GitTables => 0,
+        CorpusKind::SatoTables => 1,
+        CorpusKind::Wdc => 2,
+        CorpusKind::Gds => 3,
+    };
+    let row: [f64; 4] = match method {
+        "Squashing_GMM" => [0.25, 0.28, 0.18, 0.29],
+        "Squashing_SOM" => [0.19, 0.31, 0.14, 0.28],
+        "PLE" => [0.19, 0.11, 0.18, 0.11],
+        "PAF" => [0.24, 0.23, 0.17, 0.34],
+        "KS statistic" => [0.21, 0.21, 0.02, 0.21],
+        "Gem (D+S)" => [0.28, 0.37, 0.21, 0.37],
+        _ => return None,
+    };
+    Some(row[idx])
+}
+
+fn main() {
+    let config = bench_corpus_config();
+    let components = bench_components();
+    println!(
+        "Regenerating Table 2 at scale {:.2}, {components} components (numeric-only, coarse-grained GT)\n",
+        config.scale
+    );
+
+    let corpora = [
+        ("Git Tables", CorpusKind::GitTables),
+        ("Sato Tables", CorpusKind::SatoTables),
+        ("WDC", CorpusKind::Wdc),
+        ("GDS", CorpusKind::Gds),
+    ];
+    let datasets: Vec<_> = corpora
+        .iter()
+        .map(|(name, kind)| (*name, *kind, build_corpus(*kind, &config)))
+        .collect();
+
+    let mut headers = vec!["method".to_string()];
+    for (name, _, _) in &datasets {
+        headers.push(format!("{name} (measured)"));
+        headers.push(format!("{name} (paper)"));
+    }
+    let mut table = ResultTable::new(
+        "Table 2: average precision, numeric-only methods",
+        headers,
+    );
+
+    let mut records = Vec::new();
+    for method in NUMERIC_ONLY_METHODS {
+        let mut row = vec![method.to_string()];
+        for (name, kind, dataset) in &datasets {
+            let columns = strip_headers(&to_gem_columns(dataset));
+            let embeddings = run_numeric_method(method, &columns, components);
+            let scores = score(dataset, &embeddings, Granularity::Coarse);
+            row.push(fmt3(scores.average_precision));
+            let paper = paper_value(method, *kind);
+            row.push(paper.map(|p| format!("{p:.2}")).unwrap_or_default());
+            records.push(ExperimentRecord {
+                experiment: "Table 2".into(),
+                setting: (*name).into(),
+                method: method.into(),
+                metric: "average precision".into(),
+                paper_value: paper,
+                measured_value: scores.average_precision,
+            });
+            eprintln!("  {method:>15} on {name:<12}: {:.3}", scores.average_precision);
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+    save_records(&records);
+}

@@ -1,0 +1,119 @@
+//! Table 3: average precision with headers + values on the fine-grained GDS and WDC
+//! corpora: SBERT-substitute headers only, Pythagoras_SC, Sherlock_SC, Sato_SC, Gem (D+S),
+//! and Gem D+S+C with aggregation / autoencoder / concatenation composition.
+
+use gem_bench::{bench_corpus_config, fmt3, run_gem, run_supervised, save_records};
+use gem_core::{Composition, FeatureSet};
+use gem_data::{gds, wdc, Dataset, Granularity};
+use gem_eval::{ExperimentRecord, ResultTable};
+
+fn paper_value(method: &str, dataset: &str) -> Option<f64> {
+    let (wdc_v, gds_v): (f64, f64) = match method {
+        "SBERT (headers only)" => (0.37, 0.79),
+        "Pythagoras_SC" => (0.02, 0.01),
+        "Sherlock_SC" => (0.002, 0.27),
+        "Sato_SC" => (0.003, 0.25),
+        "Gem (D+S)" => (0.14, 0.45),
+        "Gem D+S+C (aggregation)" => (0.41, 0.81),
+        "Gem D+S+C (AE)" => (0.40, 0.81),
+        "Gem D+S+C (concatenation)" => (0.43, 0.82),
+        _ => return None,
+    };
+    match dataset {
+        "WDC" => Some(wdc_v),
+        "GDS" => Some(gds_v),
+        _ => None,
+    }
+}
+
+fn run_method(method: &str, dataset: &Dataset) -> f64 {
+    match method {
+        "SBERT (headers only)" => run_gem(
+            dataset,
+            FeatureSet::c(),
+            Composition::Concatenation,
+            Granularity::Fine,
+        ),
+        "Pythagoras_SC" | "Sherlock_SC" | "Sato_SC" => {
+            run_supervised(method, dataset, Granularity::Fine)
+        }
+        "Gem (D+S)" => run_gem(
+            dataset,
+            FeatureSet::ds(),
+            Composition::Concatenation,
+            Granularity::Fine,
+        ),
+        "Gem D+S+C (aggregation)" => run_gem(
+            dataset,
+            FeatureSet::dsc(),
+            Composition::Aggregation,
+            Granularity::Fine,
+        ),
+        "Gem D+S+C (AE)" => run_gem(
+            dataset,
+            FeatureSet::dsc(),
+            Composition::autoencoder(),
+            Granularity::Fine,
+        ),
+        "Gem D+S+C (concatenation)" => run_gem(
+            dataset,
+            FeatureSet::dsc(),
+            Composition::Concatenation,
+            Granularity::Fine,
+        ),
+        other => panic!("unknown Table 3 method {other}"),
+    }
+}
+
+fn main() {
+    let config = bench_corpus_config();
+    println!(
+        "Regenerating Table 3 at scale {:.2} (headers + values, fine-grained GT)\n",
+        config.scale
+    );
+    let datasets = [("WDC", wdc(&config)), ("GDS", gds(&config))];
+
+    let methods = [
+        "SBERT (headers only)",
+        "Pythagoras_SC",
+        "Sherlock_SC",
+        "Sato_SC",
+        "Gem (D+S)",
+        "Gem D+S+C (aggregation)",
+        "Gem D+S+C (AE)",
+        "Gem D+S+C (concatenation)",
+    ];
+
+    let mut table = ResultTable::new(
+        "Table 3: average precision, headers + values (fine-grained GDS and WDC)",
+        vec![
+            "method".into(),
+            "WDC (measured)".into(),
+            "WDC (paper)".into(),
+            "GDS (measured)".into(),
+            "GDS (paper)".into(),
+        ],
+    );
+    let mut records = Vec::new();
+    for method in methods {
+        let mut row = vec![method.to_string()];
+        for (name, dataset) in &datasets {
+            let precision = run_method(method, dataset);
+            row.push(fmt3(precision));
+            let paper = paper_value(method, name);
+            row.push(paper.map(|p| format!("{p}")).unwrap_or_default());
+            records.push(ExperimentRecord {
+                experiment: "Table 3".into(),
+                setting: (*name).into(),
+                method: method.into(),
+                metric: "average precision".into(),
+                paper_value: paper,
+                measured_value: precision,
+            });
+            eprintln!("  {method:>28} on {name}: {precision:.3}");
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.to_markdown());
+    save_records(&records);
+}

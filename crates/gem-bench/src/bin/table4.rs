@@ -1,0 +1,136 @@
+//! Table 4: downstream clustering of Gem vs. Squashing_SOM embeddings with TableDC and SDCN
+//! on GDS and WDC, reported as ARI and ACC for headers-only, values-only and
+//! headers + values settings.
+
+use gem_baselines::{ColumnEmbedder, SquashingSom};
+use gem_bench::{bench_components, bench_corpus_config, bench_gem_config, fmt3, save_records, strip_headers, to_gem_columns};
+use gem_cluster::{DeepClustering, Sdcn, TableDc};
+use gem_core::{FeatureSet, GemEmbedder};
+use gem_data::{gds, wdc, Dataset, Granularity};
+use gem_eval::{adjusted_rand_index, clustering_accuracy, ExperimentRecord, ResultTable};
+use gem_numeric::Matrix;
+
+/// The three input settings of Table 4.
+const SETTINGS: [&str; 3] = ["Headers only", "Values only", "Headers + Values"];
+
+fn gem_embeddings(dataset: &Dataset, setting: &str) -> Matrix {
+    let columns = to_gem_columns(dataset);
+    let embedder = GemEmbedder::new(bench_gem_config());
+    let features = match setting {
+        "Headers only" => FeatureSet::c(),
+        "Values only" => FeatureSet::ds(),
+        _ => FeatureSet::dsc(),
+    };
+    embedder.embed(&columns, features).expect("gem embedding").matrix
+}
+
+fn squashing_som_embeddings(dataset: &Dataset, setting: &str) -> Option<Matrix> {
+    // Squashing_SOM has no header pathway, so the headers-only setting is undefined for it
+    // (the paper leaves those cells blank).
+    let columns = to_gem_columns(dataset);
+    let som = SquashingSom::new(bench_components());
+    match setting {
+        "Headers only" => None,
+        "Values only" => Some(som.embed_columns(&strip_headers(&columns))),
+        _ => {
+            // Headers + values: concatenate the SOM value embedding with the same header
+            // embedding Gem uses, mirroring the paper's composition for the baseline.
+            let values = som.embed_columns(&strip_headers(&columns));
+            let headers = GemEmbedder::new(bench_gem_config())
+                .embed(&columns, FeatureSet::c())
+                .expect("header embedding")
+                .matrix;
+            Some(values.hconcat(&headers).expect("same rows"))
+        }
+    }
+}
+
+fn main() {
+    let config = bench_corpus_config();
+    println!(
+        "Regenerating Table 4 at scale {:.2} (deep clustering of Gem vs Squashing_SOM embeddings)\n",
+        config.scale
+    );
+    let datasets = [("GDS", gds(&config)), ("WDC", wdc(&config))];
+
+    let mut table = ResultTable::new(
+        "Table 4: clustering results (ARI / ACC)",
+        vec![
+            "setting".into(),
+            "embeddings".into(),
+            "dataset".into(),
+            "TableDC ARI".into(),
+            "TableDC ACC".into(),
+            "SDCN ARI".into(),
+            "SDCN ACC".into(),
+        ],
+    );
+    let mut records = Vec::new();
+
+    for setting in SETTINGS {
+        for (emb_name, get) in [
+            ("Gem", true),
+            ("Squashing_SOM", false),
+        ] {
+            for (ds_name, dataset) in &datasets {
+                let embeddings = if get {
+                    Some(gem_embeddings(dataset, setting))
+                } else {
+                    squashing_som_embeddings(dataset, setting)
+                };
+                let Some(embeddings) = embeddings else {
+                    table.push_row(vec![
+                        setting.into(),
+                        emb_name.into(),
+                        (*ds_name).into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    continue;
+                };
+                let truth = Granularity::Fine.label_indices(dataset);
+                let k = Granularity::Fine.n_clusters(dataset);
+                let tabledc_labels = TableDc::new(k).cluster(&embeddings);
+                let sdcn_labels = Sdcn::new(k).cluster(&embeddings);
+                let t_ari = adjusted_rand_index(&tabledc_labels, &truth);
+                let t_acc = clustering_accuracy(&tabledc_labels, &truth);
+                let s_ari = adjusted_rand_index(&sdcn_labels, &truth);
+                let s_acc = clustering_accuracy(&sdcn_labels, &truth);
+                table.push_row(vec![
+                    setting.into(),
+                    emb_name.into(),
+                    (*ds_name).into(),
+                    fmt3(t_ari),
+                    fmt3(t_acc),
+                    fmt3(s_ari),
+                    fmt3(s_acc),
+                ]);
+                for (algo, ari, acc) in [("TableDC", t_ari, t_acc), ("SDCN", s_ari, s_acc)] {
+                    records.push(ExperimentRecord {
+                        experiment: "Table 4".into(),
+                        setting: format!("{ds_name} / {setting} / {emb_name}"),
+                        method: algo.into(),
+                        metric: "ARI".into(),
+                        paper_value: None,
+                        measured_value: ari,
+                    });
+                    records.push(ExperimentRecord {
+                        experiment: "Table 4".into(),
+                        setting: format!("{ds_name} / {setting} / {emb_name}"),
+                        method: algo.into(),
+                        metric: "ACC".into(),
+                        paper_value: None,
+                        measured_value: acc,
+                    });
+                }
+                eprintln!(
+                    "  {setting:<17} {emb_name:<14} {ds_name}: TableDC ARI {t_ari:.3} ACC {t_acc:.3} | SDCN ARI {s_ari:.3} ACC {s_acc:.3}"
+                );
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+    save_records(&records);
+}

@@ -1,0 +1,265 @@
+//! # gem-bench
+//!
+//! Experiment runners that regenerate every table and figure of the Gem paper, plus the
+//! Criterion micro-benchmarks behind the scalability analysis.
+//!
+//! Each table/figure has a binary (`cargo run -p gem-bench --release --bin table2`, etc.)
+//! that builds the relevant synthetic corpora, runs Gem and the baselines, prints the
+//! paper-shaped table and appends paper-vs-measured records to `results/experiments.json`.
+//!
+//! The binaries accept two environment variables:
+//!
+//! * `GEM_BENCH_SCALE` — fraction of the paper-sized corpora to generate (default `0.12`;
+//!   `1.0` regenerates the full Table 1 sizes and takes correspondingly longer),
+//! * `GEM_BENCH_COMPONENTS` — number of Gaussian components (default `50`, the paper's
+//!   setting; smaller values speed up quick runs).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use gem_baselines::{
+    ColumnEmbedder, KsEncoder, PeriodicEncoder, PiecewiseLinearEncoder, PythagorasSc, SatoSc,
+    SherlockSc, SquashingGmm, SquashingSom, SupervisedColumnEmbedder,
+};
+use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemEmbedder};
+use gem_data::{Column, CorpusConfig, Dataset, Granularity};
+use gem_eval::{evaluate_retrieval, ExperimentRecord, RetrievalScores};
+use gem_gmm::GmmConfig;
+use gem_numeric::Matrix;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Names of the numeric-only methods of Table 2, in the table's row order.
+pub const NUMERIC_ONLY_METHODS: [&str; 6] = [
+    "Squashing_GMM",
+    "Squashing_SOM",
+    "PLE",
+    "PAF",
+    "KS statistic",
+    "Gem (D+S)",
+];
+
+/// Corpus scale for the quick experiment runs (override with `GEM_BENCH_SCALE`).
+pub fn bench_scale() -> f64 {
+    std::env::var("GEM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.12)
+}
+
+/// Number of Gaussian components for the quick experiment runs (override with
+/// `GEM_BENCH_COMPONENTS`).
+pub fn bench_components() -> usize {
+    std::env::var("GEM_BENCH_COMPONENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50)
+}
+
+/// Corpus configuration used by the experiment binaries.
+pub fn bench_corpus_config() -> CorpusConfig {
+    CorpusConfig::default().with_scale(bench_scale())
+}
+
+/// A Gem configuration sized for the experiment binaries: the paper's tolerance and
+/// initialisation, a reduced restart count so the quick runs finish in seconds, and the
+/// component count from [`bench_components`].
+pub fn bench_gem_config() -> GemConfig {
+    GemConfig {
+        gmm: GmmConfig::with_components(bench_components())
+            .restarts(3)
+            .with_seed(17),
+        ..GemConfig::default()
+    }
+}
+
+/// Path of the JSON file collecting paper-vs-measured records (`results/experiments.json`
+/// at the workspace root).
+pub fn results_path() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest);
+    root.join("results").join("experiments.json")
+}
+
+/// Persist experiment records, creating the results directory when needed. Failures are
+/// reported on stderr but never abort an experiment run.
+pub fn save_records(records: &[ExperimentRecord]) {
+    let path = results_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = ExperimentRecord::append_all(&path, records) {
+        eprintln!("warning: could not persist experiment records: {e}");
+    }
+}
+
+/// Convert a `gem-data` dataset into the `GemColumn` form consumed by the embedders.
+pub fn to_gem_columns(dataset: &Dataset) -> Vec<GemColumn> {
+    dataset
+        .columns
+        .iter()
+        .map(|c: &Column| GemColumn::new(c.values.clone(), c.header.clone()))
+        .collect()
+}
+
+/// Strip the headers from columns (numeric-only settings).
+pub fn strip_headers(columns: &[GemColumn]) -> Vec<GemColumn> {
+    columns
+        .iter()
+        .map(|c| GemColumn::values_only(c.values.clone()))
+        .collect()
+}
+
+/// Run one of the numeric-only methods of Table 2 by name and return its embedding matrix.
+///
+/// # Panics
+/// Panics on an unknown method name.
+pub fn run_numeric_method(method: &str, columns: &[GemColumn], n_components: usize) -> Matrix {
+    match method {
+        "Squashing_GMM" => SquashingGmm::new(n_components).embed_columns(columns),
+        "Squashing_SOM" => SquashingSom::new(n_components).embed_columns(columns),
+        "PLE" => PiecewiseLinearEncoder::new(n_components).embed_columns(columns),
+        "PAF" => PeriodicEncoder::new(n_components).embed_columns(columns),
+        "KS statistic" => KsEncoder.embed_columns(columns),
+        "Gem (D+S)" => {
+            let config = GemConfig {
+                gmm: GmmConfig::with_components(n_components).restarts(3).with_seed(17),
+                ..GemConfig::default()
+            };
+            GemEmbedder::new(config)
+                .embed(columns, FeatureSet::ds())
+                .expect("numeric-only embedding")
+                .matrix
+        }
+        other => panic!("unknown numeric-only method {other}"),
+    }
+}
+
+/// Evaluate an embedding matrix against a dataset's ground truth at the given granularity.
+pub fn score(dataset: &Dataset, embeddings: &Matrix, granularity: Granularity) -> RetrievalScores {
+    evaluate_retrieval(embeddings, &granularity.labels(dataset))
+}
+
+/// Run a Gem feature-set/composition configuration on a dataset and return the average
+/// precision at the given granularity.
+pub fn run_gem(
+    dataset: &Dataset,
+    features: FeatureSet,
+    composition: Composition,
+    granularity: Granularity,
+) -> f64 {
+    let columns = to_gem_columns(dataset);
+    let config = GemConfig {
+        composition,
+        ..bench_gem_config()
+    };
+    let embedding = GemEmbedder::new(config)
+        .embed(&columns, features)
+        .expect("gem embedding");
+    score(dataset, &embedding.matrix, granularity).average_precision
+}
+
+/// Run a supervised `_SC` baseline (trained on coarse labels, as in the paper) and return
+/// its average precision against the requested granularity.
+pub fn run_supervised(
+    method: &str,
+    dataset: &Dataset,
+    granularity: Granularity,
+) -> f64 {
+    let columns = to_gem_columns(dataset);
+    let coarse = dataset.coarse_labels();
+    let embeddings = match method {
+        "Sherlock_SC" => SherlockSc::default().fit_embed(&columns, &coarse),
+        "Sato_SC" => SatoSc::default().fit_embed(&columns, &coarse),
+        "Pythagoras_SC" => PythagorasSc::default().fit_embed(&columns, &coarse),
+        other => panic!("unknown supervised method {other}"),
+    };
+    score(dataset, &embeddings, granularity).average_precision
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Format a float with three decimals for table cells.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_data::sato_tables;
+
+    fn tiny_dataset() -> Dataset {
+        sato_tables(&CorpusConfig {
+            scale: 0.02,
+            min_values: 20,
+            max_values: 40,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn conversion_preserves_headers_and_values() {
+        let d = tiny_dataset();
+        let cols = to_gem_columns(&d);
+        assert_eq!(cols.len(), d.n_columns());
+        assert_eq!(cols[0].values, d.columns[0].values);
+        assert_eq!(cols[0].header, d.columns[0].header);
+        let stripped = strip_headers(&cols);
+        assert!(stripped.iter().all(|c| c.header.is_empty()));
+    }
+
+    #[test]
+    fn every_numeric_method_runs_on_a_tiny_corpus() {
+        let d = tiny_dataset();
+        let cols = strip_headers(&to_gem_columns(&d));
+        for method in NUMERIC_ONLY_METHODS {
+            let emb = run_numeric_method(method, &cols, 6);
+            assert_eq!(emb.rows(), cols.len(), "{method}");
+            assert!(emb.all_finite(), "{method}");
+            let s = score(&d, &emb, Granularity::Coarse);
+            assert!(
+                (0.0..=1.0).contains(&s.average_precision),
+                "{method}: {}",
+                s.average_precision
+            );
+        }
+    }
+
+    #[test]
+    fn gem_runner_produces_probability_range_scores() {
+        let d = tiny_dataset();
+        let p = run_gem(
+            &d,
+            FeatureSet::ds(),
+            Composition::Concatenation,
+            Granularity::Coarse,
+        );
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn timed_measures_elapsed_time() {
+        let (value, secs) = timed(|| (0..10_000).map(|i| i as f64).sum::<f64>());
+        assert!(value > 0.0);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn helpers_and_paths() {
+        assert!(results_path().ends_with("results/experiments.json"));
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert!(bench_scale() > 0.0);
+        assert!(bench_components() > 0);
+        assert_eq!(NUMERIC_ONLY_METHODS.len(), 6);
+    }
+}

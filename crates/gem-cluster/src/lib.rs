@@ -1,0 +1,35 @@
+//! # gem-cluster
+//!
+//! Clustering substrate for the downstream evaluation of §4.6 of the Gem paper.
+//!
+//! The paper feeds Gem (and Squashing_SOM) embeddings into two deep-clustering algorithms —
+//! SDCN (Bo et al., WWW 2020) and TableDC (Rauf et al., 2024) — and reports clustering
+//! accuracy (ACC) and adjusted Rand index (ARI). This crate provides:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding, used both on its own and to
+//!   initialise the deep-clustering centroids,
+//! * [`hungarian_assignment`] — the Hungarian (Kuhn–Munkres) algorithm used by the ACC
+//!   metric to optimally match predicted clusters to ground-truth classes,
+//! * [`Sdcn`] — a compact SDCN: autoencoder pre-training, a GCN branch over a k-NN graph of
+//!   the embeddings, and DEC-style self-training on the fused representation,
+//! * [`TableDc`] — a compact TableDC: autoencoder pre-training and self-training with the
+//!   heavy-tailed (Cauchy) similarity kernel that TableDC argues suits dense, overlapping
+//!   embedding spaces.
+//!
+//! Both deep methods implement [`DeepClustering`], so the Table 4 bench can swap them
+//! freely.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod deep;
+mod hungarian;
+mod kmeans;
+mod sdcn;
+mod tabledc;
+
+pub use deep::{soft_assignments, target_distribution, DeepClustering, DeepClusteringConfig};
+pub use hungarian::hungarian_assignment;
+pub use kmeans::{KMeans, KMeansConfig};
+pub use sdcn::Sdcn;
+pub use tabledc::TableDc;

@@ -1,0 +1,169 @@
+//! A compact SDCN (Structural Deep Clustering Network, Bo et al., WWW 2020).
+//!
+//! SDCN couples an autoencoder with a GCN that operates on a k-NN graph of the inputs, so
+//! that the clustering sees both the reconstructed feature structure and the neighbourhood
+//! structure. This implementation keeps that essence: the embeddings are pre-trained through
+//! an autoencoder, the latent codes are smoothed by one normalised-adjacency propagation
+//! over the k-NN graph (the "GCN branch" with an identity transform), the two views are
+//! averaged and the result is refined with the DEC-style KL self-training of
+//! [`crate::deep`].
+
+use crate::deep::{
+    hard_assignments, init_centroids, refine_centroids, soft_assignments, DeepClustering,
+    DeepClusteringConfig,
+};
+use gem_nn::{normalize_adjacency, Autoencoder, AutoencoderConfig, Optimizer};
+use gem_numeric::distance::squared_euclidean_distance;
+use gem_numeric::Matrix;
+
+/// The SDCN-style deep clustering algorithm.
+#[derive(Debug, Clone)]
+pub struct Sdcn {
+    /// Shared deep-clustering hyper-parameters.
+    pub config: DeepClusteringConfig,
+    /// Number of nearest neighbours in the column graph.
+    pub n_neighbors: usize,
+}
+
+impl Sdcn {
+    /// Create an SDCN instance for `n_clusters` clusters with default hyper-parameters.
+    pub fn new(n_clusters: usize) -> Self {
+        Sdcn {
+            config: DeepClusteringConfig::new(n_clusters),
+            n_neighbors: 5,
+        }
+    }
+
+    /// Create a fast instance for tests.
+    pub fn fast(n_clusters: usize) -> Self {
+        Sdcn {
+            config: DeepClusteringConfig::fast(n_clusters),
+            n_neighbors: 3,
+        }
+    }
+
+    /// Build the k-NN adjacency matrix over embedding rows (symmetrised).
+    fn knn_adjacency(&self, embeddings: &Matrix) -> Matrix {
+        let n = embeddings.rows();
+        let k = self.n_neighbors.min(n.saturating_sub(1));
+        let mut adj = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut dists: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    (
+                        j,
+                        squared_euclidean_distance(embeddings.row(i), embeddings.row(j))
+                            .unwrap_or(f64::INFINITY),
+                    )
+                })
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &(j, _) in dists.iter().take(k) {
+                adj.set(i, j, 1.0);
+                adj.set(j, i, 1.0);
+            }
+        }
+        adj
+    }
+}
+
+impl DeepClustering for Sdcn {
+    fn name(&self) -> &'static str {
+        "SDCN"
+    }
+
+    fn cluster(&self, embeddings: &Matrix) -> Vec<usize> {
+        let n = embeddings.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n <= self.config.n_clusters {
+            return (0..n).collect();
+        }
+        // 1. Autoencoder pre-training.
+        let latent_dim = self.config.latent_dim.min(embeddings.cols().max(2));
+        let mut ae_config = AutoencoderConfig::new(embeddings.cols(), latent_dim);
+        ae_config.epochs = self.config.pretrain_epochs;
+        ae_config.optimizer = Optimizer::adam(5e-3);
+        ae_config.seed = self.config.seed;
+        let mut ae = Autoencoder::new(ae_config);
+        ae.fit(embeddings);
+        let latent = ae.encode(embeddings);
+
+        // 2. GCN branch: one propagation of the latent codes over the k-NN graph.
+        let norm_adj = normalize_adjacency(&self.knn_adjacency(embeddings));
+        let propagated = norm_adj.matmul(&latent).expect("square adjacency");
+        // Fuse the AE view and the structural view (SDCN's balance coefficient is 0.5).
+        let fused = latent.add(&propagated).expect("same shape").scale(0.5);
+
+        // 3. DEC-style self-training on the fused representation.
+        let mut centroids = init_centroids(&fused, self.config.n_clusters, self.config.seed);
+        for _ in 0..self.config.refine_iterations {
+            centroids = refine_centroids(
+                &fused,
+                &centroids,
+                self.config.kernel_dof,
+                self.config.refine_learning_rate,
+            );
+        }
+        let q = soft_assignments(&fused, &centroids, self.config.kernel_dof);
+        hard_assignments(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_embeddings() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..25 {
+            rows.push(vec![(i % 5) as f64 * 0.05, 0.0, 0.1, (i % 3) as f64 * 0.02]);
+        }
+        for i in 0..25 {
+            rows.push(vec![3.0 + (i % 5) as f64 * 0.05, 3.0, 0.2, (i % 3) as f64 * 0.02]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn clusters_two_separated_blobs() {
+        let emb = blob_embeddings();
+        let sdcn = Sdcn::fast(2);
+        let labels = sdcn.cluster(&emb);
+        assert_eq!(labels.len(), 50);
+        // Majority of each blob shares a label, and the two blobs differ.
+        let first_label = labels[0];
+        let first_purity = labels[..25].iter().filter(|&&l| l == first_label).count();
+        let second_label = labels[25];
+        let second_purity = labels[25..].iter().filter(|&&l| l == second_label).count();
+        assert!(first_purity >= 20, "purity {first_purity}");
+        assert!(second_purity >= 20, "purity {second_purity}");
+        assert_ne!(first_label, second_label);
+    }
+
+    #[test]
+    fn knn_adjacency_is_symmetric_with_k_neighbors() {
+        let emb = blob_embeddings();
+        let sdcn = Sdcn::fast(2);
+        let adj = sdcn.knn_adjacency(&emb);
+        for i in 0..adj.rows() {
+            assert_eq!(adj.get(i, i), 0.0);
+            for j in 0..adj.cols() {
+                assert_eq!(adj.get(i, j), adj.get(j, i));
+            }
+            let degree: f64 = adj.row(i).iter().sum();
+            assert!(degree >= sdcn.n_neighbors as f64);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let sdcn = Sdcn::fast(3);
+        assert!(sdcn.cluster(&Matrix::zeros(0, 4)).is_empty());
+        let tiny = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(sdcn.cluster(&tiny), vec![0, 1]);
+        assert_eq!(sdcn.name(), "SDCN");
+    }
+}

@@ -1,0 +1,59 @@
+//! The feature-combination ablation of Figure 3.
+
+use crate::config::FeatureSet;
+use serde::{Deserialize, Serialize};
+
+/// The seven feature combinations evaluated in Figure 3, in the figure's order:
+/// D, S, C, D+S, C+S, D+C, D+C+S.
+pub fn ablation_feature_sets() -> Vec<FeatureSet> {
+    vec![
+        FeatureSet::d(),
+        FeatureSet::s(),
+        FeatureSet::c(),
+        FeatureSet::ds(),
+        FeatureSet::cs(),
+        FeatureSet::dc(),
+        FeatureSet::dsc(),
+    ]
+}
+
+/// One row of the Figure 3 ablation: a feature combination and the average precision it
+/// achieved on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Label of the feature combination ("D", "D+S", ...).
+    pub features: String,
+    /// Dataset the combination was evaluated on.
+    pub dataset: String,
+    /// Average precision at k.
+    pub average_precision: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_all_seven_combinations_in_figure_order() {
+        let sets = ablation_feature_sets();
+        assert_eq!(sets.len(), 7);
+        let labels: Vec<String> = sets.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["D", "S", "C", "D+S", "C+S", "D+C", "D+C+S"]);
+        // All are non-empty and distinct.
+        let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), 7);
+        assert!(sets.iter().all(|s| s.is_non_empty()));
+    }
+
+    #[test]
+    fn ablation_result_is_serializable() {
+        let r = AblationResult {
+            features: "D+S".into(),
+            dataset: "GDS".into(),
+            average_precision: 0.45,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AblationResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,187 @@
+//! Composition of the distributional, statistical and contextual embedding blocks (§4.2.2).
+//!
+//! The paper evaluates three ways of merging the blocks into one vector per column:
+//! concatenation (Equations 11/13), aggregation into a single summary representation, and an
+//! autoencoder that learns a compressed latent representation of the concatenated vector.
+//! Table 3 finds concatenation best, aggregation close behind and the autoencoder slightly
+//! behind that — the bench binary for Table 3 reproduces that comparison.
+
+use gem_nn::{Autoencoder, AutoencoderConfig, Optimizer};
+use gem_numeric::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How the selected feature blocks are merged into the final per-column embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Composition {
+    /// Side-by-side concatenation of the blocks (the paper's default and best performer).
+    Concatenation,
+    /// Element-wise mean of the blocks after zero-padding them to a common width. This
+    /// mirrors the paper's "aggregation summarises the embeddings into a single
+    /// representation" and deliberately loses the block identity, which is why it trails
+    /// concatenation.
+    Aggregation,
+    /// Concatenate, then compress with a small autoencoder into `latent_dim` dimensions.
+    Autoencoder {
+        /// Latent dimensionality of the compressed embedding.
+        latent_dim: usize,
+        /// Training epochs for the autoencoder.
+        epochs: usize,
+    },
+}
+
+impl Composition {
+    /// Autoencoder composition with the defaults used in the Table 3 reproduction.
+    pub fn autoencoder() -> Self {
+        Composition::Autoencoder {
+            latent_dim: 32,
+            epochs: 150,
+        }
+    }
+
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Composition::Concatenation => "concatenation",
+            Composition::Aggregation => "aggregation",
+            Composition::Autoencoder { .. } => "AE",
+        }
+    }
+}
+
+/// Merge the given blocks (each: one row per column) according to the composition method.
+/// Blocks must all have the same number of rows. An empty block list yields an empty matrix.
+///
+/// # Panics
+/// Panics when the blocks disagree on the number of rows.
+pub fn compose(blocks: &[&Matrix], method: Composition) -> Matrix {
+    if blocks.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    let rows = blocks[0].rows();
+    assert!(
+        blocks.iter().all(|b| b.rows() == rows),
+        "all embedding blocks must describe the same columns"
+    );
+    match method {
+        Composition::Concatenation => concat_blocks(blocks),
+        Composition::Aggregation => aggregate_blocks(blocks),
+        Composition::Autoencoder { latent_dim, epochs } => {
+            let concatenated = concat_blocks(blocks);
+            autoencode(&concatenated, latent_dim, epochs)
+        }
+    }
+}
+
+fn concat_blocks(blocks: &[&Matrix]) -> Matrix {
+    let mut out = blocks[0].clone();
+    for b in &blocks[1..] {
+        out = out.hconcat(b).expect("row counts checked by compose");
+    }
+    out
+}
+
+fn aggregate_blocks(blocks: &[&Matrix]) -> Matrix {
+    let rows = blocks[0].rows();
+    let width = blocks.iter().map(|b| b.cols()).max().unwrap_or(0);
+    let mut out = Matrix::zeros(rows, width);
+    for b in blocks {
+        for r in 0..rows {
+            for c in 0..b.cols() {
+                out.set(r, c, out.get(r, c) + b.get(r, c));
+            }
+        }
+    }
+    out.scale(1.0 / blocks.len() as f64)
+}
+
+fn autoencode(concatenated: &Matrix, latent_dim: usize, epochs: usize) -> Matrix {
+    if concatenated.rows() == 0 || concatenated.cols() == 0 {
+        return Matrix::zeros(concatenated.rows(), latent_dim);
+    }
+    let latent_dim = latent_dim.max(1).min(concatenated.cols());
+    let mut config = AutoencoderConfig::new(concatenated.cols(), latent_dim);
+    config.epochs = epochs;
+    config.optimizer = Optimizer::adam(5e-3);
+    config.seed = 29;
+    let mut ae = Autoencoder::new(config);
+    ae.fit(concatenated);
+    ae.encode(concatenated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![10.0], vec![20.0]]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn concatenation_preserves_all_information() {
+        let (a, b) = blocks();
+        let out = compose(&[&a, &b], Composition::Concatenation);
+        assert_eq!(out.shape(), (2, 3));
+        assert_eq!(out.row(0), &[1.0, 2.0, 10.0]);
+        assert_eq!(out.row(1), &[3.0, 4.0, 20.0]);
+    }
+
+    #[test]
+    fn aggregation_zero_pads_then_averages() {
+        let (a, b) = blocks();
+        let out = compose(&[&a, &b], Composition::Aggregation);
+        assert_eq!(out.shape(), (2, 2));
+        // First column: (1 + 10)/2; second: (2 + 0)/2.
+        assert_eq!(out.get(0, 0), 5.5);
+        assert_eq!(out.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn autoencoder_compresses_to_latent_dim() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                vec![x.sin(), x.cos(), x.sin() * 2.0, 1.0 - x.cos(), x.sin() + x.cos(), 0.5 * x.sin()]
+            })
+            .collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let out = compose(
+            &[&m],
+            Composition::Autoencoder {
+                latent_dim: 2,
+                epochs: 120,
+            },
+        );
+        assert_eq!(out.shape(), (30, 2));
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn empty_block_list_yields_empty_matrix() {
+        let out = compose(&[], Composition::Concatenation);
+        assert_eq!(out.shape(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "same columns")]
+    fn mismatched_row_counts_panic() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        compose(&[&a, &b], Composition::Concatenation);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Composition::Concatenation.label(), "concatenation");
+        assert_eq!(Composition::Aggregation.label(), "aggregation");
+        assert_eq!(Composition::autoencoder().label(), "AE");
+    }
+
+    #[test]
+    fn single_block_concatenation_is_identity() {
+        let (a, _) = blocks();
+        assert_eq!(compose(&[&a], Composition::Concatenation), a);
+        assert_eq!(compose(&[&a], Composition::Aggregation), a);
+    }
+}

@@ -1,0 +1,106 @@
+//! Statistical feature extraction (§3.2).
+
+use gem_numeric::stats::ColumnStats;
+use gem_numeric::Matrix;
+
+/// The names of the seven Gem statistical features, in matrix-column order.
+pub const STATISTICAL_FEATURE_NAMES: [&str; 7] = [
+    "unique_count",
+    "mean",
+    "coefficient_of_variation",
+    "entropy",
+    "range",
+    "percentile_10",
+    "percentile_90",
+];
+
+/// Compute the raw (un-standardised) statistical feature matrix: one row per column, one
+/// column per feature in [`STATISTICAL_FEATURE_NAMES`] order.
+///
+/// Scale-carrying features (mean, range, percentiles, unique count) are passed through a
+/// signed `ln(1 + |x|)` squash before the cross-column standardisation of Equation 7.
+/// Data-lake corpora mix columns whose scales differ by many orders of magnitude
+/// (populations and prices next to ages and ratings); without the squash the z-scores of the
+/// few huge-scale columns dominate the feature distribution and every other column collapses
+/// onto nearly identical standardised values, which destroys the discriminative power the
+/// statistical block is supposed to add (see DESIGN.md §6).
+///
+/// Empty columns produce an all-zero feature row rather than an error, so a corpus with a
+/// degenerate column can still be embedded (the paper's corpora contain short columns, and a
+/// pipeline that aborts on one bad column would be unusable on a data lake).
+pub fn statistical_feature_matrix(columns: &[Vec<f64>]) -> Matrix {
+    let n_features = STATISTICAL_FEATURE_NAMES.len();
+    let mut out = Matrix::zeros(columns.len(), n_features);
+    for (i, values) in columns.iter().enumerate() {
+        if values.is_empty() {
+            continue;
+        }
+        if let Ok(stats) = ColumnStats::compute(values) {
+            let f = stats.gem_features();
+            for (j, v) in f.into_iter().enumerate() {
+                // Guard against pathological inputs (e.g. a column of identical ±inf): any
+                // non-finite feature is zeroed instead of poisoning the standardisation.
+                let v = if v.is_finite() { v } else { 0.0 };
+                out.set(i, j, v.signum() * (1.0 + v.abs()).ln());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squash(x: f64) -> f64 {
+        x.signum() * (1.0 + x.abs()).ln()
+    }
+
+    #[test]
+    fn feature_matrix_shape_and_order() {
+        let columns = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 10.0]];
+        let m = statistical_feature_matrix(&columns);
+        assert_eq!(m.shape(), (2, 7));
+        // Column 0: unique count 4, mean 2.5, range 3 — stored log-squashed.
+        assert!((m.get(0, 0) - squash(4.0)).abs() < 1e-12);
+        assert!((m.get(0, 1) - squash(2.5)).abs() < 1e-12);
+        assert!((m.get(0, 4) - squash(3.0)).abs() < 1e-12);
+        // Column 1 is constant: unique count 1, range 0, entropy 0, cv 0.
+        assert!((m.get(1, 0) - squash(1.0)).abs() < 1e-12);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.get(1, 3), 0.0);
+        assert_eq!(m.get(1, 4), 0.0);
+    }
+
+    #[test]
+    fn squash_keeps_feature_ordering_but_compresses_scale() {
+        let columns = vec![vec![1.0, 2.0], vec![1.0e6, 2.0e6]];
+        let m = statistical_feature_matrix(&columns);
+        // The huge-scale column still has the larger mean feature, but the gap is
+        // logarithmic rather than six orders of magnitude.
+        assert!(m.get(1, 1) > m.get(0, 1));
+        assert!(m.get(1, 1) < 20.0);
+    }
+
+    #[test]
+    fn empty_column_yields_zero_row() {
+        let columns = vec![vec![], vec![5.0, 6.0]];
+        let m = statistical_feature_matrix(&columns);
+        assert!(m.row(0).iter().all(|&v| v == 0.0));
+        assert!(m.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_features() {
+        let columns = vec![vec![f64::INFINITY, f64::INFINITY]];
+        let m = statistical_feature_matrix(&columns);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn feature_names_match_width() {
+        assert_eq!(STATISTICAL_FEATURE_NAMES.len(), 7);
+        let m = statistical_feature_matrix(&[vec![1.0]]);
+        assert_eq!(m.cols(), STATISTICAL_FEATURE_NAMES.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! The Gem signature mechanism (§3.2): per-column mean responsibilities under a GMM fitted
+//! to the stacked values of the whole corpus.
+
+use gem_gmm::UnivariateGmm;
+use gem_numeric::Matrix;
+
+/// Stack all values of all columns into one flat array — the paper treats the corpus as a
+/// single one-dimensional sample when fitting the GMM ("Gem treats all numerical values from
+/// the columns as a single stack", §3.2).
+pub fn stack_values(columns: &[Vec<f64>]) -> Vec<f64> {
+    let total: usize = columns.iter().map(|c| c.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for c in columns {
+        out.extend(c.iter().copied().filter(|v| v.is_finite()));
+    }
+    out
+}
+
+/// Compute the signature matrix: one row per column, one column per Gaussian component,
+/// entry `(i, j)` the mean responsibility of component `j` for the values of column `i`.
+/// Rows sum to one (they are averages of probability vectors).
+///
+/// When `parallel` is true the columns are split across threads with `crossbeam::scope`; the
+/// GMM is immutable during this phase so sharing it by reference is free.
+pub fn signature_matrix(gmm: &UnivariateGmm, columns: &[Vec<f64>], parallel: bool) -> Matrix {
+    let k = gmm.n_components();
+    let n = columns.len();
+    let mut out = Matrix::zeros(n, k);
+    if n == 0 {
+        return out;
+    }
+    if !parallel || n < 32 {
+        for (i, col) in columns.iter().enumerate() {
+            let sig = gmm.mean_responsibilities(col);
+            out.row_mut(i).copy_from_slice(&sig);
+        }
+        return out;
+    }
+
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk = n.div_ceil(n_threads);
+    let mut results: Vec<Vec<Vec<f64>>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_cols in columns.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                chunk_cols
+                    .iter()
+                    .map(|col| gmm.mean_responsibilities(col))
+                    .collect::<Vec<Vec<f64>>>()
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("signature worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut i = 0usize;
+    for block in results {
+        for sig in block {
+            out.row_mut(i).copy_from_slice(&sig);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_gmm::GmmConfig;
+
+    fn columns() -> Vec<Vec<f64>> {
+        let low: Vec<f64> = (0..50).map(|i| (i % 10) as f64 * 0.1).collect();
+        let high: Vec<f64> = (0..50).map(|i| 100.0 + (i % 10) as f64 * 0.1).collect();
+        let mixed: Vec<f64> = low.iter().chain(high.iter()).cloned().collect();
+        vec![low, high, mixed]
+    }
+
+    fn fitted_gmm(cols: &[Vec<f64>]) -> UnivariateGmm {
+        let stacked = stack_values(cols);
+        UnivariateGmm::fit(&stacked, &GmmConfig::with_components(2).restarts(3).with_seed(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn stack_concatenates_and_drops_non_finite() {
+        let cols = vec![vec![1.0, f64::NAN, 2.0], vec![3.0, f64::INFINITY]];
+        let stacked = stack_values(&cols);
+        assert_eq!(stacked, vec![1.0, 2.0, 3.0]);
+        assert!(stack_values(&[]).is_empty());
+    }
+
+    #[test]
+    fn signature_rows_are_probability_vectors() {
+        let cols = columns();
+        let gmm = fitted_gmm(&cols);
+        let sig = signature_matrix(&gmm, &cols, false);
+        assert_eq!(sig.shape(), (3, 2));
+        for r in 0..3 {
+            let s: f64 = sig.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(sig.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn signatures_separate_low_and_high_columns() {
+        let cols = columns();
+        let gmm = fitted_gmm(&cols);
+        let sig = signature_matrix(&gmm, &cols, false);
+        // The low column and the high column should put their mass on different components,
+        // while the mixed column sits in between.
+        let low = sig.row(0);
+        let high = sig.row(1);
+        let mixed = sig.row(2);
+        let low_argmax = if low[0] > low[1] { 0 } else { 1 };
+        let high_argmax = if high[0] > high[1] { 0 } else { 1 };
+        assert_ne!(low_argmax, high_argmax);
+        assert!(low[low_argmax] > 0.9);
+        assert!(high[high_argmax] > 0.9);
+        assert!((mixed[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn parallel_and_serial_signatures_agree() {
+        // Enough columns to trigger the parallel path.
+        let base = columns();
+        let mut cols = Vec::new();
+        for i in 0..40 {
+            let mut c = base[i % 3].clone();
+            c.push(i as f64);
+            cols.push(c);
+        }
+        let gmm = fitted_gmm(&cols);
+        let serial = signature_matrix(&gmm, &cols, false);
+        let parallel = signature_matrix(&gmm, &cols, true);
+        assert_eq!(serial.shape(), parallel.shape());
+        for r in 0..serial.rows() {
+            for c in 0..serial.cols() {
+                assert!((serial.get(r, c) - parallel.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_column_list_gives_empty_matrix() {
+        let cols = columns();
+        let gmm = fitted_gmm(&cols);
+        let sig = signature_matrix(&gmm, &[], false);
+        assert_eq!(sig.rows(), 0);
+    }
+
+    #[test]
+    fn empty_column_signature_is_the_prior() {
+        let cols = columns();
+        let gmm = fitted_gmm(&cols);
+        let with_empty = vec![vec![], cols[0].clone()];
+        let sig = signature_matrix(&gmm, &with_empty, false);
+        for (a, b) in sig.row(0).iter().zip(gmm.weights()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The column / dataset data model shared by every experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A single numeric column extracted from a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Stable identifier within its dataset.
+    pub id: usize,
+    /// The column header (attribute name) as it would appear in the source table.
+    pub header: String,
+    /// The numeric cell values.
+    pub values: Vec<f64>,
+    /// Fine-grained ground-truth semantic type (e.g. `score_cricket`).
+    pub fine_type: String,
+    /// Coarse-grained ground-truth semantic type (e.g. `score`).
+    pub coarse_type: String,
+    /// Name of the (synthetic) table the column came from.
+    pub table: String,
+}
+
+impl Column {
+    /// Create a column where the fine and coarse types coincide.
+    pub fn new(id: usize, header: impl Into<String>, values: Vec<f64>, semantic_type: impl Into<String>) -> Self {
+        let t = semantic_type.into();
+        Column {
+            id,
+            header: header.into(),
+            values,
+            fine_type: t.clone(),
+            coarse_type: t,
+            table: String::new(),
+        }
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A corpus of numeric columns with ground-truth semantic types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable corpus name (e.g. `"GDS (synthetic)"`).
+    pub name: String,
+    /// The columns.
+    pub columns: Vec<Column>,
+}
+
+impl Dataset {
+    /// Create a dataset from columns.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Dataset {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The fine-grained ground-truth label of every column, in column order.
+    pub fn fine_labels(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.fine_type.clone()).collect()
+    }
+
+    /// The coarse-grained ground-truth label of every column, in column order.
+    pub fn coarse_labels(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.coarse_type.clone()).collect()
+    }
+
+    /// The headers of every column, in column order.
+    pub fn headers(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.header.clone()).collect()
+    }
+
+    /// Number of distinct fine-grained semantic types.
+    pub fn n_fine_clusters(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.fine_type.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Number of distinct coarse-grained semantic types.
+    pub fn n_coarse_clusters(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.coarse_type.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Map from fine-grained label to the indices of its columns.
+    pub fn fine_cluster_members(&self) -> BTreeMap<String, Vec<usize>> {
+        let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            map.entry(c.fine_type.clone()).or_default().push(i);
+        }
+        map
+    }
+
+    /// Map from coarse-grained label to the indices of its columns.
+    pub fn coarse_cluster_members(&self) -> BTreeMap<String, Vec<usize>> {
+        let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            map.entry(c.coarse_type.clone()).or_default().push(i);
+        }
+        map
+    }
+
+    /// Ground-truth label indices (dense integers) for the fine-grained annotation, suitable
+    /// for the clustering metrics.
+    pub fn fine_label_indices(&self) -> Vec<usize> {
+        label_indices(&self.fine_labels())
+    }
+
+    /// Ground-truth label indices for the coarse-grained annotation.
+    pub fn coarse_label_indices(&self) -> Vec<usize> {
+        label_indices(&self.coarse_labels())
+    }
+
+    /// Total number of numeric values across all columns.
+    pub fn total_values(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).sum()
+    }
+
+    /// Keep only the first `n` columns (used to build the scalability sweep of Figure 5).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            columns: self.columns.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Serialise the dataset to a pretty-printed JSON file.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialisation error.
+    pub fn save_json(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        let json = serde_json::to_string_pretty(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Load a dataset previously written with [`Dataset::save_json`].
+    ///
+    /// # Errors
+    /// Returns any I/O or deserialisation error.
+    pub fn load_json(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+/// Convert string labels to dense integer indices, assigning indices in order of first
+/// appearance.
+pub fn label_indices(labels: &[String]) -> Vec<usize> {
+    let mut map: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(labels.len());
+    for l in labels {
+        let idx = *map.entry(l.as_str()).or_insert_with(|| {
+            let i = next;
+            next += 1;
+            i
+        });
+        out.push(idx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let mut c1 = Column::new(0, "age", vec![25.0, 30.0, 35.0], "age");
+        c1.coarse_type = "age".into();
+        let mut c2 = Column::new(1, "Score_Cricket", vec![250.0, 300.0], "score_cricket");
+        c2.coarse_type = "score".into();
+        let mut c3 = Column::new(2, "Score_Rugby", vec![20.0, 25.0], "score_rugby");
+        c3.coarse_type = "score".into();
+        Dataset::new("test", vec![c1, c2, c3])
+    }
+
+    #[test]
+    fn column_basics() {
+        let c = Column::new(0, "age", vec![1.0, 2.0], "age");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.fine_type, c.coarse_type);
+        let empty = Column::new(1, "x", vec![], "x");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cluster_counts_respect_granularity() {
+        let d = sample_dataset();
+        assert_eq!(d.n_columns(), 3);
+        assert_eq!(d.n_fine_clusters(), 3);
+        assert_eq!(d.n_coarse_clusters(), 2);
+    }
+
+    #[test]
+    fn cluster_members_group_by_label() {
+        let d = sample_dataset();
+        let coarse = d.coarse_cluster_members();
+        assert_eq!(coarse["score"], vec![1, 2]);
+        assert_eq!(coarse["age"], vec![0]);
+        let fine = d.fine_cluster_members();
+        assert_eq!(fine.len(), 3);
+    }
+
+    #[test]
+    fn label_indices_are_dense_and_stable() {
+        let labels = vec!["b".to_string(), "a".to_string(), "b".to_string()];
+        assert_eq!(label_indices(&labels), vec![0, 1, 0]);
+        let d = sample_dataset();
+        assert_eq!(d.fine_label_indices(), vec![0, 1, 2]);
+        assert_eq!(d.coarse_label_indices(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let d = sample_dataset();
+        let t = d.truncated(2);
+        assert_eq!(t.n_columns(), 2);
+        assert_eq!(t.columns[1].header, "Score_Cricket");
+        assert_eq!(d.truncated(100).n_columns(), 3);
+    }
+
+    #[test]
+    fn total_values_sums_column_lengths() {
+        assert_eq!(sample_dataset().total_values(), 7);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = sample_dataset();
+        let dir = std::env::temp_dir().join("gem_data_test_roundtrip.json");
+        d.save_json(&dir).unwrap();
+        let loaded = Dataset::load_json(&dir).unwrap();
+        assert_eq!(d, loaded);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn headers_and_labels_align_with_columns() {
+        let d = sample_dataset();
+        assert_eq!(d.headers()[1], "Score_Cricket");
+        assert_eq!(d.fine_labels()[2], "score_rugby");
+        assert_eq!(d.coarse_labels()[2], "score");
+    }
+}

@@ -1,0 +1,562 @@
+//! Synthetic corpus builders matched to the four evaluation datasets of the paper.
+
+use crate::column::{Column, Dataset};
+use crate::families::{family_catalog, Family};
+use crate::spec::ClusterSpec;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which of the paper's four corpora to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// Google Dataset Search: many columns, specific headers, 86 coarse / 96 fine clusters.
+    Gds,
+    /// Web Data Commons: many columns, ambiguous coarse headers, 147 coarse / 325 fine
+    /// clusters.
+    Wdc,
+    /// Sato Tables (VizNet): 12 broad clusters with heavily overlapping value ranges.
+    SatoTables,
+    /// GitTables: 19 clusters, small corpus, minimal context.
+    GitTables,
+}
+
+impl CorpusKind {
+    /// Paper column count (Table 1) at scale 1.0.
+    pub fn paper_columns(&self) -> usize {
+        match self {
+            CorpusKind::Gds => 2491,
+            CorpusKind::Wdc => 2852,
+            CorpusKind::SatoTables => 2231,
+            CorpusKind::GitTables => 459,
+        }
+    }
+
+    /// Paper coarse-grained cluster count (Table 1).
+    pub fn paper_coarse_clusters(&self) -> usize {
+        match self {
+            CorpusKind::Gds => 86,
+            CorpusKind::Wdc => 147,
+            CorpusKind::SatoTables => 12,
+            CorpusKind::GitTables => 19,
+        }
+    }
+
+    /// Paper fine-grained cluster count (Table 1; Sato Tables and GitTables have no
+    /// fine-grained refinement, so the coarse count is reused).
+    pub fn paper_fine_clusters(&self) -> usize {
+        match self {
+            CorpusKind::Gds => 96,
+            CorpusKind::Wdc => 325,
+            CorpusKind::SatoTables => 12,
+            CorpusKind::GitTables => 19,
+        }
+    }
+
+    /// Probability that a column's header uses the ambiguous coarse family word instead of a
+    /// type-specific header. WDC headers are "categorically coarse-grained" (§4.1), which is
+    /// exactly why header-only embeddings do poorly there; GDS headers are specific.
+    pub fn header_ambiguity(&self) -> f64 {
+        match self {
+            CorpusKind::Gds => 0.10,
+            CorpusKind::Wdc => 0.85,
+            CorpusKind::SatoTables => 0.50,
+            CorpusKind::GitTables => 0.60,
+        }
+    }
+
+    /// Display name used for generated datasets.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusKind::Gds => "GDS (synthetic)",
+            CorpusKind::Wdc => "WDC (synthetic)",
+            CorpusKind::SatoTables => "Sato Tables (synthetic)",
+            CorpusKind::GitTables => "GitTables (synthetic)",
+        }
+    }
+}
+
+/// Size and reproducibility knobs for corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Fraction of the paper-sized corpus to generate (1.0 = Table 1 sizes). Both the column
+    /// count and the cluster count scale, so columns-per-cluster stays roughly constant.
+    pub scale: f64,
+    /// Minimum number of values per column.
+    pub min_values: usize,
+    /// Maximum number of values per column.
+    pub max_values: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            scale: 0.25,
+            min_values: 60,
+            max_values: 160,
+            seed: 7,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Full paper-sized corpora (Table 1 column counts).
+    pub fn paper() -> Self {
+        CorpusConfig {
+            scale: 1.0,
+            ..CorpusConfig::default()
+        }
+    }
+
+    /// A small configuration for fast unit/integration tests.
+    pub fn small() -> Self {
+        CorpusConfig {
+            scale: 0.05,
+            min_values: 30,
+            max_values: 60,
+            seed: 7,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style scale override.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// Extra context suffixes used to split a coarse cluster into several fine-grained
+/// sub-clusters (beyond the family's own variants).
+const FINE_SPLIT_CONTEXTS: [&str; 8] = [
+    "regional",
+    "international",
+    "domestic",
+    "online",
+    "annual",
+    "daily",
+    "historic",
+    "projected",
+];
+
+/// Generate the GDS-like corpus.
+pub fn gds(config: &CorpusConfig) -> Dataset {
+    build_corpus(CorpusKind::Gds, config)
+}
+
+/// Generate the WDC-like corpus.
+pub fn wdc(config: &CorpusConfig) -> Dataset {
+    build_corpus(CorpusKind::Wdc, config)
+}
+
+/// Generate the Sato-Tables-like corpus.
+pub fn sato_tables(config: &CorpusConfig) -> Dataset {
+    build_corpus(CorpusKind::SatoTables, config)
+}
+
+/// Generate the GitTables-like corpus.
+pub fn gittables(config: &CorpusConfig) -> Dataset {
+    build_corpus(CorpusKind::GitTables, config)
+}
+
+/// Generate any of the four corpora.
+pub fn build_corpus(kind: CorpusKind, config: &CorpusConfig) -> Dataset {
+    let scale = config.scale.clamp(1e-3, 10.0);
+    // Cluster counts always match Table 1: the scale knob only controls how many columns are
+    // generated per cluster (with a floor of two columns per fine cluster so precision@k
+    // stays defined). This keeps the task difficulty — many clusters with overlapping value
+    // ranges — independent of the corpus size.
+    let n_coarse = kind.paper_coarse_clusters();
+    let n_fine = kind.paper_fine_clusters();
+    let n_columns = (((kind.paper_columns() as f64) * scale).round() as usize)
+        .max(2 * n_fine)
+        .max(10);
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (kind.paper_columns() as u64));
+    let specs = cluster_specs(kind, n_coarse, n_fine, n_columns, &mut rng);
+    let mut columns = Vec::with_capacity(n_columns);
+    let ambiguity = kind.header_ambiguity();
+    let mut id = 0usize;
+    for spec in &specs {
+        for col_idx in 0..spec.n_columns {
+            let n_values = rng.gen_range(config.min_values..=config.max_values.max(config.min_values));
+            // Each column gets a slightly perturbed copy of the cluster distribution so the
+            // cluster's columns are similar but not identical.
+            let dist = spec.distribution.jitter(&mut rng);
+            let values = dist.sample(n_values, &mut rng);
+            let header = pick_header(spec, ambiguity, &mut rng);
+            columns.push(Column {
+                id,
+                header,
+                values,
+                fine_type: spec.fine_type.clone(),
+                coarse_type: spec.coarse_type.clone(),
+                table: format!("{}_table_{}", spec.coarse_type, col_idx % 7),
+            });
+            id += 1;
+        }
+    }
+    // Shuffle the columns so clusters are interleaved as they would be in a real corpus.
+    columns.shuffle(&mut rng);
+    for (i, c) in columns.iter_mut().enumerate() {
+        c.id = i;
+    }
+    Dataset::new(kind.name(), columns)
+}
+
+/// Derive the per-cluster specifications for a corpus.
+fn cluster_specs(
+    kind: CorpusKind,
+    n_coarse: usize,
+    n_fine: usize,
+    n_columns: usize,
+    rng: &mut StdRng,
+) -> Vec<ClusterSpec> {
+    let catalog = family_catalog();
+    // Coarse slots: (family, variant) pairs taken in a round-robin order over the catalog so
+    // the corpus mixes many families before reusing one.
+    let mut coarse_slots: Vec<(&Family, usize)> = Vec::with_capacity(n_coarse);
+    let mut variant_round = 0usize;
+    'outer: loop {
+        for family in &catalog {
+            if coarse_slots.len() >= n_coarse {
+                break 'outer;
+            }
+            if variant_round < family.variants.len() {
+                coarse_slots.push((family, variant_round));
+            } else {
+                // Families with fewer variants recycle their variants with an offset so the
+                // corpus can still grow to very large cluster counts.
+                coarse_slots.push((family, variant_round % family.variants.len()));
+            }
+        }
+        variant_round += 1;
+        if variant_round > 64 {
+            break;
+        }
+    }
+
+    // Distribute fine clusters over coarse clusters: every coarse cluster gets one fine
+    // sub-cluster; the first (n_fine - n_coarse) coarse clusters get extra splits.
+    let mut fine_per_coarse = vec![1usize; coarse_slots.len()];
+    let mut extra = n_fine.saturating_sub(coarse_slots.len());
+    let mut i = 0usize;
+    while extra > 0 && !fine_per_coarse.is_empty() {
+        let len = fine_per_coarse.len();
+        fine_per_coarse[i % len] += 1;
+        extra -= 1;
+        i += 1;
+    }
+
+    let total_fine: usize = fine_per_coarse.iter().sum();
+    let base_cols = n_columns / total_fine.max(1);
+    let mut remainder = n_columns % total_fine.max(1);
+
+    let mut specs = Vec::with_capacity(total_fine);
+    for (slot_idx, ((family, variant_idx), &n_sub)) in
+        coarse_slots.iter().zip(fine_per_coarse.iter()).enumerate()
+    {
+        let variant_name = family.variants[*variant_idx % family.variants.len()];
+        // Coarse naming differs per corpus: GDS and WDC coarse annotations are per
+        // (family, context) pair — matching the paper's 86 / 147 coarse clusters — while
+        // Sato Tables and GitTables use the broad family supertype (12 / 19 clusters).
+        let coarse_type = match kind {
+            CorpusKind::Gds | CorpusKind::Wdc => format!("{}_{}", family.name, variant_name),
+            _ => family.name.to_string(),
+        };
+        // Disambiguate recycled variants so coarse labels stay unique.
+        let coarse_type = if slot_idx >= family_catalog_capacity(&catalog) {
+            format!("{coarse_type}_{slot_idx}")
+        } else {
+            coarse_type
+        };
+        for sub in 0..n_sub {
+            let fine_type = if n_sub == 1 {
+                format!("{}_{}", family.name, variant_name)
+            } else {
+                format!(
+                    "{}_{}_{}",
+                    family.name,
+                    variant_name,
+                    FINE_SPLIT_CONTEXTS[sub % FINE_SPLIT_CONTEXTS.len()]
+                )
+            };
+            // The fine split uses a further-shifted variant distribution so sub-clusters are
+            // distributionally distinct (cricket vs rugby scores).
+            let dist = family.variant_distribution(*variant_idx + sub * 2);
+            let mut n_cols = base_cols;
+            if remainder > 0 {
+                n_cols += 1;
+                remainder -= 1;
+            }
+            // Every cluster needs at least two columns so precision@k is defined.
+            let n_cols = n_cols.max(2);
+            let mut headers: Vec<String> =
+                family.headers.iter().map(|h| h.to_string()).collect();
+            headers.push(format!("{}_{}", family.name, variant_name));
+            headers.push(format!("{}_{}", variant_name, family.name));
+            specs.push(ClusterSpec {
+                fine_type: unique_fine_name(&specs, fine_type),
+                coarse_type: coarse_type.clone(),
+                header_templates: headers,
+                distribution: dist.jitter(rng),
+                n_columns: n_cols,
+            });
+        }
+    }
+    specs
+}
+
+/// Number of unique (family, variant) pairs available before recycling starts.
+fn family_catalog_capacity(catalog: &[Family]) -> usize {
+    catalog.iter().map(|f| f.variants.len()).sum()
+}
+
+/// Fine-type names must be unique; recycled variants get a numeric suffix.
+fn unique_fine_name(existing: &[ClusterSpec], candidate: String) -> String {
+    if existing.iter().all(|s| s.fine_type != candidate) {
+        return candidate;
+    }
+    let mut i = 2usize;
+    loop {
+        let name = format!("{candidate}_{i}");
+        if existing.iter().all(|s| s.fine_type != name) {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+/// Pick a header for a column: with probability `ambiguity` the bare coarse family word,
+/// otherwise a specific header derived from the fine type.
+fn pick_header(spec: &ClusterSpec, ambiguity: f64, rng: &mut StdRng) -> String {
+    if rng.gen::<f64>() < ambiguity {
+        // Ambiguous: one of the family-level spellings (first entries of the template list).
+        spec.header_templates[rng.gen_range(0..spec.header_templates.len().min(3))].clone()
+    } else {
+        // Specific: derived from the fine type, with light formatting noise.
+        let base = spec.fine_type.clone();
+        match rng.gen_range(0..3) {
+            0 => base,
+            1 => base.replace('_', " "),
+            _ => {
+                // CamelCase variant.
+                base.split('_')
+                    .map(|t| {
+                        let mut chars = t.chars();
+                        match chars.next() {
+                            Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+                            None => String::new(),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("_")
+            }
+        }
+    }
+}
+
+/// The four illustrative columns of Figure 1: Age, Rank, Test Score and Temperature, with
+/// deliberately overlapping distribution shapes (Age ≈ Rank around 30, Test Score ≈
+/// Temperature around 75) but different semantic types.
+pub fn figure1_columns(seed: u64) -> Vec<Column> {
+    use crate::spec::DistributionSpec as D;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let specs = [
+        ("Age (years)", "age", D::RoundedNormal { mean: 30.0, std: 6.0 }),
+        ("Rank", "rank", D::RoundedNormal { mean: 30.0, std: 6.0 }),
+        ("Test Score (%)", "test_score", D::Normal { mean: 75.0, std: 12.0 }),
+        ("Temperature (Celsius)", "temperature", D::Normal { mean: 75.0, std: 12.0 }),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (header, fine, dist))| {
+            let values = dist.sample(500, &mut rng);
+            let mut c = Column::new(i, *header, values, *fine);
+            c.coarse_type = fine.to_string();
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorpusConfig {
+        CorpusConfig {
+            scale: 0.02,
+            min_values: 20,
+            max_values: 40,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn paper_constants_match_table1() {
+        assert_eq!(CorpusKind::Gds.paper_columns(), 2491);
+        assert_eq!(CorpusKind::Wdc.paper_columns(), 2852);
+        assert_eq!(CorpusKind::SatoTables.paper_columns(), 2231);
+        assert_eq!(CorpusKind::GitTables.paper_columns(), 459);
+        assert_eq!(CorpusKind::Gds.paper_coarse_clusters(), 86);
+        assert_eq!(CorpusKind::Gds.paper_fine_clusters(), 96);
+        assert_eq!(CorpusKind::Wdc.paper_coarse_clusters(), 147);
+        assert_eq!(CorpusKind::Wdc.paper_fine_clusters(), 325);
+        assert_eq!(CorpusKind::SatoTables.paper_coarse_clusters(), 12);
+        assert_eq!(CorpusKind::GitTables.paper_coarse_clusters(), 19);
+    }
+
+    #[test]
+    fn small_corpora_have_expected_shape() {
+        for kind in [
+            CorpusKind::Gds,
+            CorpusKind::Wdc,
+            CorpusKind::SatoTables,
+            CorpusKind::GitTables,
+        ] {
+            let d = build_corpus(kind, &tiny());
+            assert!(d.n_columns() >= 10, "{kind:?} too small: {}", d.n_columns());
+            assert!(d.n_coarse_clusters() >= 4, "{kind:?}");
+            assert!(d.n_fine_clusters() >= d.n_coarse_clusters(), "{kind:?}");
+            // Every column has values and a header.
+            assert!(d.columns.iter().all(|c| !c.values.is_empty()));
+            assert!(d.columns.iter().all(|c| c.values.iter().all(|v| v.is_finite())));
+            // Each fine cluster has at least 2 members so precision@k is defined.
+            for (label, members) in d.fine_cluster_members() {
+                assert!(members.len() >= 2, "{kind:?} cluster {label} has a single column");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = gds(&tiny());
+        let b = gds(&tiny());
+        assert_eq!(a, b);
+        let c = gds(&tiny().with_seed(99));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_controls_column_count() {
+        let small = sato_tables(&tiny());
+        let larger = sato_tables(&CorpusConfig {
+            scale: 0.06,
+            ..tiny()
+        });
+        assert!(larger.n_columns() > small.n_columns());
+    }
+
+    #[test]
+    fn paper_scale_column_counts_match_table1() {
+        // Only check the cheapest corpus at full scale to keep the test fast.
+        let config = CorpusConfig {
+            scale: 1.0,
+            min_values: 5,
+            max_values: 8,
+            seed: 1,
+        };
+        let d = gittables(&config);
+        assert_eq!(d.n_columns(), 459);
+        assert_eq!(d.n_coarse_clusters(), 19);
+    }
+
+    #[test]
+    fn wdc_headers_are_more_ambiguous_than_gds() {
+        let config = CorpusConfig {
+            scale: 0.1,
+            min_values: 20,
+            max_values: 30,
+            seed: 5,
+        };
+        let g = gds(&config);
+        let w = wdc(&config);
+        let ambiguity = |d: &Dataset| {
+            let distinct_headers = d
+                .headers()
+                .iter()
+                .cloned()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len() as f64;
+            distinct_headers / d.n_fine_clusters() as f64
+        };
+        // GDS should have many distinct headers per cluster; WDC reuses the same coarse
+        // words across clusters so its header-per-cluster ratio is lower.
+        assert!(
+            ambiguity(&g) > ambiguity(&w),
+            "gds {} vs wdc {}",
+            ambiguity(&g),
+            ambiguity(&w)
+        );
+    }
+
+    #[test]
+    fn same_coarse_type_fine_splits_differ_distributionally() {
+        let config = CorpusConfig {
+            scale: 0.15,
+            min_values: 50,
+            max_values: 80,
+            seed: 11,
+        };
+        let d = wdc(&config);
+        // Find a coarse cluster with at least two fine sub-clusters and compare their means.
+        let coarse = d.coarse_cluster_members();
+        let mut checked = false;
+        for (_, members) in coarse {
+            let mut by_fine: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+            for &m in &members {
+                let c = &d.columns[m];
+                let mean = c.values.iter().sum::<f64>() / c.values.len() as f64;
+                by_fine.entry(c.fine_type.as_str()).or_default().push(mean);
+            }
+            if by_fine.len() >= 2 {
+                let means: Vec<f64> = by_fine
+                    .values()
+                    .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+                    .collect();
+                let spread = means
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    - means.iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(spread.abs() > 1e-6, "fine splits look identical");
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "no coarse cluster with multiple fine splits found");
+    }
+
+    #[test]
+    fn figure1_columns_have_overlapping_shapes_but_distinct_types() {
+        let cols = figure1_columns(1);
+        assert_eq!(cols.len(), 4);
+        let mean = |c: &Column| c.values.iter().sum::<f64>() / c.values.len() as f64;
+        // Age ≈ Rank ≈ 30, Test Score ≈ Temperature ≈ 75.
+        assert!((mean(&cols[0]) - 30.0).abs() < 2.0);
+        assert!((mean(&cols[1]) - 30.0).abs() < 2.0);
+        assert!((mean(&cols[2]) - 75.0).abs() < 2.0);
+        assert!((mean(&cols[3]) - 75.0).abs() < 2.0);
+        let types: std::collections::BTreeSet<_> =
+            cols.iter().map(|c| c.fine_type.as_str()).collect();
+        assert_eq!(types.len(), 4);
+    }
+
+    #[test]
+    fn columns_are_shuffled_not_grouped() {
+        let d = gds(&tiny());
+        // The first few columns should not all share a fine type if shuffling happened.
+        let first_types: std::collections::BTreeSet<_> = d.columns[..5.min(d.n_columns())]
+            .iter()
+            .map(|c| c.fine_type.as_str())
+            .collect();
+        assert!(first_types.len() > 1);
+    }
+}

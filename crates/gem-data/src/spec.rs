@@ -1,0 +1,359 @@
+//! Distribution and cluster specifications used by the corpus simulators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Beta, Distribution, Exp, Gamma, LogNormal, Normal, Uniform};
+use serde::{Deserialize, Serialize};
+
+/// A parametric description of how a semantic type's values are distributed.
+///
+/// Each ground-truth cluster in the synthetic corpora draws its columns from one of these
+/// shapes (optionally perturbed per column), which gives the corpora the property the paper
+/// exploits: columns of the same type share a distributional fingerprint even when their
+/// raw ranges overlap with other types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DistributionSpec {
+    /// Gaussian values.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (positive).
+        std: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-normal (right-skewed, strictly positive) — prices, incomes, populations.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std of the underlying normal.
+        sigma: f64,
+    },
+    /// Gamma (right-skewed, positive) — durations, waiting times.
+    Gamma {
+        /// Shape.
+        shape: f64,
+        /// Scale.
+        scale: f64,
+    },
+    /// Exponential — inter-arrival style data.
+    Exponential {
+        /// Rate parameter.
+        rate: f64,
+    },
+    /// A Beta distribution rescaled to `[lo, hi]` — bounded ratings and percentages.
+    ScaledBeta {
+        /// First shape parameter.
+        alpha: f64,
+        /// Second shape parameter.
+        beta: f64,
+        /// Lower bound of the output range.
+        lo: f64,
+        /// Upper bound of the output range.
+        hi: f64,
+    },
+    /// Uniformly distributed integers in `[lo, hi]` — years, ranks, small counts.
+    DiscreteUniform {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Gaussian values rounded to integers — ages, scores with integer grading.
+    RoundedNormal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// A two-component Gaussian mixture — multimodal columns.
+    Bimodal {
+        /// Mean of the first mode.
+        mean1: f64,
+        /// Std of the first mode.
+        std1: f64,
+        /// Mean of the second mode.
+        mean2: f64,
+        /// Std of the second mode.
+        std2: f64,
+        /// Probability of drawing from the first mode.
+        weight1: f64,
+    },
+}
+
+impl DistributionSpec {
+    /// Sample `n` values from the spec.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        match *self {
+            DistributionSpec::Normal { mean, std } => {
+                let d = Normal::new(mean, std.max(1e-9)).expect("validated std");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            DistributionSpec::Uniform { lo, hi } => {
+                let (lo, hi) = if hi > lo { (lo, hi) } else { (lo, lo + 1.0) };
+                let d = Uniform::new_inclusive(lo, hi);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            DistributionSpec::LogNormal { mu, sigma } => {
+                let d = LogNormal::new(mu, sigma.max(1e-9)).expect("validated sigma");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            DistributionSpec::Gamma { shape, scale } => {
+                let d = Gamma::new(shape.max(1e-3), scale.max(1e-9)).expect("validated params");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            DistributionSpec::Exponential { rate } => {
+                let d = Exp::new(rate.max(1e-9)).expect("validated rate");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            DistributionSpec::ScaledBeta { alpha, beta, lo, hi } => {
+                let d = Beta::new(alpha.max(1e-3), beta.max(1e-3)).expect("validated params");
+                (0..n)
+                    .map(|_| lo + (hi - lo) * d.sample(rng))
+                    .collect()
+            }
+            DistributionSpec::DiscreteUniform { lo, hi } => {
+                let (lo, hi) = if hi >= lo { (lo, hi) } else { (lo, lo) };
+                (0..n).map(|_| rng.gen_range(lo..=hi) as f64).collect()
+            }
+            DistributionSpec::RoundedNormal { mean, std } => {
+                let d = Normal::new(mean, std.max(1e-9)).expect("validated std");
+                (0..n).map(|_| d.sample(rng).round()).collect()
+            }
+            DistributionSpec::Bimodal {
+                mean1,
+                std1,
+                mean2,
+                std2,
+                weight1,
+            } => {
+                let d1 = Normal::new(mean1, std1.max(1e-9)).expect("validated std");
+                let d2 = Normal::new(mean2, std2.max(1e-9)).expect("validated std");
+                (0..n)
+                    .map(|_| {
+                        if rng.gen::<f64>() < weight1 {
+                            d1.sample(rng)
+                        } else {
+                            d2.sample(rng)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// A slightly perturbed copy of the spec, so two columns of the same semantic type do
+    /// not share an identical generating distribution (real corpora never do). The
+    /// perturbation keeps the family and the broad location/scale.
+    pub fn jitter(&self, rng: &mut StdRng) -> DistributionSpec {
+        let f = |rng: &mut StdRng| 1.0 + rng.gen_range(-0.15..0.15);
+        match *self {
+            DistributionSpec::Normal { mean, std } => DistributionSpec::Normal {
+                mean: mean * f(rng),
+                std: (std * f(rng)).max(1e-6),
+            },
+            DistributionSpec::Uniform { lo, hi } => {
+                let width = (hi - lo).max(1e-6);
+                let shift = width * rng.gen_range(-0.1..0.1);
+                DistributionSpec::Uniform {
+                    lo: lo + shift,
+                    hi: hi + shift + width * rng.gen_range(-0.05..0.05),
+                }
+            }
+            DistributionSpec::LogNormal { mu, sigma } => DistributionSpec::LogNormal {
+                mu: mu + rng.gen_range(-0.1..0.1),
+                sigma: (sigma * f(rng)).max(1e-6),
+            },
+            DistributionSpec::Gamma { shape, scale } => DistributionSpec::Gamma {
+                shape: (shape * f(rng)).max(0.1),
+                scale: (scale * f(rng)).max(1e-6),
+            },
+            DistributionSpec::Exponential { rate } => DistributionSpec::Exponential {
+                rate: (rate * f(rng)).max(1e-6),
+            },
+            DistributionSpec::ScaledBeta { alpha, beta, lo, hi } => DistributionSpec::ScaledBeta {
+                alpha: (alpha * f(rng)).max(0.2),
+                beta: (beta * f(rng)).max(0.2),
+                lo,
+                hi,
+            },
+            DistributionSpec::DiscreteUniform { lo, hi } => {
+                let width = (hi - lo).max(1);
+                let shift = (width as f64 * rng.gen_range(-0.05..0.05)) as i64;
+                DistributionSpec::DiscreteUniform {
+                    lo: lo + shift,
+                    hi: hi + shift,
+                }
+            }
+            DistributionSpec::RoundedNormal { mean, std } => DistributionSpec::RoundedNormal {
+                mean: mean * f(rng),
+                std: (std * f(rng)).max(0.5),
+            },
+            DistributionSpec::Bimodal {
+                mean1,
+                std1,
+                mean2,
+                std2,
+                weight1,
+            } => DistributionSpec::Bimodal {
+                mean1: mean1 * f(rng),
+                std1: (std1 * f(rng)).max(1e-6),
+                mean2: mean2 * f(rng),
+                std2: (std2 * f(rng)).max(1e-6),
+                weight1: (weight1 * f(rng)).clamp(0.1, 0.9),
+            },
+        }
+    }
+}
+
+/// The full specification of one ground-truth cluster (semantic type) in a synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Fine-grained type name (unique within the corpus).
+    pub fine_type: String,
+    /// Coarse-grained super-type name (shared by several fine types).
+    pub coarse_type: String,
+    /// Header strings that columns of this type may carry.
+    pub header_templates: Vec<String>,
+    /// Value distribution.
+    pub distribution: DistributionSpec,
+    /// Number of columns to generate for this cluster.
+    pub n_columns: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn sample_lengths_match_request() {
+        let specs = vec![
+            DistributionSpec::Normal { mean: 0.0, std: 1.0 },
+            DistributionSpec::Uniform { lo: 0.0, hi: 1.0 },
+            DistributionSpec::LogNormal { mu: 0.0, sigma: 0.5 },
+            DistributionSpec::Gamma { shape: 2.0, scale: 1.0 },
+            DistributionSpec::Exponential { rate: 1.0 },
+            DistributionSpec::ScaledBeta { alpha: 2.0, beta: 2.0, lo: 0.0, hi: 10.0 },
+            DistributionSpec::DiscreteUniform { lo: 1980, hi: 2012 },
+            DistributionSpec::RoundedNormal { mean: 30.0, std: 5.0 },
+            DistributionSpec::Bimodal { mean1: 0.0, std1: 1.0, mean2: 10.0, std2: 1.0, weight1: 0.5 },
+        ];
+        let mut r = rng();
+        for s in specs {
+            let v = s.sample(57, &mut r);
+            assert_eq!(v.len(), 57);
+            assert!(v.iter().all(|x| x.is_finite()), "{s:?}");
+            assert!(s.sample(0, &mut r).is_empty());
+        }
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut r = rng();
+        let v = DistributionSpec::Normal { mean: 10.0, std: 2.0 }.sample(5000, &mut r);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let v = DistributionSpec::Uniform { lo: 5.0, hi: 6.0 }.sample(1000, &mut r);
+        assert!(v.iter().all(|&x| (5.0..=6.0).contains(&x)));
+        // Degenerate bounds are repaired rather than panicking.
+        let w = DistributionSpec::Uniform { lo: 3.0, hi: 3.0 }.sample(10, &mut r);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn discrete_uniform_yields_integers_in_range() {
+        let mut r = rng();
+        let v = DistributionSpec::DiscreteUniform { lo: 1980, hi: 2012 }.sample(500, &mut r);
+        assert!(v.iter().all(|&x| x.fract() == 0.0));
+        assert!(v.iter().all(|&x| (1980.0..=2012.0).contains(&x)));
+    }
+
+    #[test]
+    fn scaled_beta_respects_range() {
+        let mut r = rng();
+        let v = DistributionSpec::ScaledBeta { alpha: 2.0, beta: 5.0, lo: 0.0, hi: 10.0 }
+            .sample(1000, &mut r);
+        assert!(v.iter().all(|&x| (0.0..=10.0).contains(&x)));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean < 5.0); // alpha < beta skews low
+    }
+
+    #[test]
+    fn lognormal_and_gamma_are_positive() {
+        let mut r = rng();
+        for spec in [
+            DistributionSpec::LogNormal { mu: 1.0, sigma: 1.0 },
+            DistributionSpec::Gamma { shape: 2.0, scale: 3.0 },
+            DistributionSpec::Exponential { rate: 0.5 },
+        ] {
+            let v = spec.sample(500, &mut r);
+            assert!(v.iter().all(|&x| x > 0.0), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let mut r = rng();
+        let v = DistributionSpec::Bimodal {
+            mean1: 0.0,
+            std1: 0.5,
+            mean2: 100.0,
+            std2: 0.5,
+            weight1: 0.5,
+        }
+        .sample(2000, &mut r);
+        let low = v.iter().filter(|&&x| x < 50.0).count();
+        let high = v.len() - low;
+        assert!(low > 700 && high > 700);
+    }
+
+    #[test]
+    fn rounded_normal_is_integer_valued() {
+        let mut r = rng();
+        let v = DistributionSpec::RoundedNormal { mean: 30.0, std: 3.0 }.sample(200, &mut r);
+        assert!(v.iter().all(|&x| x.fract() == 0.0));
+    }
+
+    #[test]
+    fn jitter_keeps_the_family_but_changes_parameters() {
+        let mut r = rng();
+        let base = DistributionSpec::Normal { mean: 10.0, std: 2.0 };
+        let jittered = base.jitter(&mut r);
+        match jittered {
+            DistributionSpec::Normal { mean, std } => {
+                assert!((mean - 10.0).abs() < 3.0);
+                assert!(std > 0.0);
+            }
+            other => panic!("family changed: {other:?}"),
+        }
+        // Jitter of every variant stays samplable.
+        for spec in [
+            DistributionSpec::Uniform { lo: 0.0, hi: 1.0 },
+            DistributionSpec::LogNormal { mu: 0.0, sigma: 0.5 },
+            DistributionSpec::Gamma { shape: 2.0, scale: 1.0 },
+            DistributionSpec::Exponential { rate: 1.0 },
+            DistributionSpec::ScaledBeta { alpha: 2.0, beta: 2.0, lo: 0.0, hi: 5.0 },
+            DistributionSpec::DiscreteUniform { lo: 0, hi: 100 },
+            DistributionSpec::RoundedNormal { mean: 5.0, std: 1.0 },
+            DistributionSpec::Bimodal { mean1: 0.0, std1: 1.0, mean2: 5.0, std2: 1.0, weight1: 0.5 },
+        ] {
+            let j = spec.jitter(&mut r);
+            assert_eq!(j.sample(5, &mut r).len(), 5);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Clustering metrics: accuracy (ACC) with optimal label matching, and the adjusted Rand
+//! index (ARI). Both follow the definitions cited by the paper (§4.1.2).
+
+use gem_cluster::hungarian_assignment;
+use std::collections::BTreeMap;
+
+/// Clustering accuracy: the fraction of points whose predicted cluster maps onto their
+/// ground-truth class under the best one-to-one cluster↔class matching (computed with the
+/// Hungarian algorithm on the negated contingency table). Ranges from 0 to 1.
+///
+/// # Panics
+/// Panics when the two label vectors have different lengths or are empty.
+pub fn clustering_accuracy(predicted: &[usize], ground_truth: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        ground_truth.len(),
+        "predicted and ground-truth labels must align"
+    );
+    assert!(!predicted.is_empty(), "cannot score empty clusterings");
+    let n = predicted.len();
+
+    // Dense re-indexing of both label sets.
+    let pred_ids = dense_ids(predicted);
+    let true_ids = dense_ids(ground_truth);
+    let n_pred = pred_ids.values().max().map(|m| m + 1).unwrap_or(0);
+    let n_true = true_ids.values().max().map(|m| m + 1).unwrap_or(0);
+    let size = n_pred.max(n_true).max(1);
+
+    // Contingency table.
+    let mut counts = vec![vec![0.0f64; size]; size];
+    for (&p, &t) in predicted.iter().zip(ground_truth) {
+        counts[pred_ids[&p]][true_ids[&t]] += 1.0;
+    }
+    // Hungarian solves a minimisation; negate to maximise matched counts.
+    let cost: Vec<Vec<f64>> = counts
+        .iter()
+        .map(|row| row.iter().map(|&c| -c).collect())
+        .collect();
+    let assignment = hungarian_assignment(&cost);
+    let matched: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(pred, &truth)| counts[pred][truth])
+        .sum();
+    matched / n as f64
+}
+
+/// Adjusted Rand index between two labelings. 1 means identical partitions, 0 the expected
+/// value for random labelings, negative values worse than random.
+///
+/// # Panics
+/// Panics when the two label vectors have different lengths or are empty.
+pub fn adjusted_rand_index(predicted: &[usize], ground_truth: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        ground_truth.len(),
+        "predicted and ground-truth labels must align"
+    );
+    assert!(!predicted.is_empty(), "cannot score empty clusterings");
+    let n = predicted.len() as f64;
+
+    let pred_ids = dense_ids(predicted);
+    let true_ids = dense_ids(ground_truth);
+    let n_pred = pred_ids.values().max().map(|m| m + 1).unwrap_or(0);
+    let n_true = true_ids.values().max().map(|m| m + 1).unwrap_or(0);
+
+    let mut table = vec![vec![0.0f64; n_true]; n_pred];
+    for (&p, &t) in predicted.iter().zip(ground_truth) {
+        table[pred_ids[&p]][true_ids[&t]] += 1.0;
+    }
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+
+    let sum_ij: f64 = table.iter().flatten().map(|&c| comb2(c)).sum();
+    let a: Vec<f64> = table.iter().map(|row| row.iter().sum()).collect();
+    let b: Vec<f64> = (0..n_true)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
+    let sum_a: f64 = a.iter().map(|&x| comb2(x)).sum();
+    let sum_b: f64 = b.iter().map(|&x| comb2(x)).sum();
+    let total = comb2(n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are trivial (e.g. single cluster): define ARI as 1 when they
+        // agree exactly and 0 otherwise, matching scikit-learn's convention.
+        return if sum_ij == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+fn dense_ids(labels: &[usize]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    for &l in labels {
+        let next = map.len();
+        map.entry(l).or_insert(next);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(clustering_accuracy(&truth, &truth), 1.0);
+        assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_is_permutation_invariant() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let relabeled = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(clustering_accuracy(&relabeled, &truth), 1.0);
+        assert!((adjusted_rand_index(&relabeled, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_mistake_reduces_accuracy_proportionally() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 1, 1];
+        assert!((clustering_accuracy(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari > 0.0 && ari < 1.0);
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // Classic example: ARI of this pair is ~0.2424...
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 1, 1, 2, 2];
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!((ari - 0.242_424_242).abs() < 1e-6, "ari {ari}");
+    }
+
+    #[test]
+    fn random_like_labeling_has_low_ari_and_bounded_accuracy() {
+        let truth = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let pred = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.3);
+        let acc = clustering_accuracy(&pred, &truth);
+        assert!(acc <= 0.75);
+    }
+
+    #[test]
+    fn single_cluster_against_itself_is_perfect() {
+        let labels = vec![0, 0, 0];
+        assert_eq!(clustering_accuracy(&labels, &labels), 1.0);
+        assert_eq!(adjusted_rand_index(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn different_cluster_counts_are_handled() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![0, 0, 0, 1, 1, 1]; // fewer clusters than truth
+        let acc = clustering_accuracy(&pred, &truth);
+        assert!(acc >= 4.0 / 6.0 - 1e-12);
+        let more = vec![0, 1, 2, 3, 4, 5]; // more clusters than truth
+        let acc2 = clustering_accuracy(&more, &truth);
+        assert!((acc2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        clustering_accuracy(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_labels_panic() {
+        adjusted_rand_index(&[], &[]);
+    }
+}

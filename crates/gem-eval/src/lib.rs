@@ -1,0 +1,23 @@
+//! # gem-eval
+//!
+//! The evaluation harness of the Gem reproduction (§4.1.2 of the paper):
+//!
+//! * [`retrieval`] — precision and recall at `k` over cosine-similarity neighbourhoods,
+//!   where `k` equals the number of columns sharing the query column's ground-truth type.
+//!   This is the metric behind Tables 2 and 3 and Figures 3 and 4.
+//! * [`clustering`] — clustering accuracy (ACC, computed with an optimal Hungarian matching
+//!   between predicted clusters and ground-truth classes) and the adjusted Rand index (ARI),
+//!   the metrics of Table 4.
+//! * [`report`] — experiment records (paper value vs. measured value), markdown table
+//!   rendering and JSON persistence used to regenerate EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clustering;
+pub mod report;
+pub mod retrieval;
+
+pub use clustering::{adjusted_rand_index, clustering_accuracy};
+pub use report::{markdown_table, ExperimentRecord, ResultTable};
+pub use retrieval::{evaluate_retrieval, RetrievalScores};

@@ -1,0 +1,167 @@
+//! Result tables and paper-vs-measured experiment records.
+//!
+//! The bench binaries in `gem-bench` print their tables through this module and append
+//! [`ExperimentRecord`]s to a JSON file, from which EXPERIMENTS.md is assembled.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A simple named table of rows, rendered as GitHub-flavoured markdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Table title (e.g. "Table 2: numeric-only average precision").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        ResultTable {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with empty cells; longer
+    /// rows are truncated.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Render as markdown (title as a heading, then a GitHub table).
+    pub fn to_markdown(&self) -> String {
+        markdown_table(&self.title, &self.headers, &self.rows)
+    }
+}
+
+/// Render a markdown table with a heading.
+pub fn markdown_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// A single paper-vs-measured record for EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier ("Table 2", "Figure 4", ...).
+    pub experiment: String,
+    /// Dataset or setting the value refers to.
+    pub setting: String,
+    /// Method the value refers to.
+    pub method: String,
+    /// Metric name ("average precision", "ARI", "runtime seconds", ...).
+    pub metric: String,
+    /// The value the paper reports (None when the paper reports only a trend or a plot).
+    pub paper_value: Option<f64>,
+    /// The value measured by this reproduction.
+    pub measured_value: f64,
+}
+
+impl ExperimentRecord {
+    /// Append records to a JSON file (creating it when missing). Existing records are
+    /// preserved; records with the same (experiment, setting, method, metric) key are
+    /// replaced so reruns stay idempotent.
+    ///
+    /// # Errors
+    /// Returns I/O or serialisation errors.
+    pub fn append_all(
+        path: &Path,
+        records: &[ExperimentRecord],
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let mut existing: Vec<ExperimentRecord> = if path.exists() {
+            serde_json::from_str(&std::fs::read_to_string(path)?)?
+        } else {
+            Vec::new()
+        };
+        for r in records {
+            existing.retain(|e| {
+                !(e.experiment == r.experiment
+                    && e.setting == r.setting
+                    && e.method == r.method
+                    && e.metric == r.metric)
+            });
+            existing.push(r.clone());
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&existing)?)?;
+        Ok(())
+    }
+
+    /// Load all records from a JSON file.
+    ///
+    /// # Errors
+    /// Returns I/O or deserialisation errors.
+    pub fn load_all(path: &Path) -> Result<Vec<ExperimentRecord>, Box<dyn std::error::Error>> {
+        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_includes_title_headers_and_rows() {
+        let mut t = ResultTable::new("Table X", vec!["method".into(), "score".into()]);
+        t.push_row(vec!["Gem".into(), "0.37".into()]);
+        t.push_row(vec!["PLE".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Table X"));
+        assert!(md.contains("| method | score |"));
+        assert!(md.contains("| Gem | 0.37 |"));
+        // Short row was padded.
+        assert!(md.contains("| PLE |  |"));
+    }
+
+    #[test]
+    fn push_row_truncates_long_rows() {
+        let mut t = ResultTable::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows[0].len(), 1);
+    }
+
+    #[test]
+    fn experiment_records_round_trip_and_replace_duplicates() {
+        let dir = std::env::temp_dir().join("gem_eval_records_test.json");
+        let _ = std::fs::remove_file(&dir);
+        let r1 = ExperimentRecord {
+            experiment: "Table 2".into(),
+            setting: "GDS".into(),
+            method: "Gem (D+S)".into(),
+            metric: "average precision".into(),
+            paper_value: Some(0.37),
+            measured_value: 0.41,
+        };
+        ExperimentRecord::append_all(&dir, &[r1.clone()]).unwrap();
+        // Replace with an updated measurement.
+        let mut r2 = r1.clone();
+        r2.measured_value = 0.39;
+        ExperimentRecord::append_all(&dir, &[r2.clone()]).unwrap();
+        let loaded = ExperimentRecord::load_all(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].measured_value, 0.39);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let path = std::env::temp_dir().join("gem_eval_missing_records.json");
+        let _ = std::fs::remove_file(&path);
+        assert!(ExperimentRecord::load_all(&path).is_err());
+    }
+}

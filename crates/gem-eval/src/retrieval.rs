@@ -1,0 +1,194 @@
+//! Top-k retrieval evaluation (semantic type detection as nearest-neighbour search).
+//!
+//! §4.1.2 of the paper: for each column, the top `k` most cosine-similar columns are
+//! retrieved, where `k` is the number of other columns with the same ground-truth semantic
+//! type. True positives are retrieved columns that share the query's label; precision and
+//! recall are averaged per semantic type and then across types (so large types do not
+//! dominate), which is what the paper calls *average precision*.
+
+use gem_numeric::distance::{similarity_matrix, top_k_neighbors};
+use gem_numeric::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of a retrieval evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalScores {
+    /// Precision at k averaged over semantic types.
+    pub average_precision: f64,
+    /// Recall at k averaged over semantic types.
+    pub average_recall: f64,
+    /// Per-type precision (keyed by ground-truth label).
+    pub per_type_precision: BTreeMap<String, f64>,
+    /// Number of columns evaluated (columns whose type has at least one other member).
+    pub evaluated_columns: usize,
+}
+
+/// Evaluate embeddings against ground-truth labels.
+///
+/// Columns whose semantic type has no other member are skipped (k would be zero), matching
+/// the paper's protocol where `k` is "the total number of columns with the same semantic
+/// type in the ground truth".
+///
+/// # Panics
+/// Panics when the number of labels does not match the number of embedding rows.
+pub fn evaluate_retrieval(embeddings: &Matrix, labels: &[String]) -> RetrievalScores {
+    assert_eq!(
+        embeddings.rows(),
+        labels.len(),
+        "one label per embedding row is required"
+    );
+    let n = labels.len();
+    let sim = similarity_matrix(embeddings);
+
+    // Count label frequencies.
+    let mut freq: BTreeMap<&str, usize> = BTreeMap::new();
+    for l in labels {
+        *freq.entry(l.as_str()).or_insert(0) += 1;
+    }
+
+    let mut per_type_precision_acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut per_type_recall_acc: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut evaluated = 0usize;
+
+    for i in 0..n {
+        let label = labels[i].as_str();
+        let same_type = freq[label];
+        if same_type < 2 {
+            continue;
+        }
+        // k = number of *other* columns with the same label.
+        let k = same_type - 1;
+        let neighbors = top_k_neighbors(&sim, i, k);
+        let tp = neighbors
+            .iter()
+            .filter(|&&j| labels[j].as_str() == label)
+            .count();
+        let precision = tp as f64 / k as f64;
+        let recall = tp as f64 / k as f64; // identical here since |retrieved| == |relevant|
+        let p = per_type_precision_acc.entry(label.to_string()).or_insert((0.0, 0));
+        p.0 += precision;
+        p.1 += 1;
+        let r = per_type_recall_acc.entry(label.to_string()).or_insert((0.0, 0));
+        r.0 += recall;
+        r.1 += 1;
+        evaluated += 1;
+    }
+
+    let per_type_precision: BTreeMap<String, f64> = per_type_precision_acc
+        .into_iter()
+        .map(|(label, (sum, count))| (label, sum / count.max(1) as f64))
+        .collect();
+    let per_type_recall: Vec<f64> = per_type_recall_acc
+        .into_values()
+        .map(|(sum, count)| sum / count.max(1) as f64)
+        .collect();
+
+    let average_precision = if per_type_precision.is_empty() {
+        0.0
+    } else {
+        per_type_precision.values().sum::<f64>() / per_type_precision.len() as f64
+    };
+    let average_recall = if per_type_recall.is_empty() {
+        0.0
+    } else {
+        per_type_recall.iter().sum::<f64>() / per_type_recall.len() as f64
+    };
+
+    RetrievalScores {
+        average_precision,
+        average_recall,
+        per_type_precision,
+        evaluated_columns: evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfectly_separated_embeddings_score_one() {
+        // Two types living on orthogonal axes.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.01],
+            vec![0.95, 0.02],
+            vec![0.0, 1.0],
+            vec![0.01, 0.9],
+        ])
+        .unwrap();
+        let l = labels(&["a", "a", "a", "b", "b"]);
+        let scores = evaluate_retrieval(&emb, &l);
+        assert!((scores.average_precision - 1.0).abs() < 1e-9);
+        assert!((scores.average_recall - 1.0).abs() < 1e-9);
+        assert_eq!(scores.evaluated_columns, 5);
+        assert_eq!(scores.per_type_precision.len(), 2);
+    }
+
+    #[test]
+    fn shuffled_embeddings_score_below_one() {
+        // Embeddings that do not reflect the labels at all.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let l = labels(&["a", "a", "b", "b"]);
+        let scores = evaluate_retrieval(&emb, &l);
+        assert!(scores.average_precision < 0.5);
+    }
+
+    #[test]
+    fn singleton_types_are_skipped() {
+        let emb = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]]).unwrap();
+        let l = labels(&["a", "a", "lonely"]);
+        let scores = evaluate_retrieval(&emb, &l);
+        assert_eq!(scores.evaluated_columns, 2);
+        assert!(!scores.per_type_precision.contains_key("lonely"));
+    }
+
+    #[test]
+    fn macro_averaging_weights_types_equally() {
+        // Type "a" has 4 perfectly clustered columns; type "b" has 2 columns that are
+        // poorly clustered (each nearer to "a" columns). Macro average should sit midway
+        // rather than being dominated by the larger type.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.01],
+            vec![1.0, 0.02],
+            vec![1.0, 0.03],
+            vec![0.9, 0.2],
+            vec![-1.0, 1.0],
+        ])
+        .unwrap();
+        let l = labels(&["a", "a", "a", "a", "b", "b"]);
+        let scores = evaluate_retrieval(&emb, &l);
+        let pa = scores.per_type_precision["a"];
+        let pb = scores.per_type_precision["b"];
+        assert!((scores.average_precision - (pa + pb) / 2.0).abs() < 1e-9);
+        assert!(pa > pb);
+    }
+
+    #[test]
+    fn all_singletons_gives_zero_scores() {
+        let emb = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let l = labels(&["a", "b"]);
+        let scores = evaluate_retrieval(&emb, &l);
+        assert_eq!(scores.average_precision, 0.0);
+        assert_eq!(scores.evaluated_columns, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per embedding row")]
+    fn mismatched_lengths_panic() {
+        let emb = Matrix::zeros(3, 2);
+        evaluate_retrieval(&emb, &labels(&["a"]));
+    }
+}

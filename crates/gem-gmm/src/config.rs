@@ -1,0 +1,134 @@
+//! Configuration of the EM fit.
+
+use serde::{Deserialize, Serialize};
+
+/// How the EM algorithm is initialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitMethod {
+    /// Means are drawn uniformly at random from the observed data points (the paper's
+    /// "initialized randomly" wording, §3.1).
+    Random,
+    /// Means are chosen by the k-means++ seeding heuristic, which spreads the initial means
+    /// over the data and typically converges in fewer iterations. Because the seeding weights
+    /// candidates by squared distance, heavy-tailed raw-scale stacks can over-allocate
+    /// components to extreme values; prefer [`InitMethod::Quantile`] for such data.
+    KMeansPlusPlus,
+    /// Means are placed at evenly spaced quantiles of the data: dense regions of the stack
+    /// receive proportionally many components, which matches where a fully converged k-means
+    /// initialisation (the scikit-learn default the paper relies on) ends up in one
+    /// dimension. Deterministic, so a single EM run suffices. This is the default.
+    Quantile,
+}
+
+/// Configuration for fitting a GMM with EM.
+///
+/// Defaults follow §4.1.4 of the paper: 50 components, convergence tolerance `1e-3`,
+/// 10 restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub n_components: usize,
+    /// Convergence threshold on the change in mean log-likelihood between iterations.
+    pub tolerance: f64,
+    /// Maximum EM iterations per restart.
+    pub max_iterations: usize,
+    /// Number of independent EM restarts; the fit with the best final log-likelihood wins.
+    pub n_restarts: usize,
+    /// Initialisation scheme.
+    pub init: InitMethod,
+    /// Variance floor: component variances are clamped to at least this value times the data
+    /// variance (plus an absolute epsilon) to avoid singular components collapsing onto a
+    /// single point.
+    pub covariance_floor: f64,
+    /// Seed for the random number generator driving initialisation, so fits are reproducible.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            n_components: 50,
+            tolerance: 1e-3,
+            max_iterations: 200,
+            n_restarts: 10,
+            init: InitMethod::Quantile,
+            covariance_floor: 1e-6,
+            seed: 42,
+        }
+    }
+}
+
+impl GmmConfig {
+    /// Convenience constructor with the paper defaults but a custom component count.
+    pub fn with_components(n_components: usize) -> Self {
+        GmmConfig {
+            n_components,
+            ..GmmConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the number of restarts.
+    pub fn restarts(mut self, n: usize) -> Self {
+        self.n_restarts = n;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the initialisation scheme.
+    pub fn with_init(mut self, init: InitMethod) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Builder-style setter for the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder-style setter for the maximum number of iterations.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GmmConfig::default();
+        assert_eq!(c.n_components, 50);
+        assert_eq!(c.tolerance, 1e-3);
+        assert_eq!(c.n_restarts, 10);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = GmmConfig::with_components(5)
+            .restarts(3)
+            .with_seed(7)
+            .with_init(InitMethod::Quantile)
+            .with_tolerance(1e-5)
+            .with_max_iterations(10);
+        assert_eq!(c.n_components, 5);
+        assert_eq!(c.n_restarts, 3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.init, InitMethod::Quantile);
+        assert_eq!(c.tolerance, 1e-5);
+        assert_eq!(c.max_iterations, 10);
+    }
+
+    #[test]
+    fn init_method_equality() {
+        assert_eq!(InitMethod::Random, InitMethod::Random);
+        assert_ne!(InitMethod::Random, InitMethod::KMeansPlusPlus);
+    }
+}

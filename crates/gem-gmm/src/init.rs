@@ -1,0 +1,205 @@
+//! Initialisation strategies for the EM algorithm.
+
+use crate::config::InitMethod;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Pick `k` initial means from the one-dimensional data using the configured scheme.
+///
+/// Data must be non-empty; when `k` exceeds the number of distinct values the surplus means
+/// are still drawn (duplicated means are legal: EM simply keeps several components on the
+/// same mode and the variance floor keeps them proper).
+pub fn initial_means(data: &[f64], k: usize, method: InitMethod, rng: &mut StdRng) -> Vec<f64> {
+    assert!(!data.is_empty(), "cannot initialise a GMM on empty data");
+    assert!(k > 0, "cannot initialise a GMM with zero components");
+    match method {
+        InitMethod::Random => (0..k).map(|_| data[rng.gen_range(0..data.len())]).collect(),
+        InitMethod::KMeansPlusPlus => kmeans_plus_plus(data, k, rng),
+        InitMethod::Quantile => quantile_means(data, k),
+    }
+}
+
+/// k-means++ seeding specialised to one dimension.
+fn kmeans_plus_plus(data: &[f64], k: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut means = Vec::with_capacity(k);
+    means.push(data[rng.gen_range(0..data.len())]);
+    // Squared distance of each point to its nearest chosen mean.
+    let mut dist2: Vec<f64> = data
+        .iter()
+        .map(|&x| (x - means[0]) * (x - means[0]))
+        .collect();
+    while means.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with chosen means; fall back to uniform choice.
+            data[rng.gen_range(0..data.len())]
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data[data.len() - 1];
+            for (i, &d) in dist2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = data[i];
+                    break;
+                }
+            }
+            chosen
+        };
+        means.push(next);
+        for (i, &x) in data.iter().enumerate() {
+            let d = (x - next) * (x - next);
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+        }
+    }
+    means
+}
+
+/// Deterministic initialisation at evenly spaced quantiles.
+fn quantile_means(data: &[f64], k: usize) -> Vec<f64> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    (0..k)
+        .map(|j| {
+            let q = (j as f64 + 0.5) / k as f64;
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        })
+        .collect()
+}
+
+/// Pick `k` initial mean vectors for multivariate data (rows of `data`).
+pub fn initial_mean_vectors(
+    data: &[Vec<f64>],
+    k: usize,
+    method: InitMethod,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    assert!(!data.is_empty(), "cannot initialise a GMM on empty data");
+    assert!(k > 0, "cannot initialise a GMM with zero components");
+    match method {
+        InitMethod::Random | InitMethod::Quantile => (0..k)
+            .map(|_| data[rng.gen_range(0..data.len())].clone())
+            .collect(),
+        InitMethod::KMeansPlusPlus => {
+            let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+            means.push(data[rng.gen_range(0..data.len())].clone());
+            let sq = |a: &[f64], b: &[f64]| -> f64 {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+            };
+            let mut dist2: Vec<f64> = data.iter().map(|p| sq(p, &means[0])).collect();
+            while means.len() < k {
+                let total: f64 = dist2.iter().sum();
+                let next = if total <= f64::EPSILON {
+                    data[rng.gen_range(0..data.len())].clone()
+                } else {
+                    let mut target = rng.gen::<f64>() * total;
+                    let mut chosen = data[data.len() - 1].clone();
+                    for (i, &d) in dist2.iter().enumerate() {
+                        target -= d;
+                        if target <= 0.0 {
+                            chosen = data[i].clone();
+                            break;
+                        }
+                    }
+                    chosen
+                };
+                for (i, p) in data.iter().enumerate() {
+                    let d = sq(p, &next);
+                    if d < dist2[i] {
+                        dist2[i] = d;
+                    }
+                }
+                means.push(next);
+            }
+            means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn random_init_draws_from_data() {
+        let data = [1.0, 2.0, 3.0];
+        let means = initial_means(&data, 5, InitMethod::Random, &mut rng());
+        assert_eq!(means.len(), 5);
+        for m in means {
+            assert!(data.contains(&m));
+        }
+    }
+
+    #[test]
+    fn kmeanspp_spreads_means_over_modes() {
+        // Two well-separated clumps: k-means++ with k=2 should pick one mean in each.
+        let mut data = vec![0.0; 50];
+        data.extend(vec![100.0; 50]);
+        let means = initial_means(&data, 2, InitMethod::KMeansPlusPlus, &mut rng());
+        let has_low = means.iter().any(|&m| m < 50.0);
+        let has_high = means.iter().any(|&m| m >= 50.0);
+        assert!(has_low && has_high, "means were {means:?}");
+    }
+
+    #[test]
+    fn kmeanspp_handles_constant_data() {
+        let data = [5.0; 20];
+        let means = initial_means(&data, 3, InitMethod::KMeansPlusPlus, &mut rng());
+        assert_eq!(means, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn quantile_init_is_deterministic_and_sorted() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = initial_means(&data, 4, InitMethod::Quantile, &mut rng());
+        let b = initial_means(&data, 4, InitMethod::Quantile, &mut rng());
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, sorted);
+        assert!(a[0] < 25.0 && a[3] > 75.0);
+    }
+
+    #[test]
+    fn more_components_than_points_is_allowed() {
+        let data = [1.0, 2.0];
+        for method in [InitMethod::Random, InitMethod::KMeansPlusPlus, InitMethod::Quantile] {
+            let means = initial_means(&data, 6, method, &mut rng());
+            assert_eq!(means.len(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        initial_means(&[], 2, InitMethod::Random, &mut rng());
+    }
+
+    #[test]
+    fn multivariate_kmeanspp_covers_clusters() {
+        let mut data: Vec<Vec<f64>> = (0..30).map(|_| vec![0.0, 0.0]).collect();
+        data.extend((0..30).map(|_| vec![50.0, 50.0]));
+        let means = initial_mean_vectors(&data, 2, InitMethod::KMeansPlusPlus, &mut rng());
+        assert_eq!(means.len(), 2);
+        let has_low = means.iter().any(|m| m[0] < 25.0);
+        let has_high = means.iter().any(|m| m[0] >= 25.0);
+        assert!(has_low && has_high);
+    }
+
+    #[test]
+    fn multivariate_random_init_draws_rows() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let means = initial_mean_vectors(&data, 3, InitMethod::Random, &mut rng());
+        assert_eq!(means.len(), 3);
+        for m in means {
+            assert!(data.contains(&m));
+        }
+    }
+}

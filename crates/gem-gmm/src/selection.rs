@@ -1,0 +1,137 @@
+//! Model selection over the number of mixture components.
+//!
+//! §4.1.4 of the paper determines each dataset's optimal component count with the Bayesian
+//! Information Criterion (BIC) and reports that performance is stable across 5–100
+//! components. [`select_components_bic`] reproduces that sweep; Figure 4's bench binary uses
+//! it to show the flat precision curve.
+
+use crate::config::GmmConfig;
+use crate::univariate::{GmmError, UnivariateGmm};
+
+/// The outcome of a component-count sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSelection {
+    /// The candidate component counts, in the order evaluated.
+    pub candidates: Vec<usize>,
+    /// The criterion value (BIC or AIC, lower is better) for each candidate.
+    pub scores: Vec<f64>,
+    /// The winning component count.
+    pub best_components: usize,
+    /// The fitted model for the winning count.
+    pub best_model: UnivariateGmm,
+}
+
+/// Sweep the candidate component counts and pick the one with the lowest BIC.
+///
+/// # Errors
+/// Propagates fitting errors; also errors when `candidates` is empty.
+pub fn select_components_bic(
+    data: &[f64],
+    candidates: &[usize],
+    base_config: &GmmConfig,
+) -> Result<ComponentSelection, GmmError> {
+    select_by(data, candidates, base_config, |m| m.bic())
+}
+
+/// Sweep the candidate component counts and pick the one with the lowest AIC.
+///
+/// # Errors
+/// Propagates fitting errors; also errors when `candidates` is empty.
+pub fn select_components_aic(
+    data: &[f64],
+    candidates: &[usize],
+    base_config: &GmmConfig,
+) -> Result<ComponentSelection, GmmError> {
+    select_by(data, candidates, base_config, |m| m.aic())
+}
+
+fn select_by(
+    data: &[f64],
+    candidates: &[usize],
+    base_config: &GmmConfig,
+    criterion: impl Fn(&UnivariateGmm) -> f64,
+) -> Result<ComponentSelection, GmmError> {
+    if candidates.is_empty() {
+        return Err(GmmError::InvalidConfig(
+            "component selection needs at least one candidate".into(),
+        ));
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(usize, f64, UnivariateGmm)> = None;
+    for &k in candidates {
+        let config = GmmConfig {
+            n_components: k,
+            ..*base_config
+        };
+        let model = UnivariateGmm::fit(data, &config)?;
+        let score = criterion(&model);
+        scores.push(score);
+        let better = best.as_ref().map(|(_, s, _)| score < *s).unwrap_or(true);
+        if better {
+            best = Some((k, score, model));
+        }
+    }
+    let (best_components, _, best_model) = best.expect("non-empty candidates guarantee a winner");
+    Ok(ComponentSelection {
+        candidates: candidates.to_vec(),
+        scores,
+        best_components,
+        best_model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_cluster_data() -> Vec<f64> {
+        let mut data = Vec::new();
+        for center in [0.0, 50.0, 100.0] {
+            data.extend((0..150).map(|i| center + (i % 20) as f64 * 0.05));
+        }
+        data
+    }
+
+    fn cfg() -> GmmConfig {
+        GmmConfig::with_components(2).restarts(2).with_seed(11)
+    }
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        assert!(select_components_bic(&[1.0, 2.0], &[], &cfg()).is_err());
+        assert!(select_components_aic(&[1.0, 2.0], &[], &cfg()).is_err());
+    }
+
+    #[test]
+    fn bic_prefers_the_true_component_count_over_underfitting() {
+        let data = three_cluster_data();
+        let sel = select_components_bic(&data, &[1, 3], &cfg()).unwrap();
+        assert_eq!(sel.best_components, 3);
+        assert_eq!(sel.candidates, vec![1, 3]);
+        assert_eq!(sel.scores.len(), 2);
+        assert!(sel.scores[1] < sel.scores[0]);
+    }
+
+    #[test]
+    fn bic_penalises_gross_overfitting_relative_to_likelihood_gain() {
+        let data = three_cluster_data();
+        let sel = select_components_bic(&data, &[3, 60], &cfg()).unwrap();
+        // With three tight clusters, 60 components cannot justify their parameter cost.
+        assert_eq!(sel.best_components, 3);
+    }
+
+    #[test]
+    fn aic_selection_runs_and_returns_model() {
+        let data = three_cluster_data();
+        let sel = select_components_aic(&data, &[2, 3, 4], &cfg()).unwrap();
+        assert!(sel.candidates.contains(&sel.best_components));
+        assert_eq!(sel.best_model.n_components(), sel.best_components);
+    }
+
+    #[test]
+    fn scores_are_finite() {
+        let data = three_cluster_data();
+        let sel = select_components_bic(&data, &[2, 5, 8], &cfg()).unwrap();
+        assert!(sel.scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,172 @@
+//! Element-wise activation functions with analytic derivatives.
+
+use gem_numeric::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Row-wise softmax (used as the final layer of the classifier baselines).
+    Softmax,
+    /// Identity (no-op), useful for linear output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to every element (softmax is applied row-wise).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Tanh => x.map(f64::tanh),
+            Activation::Identity => x.clone(),
+            Activation::Softmax => {
+                let mut out = x.clone();
+                for r in 0..out.rows() {
+                    let row = out.row_mut(r);
+                    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let mut sum = 0.0;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    if sum > 0.0 {
+                        for v in row.iter_mut() {
+                            *v /= sum;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the activation input, given the activation
+    /// output `y` and the gradient `dy` with respect to the output.
+    ///
+    /// For `Softmax` this returns `dy` unchanged: the softmax derivative is combined with the
+    /// cross-entropy loss in [`crate::loss::cross_entropy_loss`], which already emits the
+    /// `(softmax - target)` gradient.
+    pub fn backward(&self, y: &Matrix, dy: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => {
+                let mask = y.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                dy.hadamard(&mask).expect("shape preserved by activation")
+            }
+            Activation::Sigmoid => {
+                let deriv = y.map(|v| v * (1.0 - v));
+                dy.hadamard(&deriv).expect("shape preserved by activation")
+            }
+            Activation::Tanh => {
+                let deriv = y.map(|v| 1.0 - v * v);
+                dy.hadamard(&deriv).expect("shape preserved by activation")
+            }
+            Activation::Identity | Activation::Softmax => dy.clone(),
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = m(&[vec![-1.0, 0.0, 2.0]]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = m(&[vec![-1.0, 0.5]]);
+        let y = Activation::Relu.forward(&x);
+        let dy = m(&[vec![3.0, 3.0]]);
+        let dx = Activation::Relu.backward(&y, &dy);
+        assert_eq!(dx.row(0), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        let x = m(&[vec![-100.0, 0.0, 100.0]]);
+        let y = Activation::Sigmoid.forward(&x);
+        assert!(y.get(0, 0) < 1e-6);
+        assert!((y.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!(y.get(0, 2) > 1.0 - 1e-6);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn sigmoid_backward_peaks_at_half() {
+        let y = m(&[vec![0.5, 0.9]]);
+        let dy = m(&[vec![1.0, 1.0]]);
+        let dx = Activation::Sigmoid.backward(&y, &dy);
+        assert!((dx.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!(dx.get(0, 1) < 0.25);
+    }
+
+    #[test]
+    fn tanh_forward_backward() {
+        let x = m(&[vec![0.0, 1.0]]);
+        let y = Activation::Tanh.forward(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 1.0f64.tanh()).abs() < 1e-12);
+        let dx = Activation::Tanh.backward(&y, &m(&[vec![1.0, 1.0]]));
+        assert!((dx.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_handle_large_logits() {
+        let x = m(&[vec![1000.0, 1001.0, 999.0], vec![0.0, 0.0, 0.0]]);
+        let y = Activation::Softmax.forward(&x);
+        for r in 0..2 {
+            assert!((y.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(y.all_finite());
+        // Uniform logits give uniform probabilities.
+        assert!((y.get(1, 0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let x = m(&[vec![1.0, -2.0]]);
+        assert_eq!(Activation::Identity.forward(&x), x);
+        let dy = m(&[vec![0.5, 0.5]]);
+        assert_eq!(Activation::Identity.backward(&x, &dy), dy);
+    }
+
+    #[test]
+    fn numerical_gradient_check_sigmoid() {
+        // Finite-difference check of d sigmoid / dx at a few points.
+        let eps = 1e-6;
+        for &x0 in &[-1.5f64, 0.0, 0.8] {
+            let x = m(&[vec![x0]]);
+            let y = Activation::Sigmoid.forward(&x);
+            let dy = m(&[vec![1.0]]);
+            let analytic = Activation::Sigmoid.backward(&y, &dy).get(0, 0);
+            let yp = Activation::Sigmoid.forward(&m(&[vec![x0 + eps]])).get(0, 0);
+            let ym = Activation::Sigmoid.forward(&m(&[vec![x0 - eps]])).get(0, 0);
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-6, "x0={x0}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! A symmetric autoencoder built from two [`Sequential`] networks.
+//!
+//! Used for the Gem "AE" composition method (§4.2.2) and as the pre-training stage of the
+//! SDCN / TableDC deep-clustering algorithms (§4.6).
+
+use crate::activation::Activation;
+use crate::loss::mse_loss;
+use crate::optimizer::Optimizer;
+use crate::sequential::Sequential;
+use gem_numeric::Matrix;
+
+/// Architecture and training hyper-parameters of an [`Autoencoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoencoderConfig {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer sizes of the encoder, ending with the latent dimensionality. The decoder
+    /// mirrors this.
+    pub encoder_dims: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Optimiser for the reconstruction objective.
+    pub optimizer: Optimizer,
+    /// Random seed for initialisation.
+    pub seed: u64,
+}
+
+impl AutoencoderConfig {
+    /// A reasonable default for embedding-sized inputs: `input → 64 → latent` with Adam.
+    pub fn new(input_dim: usize, latent_dim: usize) -> Self {
+        AutoencoderConfig {
+            input_dim,
+            encoder_dims: vec![64.min(input_dim.max(4) * 2), latent_dim],
+            epochs: 300,
+            optimizer: Optimizer::adam(5e-3),
+            seed: 13,
+        }
+    }
+}
+
+/// A symmetric autoencoder: `encoder: input → latent`, `decoder: latent → input`.
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    encoder: Sequential,
+    decoder: Sequential,
+    config: AutoencoderConfig,
+}
+
+impl Autoencoder {
+    /// Build the (untrained) autoencoder described by `config`.
+    ///
+    /// # Panics
+    /// Panics when `config.encoder_dims` is empty or contains a zero, or when
+    /// `config.input_dim` is zero.
+    pub fn new(config: AutoencoderConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(
+            !config.encoder_dims.is_empty(),
+            "encoder_dims must contain at least the latent dimension"
+        );
+        assert!(
+            config.encoder_dims.iter().all(|&d| d > 0),
+            "all encoder dimensions must be positive"
+        );
+        let mut encoder = Sequential::new(config.seed);
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.encoder_dims);
+        for w in dims.windows(2) {
+            encoder = encoder.dense(w[0], w[1]);
+            encoder = encoder.activation(Activation::Tanh);
+        }
+        let mut decoder = Sequential::new(config.seed.wrapping_add(1));
+        let mut rev: Vec<usize> = dims.clone();
+        rev.reverse();
+        for (i, w) in rev.windows(2).enumerate() {
+            decoder = decoder.dense(w[0], w[1]);
+            // Last decoder layer is linear so arbitrary-range inputs can be reconstructed.
+            if i + 2 < rev.len() {
+                decoder = decoder.activation(Activation::Tanh);
+            }
+        }
+        Autoencoder {
+            encoder,
+            decoder,
+            config,
+        }
+    }
+
+    /// Latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        *self.config.encoder_dims.last().expect("validated non-empty")
+    }
+
+    /// Train on the rows of `x` with a reconstruction (MSE) objective. Returns the loss per
+    /// epoch.
+    pub fn fit(&mut self, x: &Matrix) -> Vec<f64> {
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for _ in 0..self.config.epochs {
+            let latent = self.encoder.forward(x, true);
+            let recon = self.decoder.forward(&latent, true);
+            let out = mse_loss(&recon, x);
+            // Backprop through the decoder; its input gradient is the gradient at the latent
+            // code, which then flows into the encoder.
+            let latent_grad = self.decoder.backward(&out.gradient);
+            self.encoder.backward(&latent_grad);
+            self.decoder.step(self.config.optimizer);
+            self.encoder.step(self.config.optimizer);
+            history.push(out.loss);
+        }
+        history
+    }
+
+    /// Encode rows of `x` into the latent space (inference mode).
+    pub fn encode(&mut self, x: &Matrix) -> Matrix {
+        self.encoder.forward(x, false)
+    }
+
+    /// Reconstruct rows of `x` (inference mode).
+    pub fn reconstruct(&mut self, x: &Matrix) -> Matrix {
+        let latent = self.encoder.forward(x, false);
+        self.decoder.forward(&latent, false)
+    }
+
+    /// Mean reconstruction error on `x`.
+    pub fn reconstruction_error(&mut self, x: &Matrix) -> f64 {
+        let recon = self.reconstruct(x);
+        mse_loss(&recon, x).loss
+    }
+
+    /// Mutable access to the encoder (used by the deep-clustering fine-tuning loops).
+    pub fn encoder_mut(&mut self) -> &mut Sequential {
+        &mut self.encoder
+    }
+
+    /// Shared access to the training configuration.
+    pub fn config(&self) -> &AutoencoderConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> Matrix {
+        // Points near a 2-D manifold embedded in 4-D: columns 2 and 3 are linear
+        // combinations of columns 0 and 1.
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let a = (i as f64 / 10.0).sin();
+            let b = (i as f64 / 7.0).cos();
+            rows.push(vec![a, b, a + b, a - b]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let cfg = AutoencoderConfig::new(4, 2);
+        let ae = Autoencoder::new(cfg.clone());
+        assert_eq!(ae.latent_dim(), 2);
+        assert_eq!(ae.config().input_dim, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_dim")]
+    fn zero_input_dim_panics() {
+        let mut cfg = AutoencoderConfig::new(4, 2);
+        cfg.input_dim = 0;
+        Autoencoder::new(cfg);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let data = toy_data();
+        let mut cfg = AutoencoderConfig::new(4, 2);
+        cfg.epochs = 400;
+        cfg.optimizer = Optimizer::adam(5e-3);
+        let mut ae = Autoencoder::new(cfg);
+        let before = ae.reconstruction_error(&data);
+        let history = ae.fit(&data);
+        let after = ae.reconstruction_error(&data);
+        assert!(after < before, "before {before}, after {after}");
+        assert!(history.first().unwrap() > history.last().unwrap());
+        assert!(after < 0.2, "after {after}");
+    }
+
+    #[test]
+    fn encode_produces_latent_dimension() {
+        let data = toy_data();
+        let mut ae = Autoencoder::new(AutoencoderConfig::new(4, 3));
+        let latent = ae.encode(&data);
+        assert_eq!(latent.shape(), (60, 3));
+        assert!(latent.all_finite());
+    }
+
+    #[test]
+    fn reconstruct_shape_matches_input() {
+        let data = toy_data();
+        let mut ae = Autoencoder::new(AutoencoderConfig::new(4, 2));
+        let recon = ae.reconstruct(&data);
+        assert_eq!(recon.shape(), data.shape());
+    }
+}

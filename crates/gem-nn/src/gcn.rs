@@ -1,0 +1,170 @@
+//! A minimal graph convolutional layer.
+//!
+//! The Pythagoras_SC baseline (§4.1.3) encodes each column's features through a small graph
+//! convolutional network; SDCN (§4.6) also mixes a GCN branch with its autoencoder. The
+//! layer implemented here is the classic Kipf–Welling propagation rule
+//! `H' = act( Â · H · W )` where `Â = D^{-1/2} (A + I) D^{-1/2}` is the symmetrically
+//! normalised adjacency with self-loops.
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use gem_numeric::Matrix;
+use rand::rngs::StdRng;
+
+/// Symmetrically normalise an adjacency matrix, adding self-loops:
+/// `Â = D^{-1/2} (A + I) D^{-1/2}`.
+///
+/// # Panics
+/// Panics when `adjacency` is not square.
+pub fn normalize_adjacency(adjacency: &Matrix) -> Matrix {
+    let (n, m) = adjacency.shape();
+    assert_eq!(n, m, "adjacency matrix must be square");
+    let with_loops = adjacency.add(&Matrix::identity(n)).expect("same shape");
+    let degrees: Vec<f64> = with_loops.row_sums();
+    let inv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(i, j, inv_sqrt[i] * with_loops.get(i, j) * inv_sqrt[j]);
+        }
+    }
+    out
+}
+
+/// One graph convolutional layer with a trainable dense transform and a fixed activation.
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    dense: DenseLayer,
+    activation: Activation,
+    cached_propagated: Option<Matrix>,
+}
+
+impl GcnLayer {
+    /// Create a GCN layer mapping `in_dim`-dimensional node features to `out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        GcnLayer {
+            dense: DenseLayer::new(in_dim, out_dim, rng),
+            activation,
+            cached_propagated: None,
+        }
+    }
+
+    /// Forward pass: `act( norm_adj · features · W + b )`.
+    ///
+    /// `norm_adj` should come from [`normalize_adjacency`].
+    pub fn forward(&mut self, norm_adj: &Matrix, features: &Matrix, training: bool) -> Matrix {
+        let propagated = norm_adj
+            .matmul(features)
+            .expect("adjacency rows must match feature rows");
+        let pre = self.dense.forward(&propagated, training);
+        if training {
+            self.cached_propagated = Some(propagated);
+        }
+        self.activation.forward(&pre)
+    }
+
+    /// Backward pass given the layer output `y` and the loss gradient with respect to `y`.
+    /// Accumulates the dense layer's gradients and returns the gradient with respect to the
+    /// propagated features (before the dense transform).
+    pub fn backward(&mut self, y: &Matrix, d_out: &Matrix) -> Matrix {
+        let d_pre = self.activation.backward(y, d_out);
+        self.dense.backward(&d_pre)
+    }
+
+    /// Adam update of the dense transform.
+    pub fn adam_step(&mut self, lr: f64) {
+        self.dense.adam_step(lr);
+    }
+
+    /// SGD update of the dense transform.
+    pub fn sgd_step(&mut self, lr: f64) {
+        self.dense.sgd_step(lr);
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.dense.out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalized_adjacency_identity_graph() {
+        // No edges: Â = I.
+        let a = Matrix::zeros(3, 3);
+        let n = normalize_adjacency(&a);
+        assert_eq!(n, Matrix::identity(3));
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_for_symmetric_input() {
+        let mut a = Matrix::zeros(4, 4);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(2, 3, 1.0);
+        a.set(3, 2, 1.0);
+        let n = normalize_adjacency(&a);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((n.get(i, j) - n.get(j, i)).abs() < 1e-12);
+            }
+        }
+        // Connected pair: off-diagonal = 1/2, diagonal = 1/2.
+        assert!((n.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((n.get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_adjacency_panics() {
+        normalize_adjacency(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn gcn_forward_shape_and_smoothing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = GcnLayer::new(2, 3, Activation::Identity, &mut rng);
+        // Two connected nodes with very different features plus one isolated node.
+        let mut adj = Matrix::zeros(3, 3);
+        adj.set(0, 1, 1.0);
+        adj.set(1, 0, 1.0);
+        let norm = normalize_adjacency(&adj);
+        let features =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]]).unwrap();
+        let out = layer.forward(&norm, &features, false);
+        assert_eq!(out.shape(), (3, 3));
+        assert!(out.all_finite());
+        // The two connected nodes see averaged inputs, so their outputs are closer to each
+        // other than to the isolated node's output.
+        let d01: f64 = (0..3).map(|c| (out.get(0, c) - out.get(1, c)).powi(2)).sum();
+        let d02: f64 = (0..3).map(|c| (out.get(0, c) - out.get(2, c)).powi(2)).sum();
+        assert!(d01 < d02);
+    }
+
+    #[test]
+    fn gcn_trains_toward_target() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut layer = GcnLayer::new(2, 1, Activation::Identity, &mut rng);
+        let adj = Matrix::zeros(2, 2); // no edges → Â = I, reduces to a dense layer
+        let norm = normalize_adjacency(&adj);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let target = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..400 {
+            let y = layer.forward(&norm, &x, true);
+            let diff = y.sub(&target).unwrap();
+            final_loss = diff.frobenius_norm();
+            layer.backward(&y, &diff.scale(2.0));
+            layer.adam_step(0.05);
+        }
+        assert!(final_loss < 0.1, "final loss {final_loss}");
+        assert_eq!(layer.out_dim(), 1);
+    }
+}

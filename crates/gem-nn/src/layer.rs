@@ -1,0 +1,346 @@
+//! Trainable layers: dense (fully connected) and dropout.
+
+use gem_numeric::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = x · W + b` with cached activations for backpropagation and
+/// Adam moment estimates for the optimiser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix of shape `(in_dim, out_dim)`.
+    pub weights: Matrix,
+    /// Bias vector of length `out_dim`.
+    pub bias: Vec<f64>,
+    // --- training state ---
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+    /// Accumulated weight gradients from the last backward pass.
+    #[serde(skip)]
+    pub grad_weights: Option<Matrix>,
+    /// Accumulated bias gradients from the last backward pass.
+    #[serde(skip)]
+    pub grad_bias: Option<Vec<f64>>,
+    // Adam moments.
+    #[serde(skip)]
+    adam_m_w: Option<Matrix>,
+    #[serde(skip)]
+    adam_v_w: Option<Matrix>,
+    #[serde(skip)]
+    adam_m_b: Option<Vec<f64>>,
+    #[serde(skip)]
+    adam_v_b: Option<Vec<f64>>,
+    #[serde(skip)]
+    adam_t: usize,
+}
+
+impl DenseLayer {
+    /// Create a layer with Xavier/Glorot-uniform initialised weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let data: Vec<f64> = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        DenseLayer {
+            weights: Matrix::from_vec(in_dim, out_dim, data).expect("dimensions match data"),
+            bias: vec![0.0; out_dim],
+            cached_input: None,
+            grad_weights: None,
+            grad_bias: None,
+            adam_m_w: None,
+            adam_v_w: None,
+            adam_m_b: None,
+            adam_v_b: None,
+            adam_t: 0,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Forward pass. When `training` is true the input is cached for the backward pass.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let out = x
+            .matmul(&self.weights)
+            .expect("input width must equal layer in_dim")
+            .add_row_broadcast(&self.bias)
+            .expect("bias length equals out_dim");
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        out
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂y`, accumulate parameter gradients and return
+    /// `∂L/∂x`.
+    ///
+    /// # Panics
+    /// Panics when called before a training-mode forward pass.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called without a training forward pass");
+        let batch = x.rows().max(1) as f64;
+        let grad_w = x
+            .transpose()
+            .matmul(d_out)
+            .expect("shapes align by construction")
+            .scale(1.0 / batch);
+        let grad_b: Vec<f64> = d_out
+            .column_sums()
+            .into_iter()
+            .map(|s| s / batch)
+            .collect();
+        let d_in = d_out
+            .matmul(&self.weights.transpose())
+            .expect("shapes align by construction");
+        self.grad_weights = Some(grad_w);
+        self.grad_bias = Some(grad_b);
+        d_in
+    }
+
+    /// Plain SGD update with learning rate `lr`. Clears the stored gradients.
+    pub fn sgd_step(&mut self, lr: f64) {
+        if let (Some(gw), Some(gb)) = (self.grad_weights.take(), self.grad_bias.take()) {
+            self.weights = self.weights.sub(&gw.scale(lr)).expect("same shape");
+            for (b, g) in self.bias.iter_mut().zip(gb) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Adam update with learning rate `lr` and standard betas (0.9, 0.999).
+    pub fn adam_step(&mut self, lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let (gw, gb) = match (self.grad_weights.take(), self.grad_bias.take()) {
+            (Some(gw), Some(gb)) => (gw, gb),
+            _ => return,
+        };
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let (rows, cols) = gw.shape();
+        let m_w = self.adam_m_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let v_w = self.adam_v_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let m_b = self.adam_m_b.get_or_insert_with(|| vec![0.0; gb.len()]);
+        let v_b = self.adam_v_b.get_or_insert_with(|| vec![0.0; gb.len()]);
+
+        // Weights.
+        for i in 0..rows {
+            for j in 0..cols {
+                let g = gw.get(i, j);
+                let m = B1 * m_w.get(i, j) + (1.0 - B1) * g;
+                let v = B2 * v_w.get(i, j) + (1.0 - B2) * g * g;
+                m_w.set(i, j, m);
+                v_w.set(i, j, v);
+                let m_hat = m / (1.0 - B1.powf(t));
+                let v_hat = v / (1.0 - B2.powf(t));
+                let update = lr * m_hat / (v_hat.sqrt() + EPS);
+                self.weights.set(i, j, self.weights.get(i, j) - update);
+            }
+        }
+        // Bias.
+        for j in 0..gb.len() {
+            let g = gb[j];
+            m_b[j] = B1 * m_b[j] + (1.0 - B1) * g;
+            v_b[j] = B2 * v_b[j] + (1.0 - B2) * g * g;
+            let m_hat = m_b[j] / (1.0 - B1.powf(t));
+            let v_hat = v_b[j] / (1.0 - B2.powf(t));
+            self.bias[j] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+/// Inverted dropout: at training time each unit is zeroed with probability `rate` and the
+/// survivors are scaled by `1 / (1 - rate)`; at inference time it is the identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub rate: f64,
+    #[serde(skip)]
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Create a dropout layer.
+    ///
+    /// # Panics
+    /// Panics when `rate` is not in `[0, 1)`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Dropout { rate, mask: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix, training: bool, rng: &mut StdRng) -> Matrix {
+        if !training || self.rate == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let (rows, cols) = x.shape();
+        let mask_data: Vec<f64> = (0..rows * cols)
+            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Matrix::from_vec(rows, cols, mask_data).expect("dimensions match");
+        let out = x.hadamard(&mask).expect("same shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass: applies the same mask to the incoming gradient.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => d_out.hadamard(mask).expect("same shape"),
+            None => d_out.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = rng();
+        let mut layer = DenseLayer::new(3, 2, &mut rng);
+        layer.bias = vec![1.0, -1.0];
+        let x = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        let y = layer.forward(&x, false);
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 2);
+    }
+
+    #[test]
+    fn dense_backward_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut layer = DenseLayer::new(2, 1, &mut r);
+        let x = Matrix::from_rows(&[vec![0.3, -0.7], vec![1.1, 0.4]]).unwrap();
+        // Loss L = sum(y) so dL/dy = 1.
+        let y = layer.forward(&x, true);
+        let dy = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let dx = layer.backward(&dy);
+        // dL/dx should equal W^T broadcast per row.
+        for r_idx in 0..2 {
+            for c in 0..2 {
+                assert!((dx.get(r_idx, c) - layer.weights.get(c, 0)).abs() < 1e-12);
+            }
+        }
+        // Finite-difference check of weight gradient (averaged over the batch).
+        let eps = 1e-6;
+        let analytic = layer.grad_weights.clone().unwrap();
+        for i in 0..2 {
+            let mut plus = layer.clone();
+            plus.weights.set(i, 0, plus.weights.get(i, 0) + eps);
+            let mut minus = layer.clone();
+            minus.weights.set(i, 0, minus.weights.get(i, 0) - eps);
+            let lp: f64 = plus.forward(&x, false).as_slice().iter().sum::<f64>() / 2.0;
+            let lm: f64 = minus.forward(&x, false).as_slice().iter().sum::<f64>() / 2.0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((analytic.get(i, 0) - numeric).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        // One-dimensional linear regression y = 2x learned by a single dense layer.
+        let mut r = rng();
+        let mut layer = DenseLayer::new(1, 1, &mut r);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let target = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]).unwrap();
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..200 {
+            let y = layer.forward(&x, true);
+            let diff = y.sub(&target).unwrap();
+            let loss = diff.frobenius_norm();
+            let dy = diff.scale(2.0);
+            layer.backward(&dy);
+            layer.sgd_step(0.05);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.05, "final loss {last_loss}");
+        assert!((layer.weights.get(0, 0) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn adam_step_reduces_simple_loss() {
+        let mut r = rng();
+        let mut layer = DenseLayer::new(1, 1, &mut r);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let target = Matrix::from_rows(&[vec![3.0], vec![6.0], vec![9.0]]).unwrap();
+        for _ in 0..500 {
+            let y = layer.forward(&x, true);
+            let dy = y.sub(&target).unwrap().scale(2.0);
+            layer.backward(&dy);
+            layer.adam_step(0.05);
+        }
+        assert!((layer.weights.get(0, 0) - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training forward")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut layer = DenseLayer::new(2, 2, &mut r);
+        layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5);
+        let x = Matrix::filled(4, 4, 1.0);
+        let y = d.forward(&x, false, &mut rng());
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5);
+        let x = Matrix::filled(50, 50, 1.0);
+        let y = d.forward(&x, true, &mut rng());
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-12).count();
+        assert_eq!(zeros + kept, 2500);
+        assert!(zeros > 800 && zeros < 1700, "zeros = {zeros}");
+        // Expected value is approximately preserved.
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / 2500.0;
+        assert!((mean - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3);
+        let x = Matrix::filled(10, 10, 1.0);
+        let y = d.forward(&x, true, &mut rng());
+        let grad = d.backward(&Matrix::filled(10, 10, 1.0));
+        // Gradient must be zero exactly where the forward output was zeroed.
+        for (a, b) in y.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn invalid_dropout_rate_panics() {
+        Dropout::new(1.0);
+    }
+}

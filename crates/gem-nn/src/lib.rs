@@ -1,0 +1,38 @@
+//! # gem-nn
+//!
+//! A minimal, dependency-free neural-network substrate built on [`gem_numeric::Matrix`].
+//!
+//! The Gem paper needs small neural models in several places:
+//!
+//! * the **autoencoder composition** of §4.2.2 (Gem D+S+C "AE"), which compresses the
+//!   concatenated distributional + statistical + contextual embedding into a latent space;
+//! * the **Sherlock_SC** and **Sato_SC** baselines, which push statistical features + header
+//!   embeddings through dense layers with dropout and a softmax head;
+//! * the **Pythagoras_SC** baseline, which uses a small graph-convolutional encoder;
+//! * the **SDCN** and **TableDC** deep-clustering algorithms of §4.6, which pre-train an
+//!   autoencoder and refine soft cluster assignments with a KL-divergence objective.
+//!
+//! The substrate deliberately implements only what those models need: dense layers,
+//! dropout, ReLU/tanh/sigmoid/softmax activations, MSE / cross-entropy / KL losses, SGD and
+//! Adam optimisers, a [`Sequential`] container with manual backpropagation, an
+//! [`Autoencoder`] built from two `Sequential`s, and a normalised-adjacency [`GcnLayer`].
+//! Everything is deterministic given a seed.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod activation;
+mod autoencoder;
+mod gcn;
+mod layer;
+mod loss;
+mod optimizer;
+mod sequential;
+
+pub use activation::Activation;
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use gcn::{normalize_adjacency, GcnLayer};
+pub use layer::{DenseLayer, Dropout};
+pub use loss::{cross_entropy_loss, kl_divergence_loss, mse_loss, LossOutput};
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use sequential::{Layer, Sequential, TrainConfig};

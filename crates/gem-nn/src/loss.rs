@@ -1,0 +1,159 @@
+//! Loss functions with gradients.
+
+use gem_numeric::Matrix;
+
+/// A loss value together with its gradient with respect to the model output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// Gradient of the mean loss with respect to the prediction matrix (same shape).
+    pub gradient: Matrix,
+}
+
+/// Mean squared error `mean((pred - target)²)` over all elements.
+///
+/// # Panics
+/// Panics when shapes differ.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> LossOutput {
+    assert_eq!(pred.shape(), target.shape(), "MSE shapes must match");
+    let diff = pred.sub(target).expect("checked shapes");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
+    let gradient = diff.scale(2.0 / n);
+    LossOutput { loss, gradient }
+}
+
+/// Categorical cross-entropy over row-wise softmax probabilities.
+///
+/// `pred` must contain probabilities (rows summing to 1, e.g. softmax output) and `target`
+/// one-hot rows. The returned gradient is `(pred - target) / batch`, i.e. the combined
+/// softmax + cross-entropy gradient with respect to the *logits*, which is why
+/// [`crate::Activation::Softmax`] passes gradients through unchanged.
+///
+/// # Panics
+/// Panics when shapes differ.
+pub fn cross_entropy_loss(pred: &Matrix, target: &Matrix) -> LossOutput {
+    assert_eq!(pred.shape(), target.shape(), "cross-entropy shapes must match");
+    let batch = pred.rows().max(1) as f64;
+    let mut loss = 0.0;
+    for r in 0..pred.rows() {
+        for c in 0..pred.cols() {
+            let t = target.get(r, c);
+            if t > 0.0 {
+                loss -= t * pred.get(r, c).max(1e-12).ln();
+            }
+        }
+    }
+    loss /= batch;
+    let gradient = pred.sub(target).expect("checked shapes").scale(1.0 / batch);
+    LossOutput { loss, gradient }
+}
+
+/// KL divergence `KL(target ‖ pred)` between two row-stochastic matrices, as used by the
+/// DEC/SDCN/TableDC self-training objective (`target` is the sharpened distribution P,
+/// `pred` the soft assignment Q).
+///
+/// The gradient returned is with respect to `pred`.
+///
+/// # Panics
+/// Panics when shapes differ.
+pub fn kl_divergence_loss(pred: &Matrix, target: &Matrix) -> LossOutput {
+    assert_eq!(pred.shape(), target.shape(), "KL shapes must match");
+    let batch = pred.rows().max(1) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for r in 0..pred.rows() {
+        for c in 0..pred.cols() {
+            let p = target.get(r, c).max(1e-12);
+            let q = pred.get(r, c).max(1e-12);
+            loss += p * (p / q).ln();
+            grad.set(r, c, -p / q / batch);
+        }
+    }
+    LossOutput {
+        loss: loss / batch,
+        gradient: grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn mse_zero_for_equal_matrices() {
+        let a = m(&[vec![1.0, 2.0]]);
+        let out = mse_loss(&a, &a);
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.gradient, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient_direction() {
+        let pred = m(&[vec![1.0, 3.0]]);
+        let target = m(&[vec![0.0, 0.0]]);
+        let out = mse_loss(&pred, &target);
+        assert!((out.loss - 5.0).abs() < 1e-12);
+        assert!(out.gradient.get(0, 0) > 0.0);
+        assert!(out.gradient.get(0, 1) > out.gradient.get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn mse_shape_mismatch_panics() {
+        mse_loss(&Matrix::zeros(1, 2), &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let pred = m(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let target = pred.clone();
+        let out = cross_entropy_loss(&pred, &target);
+        assert!(out.loss < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_prediction() {
+        let pred = m(&[vec![0.5, 0.5]]);
+        let target = m(&[vec![1.0, 0.0]]);
+        let out = cross_entropy_loss(&pred, &target);
+        assert!((out.loss - (2.0f64).ln()).abs() < 1e-9);
+        // Gradient pushes probability toward the true class.
+        assert!(out.gradient.get(0, 0) < 0.0);
+        assert!(out.gradient.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn kl_zero_for_identical_distributions() {
+        let p = m(&[vec![0.25, 0.75], vec![0.5, 0.5]]);
+        let out = kl_divergence_loss(&p, &p);
+        assert!(out.loss.abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_positive_and_asymmetric() {
+        let q = m(&[vec![0.5, 0.5]]);
+        let p = m(&[vec![0.9, 0.1]]);
+        let forward = kl_divergence_loss(&q, &p).loss;
+        let backward = kl_divergence_loss(&p, &q).loss;
+        assert!(forward > 0.0);
+        assert!(backward > 0.0);
+        assert!((forward - backward).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_gradient_is_negative_where_target_mass_exceeds_prediction() {
+        let q = m(&[vec![0.2, 0.8]]);
+        let p = m(&[vec![0.8, 0.2]]);
+        let out = kl_divergence_loss(&q, &p);
+        // Increasing q[0] reduces the divergence, so the gradient there is negative and
+        // steeper than at q[1].
+        assert!(out.gradient.get(0, 0) < out.gradient.get(0, 1));
+        assert!(out.gradient.get(0, 0) < 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Optimiser selection.
+//!
+//! The per-layer update rules themselves live on [`crate::DenseLayer`] (SGD and Adam); this
+//! module provides the small configuration enum that [`crate::Sequential`] and the
+//! higher-level models use to choose between them.
+
+use serde::{Deserialize, Serialize};
+
+/// Which update rule a training loop applies after backpropagation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// Adam with the standard (0.9, 0.999) betas.
+    Adam,
+}
+
+/// An optimiser: the update rule plus its learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimizer {
+    /// The update rule.
+    pub kind: OptimizerKind,
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Optimizer {
+    /// SGD with the given learning rate.
+    pub fn sgd(learning_rate: f64) -> Self {
+        Optimizer {
+            kind: OptimizerKind::Sgd,
+            learning_rate,
+        }
+    }
+
+    /// Adam with the given learning rate.
+    pub fn adam(learning_rate: f64) -> Self {
+        Optimizer {
+            kind: OptimizerKind::Adam,
+            learning_rate,
+        }
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::adam(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let s = Optimizer::sgd(0.1);
+        assert_eq!(s.kind, OptimizerKind::Sgd);
+        assert_eq!(s.learning_rate, 0.1);
+        let a = Optimizer::adam(0.01);
+        assert_eq!(a.kind, OptimizerKind::Adam);
+    }
+
+    #[test]
+    fn default_is_adam() {
+        assert_eq!(Optimizer::default().kind, OptimizerKind::Adam);
+        assert!(Optimizer::default().learning_rate > 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! A sequential container of layers with manual backpropagation.
+
+use crate::activation::Activation;
+use crate::layer::{DenseLayer, Dropout};
+use crate::loss::{cross_entropy_loss, mse_loss};
+use crate::optimizer::{Optimizer, OptimizerKind};
+use gem_numeric::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One layer of a [`Sequential`] model.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// A trainable dense layer.
+    Dense(DenseLayer),
+    /// An element-wise activation.
+    Activation(Activation),
+    /// Inverted dropout.
+    Dropout(Dropout),
+}
+
+/// Training hyper-parameters for the built-in fit loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of full passes over the data.
+    pub epochs: usize,
+    /// Optimiser and learning rate.
+    pub optimizer: Optimizer,
+    /// Random seed used for dropout masks.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            optimizer: Optimizer::adam(1e-2),
+            seed: 17,
+        }
+    }
+}
+
+/// A simple feed-forward network: a stack of dense layers, activations and dropout.
+#[derive(Debug, Clone)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+    rng: StdRng,
+    /// Cached per-layer outputs from the last training-mode forward pass (used by backward).
+    forward_cache: Vec<Matrix>,
+}
+
+impl Sequential {
+    /// Create an empty model seeded for reproducible initialisation and dropout.
+    pub fn new(seed: u64) -> Self {
+        Sequential {
+            layers: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            forward_cache: Vec::new(),
+        }
+    }
+
+    /// Append a dense layer.
+    pub fn dense(mut self, in_dim: usize, out_dim: usize) -> Self {
+        let layer = DenseLayer::new(in_dim, out_dim, &mut self.rng);
+        self.layers.push(Layer::Dense(layer));
+        self
+    }
+
+    /// Append an activation.
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.layers.push(Layer::Activation(activation));
+        self
+    }
+
+    /// Append a dropout layer.
+    pub fn dropout(mut self, rate: f64) -> Self {
+        self.layers.push(Layer::Dropout(Dropout::new(rate)));
+        self
+    }
+
+    /// Number of layers (including activations and dropout).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass. When `training` is true, intermediate activations are cached for
+    /// [`Sequential::backward`] and dropout is active.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut current = x.clone();
+        if training {
+            self.forward_cache.clear();
+        }
+        for layer in self.layers.iter_mut() {
+            current = match layer {
+                Layer::Dense(dense) => dense.forward(&current, training),
+                Layer::Activation(act) => act.forward(&current),
+                Layer::Dropout(drop) => drop.forward(&current, training, &mut self.rng),
+            };
+            if training {
+                self.forward_cache.push(current.clone());
+            }
+        }
+        current
+    }
+
+    /// Backward pass from the gradient of the loss with respect to the model output.
+    /// Accumulates parameter gradients inside each dense layer and returns the gradient with
+    /// respect to the model *input* (which lets models be chained, e.g. an autoencoder's
+    /// decoder feeding its input gradient into the encoder).
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut grad = d_out.clone();
+        let n = self.layers.len();
+        for (rev_idx, layer) in self.layers.iter_mut().rev().enumerate() {
+            let idx = n - 1 - rev_idx;
+            grad = match layer {
+                Layer::Dense(dense) => dense.backward(&grad),
+                Layer::Activation(act) => {
+                    let output = &self.forward_cache[idx];
+                    act.backward(output, &grad)
+                }
+                Layer::Dropout(drop) => drop.backward(&grad),
+            };
+        }
+        grad
+    }
+
+    /// Apply one optimiser step to every dense layer and clear the gradients.
+    pub fn step(&mut self, optimizer: Optimizer) {
+        for layer in self.layers.iter_mut() {
+            if let Layer::Dense(dense) = layer {
+                match optimizer.kind {
+                    OptimizerKind::Sgd => dense.sgd_step(optimizer.learning_rate),
+                    OptimizerKind::Adam => dense.adam_step(optimizer.learning_rate),
+                }
+            }
+        }
+    }
+
+    /// Train against a mean-squared-error objective (full-batch). Returns the loss per epoch.
+    pub fn fit_mse(&mut self, x: &Matrix, target: &Matrix, config: &TrainConfig) -> Vec<f64> {
+        let mut history = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let pred = self.forward(x, true);
+            let out = mse_loss(&pred, target);
+            self.backward(&out.gradient);
+            self.step(config.optimizer);
+            history.push(out.loss);
+        }
+        history
+    }
+
+    /// Train a classifier with softmax + cross-entropy (the model's final layer should be
+    /// [`Activation::Softmax`]). `targets` are one-hot rows. Returns the loss per epoch.
+    pub fn fit_cross_entropy(
+        &mut self,
+        x: &Matrix,
+        targets: &Matrix,
+        config: &TrainConfig,
+    ) -> Vec<f64> {
+        let mut history = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let pred = self.forward(x, true);
+            let out = cross_entropy_loss(&pred, targets);
+            self.backward(&out.gradient);
+            self.step(config.optimizer);
+            history.push(out.loss);
+        }
+        history
+    }
+
+    /// Inference-mode forward pass.
+    pub fn predict(&mut self, x: &Matrix) -> Matrix {
+        self.forward(x, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_layer_count() {
+        let model = Sequential::new(0)
+            .dense(4, 8)
+            .activation(Activation::Relu)
+            .dropout(0.2)
+            .dense(8, 2)
+            .activation(Activation::Softmax);
+        assert_eq!(model.len(), 5);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn learns_xor() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]).unwrap();
+        let mut model = Sequential::new(3)
+            .dense(2, 8)
+            .activation(Activation::Tanh)
+            .dense(8, 1)
+            .activation(Activation::Sigmoid);
+        let config = TrainConfig {
+            epochs: 2000,
+            optimizer: Optimizer::adam(0.05),
+            seed: 3,
+        };
+        let history = model.fit_mse(&x, &y, &config);
+        assert!(history.last().unwrap() < &0.05, "loss {:?}", history.last());
+        let pred = model.predict(&x);
+        assert!(pred.get(0, 0) < 0.3);
+        assert!(pred.get(1, 0) > 0.7);
+        assert!(pred.get(2, 0) > 0.7);
+        assert!(pred.get(3, 0) < 0.3);
+    }
+
+    #[test]
+    fn learns_linearly_separable_classification() {
+        // Two classes separated along the first dimension.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..40 {
+            let offset = (i % 10) as f64 * 0.01;
+            if i % 2 == 0 {
+                rows.push(vec![1.0 + offset, 0.0]);
+                targets.push(vec![1.0, 0.0]);
+            } else {
+                rows.push(vec![-1.0 - offset, 0.0]);
+                targets.push(vec![0.0, 1.0]);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let t = Matrix::from_rows(&targets).unwrap();
+        let mut model = Sequential::new(5)
+            .dense(2, 8)
+            .activation(Activation::Relu)
+            .dense(8, 2)
+            .activation(Activation::Softmax);
+        let config = TrainConfig {
+            epochs: 300,
+            optimizer: Optimizer::adam(0.02),
+            seed: 5,
+        };
+        let history = model.fit_cross_entropy(&x, &t, &config);
+        assert!(history.last().unwrap() < &0.1);
+        let pred = model.predict(&x);
+        let mut correct = 0;
+        for r in 0..40 {
+            let predicted = if pred.get(r, 0) > pred.get(r, 1) { 0 } else { 1 };
+            let truth = if t.get(r, 0) > 0.5 { 0 } else { 1 };
+            if predicted == truth {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 38, "correct = {correct}");
+    }
+
+    #[test]
+    fn training_with_dropout_still_converges() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let y = Matrix::from_rows(&[vec![1.0], vec![0.0]]).unwrap();
+        let mut model = Sequential::new(9)
+            .dense(2, 16)
+            .activation(Activation::Relu)
+            .dropout(0.1)
+            .dense(16, 1)
+            .activation(Activation::Sigmoid);
+        let config = TrainConfig {
+            epochs: 800,
+            optimizer: Optimizer::adam(0.02),
+            seed: 9,
+        };
+        model.fit_mse(&x, &y, &config);
+        let pred = model.predict(&x);
+        assert!(pred.get(0, 0) > 0.7);
+        assert!(pred.get(1, 0) < 0.3);
+    }
+
+    #[test]
+    fn sgd_also_learns_simple_regression() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let y = x.scale(0.5);
+        let mut model = Sequential::new(1).dense(1, 1);
+        let config = TrainConfig {
+            epochs: 2000,
+            optimizer: Optimizer::sgd(0.02),
+            seed: 1,
+        };
+        let history = model.fit_mse(&x, &y, &config);
+        assert!(history.last().unwrap() < &1e-2, "loss {:?}", history.last());
+    }
+
+    #[test]
+    fn loss_history_is_generally_decreasing() {
+        let x = Matrix::from_rows(&[vec![0.5, -0.5], vec![-0.5, 0.5]]).unwrap();
+        let y = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+        let mut model = Sequential::new(2).dense(2, 4).activation(Activation::Tanh).dense(4, 1);
+        let config = TrainConfig {
+            epochs: 100,
+            optimizer: Optimizer::adam(0.05),
+            seed: 2,
+        };
+        let history = model.fit_mse(&x, &y, &config);
+        assert!(history.first().unwrap() > history.last().unwrap());
+    }
+}

@@ -1,0 +1,202 @@
+//! Similarity and distance functions between embedding vectors.
+//!
+//! The paper's semantic-type-detection evaluation (§4.1.2) ranks columns by cosine
+//! similarity between their embedding vectors and takes the top-k neighbours; this module
+//! provides the cosine similarity, the full pairwise similarity matrix and the Euclidean
+//! distance used by the clustering substrate.
+
+use crate::error::{NumericError, NumericResult};
+use crate::matrix::Matrix;
+
+/// Cosine similarity between two vectors. Returns 0 when either vector has zero norm.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> NumericResult<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "cosine_similarity",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na < 1e-300 || nb < 1e-300 {
+        return Ok(0.0);
+    }
+    Ok(dot / (na.sqrt() * nb.sqrt()))
+}
+
+/// Euclidean distance between two vectors.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> NumericResult<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "euclidean_distance",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Squared Euclidean distance (avoids the square root in hot clustering loops).
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn squared_euclidean_distance(a: &[f64], b: &[f64]) -> NumericResult<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "squared_euclidean_distance",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>())
+}
+
+/// Full pairwise cosine-similarity matrix between the rows of an embedding matrix.
+///
+/// The result is symmetric with ones on the diagonal (for non-zero rows).
+pub fn similarity_matrix(embeddings: &Matrix) -> Matrix {
+    let n = embeddings.rows();
+    let mut out = Matrix::zeros(n, n);
+    // Pre-compute row norms once.
+    let norms: Vec<f64> = embeddings
+        .iter_rows()
+        .map(|r| r.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    for i in 0..n {
+        out.set(i, i, if norms[i] > 1e-300 { 1.0 } else { 0.0 });
+        for j in (i + 1)..n {
+            let sim = if norms[i] < 1e-300 || norms[j] < 1e-300 {
+                0.0
+            } else {
+                let dot: f64 = embeddings
+                    .row(i)
+                    .iter()
+                    .zip(embeddings.row(j).iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                dot / (norms[i] * norms[j])
+            };
+            out.set(i, j, sim);
+            out.set(j, i, sim);
+        }
+    }
+    out
+}
+
+/// Indices of the `k` most similar rows to `query_row` in a precomputed similarity matrix,
+/// excluding the query row itself, ordered by decreasing similarity.
+pub fn top_k_neighbors(similarity: &Matrix, query_row: usize, k: usize) -> Vec<usize> {
+    let n = similarity.rows();
+    let mut indexed: Vec<(usize, f64)> = (0..n)
+        .filter(|&j| j != query_row)
+        .map(|j| (j, similarity.get(query_row, j)))
+        .collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.into_iter().take(k).map(|(j, _)| j).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn cosine_identical_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[1.0, 2.0]).unwrap() - 1.0).abs() < EPS);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).unwrap()).abs() < EPS);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]).unwrap() + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, 0.7, 1.5];
+        let b = [0.6, 1.4, 3.0];
+        assert!((cosine_similarity(&a, &b).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cosine_mismatch_errors() {
+        assert!(cosine_similarity(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 5.0).abs() < EPS);
+        assert!((squared_euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 25.0).abs() < EPS);
+        assert!(euclidean_distance(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(squared_euclidean_distance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn similarity_matrix_symmetric_with_unit_diagonal() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let s = similarity_matrix(&m);
+        assert_eq!(s.shape(), (3, 3));
+        for i in 0..3 {
+            assert!((s.get(i, i) - 1.0).abs() < EPS);
+            for j in 0..3 {
+                assert!((s.get(i, j) - s.get(j, i)).abs() < EPS);
+            }
+        }
+        assert!((s.get(0, 2) - 1.0 / 2.0f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn similarity_matrix_zero_row() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let s = similarity_matrix(&m);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn top_k_neighbors_excludes_self_and_orders_by_similarity() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.7, 0.3],
+        ])
+        .unwrap();
+        let s = similarity_matrix(&m);
+        let nn = top_k_neighbors(&s, 0, 2);
+        assert_eq!(nn.len(), 2);
+        assert!(!nn.contains(&0));
+        assert_eq!(nn[0], 1); // most similar to row 0
+        assert_eq!(nn[1], 3);
+    }
+
+    #[test]
+    fn top_k_larger_than_population_returns_all_others() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let s = similarity_matrix(&m);
+        let nn = top_k_neighbors(&s, 1, 10);
+        assert_eq!(nn.len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by the numeric substrate.
+
+use std::fmt;
+
+/// Errors produced by the numeric substrate.
+///
+/// The substrate is used deep inside tight loops (EM iterations, NN training steps), so the
+/// error type is a small enum rather than a boxed trait object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// An operation received an empty input where at least one element is required.
+    EmptyInput {
+        /// The operation that failed.
+        operation: &'static str,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// The operation that failed.
+        operation: &'static str,
+        /// Dimension of the left operand (rows × cols or length).
+        left: (usize, usize),
+        /// Dimension of the right operand.
+        right: (usize, usize),
+    },
+    /// A parameter was outside its valid domain (e.g. a negative variance).
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Human readable description of the violated constraint.
+        reason: String,
+    },
+    /// A numerical routine failed to converge or produced a non-finite value.
+    Numerical {
+        /// Description of what went wrong.
+        reason: String,
+    },
+    /// Index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The valid length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::EmptyInput { operation } => {
+                write!(f, "empty input passed to `{operation}`")
+            }
+            NumericError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in `{operation}`: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumericError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NumericError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+            NumericError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+/// Convenience result alias for the numeric substrate.
+pub type NumericResult<T> = Result<T, NumericError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_input() {
+        let e = NumericError::EmptyInput { operation: "mean" };
+        assert_eq!(e.to_string(), "empty input passed to `mean`");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumericError::DimensionMismatch {
+            operation: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = NumericError::InvalidParameter {
+            name: "sigma",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&NumericError::Numerical {
+            reason: "nan".into(),
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Equal-width histograms.
+//!
+//! Figure 1 of the paper shows histogram + KDE overlays for four numeric columns whose
+//! shapes overlap but whose semantics differ; the `figure1` bench binary regenerates those
+//! series with this type. Histograms are also used internally for the entropy feature and
+//! for summarising synthetic columns in tests.
+
+use crate::error::{NumericError, NumericResult};
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub min: f64,
+    /// Upper edge of the last bin.
+    pub max: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Raw counts per bin.
+    pub counts: Vec<usize>,
+    /// Total number of observations.
+    pub total: usize,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins covering `[min(values), max(values)]`.
+    /// Values equal to the maximum fall into the last bin.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::EmptyInput`] for empty data and
+    /// [`NumericError::InvalidParameter`] for `bins == 0`.
+    pub fn new(values: &[f64], bins: usize) -> NumericResult<Self> {
+        if values.is_empty() {
+            return Err(NumericError::EmptyInput {
+                operation: "Histogram::new",
+            });
+        }
+        if bins == 0 {
+            return Err(NumericError::InvalidParameter {
+                name: "bins",
+                reason: "a histogram needs at least one bin".into(),
+            });
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if (hi - lo).abs() < f64::EPSILON {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let mut idx = ((v - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        Ok(Histogram {
+            min: lo,
+            max: hi,
+            bin_width: width,
+            counts,
+            total: values.len(),
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin centres, in order.
+    pub fn centers(&self) -> Vec<f64> {
+        (0..self.counts.len())
+            .map(|i| self.min + (i as f64 + 0.5) * self.bin_width)
+            .collect()
+    }
+
+    /// Relative frequencies (counts divided by total). Sums to 1.
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Density estimate per bin (frequency divided by bin width) so the histogram integrates
+    /// to 1 and can be overlaid with a KDE curve.
+    pub fn densities(&self) -> Vec<f64> {
+        self.frequencies()
+            .into_iter()
+            .map(|f| f / self.bin_width)
+            .collect()
+    }
+
+    /// Index of the most populated bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_or_zero_bins() {
+        assert!(Histogram::new(&[], 10).is_err());
+        assert!(Histogram::new(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&values, 10).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 100);
+        assert_eq!(h.total, 100);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.counts, vec![10; 10]);
+    }
+
+    #[test]
+    fn maximum_value_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 1.0, 2.0, 3.0, 4.0], 5).unwrap();
+        assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn constant_column_widens_range() {
+        let h = Histogram::new(&[3.0; 20], 4).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 20);
+        assert!(h.min < 3.0 && h.max > 3.0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one_and_density_integrates_to_one() {
+        let values: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let h = Histogram::new(&values, 8).unwrap();
+        let fsum: f64 = h.frequencies().iter().sum();
+        assert!((fsum - 1.0).abs() < 1e-12);
+        let integral: f64 = h.densities().iter().map(|d| d * h.bin_width).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers_are_equally_spaced_and_inside_range() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&values, 4).unwrap();
+        let centers = h.centers();
+        assert_eq!(centers.len(), 4);
+        for w in centers.windows(2) {
+            assert!((w[1] - w[0] - h.bin_width).abs() < 1e-12);
+        }
+        assert!(centers[0] > h.min && centers[3] < h.max);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut values = vec![5.0; 50];
+        values.extend((0..10).map(|i| i as f64));
+        let h = Histogram::new(&values, 10).unwrap();
+        let mode_center = h.centers()[h.mode_bin()];
+        assert!((mode_center - 5.0).abs() < h.bin_width);
+    }
+}

@@ -1,0 +1,52 @@
+//! # gem-numeric
+//!
+//! Numerical substrate for the Gem reproduction (EDBT 2025, "Gem: Gaussian Mixture Model
+//! Embeddings for Numerical Feature Distributions").
+//!
+//! Everything in this crate is implemented from scratch on `f64` slices and a small dense
+//! row-major [`Matrix`] type. The crate provides:
+//!
+//! * [`vector`] — element-wise vector arithmetic, norms and normalisation (the paper's
+//!   Equations 7, 9 and 10 are built on these primitives).
+//! * [`matrix`] — a dense row-major matrix used for embedding matrices, responsibilities
+//!   and the neural-network substrate.
+//! * [`stats`] — descriptive statistics of a numeric column: mean, variance, coefficient
+//!   of variation, entropy, range, percentiles, unique count (the statistical features of
+//!   §3.2 of the paper).
+//! * [`special`] — special functions (`erf`, `ln_gamma`, regularised incomplete gamma and
+//!   beta) needed by the reference CDFs.
+//! * [`dist`] — the seven reference distributions used by the Kolmogorov–Smirnov baseline
+//!   (normal, uniform, exponential, beta, gamma, log-normal, logistic) with PDF/CDF.
+//! * [`histogram`] / [`kde`] — histogram and Gaussian kernel density estimation (Figure 1).
+//! * [`distance`] — cosine similarity and similarity matrices used by the top-k retrieval
+//!   evaluation.
+//! * [`standardize`] — feature standardisation (z-score) and L1/L2 normalisation.
+//!
+//! The crate is deliberately dependency-light so that the higher layers (GMM, neural nets,
+//! baselines) are built on a single, well-tested numeric foundation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dist;
+pub mod distance;
+pub mod error;
+pub mod histogram;
+pub mod kde;
+pub mod matrix;
+pub mod special;
+pub mod standardize;
+pub mod stats;
+pub mod vector;
+
+pub use dist::{
+    BetaDist, ContinuousDistribution, ExponentialDist, GammaDist, LogNormalDist, LogisticDist,
+    NormalDist, UniformDist,
+};
+pub use distance::{cosine_similarity, euclidean_distance, similarity_matrix};
+pub use error::NumericError;
+pub use histogram::Histogram;
+pub use kde::KernelDensityEstimate;
+pub use matrix::Matrix;
+pub use standardize::{l1_normalize, l2_normalize, standardize_columns, standardize_vector};
+pub use stats::ColumnStats;

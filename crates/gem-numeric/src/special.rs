@@ -1,0 +1,290 @@
+//! Special functions used by the reference distributions.
+//!
+//! The Kolmogorov–Smirnov baseline (§4.1.3 of the paper) compares each column's empirical
+//! CDF with seven theoretical distributions. Their CDFs need the error function, the
+//! log-gamma function and the regularised incomplete gamma/beta functions, all of which are
+//! implemented here from scratch with accuracy sufficient for goodness-of-fit statistics
+//! (absolute error well below 1e-8 over the tested domain).
+
+/// Error function `erf(x)`, computed from the regularised lower incomplete gamma function
+/// `P(1/2, x²)` for accuracy better than the classic Abramowitz–Stegun polynomial.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = lower_incomplete_gamma_regularized(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for positive arguments; negative non-integer arguments are handled via
+/// the reflection formula.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for the upper tail
+/// otherwise (Numerical Recipes `gammp`/`gammq` structure).
+pub fn lower_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_continued_fraction(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn upper_incomplete_gamma_regularized(a: f64, x: f64) -> f64 {
+    1.0 - lower_incomplete_gamma_regularized(a, x)
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+fn gamma_continued_fraction(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = 1e-300;
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Regularised incomplete beta function `I_x(a, b)`, via the continued-fraction expansion
+/// (Numerical Recipes `betai`).
+pub fn incomplete_beta_regularized(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from standard tables.
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(0.5) - 0.520_499_877_8).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 1e-8);
+        assert!((erf(2.0) - 0.995_322_265_0).abs() < 1e-8);
+        assert!((erf(-1.0) + 0.842_700_792_9).abs() < 1e-8);
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-2.0, -0.3, 0.0, 0.7, 1.5, 3.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-10);
+        assert!((ln_gamma(10.0) - (362_880.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_boundaries() {
+        assert_eq!(lower_incomplete_gamma_regularized(2.0, 0.0), 0.0);
+        assert!((lower_incomplete_gamma_regularized(2.0, 1e8) - 1.0).abs() < 1e-10);
+        // P(1, x) = 1 - e^{-x}
+        for x in [0.1f64, 0.5, 1.0, 2.5, 7.0] {
+            let expected = 1.0 - (-x).exp();
+            assert!((lower_incomplete_gamma_regularized(1.0, x) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn upper_gamma_complements_lower() {
+        for (a, x) in [(0.5, 0.2), (2.0, 3.0), (5.0, 1.0)] {
+            let p = lower_incomplete_gamma_regularized(a, x);
+            let q = upper_incomplete_gamma_regularized(a, x);
+            assert!((p + q - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta_regularized(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta_regularized(2.0, 3.0, 1.0), 1.0);
+        // I_x(a, b) = 1 - I_{1-x}(b, a)
+        for (a, b, x) in [(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (5.0, 1.5, 0.2)] {
+            let lhs = incomplete_beta_regularized(a, b, x);
+            let rhs = 1.0 - incomplete_beta_regularized(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((incomplete_beta_regularized(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry
+        assert!((incomplete_beta_regularized(2.0, 2.0, 0.5) - 0.5).abs() < 1e-10);
+        // I_{0.25}(2, 2) = 3x^2 - 2x^3 evaluated CDF of Beta(2,2): 0.15625
+        assert!((incomplete_beta_regularized(2.0, 2.0, 0.25) - 0.15625).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = erf(-3.0);
+        let mut x = -3.0;
+        while x <= 3.0 {
+            let v = erf(x);
+            assert!(v + 1e-14 >= prev);
+            prev = v;
+            x += 0.05;
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Element-wise vector arithmetic, norms and normalisation on `&[f64]` slices.
+//!
+//! These primitives underlie the paper's normalisation equations:
+//!
+//! * Equation 7 — standardisation of statistical feature vectors (see [`crate::standardize`]),
+//! * Equation 9 — L1 normalisation of the augmented feature vector,
+//! * Equation 10 — L1 normalisation of the header embedding,
+//! * Equation 11/13 — concatenation of the component embeddings.
+
+use crate::error::{NumericError, NumericResult};
+
+/// Dot product of two equal-length vectors.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> NumericResult<f64> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "dot",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| x * y).sum())
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// L2 (Euclidean) norm.
+pub fn norm_l2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Element-wise sum of two vectors.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> NumericResult<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "add",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| x + y).collect())
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> NumericResult<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "sub",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| x - y).collect())
+}
+
+/// Scale every element by `factor`.
+pub fn scale(a: &[f64], factor: f64) -> Vec<f64> {
+    a.iter().map(|x| x * factor).collect()
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Errors
+/// Returns [`NumericError::DimensionMismatch`] when the lengths differ.
+pub fn hadamard(a: &[f64], b: &[f64]) -> NumericResult<Vec<f64>> {
+    if a.len() != b.len() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "hadamard",
+            left: (1, a.len()),
+            right: (1, b.len()),
+        });
+    }
+    Ok(a.iter().zip(b.iter()).map(|(x, y)| x * y).collect())
+}
+
+/// Concatenate any number of vectors into a single owned vector.
+///
+/// This is the `[a ∥ b ∥ ...]` operation of Equations 8, 11 and 13 of the paper.
+pub fn concat(parts: &[&[f64]]) -> Vec<f64> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Element-wise mean of several equal-length vectors (used by the *aggregation* composition
+/// method of §4.2.2).
+///
+/// # Errors
+/// Returns [`NumericError::EmptyInput`] for an empty collection and
+/// [`NumericError::DimensionMismatch`] when lengths differ.
+pub fn mean_of(parts: &[&[f64]]) -> NumericResult<Vec<f64>> {
+    if parts.is_empty() {
+        return Err(NumericError::EmptyInput {
+            operation: "mean_of",
+        });
+    }
+    let len = parts[0].len();
+    let mut acc = vec![0.0; len];
+    for p in parts {
+        if p.len() != len {
+            return Err(NumericError::DimensionMismatch {
+                operation: "mean_of",
+                left: (1, len),
+                right: (1, p.len()),
+            });
+        }
+        for (a, x) in acc.iter_mut().zip(p.iter()) {
+            *a += x;
+        }
+    }
+    let n = parts.len() as f64;
+    for a in acc.iter_mut() {
+        *a /= n;
+    }
+    Ok(acc)
+}
+
+/// Sum of all elements.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Index of the maximum element. Returns `None` for an empty slice; NaNs are ignored unless
+/// every element is NaN, in which case index 0 is returned.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in a.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element. Returns `None` for an empty slice.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = f64::INFINITY;
+    for (i, &v) in a.iter().enumerate() {
+        if v < best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Numerically stable log-sum-exp: `ln(Σ exp(a_i))`.
+///
+/// Used by the EM implementation to normalise responsibilities in log space without
+/// underflow when component densities are tiny.
+pub fn log_sum_exp(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = a.iter().map(|x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Returns `true` when every element is finite.
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn dot_basic() {
+        assert!((dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap() - 32.0).abs() < EPS);
+    }
+
+    #[test]
+    fn dot_mismatch_errors() {
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm_l1(&[-1.0, 2.0, -3.0]) - 6.0).abs() < EPS);
+        assert!((norm_l2(&[3.0, 4.0]) - 5.0).abs() < EPS);
+        assert_eq!(norm_l1(&[]), 0.0);
+        assert_eq!(norm_l2(&[]), 0.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, 2.0], 2.5), vec![2.5, 5.0]);
+        assert!(add(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(sub(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn hadamard_basic() {
+        assert_eq!(
+            hadamard(&[1.0, 2.0, 3.0], &[2.0, 0.5, -1.0]).unwrap(),
+            vec![2.0, 1.0, -3.0]
+        );
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        let c = [4.0, 5.0];
+        assert_eq!(concat(&[&a, &b, &c]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(concat(&[]).is_empty());
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(mean_of(&[&a, &b]).unwrap(), vec![2.0, 3.0]);
+        assert!(mean_of(&[]).is_err());
+        let short = [1.0];
+        assert!(mean_of(&[&a, &short]).is_err());
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, -3.0]), Some(2));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_computation() {
+        let a = [0.1f64, 0.5, -0.3];
+        let direct: f64 = a.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&a) - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_negatives_without_underflow() {
+        let a = [-1000.0, -1000.0];
+        // direct computation underflows to ln(0) = -inf; the stable version keeps precision.
+        let v = log_sum_exp(&a);
+        assert!((v - (-1000.0 + (2.0f64).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,215 @@
+//! The hashed header embedder.
+
+use crate::synonyms::SynonymTable;
+use crate::tokenizer::tokenize;
+use gem_numeric::standardize::{l1_normalize, l2_normalize};
+
+/// Default dimensionality of header embeddings.
+///
+/// SBERT's MiniLM variants emit 384 dimensions; 128 hashed dimensions are plenty for the
+/// vocabulary sizes seen in column headers while keeping the concatenated Gem embeddings
+/// small.
+pub const DEFAULT_TEXT_DIM: usize = 128;
+
+/// Anything that can turn a header string into a fixed-size dense vector.
+///
+/// The Gem pipeline is generic over this trait so a real SBERT client could be plugged in
+/// when network access and a model are available; the reproduction uses [`HashEmbedder`].
+pub trait TextEmbedder {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Embed one header. Must always return a vector of length [`TextEmbedder::dim`].
+    fn embed(&self, header: &str) -> Vec<f64>;
+
+    /// Embed a batch of headers (default: map [`TextEmbedder::embed`]).
+    fn embed_batch(&self, headers: &[String]) -> Vec<Vec<f64>> {
+        headers.iter().map(|h| self.embed(h)).collect()
+    }
+}
+
+/// Deterministic feature-hashing embedder over word tokens and character trigrams.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    synonyms: SynonymTable,
+    /// Relative weight of whole-token features vs character-trigram features.
+    token_weight: f64,
+    trigram_weight: f64,
+}
+
+impl Default for HashEmbedder {
+    fn default() -> Self {
+        HashEmbedder::new(DEFAULT_TEXT_DIM)
+    }
+}
+
+impl HashEmbedder {
+    /// Create an embedder with the given dimensionality (must be at least 2).
+    ///
+    /// # Panics
+    /// Panics when `dim < 2`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "text embedding dimension must be at least 2");
+        HashEmbedder {
+            dim,
+            synonyms: SynonymTable::new(),
+            token_weight: 1.0,
+            trigram_weight: 0.4,
+        }
+    }
+
+    /// Embed and L1-normalise, which is the form Gem concatenates (Equation 10).
+    pub fn embed_l1(&self, header: &str) -> Vec<f64> {
+        l1_normalize(&self.embed(header))
+    }
+
+    fn add_feature(&self, vec: &mut [f64], feature: &str, weight: f64) {
+        let h = fnv1a(feature.as_bytes());
+        let idx = (h % self.dim as u64) as usize;
+        // A second, independent hash decides the sign, which keeps hash collisions from
+        // systematically inflating one coordinate (standard signed feature hashing).
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        vec[idx] += sign * weight;
+    }
+}
+
+impl TextEmbedder for HashEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, header: &str) -> Vec<f64> {
+        let mut vec = vec![0.0; self.dim];
+        let tokens = self.synonyms.canonicalize(&tokenize(header));
+        if tokens.is_empty() {
+            return vec;
+        }
+        for token in &tokens {
+            self.add_feature(&mut vec, &format!("tok:{token}"), self.token_weight);
+            // Character trigrams of the padded token give sub-word overlap (e.g.
+            // "temperature" vs "temperatures" share nearly all trigrams).
+            let padded: Vec<char> = format!("^{token}$").chars().collect();
+            if padded.len() >= 3 {
+                for w in padded.windows(3) {
+                    let tri: String = w.iter().collect();
+                    self.add_feature(&mut vec, &format!("tri:{tri}"), self.trigram_weight);
+                }
+            }
+        }
+        // Average over tokens so long headers are not systematically larger, then
+        // L2-normalise so cosine similarity is well behaved.
+        let n = tokens.len() as f64;
+        for v in vec.iter_mut() {
+            *v /= n;
+        }
+        l2_normalize(&vec)
+    }
+}
+
+/// 64-bit FNV-1a hash (stable across runs and platforms, unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_numeric::distance::cosine_similarity;
+
+    fn sim(a: &str, b: &str) -> f64 {
+        let e = HashEmbedder::default();
+        cosine_similarity(&e.embed(a), &e.embed(b)).unwrap()
+    }
+
+    #[test]
+    fn embedding_has_requested_dimension_and_unit_norm() {
+        let e = HashEmbedder::new(64);
+        let v = e.embed("engine_power");
+        assert_eq!(v.len(), 64);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_headers_have_identical_embeddings() {
+        let e = HashEmbedder::default();
+        assert_eq!(e.embed("MarketValue"), e.embed("MarketValue"));
+        assert!((sim("MarketValue", "market_value") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_tokens_give_high_but_not_perfect_similarity() {
+        let s = sim("score_cricket", "score_rugby");
+        assert!(s > 0.25, "similarity was {s}");
+        assert!(s < 0.99, "similarity was {s}");
+    }
+
+    #[test]
+    fn unrelated_headers_are_nearly_orthogonal() {
+        let s = sim("population_density", "shoe_size");
+        assert!(s.abs() < 0.35, "similarity was {s}");
+        let related = sim("engine_power_car", "engine_power_truck");
+        assert!(related > s);
+    }
+
+    #[test]
+    fn synonyms_increase_similarity() {
+        // "qty" folds onto "quantity", so the two headers share the canonical token.
+        let s = sim("qty_sold", "quantity_sold");
+        assert!(s > 0.9, "similarity was {s}");
+    }
+
+    #[test]
+    fn empty_header_maps_to_zero_vector() {
+        let e = HashEmbedder::default();
+        let v = e.embed("");
+        assert_eq!(v.len(), DEFAULT_TEXT_DIM);
+        assert!(v.iter().all(|&x| x == 0.0));
+        let v2 = e.embed("___");
+        assert!(v2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn l1_variant_sums_to_one_in_absolute_value() {
+        let e = HashEmbedder::default();
+        let v = e.embed_l1("test_score");
+        let l1: f64 = v.iter().map(|x| x.abs()).sum();
+        assert!((l1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_embedding_matches_individual() {
+        let e = HashEmbedder::default();
+        let headers = vec!["age".to_string(), "height".to_string()];
+        let batch = e.embed_batch(&headers);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], e.embed("age"));
+        assert_eq!(batch[1], e.embed("height"));
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        assert_eq!(fnv1a(b"age"), fnv1a(b"age"));
+        assert_ne!(fnv1a(b"age"), fnv1a(b"agf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_dimension_panics() {
+        HashEmbedder::new(1);
+    }
+
+    #[test]
+    fn plural_and_singular_are_close() {
+        let s = sim("temperatures", "temperature");
+        assert!(s > 0.8, "similarity was {s}");
+    }
+}

@@ -1,0 +1,178 @@
+//! A small domain synonym/abbreviation table.
+//!
+//! Data-lake headers abbreviate heavily (`qty`, `amt`, `yr`, `pct`). SBERT absorbs much of
+//! this through sub-word semantics; the hashing embedder recovers a useful fraction of it by
+//! folding well-known abbreviations and close synonyms onto canonical tokens before hashing.
+
+use std::collections::HashMap;
+
+/// Maps common header abbreviations and close synonyms to canonical tokens.
+#[derive(Debug, Clone)]
+pub struct SynonymTable {
+    map: HashMap<&'static str, &'static str>,
+}
+
+impl Default for SynonymTable {
+    fn default() -> Self {
+        SynonymTable::new()
+    }
+}
+
+impl SynonymTable {
+    /// Build the built-in table.
+    pub fn new() -> Self {
+        let entries: &[(&'static str, &'static str)] = &[
+            // quantities and amounts
+            ("qty", "quantity"),
+            ("quant", "quantity"),
+            ("amt", "amount"),
+            ("num", "number"),
+            ("nbr", "number"),
+            ("cnt", "count"),
+            ("tot", "total"),
+            // money
+            ("amnt", "amount"),
+            ("val", "value"),
+            ("cost", "price"),
+            ("prc", "price"),
+            ("revenue", "income"),
+            ("salary", "income"),
+            ("wage", "income"),
+            // time
+            ("yr", "year"),
+            ("yrs", "year"),
+            ("mo", "month"),
+            ("mth", "month"),
+            ("hr", "hour"),
+            ("hrs", "hour"),
+            ("min", "minute"),
+            ("mins", "minute"),
+            ("sec", "second"),
+            ("secs", "second"),
+            ("dur", "duration"),
+            ("dob", "birthdate"),
+            // measurements
+            ("wt", "weight"),
+            ("wgt", "weight"),
+            ("ht", "height"),
+            ("len", "length"),
+            ("lng", "length"),
+            ("dist", "distance"),
+            ("temp", "temperature"),
+            ("lat", "latitude"),
+            ("lon", "longitude"),
+            ("lng2", "longitude"),
+            ("alt", "altitude"),
+            ("elev", "elevation"),
+            ("vol", "volume"),
+            ("pct", "percent"),
+            ("perc", "percent"),
+            ("percentage", "percent"),
+            ("avg", "average"),
+            ("med", "median"),
+            ("std", "deviation"),
+            ("stdev", "deviation"),
+            // identifiers and ranks
+            ("id", "identifier"),
+            ("idx", "index"),
+            ("no", "number"),
+            ("pos", "position"),
+            ("rnk", "rank"),
+            ("ranking", "rank"),
+            // people
+            ("pop", "population"),
+            ("age", "age"),
+            // scores and ratings
+            ("scr", "score"),
+            ("rating", "score"),
+            ("stars", "score"),
+            // plural → singular for the most frequent cases
+            ("scores", "score"),
+            ("prices", "price"),
+            ("values", "value"),
+            ("weights", "weight"),
+            ("heights", "height"),
+            ("years", "year"),
+            ("ages", "age"),
+            ("counts", "count"),
+            ("ranks", "rank"),
+            ("ratings", "score"),
+            ("quantities", "quantity"),
+            ("amounts", "amount"),
+            ("durations", "duration"),
+            ("temperatures", "temperature"),
+            ("populations", "population"),
+        ];
+        SynonymTable {
+            map: entries.iter().cloned().collect(),
+        }
+    }
+
+    /// Canonicalise a single lower-case token. Unknown tokens are returned unchanged.
+    pub fn canonical<'a>(&self, token: &'a str) -> &'a str
+    where
+        'static: 'a,
+    {
+        self.map.get(token).copied().unwrap_or(token)
+    }
+
+    /// Canonicalise a whole token sequence.
+    pub fn canonicalize(&self, tokens: &[String]) -> Vec<String> {
+        tokens
+            .iter()
+            .map(|t| self.canonical(t.as_str()).to_string())
+            .collect()
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty (never true for the built-in table).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_abbreviations_fold_to_canonical_forms() {
+        let t = SynonymTable::new();
+        assert_eq!(t.canonical("qty"), "quantity");
+        assert_eq!(t.canonical("yr"), "year");
+        assert_eq!(t.canonical("wt"), "weight");
+        assert_eq!(t.canonical("pct"), "percent");
+    }
+
+    #[test]
+    fn unknown_tokens_pass_through() {
+        let t = SynonymTable::new();
+        assert_eq!(t.canonical("cricket"), "cricket");
+        assert_eq!(t.canonical(""), "");
+    }
+
+    #[test]
+    fn plurals_fold_to_singular() {
+        let t = SynonymTable::new();
+        assert_eq!(t.canonical("scores"), "score");
+        assert_eq!(t.canonical("prices"), "price");
+    }
+
+    #[test]
+    fn canonicalize_sequences() {
+        let t = SynonymTable::new();
+        let toks = vec!["qty".to_string(), "sold".to_string()];
+        assert_eq!(t.canonicalize(&toks), vec!["quantity", "sold"]);
+    }
+
+    #[test]
+    fn table_is_populated() {
+        let t = SynonymTable::new();
+        assert!(!t.is_empty());
+        assert!(t.len() > 50);
+    }
+}

@@ -1,0 +1,93 @@
+//! Header tokenisation.
+//!
+//! Column headers in data lakes mix naming conventions: `Score_Cricket`, `enginePowerCar`,
+//! `battery power (device)`, `p10`. The tokenizer normalises all of these into lower-case
+//! word tokens so the embedder and the synonym table see a canonical form.
+
+/// Split a header string into lower-cased tokens.
+///
+/// Boundaries are: any non-alphanumeric character, an underscore, a transition from a digit
+/// to a letter (or vice versa), and a lower-to-upper camelCase transition. Empty tokens are
+/// dropped.
+pub fn tokenize(header: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev: Option<char> = None;
+    for c in header.chars() {
+        let is_word = c.is_alphanumeric();
+        if !is_word {
+            flush(&mut current, &mut tokens);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel_boundary = p.is_lowercase() && c.is_uppercase();
+            let digit_boundary = p.is_ascii_digit() != c.is_ascii_digit();
+            if camel_boundary || digit_boundary {
+                flush(&mut current, &mut tokens);
+            }
+        }
+        current.extend(c.to_lowercase());
+        prev = Some(c);
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+fn flush(current: &mut String, tokens: &mut Vec<String>) {
+    if !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_underscores_and_lowercases() {
+        assert_eq!(tokenize("Score_Cricket"), vec!["score", "cricket"]);
+        assert_eq!(tokenize("engine_power_car"), vec!["engine", "power", "car"]);
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize("enginePowerCar"), vec!["engine", "power", "car"]);
+        assert_eq!(tokenize("MarketValue"), vec!["market", "value"]);
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("battery power (device)"),
+            vec!["battery", "power", "device"]
+        );
+        assert_eq!(tokenize("height-mountain"), vec!["height", "mountain"]);
+    }
+
+    #[test]
+    fn splits_digit_boundaries() {
+        assert_eq!(tokenize("p10"), vec!["p", "10"]);
+        assert_eq!(tokenize("top10percent"), vec!["top", "10", "percent"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_headers() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("___").is_empty());
+        assert!(tokenize("--- !!").is_empty());
+    }
+
+    #[test]
+    fn consecutive_uppercase_stays_together() {
+        // Acronyms like GDP are not exploded letter-by-letter.
+        assert_eq!(tokenize("GDP"), vec!["gdp"]);
+        assert_eq!(tokenize("countryGDP"), vec!["country", "gdp"]);
+    }
+
+    #[test]
+    fn unicode_headers_are_handled() {
+        assert_eq!(tokenize("prix_moyen"), vec!["prix", "moyen"]);
+        assert_eq!(tokenize("größe"), vec!["größe"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration tests for the downstream clustering pipeline (the Table 4 path):
+//! corpus → Gem embeddings → SDCN / TableDC → ARI / ACC.
+
+use gem::cluster::{DeepClustering, Sdcn, TableDc};
+use gem::core::{FeatureSet, GemColumn, GemConfig, GemEmbedder};
+use gem::data::{gds, CorpusConfig, Granularity};
+use gem::eval::{adjusted_rand_index, clustering_accuracy};
+use gem::gmm::GmmConfig;
+
+fn corpus_and_embeddings() -> (Vec<usize>, usize, gem::numeric::Matrix) {
+    let dataset = gds(&CorpusConfig {
+        scale: 0.03,
+        min_values: 30,
+        max_values: 60,
+        seed: 37,
+    });
+    let columns: Vec<GemColumn> = dataset
+        .columns
+        .iter()
+        .map(|c| GemColumn::new(c.values.clone(), c.header.clone()))
+        .collect();
+    let embedding = GemEmbedder::new(GemConfig {
+        gmm: GmmConfig::with_components(8).restarts(2).with_seed(3),
+        ..GemConfig::default()
+    })
+    .embed(&columns, FeatureSet::dsc())
+    .expect("gem embedding");
+    let truth = Granularity::Fine.label_indices(&dataset);
+    let k = Granularity::Fine.n_clusters(&dataset);
+    (truth, k, embedding.matrix)
+}
+
+#[test]
+fn tabledc_clusters_gem_embeddings_better_than_random() {
+    let (truth, k, embeddings) = corpus_and_embeddings();
+    let labels = TableDc::fast(k).cluster(&embeddings);
+    assert_eq!(labels.len(), truth.len());
+    let ari = adjusted_rand_index(&labels, &truth);
+    let acc = clustering_accuracy(&labels, &truth);
+    assert!(ari > 0.05, "TableDC ARI {ari} should be clearly above random");
+    assert!(acc > 1.5 / k as f64, "TableDC ACC {acc} should beat chance");
+}
+
+#[test]
+fn sdcn_clusters_gem_embeddings_better_than_random() {
+    let (truth, k, embeddings) = corpus_and_embeddings();
+    let labels = Sdcn::fast(k).cluster(&embeddings);
+    assert_eq!(labels.len(), truth.len());
+    let ari = adjusted_rand_index(&labels, &truth);
+    assert!(ari > 0.05, "SDCN ARI {ari} should be clearly above random");
+}
+
+#[test]
+fn headers_plus_values_cluster_better_than_values_only_on_gds() {
+    // Table 4's key comparison for Gem embeddings on GDS.
+    let dataset = gds(&CorpusConfig {
+        scale: 0.03,
+        min_values: 30,
+        max_values: 60,
+        seed: 41,
+    });
+    let truth = Granularity::Fine.label_indices(&dataset);
+    let k = Granularity::Fine.n_clusters(&dataset);
+    let columns: Vec<GemColumn> = dataset
+        .columns
+        .iter()
+        .map(|c| GemColumn::new(c.values.clone(), c.header.clone()))
+        .collect();
+    let embedder = GemEmbedder::new(GemConfig {
+        gmm: GmmConfig::with_components(8).restarts(2).with_seed(3),
+        ..GemConfig::default()
+    });
+    let values_only = embedder.embed(&columns, FeatureSet::ds()).unwrap().matrix;
+    let with_headers = embedder.embed(&columns, FeatureSet::dsc()).unwrap().matrix;
+    let ari_values = adjusted_rand_index(&TableDc::fast(k).cluster(&values_only), &truth);
+    let ari_full = adjusted_rand_index(&TableDc::fast(k).cluster(&with_headers), &truth);
+    assert!(
+        ari_full > ari_values,
+        "headers+values ARI {ari_full} should exceed values-only ARI {ari_values}"
+    );
+}
