@@ -6,8 +6,10 @@
 //! non-positive values) contribute the maximal distance 1.0.
 
 use crate::ColumnEmbedder;
-use gem_core::GemColumn;
-use gem_numeric::dist::{fit_reference_distributions, reference_family_names, ContinuousDistribution};
+use gem_core::{GemColumn, GemError};
+use gem_numeric::dist::{
+    fit_reference_distributions, reference_family_names, ContinuousDistribution,
+};
 use gem_numeric::Matrix;
 
 /// The KS-statistic baseline.
@@ -57,16 +59,17 @@ impl KsEncoder {
 }
 
 impl ColumnEmbedder for KsEncoder {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "KS statistic"
     }
 
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
         let rows: Vec<Vec<f64>> = columns
             .iter()
             .map(|c| Self::column_features(&c.values))
             .collect();
-        Matrix::from_rows(&rows).unwrap_or_else(|_| Matrix::zeros(0, reference_family_names().len()))
+        Ok(Matrix::from_rows(&rows)
+            .unwrap_or_else(|_| Matrix::zeros(0, reference_family_names().len())))
     }
 }
 
@@ -142,7 +145,7 @@ mod tests {
             GemColumn::values_only((1..200).map(|i| ((i as f64) / 20.0).exp()).collect()), // skewed
             GemColumn::values_only(vec![]),
         ];
-        let emb = enc.embed_columns(&cols);
+        let emb = enc.embed_columns(&cols).unwrap();
         assert_eq!(emb.shape(), (3, 7));
         assert_ne!(emb.row(0), emb.row(1));
         assert!(emb.row(2).iter().all(|&v| v == 1.0));

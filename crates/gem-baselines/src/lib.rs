@@ -38,29 +38,30 @@ pub use sherlock::SherlockSc;
 pub use som::SelfOrganizingMap;
 pub use squashing::{squash, SquashingGmm, SquashingSom};
 
-use gem_core::GemColumn;
-use gem_numeric::Matrix;
+// The `ColumnEmbedder` / `SupervisedColumnEmbedder` traits were hoisted into `gem-core`
+// so that Gem itself and the baselines share one method abstraction; they are re-exported
+// here for backwards compatibility.
+pub use gem_core::{ColumnEmbedder, MethodRegistry, SupervisedColumnEmbedder};
 
-/// An unsupervised baseline that maps a set of columns to an embedding matrix
-/// (one row per column).
-pub trait ColumnEmbedder {
-    /// Short method name used in result tables.
-    fn name(&self) -> &'static str;
-
-    /// Embed the columns. Implementations must return one row per input column.
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix;
+/// Register all eight baselines of the paper into `registry`, in the row order of
+/// Table 2 / Table 3:
+///
+/// * numeric-only (tag `"numeric-only"`): Squashing_GMM, Squashing_SOM, PLE, PAF,
+///   KS statistic — each sized by `n_components` where applicable,
+/// * supervised (tag `"supervised"`): Pythagoras_SC, Sherlock_SC, Sato_SC.
+pub fn register_baselines(registry: &mut MethodRegistry, n_components: usize) {
+    registry.register_unsupervised(SquashingGmm::new(n_components), &["numeric-only"]);
+    registry.register_unsupervised(SquashingSom::new(n_components), &["numeric-only"]);
+    registry.register_unsupervised(PiecewiseLinearEncoder::new(n_components), &["numeric-only"]);
+    registry.register_unsupervised(PeriodicEncoder::new(n_components), &["numeric-only"]);
+    registry.register_unsupervised(KsEncoder, &["numeric-only"]);
+    registry.register_supervised(PythagorasSc::default(), &["supervised"]);
+    registry.register_supervised(SherlockSc::default(), &["supervised"]);
+    registry.register_supervised(SatoSc::default(), &["supervised"]);
 }
 
-/// A supervised baseline that is first trained against semantic-type labels (one label per
-/// column) and then produces embeddings from its hidden representation — the protocol the
-/// paper uses for Sherlock_SC, Sato_SC and Pythagoras_SC.
-pub trait SupervisedColumnEmbedder {
-    /// Short method name used in result tables.
-    fn name(&self) -> &'static str;
-
-    /// Train on the given columns and labels, then return one embedding row per column.
-    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix;
-}
+/// The number of baseline methods [`register_baselines`] contributes.
+pub const N_BASELINES: usize = 8;
 
 #[cfg(test)]
 mod trait_tests {
@@ -69,11 +70,11 @@ mod trait_tests {
     #[test]
     fn unsupervised_baselines_report_distinct_names() {
         let names = [
-            PiecewiseLinearEncoder::default().name(),
-            PeriodicEncoder::default().name(),
-            SquashingGmm::default().name(),
-            SquashingSom::default().name(),
-            KsEncoder::default().name(),
+            PiecewiseLinearEncoder::default().name().to_string(),
+            PeriodicEncoder::default().name().to_string(),
+            SquashingGmm::default().name().to_string(),
+            SquashingSom::default().name().to_string(),
+            KsEncoder.name().to_string(),
         ];
         let unique: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
@@ -82,11 +83,22 @@ mod trait_tests {
     #[test]
     fn supervised_baselines_report_distinct_names() {
         let names = [
-            SherlockSc::default().name(),
-            SatoSc::default().name(),
-            PythagorasSc::default().name(),
+            SherlockSc::default().name().to_string(),
+            SatoSc::default().name().to_string(),
+            PythagorasSc::default().name().to_string(),
         ];
         let unique: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn register_baselines_fills_a_registry_with_all_eight_methods() {
+        let mut registry = MethodRegistry::new();
+        register_baselines(&mut registry, 8);
+        assert_eq!(registry.len(), N_BASELINES);
+        assert_eq!(registry.tagged("numeric-only").count(), 5);
+        assert_eq!(registry.tagged("supervised").count(), 3);
+        assert!(registry.get("KS statistic").is_some());
+        assert!(registry.get("Sato_SC").unwrap().is_supervised());
     }
 }

@@ -7,7 +7,7 @@
 //! its value encodings.
 
 use crate::ColumnEmbedder;
-use gem_core::GemColumn;
+use gem_core::{GemColumn, GemError};
 use gem_numeric::Matrix;
 
 /// The PAF baseline.
@@ -45,8 +45,8 @@ impl PeriodicEncoder {
         if self.n_frequencies == 1 {
             return vec![self.min_frequency];
         }
-        let ratio = (self.max_frequency / self.min_frequency)
-            .powf(1.0 / (self.n_frequencies - 1) as f64);
+        let ratio =
+            (self.max_frequency / self.min_frequency).powf(1.0 / (self.n_frequencies - 1) as f64);
         (0..self.n_frequencies)
             .map(|i| self.min_frequency * ratio.powi(i as i32))
             .collect()
@@ -72,18 +72,23 @@ impl PeriodicEncoder {
 }
 
 impl ColumnEmbedder for PeriodicEncoder {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "PAF"
     }
 
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
         let freqs = self.frequencies();
         let dim = 2 * freqs.len();
         let (lo, hi) = Self::corpus_range(columns);
         let width = hi - lo;
         let mut out = Matrix::zeros(columns.len(), dim);
         for (i, col) in columns.iter().enumerate() {
-            let finite: Vec<f64> = col.values.iter().copied().filter(|v| v.is_finite()).collect();
+            let finite: Vec<f64> = col
+                .values
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
             if finite.is_empty() {
                 continue;
             }
@@ -101,7 +106,7 @@ impl ColumnEmbedder for PeriodicEncoder {
                 out.set(i, j, a / n);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -120,7 +125,7 @@ mod tests {
     #[test]
     fn embedding_dimension_is_twice_the_frequency_count() {
         let enc = PeriodicEncoder::new(7);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.shape(), (3, 14));
         assert!(emb.all_finite());
     }
@@ -128,14 +133,14 @@ mod tests {
     #[test]
     fn values_are_bounded_by_one() {
         let enc = PeriodicEncoder::default();
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert!(emb.as_slice().iter().all(|&v| v.abs() <= 1.0 + 1e-12));
     }
 
     #[test]
     fn identical_columns_match_and_different_columns_differ() {
         let enc = PeriodicEncoder::new(16);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.row(0), emb.row(2));
         assert_ne!(emb.row(0), emb.row(1));
     }
@@ -161,7 +166,7 @@ mod tests {
             GemColumn::values_only(vec![3.0; 10]),
             GemColumn::values_only(vec![f64::NAN, 1.0]),
         ];
-        let emb = enc.embed_columns(&cols);
+        let emb = enc.embed_columns(&cols).unwrap();
         assert!(emb.all_finite());
         assert!(emb.row(0).iter().all(|&v| v == 0.0));
     }

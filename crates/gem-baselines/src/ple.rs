@@ -8,7 +8,7 @@
 //! evaluation.
 
 use crate::ColumnEmbedder;
-use gem_core::GemColumn;
+use gem_core::{GemColumn, GemError};
 use gem_numeric::Matrix;
 
 /// The PLE baseline. The paper's parameter setting uses 50 bins (§4.1.4).
@@ -76,11 +76,11 @@ impl PiecewiseLinearEncoder {
 }
 
 impl ColumnEmbedder for PiecewiseLinearEncoder {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "PLE"
     }
 
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
         let edges = self.bin_edges(columns);
         let mut out = Matrix::zeros(columns.len(), self.n_bins);
         for (i, col) in columns.iter().enumerate() {
@@ -104,7 +104,7 @@ impl ColumnEmbedder for PiecewiseLinearEncoder {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn embedding_shape_and_monotonicity() {
         let enc = PiecewiseLinearEncoder::new(10);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.shape(), (3, 10));
         // Each row's entries are non-increasing from left to right only for single values;
         // for column means they stay within [0, 1].
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn identical_columns_get_identical_embeddings() {
         let enc = PiecewiseLinearEncoder::new(16);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.row(0), emb.row(2));
         assert_ne!(emb.row(0), emb.row(1));
     }
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn low_column_mass_below_high_column() {
         let enc = PiecewiseLinearEncoder::new(8);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         // The high-valued column saturates more bins (values exceed most edges).
         let low_sum: f64 = emb.row(0).iter().sum();
         let high_sum: f64 = emb.row(1).iter().sum();
@@ -167,7 +167,7 @@ mod tests {
             GemColumn::values_only(vec![]),
             GemColumn::values_only(vec![5.0; 20]),
         ];
-        let emb = enc.embed_columns(&cols);
+        let emb = enc.embed_columns(&cols).unwrap();
         assert_eq!(emb.rows(), 2);
         assert!(emb.row(0).iter().all(|&v| v == 0.0));
         assert!(emb.all_finite());

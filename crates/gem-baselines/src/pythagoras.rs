@@ -10,9 +10,9 @@
 
 use crate::sherlock::{one_hot_labels, sc_input_matrix};
 use crate::SupervisedColumnEmbedder;
-use gem_core::GemColumn;
-use gem_nn::{cross_entropy_loss, normalize_adjacency, Activation, GcnLayer, Sequential};
+use gem_core::{GemColumn, GemError};
 use gem_nn::Optimizer;
+use gem_nn::{cross_entropy_loss, normalize_adjacency, Activation, GcnLayer, Sequential};
 use gem_numeric::distance::cosine_similarity;
 use gem_numeric::Matrix;
 use gem_text::{HashEmbedder, TextEmbedder};
@@ -71,18 +71,20 @@ impl PythagorasSc {
 }
 
 impl SupervisedColumnEmbedder for PythagorasSc {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Pythagoras_SC"
     }
 
-    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
-        assert_eq!(
-            columns.len(),
-            labels.len(),
-            "Pythagoras_SC needs one label per column"
-        );
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
+        if columns.len() != labels.len() {
+            return Err(GemError::LabelCountMismatch {
+                method: "Pythagoras_SC".to_string(),
+                columns: columns.len(),
+                labels: labels.len(),
+            });
+        }
         if columns.is_empty() {
-            return Matrix::zeros(0, self.embedding_dim);
+            return Ok(Matrix::zeros(0, self.embedding_dim));
         }
         let x = sc_input_matrix(columns, self.text_dim);
         let norm_adj = normalize_adjacency(&self.header_adjacency(columns));
@@ -90,7 +92,12 @@ impl SupervisedColumnEmbedder for PythagorasSc {
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut gcn1 = GcnLayer::new(x.cols(), self.hidden_dim, Activation::Relu, &mut rng);
-        let mut gcn2 = GcnLayer::new(self.hidden_dim, self.embedding_dim, Activation::Tanh, &mut rng);
+        let mut gcn2 = GcnLayer::new(
+            self.hidden_dim,
+            self.embedding_dim,
+            Activation::Tanh,
+            &mut rng,
+        );
         let mut head = Sequential::new(self.seed.wrapping_add(1))
             .dense(self.embedding_dim, n_classes)
             .activation(Activation::Softmax);
@@ -110,7 +117,7 @@ impl SupervisedColumnEmbedder for PythagorasSc {
         }
 
         let h1 = gcn1.forward(&norm_adj, &x, false);
-        gcn2.forward(&norm_adj, &h1, false)
+        Ok(gcn2.forward(&norm_adj, &h1, false))
     }
 }
 
@@ -130,7 +137,9 @@ mod tests {
         }
         for s in 0..3 {
             columns.push(GemColumn::new(
-                (0..40).map(|i| ((i * 3 + s) % 60) as f64 * 1000.0).collect(),
+                (0..40)
+                    .map(|i| ((i * 3 + s) % 60) as f64 * 1000.0)
+                    .collect(),
                 "salary",
             ));
             labels.push("salary".to_string());
@@ -158,21 +167,23 @@ mod tests {
             epochs: 40,
             ..PythagorasSc::default()
         };
-        let emb = p.fit_embed(&cols, &labels);
+        let emb = p.fit_embed(&cols, &labels).unwrap();
         assert_eq!(emb.shape(), (6, p.embedding_dim));
         assert!(emb.all_finite());
     }
 
     #[test]
     fn empty_corpus_is_safe() {
-        let emb = PythagorasSc::default().fit_embed(&[], &[]);
+        let emb = PythagorasSc::default().fit_embed(&[], &[]).unwrap();
         assert_eq!(emb.rows(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "one label per column")]
-    fn mismatched_labels_panic() {
+    fn mismatched_labels_error() {
         let (cols, _) = corpus();
-        PythagorasSc::default().fit_embed(&cols, &["x".to_string()]);
+        let err = PythagorasSc::default()
+            .fit_embed(&cols, &["x".to_string()])
+            .unwrap_err();
+        assert!(matches!(err, GemError::LabelCountMismatch { .. }), "{err}");
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::sherlock::{one_hot_labels, sc_input_matrix};
 use crate::SupervisedColumnEmbedder;
-use gem_core::GemColumn;
+use gem_core::{GemColumn, GemError};
 use gem_nn::{cross_entropy_loss, Activation, Optimizer, Sequential};
 use gem_numeric::Matrix;
 
@@ -45,18 +45,20 @@ impl Default for SatoSc {
 }
 
 impl SupervisedColumnEmbedder for SatoSc {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Sato_SC"
     }
 
-    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
-        assert_eq!(
-            columns.len(),
-            labels.len(),
-            "Sato_SC needs one label per column"
-        );
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
+        if columns.len() != labels.len() {
+            return Err(GemError::LabelCountMismatch {
+                method: "Sato_SC".to_string(),
+                columns: columns.len(),
+                labels: labels.len(),
+            });
+        }
         if columns.is_empty() {
-            return Matrix::zeros(0, self.embedding_dim);
+            return Ok(Matrix::zeros(0, self.embedding_dim));
         }
         let x = sc_input_matrix(columns, self.text_dim);
         let (targets, n_classes) = one_hot_labels(labels);
@@ -81,7 +83,7 @@ impl SupervisedColumnEmbedder for SatoSc {
             head.step(optimizer);
             encoder.step(optimizer);
         }
-        encoder.predict(&x)
+        Ok(encoder.predict(&x))
     }
 }
 
@@ -116,22 +118,22 @@ mod tests {
             epochs: 50,
             ..SatoSc::default()
         };
-        let emb = sato.fit_embed(&cols, &labels);
+        let emb = sato.fit_embed(&cols, &labels).unwrap();
         assert_eq!(emb.shape(), (6, sato.embedding_dim));
         assert!(emb.all_finite());
     }
 
     #[test]
     fn empty_corpus_is_safe() {
-        let emb = SatoSc::default().fit_embed(&[], &[]);
+        let emb = SatoSc::default().fit_embed(&[], &[]).unwrap();
         assert_eq!(emb.rows(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "one label per column")]
-    fn mismatched_labels_panic() {
+    fn mismatched_labels_error() {
         let (cols, _) = corpus();
-        SatoSc::default().fit_embed(&cols, &[]);
+        let err = SatoSc::default().fit_embed(&cols, &[]).unwrap_err();
+        assert!(matches!(err, GemError::LabelCountMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -141,8 +143,8 @@ mod tests {
             epochs: 20,
             ..SatoSc::default()
         };
-        let a = sato.fit_embed(&cols, &labels);
-        let b = sato.fit_embed(&cols, &labels);
+        let a = sato.fit_embed(&cols, &labels).unwrap();
+        let b = sato.fit_embed(&cols, &labels).unwrap();
         assert_eq!(a, b);
     }
 }

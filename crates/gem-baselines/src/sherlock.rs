@@ -9,12 +9,12 @@
 //! penultimate hidden layer then provides the column embedding.
 
 use crate::SupervisedColumnEmbedder;
-use gem_core::GemColumn;
-use gem_numeric::stats::ColumnStats;
+use gem_core::{GemColumn, GemError};
+use gem_nn::{Activation, Optimizer, Sequential, TrainConfig};
 use gem_numeric::standardize::standardize_columns;
+use gem_numeric::stats::ColumnStats;
 use gem_numeric::Matrix;
 use gem_text::{HashEmbedder, TextEmbedder};
-use gem_nn::{Activation, Optimizer, Sequential, TrainConfig};
 use std::collections::BTreeMap;
 
 /// Build the input matrix shared by the `_SC` baselines: extended statistical features of
@@ -88,18 +88,20 @@ impl Default for SherlockSc {
 }
 
 impl SupervisedColumnEmbedder for SherlockSc {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Sherlock_SC"
     }
 
-    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Matrix {
-        assert_eq!(
-            columns.len(),
-            labels.len(),
-            "Sherlock_SC needs one label per column"
-        );
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
+        if columns.len() != labels.len() {
+            return Err(GemError::LabelCountMismatch {
+                method: "Sherlock_SC".to_string(),
+                columns: columns.len(),
+                labels: labels.len(),
+            });
+        }
         if columns.is_empty() {
-            return Matrix::zeros(0, self.hidden_dim);
+            return Ok(Matrix::zeros(0, self.hidden_dim));
         }
         let x = sc_input_matrix(columns, self.text_dim);
         let (targets, n_classes) = one_hot_labels(labels);
@@ -124,7 +126,7 @@ impl SupervisedColumnEmbedder for SherlockSc {
             head.step(optimizer);
             encoder.step(optimizer);
         }
-        encoder.predict(&x)
+        Ok(encoder.predict(&x))
     }
 }
 
@@ -153,7 +155,9 @@ mod tests {
             labels.push("age".to_string());
         }
         for s in 0..4 {
-            let values: Vec<f64> = (0..60).map(|i| 1000.0 + ((i * 3 + s) % 50) as f64 * 37.0).collect();
+            let values: Vec<f64> = (0..60)
+                .map(|i| 1000.0 + ((i * 3 + s) % 50) as f64 * 37.0)
+                .collect();
             columns.push(GemColumn::new(values, format!("price_{s}")));
             labels.push("price".to_string());
         }
@@ -188,7 +192,7 @@ mod tests {
             epochs: 60,
             ..SherlockSc::default()
         };
-        let emb = sherlock.fit_embed(&cols, &labels);
+        let emb = sherlock.fit_embed(&cols, &labels).unwrap();
         assert_eq!(emb.shape(), (8, sherlock.hidden_dim));
         assert!(emb.all_finite());
         // Columns of the same class should be more similar on average than columns of
@@ -202,14 +206,16 @@ mod tests {
     #[test]
     fn empty_corpus_is_safe() {
         let sherlock = SherlockSc::default();
-        let emb = sherlock.fit_embed(&[], &[]);
+        let emb = sherlock.fit_embed(&[], &[]).unwrap();
         assert_eq!(emb.rows(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "one label per column")]
-    fn mismatched_labels_panic() {
+    fn mismatched_labels_error() {
         let (cols, _) = corpus();
-        SherlockSc::default().fit_embed(&cols, &["age".to_string()]);
+        let err = SherlockSc::default()
+            .fit_embed(&cols, &["age".to_string()])
+            .unwrap_err();
+        assert!(matches!(err, GemError::LabelCountMismatch { .. }), "{err}");
     }
 }

@@ -53,7 +53,11 @@ impl SelfOrganizingMap {
         let k = config.n_prototypes;
         let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, hi + 0.5) };
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, hi + 0.5)
+        };
         // Initialise prototypes evenly over the data range — a standard, deterministic
         // initialisation that already respects the 1-D topology.
         let mut prototypes: Vec<f64> = (0..k)

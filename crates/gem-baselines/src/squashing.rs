@@ -8,7 +8,7 @@
 
 use crate::som::{SelfOrganizingMap, SomConfig};
 use crate::ColumnEmbedder;
-use gem_core::GemColumn;
+use gem_core::{GemColumn, GemError};
 use gem_gmm::{GmmConfig, UnivariateGmm};
 use gem_numeric::Matrix;
 
@@ -38,18 +38,10 @@ fn stack(columns: &[Vec<f64>]) -> Vec<f64> {
 /// Squashing + GMM prototype induction. Unlike Gem, no statistical features are added and
 /// the values are log-squashed before fitting, which is exactly what lets Gem pull ahead on
 /// columns whose raw-scale distribution matters (§4.2.1, observation 4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SquashingGmm {
     /// GMM configuration (the paper uses the same component count as Gem, §4.1.4).
     pub gmm: GmmConfig,
-}
-
-impl Default for SquashingGmm {
-    fn default() -> Self {
-        SquashingGmm {
-            gmm: GmmConfig::default(),
-        }
-    }
 }
 
 impl SquashingGmm {
@@ -62,19 +54,19 @@ impl SquashingGmm {
 }
 
 impl ColumnEmbedder for SquashingGmm {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Squashing_GMM"
     }
 
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
         let squashed = squash_columns(columns);
         let stacked = stack(&squashed);
         if stacked.is_empty() {
-            return Matrix::zeros(columns.len(), self.gmm.n_components);
+            return Ok(Matrix::zeros(columns.len(), self.gmm.n_components));
         }
         let gmm = match UnivariateGmm::fit(&stacked, &self.gmm) {
             Ok(g) => g,
-            Err(_) => return Matrix::zeros(columns.len(), self.gmm.n_components),
+            Err(_) => return Ok(Matrix::zeros(columns.len(), self.gmm.n_components)),
         };
         let k = gmm.n_components();
         let mut out = Matrix::zeros(columns.len(), k);
@@ -82,7 +74,7 @@ impl ColumnEmbedder for SquashingGmm {
             let sig = gmm.mean_responsibilities(col);
             out.row_mut(i).copy_from_slice(&sig);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -119,19 +111,20 @@ impl SquashingSom {
 }
 
 impl ColumnEmbedder for SquashingSom {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Squashing_SOM"
     }
 
-    fn embed_columns(&self, columns: &[GemColumn]) -> Matrix {
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
         let squashed = squash_columns(columns);
         let stacked = stack(&squashed);
         if stacked.is_empty() {
-            return Matrix::zeros(columns.len(), self.som.n_prototypes);
+            return Ok(Matrix::zeros(columns.len(), self.som.n_prototypes));
         }
         let som = SelfOrganizingMap::train(&stacked, &self.som);
         let mean = stacked.iter().sum::<f64>() / stacked.len() as f64;
-        let var = stacked.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / stacked.len() as f64;
+        let var =
+            stacked.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / stacked.len() as f64;
         let bandwidth = (var.sqrt() * self.bandwidth_fraction).max(1e-6);
         let k = som.n_prototypes();
         let mut out = Matrix::zeros(columns.len(), k);
@@ -150,7 +143,7 @@ impl ColumnEmbedder for SquashingSom {
                 out.set(i, j, a / n);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -183,7 +176,7 @@ mod tests {
     #[test]
     fn squashing_gmm_rows_are_probability_vectors() {
         let enc = SquashingGmm::new(6);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.rows(), 3);
         for r in 0..3 {
             let s: f64 = emb.row(r).iter().sum();
@@ -194,16 +187,19 @@ mod tests {
     #[test]
     fn squashing_gmm_groups_similar_scales() {
         let enc = SquashingGmm::new(4);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         let s01 = cosine_similarity(emb.row(0), emb.row(1)).unwrap();
         let s02 = cosine_similarity(emb.row(0), emb.row(2)).unwrap();
-        assert!(s01 > s02, "similar-scale columns should be closer ({s01} vs {s02})");
+        assert!(
+            s01 > s02,
+            "similar-scale columns should be closer ({s01} vs {s02})"
+        );
     }
 
     #[test]
     fn squashing_som_rows_are_probability_vectors() {
         let enc = SquashingSom::new(8);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         assert_eq!(emb.shape(), (3, 8));
         for r in 0..3 {
             let s: f64 = emb.row(r).iter().sum();
@@ -214,7 +210,7 @@ mod tests {
     #[test]
     fn squashing_som_groups_similar_scales() {
         let enc = SquashingSom::new(8);
-        let emb = enc.embed_columns(&columns());
+        let emb = enc.embed_columns(&columns()).unwrap();
         let s01 = cosine_similarity(emb.row(0), emb.row(1)).unwrap();
         let s02 = cosine_similarity(emb.row(0), emb.row(2)).unwrap();
         assert!(s01 > s02);
@@ -225,10 +221,10 @@ mod tests {
         let gmm = SquashingGmm::new(4);
         let som = SquashingSom::new(4);
         let empty: Vec<GemColumn> = vec![GemColumn::values_only(vec![]); 2];
-        assert_eq!(gmm.embed_columns(&empty).rows(), 2);
-        assert_eq!(som.embed_columns(&empty).rows(), 2);
-        assert!(gmm.embed_columns(&empty).all_finite());
-        assert!(som.embed_columns(&empty).all_finite());
+        assert_eq!(gmm.embed_columns(&empty).unwrap().rows(), 2);
+        assert_eq!(som.embed_columns(&empty).unwrap().rows(), 2);
+        assert!(gmm.embed_columns(&empty).unwrap().all_finite());
+        assert!(som.embed_columns(&empty).unwrap().all_finite());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! signatures and 1 vs. multiple EM restarts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gem_bench::{run_numeric_method, strip_headers, to_gem_columns, NUMERIC_ONLY_METHODS};
+use gem_bench::{registry_with_components, strip_headers, to_gem_columns};
 use gem_core::{FeatureSet, GemConfig, GemEmbedder};
 use gem_data::{sato_tables, CorpusConfig};
 use gem_gmm::GmmConfig;
@@ -21,11 +21,12 @@ fn corpus() -> Vec<gem_core::GemColumn> {
 
 fn bench_methods(criterion: &mut Criterion) {
     let columns = corpus();
+    let registry = registry_with_components(10);
     let mut group = criterion.benchmark_group("embedding_methods");
     group.sample_size(10);
-    for method in NUMERIC_ONLY_METHODS {
-        group.bench_function(method, |b| {
-            b.iter(|| run_numeric_method(method, &columns, 10))
+    for entry in registry.tagged("table2") {
+        group.bench_function(entry.name(), |b| {
+            b.iter(|| entry.method().embed(&columns, None).unwrap())
         });
     }
     group.finish();
@@ -41,7 +42,9 @@ fn bench_gem_ablations(criterion: &mut Criterion) {
         ("parallel_5_restarts", true, 5),
     ] {
         let config = GemConfig {
-            gmm: GmmConfig::with_components(10).restarts(restarts).with_seed(5),
+            gmm: GmmConfig::with_components(10)
+                .restarts(restarts)
+                .with_seed(5),
             parallel,
             ..GemConfig::default()
         };

@@ -2,7 +2,7 @@
 //! PLE, Squashing_GMM and the KS statistic as the number of columns grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gem_bench::{run_numeric_method, strip_headers, to_gem_columns};
+use gem_bench::{registry_with_components, strip_headers, to_gem_columns};
 use gem_data::{gds, CorpusConfig};
 
 fn bench_scalability(criterion: &mut Criterion) {
@@ -12,14 +12,15 @@ fn bench_scalability(criterion: &mut Criterion) {
         max_values: 80,
         seed: 13,
     });
+    let registry = registry_with_components(10);
     let mut group = criterion.benchmark_group("scalability_columns");
     group.sample_size(10);
     for &n in &[100usize, 300, 600] {
         let dataset = pool.truncated(n);
         let columns = strip_headers(&to_gem_columns(&dataset));
-        for method in ["Gem (D+S)", "PLE", "Squashing_GMM", "KS statistic"] {
-            group.bench_with_input(BenchmarkId::new(method, n), &columns, |b, cols| {
-                b.iter(|| run_numeric_method(method, cols, 10))
+        for entry in registry.tagged("scalability") {
+            group.bench_with_input(BenchmarkId::new(entry.name(), n), &columns, |b, cols| {
+                b.iter(|| entry.method().embed(cols, None).unwrap())
             });
         }
     }

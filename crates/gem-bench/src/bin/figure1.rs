@@ -3,8 +3,8 @@
 //! The binary prints the histogram frequencies and KDE series that the figure plots, plus
 //! the pairwise Gem similarity showing that Gem still separates the types.
 
-use gem_bench::{bench_gem_config, save_records};
-use gem_core::{FeatureSet, GemColumn, GemEmbedder};
+use gem_bench::{save_records, standard_registry};
+use gem_core::GemColumn;
 use gem_data::figure1_columns;
 use gem_eval::ExperimentRecord;
 use gem_numeric::distance::cosine_similarity;
@@ -19,9 +19,18 @@ fn main() {
         let histogram = Histogram::new(&column.values, 12).expect("non-empty column");
         let kde = KernelDensityEstimate::new(&column.values).expect("non-empty column");
         let (grid, density) = kde.evaluate_grid(20);
-        println!("== {} (semantic type: {}) ==", column.header, column.fine_type);
-        println!("  histogram bin centres: {:?}", rounded(&histogram.centers()));
-        println!("  histogram frequencies: {:?}", rounded(&histogram.frequencies()));
+        println!(
+            "== {} (semantic type: {}) ==",
+            column.header, column.fine_type
+        );
+        println!(
+            "  histogram bin centres: {:?}",
+            rounded(&histogram.centers())
+        );
+        println!(
+            "  histogram frequencies: {:?}",
+            rounded(&histogram.frequencies())
+        );
         println!("  KDE grid:             {:?}", rounded(&grid));
         println!("  KDE density:          {:?}", rounded(&density));
         println!();
@@ -46,13 +55,15 @@ fn main() {
         .iter()
         .map(|c| GemColumn::new(c.values.clone(), c.header.clone()))
         .collect();
-    let embedding = GemEmbedder::new(bench_gem_config())
-        .embed(&gem_cols, FeatureSet::ds())
+    let embedding = standard_registry()
+        .require("Gem (D+S)")
+        .expect("registered method")
+        .embed(&gem_cols, None)
         .expect("gem embedding");
     println!("Pairwise cosine similarity of Gem (D+S) embeddings:");
     for i in 0..columns.len() {
         for j in (i + 1)..columns.len() {
-            let sim = cosine_similarity(embedding.matrix.row(i), embedding.matrix.row(j)).unwrap();
+            let sim = cosine_similarity(embedding.row(i), embedding.row(j)).unwrap();
             println!(
                 "  {:<22} vs {:<22}: {:.3}",
                 columns[i].header, columns[j].header, sim
@@ -63,5 +74,8 @@ fn main() {
 }
 
 fn rounded(values: &[f64]) -> Vec<f64> {
-    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+    values
+        .iter()
+        .map(|v| (v * 1000.0).round() / 1000.0)
+        .collect()
 }

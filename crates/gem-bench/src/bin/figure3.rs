@@ -1,8 +1,8 @@
 //! Figure 3: ablation of Gem's feature combinations (D, S, C, D+S, C+S, D+C, D+C+S) on the
-//! fine-grained WDC and GDS corpora.
+//! fine-grained WDC and GDS corpora. The seven variants are the `"ablation"` slice of the
+//! standard [`gem_bench::standard_registry`], named by their feature labels.
 
-use gem_bench::{bench_corpus_config, fmt3, run_gem, save_records};
-use gem_core::{ablation_feature_sets, Composition};
+use gem_bench::{bench_corpus_config, fmt3, run_on_dataset, save_records, standard_registry};
 use gem_data::{gds, wdc, Granularity};
 use gem_eval::{ExperimentRecord, ResultTable};
 
@@ -26,6 +26,7 @@ fn paper_value(label: &str, dataset: &str) -> Option<f64> {
 
 fn main() {
     let config = bench_corpus_config();
+    let registry = standard_registry();
     println!(
         "Regenerating Figure 3 at scale {:.2} (feature-combination ablation, fine-grained GT)\n",
         config.scale
@@ -43,23 +44,18 @@ fn main() {
         ],
     );
     let mut records = Vec::new();
-    for features in ablation_feature_sets() {
-        let label = features.label();
-        let mut row = vec![label.clone()];
+    for entry in registry.tagged("ablation") {
+        let label = entry.name();
+        let mut row = vec![label.to_string()];
         for (name, dataset) in &datasets {
-            let precision = run_gem(
-                dataset,
-                features,
-                Composition::Concatenation,
-                Granularity::Fine,
-            );
+            let precision = run_on_dataset(&registry, label, dataset, Granularity::Fine);
             row.push(fmt3(precision));
-            let paper = paper_value(&label, name);
+            let paper = paper_value(label, name);
             row.push(paper.map(|p| format!("{p:.2}")).unwrap_or_default());
             records.push(ExperimentRecord {
                 experiment: "Figure 3".into(),
                 setting: (*name).into(),
-                method: label.clone(),
+                method: label.to_string(),
                 metric: "average precision".into(),
                 paper_value: paper,
                 measured_value: precision,

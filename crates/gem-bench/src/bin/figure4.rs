@@ -1,12 +1,14 @@
 //! Figure 4: impact of the number of Gaussian components (5–100) on Gem's average precision
 //! across the four corpora. The paper's finding is a flat curve — precision is insensitive
-//! to the component count.
+//! to the component count. Each sweep point instantiates the registry at that component
+//! count and runs its `"Gem (D+S)"` entry.
 
-use gem_bench::{bench_corpus_config, fmt3, save_records, score, strip_headers, to_gem_columns};
-use gem_core::{FeatureSet, GemConfig, GemEmbedder};
+use gem_bench::{
+    bench_corpus_config, embed_with, fmt3, registry_with_components, save_records, score,
+    strip_headers, to_gem_columns,
+};
 use gem_data::{build_corpus, CorpusKind, Granularity};
 use gem_eval::{ExperimentRecord, ResultTable};
-use gem_gmm::GmmConfig;
 
 fn main() {
     let config = bench_corpus_config();
@@ -37,17 +39,12 @@ fn main() {
         .collect();
 
     for &k in &component_counts {
+        let registry = registry_with_components(k);
         let mut row = vec![k.to_string()];
         for (name, dataset) in &datasets {
             let columns = strip_headers(&to_gem_columns(dataset));
-            let gem_config = GemConfig {
-                gmm: GmmConfig::with_components(k).restarts(2).with_seed(17),
-                ..GemConfig::default()
-            };
-            let embedding = GemEmbedder::new(gem_config)
-                .embed(&columns, FeatureSet::ds())
-                .expect("gem embedding");
-            let precision = score(dataset, &embedding.matrix, Granularity::Coarse).average_precision;
+            let embedding = embed_with(&registry, "Gem (D+S)", &columns, None);
+            let precision = score(dataset, &embedding, Granularity::Coarse).average_precision;
             row.push(fmt3(precision));
             records.push(ExperimentRecord {
                 experiment: "Figure 4".into(),

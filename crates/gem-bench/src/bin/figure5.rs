@@ -1,8 +1,11 @@
 //! Figure 5: scalability — embedding-generation runtime of Gem, PLE, Squashing_GMM and the
 //! KS statistic as the number of columns grows from 200 to 2000. Each point is the mean of
-//! several repetitions, as in the paper.
+//! several repetitions, as in the paper. The method set is the `"figure5"` slice of the
+//! standard [`gem_bench::standard_registry`].
 
-use gem_bench::{bench_components, fmt3, run_numeric_method, save_records, strip_headers, to_gem_columns, timed};
+use gem_bench::{
+    bench_components, fmt3, save_records, standard_registry, strip_headers, timed, to_gem_columns,
+};
 use gem_data::{gds, CorpusConfig};
 use gem_eval::{ExperimentRecord, ResultTable};
 
@@ -12,7 +15,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let column_counts = [200usize, 600, 1000, 1400, 1800, 2000];
-    let methods = ["Gem (D+S)", "PLE", "Squashing_GMM", "KS statistic"];
+    let registry = standard_registry();
+    let methods: Vec<String> = registry
+        .tagged("figure5")
+        .map(|m| m.name().to_string())
+        .collect();
     let components = bench_components();
     println!(
         "Regenerating Figure 5 (runtime vs number of columns, mean of {repetitions} runs, {components} components)\n"
@@ -36,10 +43,12 @@ fn main() {
         let dataset = pool.truncated(n);
         let columns = strip_headers(&to_gem_columns(&dataset));
         let mut row = vec![n.to_string()];
-        for method in methods {
+        for method in &methods {
+            let entry = registry.require(method).expect("registered method");
             let mut total = 0.0;
             for _ in 0..repetitions {
-                let (_, secs) = timed(|| run_numeric_method(method, &columns, components));
+                let (result, secs) = timed(|| entry.embed(&columns, None));
+                result.unwrap_or_else(|e| panic!("{method}: {e}"));
                 total += secs;
             }
             let mean = total / repetitions as f64;
@@ -47,7 +56,7 @@ fn main() {
             records.push(ExperimentRecord {
                 experiment: "Figure 5".into(),
                 setting: format!("{n} columns"),
-                method: method.into(),
+                method: method.clone(),
                 metric: "runtime seconds".into(),
                 paper_value: None,
                 measured_value: mean,

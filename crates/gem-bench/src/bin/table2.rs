@@ -1,13 +1,16 @@
 //! Table 2: average precision of the numeric-only methods (Squashing_GMM, Squashing_SOM,
 //! PLE, PAF, KS statistic, Gem D+S) on the coarse-grained versions of GitTables, Sato
-//! Tables, WDC and GDS.
+//! Tables, WDC and GDS. The method set is the `"table2"` slice of the standard
+//! [`gem_bench::standard_registry`]; per corpus, all methods are fanned out across
+//! threads with `gem-parallel`.
 
 use gem_bench::{
-    bench_components, bench_corpus_config, fmt3, run_numeric_method, save_records, score,
-    strip_headers, to_gem_columns, NUMERIC_ONLY_METHODS,
+    bench_components, bench_corpus_config, fmt3, save_records, score, standard_registry,
+    strip_headers, to_gem_columns,
 };
 use gem_data::{build_corpus, CorpusKind, Granularity};
 use gem_eval::{ExperimentRecord, ResultTable};
+use std::collections::BTreeMap;
 
 /// Average-precision values reported in the paper's Table 2, keyed by (method, corpus).
 fn paper_value(method: &str, kind: CorpusKind) -> Option<f64> {
@@ -32,6 +35,7 @@ fn paper_value(method: &str, kind: CorpusKind) -> Option<f64> {
 fn main() {
     let config = bench_corpus_config();
     let components = bench_components();
+    let registry = standard_registry();
     println!(
         "Regenerating Table 2 at scale {:.2}, {components} components (numeric-only, coarse-grained GT)\n",
         config.scale
@@ -53,30 +57,40 @@ fn main() {
         headers.push(format!("{name} (measured)"));
         headers.push(format!("{name} (paper)"));
     }
-    let mut table = ResultTable::new(
-        "Table 2: average precision, numeric-only methods",
-        headers,
-    );
+    let mut table = ResultTable::new("Table 2: average precision, numeric-only methods", headers);
 
+    // Per corpus, fan every Table 2 method out across worker threads, then collate the
+    // per-method scores into the table's method-major row order.
+    let mut measured: BTreeMap<(String, &str), f64> = BTreeMap::new();
     let mut records = Vec::new();
-    for method in NUMERIC_ONLY_METHODS {
-        let mut row = vec![method.to_string()];
-        for (name, kind, dataset) in &datasets {
-            let columns = strip_headers(&to_gem_columns(dataset));
-            let embeddings = run_numeric_method(method, &columns, components);
-            let scores = score(dataset, &embeddings, Granularity::Coarse);
-            row.push(fmt3(scores.average_precision));
-            let paper = paper_value(method, *kind);
-            row.push(paper.map(|p| format!("{p:.2}")).unwrap_or_default());
+    for (name, kind, dataset) in &datasets {
+        let columns = strip_headers(&to_gem_columns(dataset));
+        for (method, embedding) in registry.embed_all_tagged("table2", &columns, None, true) {
+            let embedding = embedding.unwrap_or_else(|e| panic!("{method} on {name}: {e}"));
+            let scores = score(dataset, &embedding, Granularity::Coarse);
+            eprintln!(
+                "  {method:>15} on {name:<12}: {:.3}",
+                scores.average_precision
+            );
             records.push(ExperimentRecord {
                 experiment: "Table 2".into(),
                 setting: (*name).into(),
-                method: method.into(),
+                method: method.clone(),
                 metric: "average precision".into(),
-                paper_value: paper,
+                paper_value: paper_value(&method, *kind),
                 measured_value: scores.average_precision,
             });
-            eprintln!("  {method:>15} on {name:<12}: {:.3}", scores.average_precision);
+            measured.insert((method, *name), scores.average_precision);
+        }
+    }
+
+    for entry in registry.tagged("table2") {
+        let method = entry.name();
+        let mut row = vec![method.to_string()];
+        for (name, kind, _) in &datasets {
+            row.push(fmt3(measured[&(method.to_string(), *name)]));
+            let paper = paper_value(method, *kind);
+            row.push(paper.map(|p| format!("{p:.2}")).unwrap_or_default());
         }
         table.push_row(row);
     }

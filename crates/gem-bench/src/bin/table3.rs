@@ -1,10 +1,10 @@
 //! Table 3: average precision with headers + values on the fine-grained GDS and WDC
-//! corpora: SBERT-substitute headers only, Pythagoras_SC, Sherlock_SC, Sato_SC, Gem (D+S),
-//! and Gem D+S+C with aggregation / autoencoder / concatenation composition.
+//! corpora. The method set — SBERT-substitute headers only, the three supervised `_SC`
+//! baselines, Gem (D+S) and the three Gem D+S+C composition variants — is the `"table3"`
+//! slice of the standard [`gem_bench::standard_registry`].
 
-use gem_bench::{bench_corpus_config, fmt3, run_gem, run_supervised, save_records};
-use gem_core::{Composition, FeatureSet};
-use gem_data::{gds, wdc, Dataset, Granularity};
+use gem_bench::{bench_corpus_config, fmt3, run_on_dataset, save_records, standard_registry};
+use gem_data::{gds, wdc, Granularity};
 use gem_eval::{ExperimentRecord, ResultTable};
 
 fn paper_value(method: &str, dataset: &str) -> Option<f64> {
@@ -26,63 +26,14 @@ fn paper_value(method: &str, dataset: &str) -> Option<f64> {
     }
 }
 
-fn run_method(method: &str, dataset: &Dataset) -> f64 {
-    match method {
-        "SBERT (headers only)" => run_gem(
-            dataset,
-            FeatureSet::c(),
-            Composition::Concatenation,
-            Granularity::Fine,
-        ),
-        "Pythagoras_SC" | "Sherlock_SC" | "Sato_SC" => {
-            run_supervised(method, dataset, Granularity::Fine)
-        }
-        "Gem (D+S)" => run_gem(
-            dataset,
-            FeatureSet::ds(),
-            Composition::Concatenation,
-            Granularity::Fine,
-        ),
-        "Gem D+S+C (aggregation)" => run_gem(
-            dataset,
-            FeatureSet::dsc(),
-            Composition::Aggregation,
-            Granularity::Fine,
-        ),
-        "Gem D+S+C (AE)" => run_gem(
-            dataset,
-            FeatureSet::dsc(),
-            Composition::autoencoder(),
-            Granularity::Fine,
-        ),
-        "Gem D+S+C (concatenation)" => run_gem(
-            dataset,
-            FeatureSet::dsc(),
-            Composition::Concatenation,
-            Granularity::Fine,
-        ),
-        other => panic!("unknown Table 3 method {other}"),
-    }
-}
-
 fn main() {
     let config = bench_corpus_config();
+    let registry = standard_registry();
     println!(
         "Regenerating Table 3 at scale {:.2} (headers + values, fine-grained GT)\n",
         config.scale
     );
     let datasets = [("WDC", wdc(&config)), ("GDS", gds(&config))];
-
-    let methods = [
-        "SBERT (headers only)",
-        "Pythagoras_SC",
-        "Sherlock_SC",
-        "Sato_SC",
-        "Gem (D+S)",
-        "Gem D+S+C (aggregation)",
-        "Gem D+S+C (AE)",
-        "Gem D+S+C (concatenation)",
-    ];
 
     let mut table = ResultTable::new(
         "Table 3: average precision, headers + values (fine-grained GDS and WDC)",
@@ -95,10 +46,11 @@ fn main() {
         ],
     );
     let mut records = Vec::new();
-    for method in methods {
+    for entry in registry.tagged("table3") {
+        let method = entry.name();
         let mut row = vec![method.to_string()];
         for (name, dataset) in &datasets {
-            let precision = run_method(method, dataset);
+            let precision = run_on_dataset(&registry, method, dataset, Granularity::Fine);
             row.push(fmt3(precision));
             let paper = paper_value(method, name);
             row.push(paper.map(|p| format!("{p}")).unwrap_or_default());

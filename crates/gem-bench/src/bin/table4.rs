@@ -1,11 +1,15 @@
 //! Table 4: downstream clustering of Gem vs. Squashing_SOM embeddings with TableDC and SDCN
 //! on GDS and WDC, reported as ARI and ACC for headers-only, values-only and
-//! headers + values settings.
+//! headers + values settings. The embedders are fetched from the standard
+//! [`gem_bench::standard_registry`] (tag `"table4"` marks the comparison pair); per
+//! setting, the registry's Gem feature-set variants select the evidence types.
 
-use gem_baselines::{ColumnEmbedder, SquashingSom};
-use gem_bench::{bench_components, bench_corpus_config, bench_gem_config, fmt3, save_records, strip_headers, to_gem_columns};
+use gem_bench::{
+    bench_corpus_config, embed_with, fmt3, header_embeddings, save_records, standard_registry,
+    strip_headers, to_gem_columns,
+};
 use gem_cluster::{DeepClustering, Sdcn, TableDc};
-use gem_core::{FeatureSet, GemEmbedder};
+use gem_core::MethodRegistry;
 use gem_data::{gds, wdc, Dataset, Granularity};
 use gem_eval::{adjusted_rand_index, clustering_accuracy, ExperimentRecord, ResultTable};
 use gem_numeric::Matrix;
@@ -13,33 +17,39 @@ use gem_numeric::Matrix;
 /// The three input settings of Table 4.
 const SETTINGS: [&str; 3] = ["Headers only", "Values only", "Headers + Values"];
 
-fn gem_embeddings(dataset: &Dataset, setting: &str) -> Matrix {
+fn gem_embeddings(registry: &MethodRegistry, dataset: &Dataset, setting: &str) -> Matrix {
     let columns = to_gem_columns(dataset);
-    let embedder = GemEmbedder::new(bench_gem_config());
-    let features = match setting {
-        "Headers only" => FeatureSet::c(),
-        "Values only" => FeatureSet::ds(),
-        _ => FeatureSet::dsc(),
+    // The registry's Gem variants cover the three evidence settings: the headers-only
+    // reference, the numeric-only variant of Table 2 and the full pipeline.
+    let variant = match setting {
+        "Headers only" => "SBERT (headers only)",
+        "Values only" => "Gem (D+S)",
+        _ => "Gem",
     };
-    embedder.embed(&columns, features).expect("gem embedding").matrix
+    embed_with(registry, variant, &columns, None)
 }
 
-fn squashing_som_embeddings(dataset: &Dataset, setting: &str) -> Option<Matrix> {
+fn squashing_som_embeddings(
+    registry: &MethodRegistry,
+    dataset: &Dataset,
+    setting: &str,
+) -> Option<Matrix> {
     // Squashing_SOM has no header pathway, so the headers-only setting is undefined for it
     // (the paper leaves those cells blank).
     let columns = to_gem_columns(dataset);
-    let som = SquashingSom::new(bench_components());
     match setting {
         "Headers only" => None,
-        "Values only" => Some(som.embed_columns(&strip_headers(&columns))),
+        "Values only" => Some(embed_with(
+            registry,
+            "Squashing_SOM",
+            &strip_headers(&columns),
+            None,
+        )),
         _ => {
             // Headers + values: concatenate the SOM value embedding with the same header
             // embedding Gem uses, mirroring the paper's composition for the baseline.
-            let values = som.embed_columns(&strip_headers(&columns));
-            let headers = GemEmbedder::new(bench_gem_config())
-                .embed(&columns, FeatureSet::c())
-                .expect("header embedding")
-                .matrix;
+            let values = embed_with(registry, "Squashing_SOM", &strip_headers(&columns), None);
+            let headers = header_embeddings(dataset);
             Some(values.hconcat(&headers).expect("same rows"))
         }
     }
@@ -47,6 +57,7 @@ fn squashing_som_embeddings(dataset: &Dataset, setting: &str) -> Option<Matrix> 
 
 fn main() {
     let config = bench_corpus_config();
+    let registry = standard_registry();
     println!(
         "Regenerating Table 4 at scale {:.2} (deep clustering of Gem vs Squashing_SOM embeddings)\n",
         config.scale
@@ -68,15 +79,13 @@ fn main() {
     let mut records = Vec::new();
 
     for setting in SETTINGS {
-        for (emb_name, get) in [
-            ("Gem", true),
-            ("Squashing_SOM", false),
-        ] {
+        for entry in registry.tagged("table4") {
+            let emb_name = entry.name();
             for (ds_name, dataset) in &datasets {
-                let embeddings = if get {
-                    Some(gem_embeddings(dataset, setting))
+                let embeddings = if emb_name == "Gem" {
+                    Some(gem_embeddings(&registry, dataset, setting))
                 } else {
-                    squashing_som_embeddings(dataset, setting)
+                    squashing_som_embeddings(&registry, dataset, setting)
                 };
                 let Some(embeddings) = embeddings else {
                     table.push_row(vec![

@@ -1,43 +1,36 @@
 //! # gem-bench
 //!
 //! Experiment runners that regenerate every table and figure of the Gem paper, plus the
-//! Criterion micro-benchmarks behind the scalability analysis.
+//! micro-benchmarks behind the scalability analysis.
 //!
 //! Each table/figure has a binary (`cargo run -p gem-bench --release --bin table2`, etc.)
-//! that builds the relevant synthetic corpora, runs Gem and the baselines, prints the
-//! paper-shaped table and appends paper-vs-measured records to `results/experiments.json`.
+//! that builds the relevant synthetic corpora, runs the methods enumerated by the
+//! [`standard_registry`] (Gem, its variants and all eight baselines behind the unified
+//! `gem_core::MethodRegistry`), prints the paper-shaped table and appends
+//! paper-vs-measured records to `results/experiments.json`. Method fan-out across
+//! threads is handled by `gem-parallel` through
+//! [`gem_core::MethodRegistry::embed_all_tagged`].
 //!
-//! The binaries accept two environment variables:
+//! The binaries accept three environment variables:
 //!
 //! * `GEM_BENCH_SCALE` — fraction of the paper-sized corpora to generate (default `0.12`;
 //!   `1.0` regenerates the full Table 1 sizes and takes correspondingly longer),
 //! * `GEM_BENCH_COMPONENTS` — number of Gaussian components (default `50`, the paper's
-//!   setting; smaller values speed up quick runs).
+//!   setting; smaller values speed up quick runs),
+//! * `GEM_NUM_THREADS` — worker-thread cap for the parallel paths (`1` forces the
+//!   sequential fallback).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use gem_baselines::{
-    ColumnEmbedder, KsEncoder, PeriodicEncoder, PiecewiseLinearEncoder, PythagorasSc, SatoSc,
-    SherlockSc, SquashingGmm, SquashingSom, SupervisedColumnEmbedder,
-};
-use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemEmbedder};
+use gem_baselines::register_baselines;
+use gem_core::{GemColumn, GemConfig, GemEmbedder, MethodRegistry};
 use gem_data::{Column, CorpusConfig, Dataset, Granularity};
 use gem_eval::{evaluate_retrieval, ExperimentRecord, RetrievalScores};
 use gem_gmm::GmmConfig;
 use gem_numeric::Matrix;
 use std::path::PathBuf;
 use std::time::Instant;
-
-/// Names of the numeric-only methods of Table 2, in the table's row order.
-pub const NUMERIC_ONLY_METHODS: [&str; 6] = [
-    "Squashing_GMM",
-    "Squashing_SOM",
-    "PLE",
-    "PAF",
-    "KS statistic",
-    "Gem (D+S)",
-];
 
 /// Corpus scale for the quick experiment runs (override with `GEM_BENCH_SCALE`).
 pub fn bench_scale() -> f64 {
@@ -53,6 +46,7 @@ pub fn bench_components() -> usize {
     std::env::var("GEM_BENCH_COMPONENTS")
         .ok()
         .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
         .unwrap_or(50)
 }
 
@@ -63,14 +57,72 @@ pub fn bench_corpus_config() -> CorpusConfig {
 
 /// A Gem configuration sized for the experiment binaries: the paper's tolerance and
 /// initialisation, a reduced restart count so the quick runs finish in seconds, and the
-/// component count from [`bench_components`].
-pub fn bench_gem_config() -> GemConfig {
+/// given component count.
+pub fn gem_config_with_components(components: usize) -> GemConfig {
     GemConfig {
-        gmm: GmmConfig::with_components(bench_components())
+        gmm: GmmConfig::with_components(components)
             .restarts(3)
             .with_seed(17),
         ..GemConfig::default()
     }
+}
+
+/// A Gem configuration sized for the experiment binaries with the component count from
+/// [`bench_components`].
+pub fn bench_gem_config() -> GemConfig {
+    gem_config_with_components(bench_components())
+}
+
+/// Build the method registry every experiment binary consumes: the eight baselines of the
+/// paper followed by the Gem method family, all sized by `components`. On top of the
+/// method-property tags set at registration (`"numeric-only"`, `"supervised"`, `"gem"`,
+/// `"ablation"`, ...), this attaches the experiment-membership tags the binaries filter
+/// on:
+///
+/// * `"table2"` — the numeric-only comparison (baselines then Gem (D+S), the table's row
+///   order),
+/// * `"table3"` — the headers+values comparison on fine-grained WDC/GDS,
+/// * `"table4"` — the embedders whose output is clustered with TableDC/SDCN,
+/// * `"figure5"` / `"scalability"` — the runtime sweep methods.
+pub fn registry_with_components(components: usize) -> MethodRegistry {
+    let mut registry = MethodRegistry::new();
+    register_baselines(&mut registry, components);
+    registry.register_gem_family(&gem_config_with_components(components));
+    for name in [
+        "Squashing_GMM",
+        "Squashing_SOM",
+        "PLE",
+        "PAF",
+        "KS statistic",
+        "Gem (D+S)",
+    ] {
+        registry.add_tag(name, "table2");
+    }
+    for name in [
+        "SBERT (headers only)",
+        "Pythagoras_SC",
+        "Sherlock_SC",
+        "Sato_SC",
+        "Gem (D+S)",
+        "Gem D+S+C (aggregation)",
+        "Gem D+S+C (AE)",
+        "Gem D+S+C (concatenation)",
+    ] {
+        registry.add_tag(name, "table3");
+    }
+    for name in ["Gem", "Squashing_SOM"] {
+        registry.add_tag(name, "table4");
+    }
+    for name in ["Gem (D+S)", "PLE", "Squashing_GMM", "KS statistic"] {
+        registry.add_tag(name, "figure5");
+        registry.add_tag(name, "scalability");
+    }
+    registry
+}
+
+/// The standard registry sized by [`bench_components`].
+pub fn standard_registry() -> MethodRegistry {
+    registry_with_components(bench_components())
 }
 
 /// Path of the JSON file collecting paper-vs-measured records (`results/experiments.json`
@@ -114,29 +166,24 @@ pub fn strip_headers(columns: &[GemColumn]) -> Vec<GemColumn> {
         .collect()
 }
 
-/// Run one of the numeric-only methods of Table 2 by name and return its embedding matrix.
+/// Run a registered method by name and return its embedding matrix. Supervised methods
+/// are trained on the dataset's coarse labels, the paper's `_SC` protocol; pass them via
+/// `coarse_labels`.
 ///
 /// # Panics
-/// Panics on an unknown method name.
-pub fn run_numeric_method(method: &str, columns: &[GemColumn], n_components: usize) -> Matrix {
-    match method {
-        "Squashing_GMM" => SquashingGmm::new(n_components).embed_columns(columns),
-        "Squashing_SOM" => SquashingSom::new(n_components).embed_columns(columns),
-        "PLE" => PiecewiseLinearEncoder::new(n_components).embed_columns(columns),
-        "PAF" => PeriodicEncoder::new(n_components).embed_columns(columns),
-        "KS statistic" => KsEncoder.embed_columns(columns),
-        "Gem (D+S)" => {
-            let config = GemConfig {
-                gmm: GmmConfig::with_components(n_components).restarts(3).with_seed(17),
-                ..GemConfig::default()
-            };
-            GemEmbedder::new(config)
-                .embed(columns, FeatureSet::ds())
-                .expect("numeric-only embedding")
-                .matrix
-        }
-        other => panic!("unknown numeric-only method {other}"),
-    }
+/// Panics on an unknown method name or a failed embedding — experiment binaries treat
+/// both as fatal configuration errors.
+pub fn embed_with(
+    registry: &MethodRegistry,
+    method: &str,
+    columns: &[GemColumn],
+    coarse_labels: Option<&[String]>,
+) -> Matrix {
+    registry
+        .require(method)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .embed(columns, coarse_labels)
+        .unwrap_or_else(|e| panic!("{method}: {e}"))
 }
 
 /// Evaluate an embedding matrix against a dataset's ground truth at the given granularity.
@@ -144,41 +191,28 @@ pub fn score(dataset: &Dataset, embeddings: &Matrix, granularity: Granularity) -
     evaluate_retrieval(embeddings, &granularity.labels(dataset))
 }
 
-/// Run a Gem feature-set/composition configuration on a dataset and return the average
-/// precision at the given granularity.
-pub fn run_gem(
-    dataset: &Dataset,
-    features: FeatureSet,
-    composition: Composition,
-    granularity: Granularity,
-) -> f64 {
-    let columns = to_gem_columns(dataset);
-    let config = GemConfig {
-        composition,
-        ..bench_gem_config()
-    };
-    let embedding = GemEmbedder::new(config)
-        .embed(&columns, features)
-        .expect("gem embedding");
-    score(dataset, &embedding.matrix, granularity).average_precision
-}
-
-/// Run a supervised `_SC` baseline (trained on coarse labels, as in the paper) and return
-/// its average precision against the requested granularity.
-pub fn run_supervised(
+/// Run a registered method on a dataset (headers included, supervised methods trained on
+/// coarse labels) and return the average precision at the given granularity.
+pub fn run_on_dataset(
+    registry: &MethodRegistry,
     method: &str,
     dataset: &Dataset,
     granularity: Granularity,
 ) -> f64 {
     let columns = to_gem_columns(dataset);
     let coarse = dataset.coarse_labels();
-    let embeddings = match method {
-        "Sherlock_SC" => SherlockSc::default().fit_embed(&columns, &coarse),
-        "Sato_SC" => SatoSc::default().fit_embed(&columns, &coarse),
-        "Pythagoras_SC" => PythagorasSc::default().fit_embed(&columns, &coarse),
-        other => panic!("unknown supervised method {other}"),
-    };
+    let embeddings = embed_with(registry, method, &columns, Some(&coarse));
     score(dataset, &embeddings, granularity).average_precision
+}
+
+/// A headers-only embedding of a dataset (the SBERT substitute), used by Table 4's
+/// "headers + values" composition for the Squashing_SOM baseline.
+pub fn header_embeddings(dataset: &Dataset) -> Matrix {
+    let columns = to_gem_columns(dataset);
+    GemEmbedder::new(bench_gem_config())
+        .embed(&columns, gem_core::FeatureSet::c())
+        .expect("header embedding")
+        .matrix
 }
 
 /// Time a closure, returning `(result, seconds)`.
@@ -219,31 +253,86 @@ mod tests {
     }
 
     #[test]
+    fn registry_lists_gem_and_all_eight_baselines() {
+        let registry = registry_with_components(6);
+        let names = registry.names();
+        for expected in [
+            "Gem",
+            "Squashing_GMM",
+            "Squashing_SOM",
+            "PLE",
+            "PAF",
+            "KS statistic",
+            "Pythagoras_SC",
+            "Sherlock_SC",
+            "Sato_SC",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // Table 2's row order falls out of the registration order.
+        let table2: Vec<&str> = registry.tagged("table2").map(|m| m.name()).collect();
+        assert_eq!(
+            table2,
+            vec![
+                "Squashing_GMM",
+                "Squashing_SOM",
+                "PLE",
+                "PAF",
+                "KS statistic",
+                "Gem (D+S)"
+            ]
+        );
+        assert_eq!(registry.tagged("table3").count(), 8);
+        assert_eq!(registry.tagged("figure5").count(), 4);
+        assert_eq!(registry.tagged("supervised").count(), 3);
+    }
+
+    #[test]
     fn every_numeric_method_runs_on_a_tiny_corpus() {
         let d = tiny_dataset();
         let cols = strip_headers(&to_gem_columns(&d));
-        for method in NUMERIC_ONLY_METHODS {
-            let emb = run_numeric_method(method, &cols, 6);
-            assert_eq!(emb.rows(), cols.len(), "{method}");
-            assert!(emb.all_finite(), "{method}");
+        let registry = registry_with_components(6);
+        for entry in registry.tagged("table2") {
+            let emb = entry.method().embed(&cols, None).unwrap();
+            assert_eq!(emb.rows(), cols.len(), "{}", entry.name());
+            assert!(emb.all_finite(), "{}", entry.name());
             let s = score(&d, &emb, Granularity::Coarse);
             assert!(
                 (0.0..=1.0).contains(&s.average_precision),
-                "{method}: {}",
+                "{}: {}",
+                entry.name(),
                 s.average_precision
             );
         }
     }
 
     #[test]
+    fn parallel_method_fanout_matches_serial() {
+        let d = tiny_dataset();
+        let cols = strip_headers(&to_gem_columns(&d));
+        let registry = registry_with_components(4);
+        let serial = registry.embed_all_tagged("figure5", &cols, None, false);
+        let parallel = registry.embed_all_tagged("figure5", &cols, None, true);
+        assert_eq!(serial.len(), 4);
+        for ((n1, r1), (n2, r2)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.as_ref().unwrap(), r2.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn supervised_methods_score_through_the_registry() {
+        let d = tiny_dataset();
+        let registry = registry_with_components(4);
+        let p = run_on_dataset(&registry, "Sherlock_SC", &d, Granularity::Coarse);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
     fn gem_runner_produces_probability_range_scores() {
         let d = tiny_dataset();
-        let p = run_gem(
-            &d,
-            FeatureSet::ds(),
-            Composition::Concatenation,
-            Granularity::Coarse,
-        );
+        let registry = registry_with_components(6);
+        let p = run_on_dataset(&registry, "Gem (D+S)", &d, Granularity::Coarse);
         assert!((0.0..=1.0).contains(&p));
     }
 
@@ -260,6 +349,5 @@ mod tests {
         assert_eq!(fmt3(0.123456), "0.123");
         assert!(bench_scale() > 0.0);
         assert!(bench_components() > 0);
-        assert_eq!(NUMERIC_ONLY_METHODS.len(), 6);
     }
 }

@@ -104,8 +104,8 @@ pub fn target_distribution(q: &Matrix) -> Matrix {
     let mut p = Matrix::zeros(n, k);
     for i in 0..n {
         let mut sum = 0.0;
-        for j in 0..k {
-            let val = q.get(i, j) * q.get(i, j) / freq[j].max(1e-12);
+        for (j, &f) in freq.iter().enumerate() {
+            let val = q.get(i, j) * q.get(i, j) / f.max(1e-12);
             p.set(i, j, val);
             sum += val;
         }
@@ -153,7 +153,10 @@ pub(crate) fn refine_centroids(
         for i in 0..n {
             let d2 = squared_euclidean_distance(latent.row(i), centroids.row(j)).unwrap_or(0.0);
             let w = scale * (q.get(i, j) - p.get(i, j)) / (1.0 + d2 / dof);
-            for (g, (&z, &c)) in grad.iter_mut().zip(latent.row(i).iter().zip(centroids.row(j))) {
+            for (g, (&z, &c)) in grad
+                .iter_mut()
+                .zip(latent.row(i).iter().zip(centroids.row(j)))
+            {
                 *g += w * (z - c);
             }
         }

@@ -14,7 +14,10 @@
 pub fn hungarian_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
     let n = cost.len();
     assert!(n > 0, "cost matrix must be non-empty");
-    assert!(cost.iter().all(|r| r.len() == n), "cost matrix must be square");
+    assert!(
+        cost.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
 
     // Potentials-based implementation with 1-based internal indexing.
     let inf = f64::INFINITY;
@@ -112,9 +115,12 @@ mod tests {
             vec![3.0, 2.0, 2.0],
         ];
         let a = hungarian_assignment(&cost);
-        assert!((total_cost(&cost, &a) - 5.0).abs() < 1e-9, "assignment {a:?}");
+        assert!(
+            (total_cost(&cost, &a) - 5.0).abs() < 1e-9,
+            "assignment {a:?}"
+        );
         // It is a permutation.
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for &c in &a {
             assert!(!seen[c]);
             seen[c] = true;

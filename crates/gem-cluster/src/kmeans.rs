@@ -94,10 +94,10 @@ impl KMeans {
                 chosen
             };
             let new_c = data.row(idx).to_vec();
-            for i in 0..n {
+            for (i, d2) in dist2.iter_mut().enumerate() {
                 let d = squared_euclidean_distance(data.row(i), &new_c).unwrap_or(0.0);
-                if d < dist2[i] {
-                    dist2[i] = d;
+                if d < *d2 {
+                    *d2 = d;
                 }
             }
             centroids.push(new_c);
@@ -108,17 +108,18 @@ impl KMeans {
         for _ in 0..config.max_iterations {
             // Assignment step.
             let mut new_inertia = 0.0;
-            for i in 0..n {
+            for (i, assignment) in assignments.iter_mut().enumerate() {
                 let mut best_c = 0usize;
                 let mut best_d = f64::INFINITY;
                 for (c, centroid) in centroids.iter().enumerate() {
-                    let d = squared_euclidean_distance(data.row(i), centroid).unwrap_or(f64::INFINITY);
+                    let d =
+                        squared_euclidean_distance(data.row(i), centroid).unwrap_or(f64::INFINITY);
                     if d < best_d {
                         best_d = d;
                         best_c = c;
                     }
                 }
-                assignments[i] = best_c;
+                *assignment = best_c;
                 new_inertia += best_d;
             }
             // Update step.
@@ -135,8 +136,16 @@ impl KMeans {
                     // Empty cluster: re-seed at the point farthest from its centroid.
                     let far = (0..n)
                         .max_by(|&a, &b| {
-                            let da = squared_euclidean_distance(data.row(a), &centroids_snapshot(&sums, &counts, a, data)).unwrap_or(0.0);
-                            let db = squared_euclidean_distance(data.row(b), &centroids_snapshot(&sums, &counts, b, data)).unwrap_or(0.0);
+                            let da = squared_euclidean_distance(
+                                data.row(a),
+                                &centroids_snapshot(&sums, &counts, a, data),
+                            )
+                            .unwrap_or(0.0);
+                            let db = squared_euclidean_distance(
+                                data.row(b),
+                                &centroids_snapshot(&sums, &counts, b, data),
+                            )
+                            .unwrap_or(0.0);
                             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                         })
                         .unwrap_or(0);
@@ -185,7 +194,12 @@ impl KMeans {
 
 /// Helper used when re-seeding empty clusters: the "current centroid" of the point's cluster
 /// (falls back to the point itself when its cluster is empty).
-fn centroids_snapshot(sums: &[Vec<f64>], counts: &[usize], point: usize, data: &Matrix) -> Vec<f64> {
+fn centroids_snapshot(
+    sums: &[Vec<f64>],
+    counts: &[usize],
+    point: usize,
+    data: &Matrix,
+) -> Vec<f64> {
     // The cluster of `point` is unknown here; using the global mean keeps the farthest-point
     // heuristic cheap and stable.
     let _ = (sums, counts);
@@ -204,10 +218,16 @@ mod tests {
             rows.push(vec![(i % 5) as f64 * 0.1, (i % 7) as f64 * 0.1]);
         }
         for i in 0..30 {
-            rows.push(vec![10.0 + (i % 5) as f64 * 0.1, 10.0 + (i % 7) as f64 * 0.1]);
+            rows.push(vec![
+                10.0 + (i % 5) as f64 * 0.1,
+                10.0 + (i % 7) as f64 * 0.1,
+            ]);
         }
         for i in 0..30 {
-            rows.push(vec![20.0 + (i % 5) as f64 * 0.1, 0.0 + (i % 7) as f64 * 0.1]);
+            rows.push(vec![
+                20.0 + (i % 5) as f64 * 0.1,
+                0.0 + (i % 7) as f64 * 0.1,
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }
@@ -239,7 +259,8 @@ mod tests {
     fn predict_maps_new_points_to_nearest_blob() {
         let data = blobs();
         let km = KMeans::fit(&data, &KMeansConfig::new(3));
-        let queries = Matrix::from_rows(&[vec![0.2, 0.2], vec![10.2, 10.1], vec![19.8, 0.3]]).unwrap();
+        let queries =
+            Matrix::from_rows(&[vec![0.2, 0.2], vec![10.2, 10.1], vec![19.8, 0.3]]).unwrap();
         let preds = km.predict(&queries);
         assert_eq!(preds[0], km.assignments[0]);
         assert_eq!(preds[1], km.assignments[30]);

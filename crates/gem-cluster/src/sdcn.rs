@@ -122,7 +122,12 @@ mod tests {
             rows.push(vec![(i % 5) as f64 * 0.05, 0.0, 0.1, (i % 3) as f64 * 0.02]);
         }
         for i in 0..25 {
-            rows.push(vec![3.0 + (i % 5) as f64 * 0.05, 3.0, 0.2, (i % 3) as f64 * 0.02]);
+            rows.push(vec![
+                3.0 + (i % 5) as f64 * 0.05,
+                3.0,
+                0.2,
+                (i % 3) as f64 * 0.02,
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }

@@ -92,7 +92,11 @@ mod tests {
             rows.push(vec![(i % 5) as f64 * 0.05, 0.0, 50.0 + (i % 3) as f64]);
         }
         for i in 0..25 {
-            rows.push(vec![12.0 + (i % 5) as f64 * 0.05, 12.0, 50.0 + (i % 3) as f64]);
+            rows.push(vec![
+                12.0 + (i % 5) as f64 * 0.05,
+                12.0,
+                50.0 + (i % 3) as f64,
+            ]);
         }
         Matrix::from_rows(&rows).unwrap()
     }

@@ -1,7 +1,6 @@
 //! The feature-combination ablation of Figure 3.
 
 use crate::config::FeatureSet;
-use serde::{Deserialize, Serialize};
 
 /// The seven feature combinations evaluated in Figure 3, in the figure's order:
 /// D, S, C, D+S, C+S, D+C, D+C+S.
@@ -19,7 +18,7 @@ pub fn ablation_feature_sets() -> Vec<FeatureSet> {
 
 /// One row of the Figure 3 ablation: a feature combination and the average precision it
 /// achieved on a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationResult {
     /// Label of the feature combination ("D", "D+S", ...).
     pub features: String,
@@ -27,6 +26,29 @@ pub struct AblationResult {
     pub dataset: String,
     /// Average precision at k.
     pub average_precision: f64,
+}
+
+impl gem_json::ToJson for AblationResult {
+    fn to_json(&self) -> gem_json::Json {
+        gem_json::object(vec![
+            ("features", gem_json::string(&self.features)),
+            ("dataset", gem_json::string(&self.dataset)),
+            (
+                "average_precision",
+                gem_json::number(self.average_precision),
+            ),
+        ])
+    }
+}
+
+impl gem_json::FromJson for AblationResult {
+    fn from_json(value: &gem_json::Json) -> Result<Self, gem_json::JsonError> {
+        Ok(AblationResult {
+            features: value.str_field("features")?,
+            dataset: value.str_field("dataset")?,
+            average_precision: value.num_field("average_precision")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -47,13 +69,14 @@ mod tests {
 
     #[test]
     fn ablation_result_is_serializable() {
+        use gem_json::{FromJson, Json, ToJson};
         let r = AblationResult {
             features: "D+S".into(),
             dataset: "GDS".into(),
             average_precision: 0.45,
         };
-        let json = serde_json::to_string(&r).unwrap();
-        let back: AblationResult = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_compact_string();
+        let back = AblationResult::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(r, back);
     }
 }

@@ -8,10 +8,9 @@
 
 use gem_nn::{Autoencoder, AutoencoderConfig, Optimizer};
 use gem_numeric::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// How the selected feature blocks are merged into the final per-column embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Composition {
     /// Side-by-side concatenation of the blocks (the paper's default and best performer).
     Concatenation,
@@ -142,7 +141,14 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..30)
             .map(|i| {
                 let x = i as f64 / 10.0;
-                vec![x.sin(), x.cos(), x.sin() * 2.0, 1.0 - x.cos(), x.sin() + x.cos(), 0.5 * x.sin()]
+                vec![
+                    x.sin(),
+                    x.cos(),
+                    x.sin() * 2.0,
+                    1.0 - x.cos(),
+                    x.sin() + x.cos(),
+                    0.5 * x.sin(),
+                ]
             })
             .collect();
         let m = Matrix::from_rows(&rows).unwrap();

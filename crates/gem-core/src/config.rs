@@ -2,13 +2,12 @@
 
 use crate::compose::Composition;
 use gem_gmm::GmmConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which of Gem's three evidence types participate in an embedding.
 ///
 /// Figure 3 of the paper ablates all seven non-empty combinations of
 /// distributional (D), statistical (S) and contextual (C) features.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureSet {
     /// Include the GMM signature (distributional) block.
     pub distributional: bool,
@@ -115,7 +114,7 @@ impl FeatureSet {
 }
 
 /// Full configuration of the Gem pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GemConfig {
     /// Configuration of the shared GMM fitted over the stacked values (paper default:
     /// 50 components, tolerance 1e-3, 10 restarts).

@@ -8,13 +8,12 @@ use gem_gmm::{GmmError, UnivariateGmm};
 use gem_numeric::standardize::{l1_normalize_rows, standardize_columns};
 use gem_numeric::Matrix;
 use gem_text::{HashEmbedder, TextEmbedder};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One numeric column presented to the embedder: its raw values plus (optionally) its
 /// header. This is deliberately independent of `gem-data`'s richer [`Column`] type so the
 /// core library can be used on any source of columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GemColumn {
     /// Numeric cell values.
     pub values: Vec<f64>,
@@ -40,7 +39,7 @@ impl GemColumn {
     }
 }
 
-/// Errors from the Gem pipeline.
+/// Errors from the Gem pipeline and the unified method layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GemError {
     /// No columns were provided.
@@ -51,6 +50,20 @@ pub enum GemError {
     EmptyFeatureSet,
     /// The underlying GMM fit failed.
     Gmm(GmmError),
+    /// A supervised method was invoked without training labels (carries the method name).
+    MissingLabels(String),
+    /// A supervised method received a label slice whose length differs from the column
+    /// count.
+    LabelCountMismatch {
+        /// Method name.
+        method: String,
+        /// Number of columns passed.
+        columns: usize,
+        /// Number of labels passed.
+        labels: usize,
+    },
+    /// A method name was not found in the registry.
+    UnknownMethod(String),
 }
 
 impl fmt::Display for GemError {
@@ -60,6 +73,23 @@ impl fmt::Display for GemError {
             GemError::NoValues => write!(f, "all columns are empty; cannot fit a GMM"),
             GemError::EmptyFeatureSet => write!(f, "feature set selects no evidence type"),
             GemError::Gmm(e) => write!(f, "GMM fit failed: {e}"),
+            GemError::MissingLabels(method) => {
+                write!(f, "supervised method `{method}` needs training labels")
+            }
+            GemError::LabelCountMismatch {
+                method,
+                columns,
+                labels,
+            } => {
+                write!(
+                    f,
+                    "supervised method `{method}` needs one label per column \
+                     (got {labels} labels for {columns} columns)"
+                )
+            }
+            GemError::UnknownMethod(name) => {
+                write!(f, "no method named `{name}` is registered")
+            }
         }
     }
 }
@@ -277,7 +307,9 @@ mod tests {
         // values), two "year" columns.
         let mut cols = Vec::new();
         for s in 0..3 {
-            let values: Vec<f64> = (0..80).map(|i| 25.0 + ((i * 7 + s * 3) % 40) as f64 * 0.5).collect();
+            let values: Vec<f64> = (0..80)
+                .map(|i| 25.0 + ((i * 7 + s * 3) % 40) as f64 * 0.5)
+                .collect();
             cols.push(GemColumn::new(values, format!("age_{s}")));
         }
         for s in 0..3 {
@@ -300,7 +332,10 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let e = fast_embedder();
-        assert_eq!(e.embed(&[], FeatureSet::ds()).unwrap_err(), GemError::NoColumns);
+        assert_eq!(
+            e.embed(&[], FeatureSet::ds()).unwrap_err(),
+            GemError::NoColumns
+        );
         let empty_fs = FeatureSet {
             distributional: false,
             statistical: false,
@@ -310,7 +345,10 @@ mod tests {
             e.embed(&corpus(), empty_fs).unwrap_err(),
             GemError::EmptyFeatureSet
         );
-        let empty_cols = vec![GemColumn::values_only(vec![]), GemColumn::values_only(vec![])];
+        let empty_cols = vec![
+            GemColumn::values_only(vec![]),
+            GemColumn::values_only(vec![]),
+        ];
         assert_eq!(
             e.embed(&empty_cols, FeatureSet::ds()).unwrap_err(),
             GemError::NoValues
@@ -321,7 +359,9 @@ mod tests {
     fn error_display() {
         assert!(GemError::NoColumns.to_string().contains("no columns"));
         assert!(GemError::NoValues.to_string().contains("empty"));
-        assert!(GemError::EmptyFeatureSet.to_string().contains("feature set"));
+        assert!(GemError::EmptyFeatureSet
+            .to_string()
+            .contains("feature set"));
     }
 
     #[test]
@@ -362,9 +402,8 @@ mod tests {
     fn same_type_columns_are_more_similar_than_cross_type() {
         let e = fast_embedder();
         let emb = e.embed_numeric(&corpus()).unwrap();
-        let sim = |a: usize, b: usize| {
-            cosine_similarity(emb.matrix.row(a), emb.matrix.row(b)).unwrap()
-        };
+        let sim =
+            |a: usize, b: usize| cosine_similarity(emb.matrix.row(a), emb.matrix.row(b)).unwrap();
         // Age columns (0,1,2) should be closer to each other than to price columns (3,4,5).
         let within = (sim(0, 1) + sim(0, 2) + sim(1, 2)) / 3.0;
         let across = (sim(0, 3) + sim(1, 4) + sim(2, 5)) / 3.0;

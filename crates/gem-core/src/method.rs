@@ -1,0 +1,529 @@
+//! The unified method layer: every embedding method in the workspace — Gem itself, its
+//! ablation variants and all eight baselines — is exposed behind the [`ColumnEmbedder`] /
+//! [`SupervisedColumnEmbedder`] traits and enumerated by a [`MethodRegistry`].
+//!
+//! The traits used to live in `gem-baselines`, which made Gem itself a special case that
+//! every experiment binary had to wire up by hand. Hoisting them into `gem-core` turns
+//! "run method X on corpus Y" into a registry lookup, lets the bench harness fan methods
+//! out across threads with `gem-parallel`, and gives future subsystems (serving, caching,
+//! sharding) a single seam to plug into.
+
+use crate::config::{FeatureSet, GemConfig};
+use crate::embedding::{GemColumn, GemEmbedder, GemError};
+use gem_numeric::Matrix;
+
+/// An unsupervised embedding method that maps a set of columns to an embedding matrix
+/// (one row per input column).
+pub trait ColumnEmbedder: Send + Sync {
+    /// Short method name used in result tables and for registry lookup.
+    fn name(&self) -> &str;
+
+    /// Embed the columns. Implementations must return one row per input column.
+    ///
+    /// # Errors
+    /// Returns a [`GemError`] when the input is degenerate (no columns, no values) or an
+    /// internal fit fails.
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError>;
+}
+
+/// A supervised method that is first trained against semantic-type labels (one label per
+/// column) and then produces embeddings from its hidden representation — the protocol the
+/// paper uses for Sherlock_SC, Sato_SC and Pythagoras_SC.
+pub trait SupervisedColumnEmbedder: Send + Sync {
+    /// Short method name used in result tables and for registry lookup.
+    fn name(&self) -> &str;
+
+    /// Train on the given columns and labels, then return one embedding row per column.
+    ///
+    /// # Errors
+    /// Returns a [`GemError`] when the input is degenerate or training fails.
+    fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError>;
+}
+
+/// A registry entry: an unsupervised or supervised method behind one uniform interface.
+pub enum Method {
+    /// An unsupervised method.
+    Unsupervised(Box<dyn ColumnEmbedder>),
+    /// A supervised method (requires labels at embedding time).
+    Supervised(Box<dyn SupervisedColumnEmbedder>),
+}
+
+impl Method {
+    /// The method's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Method::Unsupervised(m) => m.name(),
+            Method::Supervised(m) => m.name(),
+        }
+    }
+
+    /// Whether the method needs training labels.
+    pub fn is_supervised(&self) -> bool {
+        matches!(self, Method::Supervised(_))
+    }
+
+    /// Embed `columns`, passing `labels` to supervised methods. Unsupervised methods
+    /// ignore `labels`.
+    ///
+    /// # Errors
+    /// [`GemError::MissingLabels`] when a supervised method is invoked without labels;
+    /// otherwise whatever the underlying method reports.
+    pub fn embed(
+        &self,
+        columns: &[GemColumn],
+        labels: Option<&[String]>,
+    ) -> Result<Matrix, GemError> {
+        match self {
+            Method::Unsupervised(m) => m.embed_columns(columns),
+            Method::Supervised(m) => match labels {
+                Some(labels) => m.fit_embed(columns, labels),
+                None => Err(GemError::MissingLabels(m.name().to_string())),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Method({:?}, supervised: {})",
+            self.name(),
+            self.is_supervised()
+        )
+    }
+}
+
+/// A registered method plus its tags (free-form labels like `"numeric-only"` or
+/// `"table2"` that experiment harnesses filter on).
+pub struct RegisteredMethod {
+    method: Method,
+    tags: Vec<String>,
+}
+
+impl RegisteredMethod {
+    /// The underlying method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The method's name.
+    pub fn name(&self) -> &str {
+        self.method.name()
+    }
+
+    /// The method's tags, in registration order.
+    pub fn tags(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// Whether the method carries `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+/// An ordered, name-unique collection of embedding methods.
+///
+/// Iteration yields methods in registration order, so harnesses that register methods in
+/// a table's row order can render results without re-sorting. Registering a name twice
+/// replaces the earlier entry in place (useful for overriding a default configuration).
+#[derive(Default)]
+pub struct MethodRegistry {
+    entries: Vec<RegisteredMethod>,
+}
+
+impl MethodRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MethodRegistry::default()
+    }
+
+    /// A registry pre-populated with the Gem method family derived from `config`:
+    ///
+    /// * `"Gem"` — the full D+S+C pipeline with the configured composition,
+    /// * `"Gem (D+S)"` — the numeric-only variant of Table 2 (tag `"numeric-only"`),
+    /// * `"SBERT (headers only)"` — the headers-only reference of Table 3,
+    /// * `"Gem D+S+C (aggregation)"`, `"Gem D+S+C (AE)"`, `"Gem D+S+C (concatenation)"`
+    ///   — the composition comparison of Table 3,
+    /// * one variant per Figure 3 feature combination, named by its label (`"D"`,
+    ///   `"D+S"`, ... — tag `"ablation"`).
+    pub fn with_gem(config: &GemConfig) -> Self {
+        let mut registry = MethodRegistry::new();
+        registry.register_gem_family(config);
+        registry
+    }
+
+    /// Register the Gem method family (see [`MethodRegistry::with_gem`]) into an existing
+    /// registry.
+    pub fn register_gem_family(&mut self, config: &GemConfig) {
+        use crate::compose::Composition;
+        self.register_tagged(
+            Method::Unsupervised(Box::new(GemMethod::new(
+                "SBERT (headers only)",
+                config.clone(),
+                FeatureSet::c(),
+            ))),
+            &["gem", "headers-only"],
+        );
+        self.register_tagged(
+            Method::Unsupervised(Box::new(GemMethod::new(
+                "Gem (D+S)",
+                config.clone(),
+                FeatureSet::ds(),
+            ))),
+            &["gem", "numeric-only"],
+        );
+        for (name, composition) in [
+            ("Gem D+S+C (aggregation)", Composition::Aggregation),
+            ("Gem D+S+C (AE)", Composition::autoencoder()),
+            ("Gem D+S+C (concatenation)", Composition::Concatenation),
+        ] {
+            self.register_tagged(
+                Method::Unsupervised(Box::new(GemMethod::new(
+                    name,
+                    config.clone().with_composition(composition),
+                    FeatureSet::dsc(),
+                ))),
+                &["gem", "composition"],
+            );
+        }
+        for features in crate::ablation::ablation_feature_sets() {
+            self.register_tagged(
+                Method::Unsupervised(Box::new(GemMethod::new(
+                    features.label(),
+                    config.clone(),
+                    features,
+                ))),
+                &["gem", "ablation"],
+            );
+        }
+        self.register_tagged(
+            Method::Unsupervised(Box::new(GemMethod::new(
+                "Gem",
+                config.clone(),
+                FeatureSet::dsc(),
+            ))),
+            &["gem"],
+        );
+    }
+
+    /// Register a method with no tags. Replaces any earlier entry with the same name.
+    pub fn register(&mut self, method: Method) {
+        self.register_tagged(method, &[]);
+    }
+
+    /// Register a method with tags. Replaces any earlier entry with the same name,
+    /// keeping the original position.
+    pub fn register_tagged(&mut self, method: Method, tags: &[&str]) {
+        let tags: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+        let entry = RegisteredMethod { method, tags };
+        match self.entries.iter_mut().find(|e| e.name() == entry.name()) {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Convenience: register an unsupervised method.
+    pub fn register_unsupervised(
+        &mut self,
+        embedder: impl ColumnEmbedder + 'static,
+        tags: &[&str],
+    ) {
+        self.register_tagged(Method::Unsupervised(Box::new(embedder)), tags);
+    }
+
+    /// Convenience: register a supervised method.
+    pub fn register_supervised(
+        &mut self,
+        embedder: impl SupervisedColumnEmbedder + 'static,
+        tags: &[&str],
+    ) {
+        self.register_tagged(Method::Supervised(Box::new(embedder)), tags);
+    }
+
+    /// Add a tag to an already registered method. Returns `false` when the name is
+    /// unknown.
+    pub fn add_tag(&mut self, name: &str, tag: &str) -> bool {
+        match self.entries.iter_mut().find(|e| e.name() == name) {
+            Some(entry) => {
+                if !entry.has_tag(tag) {
+                    entry.tags.push(tag.to_string());
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Look up a method by name.
+    pub fn get(&self, name: &str) -> Option<&Method> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(RegisteredMethod::method)
+    }
+
+    /// Look up a method by name, reporting unknown names as a [`GemError`].
+    ///
+    /// # Errors
+    /// [`GemError::UnknownMethod`] when no method carries the name.
+    pub fn require(&self, name: &str) -> Result<&Method, GemError> {
+        self.get(name)
+            .ok_or_else(|| GemError::UnknownMethod(name.to_string()))
+    }
+
+    /// All method names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(RegisteredMethod::name).collect()
+    }
+
+    /// Iterate over all registered methods.
+    pub fn iter(&self) -> impl Iterator<Item = &RegisteredMethod> {
+        self.entries.iter()
+    }
+
+    /// Iterate over the methods carrying `tag`, in registration order.
+    pub fn tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a RegisteredMethod> {
+        self.entries.iter().filter(move |e| e.has_tag(tag))
+    }
+
+    /// Number of registered methods.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Run every method carrying `tag` on `columns`, fanning the methods out across
+    /// threads when `parallel` is true (identical results either way; see
+    /// `gem-parallel`). Returns `(name, result)` pairs in registration order.
+    pub fn embed_all_tagged(
+        &self,
+        tag: &str,
+        columns: &[GemColumn],
+        labels: Option<&[String]>,
+        parallel: bool,
+    ) -> Vec<(String, Result<Matrix, GemError>)> {
+        let selected: Vec<&RegisteredMethod> = self.tagged(tag).collect();
+        gem_parallel::par_map(&selected, parallel, |entry| {
+            (
+                entry.name().to_string(),
+                entry.method().embed(columns, labels),
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for MethodRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.entries.iter().map(|e| e.name()))
+            .finish()
+    }
+}
+
+/// A named Gem pipeline configuration (feature set + composition) exposed as a
+/// [`ColumnEmbedder`], so ablation variants and baselines share one interface.
+#[derive(Debug, Clone)]
+pub struct GemMethod {
+    name: String,
+    embedder: GemEmbedder,
+    features: FeatureSet,
+}
+
+impl GemMethod {
+    /// Create a named Gem variant.
+    pub fn new(name: impl Into<String>, config: GemConfig, features: FeatureSet) -> Self {
+        GemMethod {
+            name: name.into(),
+            embedder: GemEmbedder::new(config),
+            features,
+        }
+    }
+
+    /// The feature set this variant embeds with.
+    pub fn features(&self) -> FeatureSet {
+        self.features
+    }
+}
+
+impl ColumnEmbedder for GemMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
+        Ok(self.embedder.embed(columns, self.features)?.matrix)
+    }
+}
+
+impl ColumnEmbedder for GemEmbedder {
+    fn name(&self) -> &str {
+        "Gem"
+    }
+
+    /// The full Gem pipeline (D+S+C), Algorithm 1 as published.
+    fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
+        Ok(self.embed_full(columns)?.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<GemColumn> {
+        (0..6)
+            .map(|c| {
+                GemColumn::new(
+                    (0..60)
+                        .map(|i| (c * 100) as f64 + (i % 17) as f64)
+                        .collect(),
+                    format!("col_{c}"),
+                )
+            })
+            .collect()
+    }
+
+    struct Dummy;
+
+    impl ColumnEmbedder for Dummy {
+        fn name(&self) -> &str {
+            "Dummy"
+        }
+
+        fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
+            Ok(Matrix::zeros(columns.len(), 2))
+        }
+    }
+
+    struct DummySupervised;
+
+    impl SupervisedColumnEmbedder for DummySupervised {
+        fn name(&self) -> &str {
+            "DummySupervised"
+        }
+
+        fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
+            assert_eq!(columns.len(), labels.len());
+            Ok(Matrix::zeros(columns.len(), 1))
+        }
+    }
+
+    #[test]
+    fn gem_family_registry_contains_the_expected_names() {
+        let registry = MethodRegistry::with_gem(&GemConfig::fast());
+        let names = registry.names();
+        for expected in [
+            "Gem",
+            "Gem (D+S)",
+            "SBERT (headers only)",
+            "Gem D+S+C (aggregation)",
+            "Gem D+S+C (AE)",
+            "Gem D+S+C (concatenation)",
+            "D",
+            "D+S",
+            "D+C+S",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert_eq!(registry.tagged("ablation").count(), 7);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn registry_lookup_and_replacement() {
+        let mut registry = MethodRegistry::new();
+        registry.register_unsupervised(Dummy, &["a"]);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get("Dummy").is_some());
+        assert!(registry.get("nope").is_none());
+        assert!(matches!(
+            registry.require("nope"),
+            Err(GemError::UnknownMethod(_))
+        ));
+        // Re-registering the same name replaces in place.
+        registry.register_unsupervised(Dummy, &["b"]);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.iter().next().unwrap().has_tag("b"));
+        assert!(!registry.iter().next().unwrap().has_tag("a"));
+    }
+
+    #[test]
+    fn tags_filter_methods() {
+        let mut registry = MethodRegistry::new();
+        registry.register_unsupervised(Dummy, &["x"]);
+        registry.register_supervised(DummySupervised, &[]);
+        assert!(registry.add_tag("DummySupervised", "x"));
+        assert!(!registry.add_tag("missing", "x"));
+        let tagged: Vec<&str> = registry.tagged("x").map(|e| e.name()).collect();
+        assert_eq!(tagged, vec!["Dummy", "DummySupervised"]);
+    }
+
+    #[test]
+    fn supervised_methods_demand_labels() {
+        let mut registry = MethodRegistry::new();
+        registry.register_supervised(DummySupervised, &[]);
+        let method = registry.get("DummySupervised").unwrap();
+        assert!(method.is_supervised());
+        let cols = columns();
+        assert!(matches!(
+            method.embed(&cols, None),
+            Err(GemError::MissingLabels(_))
+        ));
+        let labels: Vec<String> = (0..cols.len()).map(|i| format!("t{i}")).collect();
+        let emb = method.embed(&cols, Some(&labels)).unwrap();
+        assert_eq!(emb.rows(), cols.len());
+    }
+
+    #[test]
+    fn gem_variants_embed_through_the_trait() {
+        let registry = MethodRegistry::with_gem(&GemConfig::fast());
+        let cols = columns();
+        for name in ["Gem", "Gem (D+S)", "D+S", "SBERT (headers only)"] {
+            let m = registry.get(name).unwrap();
+            assert!(!m.is_supervised());
+            let emb = m.embed(&cols, None).unwrap();
+            assert_eq!(emb.rows(), cols.len(), "{name}");
+            assert!(emb.all_finite(), "{name}");
+        }
+        // The D+S variant matches the plain embedder output.
+        let direct = GemEmbedder::new(GemConfig::fast())
+            .embed(&cols, FeatureSet::ds())
+            .unwrap()
+            .matrix;
+        let via_registry = registry
+            .get("Gem (D+S)")
+            .unwrap()
+            .embed(&cols, None)
+            .unwrap();
+        assert_eq!(direct, via_registry);
+    }
+
+    #[test]
+    fn embed_all_tagged_parallel_and_serial_agree() {
+        let registry = MethodRegistry::with_gem(&GemConfig::fast());
+        let cols = columns();
+        let serial = registry.embed_all_tagged("ablation", &cols, None, false);
+        let parallel = registry.embed_all_tagged("ablation", &cols, None, true);
+        assert_eq!(serial.len(), 7);
+        assert_eq!(serial.len(), parallel.len());
+        for ((n1, r1), (n2, r2)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.as_ref().unwrap(), r2.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn registry_debug_lists_names() {
+        let mut registry = MethodRegistry::new();
+        registry.register_unsupervised(Dummy, &[]);
+        assert!(format!("{registry:?}").contains("Dummy"));
+        let m = registry.get("Dummy").unwrap();
+        assert!(format!("{m:?}").contains("Dummy"));
+    }
+}

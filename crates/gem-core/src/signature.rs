@@ -20,51 +20,20 @@ pub fn stack_values(columns: &[Vec<f64>]) -> Vec<f64> {
 /// entry `(i, j)` the mean responsibility of component `j` for the values of column `i`.
 /// Rows sum to one (they are averages of probability vectors).
 ///
-/// When `parallel` is true the columns are split across threads with `crossbeam::scope`; the
-/// GMM is immutable during this phase so sharing it by reference is free.
+/// When `parallel` is true the columns are fanned out across threads with
+/// [`gem_parallel::par_map`]; the GMM is immutable during this phase so sharing it by
+/// reference is free. Results are collected per column index, so the parallel and serial
+/// paths produce bit-identical matrices.
 pub fn signature_matrix(gmm: &UnivariateGmm, columns: &[Vec<f64>], parallel: bool) -> Matrix {
     let k = gmm.n_components();
     let n = columns.len();
-    let mut out = Matrix::zeros(n, k);
     if n == 0 {
-        return out;
+        return Matrix::zeros(0, k);
     }
-    if !parallel || n < 32 {
-        for (i, col) in columns.iter().enumerate() {
-            let sig = gmm.mean_responsibilities(col);
-            out.row_mut(i).copy_from_slice(&sig);
-        }
-        return out;
-    }
-
-    let n_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let chunk = n.div_ceil(n_threads);
-    let mut results: Vec<Vec<Vec<f64>>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk_cols in columns.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                chunk_cols
-                    .iter()
-                    .map(|col| gmm.mean_responsibilities(col))
-                    .collect::<Vec<Vec<f64>>>()
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("signature worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-
-    let mut i = 0usize;
-    for block in results {
-        for sig in block {
-            out.row_mut(i).copy_from_slice(&sig);
-            i += 1;
-        }
+    let rows = gem_parallel::par_map(columns, parallel, |col| gmm.mean_responsibilities(col));
+    let mut out = Matrix::zeros(n, k);
+    for (i, sig) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(sig);
     }
     out
 }
@@ -83,8 +52,11 @@ mod tests {
 
     fn fitted_gmm(cols: &[Vec<f64>]) -> UnivariateGmm {
         let stacked = stack_values(cols);
-        UnivariateGmm::fit(&stacked, &GmmConfig::with_components(2).restarts(3).with_seed(1))
-            .unwrap()
+        UnivariateGmm::fit(
+            &stacked,
+            &GmmConfig::with_components(2).restarts(3).with_seed(1),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Annotation granularity and dataset statistics (Table 1).
 
 use crate::column::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Which ground-truth annotation to evaluate against.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// fine-grained ones (e.g. `score_cricket`, `score_rugby`) for the GDS and WDC corpora; the
 /// numeric-only experiments of Table 2 use the coarse version while the header+value
 /// experiments of Table 3 use the fine version.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Granularity {
     /// Original, broad semantic types.
     Coarse,
@@ -44,7 +43,7 @@ impl Granularity {
 }
 
 /// Summary statistics of a dataset, mirroring one column of Table 1 of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStatistics {
     /// Dataset name.
     pub name: String,

@@ -1,11 +1,11 @@
 //! The column / dataset data model shared by every experiment.
 
-use serde::{Deserialize, Serialize};
+use gem_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A single numeric column extracted from a table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     /// Stable identifier within its dataset.
     pub id: usize,
@@ -23,7 +23,12 @@ pub struct Column {
 
 impl Column {
     /// Create a column where the fine and coarse types coincide.
-    pub fn new(id: usize, header: impl Into<String>, values: Vec<f64>, semantic_type: impl Into<String>) -> Self {
+    pub fn new(
+        id: usize,
+        header: impl Into<String>,
+        values: Vec<f64>,
+        semantic_type: impl Into<String>,
+    ) -> Self {
         let t = semantic_type.into();
         Column {
             id,
@@ -47,7 +52,7 @@ impl Column {
 }
 
 /// A corpus of numeric columns with ground-truth semantic types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Human-readable corpus name (e.g. `"GDS (synthetic)"`).
     pub name: String,
@@ -149,8 +154,7 @@ impl Dataset {
     /// # Errors
     /// Returns any I/O or serialisation error.
     pub fn save_json(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
-        let json = serde_json::to_string_pretty(self)?;
-        std::fs::write(path, json)?;
+        std::fs::write(path, self.to_json().to_pretty_string())?;
         Ok(())
     }
 
@@ -160,7 +164,61 @@ impl Dataset {
     /// Returns any I/O or deserialisation error.
     pub fn load_json(path: &Path) -> Result<Self, Box<dyn std::error::Error>> {
         let json = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&json)?)
+        Ok(Self::from_json(&Json::parse(&json)?)?)
+    }
+}
+
+impl ToJson for Column {
+    fn to_json(&self) -> Json {
+        gem_json::object(vec![
+            ("id", gem_json::number(self.id as f64)),
+            ("header", gem_json::string(&self.header)),
+            ("values", gem_json::number_array(&self.values)),
+            ("fine_type", gem_json::string(&self.fine_type)),
+            ("coarse_type", gem_json::string(&self.coarse_type)),
+            ("table", gem_json::string(&self.table)),
+        ])
+    }
+}
+
+impl FromJson for Column {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Column {
+            id: value.num_field("id")? as usize,
+            header: value.str_field("header")?,
+            values: gem_json::as_number_array(value.field("values")?)?,
+            fine_type: value.str_field("fine_type")?,
+            coarse_type: value.str_field("coarse_type")?,
+            table: value.str_field("table")?,
+        })
+    }
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        gem_json::object(vec![
+            ("name", gem_json::string(&self.name)),
+            (
+                "columns",
+                Json::Array(self.columns.iter().map(Column::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let columns = value
+            .field("columns")?
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("`columns` is not an array"))?
+            .iter()
+            .map(Column::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Dataset {
+            name: value.str_field("name")?,
+            columns,
+        })
     }
 }
 

@@ -185,7 +185,8 @@ pub fn build_corpus(kind: CorpusKind, config: &CorpusConfig) -> Dataset {
     let mut id = 0usize;
     for spec in &specs {
         for col_idx in 0..spec.n_columns {
-            let n_values = rng.gen_range(config.min_values..=config.max_values.max(config.min_values));
+            let n_values =
+                rng.gen_range(config.min_values..=config.max_values.max(config.min_values));
             // Each column gets a slightly perturbed copy of the cluster distribution so the
             // cluster's columns are similar but not identical.
             let dist = spec.distribution.jitter(&mut rng);
@@ -297,8 +298,7 @@ fn cluster_specs(
             }
             // Every cluster needs at least two columns so precision@k is defined.
             let n_cols = n_cols.max(2);
-            let mut headers: Vec<String> =
-                family.headers.iter().map(|h| h.to_string()).collect();
+            let mut headers: Vec<String> = family.headers.iter().map(|h| h.to_string()).collect();
             headers.push(format!("{}_{}", family.name, variant_name));
             headers.push(format!("{}_{}", variant_name, family.name));
             specs.push(ClusterSpec {
@@ -369,10 +369,38 @@ pub fn figure1_columns(seed: u64) -> Vec<Column> {
     use crate::spec::DistributionSpec as D;
     let mut rng = StdRng::seed_from_u64(seed);
     let specs = [
-        ("Age (years)", "age", D::RoundedNormal { mean: 30.0, std: 6.0 }),
-        ("Rank", "rank", D::RoundedNormal { mean: 30.0, std: 6.0 }),
-        ("Test Score (%)", "test_score", D::Normal { mean: 75.0, std: 12.0 }),
-        ("Temperature (Celsius)", "temperature", D::Normal { mean: 75.0, std: 12.0 }),
+        (
+            "Age (years)",
+            "age",
+            D::RoundedNormal {
+                mean: 30.0,
+                std: 6.0,
+            },
+        ),
+        (
+            "Rank",
+            "rank",
+            D::RoundedNormal {
+                mean: 30.0,
+                std: 6.0,
+            },
+        ),
+        (
+            "Test Score (%)",
+            "test_score",
+            D::Normal {
+                mean: 75.0,
+                std: 12.0,
+            },
+        ),
+        (
+            "Temperature (Celsius)",
+            "temperature",
+            D::Normal {
+                mean: 75.0,
+                std: 12.0,
+            },
+        ),
     ];
     specs
         .iter()
@@ -427,10 +455,16 @@ mod tests {
             assert!(d.n_fine_clusters() >= d.n_coarse_clusters(), "{kind:?}");
             // Every column has values and a header.
             assert!(d.columns.iter().all(|c| !c.values.is_empty()));
-            assert!(d.columns.iter().all(|c| c.values.iter().all(|v| v.is_finite())));
+            assert!(d
+                .columns
+                .iter()
+                .all(|c| c.values.iter().all(|v| v.is_finite())));
             // Each fine cluster has at least 2 members so precision@k is defined.
             for (label, members) in d.fine_cluster_members() {
-                assert!(members.len() >= 2, "{kind:?} cluster {label} has a single column");
+                assert!(
+                    members.len() >= 2,
+                    "{kind:?} cluster {label} has a single column"
+                );
             }
         }
     }
@@ -521,10 +555,7 @@ mod tests {
                     .values()
                     .map(|v| v.iter().sum::<f64>() / v.len() as f64)
                     .collect();
-                let spread = means
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max)
+                let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
                     - means.iter().cloned().fold(f64::INFINITY, f64::min);
                 assert!(spread.abs() > 1e-6, "fine splits look identical");
                 checked = true;

@@ -48,10 +48,15 @@ impl Family {
                 shape,
                 scale: scale * loc,
             },
-            DistributionSpec::Exponential { rate } => DistributionSpec::Exponential {
-                rate: rate / loc,
-            },
-            DistributionSpec::ScaledBeta { alpha, beta, lo, hi } => DistributionSpec::ScaledBeta {
+            DistributionSpec::Exponential { rate } => {
+                DistributionSpec::Exponential { rate: rate / loc }
+            }
+            DistributionSpec::ScaledBeta {
+                alpha,
+                beta,
+                lo,
+                hi,
+            } => DistributionSpec::ScaledBeta {
                 alpha: alpha + 0.5 * i,
                 beta,
                 lo,
@@ -91,68 +96,126 @@ pub fn family_catalog() -> Vec<Family> {
         Family {
             name: "age",
             headers: vec!["age", "Age", "age_years"],
-            variants: vec!["person", "patient", "player", "employee", "customer", "student"],
-            base: D::RoundedNormal { mean: 35.0, std: 12.0 },
+            variants: vec![
+                "person", "patient", "player", "employee", "customer", "student",
+            ],
+            base: D::RoundedNormal {
+                mean: 35.0,
+                std: 12.0,
+            },
         },
         Family {
             name: "year",
             headers: vec!["year", "Year", "yr"],
-            variants: vec!["publication", "founded", "model", "birth", "release", "construction"],
+            variants: vec![
+                "publication",
+                "founded",
+                "model",
+                "birth",
+                "release",
+                "construction",
+            ],
             base: D::DiscreteUniform { lo: 1950, hi: 2012 },
         },
         Family {
             name: "score",
             headers: vec!["score", "Score", "points"],
-            variants: vec!["cricket", "rugby", "football", "basketball", "exam", "credit"],
-            base: D::RoundedNormal { mean: 40.0, std: 15.0 },
+            variants: vec![
+                "cricket",
+                "rugby",
+                "football",
+                "basketball",
+                "exam",
+                "credit",
+            ],
+            base: D::RoundedNormal {
+                mean: 40.0,
+                std: 15.0,
+            },
         },
         Family {
             name: "rating",
             headers: vec!["rating", "Rating", "stars"],
             variants: vec!["movie", "book", "hotel", "restaurant", "product", "app"],
-            base: D::ScaledBeta { alpha: 4.0, beta: 2.0, lo: 0.0, hi: 5.0 },
+            base: D::ScaledBeta {
+                alpha: 4.0,
+                beta: 2.0,
+                lo: 0.0,
+                hi: 5.0,
+            },
         },
         Family {
             name: "price",
             headers: vec!["price", "Price", "cost", "amount"],
             variants: vec!["product", "house", "car", "ticket", "stock", "meal"],
-            base: D::LogNormal { mu: 3.5, sigma: 0.8 },
+            base: D::LogNormal {
+                mu: 3.5,
+                sigma: 0.8,
+            },
         },
         Family {
             name: "weight",
             headers: vec!["weight", "Weight", "wt"],
-            variants: vec!["human", "package", "animal", "vehicle", "luggage", "ingredient"],
-            base: D::Normal { mean: 70.0, std: 15.0 },
+            variants: vec![
+                "human",
+                "package",
+                "animal",
+                "vehicle",
+                "luggage",
+                "ingredient",
+            ],
+            base: D::Normal {
+                mean: 70.0,
+                std: 15.0,
+            },
         },
         Family {
             name: "height",
             headers: vec!["height", "Height", "ht"],
             variants: vec!["person", "building", "mountain", "tree", "wave", "ceiling"],
-            base: D::Normal { mean: 170.0, std: 12.0 },
+            base: D::Normal {
+                mean: 170.0,
+                std: 12.0,
+            },
         },
         Family {
             name: "length",
             headers: vec!["length", "Length", "len"],
             variants: vec!["river", "road", "song", "film", "bridge", "cable"],
-            base: D::Gamma { shape: 2.0, scale: 40.0 },
+            base: D::Gamma {
+                shape: 2.0,
+                scale: 40.0,
+            },
         },
         Family {
             name: "width",
             headers: vec!["width", "Width"],
             variants: vec!["image", "road", "screen", "fabric", "river", "margin"],
-            base: D::Bimodal { mean1: 5.0, std1: 1.0, mean2: 256.0, std2: 40.0, weight1: 0.4 },
+            base: D::Bimodal {
+                mean1: 5.0,
+                std1: 1.0,
+                mean2: 256.0,
+                std2: 40.0,
+                weight1: 0.4,
+            },
         },
         Family {
             name: "temperature",
             headers: vec!["temperature", "Temperature", "temp"],
             variants: vec!["city", "body", "oven", "engine", "ocean", "cpu"],
-            base: D::Normal { mean: 22.0, std: 8.0 },
+            base: D::Normal {
+                mean: 22.0,
+                std: 8.0,
+            },
         },
         Family {
             name: "population",
             headers: vec!["population", "Population", "pop"],
             variants: vec!["city", "country", "region", "district", "species", "campus"],
-            base: D::LogNormal { mu: 10.0, sigma: 1.5 },
+            base: D::LogNormal {
+                mu: 10.0,
+                sigma: 1.5,
+            },
         },
         Family {
             name: "rank",
@@ -164,91 +227,179 @@ pub fn family_catalog() -> Vec<Family> {
             name: "duration",
             headers: vec!["duration", "Duration", "time"],
             variants: vec!["flight", "movie", "call", "commute", "battery", "download"],
-            base: D::Gamma { shape: 3.0, scale: 60.0 },
+            base: D::Gamma {
+                shape: 3.0,
+                scale: 60.0,
+            },
         },
         Family {
             name: "percent",
             headers: vec!["percent", "Percentage", "pct"],
-            variants: vec!["growth", "discount", "humidity", "attendance", "battery", "tax"],
-            base: D::ScaledBeta { alpha: 2.0, beta: 2.0, lo: 0.0, hi: 100.0 },
+            variants: vec![
+                "growth",
+                "discount",
+                "humidity",
+                "attendance",
+                "battery",
+                "tax",
+            ],
+            base: D::ScaledBeta {
+                alpha: 2.0,
+                beta: 2.0,
+                lo: 0.0,
+                hi: 100.0,
+            },
         },
         Family {
             name: "count",
             headers: vec!["count", "Count", "quantity", "qty"],
-            variants: vec!["visits", "orders", "downloads", "students", "rooms", "errors"],
+            variants: vec![
+                "visits",
+                "orders",
+                "downloads",
+                "students",
+                "rooms",
+                "errors",
+            ],
             base: D::Exponential { rate: 0.02 },
         },
         Family {
             name: "income",
             headers: vec!["income", "Salary", "salary"],
-            variants: vec!["household", "engineer", "teacher", "ceo", "freelancer", "pension"],
-            base: D::LogNormal { mu: 10.5, sigma: 0.5 },
+            variants: vec![
+                "household",
+                "engineer",
+                "teacher",
+                "ceo",
+                "freelancer",
+                "pension",
+            ],
+            base: D::LogNormal {
+                mu: 10.5,
+                sigma: 0.5,
+            },
         },
         Family {
             name: "mileage",
             headers: vec!["mileage", "Mileage", "odometer"],
             variants: vec!["car", "truck", "motorcycle", "lease", "fleet", "taxi"],
-            base: D::LogNormal { mu: 10.0, sigma: 1.2 },
+            base: D::LogNormal {
+                mu: 10.0,
+                sigma: 1.2,
+            },
         },
         Family {
             name: "latitude",
             headers: vec!["latitude", "Latitude", "lat"],
             variants: vec!["city", "station", "sensor", "airport", "port", "trailhead"],
-            base: D::Uniform { lo: -60.0, hi: 70.0 },
+            base: D::Uniform {
+                lo: -60.0,
+                hi: 70.0,
+            },
         },
         Family {
             name: "longitude",
             headers: vec!["longitude", "Longitude", "lon"],
             variants: vec!["city", "station", "sensor", "airport", "port", "trailhead"],
-            base: D::Uniform { lo: -180.0, hi: 180.0 },
+            base: D::Uniform {
+                lo: -180.0,
+                hi: 180.0,
+            },
         },
         Family {
             name: "power",
             headers: vec!["power", "Power"],
-            variants: vec!["engine_car", "battery_device", "plant", "turbine", "amplifier", "solar_panel"],
-            base: D::Gamma { shape: 4.0, scale: 30.0 },
+            variants: vec![
+                "engine_car",
+                "battery_device",
+                "plant",
+                "turbine",
+                "amplifier",
+                "solar_panel",
+            ],
+            base: D::Gamma {
+                shape: 4.0,
+                scale: 30.0,
+            },
         },
         Family {
             name: "speed",
             headers: vec!["speed", "Speed", "velocity"],
             variants: vec!["car", "wind", "internet", "runner", "train", "processor"],
-            base: D::Normal { mean: 80.0, std: 25.0 },
+            base: D::Normal {
+                mean: 80.0,
+                std: 25.0,
+            },
         },
         Family {
             name: "area",
             headers: vec!["area", "Area", "surface"],
             variants: vec!["apartment", "country", "lake", "farm", "park", "roof"],
-            base: D::LogNormal { mu: 4.5, sigma: 1.0 },
+            base: D::LogNormal {
+                mu: 4.5,
+                sigma: 1.0,
+            },
         },
         Family {
             name: "volume",
             headers: vec!["volume", "Volume"],
             variants: vec!["reservoir", "engine", "shipment", "trade", "bottle", "tank"],
-            base: D::LogNormal { mu: 2.0, sigma: 1.0 },
+            base: D::LogNormal {
+                mu: 2.0,
+                sigma: 1.0,
+            },
         },
         Family {
             name: "pressure",
             headers: vec!["pressure", "Pressure"],
-            variants: vec!["atmospheric", "tire", "blood", "pipeline", "hydraulic", "vacuum"],
-            base: D::Normal { mean: 1013.0, std: 30.0 },
+            variants: vec![
+                "atmospheric",
+                "tire",
+                "blood",
+                "pipeline",
+                "hydraulic",
+                "vacuum",
+            ],
+            base: D::Normal {
+                mean: 1013.0,
+                std: 30.0,
+            },
         },
         Family {
             name: "distance",
             headers: vec!["distance", "Distance", "dist"],
-            variants: vec!["commute", "marathon", "shipping", "planet", "hiking", "delivery"],
-            base: D::Gamma { shape: 2.0, scale: 15.0 },
+            variants: vec![
+                "commute", "marathon", "shipping", "planet", "hiking", "delivery",
+            ],
+            base: D::Gamma {
+                shape: 2.0,
+                scale: 15.0,
+            },
         },
         Family {
             name: "energy",
             headers: vec!["energy", "Energy", "consumption"],
-            variants: vec!["household", "factory", "vehicle", "datacenter", "appliance", "city"],
-            base: D::LogNormal { mu: 6.0, sigma: 0.9 },
+            variants: vec![
+                "household",
+                "factory",
+                "vehicle",
+                "datacenter",
+                "appliance",
+                "city",
+            ],
+            base: D::LogNormal {
+                mu: 6.0,
+                sigma: 0.9,
+            },
         },
         Family {
             name: "gdp",
             headers: vec!["gdp", "GDP", "gdp_per_capita"],
             variants: vec!["country", "state", "city", "region", "sector", "capita"],
-            base: D::LogNormal { mu: 9.5, sigma: 1.1 },
+            base: D::LogNormal {
+                mu: 9.5,
+                sigma: 1.1,
+            },
         },
         Family {
             name: "stock",
@@ -260,15 +411,39 @@ pub fn family_catalog() -> Vec<Family> {
             name: "depth",
             headers: vec!["depth", "Depth"],
             variants: vec!["ocean", "lake", "well", "snow", "soil", "pool"],
-            base: D::Gamma { shape: 1.5, scale: 50.0 },
+            base: D::Gamma {
+                shape: 1.5,
+                scale: 50.0,
+            },
         },
         Family {
             name: "humidity",
             headers: vec!["humidity", "Humidity"],
-            variants: vec!["indoor", "outdoor", "greenhouse", "warehouse", "museum", "server_room"],
-            base: D::ScaledBeta { alpha: 3.0, beta: 2.0, lo: 10.0, hi: 100.0 },
+            variants: vec![
+                "indoor",
+                "outdoor",
+                "greenhouse",
+                "warehouse",
+                "museum",
+                "server_room",
+            ],
+            base: D::ScaledBeta {
+                alpha: 3.0,
+                beta: 2.0,
+                lo: 10.0,
+                hi: 100.0,
+            },
         },
     ]
+}
+
+#[cfg(test)]
+impl DistributionSpec {
+    /// Helper for the test above: variant 0 applies identity multipliers, so it should equal
+    /// the base for the location/scale families (and exactly equals it structurally).
+    fn into_variant_zero(self) -> DistributionSpec {
+        self
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +458,11 @@ mod tests {
         assert_eq!(cat.len(), 30);
         for f in &cat {
             assert!(!f.headers.is_empty(), "family {} has no headers", f.name);
-            assert!(f.variants.len() >= 4, "family {} has too few variants", f.name);
+            assert!(
+                f.variants.len() >= 4,
+                "family {} has too few variants",
+                f.name
+            );
         }
     }
 
@@ -298,7 +477,10 @@ mod tests {
     fn total_fine_grained_capacity_covers_wdc() {
         let cat = family_catalog();
         let total: usize = cat.iter().map(|f| f.variants.len()).sum();
-        assert!(total >= 150, "only {total} fine-grained sub-types available");
+        assert!(
+            total >= 150,
+            "only {total} fine-grained sub-types available"
+        );
     }
 
     #[test]
@@ -326,16 +508,10 @@ mod tests {
     fn variant_zero_equals_base_shape() {
         let cat = family_catalog();
         for f in &cat {
-            assert_eq!(f.variant_distribution(0), f.base.clone().into_variant_zero());
+            assert_eq!(
+                f.variant_distribution(0),
+                f.base.clone().into_variant_zero()
+            );
         }
-    }
-}
-
-#[cfg(test)]
-impl DistributionSpec {
-    /// Helper for the test above: variant 0 applies identity multipliers, so it should equal
-    /// the base for the location/scale families (and exactly equals it structurally).
-    fn into_variant_zero(self) -> DistributionSpec {
-        self
     }
 }

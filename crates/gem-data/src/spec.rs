@@ -3,7 +3,6 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand_distr::{Beta, Distribution, Exp, Gamma, LogNormal, Normal, Uniform};
-use serde::{Deserialize, Serialize};
 
 /// A parametric description of how a semantic type's values are distributed.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// shapes (optionally perturbed per column), which gives the corpora the property the paper
 /// exploits: columns of the same type share a distributional fingerprint even when their
 /// raw ranges overlap with other types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DistributionSpec {
     /// Gaussian values.
     Normal {
@@ -111,11 +110,14 @@ impl DistributionSpec {
                 let d = Exp::new(rate.max(1e-9)).expect("validated rate");
                 (0..n).map(|_| d.sample(rng)).collect()
             }
-            DistributionSpec::ScaledBeta { alpha, beta, lo, hi } => {
+            DistributionSpec::ScaledBeta {
+                alpha,
+                beta,
+                lo,
+                hi,
+            } => {
                 let d = Beta::new(alpha.max(1e-3), beta.max(1e-3)).expect("validated params");
-                (0..n)
-                    .map(|_| lo + (hi - lo) * d.sample(rng))
-                    .collect()
+                (0..n).map(|_| lo + (hi - lo) * d.sample(rng)).collect()
             }
             DistributionSpec::DiscreteUniform { lo, hi } => {
                 let (lo, hi) = if hi >= lo { (lo, hi) } else { (lo, lo) };
@@ -176,7 +178,12 @@ impl DistributionSpec {
             DistributionSpec::Exponential { rate } => DistributionSpec::Exponential {
                 rate: (rate * f(rng)).max(1e-6),
             },
-            DistributionSpec::ScaledBeta { alpha, beta, lo, hi } => DistributionSpec::ScaledBeta {
+            DistributionSpec::ScaledBeta {
+                alpha,
+                beta,
+                lo,
+                hi,
+            } => DistributionSpec::ScaledBeta {
                 alpha: (alpha * f(rng)).max(0.2),
                 beta: (beta * f(rng)).max(0.2),
                 lo,
@@ -212,7 +219,7 @@ impl DistributionSpec {
 }
 
 /// The full specification of one ground-truth cluster (semantic type) in a synthetic corpus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Fine-grained type name (unique within the corpus).
     pub fine_type: String,
@@ -238,15 +245,38 @@ mod tests {
     #[test]
     fn sample_lengths_match_request() {
         let specs = vec![
-            DistributionSpec::Normal { mean: 0.0, std: 1.0 },
+            DistributionSpec::Normal {
+                mean: 0.0,
+                std: 1.0,
+            },
             DistributionSpec::Uniform { lo: 0.0, hi: 1.0 },
-            DistributionSpec::LogNormal { mu: 0.0, sigma: 0.5 },
-            DistributionSpec::Gamma { shape: 2.0, scale: 1.0 },
+            DistributionSpec::LogNormal {
+                mu: 0.0,
+                sigma: 0.5,
+            },
+            DistributionSpec::Gamma {
+                shape: 2.0,
+                scale: 1.0,
+            },
             DistributionSpec::Exponential { rate: 1.0 },
-            DistributionSpec::ScaledBeta { alpha: 2.0, beta: 2.0, lo: 0.0, hi: 10.0 },
+            DistributionSpec::ScaledBeta {
+                alpha: 2.0,
+                beta: 2.0,
+                lo: 0.0,
+                hi: 10.0,
+            },
             DistributionSpec::DiscreteUniform { lo: 1980, hi: 2012 },
-            DistributionSpec::RoundedNormal { mean: 30.0, std: 5.0 },
-            DistributionSpec::Bimodal { mean1: 0.0, std1: 1.0, mean2: 10.0, std2: 1.0, weight1: 0.5 },
+            DistributionSpec::RoundedNormal {
+                mean: 30.0,
+                std: 5.0,
+            },
+            DistributionSpec::Bimodal {
+                mean1: 0.0,
+                std1: 1.0,
+                mean2: 10.0,
+                std2: 1.0,
+                weight1: 0.5,
+            },
         ];
         let mut r = rng();
         for s in specs {
@@ -260,7 +290,11 @@ mod tests {
     #[test]
     fn normal_sample_moments() {
         let mut r = rng();
-        let v = DistributionSpec::Normal { mean: 10.0, std: 2.0 }.sample(5000, &mut r);
+        let v = DistributionSpec::Normal {
+            mean: 10.0,
+            std: 2.0,
+        }
+        .sample(5000, &mut r);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         assert!((mean - 10.0).abs() < 0.2);
     }
@@ -286,8 +320,13 @@ mod tests {
     #[test]
     fn scaled_beta_respects_range() {
         let mut r = rng();
-        let v = DistributionSpec::ScaledBeta { alpha: 2.0, beta: 5.0, lo: 0.0, hi: 10.0 }
-            .sample(1000, &mut r);
+        let v = DistributionSpec::ScaledBeta {
+            alpha: 2.0,
+            beta: 5.0,
+            lo: 0.0,
+            hi: 10.0,
+        }
+        .sample(1000, &mut r);
         assert!(v.iter().all(|&x| (0.0..=10.0).contains(&x)));
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean < 5.0); // alpha < beta skews low
@@ -297,8 +336,14 @@ mod tests {
     fn lognormal_and_gamma_are_positive() {
         let mut r = rng();
         for spec in [
-            DistributionSpec::LogNormal { mu: 1.0, sigma: 1.0 },
-            DistributionSpec::Gamma { shape: 2.0, scale: 3.0 },
+            DistributionSpec::LogNormal {
+                mu: 1.0,
+                sigma: 1.0,
+            },
+            DistributionSpec::Gamma {
+                shape: 2.0,
+                scale: 3.0,
+            },
             DistributionSpec::Exponential { rate: 0.5 },
         ] {
             let v = spec.sample(500, &mut r);
@@ -325,14 +370,21 @@ mod tests {
     #[test]
     fn rounded_normal_is_integer_valued() {
         let mut r = rng();
-        let v = DistributionSpec::RoundedNormal { mean: 30.0, std: 3.0 }.sample(200, &mut r);
+        let v = DistributionSpec::RoundedNormal {
+            mean: 30.0,
+            std: 3.0,
+        }
+        .sample(200, &mut r);
         assert!(v.iter().all(|&x| x.fract() == 0.0));
     }
 
     #[test]
     fn jitter_keeps_the_family_but_changes_parameters() {
         let mut r = rng();
-        let base = DistributionSpec::Normal { mean: 10.0, std: 2.0 };
+        let base = DistributionSpec::Normal {
+            mean: 10.0,
+            std: 2.0,
+        };
         let jittered = base.jitter(&mut r);
         match jittered {
             DistributionSpec::Normal { mean, std } => {
@@ -344,13 +396,33 @@ mod tests {
         // Jitter of every variant stays samplable.
         for spec in [
             DistributionSpec::Uniform { lo: 0.0, hi: 1.0 },
-            DistributionSpec::LogNormal { mu: 0.0, sigma: 0.5 },
-            DistributionSpec::Gamma { shape: 2.0, scale: 1.0 },
+            DistributionSpec::LogNormal {
+                mu: 0.0,
+                sigma: 0.5,
+            },
+            DistributionSpec::Gamma {
+                shape: 2.0,
+                scale: 1.0,
+            },
             DistributionSpec::Exponential { rate: 1.0 },
-            DistributionSpec::ScaledBeta { alpha: 2.0, beta: 2.0, lo: 0.0, hi: 5.0 },
+            DistributionSpec::ScaledBeta {
+                alpha: 2.0,
+                beta: 2.0,
+                lo: 0.0,
+                hi: 5.0,
+            },
             DistributionSpec::DiscreteUniform { lo: 0, hi: 100 },
-            DistributionSpec::RoundedNormal { mean: 5.0, std: 1.0 },
-            DistributionSpec::Bimodal { mean1: 0.0, std1: 1.0, mean2: 5.0, std2: 1.0, weight1: 0.5 },
+            DistributionSpec::RoundedNormal {
+                mean: 5.0,
+                std: 1.0,
+            },
+            DistributionSpec::Bimodal {
+                mean1: 0.0,
+                std1: 1.0,
+                mean2: 5.0,
+                std2: 1.0,
+                weight1: 0.5,
+            },
         ] {
             let j = spec.jitter(&mut r);
             assert_eq!(j.sample(5, &mut r).len(), 5);

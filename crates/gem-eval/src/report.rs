@@ -3,11 +3,11 @@
 //! The bench binaries in `gem-bench` print their tables through this module and append
 //! [`ExperimentRecord`]s to a JSON file, from which EXPERIMENTS.md is assembled.
 
-use serde::{Deserialize, Serialize};
+use gem_json::{FromJson, Json, JsonError, ToJson};
 use std::path::Path;
 
 /// A simple named table of rows, rendered as GitHub-flavoured markdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultTable {
     /// Table title (e.g. "Table 2: numeric-only average precision").
     pub title: String,
@@ -57,7 +57,7 @@ pub fn markdown_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> 
 }
 
 /// A single paper-vs-measured record for EXPERIMENTS.md.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment identifier ("Table 2", "Figure 4", ...).
     pub experiment: String,
@@ -73,6 +73,32 @@ pub struct ExperimentRecord {
     pub measured_value: f64,
 }
 
+impl ToJson for ExperimentRecord {
+    fn to_json(&self) -> Json {
+        gem_json::object(vec![
+            ("experiment", gem_json::string(&self.experiment)),
+            ("setting", gem_json::string(&self.setting)),
+            ("method", gem_json::string(&self.method)),
+            ("metric", gem_json::string(&self.metric)),
+            ("paper_value", gem_json::opt_number(self.paper_value)),
+            ("measured_value", gem_json::number(self.measured_value)),
+        ])
+    }
+}
+
+impl FromJson for ExperimentRecord {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ExperimentRecord {
+            experiment: value.str_field("experiment")?,
+            setting: value.str_field("setting")?,
+            method: value.str_field("method")?,
+            metric: value.str_field("metric")?,
+            paper_value: value.field("paper_value")?.as_f64(),
+            measured_value: value.num_field("measured_value")?,
+        })
+    }
+}
+
 impl ExperimentRecord {
     /// Append records to a JSON file (creating it when missing). Existing records are
     /// preserved; records with the same (experiment, setting, method, metric) key are
@@ -85,7 +111,7 @@ impl ExperimentRecord {
         records: &[ExperimentRecord],
     ) -> Result<(), Box<dyn std::error::Error>> {
         let mut existing: Vec<ExperimentRecord> = if path.exists() {
-            serde_json::from_str(&std::fs::read_to_string(path)?)?
+            Self::load_all(path)?
         } else {
             Vec::new()
         };
@@ -98,7 +124,8 @@ impl ExperimentRecord {
             });
             existing.push(r.clone());
         }
-        std::fs::write(path, serde_json::to_string_pretty(&existing)?)?;
+        let json = Json::Array(existing.iter().map(ExperimentRecord::to_json).collect());
+        std::fs::write(path, json.to_pretty_string())?;
         Ok(())
     }
 
@@ -107,7 +134,14 @@ impl ExperimentRecord {
     /// # Errors
     /// Returns I/O or deserialisation errors.
     pub fn load_all(path: &Path) -> Result<Vec<ExperimentRecord>, Box<dyn std::error::Error>> {
-        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+        let parsed = Json::parse(&std::fs::read_to_string(path)?)?;
+        let items = parsed
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("records file is not a JSON array"))?;
+        Ok(items
+            .iter()
+            .map(ExperimentRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?)
     }
 }
 
@@ -147,7 +181,7 @@ mod tests {
             paper_value: Some(0.37),
             measured_value: 0.41,
         };
-        ExperimentRecord::append_all(&dir, &[r1.clone()]).unwrap();
+        ExperimentRecord::append_all(&dir, std::slice::from_ref(&r1)).unwrap();
         // Replace with an updated measurement.
         let mut r2 = r1.clone();
         r2.measured_value = 0.39;

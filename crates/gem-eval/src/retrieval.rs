@@ -8,11 +8,10 @@
 
 use gem_numeric::distance::{similarity_matrix, top_k_neighbors};
 use gem_numeric::Matrix;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The outcome of a retrieval evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetrievalScores {
     /// Precision at k averaged over semantic types.
     pub average_precision: f64,
@@ -66,10 +65,14 @@ pub fn evaluate_retrieval(embeddings: &Matrix, labels: &[String]) -> RetrievalSc
             .count();
         let precision = tp as f64 / k as f64;
         let recall = tp as f64 / k as f64; // identical here since |retrieved| == |relevant|
-        let p = per_type_precision_acc.entry(label.to_string()).or_insert((0.0, 0));
+        let p = per_type_precision_acc
+            .entry(label.to_string())
+            .or_insert((0.0, 0));
         p.0 += precision;
         p.1 += 1;
-        let r = per_type_recall_acc.entry(label.to_string()).or_insert((0.0, 0));
+        let r = per_type_recall_acc
+            .entry(label.to_string())
+            .or_insert((0.0, 0));
         r.0 += recall;
         r.1 += 1;
         evaluated += 1;

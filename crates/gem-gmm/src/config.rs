@@ -1,9 +1,7 @@
 //! Configuration of the EM fit.
 
-use serde::{Deserialize, Serialize};
-
 /// How the EM algorithm is initialised.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitMethod {
     /// Means are drawn uniformly at random from the observed data points (the paper's
     /// "initialized randomly" wording, §3.1).
@@ -24,7 +22,7 @@ pub enum InitMethod {
 ///
 /// Defaults follow §4.1.4 of the paper: 50 components, convergence tolerance `1e-3`,
 /// 10 restarts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmmConfig {
     /// Number of mixture components.
     pub n_components: usize,

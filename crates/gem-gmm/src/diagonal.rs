@@ -12,12 +12,11 @@ use crate::univariate::GmmError;
 use gem_numeric::vector::log_sum_exp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 const LOG_2PI: f64 = 1.837_877_066_409_345_5;
 
 /// A fitted diagonal-covariance Gaussian mixture over `d`-dimensional points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagonalGmm {
     weights: Vec<f64>,
     means: Vec<Vec<f64>>,
@@ -40,26 +39,39 @@ impl DiagonalGmm {
         }
         let dim = data[0].len();
         if dim == 0 {
-            return Err(GmmError::InvalidConfig("points must have at least one dimension".into()));
+            return Err(GmmError::InvalidConfig(
+                "points must have at least one dimension".into(),
+            ));
         }
         if data.iter().any(|p| p.len() != dim) {
-            return Err(GmmError::InvalidConfig("all points must share a dimension".into()));
+            return Err(GmmError::InvalidConfig(
+                "all points must share a dimension".into(),
+            ));
         }
         if data.iter().flatten().any(|x| !x.is_finite()) {
             return Err(GmmError::InvalidConfig("data must be finite".into()));
         }
         if config.n_components == 0 {
-            return Err(GmmError::InvalidConfig("n_components must be positive".into()));
+            return Err(GmmError::InvalidConfig(
+                "n_components must be positive".into(),
+            ));
         }
         if config.tolerance <= 0.0 {
             return Err(GmmError::InvalidConfig("tolerance must be positive".into()));
         }
 
         let k = config.n_components.min(data.len()).max(1);
+        // As in `UnivariateGmm::fit`: independent restarts fan out across threads, and the
+        // strictly-greater scan in restart order keeps winner selection deterministic.
+        let n_restarts = config.n_restarts.max(1);
+        let restarts: Vec<u64> = (0..n_restarts as u64).collect();
+        let fits = gem_parallel::par_map(&restarts, n_restarts > 1, |&restart| {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart));
+            run_em(data, dim, k, config, config.init, &mut rng)
+        });
         let mut best: Option<DiagonalGmm> = None;
-        for restart in 0..config.n_restarts.max(1) {
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
-            let model = run_em(data, dim, k, config, config.init, &mut rng)?;
+        for model in fits {
+            let model = model?;
             let better = best
                 .as_ref()
                 .map(|b| model.log_likelihood > b.log_likelihood)
@@ -216,7 +228,9 @@ fn run_em(
             }
         }
         if !ll.is_finite() {
-            return Err(GmmError::NumericalFailure("non-finite log-likelihood".into()));
+            return Err(GmmError::NumericalFailure(
+                "non-finite log-likelihood".into(),
+            ));
         }
         total_ll = ll;
 
@@ -285,7 +299,9 @@ mod tests {
         let mut data: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![(i % 10) as f64 * 0.1, (i % 7) as f64 * 0.1])
             .collect();
-        data.extend((0..100).map(|i| vec![10.0 + (i % 10) as f64 * 0.1, 10.0 + (i % 7) as f64 * 0.1]));
+        data.extend(
+            (0..100).map(|i| vec![10.0 + (i % 10) as f64 * 0.1, 10.0 + (i % 7) as f64 * 0.1]),
+        );
         data
     }
 
@@ -295,7 +311,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert_eq!(DiagonalGmm::fit(&[], &cfg(2)).unwrap_err(), GmmError::EmptyData);
+        assert_eq!(
+            DiagonalGmm::fit(&[], &cfg(2)).unwrap_err(),
+            GmmError::EmptyData
+        );
         assert!(DiagonalGmm::fit(&[vec![]], &cfg(2)).is_err());
         assert!(DiagonalGmm::fit(&[vec![1.0], vec![1.0, 2.0]], &cfg(2)).is_err());
         assert!(DiagonalGmm::fit(&[vec![f64::NAN]], &cfg(2)).is_err());
@@ -332,10 +351,7 @@ mod tests {
         let gmm = DiagonalGmm::fit(&data, &cfg(4)).unwrap();
         assert!((gmm.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(gmm.weights().iter().all(|&w| w >= 0.0));
-        assert!(gmm
-            .variances()
-            .iter()
-            .all(|v| v.iter().all(|&x| x > 0.0)));
+        assert!(gmm.variances().iter().all(|v| v.iter().all(|&x| x > 0.0)));
     }
 
     #[test]

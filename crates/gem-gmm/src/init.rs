@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn more_components_than_points_is_allowed() {
         let data = [1.0, 2.0];
-        for method in [InitMethod::Random, InitMethod::KMeansPlusPlus, InitMethod::Quantile] {
+        for method in [
+            InitMethod::Random,
+            InitMethod::KMeansPlusPlus,
+            InitMethod::Quantile,
+        ] {
             let means = initial_means(&data, 6, method, &mut rng());
             assert_eq!(means.len(), 6);
         }

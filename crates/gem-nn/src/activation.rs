@@ -1,10 +1,9 @@
 //! Element-wise activation functions with analytic derivatives.
 
 use gem_numeric::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Rectified linear unit.
     Relu,

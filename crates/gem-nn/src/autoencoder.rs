@@ -88,7 +88,11 @@ impl Autoencoder {
 
     /// Latent dimensionality.
     pub fn latent_dim(&self) -> usize {
-        *self.config.encoder_dims.last().expect("validated non-empty")
+        *self
+            .config
+            .encoder_dims
+            .last()
+            .expect("validated non-empty")
     }
 
     /// Train on the rows of `x` with a reconstruction (MSE) objective. Returns the loss per

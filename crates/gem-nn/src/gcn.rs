@@ -143,8 +143,12 @@ mod tests {
         assert!(out.all_finite());
         // The two connected nodes see averaged inputs, so their outputs are closer to each
         // other than to the isolated node's output.
-        let d01: f64 = (0..3).map(|c| (out.get(0, c) - out.get(1, c)).powi(2)).sum();
-        let d02: f64 = (0..3).map(|c| (out.get(0, c) - out.get(2, c)).powi(2)).sum();
+        let d01: f64 = (0..3)
+            .map(|c| (out.get(0, c) - out.get(1, c)).powi(2))
+            .sum();
+        let d02: f64 = (0..3)
+            .map(|c| (out.get(0, c) - out.get(2, c)).powi(2))
+            .sum();
         assert!(d01 < d02);
     }
 

@@ -3,42 +3,36 @@
 use gem_numeric::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A fully connected layer `y = x · W + b` with cached activations for backpropagation and
 /// Adam moment estimates for the optimiser.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayer {
     /// Weight matrix of shape `(in_dim, out_dim)`.
     pub weights: Matrix,
     /// Bias vector of length `out_dim`.
     pub bias: Vec<f64>,
     // --- training state ---
-    #[serde(skip)]
     cached_input: Option<Matrix>,
     /// Accumulated weight gradients from the last backward pass.
-    #[serde(skip)]
     pub grad_weights: Option<Matrix>,
     /// Accumulated bias gradients from the last backward pass.
-    #[serde(skip)]
     pub grad_bias: Option<Vec<f64>>,
     // Adam moments.
-    #[serde(skip)]
     adam_m_w: Option<Matrix>,
-    #[serde(skip)]
     adam_v_w: Option<Matrix>,
-    #[serde(skip)]
     adam_m_b: Option<Vec<f64>>,
-    #[serde(skip)]
     adam_v_b: Option<Vec<f64>>,
-    #[serde(skip)]
     adam_t: usize,
 }
 
 impl DenseLayer {
     /// Create a layer with Xavier/Glorot-uniform initialised weights and zero bias.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
         let data: Vec<f64> = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-limit..limit))
@@ -96,11 +90,7 @@ impl DenseLayer {
             .matmul(d_out)
             .expect("shapes align by construction")
             .scale(1.0 / batch);
-        let grad_b: Vec<f64> = d_out
-            .column_sums()
-            .into_iter()
-            .map(|s| s / batch)
-            .collect();
+        let grad_b: Vec<f64> = d_out.column_sums().into_iter().map(|s| s / batch).collect();
         let d_in = d_out
             .matmul(&self.weights.transpose())
             .expect("shapes align by construction");
@@ -131,8 +121,12 @@ impl DenseLayer {
         self.adam_t += 1;
         let t = self.adam_t as f64;
         let (rows, cols) = gw.shape();
-        let m_w = self.adam_m_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
-        let v_w = self.adam_v_w.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let m_w = self
+            .adam_m_w
+            .get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let v_w = self
+            .adam_v_w
+            .get_or_insert_with(|| Matrix::zeros(rows, cols));
         let m_b = self.adam_m_b.get_or_insert_with(|| vec![0.0; gb.len()]);
         let v_b = self.adam_v_b.get_or_insert_with(|| vec![0.0; gb.len()]);
 
@@ -164,11 +158,10 @@ impl DenseLayer {
 
 /// Inverted dropout: at training time each unit is zeroed with probability `rate` and the
 /// survivors are scaled by `1 / (1 - rate)`; at inference time it is the identity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dropout {
     /// Drop probability in `[0, 1)`.
     pub rate: f64,
-    #[serde(skip)]
     mask: Option<Matrix>,
 }
 
@@ -191,7 +184,13 @@ impl Dropout {
         let keep = 1.0 - self.rate;
         let (rows, cols) = x.shape();
         let mask_data: Vec<f64> = (0..rows * cols)
-            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f64>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Matrix::from_vec(rows, cols, mask_data).expect("dimensions match");
         let out = x.hadamard(&mask).expect("same shape");
@@ -268,7 +267,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let target = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]).unwrap();
         let mut last_loss = f64::INFINITY;
-        for _ in 0..200 {
+        for _ in 0..400 {
             let y = layer.forward(&x, true);
             let diff = y.sub(&target).unwrap();
             let loss = diff.frobenius_norm();
@@ -287,7 +286,7 @@ mod tests {
         let mut layer = DenseLayer::new(1, 1, &mut r);
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let target = Matrix::from_rows(&[vec![3.0], vec![6.0], vec![9.0]]).unwrap();
-        for _ in 0..500 {
+        for _ in 0..1200 {
             let y = layer.forward(&x, true);
             let dy = y.sub(&target).unwrap().scale(2.0);
             layer.backward(&dy);
@@ -318,7 +317,11 @@ mod tests {
         let x = Matrix::filled(50, 50, 1.0);
         let y = d.forward(&x, true, &mut rng());
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let kept = y.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-12).count();
+        let kept = y
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-12)
+            .count();
         assert_eq!(zeros + kept, 2500);
         assert!(zeros > 800 && zeros < 1700, "zeros = {zeros}");
         // Expected value is approximately preserved.

@@ -34,7 +34,11 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> LossOutput {
 /// # Panics
 /// Panics when shapes differ.
 pub fn cross_entropy_loss(pred: &Matrix, target: &Matrix) -> LossOutput {
-    assert_eq!(pred.shape(), target.shape(), "cross-entropy shapes must match");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "cross-entropy shapes must match"
+    );
     let batch = pred.rows().max(1) as f64;
     let mut loss = 0.0;
     for r in 0..pred.rows() {

@@ -4,10 +4,8 @@
 //! module provides the small configuration enum that [`crate::Sequential`] and the
 //! higher-level models use to choose between them.
 
-use serde::{Deserialize, Serialize};
-
 /// Which update rule a training loop applies after backpropagation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// Plain stochastic gradient descent.
     Sgd,
@@ -16,7 +14,7 @@ pub enum OptimizerKind {
 }
 
 /// An optimiser: the update rule plus its learning rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Optimizer {
     /// The update rule.
     pub kind: OptimizerKind,

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 #[derive(Debug, Clone)]
 pub enum Layer {
     /// A trainable dense layer.
-    Dense(DenseLayer),
+    Dense(Box<DenseLayer>),
     /// An element-wise activation.
     Activation(Activation),
     /// Inverted dropout.
@@ -62,7 +62,7 @@ impl Sequential {
     /// Append a dense layer.
     pub fn dense(mut self, in_dim: usize, out_dim: usize) -> Self {
         let layer = DenseLayer::new(in_dim, out_dim, &mut self.rng);
-        self.layers.push(Layer::Dense(layer));
+        self.layers.push(Layer::Dense(Box::new(layer)));
         self
     }
 
@@ -256,7 +256,11 @@ mod tests {
         let pred = model.predict(&x);
         let mut correct = 0;
         for r in 0..40 {
-            let predicted = if pred.get(r, 0) > pred.get(r, 1) { 0 } else { 1 };
+            let predicted = if pred.get(r, 0) > pred.get(r, 1) {
+                0
+            } else {
+                1
+            };
             let truth = if t.get(r, 0) > 0.5 { 0 } else { 1 };
             if predicted == truth {
                 correct += 1;
@@ -304,7 +308,10 @@ mod tests {
     fn loss_history_is_generally_decreasing() {
         let x = Matrix::from_rows(&[vec![0.5, -0.5], vec![-0.5, 0.5]]).unwrap();
         let y = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
-        let mut model = Sequential::new(2).dense(2, 4).activation(Activation::Tanh).dense(4, 1);
+        let mut model = Sequential::new(2)
+            .dense(2, 4)
+            .activation(Activation::Tanh)
+            .dense(4, 1);
         let config = TrainConfig {
             epochs: 100,
             optimizer: Optimizer::adam(0.05),

@@ -1,0 +1,585 @@
+//! The seven reference distributions of the Kolmogorov–Smirnov baseline (§4.1.3 of the
+//! paper): normal, uniform, exponential, beta, gamma, log-normal and logistic, each with a
+//! PDF, a CDF and a moment-based fit.
+//!
+//! [`fit_reference_distributions`] fits every *feasible* family to a sample; families whose
+//! support cannot contain the data (e.g. a log-normal fitted to non-positive values) are
+//! skipped, which the KS baseline translates into the maximal distance 1.0.
+
+use crate::error::{NumericError, NumericResult};
+use crate::special::{
+    erf, incomplete_beta_regularized, ln_gamma, lower_incomplete_gamma_regularized,
+};
+use crate::stats;
+
+/// A continuous distribution with a density and a cumulative distribution function.
+pub trait ContinuousDistribution {
+    /// Family name ("normal", "uniform", ...), matching [`reference_family_names`].
+    fn name(&self) -> &'static str;
+
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative probability `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+}
+
+/// The names of the seven reference families, in the order the KS feature vector uses.
+pub fn reference_family_names() -> [&'static str; 7] {
+    [
+        "normal",
+        "uniform",
+        "exponential",
+        "beta",
+        "gamma",
+        "lognormal",
+        "logistic",
+    ]
+}
+
+fn invalid(name: &'static str, reason: &str) -> NumericError {
+    NumericError::InvalidParameter {
+        name,
+        reason: reason.to_string(),
+    }
+}
+
+/// Gaussian distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalDist {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (strictly positive).
+    pub std: f64,
+}
+
+impl NormalDist {
+    /// Create a normal distribution.
+    ///
+    /// # Errors
+    /// Fails when `std` is not strictly positive and finite.
+    pub fn new(mean: f64, std: f64) -> NumericResult<Self> {
+        if !(std.is_finite() && std > 0.0 && mean.is_finite()) {
+            return Err(invalid("std", "normal std must be finite and > 0"));
+        }
+        Ok(NormalDist { mean, std })
+    }
+}
+
+impl ContinuousDistribution for NormalDist {
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std;
+        (-0.5 * z * z).exp() / (self.std * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mean) / (self.std * std::f64::consts::SQRT_2)))
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDist {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound (strictly greater than `lo`).
+    pub hi: f64,
+}
+
+impl UniformDist {
+    /// Create a uniform distribution.
+    ///
+    /// # Errors
+    /// Fails unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> NumericResult<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(invalid("bounds", "uniform requires finite lo < hi"));
+        }
+        Ok(UniformDist { lo, hi })
+    }
+}
+
+impl ContinuousDistribution for UniformDist {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if (self.lo..=self.hi).contains(&x) {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (support `x >= 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialDist {
+    /// Rate parameter (strictly positive).
+    pub rate: f64,
+}
+
+impl ExponentialDist {
+    /// Create an exponential distribution.
+    ///
+    /// # Errors
+    /// Fails unless `rate` is strictly positive and finite.
+    pub fn new(rate: f64) -> NumericResult<Self> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(invalid("rate", "exponential rate must be finite and > 0"));
+        }
+        Ok(ExponentialDist { rate })
+    }
+}
+
+impl ContinuousDistribution for ExponentialDist {
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+}
+
+/// Beta distribution generalised to the support `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    /// First shape parameter (strictly positive).
+    pub alpha: f64,
+    /// Second shape parameter (strictly positive).
+    pub beta: f64,
+    /// Lower support bound.
+    pub lo: f64,
+    /// Upper support bound (strictly greater than `lo`).
+    pub hi: f64,
+}
+
+impl BetaDist {
+    /// Create a beta distribution on `[0, 1]`.
+    ///
+    /// # Errors
+    /// Fails unless both shapes are strictly positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> NumericResult<Self> {
+        Self::scaled(alpha, beta, 0.0, 1.0)
+    }
+
+    /// Create a beta distribution rescaled to `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Fails unless both shapes are strictly positive and `lo < hi`.
+    pub fn scaled(alpha: f64, beta: f64, lo: f64, hi: f64) -> NumericResult<Self> {
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0) {
+            return Err(invalid("shape", "beta shapes must be finite and > 0"));
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(invalid("bounds", "beta support requires finite lo < hi"));
+        }
+        Ok(BetaDist {
+            alpha,
+            beta,
+            lo,
+            hi,
+        })
+    }
+
+    fn unit_position(&self, x: f64) -> f64 {
+        (x - self.lo) / (self.hi - self.lo)
+    }
+}
+
+impl ContinuousDistribution for BetaDist {
+    fn name(&self) -> &'static str {
+        "beta"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let t = self.unit_position(x);
+        if !(0.0..=1.0).contains(&t) {
+            return 0.0;
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        let ln_pdf = (self.alpha - 1.0) * t.max(1e-300).ln()
+            + (self.beta - 1.0) * (1.0 - t).max(1e-300).ln()
+            - ln_b;
+        ln_pdf.exp() / (self.hi - self.lo)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let t = self.unit_position(x).clamp(0.0, 1.0);
+        incomplete_beta_regularized(self.alpha, self.beta, t)
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta` (support `x >= 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaDist {
+    /// Shape parameter (strictly positive).
+    pub shape: f64,
+    /// Scale parameter (strictly positive).
+    pub scale: f64,
+}
+
+impl GammaDist {
+    /// Create a gamma distribution.
+    ///
+    /// # Errors
+    /// Fails unless shape and scale are strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> NumericResult<Self> {
+        if !(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0) {
+            return Err(invalid("shape", "gamma requires shape > 0 and scale > 0"));
+        }
+        Ok(GammaDist { shape, scale })
+    }
+}
+
+impl ContinuousDistribution for GammaDist {
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let ln_pdf = (self.shape - 1.0) * x.ln()
+            - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln();
+        ln_pdf.exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            lower_incomplete_gamma_regularized(self.shape, x / self.scale)
+        }
+    }
+}
+
+/// Log-normal distribution (support `x > 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalDist {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X` (strictly positive).
+    pub sigma: f64,
+}
+
+impl LogNormalDist {
+    /// Create a log-normal distribution.
+    ///
+    /// # Errors
+    /// Fails unless `sigma` is strictly positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> NumericResult<Self> {
+        if !(sigma.is_finite() && sigma > 0.0 && mu.is_finite()) {
+            return Err(invalid("sigma", "lognormal sigma must be finite and > 0"));
+        }
+        Ok(LogNormalDist { mu, sigma })
+    }
+}
+
+impl ContinuousDistribution for LogNormalDist {
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            0.5 * (1.0 + erf((x.ln() - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+        }
+    }
+}
+
+/// Logistic distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticDist {
+    /// Location (the mean).
+    pub location: f64,
+    /// Scale parameter (strictly positive).
+    pub scale: f64,
+}
+
+impl LogisticDist {
+    /// Create a logistic distribution.
+    ///
+    /// # Errors
+    /// Fails unless `scale` is strictly positive and finite.
+    pub fn new(location: f64, scale: f64) -> NumericResult<Self> {
+        if !(scale.is_finite() && scale > 0.0 && location.is_finite()) {
+            return Err(invalid("scale", "logistic scale must be finite and > 0"));
+        }
+        Ok(LogisticDist { location, scale })
+    }
+}
+
+impl ContinuousDistribution for LogisticDist {
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        // The pdf is symmetric in z, so evaluate with exp(-|z|): the naive form overflows
+        // to inf/inf = NaN for z below about -709.
+        let e = (-((x - self.location) / self.scale).abs()).exp();
+        e / (self.scale * (1.0 + e) * (1.0 + e))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        1.0 / (1.0 + (-(x - self.location) / self.scale).exp())
+    }
+}
+
+/// Fit every feasible reference family to `values` by the method of moments.
+///
+/// Families whose support cannot contain the data are skipped:
+/// * exponential — needs non-negative values,
+/// * gamma and log-normal — need strictly positive values,
+/// * uniform and beta — need a non-degenerate range,
+/// * normal and logistic — need a non-zero standard deviation.
+///
+/// # Errors
+/// Returns [`NumericError::EmptyInput`] when `values` has no finite entries.
+pub fn fit_reference_distributions(
+    values: &[f64],
+) -> NumericResult<Vec<Box<dyn ContinuousDistribution>>> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Err(NumericError::EmptyInput {
+            operation: "fit_reference_distributions",
+        });
+    }
+    let mean = stats::mean(&finite)?;
+    let var = stats::variance(&finite)?;
+    let std = var.sqrt();
+    let min = stats::min(&finite)?;
+    let max = stats::max(&finite)?;
+
+    let mut out: Vec<Box<dyn ContinuousDistribution>> = Vec::with_capacity(7);
+
+    if std > 0.0 {
+        if let Ok(d) = NormalDist::new(mean, std) {
+            out.push(Box::new(d));
+        }
+        if let Ok(d) = LogisticDist::new(mean, std * 3f64.sqrt() / std::f64::consts::PI) {
+            out.push(Box::new(d));
+        }
+    }
+    if max > min {
+        if let Ok(d) = UniformDist::new(min, max) {
+            out.push(Box::new(d));
+        }
+        // Beta on the observed range, shapes by the method of moments on min-max scaled
+        // data. Guard the common-formula precondition var_scaled < mean_scaled (1 - mean).
+        let width = max - min;
+        let m = (mean - min) / width;
+        let v = (var / (width * width)).max(1e-12);
+        if v < m * (1.0 - m) {
+            let factor = m * (1.0 - m) / v - 1.0;
+            if let Ok(d) = BetaDist::scaled(m * factor, (1.0 - m) * factor, min, max) {
+                out.push(Box::new(d));
+            }
+        }
+    }
+    if min >= 0.0 && mean > 0.0 {
+        if let Ok(d) = ExponentialDist::new(1.0 / mean) {
+            out.push(Box::new(d));
+        }
+    }
+    if min > 0.0 {
+        if var > 0.0 && mean > 0.0 {
+            if let Ok(d) = GammaDist::new(mean * mean / var, var / mean) {
+                out.push(Box::new(d));
+            }
+        }
+        let logs: Vec<f64> = finite.iter().map(|v| v.ln()).collect();
+        let mu = stats::mean(&logs)?;
+        let sigma = stats::variance(&logs)?.sqrt();
+        if sigma > 0.0 {
+            if let Ok(d) = LogNormalDist::new(mu, sigma) {
+                out.push(Box::new(d));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-7;
+
+    #[test]
+    fn normal_cdf_matches_known_values() {
+        let d = NormalDist::new(0.0, 1.0).unwrap();
+        assert!((d.cdf(0.0) - 0.5).abs() < EPS);
+        assert!((d.cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((d.cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
+        assert!(d.pdf(0.0) > d.pdf(1.0));
+        assert_eq!(d.name(), "normal");
+    }
+
+    #[test]
+    fn uniform_cdf_is_linear_and_clamped() {
+        let d = UniformDist::new(2.0, 4.0).unwrap();
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert!((d.cdf(3.0) - 0.5).abs() < EPS);
+        assert_eq!(d.pdf(1.0), 0.0);
+        assert!((d.pdf(3.0) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn exponential_cdf_matches_closed_form() {
+        let d = ExponentialDist::new(2.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < EPS);
+    }
+
+    #[test]
+    fn gamma_cdf_reduces_to_exponential_for_shape_one() {
+        let g = GammaDist::new(1.0, 0.5).unwrap();
+        let e = ExponentialDist::new(2.0).unwrap();
+        for x in [0.1, 0.5, 1.0, 3.0] {
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn beta_cdf_is_symmetric_for_equal_shapes() {
+        let d = BetaDist::new(2.0, 2.0).unwrap();
+        assert!((d.cdf(0.5) - 0.5).abs() < EPS);
+        assert!((d.cdf(0.25) + d.cdf(0.75) - 1.0).abs() < 1e-9);
+        let scaled = BetaDist::scaled(2.0, 2.0, 10.0, 20.0).unwrap();
+        assert!((scaled.cdf(15.0) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn lognormal_cdf_median_is_exp_mu() {
+        let d = LogNormalDist::new(1.0, 0.5).unwrap();
+        assert!((d.cdf(1.0f64.exp()) - 0.5).abs() < EPS);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn logistic_cdf_midpoint_and_monotonicity() {
+        let d = LogisticDist::new(3.0, 1.5).unwrap();
+        assert!((d.cdf(3.0) - 0.5).abs() < EPS);
+        assert!(d.cdf(4.0) > d.cdf(3.0));
+        assert!(d.pdf(3.0) > d.pdf(6.0));
+        // Far tails must underflow to 0, not overflow to NaN.
+        assert_eq!(d.pdf(-5000.0), 0.0);
+        assert_eq!(d.pdf(5000.0), 0.0);
+    }
+
+    #[test]
+    fn constructors_reject_invalid_parameters() {
+        assert!(NormalDist::new(0.0, 0.0).is_err());
+        assert!(UniformDist::new(1.0, 1.0).is_err());
+        assert!(ExponentialDist::new(-1.0).is_err());
+        assert!(BetaDist::new(0.0, 1.0).is_err());
+        assert!(GammaDist::new(1.0, f64::NAN).is_err());
+        assert!(LogNormalDist::new(0.0, -0.1).is_err());
+        assert!(LogisticDist::new(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_bounded() {
+        let dists: Vec<Box<dyn ContinuousDistribution>> = vec![
+            Box::new(NormalDist::new(1.0, 2.0).unwrap()),
+            Box::new(UniformDist::new(-1.0, 3.0).unwrap()),
+            Box::new(ExponentialDist::new(0.7).unwrap()),
+            Box::new(BetaDist::scaled(2.0, 5.0, 0.0, 10.0).unwrap()),
+            Box::new(GammaDist::new(2.5, 1.3).unwrap()),
+            Box::new(LogNormalDist::new(0.0, 1.0).unwrap()),
+            Box::new(LogisticDist::new(0.0, 1.0).unwrap()),
+        ];
+        for d in &dists {
+            let mut prev = 0.0;
+            for i in -40..=40 {
+                let x = i as f64 * 0.5;
+                let c = d.cdf(x);
+                assert!((0.0..=1.0).contains(&c), "{} cdf({x}) = {c}", d.name());
+                assert!(c + 1e-12 >= prev, "{} not monotone at {x}", d.name());
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_positive_data_yields_all_seven_families() {
+        let values: Vec<f64> = (1..200).map(|i| 1.0 + (i % 37) as f64 * 0.7).collect();
+        let fitted = fit_reference_distributions(&values).unwrap();
+        let names: Vec<&str> = fitted.iter().map(|d| d.name()).collect();
+        for family in reference_family_names() {
+            assert!(names.contains(&family), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn fitting_skips_infeasible_families() {
+        let values: Vec<f64> = (-50..50).map(|i| i as f64).collect();
+        let fitted = fit_reference_distributions(&values).unwrap();
+        let names: Vec<&str> = fitted.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"normal"));
+        assert!(names.contains(&"uniform"));
+        assert!(!names.contains(&"exponential"));
+        assert!(!names.contains(&"gamma"));
+        assert!(!names.contains(&"lognormal"));
+    }
+
+    #[test]
+    fn fitting_rejects_empty_or_non_finite_input() {
+        assert!(fit_reference_distributions(&[]).is_err());
+        assert!(fit_reference_distributions(&[f64::NAN, f64::INFINITY]).is_err());
+        // A constant column only supports the degenerate-free families.
+        let fitted = fit_reference_distributions(&[5.0; 20]).unwrap();
+        assert!(!fitted.iter().any(|d| d.name() == "normal"));
+    }
+
+    #[test]
+    fn fitted_normal_matches_sample_moments() {
+        let values: Vec<f64> = (0..1000)
+            .map(|i| 10.0 + ((i * 17) % 100) as f64 * 0.1)
+            .collect();
+        let fitted = fit_reference_distributions(&values).unwrap();
+        let normal = fitted.iter().find(|d| d.name() == "normal").unwrap();
+        let m = stats::mean(&values).unwrap();
+        // The CDF at the sample mean of a fitted normal is exactly one half.
+        assert!((normal.cdf(m) - 0.5).abs() < 1e-9);
+    }
+}

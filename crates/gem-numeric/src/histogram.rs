@@ -6,10 +6,9 @@
 //! for summarising synthetic columns in tests.
 
 use crate::error::{NumericError, NumericResult};
-use serde::{Deserialize, Serialize};
 
 /// An equal-width histogram over a closed interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Lower edge of the first bin.
     pub min: f64,

@@ -85,8 +85,12 @@ impl KernelDensityEstimate {
     /// range padded by three bandwidths on each side. Returns `(grid, densities)`.
     pub fn evaluate_grid(&self, points: usize) -> (Vec<f64>, Vec<f64>) {
         let lo = self.sample.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
-        let hi =
-            self.sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let hi = self
+            .sample
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + 3.0 * self.bandwidth;
         let n = points.max(2);
         let step = (hi - lo) / (n - 1) as f64;
         let grid: Vec<f64> = (0..n).map(|i| lo + i as f64 * step).collect();

@@ -7,10 +7,9 @@
 //! dependencies while remaining easy to audit.
 
 use crate::error::{NumericError, NumericResult};
-use serde::{Deserialize, Serialize};
 
 /// Dense row-major matrix of `f64` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -121,7 +120,10 @@ impl Matrix {
     /// Panics when the indices are out of bounds (bounds are asserted in debug and release).
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -131,7 +133,10 @@ impl Matrix {
     /// Panics when the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -449,7 +454,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -216,8 +216,7 @@ mod tests {
 
     #[test]
     fn standardize_with_reference_uses_reference_statistics() {
-        let reference =
-            Matrix::from_rows(&[vec![0.0], vec![10.0]]).unwrap(); // mean 5, std 5
+        let reference = Matrix::from_rows(&[vec![0.0], vec![10.0]]).unwrap(); // mean 5, std 5
         let target = Matrix::from_rows(&[vec![5.0], vec![15.0]]).unwrap();
         let s = standardize_with_reference(&target, &reference).unwrap();
         assert!((s.get(0, 0)).abs() < EPS);

@@ -7,7 +7,6 @@
 //! on raw `&[f64]` slices.
 
 use crate::error::{NumericError, NumericResult};
-use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean.
 ///
@@ -230,7 +229,7 @@ pub fn kurtosis(values: &[f64]) -> NumericResult<f64> {
 
 /// Summary of a numeric column, bundling the statistics the Gem pipeline and the baselines
 /// need. Computed once per column and reused.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// Number of values.
     pub count: usize,
@@ -414,7 +413,9 @@ mod tests {
     #[test]
     fn entropy_uniform_higher_than_concentrated() {
         let uniform: Vec<f64> = (0..1000).map(|i| i as f64).collect();
-        let concentrated: Vec<f64> = (0..1000).map(|i| if i < 990 { 0.0 } else { i as f64 }).collect();
+        let concentrated: Vec<f64> = (0..1000)
+            .map(|i| if i < 990 { 0.0 } else { i as f64 })
+            .collect();
         let hu = entropy(&uniform, 20).unwrap();
         let hc = entropy(&concentrated, 20).unwrap();
         assert!(hu > hc);

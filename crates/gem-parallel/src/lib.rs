@@ -1,0 +1,180 @@
+//! # gem-parallel
+//!
+//! Data-parallel building blocks for the workspace's hot paths (per-column signature
+//! computation, EM restarts, per-method benchmark fan-out).
+//!
+//! The production design calls for `rayon`, but this workspace builds in offline
+//! environments where crates.io is unreachable, so this crate provides the needed subset
+//! on top of `std::thread::scope`:
+//!
+//! * [`par_map`] — an ordered parallel map over a slice,
+//! * [`par_map_indexed`] — the same with the item index passed to the closure,
+//! * [`join`] — run two closures potentially in parallel.
+//!
+//! Every entry point has a sequential fallback that produces **identical** output:
+//! results are collected per input index, so ordering never depends on thread timing, and
+//! the closures receive the same arguments either way. The fallback is taken when the
+//! `threads` cargo feature is disabled, when `GEM_NUM_THREADS=1` is set, or when the
+//! input is too small to amortise thread spawning.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+/// Inputs shorter than this are always processed sequentially. The threshold is low
+/// (scoped-thread spawning costs microseconds) because the workspace's parallel callers —
+/// EM restarts, per-column signatures, per-method fan-out — all do heavy work per item;
+/// callers with trivial per-item work should pass `parallel: false` instead.
+pub const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// The number of worker threads parallel operations will use: the `GEM_NUM_THREADS`
+/// environment variable when set, otherwise [`std::thread::available_parallelism`].
+/// Returns 1 when the `threads` feature is disabled.
+pub fn max_threads() -> usize {
+    #[cfg(not(feature = "threads"))]
+    {
+        1
+    }
+    #[cfg(feature = "threads")]
+    {
+        match std::env::var("GEM_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Whether parallel execution is available at all (feature enabled and more than one
+/// thread permitted).
+pub fn parallelism_enabled() -> bool {
+    max_threads() > 1
+}
+
+/// Map `f` over `items`, preserving order. Runs on multiple threads when `parallel` is
+/// true, threads are available and the input is large enough; otherwise runs
+/// sequentially. Both paths produce identical output for a deterministic `f`.
+pub fn par_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, parallel, |_, item| f(item))
+}
+
+/// Like [`par_map`], but the closure also receives the item's index — useful when the
+/// work depends on position (e.g. seeding one EM restart per index).
+pub fn par_map_indexed<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.max(1));
+    if !parallel || threads <= 1 || n < MIN_PARALLEL_ITEMS {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let chunk = n.div_ceil(threads);
+    let mut blocks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (b, chunk_items) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                chunk_items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| f(b * chunk + i, x))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            blocks.push(h.join().expect("gem-parallel worker panicked"));
+        }
+    });
+    blocks.into_iter().flatten().collect()
+}
+
+/// Run two closures, in parallel when possible, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !parallelism_enabled() {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("gem-parallel join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_and_sequential_maps_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = par_map(&items, false, |&x| x * x + 1);
+        let par = par_map(&items, true, |&x| x * x + 1);
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 101);
+    }
+
+    #[test]
+    fn order_is_preserved_under_uneven_work() {
+        let items: Vec<usize> = (0..200).collect();
+        // Make early items slow so late chunks finish first.
+        let out = par_map(&items, true, |&x| {
+            if x < 10 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn tiny_inputs_run_sequentially_but_correctly() {
+        let items: Vec<u64> = (0..(MIN_PARALLEL_ITEMS as u64 - 1)).collect();
+        let out = par_map(&items, true, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_map_passes_matching_indices() {
+        let items = vec!["a"; 100];
+        let out = par_map_indexed(&items, true, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = vec![];
+        assert!(par_map(&items, true, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 21 * 2, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -1,0 +1,350 @@
+//! # gem-rand-distr
+//!
+//! Sampling distributions over [`gem-rand`](../gem_rand/index.html) generators, exposing
+//! the subset of the `rand_distr` API the corpus simulators use ([`Distribution`],
+//! [`Normal`], [`LogNormal`], [`Gamma`], [`Beta`], [`Exp`], [`Uniform`]). Dependent crates
+//! rename this package to `rand_distr` so `use rand_distr::...` call sites stay
+//! source-compatible while the build remains fully offline.
+//!
+//! Algorithms: Box–Muller for the normal, Marsaglia–Tsang squeeze for the gamma (with the
+//! Ahrens–Dieter boost for shape < 1), the two-gamma construction for the beta and inverse
+//! CDF for the exponential. All are deterministic given the generator stream.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use rand::{RngCore, Standard};
+use std::fmt;
+
+/// Error raised by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Types from which values of type `T` can be sampled.
+pub trait Distribution<T> {
+    /// Draw one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: avoids ln(0) in inverse-CDF and Box–Muller transforms.
+    1.0 - f64::sample_standard(rng)
+}
+
+/// Draw one standard-normal value (Box–Muller, cosine branch).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open(rng);
+    let u2 = f64::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gaussian distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    /// Fails when `std` is negative or non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, ParamError> {
+        if !(std.is_finite() && mean.is_finite()) || std < 0.0 {
+            return Err(ParamError("normal requires finite mean and std >= 0"));
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Create a log-normal from the mean / std of the underlying normal.
+    ///
+    /// # Errors
+    /// Fails when `sigma` is negative or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Create an exponential distribution.
+    ///
+    /// # Errors
+    /// Fails when `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ParamError("exponential requires rate > 0"));
+        }
+        Ok(Exp { rate })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.rate
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create a gamma distribution.
+    ///
+    /// # Errors
+    /// Fails when shape or scale is not strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0) {
+            return Err(ParamError("gamma requires shape > 0 and scale > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    fn sample_shape_ge_one<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        // Marsaglia & Tsang (2000): squeeze method for shape >= 1.
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = unit_open(rng);
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unscaled = if self.shape >= 1.0 {
+            Self::sample_shape_ge_one(self.shape, rng)
+        } else {
+            // Ahrens–Dieter boost: Gamma(a) = Gamma(a + 1) * U^(1/a) for a < 1.
+            let boost = Self::sample_shape_ge_one(self.shape + 1.0, rng);
+            boost * unit_open(rng).powf(1.0 / self.shape)
+        };
+        unscaled * self.scale
+    }
+}
+
+/// Beta distribution on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: Gamma,
+    b: Gamma,
+}
+
+impl Beta {
+    /// Create a beta distribution with shape parameters `alpha`, `beta`.
+    ///
+    /// # Errors
+    /// Fails when either shape is not strictly positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        Ok(Beta {
+            a: Gamma::new(alpha, 1.0)?,
+            b: Gamma::new(beta, 1.0)?,
+        })
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = self.a.sample(rng);
+        let y = self.b.sample(rng);
+        if x + y == 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+/// Continuous uniform distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on the half-open interval `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Uniform { lo, hi }
+    }
+
+    /// Uniform on the closed interval `[lo, hi]` (identical sampling: the endpoint has
+    /// measure zero for `f64` grids at this precision).
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * f64::sample_standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match_parameters() {
+        let mut r = rng();
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        let e = Exp::new(-1.0).unwrap_err();
+        assert!(e.to_string().contains("rate"));
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let d = Exp::new(0.5).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments_match_for_large_and_small_shape() {
+        let mut r = rng();
+        for (shape, scale) in [(3.0, 2.0), (0.5, 1.0)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let samples: Vec<f64> = (0..30_000).map(|_| d.sample(&mut r)).collect();
+            let (mean, var) = moments(&samples);
+            assert!(
+                (mean - shape * scale).abs() < 0.15 * (shape * scale).max(0.3),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - shape * scale * scale).abs() < 0.2 * (shape * scale * scale).max(0.3),
+                "shape {shape}: var {var}"
+            );
+            assert!(samples.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn beta_stays_in_unit_interval_with_correct_mean() {
+        let mut r = rng();
+        let d = Beta::new(2.0, 6.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let (mean, _) = moments(&samples);
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_right_skewed() {
+        let mut r = rng();
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (mean, _) = moments(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "right skew: mean {mean} median {median}");
+    }
+
+    #[test]
+    fn uniform_covers_interval() {
+        let mut r = rng();
+        let d = Uniform::new_inclusive(-3.0, 7.0);
+        let samples: Vec<f64> = (0..10_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (-3.0..=7.0).contains(&x)));
+        let (mean, _) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

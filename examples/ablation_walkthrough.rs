@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release --example ablation_walkthrough`.
 
-use gem::core::{ablation_feature_sets, Composition, FeatureSet, GemColumn, GemConfig, GemEmbedder};
+use gem::core::{
+    ablation_feature_sets, Composition, FeatureSet, GemColumn, GemConfig, GemEmbedder,
+};
 use gem::data::{gds, CorpusConfig, Granularity};
 use gem::eval::evaluate_retrieval;
 use gem::gmm::GmmConfig;

@@ -47,7 +47,11 @@ fn main() {
         );
         for (rank, neighbor) in top_k_neighbors(&index, query, 5).into_iter().enumerate() {
             let n = &corpus.columns[neighbor];
-            let marker = if n.fine_type == q.fine_type { "MATCH" } else { "     " };
+            let marker = if n.fine_type == q.fine_type {
+                "MATCH"
+            } else {
+                "     "
+            };
             println!(
                 "   {}. [{}] header '{}', type '{}' (similarity {:.3})",
                 rank + 1,

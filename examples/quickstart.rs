@@ -10,15 +10,25 @@ fn main() {
     // ranges partially overlap (the situation Figure 1 of the paper illustrates).
     let columns = vec![
         GemColumn::new((0..100).map(|i| 20.0 + (i % 45) as f64).collect(), "age"),
-        GemColumn::new((0..100).map(|i| 18.0 + (i % 50) as f64).collect(), "patient_age"),
-        GemColumn::new((0..100).map(|i| 1.0 + (i % 40) as f64).collect(), "rank"),
-        GemColumn::new((0..100).map(|i| 3.0 + (i % 38) as f64).collect(), "university_rank"),
         GemColumn::new(
-            (0..100).map(|i| 15_000.0 + 310.0 * (i % 60) as f64).collect(),
+            (0..100).map(|i| 18.0 + (i % 50) as f64).collect(),
+            "patient_age",
+        ),
+        GemColumn::new((0..100).map(|i| 1.0 + (i % 40) as f64).collect(), "rank"),
+        GemColumn::new(
+            (0..100).map(|i| 3.0 + (i % 38) as f64).collect(),
+            "university_rank",
+        ),
+        GemColumn::new(
+            (0..100)
+                .map(|i| 15_000.0 + 310.0 * (i % 60) as f64)
+                .collect(),
             "price_car",
         ),
         GemColumn::new(
-            (0..100).map(|i| 12_500.0 + 295.0 * (i % 55) as f64).collect(),
+            (0..100)
+                .map(|i| 12_500.0 + 295.0 * (i % 55) as f64)
+                .collect(),
             "price_motorbike",
         ),
     ];
@@ -40,7 +50,10 @@ fn main() {
     for i in 0..columns.len() {
         for j in (i + 1)..columns.len() {
             let sim = cosine_similarity(embedding.matrix.row(i), embedding.matrix.row(j)).unwrap();
-            println!("  {:<18} ~ {:<18} = {:.3}", columns[i].header, columns[j].header, sim);
+            println!(
+                "  {:<18} ~ {:<18} = {:.3}",
+                columns[i].header, columns[j].header, sim
+            );
         }
     }
 

@@ -43,9 +43,17 @@ fn main() {
     let gem_scores = evaluate_retrieval(&gem.matrix, &labels);
 
     // Baselines.
-    let squashing = evaluate_retrieval(&SquashingGmm::new(16).embed_columns(&columns), &labels);
-    let ple = evaluate_retrieval(&PiecewiseLinearEncoder::new(16).embed_columns(&columns), &labels);
-    let ks = evaluate_retrieval(&KsEncoder.embed_columns(&columns), &labels);
+    let squashing = evaluate_retrieval(
+        &SquashingGmm::new(16).embed_columns(&columns).unwrap(),
+        &labels,
+    );
+    let ple = evaluate_retrieval(
+        &PiecewiseLinearEncoder::new(16)
+            .embed_columns(&columns)
+            .unwrap(),
+        &labels,
+    );
+    let ks = evaluate_retrieval(&KsEncoder.embed_columns(&columns).unwrap(), &labels);
 
     println!("\nAverage precision@k (k = columns of the same type):");
     println!("  Gem (D+S)       : {:.3}", gem_scores.average_precision);

@@ -37,7 +37,10 @@ fn tabledc_clusters_gem_embeddings_better_than_random() {
     assert_eq!(labels.len(), truth.len());
     let ari = adjusted_rand_index(&labels, &truth);
     let acc = clustering_accuracy(&labels, &truth);
-    assert!(ari > 0.05, "TableDC ARI {ari} should be clearly above random");
+    assert!(
+        ari > 0.05,
+        "TableDC ARI {ari} should be clearly above random"
+    );
     assert!(acc > 1.5 / k as f64, "TableDC ACC {acc} should beat chance");
 }
 

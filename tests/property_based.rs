@@ -1,130 +1,185 @@
-//! Property-based tests (proptest) over the core invariants of the Gem pipeline and its
-//! substrates, using randomly generated columns rather than hand-picked fixtures.
+//! Property-based tests over the core invariants of the Gem pipeline and its substrates,
+//! using randomly generated columns rather than hand-picked fixtures.
+//!
+//! The generator is the workspace's deterministic `gem-rand` (crates.io `proptest` is not
+//! available offline): every case derives from a fixed seed, so failures are exactly
+//! reproducible; the case index is printed in every assertion message.
 
 use gem::core::{FeatureSet, GemColumn, GemConfig, GemEmbedder};
 use gem::eval::{adjusted_rand_index, clustering_accuracy};
 use gem::gmm::{GmmConfig, UnivariateGmm};
 use gem::numeric::standardize::l1_normalize;
 use gem::numeric::stats::ColumnStats;
-use gem::numeric::{cosine_similarity, Matrix};
-use gem::text::{HashEmbedder, TextEmbedder};
-use proptest::prelude::*;
+use gem::numeric::{cosine_similarity, similarity_matrix};
+use gem_rand::prelude::*;
 
-fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e6f64..1.0e6, 3..max_len)
+fn finite_values(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(3..max_len.max(4));
+    (0..len).map(|_| rng.gen_range(-1.0e6..1.0e6)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn gmm_responsibilities_always_sum_to_one(values in finite_values(120), query in -1.0e6f64..1.0e6) {
-        let config = GmmConfig::with_components(4).restarts(1).with_seed(1).with_max_iterations(30);
+#[test]
+fn gmm_responsibilities_always_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..24 {
+        let values = finite_values(&mut rng, 120);
+        let query = rng.gen_range(-1.0e6..1.0e6);
+        let config = GmmConfig::with_components(4)
+            .restarts(1)
+            .with_seed(1)
+            .with_max_iterations(30);
         let gmm = UnivariateGmm::fit(&values, &config).unwrap();
         let resp = gmm.responsibilities(query);
         let sum: f64 = resp.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6);
-        prop_assert!(resp.iter().all(|&r| (0.0..=1.0 + 1e-9).contains(&r)));
+        assert!((sum - 1.0).abs() < 1e-6, "case {case}: sum {sum}");
+        assert!(
+            resp.iter().all(|&r| (0.0..=1.0 + 1e-9).contains(&r)),
+            "case {case}"
+        );
         // Weights always form a simplex.
         let wsum: f64 = gmm.weights().iter().sum();
-        prop_assert!((wsum - 1.0).abs() < 1e-6);
-        prop_assert!(gmm.variances().iter().all(|&v| v > 0.0));
-    }
-
-    #[test]
-    fn column_stats_respect_order_invariants(values in finite_values(80)) {
-        let stats = ColumnStats::compute(&values).unwrap();
-        prop_assert!(stats.min <= stats.percentile_10 + 1e-9);
-        prop_assert!(stats.percentile_10 <= stats.median + 1e-9);
-        prop_assert!(stats.median <= stats.percentile_90 + 1e-9);
-        prop_assert!(stats.percentile_90 <= stats.max + 1e-9);
-        prop_assert!((stats.range - (stats.max - stats.min)).abs() < 1e-9);
-        prop_assert!(stats.unique_count <= stats.count);
-        prop_assert!(stats.entropy >= 0.0);
-    }
-
-    #[test]
-    fn l1_normalization_produces_unit_l1_norm(values in finite_values(60)) {
-        let normalized = l1_normalize(&values);
-        let norm: f64 = normalized.iter().map(|v| v.abs()).sum();
-        // Either the input was (numerically) all zeros, or the output has unit L1 norm.
-        let input_norm: f64 = values.iter().map(|v| v.abs()).sum();
-        if input_norm > 1e-300 {
-            prop_assert!((norm - 1.0).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn cosine_similarity_is_symmetric_and_bounded(
-        a in prop::collection::vec(-100.0f64..100.0, 8),
-        b in prop::collection::vec(-100.0f64..100.0, 8),
-    ) {
-        let ab = cosine_similarity(&a, &b).unwrap();
-        let ba = cosine_similarity(&b, &a).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
-        prop_assert!((cosine_similarity(&a, &a).unwrap() - 1.0).abs() < 1e-9 || a.iter().all(|&x| x == 0.0));
-    }
-
-    #[test]
-    fn text_embeddings_are_deterministic_and_normalized(header in "[a-zA-Z_ ]{1,24}") {
-        let embedder = HashEmbedder::new(32);
-        let a = embedder.embed(&header);
-        let b = embedder.embed(&header);
-        prop_assert_eq!(a.clone(), b);
-        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
-        prop_assert!(norm < 1.0 + 1e-9);
-    }
-
-    #[test]
-    fn clustering_metrics_are_perfect_for_identical_labelings(
-        labels in prop::collection::vec(0usize..5, 4..40),
-    ) {
-        prop_assert!((clustering_accuracy(&labels, &labels) - 1.0).abs() < 1e-12);
-        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn clustering_metrics_are_label_permutation_invariant(
-        labels in prop::collection::vec(0usize..4, 6..40),
-    ) {
-        // Relabel clusters by a fixed permutation of the ids.
-        let permuted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
-        prop_assert!((clustering_accuracy(&permuted, &labels) - 1.0).abs() < 1e-12);
-        prop_assert!((adjusted_rand_index(&permuted, &labels) - 1.0).abs() < 1e-9);
+        assert!((wsum - 1.0).abs() < 1e-6, "case {case}: weight sum {wsum}");
+        assert!(gmm.variances().iter().all(|&v| v > 0.0), "case {case}");
     }
 }
 
-proptest! {
-    // The full pipeline is more expensive, so run fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(6))]
+#[test]
+fn column_stats_respect_order_invariants() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for case in 0..24 {
+        let values = finite_values(&mut rng, 80);
+        let stats = ColumnStats::compute(&values).unwrap();
+        assert!(stats.min <= stats.percentile_10 + 1e-9, "case {case}");
+        assert!(stats.percentile_10 <= stats.median + 1e-9, "case {case}");
+        assert!(stats.median <= stats.percentile_90 + 1e-9, "case {case}");
+        assert!(stats.percentile_90 <= stats.max + 1e-9, "case {case}");
+        assert!(
+            (stats.range - (stats.max - stats.min)).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(stats.unique_count <= stats.count, "case {case}");
+        assert!(stats.entropy >= 0.0, "case {case}");
+    }
+}
 
-    #[test]
-    fn gem_embedding_rows_are_finite_and_value_block_l1_normalized(
-        columns in prop::collection::vec(finite_values(50), 3..8),
-    ) {
-        let gem_columns: Vec<GemColumn> = columns
-            .iter()
-            .enumerate()
-            .map(|(i, v)| GemColumn::new(v.clone(), format!("column_{i}")))
+#[test]
+fn l1_normalization_produces_unit_l1_norm() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..24 {
+        let values = finite_values(&mut rng, 60);
+        let normalized = l1_normalize(&values);
+        let norm: f64 = normalized.iter().map(|v| v.abs()).sum();
+        let input_norm: f64 = values.iter().map(|v| v.abs()).sum();
+        // Either the input was (numerically) all zeros, or the output has unit L1 norm.
+        if input_norm > 1e-300 {
+            assert!((norm - 1.0).abs() < 1e-9, "case {case}: norm {norm}");
+        }
+    }
+}
+
+#[test]
+fn cosine_similarity_is_symmetric_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for case in 0..24 {
+        let a: Vec<f64> = (0..8).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let b: Vec<f64> = (0..8).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let ab = cosine_similarity(&a, &b).unwrap();
+        let ba = cosine_similarity(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12, "case {case}");
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab), "case {case}");
+        assert!(
+            (cosine_similarity(&a, &a).unwrap() - 1.0).abs() < 1e-9 || a.iter().all(|&x| x == 0.0),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn text_embeddings_are_deterministic_and_normalized() {
+    use gem::text::{HashEmbedder, TextEmbedder};
+    let mut rng = StdRng::seed_from_u64(105);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_ "
+        .chars()
+        .collect();
+    for case in 0..24 {
+        let len = rng.gen_range(1..24);
+        let header: String = (0..len)
+            .map(|_| *alphabet.choose(&mut rng).unwrap())
+            .collect();
+        let embedder = HashEmbedder::new(32);
+        let a = embedder.embed(&header);
+        let b = embedder.embed(&header);
+        assert_eq!(a, b, "case {case}: header {header:?}");
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm < 1.0 + 1e-9, "case {case}: header {header:?}");
+    }
+}
+
+#[test]
+fn clustering_metrics_are_perfect_for_identical_labelings() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for case in 0..24 {
+        let len = rng.gen_range(4..40);
+        let labels: Vec<usize> = (0..len).map(|_| rng.gen_range(0..5)).collect();
+        assert!(
+            (clustering_accuracy(&labels, &labels) - 1.0).abs() < 1e-12,
+            "case {case}"
+        );
+        assert!(
+            (adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn clustering_metrics_are_label_permutation_invariant() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for case in 0..24 {
+        let len = rng.gen_range(6..40);
+        let labels: Vec<usize> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+        // Relabel clusters by a fixed permutation of the ids.
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        assert!(
+            (clustering_accuracy(&permuted, &labels) - 1.0).abs() < 1e-12,
+            "case {case}"
+        );
+        assert!(
+            (adjusted_rand_index(&permuted, &labels) - 1.0).abs() < 1e-9,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn gem_embedding_rows_are_finite_and_value_block_l1_normalized() {
+    // The full pipeline is more expensive, so run fewer cases.
+    let mut rng = StdRng::seed_from_u64(108);
+    for case in 0..6 {
+        let n_columns = rng.gen_range(3..8);
+        let gem_columns: Vec<GemColumn> = (0..n_columns)
+            .map(|i| GemColumn::new(finite_values(&mut rng, 50), format!("column_{i}")))
             .collect();
         let embedder = GemEmbedder::new(GemConfig::fast());
         let embedding = embedder.embed(&gem_columns, FeatureSet::dsc()).unwrap();
-        prop_assert_eq!(embedding.n_columns(), gem_columns.len());
-        prop_assert!(embedding.matrix.all_finite());
+        assert_eq!(embedding.n_columns(), gem_columns.len(), "case {case}");
+        assert!(embedding.matrix.all_finite(), "case {case}");
         for r in 0..embedding.value_block.rows() {
             let l1: f64 = embedding.value_block.row(r).iter().map(|v| v.abs()).sum();
-            prop_assert!((l1 - 1.0).abs() < 1e-6, "row {} has L1 {}", r, l1);
+            assert!((l1 - 1.0).abs() < 1e-6, "case {case}: row {r} has L1 {l1}");
         }
         // The signature rows are probability vectors.
         for r in 0..embedding.signature.rows() {
             let s: f64 = embedding.signature.row(r).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-6);
+            assert!((s - 1.0).abs() < 1e-6, "case {case}: row {r} sums to {s}");
         }
         // Similarity matrix over the embedding stays well-formed.
-        let sim = gem::numeric::similarity_matrix(&embedding.matrix);
-        prop_assert_eq!(sim.shape(), (gem_columns.len(), gem_columns.len()));
-        prop_assert!(sim.all_finite());
-        let _ = Matrix::zeros(1, 1);
+        let sim = similarity_matrix(&embedding.matrix);
+        assert_eq!(
+            sim.shape(),
+            (gem_columns.len(), gem_columns.len()),
+            "case {case}"
+        );
+        assert!(sim.all_finite(), "case {case}");
     }
 }

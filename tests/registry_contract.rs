@@ -1,0 +1,95 @@
+//! The unified trait contract, asserted as a property over the whole method registry:
+//! **every** registered method — Gem, its variants and all eight baselines — returns
+//! exactly one finite-valued embedding row per input column, on all four `CorpusKind`
+//! corpora. This is the invariant the experiment binaries and every downstream consumer
+//! (retrieval, clustering, serving) rely on when they iterate the registry instead of
+//! hardcoding method lists.
+
+use gem::baselines::register_baselines;
+use gem::core::{GemConfig, MethodRegistry};
+use gem::data::{build_corpus, CorpusConfig, CorpusKind};
+use gem::gmm::GmmConfig;
+
+fn contract_registry() -> MethodRegistry {
+    // Small components / restarts keep the full sweep fast while exercising every method.
+    let config = GemConfig {
+        gmm: GmmConfig::with_components(6).restarts(2).with_seed(7),
+        text_dim: 32,
+        ..GemConfig::default()
+    };
+    let mut registry = MethodRegistry::new();
+    register_baselines(&mut registry, 6);
+    registry.register_gem_family(&config);
+    registry
+}
+
+#[test]
+fn registry_enumerates_gem_and_all_eight_baselines() {
+    let registry = contract_registry();
+    let names = registry.names();
+    let baselines = [
+        "Squashing_GMM",
+        "Squashing_SOM",
+        "PLE",
+        "PAF",
+        "KS statistic",
+        "Pythagoras_SC",
+        "Sherlock_SC",
+        "Sato_SC",
+    ];
+    for name in baselines {
+        assert!(names.contains(&name), "missing baseline {name}");
+    }
+    assert!(names.contains(&"Gem"), "missing Gem itself");
+    assert_eq!(registry.tagged("supervised").count(), 3);
+    assert_eq!(registry.tagged("numeric-only").count(), 6); // 5 baselines + Gem (D+S)
+}
+
+#[test]
+fn every_method_returns_one_finite_row_per_column_on_all_four_corpora() {
+    let registry = contract_registry();
+    let corpus_config = CorpusConfig {
+        scale: 0.02,
+        min_values: 20,
+        max_values: 40,
+        seed: 5,
+    };
+    for kind in [
+        CorpusKind::Gds,
+        CorpusKind::Wdc,
+        CorpusKind::SatoTables,
+        CorpusKind::GitTables,
+    ] {
+        let dataset = build_corpus(kind, &corpus_config);
+        let columns: Vec<gem::core::GemColumn> = dataset
+            .columns
+            .iter()
+            .map(|c| gem::core::GemColumn::new(c.values.clone(), c.header.clone()))
+            .collect();
+        let coarse = dataset.coarse_labels();
+        assert!(!columns.is_empty(), "{kind:?} generated no columns");
+
+        for entry in registry.iter() {
+            let method = entry.method();
+            let embedding = method
+                .embed(&columns, Some(&coarse))
+                .unwrap_or_else(|e| panic!("{} failed on {kind:?}: {e}", entry.name()));
+            assert_eq!(
+                embedding.rows(),
+                columns.len(),
+                "{} on {kind:?}: expected one row per column",
+                entry.name()
+            );
+            assert!(
+                embedding.cols() > 0,
+                "{} on {kind:?}: embedding has zero width",
+                entry.name()
+            );
+            assert!(
+                embedding.all_finite(),
+                "{} on {kind:?}: embedding contains non-finite values",
+                entry.name()
+            );
+        }
+    }
+}
