@@ -50,13 +50,7 @@ impl SupervisedColumnEmbedder for SatoSc {
     }
 
     fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
-        if columns.len() != labels.len() {
-            return Err(GemError::LabelCountMismatch {
-                method: "Sato_SC".to_string(),
-                columns: columns.len(),
-                labels: labels.len(),
-            });
-        }
+        // Label-count validation is centralised in `gem_core::Method::embed`.
         if columns.is_empty() {
             return Ok(Matrix::zeros(0, self.embedding_dim));
         }
@@ -130,9 +124,10 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_labels_error() {
+    fn mismatched_labels_error_through_the_method_seam() {
         let (cols, _) = corpus();
-        let err = SatoSc::default().fit_embed(&cols, &[]).unwrap_err();
+        let method = gem_core::Method::Supervised(Box::new(SatoSc::default()));
+        let err = method.embed(&cols, Some(&[])).unwrap_err();
         assert!(matches!(err, GemError::LabelCountMismatch { .. }), "{err}");
     }
 

@@ -93,13 +93,7 @@ impl SupervisedColumnEmbedder for SherlockSc {
     }
 
     fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError> {
-        if columns.len() != labels.len() {
-            return Err(GemError::LabelCountMismatch {
-                method: "Sherlock_SC".to_string(),
-                columns: columns.len(),
-                labels: labels.len(),
-            });
-        }
+        // Label-count validation is centralised in `gem_core::Method::embed`.
         if columns.is_empty() {
             return Ok(Matrix::zeros(0, self.hidden_dim));
         }
@@ -211,11 +205,10 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_labels_error() {
+    fn mismatched_labels_error_through_the_method_seam() {
         let (cols, _) = corpus();
-        let err = SherlockSc::default()
-            .fit_embed(&cols, &["age".to_string()])
-            .unwrap_err();
+        let method = gem_core::Method::Supervised(Box::new(SherlockSc::default()));
+        let err = method.embed(&cols, Some(&["age".to_string()])).unwrap_err();
         assert!(matches!(err, GemError::LabelCountMismatch { .. }), "{err}");
     }
 }

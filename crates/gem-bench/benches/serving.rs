@@ -1,0 +1,86 @@
+//! Serving benchmark: what the fit/transform split and the fingerprint-keyed model cache
+//! buy under repeated traffic against the same corpus.
+//!
+//! Three measurements on the 300-column scalability corpus (the same corpus the
+//! `scalability` bench uses for Gem (D+S)):
+//!
+//! * `cold_fit` — a fresh engine per iteration: every request pays the EM fit (the
+//!   pre-split behaviour of `GemEmbedder::embed`),
+//! * `warm_hit` — a pre-warmed engine: every request is a cache hit and only pays the
+//!   transform,
+//! * `warm_hit_batch16` — sixteen warm requests grouped into one batch, the
+//!   per-request cost of saturated serving.
+//!
+//! Snapshot with `GEM_CRITERION_JSON=BENCH_serving.json cargo bench -p gem-bench --bench
+//! serving`; the committed baseline lives at the repo root next to
+//! `BENCH_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_bench::{gem_config_with_components, strip_headers, to_gem_columns};
+use gem_core::{FeatureSet, GemColumn, GemConfig};
+use gem_data::{gds, CorpusConfig};
+use gem_serve::{BatchEngine, EngineRequest};
+use std::sync::Arc;
+
+const N_COLUMNS: usize = 300;
+
+fn corpus() -> Arc<Vec<GemColumn>> {
+    // Identical generation to the scalability bench so the two snapshots are comparable.
+    let pool = gds(&CorpusConfig {
+        scale: 0.35,
+        min_values: 40,
+        max_values: 80,
+        seed: 13,
+    });
+    Arc::new(strip_headers(&to_gem_columns(&pool.truncated(N_COLUMNS))))
+}
+
+fn bench_config() -> GemConfig {
+    gem_config_with_components(10)
+}
+
+fn bench_serving(criterion: &mut Criterion) {
+    let corpus = corpus();
+    let request =
+        || EngineRequest::corpus_only(bench_config(), FeatureSet::ds(), Arc::clone(&corpus));
+
+    let mut group = criterion.benchmark_group("serving");
+    group.sample_size(10);
+
+    // Cold: a fresh cache per iteration, so every embed pays the EM fit.
+    group.bench_function(BenchmarkId::new("cold_fit", N_COLUMNS), |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(4);
+            let response = engine.run_one(request());
+            assert!(response.embedding.is_ok() && !response.cache_hit);
+            response
+        })
+    });
+
+    // Warm: the model is cached once up front; each embed is transform-only.
+    let warm_engine = BatchEngine::new(4);
+    assert!(!warm_engine.run_one(request()).cache_hit);
+    group.bench_function(BenchmarkId::new("warm_hit", N_COLUMNS), |b| {
+        b.iter(|| {
+            let response = warm_engine.run_one(request());
+            assert!(response.embedding.is_ok() && response.cache_hit);
+            response
+        })
+    });
+
+    // Warm batch: sixteen requests against the cached model in one engine call
+    // (per-request time = measured time / 16).
+    let batch: Vec<EngineRequest> = (0..16).map(|_| request()).collect();
+    group.bench_function(BenchmarkId::new("warm_hit_batch16", N_COLUMNS), |b| {
+        b.iter(|| {
+            let responses = warm_engine.run(&batch);
+            assert!(responses.iter().all(|r| r.cache_hit));
+            responses
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Bench-regression guard: compare a fresh `GEM_CRITERION_JSON` snapshot against a
+//! committed baseline and flag benchmarks whose mean time regressed beyond a threshold.
+//!
+//! ```sh
+//! GEM_CRITERION_JSON=/tmp/scalability.json cargo bench -p gem-bench --bench scalability
+//! cargo run -p gem-bench --release --bin bench_guard -- BENCH_baseline.json /tmp/scalability.json
+//! ```
+//!
+//! Exits non-zero when any benchmark present in both files regressed by more than the
+//! threshold (default 25%, override with `--threshold 0.25`). Pass `--warn-only` (what CI
+//! does, since shared runners are noisy) to report regressions without failing.
+//! Benchmarks present in only one file are reported but never fail the guard, so adding
+//! a bench does not break the gate before its baseline is committed.
+
+use gem_json::Json;
+use std::process::ExitCode;
+
+struct Entry {
+    group: String,
+    id: String,
+    mean_s: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let items = json
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a JSON array of bench results"))?;
+    items
+        .iter()
+        .map(|item| {
+            Ok(Entry {
+                group: item
+                    .str_field("group")
+                    .map_err(|e| format!("{path}: {e}"))?,
+                id: item.str_field("id").map_err(|e| format!("{path}: {e}"))?,
+                mean_s: item
+                    .num_field("mean_s")
+                    .map_err(|e| format!("{path}: {e}"))?,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, current_path: &str, threshold: f64, warn_only: bool) -> ExitCode {
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_guard: {current_path} vs baseline {baseline_path} (threshold +{:.0}%)",
+        threshold * 100.0
+    );
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict",
+        "benchmark", "baseline_s", "current_s", "ratio"
+    );
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for entry in &current {
+        let label = format!("{}/{}", entry.group, entry.id);
+        match baseline
+            .iter()
+            .find(|b| b.group == entry.group && b.id == entry.id)
+        {
+            Some(base) if base.mean_s > 0.0 => {
+                compared += 1;
+                let ratio = entry.mean_s / base.mean_s;
+                let regressed = ratio > 1.0 + threshold;
+                if regressed {
+                    regressions += 1;
+                }
+                println!(
+                    "{label:<45} {:>12.6} {:>12.6} {:>8.2}x  {}",
+                    base.mean_s,
+                    entry.mean_s,
+                    ratio,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            _ => println!(
+                "{label:<45} {:>12} {:>12.6} {:>9}  no baseline (informational)",
+                "-", entry.mean_s, "-"
+            ),
+        }
+    }
+    for base in &baseline {
+        if !current
+            .iter()
+            .any(|c| c.group == base.group && c.id == base.id)
+        {
+            println!(
+                "{:<45} {:>12.6} {:>12} {:>9}  missing from current (informational)",
+                format!("{}/{}", base.group, base.id),
+                base.mean_s,
+                "-",
+                "-"
+            );
+        }
+    }
+
+    println!("bench_guard: {compared} compared, {regressions} regressed");
+    if regressions > 0 {
+        if warn_only {
+            println!("bench_guard: warn-only mode, not failing");
+            return ExitCode::SUCCESS;
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.25;
+    let mut warn_only = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--warn-only" => warn_only = true,
+            "--threshold" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("bench_guard: --threshold needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    // `GEM_BENCH_GUARD_WARN_ONLY=1` is an environment-variable alternative to the
+    // `--warn-only` flag (which is what the CI workflow passes).
+    if std::env::var("GEM_BENCH_GUARD_WARN_ONLY").is_ok_and(|v| v == "1") {
+        warn_only = true;
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_guard <baseline.json> <current.json> [--threshold 0.25] [--warn-only]"
+        );
+        return ExitCode::FAILURE;
+    };
+    run(baseline, current, threshold, warn_only)
+}

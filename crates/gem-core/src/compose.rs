@@ -71,7 +71,7 @@ pub fn compose(blocks: &[&Matrix], method: Composition) -> Matrix {
     }
 }
 
-fn concat_blocks(blocks: &[&Matrix]) -> Matrix {
+pub(crate) fn concat_blocks(blocks: &[&Matrix]) -> Matrix {
     let mut out = blocks[0].clone();
     for b in &blocks[1..] {
         out = out.hconcat(b).expect("row counts checked by compose");
@@ -97,6 +97,20 @@ fn autoencode(concatenated: &Matrix, latent_dim: usize, epochs: usize) -> Matrix
     if concatenated.rows() == 0 || concatenated.cols() == 0 {
         return Matrix::zeros(concatenated.rows(), latent_dim);
     }
+    let ae = fit_autoencoder(concatenated, latent_dim, epochs);
+    ae.encode(concatenated)
+}
+
+/// Train the composition autoencoder on a concatenated block matrix. Split out of
+/// [`compose`] so a fitted [`crate::GemModel`] can train the autoencoder once at fit time
+/// and reuse the frozen weights for every subsequent transform; encoding the training
+/// matrix with the returned autoencoder is bit-identical to the one-shot
+/// [`Composition::Autoencoder`] path.
+pub(crate) fn fit_autoencoder(
+    concatenated: &Matrix,
+    latent_dim: usize,
+    epochs: usize,
+) -> Autoencoder {
     let latent_dim = latent_dim.max(1).min(concatenated.cols());
     let mut config = AutoencoderConfig::new(concatenated.cols(), latent_dim);
     config.epochs = epochs;
@@ -104,7 +118,7 @@ fn autoencode(concatenated: &Matrix, latent_dim: usize, epochs: usize) -> Matrix
     config.seed = 29;
     let mut ae = Autoencoder::new(config);
     ae.fit(concatenated);
-    ae.encode(concatenated)
+    ae
 }
 
 #[cfg(test)]

@@ -1,13 +1,9 @@
 //! The end-to-end Gem embedding pipeline (Algorithm 1 of the paper).
 
-use crate::compose::compose;
 use crate::config::{FeatureSet, GemConfig};
-use crate::features::statistical_feature_matrix;
-use crate::signature::{signature_matrix, stack_values};
+use crate::model::GemModel;
 use gem_gmm::{GmmError, UnivariateGmm};
-use gem_numeric::standardize::{l1_normalize_rows, standardize_columns};
 use gem_numeric::Matrix;
-use gem_text::{HashEmbedder, TextEmbedder};
 use std::fmt;
 
 /// One numeric column presented to the embedder: its raw values plus (optionally) its
@@ -152,11 +148,11 @@ impl GemEmbedding {
 }
 
 /// The Gem embedder. Construct one with a [`GemConfig`], then call
-/// [`GemEmbedder::embed`] on a set of columns.
+/// [`GemEmbedder::embed`] on a set of columns — or [`GemEmbedder::fit`] once and
+/// [`GemModel::transform`] many times when the same corpus backs repeated requests.
 #[derive(Debug, Clone)]
 pub struct GemEmbedder {
     config: GemConfig,
-    text: HashEmbedder,
 }
 
 impl Default for GemEmbedder {
@@ -168,8 +164,7 @@ impl Default for GemEmbedder {
 impl GemEmbedder {
     /// Create an embedder from a configuration.
     pub fn new(config: GemConfig) -> Self {
-        let text = HashEmbedder::new(config.text_dim);
-        GemEmbedder { config, text }
+        GemEmbedder { config }
     }
 
     /// The configuration in use.
@@ -215,84 +210,21 @@ impl GemEmbedder {
         columns: &[GemColumn],
         features: FeatureSet,
     ) -> Result<GemEmbedding, GemError> {
-        if columns.is_empty() {
-            return Err(GemError::NoColumns);
-        }
-        if !features.is_non_empty() {
-            return Err(GemError::EmptyFeatureSet);
-        }
-        let values: Vec<Vec<f64>> = columns.iter().map(|c| c.values.clone()).collect();
-        let headers: Vec<String> = columns.iter().map(|c| c.header.clone()).collect();
-        let n = columns.len();
+        // The one-shot path is fit + transform fused over shared per-column blocks, so
+        // the input is borrowed throughout (no corpus-sized clone) and the output is
+        // bit-identical to fitting a model and transforming the same columns.
+        GemModel::fit_transform(columns, &self.config, features).map(|(_, embedding)| embedding)
+    }
 
-        // 1–2. Distributional block.
-        let (signature, gmm) = if features.distributional {
-            let stacked = stack_values(&values);
-            if stacked.is_empty() {
-                return Err(GemError::NoValues);
-            }
-            let gmm = UnivariateGmm::fit(&stacked, &self.config.gmm)?;
-            let sig = signature_matrix(&gmm, &values, self.config.parallel);
-            (sig, Some(gmm))
-        } else {
-            (Matrix::zeros(n, 0), None)
-        };
-
-        // 3. Statistical block (standardised across columns, Equation 7).
-        let statistical = if features.statistical {
-            if values.iter().all(|v| v.is_empty()) {
-                return Err(GemError::NoValues);
-            }
-            standardize_columns(&statistical_feature_matrix(&values))
-        } else {
-            Matrix::zeros(n, 0)
-        };
-
-        // 4. Augmented value block, L1-normalised (Equations 8–9). The standardised
-        // statistical block is first brought onto the same per-row mass as the signature
-        // (whose rows are probability vectors summing to 1); without this balancing the
-        // seven statistical z-scores carry several times the L1 mass of the signature and
-        // drown out the distributional evidence in cosine space (DESIGN.md §6).
-        let value_block = if features.distributional || features.statistical {
-            let balanced_stats = if features.distributional && statistical.cols() > 0 {
-                l1_normalize_rows(&statistical)
-            } else {
-                statistical.clone()
-            };
-            let augmented = signature
-                .hconcat(&balanced_stats)
-                .expect("same number of columns by construction");
-            l1_normalize_rows(&augmented)
-        } else {
-            Matrix::zeros(n, 0)
-        };
-
-        // 5. Contextual block, L1-normalised (Equation 10).
-        let header_block = if features.contextual {
-            let rows: Vec<Vec<f64>> = headers.iter().map(|h| self.text.embed(h)).collect();
-            let m = Matrix::from_rows(&rows).expect("uniform embedder output width");
-            l1_normalize_rows(&m)
-        } else {
-            Matrix::zeros(n, 0)
-        };
-
-        // 6. Composition (Equations 11/13 or the configured alternative).
-        let mut blocks: Vec<&Matrix> = Vec::new();
-        if value_block.cols() > 0 {
-            blocks.push(&value_block);
-        }
-        if header_block.cols() > 0 {
-            blocks.push(&header_block);
-        }
-        let matrix = compose(&blocks, self.config.composition);
-
-        Ok(GemEmbedding {
-            matrix,
-            value_block,
-            header_block,
-            signature,
-            gmm,
-        })
+    /// Fit a reusable [`GemModel`] on `columns`: the expensive corpus-level state (EM fit,
+    /// Equation 7 parameters, autoencoder weights) is estimated once, after which
+    /// [`GemModel::transform`] embeds any batch of columns — seen or unseen — against the
+    /// frozen model.
+    ///
+    /// # Errors
+    /// See [`GemEmbedder::embed`].
+    pub fn fit(&self, columns: &[GemColumn], features: FeatureSet) -> Result<GemModel, GemError> {
+        GemModel::fit(columns, &self.config, features)
     }
 }
 

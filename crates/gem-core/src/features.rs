@@ -28,10 +28,11 @@ pub const STATISTICAL_FEATURE_NAMES: [&str; 7] = [
 /// Empty columns produce an all-zero feature row rather than an error, so a corpus with a
 /// degenerate column can still be embedded (the paper's corpora contain short columns, and a
 /// pipeline that aborts on one bad column would be unusable on a data lake).
-pub fn statistical_feature_matrix(columns: &[Vec<f64>]) -> Matrix {
+pub fn statistical_feature_matrix<S: AsRef<[f64]>>(columns: &[S]) -> Matrix {
     let n_features = STATISTICAL_FEATURE_NAMES.len();
     let mut out = Matrix::zeros(columns.len(), n_features);
     for (i, values) in columns.iter().enumerate() {
+        let values = values.as_ref();
         if values.is_empty() {
             continue;
         }

@@ -35,6 +35,12 @@ pub trait SupervisedColumnEmbedder: Send + Sync {
 
     /// Train on the given columns and labels, then return one embedding row per column.
     ///
+    /// Implementations may assume `labels.len() == columns.len()`: [`Method::embed`] — the
+    /// seam every registry consumer goes through — rejects mismatched label counts with
+    /// [`GemError::LabelCountMismatch`] before dispatching, so per-method re-validation is
+    /// unnecessary. Callers invoking an implementation directly must uphold the invariant
+    /// themselves.
+    ///
     /// # Errors
     /// Returns a [`GemError`] when the input is degenerate or training fails.
     fn fit_embed(&self, columns: &[GemColumn], labels: &[String]) -> Result<Matrix, GemError>;
@@ -66,7 +72,9 @@ impl Method {
     /// ignore `labels`.
     ///
     /// # Errors
-    /// [`GemError::MissingLabels`] when a supervised method is invoked without labels;
+    /// [`GemError::MissingLabels`] when a supervised method is invoked without labels,
+    /// [`GemError::LabelCountMismatch`] when the label count differs from the column
+    /// count (validated here once, so supervised implementations don't re-check);
     /// otherwise whatever the underlying method reports.
     pub fn embed(
         &self,
@@ -76,6 +84,13 @@ impl Method {
         match self {
             Method::Unsupervised(m) => m.embed_columns(columns),
             Method::Supervised(m) => match labels {
+                Some(labels) if labels.len() != columns.len() => {
+                    Err(GemError::LabelCountMismatch {
+                        method: m.name().to_string(),
+                        columns: columns.len(),
+                        labels: labels.len(),
+                    })
+                }
                 Some(labels) => m.fit_embed(columns, labels),
                 None => Err(GemError::MissingLabels(m.name().to_string())),
             },
@@ -155,57 +170,20 @@ impl MethodRegistry {
     }
 
     /// Register the Gem method family (see [`MethodRegistry::with_gem`]) into an existing
-    /// registry.
+    /// registry. The name → pipeline mapping comes from [`gem_family_variants`], the same
+    /// table serving layers consume, so the two can never drift apart.
     pub fn register_gem_family(&mut self, config: &GemConfig) {
-        use crate::compose::Composition;
-        self.register_tagged(
-            Method::Unsupervised(Box::new(GemMethod::new(
-                "SBERT (headers only)",
-                config.clone(),
-                FeatureSet::c(),
-            ))),
-            &["gem", "headers-only"],
-        );
-        self.register_tagged(
-            Method::Unsupervised(Box::new(GemMethod::new(
-                "Gem (D+S)",
-                config.clone(),
-                FeatureSet::ds(),
-            ))),
-            &["gem", "numeric-only"],
-        );
-        for (name, composition) in [
-            ("Gem D+S+C (aggregation)", Composition::Aggregation),
-            ("Gem D+S+C (AE)", Composition::autoencoder()),
-            ("Gem D+S+C (concatenation)", Composition::Concatenation),
-        ] {
+        for variant in gem_family_variants(config) {
+            let tags: Vec<&str> = variant.tags.to_vec();
             self.register_tagged(
                 Method::Unsupervised(Box::new(GemMethod::new(
-                    name,
-                    config.clone().with_composition(composition),
-                    FeatureSet::dsc(),
+                    variant.name,
+                    variant.config,
+                    variant.features,
                 ))),
-                &["gem", "composition"],
+                &tags,
             );
         }
-        for features in crate::ablation::ablation_feature_sets() {
-            self.register_tagged(
-                Method::Unsupervised(Box::new(GemMethod::new(
-                    features.label(),
-                    config.clone(),
-                    features,
-                ))),
-                &["gem", "ablation"],
-            );
-        }
-        self.register_tagged(
-            Method::Unsupervised(Box::new(GemMethod::new(
-                "Gem",
-                config.clone(),
-                FeatureSet::dsc(),
-            ))),
-            &["gem"],
-        );
     }
 
     /// Register a method with no tags. Replaces any earlier entry with the same name.
@@ -326,6 +304,77 @@ impl std::fmt::Debug for MethodRegistry {
     }
 }
 
+/// One member of the Gem method family: its registry name, the full pipeline
+/// configuration and feature set it runs with, and its method-property tags.
+#[derive(Debug, Clone)]
+pub struct GemVariant {
+    /// Registry name (`"Gem"`, `"Gem (D+S)"`, `"D+C+S"`, ...).
+    pub name: String,
+    /// Pipeline configuration (composition already applied for the Table 3 variants).
+    pub config: GemConfig,
+    /// Feature set the variant embeds with.
+    pub features: FeatureSet,
+    /// Method-property tags set at registration.
+    pub tags: &'static [&'static str],
+}
+
+/// The canonical Gem method family derived from `config`, in the order
+/// [`MethodRegistry::register_gem_family`] registers it:
+///
+/// * `"SBERT (headers only)"` — the headers-only reference of Table 3,
+/// * `"Gem (D+S)"` — the numeric-only variant of Table 2,
+/// * the three Table 3 composition variants,
+/// * one variant per Figure 3 feature combination, named by its label,
+/// * `"Gem"` — the full D+S+C pipeline.
+///
+/// This is the **single source of truth** for the name → pipeline mapping: the registry
+/// and the serving layer (`gem-serve`) both build from it, so a renamed method or a
+/// changed variant configuration propagates to every consumer.
+pub fn gem_family_variants(config: &GemConfig) -> Vec<GemVariant> {
+    use crate::compose::Composition;
+    let mut variants = vec![
+        GemVariant {
+            name: "SBERT (headers only)".to_string(),
+            config: config.clone(),
+            features: FeatureSet::c(),
+            tags: &["gem", "headers-only"],
+        },
+        GemVariant {
+            name: "Gem (D+S)".to_string(),
+            config: config.clone(),
+            features: FeatureSet::ds(),
+            tags: &["gem", "numeric-only"],
+        },
+    ];
+    for (name, composition) in [
+        ("Gem D+S+C (aggregation)", Composition::Aggregation),
+        ("Gem D+S+C (AE)", Composition::autoencoder()),
+        ("Gem D+S+C (concatenation)", Composition::Concatenation),
+    ] {
+        variants.push(GemVariant {
+            name: name.to_string(),
+            config: config.clone().with_composition(composition),
+            features: FeatureSet::dsc(),
+            tags: &["gem", "composition"],
+        });
+    }
+    for features in crate::ablation::ablation_feature_sets() {
+        variants.push(GemVariant {
+            name: features.label(),
+            config: config.clone(),
+            features,
+            tags: &["gem", "ablation"],
+        });
+    }
+    variants.push(GemVariant {
+        name: "Gem".to_string(),
+        config: config.clone(),
+        features: FeatureSet::dsc(),
+        tags: &["gem"],
+    });
+    variants
+}
+
 /// A named Gem pipeline configuration (feature set + composition) exposed as a
 /// [`ColumnEmbedder`], so ablation variants and baselines share one interface.
 #[derive(Debug, Clone)]
@@ -436,6 +485,29 @@ mod tests {
     }
 
     #[test]
+    fn gem_family_variants_is_the_registry_registration_table() {
+        // The registry registers exactly the canonical variant table, in order — this is
+        // the single source of truth serving layers also build from.
+        let config = GemConfig::fast();
+        let registry = MethodRegistry::with_gem(&config);
+        let table: Vec<String> = gem_family_variants(&config)
+            .into_iter()
+            .map(|v| v.name)
+            .collect();
+        let names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, table);
+        for variant in gem_family_variants(&config) {
+            let entry = registry
+                .iter()
+                .find(|e| e.name() == variant.name)
+                .unwrap_or_else(|| panic!("{} missing", variant.name));
+            for tag in variant.tags {
+                assert!(entry.has_tag(tag), "{} missing tag {tag}", variant.name);
+            }
+        }
+    }
+
+    #[test]
     fn registry_lookup_and_replacement() {
         let mut registry = MethodRegistry::new();
         registry.register_unsupervised(Dummy, &["a"]);
@@ -478,6 +550,29 @@ mod tests {
         let labels: Vec<String> = (0..cols.len()).map(|i| format!("t{i}")).collect();
         let emb = method.embed(&cols, Some(&labels)).unwrap();
         assert_eq!(emb.rows(), cols.len());
+    }
+
+    #[test]
+    fn label_count_mismatch_is_rejected_before_dispatch() {
+        // The check lives in `Method::embed`, so every supervised method gets it without
+        // re-validating internally (DummySupervised would panic on its assert otherwise).
+        let mut registry = MethodRegistry::new();
+        registry.register_supervised(DummySupervised, &[]);
+        let method = registry.get("DummySupervised").unwrap();
+        let cols = columns();
+        let short: Vec<String> = vec!["t".to_string()];
+        match method.embed(&cols, Some(&short)) {
+            Err(GemError::LabelCountMismatch {
+                method,
+                columns,
+                labels,
+            }) => {
+                assert_eq!(method, "DummySupervised");
+                assert_eq!(columns, cols.len());
+                assert_eq!(labels, 1);
+            }
+            other => panic!("expected LabelCountMismatch, got {other:?}"),
+        }
     }
 
     #[test]

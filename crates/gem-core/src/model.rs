@@ -1,0 +1,569 @@
+//! The fitted Gem model: the fit/transform split of Algorithm 1.
+//!
+//! [`crate::GemEmbedder::embed`] runs the whole pipeline in one shot, which re-fits the
+//! shared GMM on every call — fine for experiments, fatal for serving, where the same
+//! corpus is embedded against over and over. [`GemModel`] splits the pipeline at the
+//! natural seam of the paper:
+//!
+//! * [`GemModel::fit`] runs the expensive, corpus-level estimation once: the EM fit of
+//!   the shared GMM (§3.1), the cross-column standardisation parameters of Equation 7,
+//!   and (for the autoencoder composition) the trained compression network.
+//! * [`GemModel::transform`] applies the frozen model to any set of columns — the fit
+//!   corpus, a single new column, or a batch of unseen queries — borrowing its input and
+//!   allocating nothing proportional to the fit corpus.
+//!
+//! [`GemModel::fit_transform`] fuses both for the one-shot path and is **bit-identical**
+//! to the pre-split `GemEmbedder::embed` (asserted by the workspace property tests).
+
+use crate::compose::{compose, concat_blocks, fit_autoencoder, Composition};
+use crate::config::{FeatureSet, GemConfig};
+use crate::embedding::{GemColumn, GemEmbedding, GemError};
+use crate::features::{statistical_feature_matrix, STATISTICAL_FEATURE_NAMES};
+use crate::signature::{signature_matrix, stack_values};
+use gem_gmm::UnivariateGmm;
+use gem_nn::Autoencoder;
+use gem_numeric::standardize::l1_normalize_rows;
+use gem_numeric::Matrix;
+use gem_text::{HashEmbedder, TextEmbedder};
+
+/// Frozen per-feature standardisation parameters (Equation 7), estimated on the fit
+/// corpus and applied unchanged to every transformed column so new columns land in the
+/// same standardised space as the corpus they are compared against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl FeatureScaler {
+    /// Estimate per-feature mean and standard deviation over the rows of `features`
+    /// (one row per column, one matrix-column per statistical feature).
+    pub fn fit(features: &Matrix) -> Self {
+        let cols = features.cols();
+        let mut means = Vec::with_capacity(cols);
+        let mut stds = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let col = features.column(c);
+            if col.is_empty() {
+                means.push(0.0);
+                stds.push(0.0);
+                continue;
+            }
+            let n = col.len() as f64;
+            let mean = col.iter().sum::<f64>() / n;
+            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            means.push(mean);
+            stds.push(var.sqrt());
+        }
+        FeatureScaler { means, stds }
+    }
+
+    /// Standardise `features` with the frozen parameters. Features whose fit-corpus
+    /// standard deviation is (near) zero map to zero, mirroring
+    /// [`gem_numeric::standardize::standardize_columns`] — on the fit corpus itself the
+    /// output is bit-identical to that function.
+    ///
+    /// # Panics
+    /// Panics when the feature width differs from the fitted width.
+    pub fn transform(&self, features: &Matrix) -> Matrix {
+        assert_eq!(
+            features.cols(),
+            self.means.len(),
+            "feature width differs from the fitted width"
+        );
+        let mut out = Matrix::zeros(features.rows(), features.cols());
+        for r in 0..features.rows() {
+            for c in 0..features.cols() {
+                if self.stds[c] >= 1e-12 {
+                    out.set(r, c, (features.get(r, c) - self.means[c]) / self.stds[c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-feature means over the fit corpus.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations over the fit corpus.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// The per-query feature blocks computed by a frozen model, before composition.
+struct Blocks {
+    signature: Matrix,
+    value_block: Matrix,
+    header_block: Matrix,
+}
+
+/// A fitted Gem pipeline: the shared [`UnivariateGmm`], the Equation 7 standardisation
+/// parameters, the header embedder and (for the autoencoder composition) the trained
+/// compression network. Fit once per corpus with [`GemModel::fit`], then call
+/// [`GemModel::transform`] for every batch of columns — including columns the model has
+/// never seen.
+#[derive(Debug, Clone)]
+pub struct GemModel {
+    config: GemConfig,
+    features: FeatureSet,
+    gmm: Option<UnivariateGmm>,
+    scaler: Option<FeatureScaler>,
+    text: HashEmbedder,
+    autoencoder: Option<Autoencoder>,
+    n_fit_columns: usize,
+}
+
+impl GemModel {
+    /// Fit the corpus-level model state: stack the values and fit the shared GMM (when
+    /// distributional features are selected), estimate the Equation 7 standardisation
+    /// parameters (when statistical features are selected), and train the composition
+    /// autoencoder (when that composition is configured).
+    ///
+    /// # Errors
+    /// * [`GemError::NoColumns`] when `columns` is empty,
+    /// * [`GemError::EmptyFeatureSet`] when `features` selects nothing,
+    /// * [`GemError::NoValues`] when D or S is selected but every column is empty,
+    /// * [`GemError::Gmm`] when the EM fit fails.
+    pub fn fit(
+        columns: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+    ) -> Result<Self, GemError> {
+        Self::fit_impl(columns, config, features, false).map(|(model, _)| model)
+    }
+
+    /// Fit on `columns` and embed them in one pass, sharing the per-column blocks between
+    /// the two phases. This is what [`crate::GemEmbedder::embed`] runs; its output is
+    /// bit-identical to fitting and then transforming the same columns.
+    ///
+    /// # Errors
+    /// See [`GemModel::fit`].
+    pub fn fit_transform(
+        columns: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+    ) -> Result<(Self, GemEmbedding), GemError> {
+        Self::fit_impl(columns, config, features, true)
+            .map(|(model, embedding)| (model, embedding.expect("embedding requested")))
+    }
+
+    fn fit_impl(
+        columns: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+        want_embedding: bool,
+    ) -> Result<(Self, Option<GemEmbedding>), GemError> {
+        if columns.is_empty() {
+            return Err(GemError::NoColumns);
+        }
+        if !features.is_non_empty() {
+            return Err(GemError::EmptyFeatureSet);
+        }
+        let values: Vec<&[f64]> = columns.iter().map(|c| c.values.as_slice()).collect();
+
+        // 1. The shared GMM over the stacked corpus (Algorithm 1, step 1).
+        let gmm = if features.distributional {
+            let stacked = stack_values(&values);
+            if stacked.is_empty() {
+                return Err(GemError::NoValues);
+            }
+            Some(UnivariateGmm::fit(&stacked, &config.gmm)?)
+        } else {
+            None
+        };
+
+        // Equation 7 parameters, estimated across the fit corpus. The raw feature matrix
+        // is kept so the fused fit_transform path does not compute it twice.
+        let (scaler, raw_stats) = if features.statistical {
+            if values.iter().all(|v| v.is_empty()) {
+                return Err(GemError::NoValues);
+            }
+            let raw = statistical_feature_matrix(&values);
+            (Some(FeatureScaler::fit(&raw)), Some(raw))
+        } else {
+            (None, None)
+        };
+
+        let mut model = GemModel {
+            config: config.clone(),
+            features,
+            gmm,
+            scaler,
+            text: HashEmbedder::new(config.text_dim),
+            autoencoder: None,
+            n_fit_columns: columns.len(),
+        };
+
+        // The concatenation/aggregation compositions are stateless, so a pure fit can
+        // stop here; the autoencoder must be trained on the fit corpus's blocks.
+        let train_ae = matches!(config.composition, Composition::Autoencoder { .. });
+        if !want_embedding && !train_ae {
+            return Ok((model, None));
+        }
+
+        let blocks = model.compute_blocks(columns, &values, raw_stats);
+        // The concatenated matrix trains the autoencoder and is handed on to the fused
+        // embedding so it isn't rebuilt; degenerate all-zero-width blocks (unreachable
+        // through the public constructors, which enforce k ≥ 1 / text_dim ≥ 2) skip the
+        // training, mirroring the one-shot compose guard.
+        let mut ae_input: Option<Matrix> = None;
+        if let Composition::Autoencoder { latent_dim, epochs } = config.composition {
+            let parts = present_blocks(&blocks);
+            if !parts.is_empty() {
+                let concatenated = concat_blocks(&parts);
+                model.autoencoder = Some(fit_autoencoder(&concatenated, latent_dim, epochs));
+                ae_input = Some(concatenated);
+            }
+        }
+        let embedding = want_embedding.then(|| model.compose_embedding(blocks, ae_input));
+        Ok((model, embedding))
+    }
+
+    /// Embed `columns` against the frozen model — steps 2–6 of Algorithm 1 with every
+    /// corpus-level estimate (GMM, Equation 7 parameters, autoencoder weights) reused
+    /// rather than re-fitted. The input is borrowed; nothing proportional to the fit
+    /// corpus is allocated or cloned.
+    ///
+    /// The columns need not be the fit corpus: unseen columns are projected into the
+    /// corpus's signature and standardised-feature space, which is what a serving system
+    /// needs to embed queries against a cached model. Columns with no finite values get
+    /// the GMM's prior weights as their signature (and zero raw statistics), so degenerate
+    /// queries degrade gracefully instead of erroring.
+    ///
+    /// # Errors
+    /// [`GemError::NoColumns`] when `columns` is empty.
+    pub fn transform(&self, columns: &[GemColumn]) -> Result<GemEmbedding, GemError> {
+        if columns.is_empty() {
+            return Err(GemError::NoColumns);
+        }
+        let values: Vec<&[f64]> = columns.iter().map(|c| c.values.as_slice()).collect();
+        Ok(self.compose_embedding(self.compute_blocks(columns, &values, None), None))
+    }
+
+    /// Steps 2–5: signature, standardised statistics and header blocks for `columns`.
+    fn compute_blocks(
+        &self,
+        columns: &[GemColumn],
+        values: &[&[f64]],
+        raw_stats: Option<Matrix>,
+    ) -> Blocks {
+        let n = columns.len();
+
+        // 2. Per-column mean responsibilities under the frozen GMM.
+        let signature = match &self.gmm {
+            Some(gmm) => signature_matrix(gmm, values, self.config.parallel),
+            None => Matrix::zeros(n, 0),
+        };
+
+        // 3. Statistical features, standardised with the frozen Equation 7 parameters.
+        let statistical = match &self.scaler {
+            Some(scaler) => {
+                let raw = raw_stats.unwrap_or_else(|| statistical_feature_matrix(values));
+                scaler.transform(&raw)
+            }
+            None => Matrix::zeros(n, 0),
+        };
+
+        // 4. Augmented value block, L1-normalised (Equations 8–9). The standardised
+        // statistical block is first brought onto the same per-row mass as the signature
+        // (whose rows are probability vectors summing to 1); without this balancing the
+        // seven statistical z-scores carry several times the L1 mass of the signature and
+        // drown out the distributional evidence in cosine space (DESIGN.md §6).
+        let value_block = if self.features.distributional || self.features.statistical {
+            let balanced_stats = if self.features.distributional && statistical.cols() > 0 {
+                l1_normalize_rows(&statistical)
+            } else {
+                statistical.clone()
+            };
+            let augmented = signature
+                .hconcat(&balanced_stats)
+                .expect("same number of columns by construction");
+            l1_normalize_rows(&augmented)
+        } else {
+            Matrix::zeros(n, 0)
+        };
+
+        // 5. Contextual block, L1-normalised (Equation 10).
+        let header_block = if self.features.contextual {
+            let rows: Vec<Vec<f64>> = columns.iter().map(|c| self.text.embed(&c.header)).collect();
+            let m = Matrix::from_rows(&rows).expect("uniform embedder output width");
+            l1_normalize_rows(&m)
+        } else {
+            Matrix::zeros(n, 0)
+        };
+
+        Blocks {
+            signature,
+            value_block,
+            header_block,
+        }
+    }
+
+    /// Step 6: merge the blocks (Equations 11/13 or the configured alternative), using
+    /// the autoencoder trained at fit time instead of re-training per call.
+    /// `precomputed_concat` lets the fused fit path reuse the concatenated matrix it
+    /// just trained the autoencoder on instead of rebuilding it.
+    fn compose_embedding(
+        &self,
+        blocks: Blocks,
+        precomputed_concat: Option<Matrix>,
+    ) -> GemEmbedding {
+        let Blocks {
+            signature,
+            value_block,
+            header_block,
+        } = blocks;
+        let mut parts: Vec<&Matrix> = Vec::new();
+        if value_block.cols() > 0 {
+            parts.push(&value_block);
+        }
+        if header_block.cols() > 0 {
+            parts.push(&header_block);
+        }
+        let matrix = match self.config.composition {
+            Composition::Autoencoder { latent_dim, .. } => match &self.autoencoder {
+                Some(ae) => {
+                    let concatenated = precomputed_concat.unwrap_or_else(|| concat_blocks(&parts));
+                    ae.encode(&concatenated)
+                }
+                // Only reachable when every block had zero width (degenerate
+                // configuration); mirror the one-shot compose guard's empty output.
+                None => Matrix::zeros(value_block.rows(), latent_dim.max(1)),
+            },
+            composition => compose(&parts, composition),
+        };
+        GemEmbedding {
+            matrix,
+            value_block,
+            header_block,
+            signature,
+            gmm: self.gmm.clone(),
+        }
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &GemConfig {
+        &self.config
+    }
+
+    /// The feature set the model embeds with.
+    pub fn features(&self) -> FeatureSet {
+        self.features
+    }
+
+    /// The fitted shared GMM (`None` when distributional features are not selected).
+    pub fn gmm(&self) -> Option<&UnivariateGmm> {
+        self.gmm.as_ref()
+    }
+
+    /// The frozen Equation 7 standardisation parameters (`None` when statistical features
+    /// are not selected).
+    pub fn scaler(&self) -> Option<&FeatureScaler> {
+        self.scaler.as_ref()
+    }
+
+    /// Number of columns in the fit corpus.
+    pub fn n_fit_columns(&self) -> usize {
+        self.n_fit_columns
+    }
+
+    /// Dimensionality of the embeddings [`GemModel::transform`] produces.
+    pub fn dim(&self) -> usize {
+        let k = self.gmm.as_ref().map_or(0, UnivariateGmm::n_components);
+        let s = if self.features.statistical {
+            STATISTICAL_FEATURE_NAMES.len()
+        } else {
+            0
+        };
+        let value = k + s;
+        let header = if self.features.contextual {
+            self.config.text_dim
+        } else {
+            0
+        };
+        match self.config.composition {
+            Composition::Concatenation => value + header,
+            Composition::Aggregation => {
+                // Aggregation zero-pads the present blocks to a common width.
+                match (value, header) {
+                    (0, h) => h,
+                    (v, 0) => v,
+                    (v, h) => v.max(h),
+                }
+            }
+            Composition::Autoencoder { latent_dim, .. } => self.autoencoder.as_ref().map_or_else(
+                || latent_dim.max(1).min(value + header),
+                Autoencoder::latent_dim,
+            ),
+        }
+    }
+}
+
+fn present_blocks(blocks: &Blocks) -> Vec<&Matrix> {
+    let mut parts = Vec::new();
+    if blocks.value_block.cols() > 0 {
+        parts.push(&blocks.value_block);
+    }
+    if blocks.header_block.cols() > 0 {
+        parts.push(&blocks.header_block);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<GemColumn> {
+        let mut cols = Vec::new();
+        for s in 0..3 {
+            let values: Vec<f64> = (0..70)
+                .map(|i| 20.0 + ((i * 5 + s * 7) % 50) as f64 * 0.4)
+                .collect();
+            cols.push(GemColumn::new(values, format!("age_{s}")));
+        }
+        for s in 0..3 {
+            let values: Vec<f64> = (0..70)
+                .map(|i| 2000.0 + ((i * 11 + s * 3) % 90) as f64 * 55.0)
+                .collect();
+            cols.push(GemColumn::new(values, format!("price_{s}")));
+        }
+        cols
+    }
+
+    #[test]
+    fn fit_transform_matches_fit_then_transform_exactly() {
+        let cols = corpus();
+        let config = GemConfig::fast();
+        for features in [
+            FeatureSet::d(),
+            FeatureSet::s(),
+            FeatureSet::c(),
+            FeatureSet::ds(),
+            FeatureSet::dsc(),
+        ] {
+            let (model, fused) = GemModel::fit_transform(&cols, &config, features).unwrap();
+            let separate = model.transform(&cols).unwrap();
+            assert_eq!(fused.matrix, separate.matrix, "{}", features.label());
+            assert_eq!(fused.signature, separate.signature);
+            assert_eq!(fused.value_block, separate.value_block);
+            assert_eq!(fused.header_block, separate.header_block);
+        }
+    }
+
+    #[test]
+    fn transform_embeds_columns_unseen_at_fit_time() {
+        let cols = corpus();
+        let model = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::ds()).unwrap();
+        let unseen = vec![
+            GemColumn::new(
+                (0..40).map(|i| 25.0 + (i % 30) as f64 * 0.6).collect(),
+                "age_new",
+            ),
+            GemColumn::new(
+                (0..40).map(|i| 2500.0 + (i % 40) as f64 * 60.0).collect(),
+                "price_new",
+            ),
+        ];
+        let emb = model.transform(&unseen).unwrap();
+        assert_eq!(emb.n_columns(), 2);
+        assert_eq!(emb.dim(), model.dim());
+        assert!(emb.matrix.all_finite());
+        // The unseen age-like column should be closer to the corpus age columns than the
+        // unseen price-like column is.
+        let corpus_emb = model.transform(&cols).unwrap();
+        let sim = |a: &[f64], b: &[f64]| gem_numeric::distance::cosine_similarity(a, b).unwrap();
+        assert!(
+            sim(emb.matrix.row(0), corpus_emb.matrix.row(0))
+                > sim(emb.matrix.row(1), corpus_emb.matrix.row(0))
+        );
+    }
+
+    #[test]
+    fn transform_of_empty_valued_column_falls_back_to_the_prior() {
+        let cols = corpus();
+        let model = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::d()).unwrap();
+        let emb = model.transform(&[GemColumn::values_only(vec![])]).unwrap();
+        let weights = model.gmm().unwrap().weights();
+        for (a, b) in emb.signature.row(0).iter().zip(weights) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        let config = GemConfig::fast();
+        assert_eq!(
+            GemModel::fit(&[], &config, FeatureSet::ds()).unwrap_err(),
+            GemError::NoColumns
+        );
+        let empty_fs = FeatureSet {
+            distributional: false,
+            statistical: false,
+            contextual: false,
+        };
+        assert_eq!(
+            GemModel::fit(&corpus(), &config, empty_fs).unwrap_err(),
+            GemError::EmptyFeatureSet
+        );
+        let empty_cols = vec![GemColumn::values_only(vec![])];
+        assert_eq!(
+            GemModel::fit(&empty_cols, &config, FeatureSet::ds()).unwrap_err(),
+            GemError::NoValues
+        );
+        let model = GemModel::fit(&corpus(), &config, FeatureSet::ds()).unwrap();
+        assert_eq!(model.transform(&[]).unwrap_err(), GemError::NoColumns);
+    }
+
+    #[test]
+    fn autoencoder_composition_is_frozen_at_fit_time() {
+        let cols = corpus();
+        let config = GemConfig::fast().with_composition(Composition::Autoencoder {
+            latent_dim: 6,
+            epochs: 40,
+        });
+        let (model, fused) = GemModel::fit_transform(&cols, &config, FeatureSet::ds()).unwrap();
+        assert_eq!(fused.dim(), 6);
+        assert_eq!(model.dim(), 6);
+        // Transforming twice gives identical output: the autoencoder is not re-trained.
+        let a = model.transform(&cols).unwrap();
+        let b = model.transform(&cols).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.matrix, fused.matrix);
+    }
+
+    #[test]
+    fn scaler_matches_corpus_standardisation_and_reports_parameters() {
+        let features =
+            Matrix::from_rows(&[vec![1.0, 5.0], vec![3.0, 5.0], vec![5.0, 5.0]]).unwrap();
+        let scaler = FeatureScaler::fit(&features);
+        assert_eq!(scaler.means(), &[3.0, 5.0]);
+        // Constant feature: std 0 → transformed to zero.
+        let out = scaler.transform(&features);
+        assert_eq!(
+            out,
+            gem_numeric::standardize::standardize_columns(&features)
+        );
+        assert_eq!(out.column(1), vec![0.0, 0.0, 0.0]);
+        assert_eq!(scaler.stds().len(), 2);
+    }
+
+    #[test]
+    fn model_exposes_fit_metadata() {
+        let cols = corpus();
+        let model = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::dsc()).unwrap();
+        assert_eq!(model.n_fit_columns(), cols.len());
+        assert_eq!(model.features(), FeatureSet::dsc());
+        assert!(model.gmm().is_some());
+        assert!(model.scaler().is_some());
+        assert_eq!(
+            model.config().gmm.n_components,
+            GemConfig::fast().gmm.n_components
+        );
+        let k = model.gmm().unwrap().n_components();
+        assert_eq!(model.dim(), k + 7 + model.config().text_dim);
+    }
+}

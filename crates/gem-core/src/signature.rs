@@ -6,13 +6,21 @@ use gem_numeric::Matrix;
 
 /// Stack all values of all columns into one flat array — the paper treats the corpus as a
 /// single one-dimensional sample when fitting the GMM ("Gem treats all numerical values from
-/// the columns as a single stack", §3.2).
-pub fn stack_values(columns: &[Vec<f64>]) -> Vec<f64> {
-    let total: usize = columns.iter().map(|c| c.len()).sum();
+/// the columns as a single stack", §3.2). Non-finite values are dropped; the output is
+/// allocated at exactly the surviving size in a single allocation.
+///
+/// Generic over the column representation (`Vec<f64>`, `&[f64]`, ...) so callers can pass
+/// borrowed slices without cloning the corpus.
+pub fn stack_values<S: AsRef<[f64]>>(columns: &[S]) -> Vec<f64> {
+    let total: usize = columns
+        .iter()
+        .map(|c| c.as_ref().iter().filter(|v| v.is_finite()).count())
+        .sum();
     let mut out = Vec::with_capacity(total);
     for c in columns {
-        out.extend(c.iter().copied().filter(|v| v.is_finite()));
+        out.extend(c.as_ref().iter().copied().filter(|v| v.is_finite()));
     }
+    debug_assert_eq!(out.len(), total);
     out
 }
 
@@ -21,20 +29,21 @@ pub fn stack_values(columns: &[Vec<f64>]) -> Vec<f64> {
 /// Rows sum to one (they are averages of probability vectors).
 ///
 /// When `parallel` is true the columns are fanned out across threads with
-/// [`gem_parallel::par_map`]; the GMM is immutable during this phase so sharing it by
-/// reference is free. Results are collected per column index, so the parallel and serial
-/// paths produce bit-identical matrices.
-pub fn signature_matrix(gmm: &UnivariateGmm, columns: &[Vec<f64>], parallel: bool) -> Matrix {
+/// [`gem_parallel::par_fill_rows`]; the GMM is immutable during this phase so sharing it
+/// by reference is free. Each worker writes its rows straight into the output matrix (no
+/// intermediate row vectors), and rows are assigned by column index, so the parallel and
+/// serial paths produce bit-identical matrices.
+pub fn signature_matrix<S: AsRef<[f64]> + Sync>(
+    gmm: &UnivariateGmm,
+    columns: &[S],
+    parallel: bool,
+) -> Matrix {
     let k = gmm.n_components();
     let n = columns.len();
-    if n == 0 {
-        return Matrix::zeros(0, k);
-    }
-    let rows = gem_parallel::par_map(columns, parallel, |col| gmm.mean_responsibilities(col));
     let mut out = Matrix::zeros(n, k);
-    for (i, sig) in rows.iter().enumerate() {
-        out.row_mut(i).copy_from_slice(sig);
-    }
+    gem_parallel::par_fill_rows(columns, out.as_mut_slice(), k, parallel, |col, row| {
+        gmm.mean_responsibilities_into(col.as_ref(), row);
+    });
     out
 }
 
@@ -64,7 +73,10 @@ mod tests {
         let cols = vec![vec![1.0, f64::NAN, 2.0], vec![3.0, f64::INFINITY]];
         let stacked = stack_values(&cols);
         assert_eq!(stacked, vec![1.0, 2.0, 3.0]);
-        assert!(stack_values(&[]).is_empty());
+        assert!(stack_values::<Vec<f64>>(&[]).is_empty());
+        // Borrowed slices work without cloning.
+        let slices: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+        assert_eq!(stack_values(&slices), stacked);
     }
 
     #[test]
@@ -123,7 +135,7 @@ mod tests {
     fn empty_column_list_gives_empty_matrix() {
         let cols = columns();
         let gmm = fitted_gmm(&cols);
-        let sig = signature_matrix(&gmm, &[], false);
+        let sig = signature_matrix::<Vec<f64>>(&gmm, &[], false);
         assert_eq!(sig.rows(), 0);
     }
 

@@ -114,19 +114,20 @@ impl Autoencoder {
         history
     }
 
-    /// Encode rows of `x` into the latent space (inference mode).
-    pub fn encode(&mut self, x: &Matrix) -> Matrix {
-        self.encoder.forward(x, false)
+    /// Encode rows of `x` into the latent space (inference mode). Takes `&self`: a
+    /// trained autoencoder is frozen at inference time, so many threads can encode
+    /// against one shared model.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        self.encoder.infer(x)
     }
 
     /// Reconstruct rows of `x` (inference mode).
-    pub fn reconstruct(&mut self, x: &Matrix) -> Matrix {
-        let latent = self.encoder.forward(x, false);
-        self.decoder.forward(&latent, false)
+    pub fn reconstruct(&self, x: &Matrix) -> Matrix {
+        self.decoder.infer(&self.encode(x))
     }
 
     /// Mean reconstruction error on `x`.
-    pub fn reconstruction_error(&mut self, x: &Matrix) -> f64 {
+    pub fn reconstruction_error(&self, x: &Matrix) -> f64 {
         let recon = self.reconstruct(x);
         mse_loss(&recon, x).loss
     }
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn encode_produces_latent_dimension() {
         let data = toy_data();
-        let mut ae = Autoencoder::new(AutoencoderConfig::new(4, 3));
+        let ae = Autoencoder::new(AutoencoderConfig::new(4, 3));
         let latent = ae.encode(&data);
         assert_eq!(latent.shape(), (60, 3));
         assert!(latent.all_finite());
@@ -201,7 +202,7 @@ mod tests {
     #[test]
     fn reconstruct_shape_matches_input() {
         let data = toy_data();
-        let mut ae = Autoencoder::new(AutoencoderConfig::new(4, 2));
+        let ae = Autoencoder::new(AutoencoderConfig::new(4, 2));
         let recon = ae.reconstruct(&data);
         assert_eq!(recon.shape(), data.shape());
     }

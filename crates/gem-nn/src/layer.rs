@@ -63,15 +63,20 @@ impl DenseLayer {
 
     /// Forward pass. When `training` is true the input is cached for the backward pass.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
-        let out = x
-            .matmul(&self.weights)
-            .expect("input width must equal layer in_dim")
-            .add_row_broadcast(&self.bias)
-            .expect("bias length equals out_dim");
+        let out = self.infer(x);
         if training {
             self.cached_input = Some(x.clone());
         }
         out
+    }
+
+    /// Inference-mode forward pass: `xW + b` with nothing cached, so frozen layers can
+    /// be evaluated through a shared reference.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.weights)
+            .expect("input width must equal layer in_dim")
+            .add_row_broadcast(&self.bias)
+            .expect("bias length equals out_dim")
     }
 
     /// Backward pass: given `d_out = ∂L/∂y`, accumulate parameter gradients and return

@@ -177,6 +177,22 @@ impl Sequential {
     pub fn predict(&mut self, x: &Matrix) -> Matrix {
         self.forward(x, false)
     }
+
+    /// Inference-mode forward pass through a shared reference: dropout is inactive and
+    /// nothing is cached or mutated, so a frozen model can serve many threads at once.
+    /// Output is identical to `forward(x, false)`.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut current = x.clone();
+        for layer in &self.layers {
+            current = match layer {
+                Layer::Dense(dense) => dense.infer(&current),
+                Layer::Activation(act) => act.forward(&current),
+                // Inverted dropout is the identity at inference time.
+                Layer::Dropout(_) => current,
+            };
+        }
+        current
+    }
 }
 
 #[cfg(test)]

@@ -101,6 +101,54 @@ where
     blocks.into_iter().flatten().collect()
 }
 
+/// Fill a row-major output buffer in place: `out` is `items.len() × width`, and `f`
+/// writes the row for each item directly into its slot. Unlike [`par_map`], no
+/// intermediate per-item allocations are made — each output cell is written exactly once,
+/// which is what the per-column signature hot path needs (one row per column, written
+/// straight into the embedding matrix).
+///
+/// Sequential and parallel execution produce identical output for a deterministic `f`:
+/// the buffer is partitioned by item index, never by thread timing.
+///
+/// # Panics
+/// Panics when `out.len() != items.len() * width`.
+pub fn par_fill_rows<T, F>(items: &[T], out: &mut [f64], width: usize, parallel: bool, f: F)
+where
+    T: Sync,
+    F: Fn(&T, &mut [f64]) + Sync,
+{
+    let n = items.len();
+    assert_eq!(
+        out.len(),
+        n * width,
+        "output buffer must be items × width ({} != {} × {})",
+        out.len(),
+        n,
+        width
+    );
+    if n == 0 || width == 0 {
+        return;
+    }
+    let threads = max_threads().min(n);
+    if !parallel || threads <= 1 || n < MIN_PARALLEL_ITEMS {
+        for (item, row) in items.iter().zip(out.chunks_exact_mut(width)) {
+            f(item, row);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (item_block, out_block) in items.chunks(chunk).zip(out.chunks_mut(chunk * width)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, row) in item_block.iter().zip(out_block.chunks_exact_mut(width)) {
+                    f(item, row);
+                }
+            });
+        }
+    });
+}
+
 /// Run two closures, in parallel when possible, and return both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -164,6 +212,38 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let items: Vec<u8> = vec![];
         assert!(par_map(&items, true, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn fill_rows_parallel_and_sequential_agree() {
+        let items: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let width = 3;
+        let mut seq = vec![0.0; items.len() * width];
+        let mut par = vec![0.0; items.len() * width];
+        let f = |x: &f64, row: &mut [f64]| {
+            row[0] = x + 1.0;
+            row[1] = x * 2.0;
+            row[2] = -x;
+        };
+        par_fill_rows(&items, &mut seq, width, false, f);
+        par_fill_rows(&items, &mut par, width, true, f);
+        assert_eq!(seq, par);
+        assert_eq!(&seq[0..3], &[1.0, 0.0, -0.0]);
+        assert_eq!(&seq[3..6], &[2.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn fill_rows_handles_degenerate_shapes() {
+        let mut out: Vec<f64> = vec![];
+        par_fill_rows::<f64, _>(&[], &mut out, 4, true, |_, _| unreachable!());
+        par_fill_rows(&[1.0, 2.0], &mut out, 0, true, |_, _| unreachable!());
+    }
+
+    #[test]
+    #[should_panic(expected = "items × width")]
+    fn fill_rows_rejects_mismatched_buffer() {
+        let mut out = vec![0.0; 5];
+        par_fill_rows(&[1.0, 2.0], &mut out, 3, false, |_, _| {});
     }
 
     #[test]

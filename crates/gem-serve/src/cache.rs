@@ -1,0 +1,253 @@
+//! The fingerprint-keyed, capacity-bounded LRU model cache.
+//!
+//! Fitting a [`GemModel`] is the expensive step of the pipeline (the EM fit over the
+//! stacked corpus); transforming against a fitted model is cheap. A serving system
+//! therefore caches fitted models keyed by [`ModelKey`] — the corpus fingerprint plus
+//! the configuration hash — and evicts least-recently-used models when the configured
+//! capacity is exceeded, bounding resident model memory.
+
+use crate::fingerprint::{model_key, ModelKey};
+use gem_core::{FeatureSet, GemColumn, GemConfig, GemError, GemModel};
+use std::sync::Arc;
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// A capacity-bounded LRU cache of fitted models.
+///
+/// Models are stored behind [`Arc`] so a cache hit hands out a shared handle: transforms
+/// can proceed on many threads while the cache itself is only locked for the (cheap)
+/// lookup. The entry list is kept in recency order — front is most recently used — which
+/// for serving-sized capacities (tens of models) makes the linear scan cheaper than a
+/// hash map plus intrusive list.
+#[derive(Debug)]
+pub struct ModelCache {
+    capacity: usize,
+    /// Most recently used first.
+    entries: Vec<(ModelKey, Arc<GemModel>)>,
+    stats: CacheStats,
+}
+
+impl ModelCache {
+    /// Create a cache holding at most `capacity` fitted models.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "model cache capacity must be positive");
+        ModelCache {
+            capacity,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a model, marking it most recently used on a hit.
+    pub fn get(&mut self, key: ModelKey) -> Option<Arc<GemModel>> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                self.stats.hits += 1;
+                let entry = self.entries.remove(pos);
+                let model = Arc::clone(&entry.1);
+                self.entries.insert(0, entry);
+                Some(model)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a model as most recently used, evicting from the LRU end when
+    /// the capacity is exceeded.
+    pub fn insert(&mut self, key: ModelKey, model: Arc<GemModel>) {
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, model));
+        while self.entries.len() > self.capacity {
+            self.entries.pop();
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Fetch the model for (`columns`, `config`, `features`), fitting and caching it on a
+    /// miss. Returns the model and whether it was served from the cache.
+    ///
+    /// # Errors
+    /// Propagates the [`GemError`] of a failed fit; failures are not cached.
+    pub fn get_or_fit(
+        &mut self,
+        columns: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+    ) -> Result<(Arc<GemModel>, bool), GemError> {
+        let key = model_key(columns, config, features);
+        if let Some(model) = self.get(key) {
+            return Ok((model, true));
+        }
+        let model = Arc::new(GemModel::fit(columns, config, features)?);
+        self.insert(key, Arc::clone(&model));
+        Ok((model, false))
+    }
+
+    /// Whether a model for `key` is currently cached (does not touch recency or stats).
+    pub fn contains(&self, key: ModelKey) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop every cached model (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(seed: u64) -> Vec<GemColumn> {
+        (0..4)
+            .map(|c| {
+                GemColumn::new(
+                    (0..50)
+                        .map(|i| (seed * 100 + c * 10) as f64 + (i % 13) as f64)
+                        .collect(),
+                    format!("col_{seed}_{c}"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let mut cache = ModelCache::new(2);
+        let cfg = GemConfig::fast();
+        let (_, hit) = cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats().hits, 1);
+        // get_or_fit's internal lookup on the cold call counted one miss.
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn same_corpus_different_config_is_a_different_entry() {
+        let mut cache = ModelCache::new(4);
+        let cfg = GemConfig::fast();
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        let (_, hit) = cache.get_or_fit(&corpus(1), &cfg, FeatureSet::d()).unwrap();
+        assert!(!hit, "feature-set change must miss");
+        let mut other = cfg.clone();
+        other.gmm.n_components += 1;
+        let (_, hit) = cache
+            .get_or_fit(&corpus(1), &other, FeatureSet::ds())
+            .unwrap();
+        assert!(!hit, "component-count change must miss");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn data_change_is_a_different_entry() {
+        let mut cache = ModelCache::new(4);
+        let cfg = GemConfig::fast();
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        let mut perturbed = corpus(1);
+        perturbed[0].values[7] += 1e-9;
+        let (_, hit) = cache
+            .get_or_fit(&perturbed, &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(!hit, "a single perturbed value must miss");
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_least_recently_used() {
+        let mut cache = ModelCache::new(2);
+        let cfg = GemConfig::fast();
+        let k1 = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        let k2 = model_key(&corpus(2), &cfg, FeatureSet::ds());
+        let k3 = model_key(&corpus(3), &cfg, FeatureSet::ds());
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap();
+        // Touch corpus 1 so corpus 2 becomes least recently used.
+        assert!(cache.get(k1).is_some());
+        cache
+            .get_or_fit(&corpus(3), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(cache.contains(k1));
+        assert!(!cache.contains(k2), "LRU entry must be evicted");
+        assert!(cache.contains(k3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_fits_are_not_cached() {
+        let mut cache = ModelCache::new(2);
+        let cfg = GemConfig::fast();
+        let empty = vec![GemColumn::values_only(vec![])];
+        assert!(cache.get_or_fit(&empty, &cfg, FeatureSet::ds()).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut cache = ModelCache::new(2);
+        let cfg = GemConfig::fast();
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        ModelCache::new(0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The batch engine: group incoming embed requests by the model they need, fit each
+//! distinct model at most once, and fan the transforms out across threads.
+//!
+//! A naive server would fit one model per request; under real traffic most requests in a
+//! batch share a corpus (the data lake being searched), so the engine pays one EM fit per
+//! *distinct* (corpus, configuration) pair per cache miss — the amortise-by-caching move
+//! that makes repeated serving tractable. Distinct cold models are themselves fitted in
+//! parallel, and every transform in the batch runs in parallel, both via `gem-parallel`.
+
+use crate::cache::{CacheStats, ModelCache};
+use crate::fingerprint::ModelKey;
+use gem_core::{FeatureSet, GemColumn, GemConfig, GemEmbedding, GemError, GemModel};
+use std::sync::{Arc, Mutex};
+
+/// One embed request: embed `queries` against the model fitted on `corpus` (or embed the
+/// corpus itself when `queries` is `None`). The corpus is shared behind an [`Arc`] so
+/// many requests against the same corpus don't duplicate it.
+#[derive(Debug, Clone)]
+pub struct EngineRequest {
+    /// Pipeline configuration of the model to fit (or reuse).
+    pub config: GemConfig,
+    /// Feature set of the model to fit (or reuse).
+    pub features: FeatureSet,
+    /// The corpus defining the model.
+    pub corpus: Arc<Vec<GemColumn>>,
+    /// Columns to embed against the model; `None` embeds the corpus itself.
+    pub queries: Option<Vec<GemColumn>>,
+}
+
+impl EngineRequest {
+    /// A request that embeds the corpus itself.
+    pub fn corpus_only(
+        config: GemConfig,
+        features: FeatureSet,
+        corpus: Arc<Vec<GemColumn>>,
+    ) -> Self {
+        EngineRequest {
+            config,
+            features,
+            corpus,
+            queries: None,
+        }
+    }
+
+    /// A request that embeds `queries` against the model fitted on `corpus`.
+    pub fn with_queries(
+        config: GemConfig,
+        features: FeatureSet,
+        corpus: Arc<Vec<GemColumn>>,
+        queries: Vec<GemColumn>,
+    ) -> Self {
+        EngineRequest {
+            config,
+            features,
+            corpus,
+            queries: Some(queries),
+        }
+    }
+}
+
+/// The outcome of one request.
+#[derive(Debug)]
+pub struct EngineResponse {
+    /// The embedding (or the fit/transform error).
+    pub embedding: Result<GemEmbedding, GemError>,
+    /// Whether the model was served from the cache (`false` when this batch fitted it,
+    /// or when the fit failed).
+    pub cache_hit: bool,
+}
+
+/// Groups requests per model, fits each distinct cold model once (in parallel), caches
+/// the fits, and fans all transforms out across threads.
+#[derive(Debug)]
+pub struct BatchEngine {
+    cache: Mutex<ModelCache>,
+    parallel: bool,
+}
+
+impl BatchEngine {
+    /// An engine whose cache holds at most `cache_capacity` fitted models.
+    ///
+    /// # Panics
+    /// Panics when `cache_capacity` is zero.
+    pub fn new(cache_capacity: usize) -> Self {
+        BatchEngine {
+            cache: Mutex::new(ModelCache::new(cache_capacity)),
+            parallel: true,
+        }
+    }
+
+    /// Disable (or re-enable) the thread fan-out; results are identical either way.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Process a batch of requests, returning one response per request in input order.
+    ///
+    /// Phases:
+    /// 1. key every request and look the keys up in the cache (one short lock),
+    /// 2. fit each *distinct* missing model, fanning distinct fits out across threads,
+    /// 3. publish successful fits to the cache (second short lock),
+    /// 4. fan every transform out across threads against the shared frozen models.
+    ///
+    /// The cache lock is never held while fitting or transforming.
+    pub fn run(&self, requests: &[EngineRequest]) -> Vec<EngineResponse> {
+        // Corpus fingerprints cost O(total values); requests in a batch usually share
+        // their corpus behind one Arc, so hash each distinct allocation once and reuse
+        // the digest for every aliasing request.
+        let mut corpus_fps: Vec<u64> = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let fp = match requests[..i]
+                .iter()
+                .position(|earlier| Arc::ptr_eq(&earlier.corpus, &request.corpus))
+            {
+                Some(j) => corpus_fps[j],
+                None => crate::fingerprint::corpus_fingerprint(&request.corpus),
+            };
+            corpus_fps.push(fp);
+        }
+        let keys: Vec<ModelKey> = requests
+            .iter()
+            .zip(&corpus_fps)
+            .map(|(r, &corpus)| ModelKey {
+                corpus,
+                config: crate::fingerprint::config_fingerprint(&r.config, r.features),
+            })
+            .collect();
+
+        // Phase 1: cache lookups.
+        let mut resolved: Vec<Option<Arc<GemModel>>> = Vec::with_capacity(requests.len());
+        {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            for &key in &keys {
+                resolved.push(cache.get(key));
+            }
+        }
+
+        // Phase 2: one representative request per distinct missing key.
+        let mut missing: Vec<(ModelKey, &EngineRequest)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            if resolved[i].is_none() && !missing.iter().any(|(k, _)| *k == keys[i]) {
+                missing.push((keys[i], request));
+            }
+        }
+        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>)> =
+            gem_parallel::par_map(&missing, self.parallel, |(key, request)| {
+                (
+                    *key,
+                    GemModel::fit(&request.corpus, &request.config, request.features).map(Arc::new),
+                )
+            });
+
+        // Phase 3: publish the successful fits.
+        {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            for (key, result) in &fitted {
+                if let Ok(model) = result {
+                    cache.insert(*key, Arc::clone(model));
+                }
+            }
+        }
+
+        // Phase 4: transforms, fanned out over the whole batch.
+        let jobs: Vec<(usize, Result<Arc<GemModel>, GemError>, bool)> = resolved
+            .into_iter()
+            .enumerate()
+            .map(|(i, cached)| match cached {
+                Some(model) => (i, Ok(model), true),
+                None => {
+                    let fit = fitted
+                        .iter()
+                        .find(|(k, _)| *k == keys[i])
+                        .map(|(_, r)| r.clone())
+                        .expect("every missing key was fitted");
+                    (i, fit, false)
+                }
+            })
+            .collect();
+        gem_parallel::par_map(&jobs, self.parallel, |(i, model, cache_hit)| {
+            let request = &requests[*i];
+            let embedding =
+                model
+                    .as_ref()
+                    .map_err(GemError::clone)
+                    .and_then(|m| match &request.queries {
+                        Some(queries) => m.transform(queries),
+                        None => m.transform(&request.corpus),
+                    });
+            EngineResponse {
+                embedding,
+                cache_hit: *cache_hit,
+            }
+        })
+    }
+
+    /// Convenience: run a single request.
+    pub fn run_one(&self, request: EngineRequest) -> EngineResponse {
+        self.run(std::slice::from_ref(&request))
+            .into_iter()
+            .next()
+            .expect("one response per request")
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .lock()
+            .expect("model cache lock poisoned")
+            .stats()
+    }
+
+    /// Number of models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.cache.lock().expect("model cache lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(seed: u64) -> Arc<Vec<GemColumn>> {
+        Arc::new(
+            (0..5)
+                .map(|c| {
+                    GemColumn::new(
+                        (0..60)
+                            .map(|i| (seed * 1000 + c * 37) as f64 + (i % 11) as f64 * 0.5)
+                            .collect(),
+                        format!("col_{seed}_{c}"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn queries() -> Vec<GemColumn> {
+        vec![GemColumn::new(
+            (0..30).map(|i| 40.0 + (i % 9) as f64).collect(),
+            "query",
+        )]
+    }
+
+    #[test]
+    fn one_fit_serves_a_whole_batch_against_the_same_corpus() {
+        let engine = BatchEngine::new(4);
+        let cfg = GemConfig::fast();
+        let shared = corpus(1);
+        let requests: Vec<EngineRequest> = (0..6)
+            .map(|_| {
+                EngineRequest::with_queries(
+                    cfg.clone(),
+                    FeatureSet::ds(),
+                    Arc::clone(&shared),
+                    queries(),
+                )
+            })
+            .collect();
+        let responses = engine.run(&requests);
+        assert_eq!(responses.len(), 6);
+        for r in &responses {
+            assert!(r.embedding.is_ok());
+        }
+        // All six requests shared one fit: one model cached, zero hits yet (the batch
+        // grouped them before the cache ever saw the key).
+        assert_eq!(engine.cached_models(), 1);
+        assert_eq!(engine.cache_stats().hits, 0);
+        // A follow-up batch is a pure cache hit.
+        let again = engine.run_one(EngineRequest::corpus_only(cfg, FeatureSet::ds(), shared));
+        assert!(again.cache_hit);
+        assert!(again.embedding.is_ok());
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn warm_transform_matches_one_shot_embed_exactly() {
+        let engine = BatchEngine::new(2);
+        let cfg = GemConfig::fast();
+        let shared = corpus(2);
+        let cold = engine.run_one(EngineRequest::corpus_only(
+            cfg.clone(),
+            FeatureSet::ds(),
+            Arc::clone(&shared),
+        ));
+        assert!(!cold.cache_hit);
+        let warm = engine.run_one(EngineRequest::corpus_only(
+            cfg.clone(),
+            FeatureSet::ds(),
+            Arc::clone(&shared),
+        ));
+        assert!(warm.cache_hit);
+        let direct = gem_core::GemEmbedder::new(cfg)
+            .embed(&shared, FeatureSet::ds())
+            .unwrap();
+        assert_eq!(cold.embedding.unwrap().matrix, direct.matrix);
+        assert_eq!(warm.embedding.unwrap().matrix, direct.matrix);
+    }
+
+    #[test]
+    fn distinct_corpora_get_distinct_models() {
+        let engine = BatchEngine::new(4).with_parallel(false);
+        let cfg = GemConfig::fast();
+        let requests = vec![
+            EngineRequest::corpus_only(cfg.clone(), FeatureSet::ds(), corpus(1)),
+            EngineRequest::corpus_only(cfg.clone(), FeatureSet::ds(), corpus(2)),
+            EngineRequest::corpus_only(cfg, FeatureSet::ds(), corpus(1)),
+        ];
+        let responses = engine.run(&requests);
+        assert!(responses.iter().all(|r| r.embedding.is_ok()));
+        assert_eq!(engine.cached_models(), 2);
+        // Requests 0 and 2 shared a fit within the batch.
+        let (a, c) = (&responses[0], &responses[2]);
+        assert_eq!(
+            a.embedding.as_ref().unwrap().matrix,
+            c.embedding.as_ref().unwrap().matrix
+        );
+    }
+
+    #[test]
+    fn failed_fits_propagate_to_every_request_in_the_group() {
+        let engine = BatchEngine::new(2);
+        let cfg = GemConfig::fast();
+        let broken: Arc<Vec<GemColumn>> = Arc::new(vec![GemColumn::values_only(vec![])]);
+        let requests = vec![
+            EngineRequest::corpus_only(cfg.clone(), FeatureSet::ds(), Arc::clone(&broken)),
+            EngineRequest::with_queries(cfg, FeatureSet::ds(), broken, queries()),
+        ];
+        let responses = engine.run(&requests);
+        for r in responses {
+            assert_eq!(r.embedding.unwrap_err(), GemError::NoValues);
+            assert!(!r.cache_hit);
+        }
+        assert_eq!(engine.cached_models(), 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_batches_agree() {
+        let cfg = GemConfig::fast();
+        let make_requests = || {
+            vec![
+                EngineRequest::corpus_only(cfg.clone(), FeatureSet::ds(), corpus(1)),
+                EngineRequest::with_queries(cfg.clone(), FeatureSet::ds(), corpus(1), queries()),
+                EngineRequest::corpus_only(cfg.clone(), FeatureSet::d(), corpus(2)),
+            ]
+        };
+        let serial = BatchEngine::new(4)
+            .with_parallel(false)
+            .run(&make_requests());
+        let parallel = BatchEngine::new(4).run(&make_requests());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(
+                s.embedding.as_ref().unwrap().matrix,
+                p.embedding.as_ref().unwrap().matrix
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic model keys: a corpus fingerprint combined with a configuration hash.
+//!
+//! A fitted [`gem_core::GemModel`] is a pure function of the fit corpus and the
+//! configuration, so a cache can key models by a fingerprint of both. The fingerprint
+//! must be deterministic across runs and platforms (FNV-1a over explicit byte
+//! encodings — no `DefaultHasher`, whose seeds vary per process) and sensitive to every
+//! input that changes the fitted model: any value bit, any header byte, the column
+//! order, and every configuration field.
+
+use gem_core::{FeatureSet, GemColumn, GemConfig};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The cache key of one fitted model: which corpus it was fitted on and with which
+/// configuration. Identical inputs always produce identical keys; distinct inputs
+/// produce distinct keys up to 64-bit FNV-1a collisions — FNV is fast and stable but not
+/// collision-resistant, so the cache assumes cooperating callers (a serving deployment's
+/// own corpora), not adversarial ones. A collision would serve the colliding corpus's
+/// model; swap in a cryptographic digest before exposing the cache to untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Fingerprint of the fit corpus (values, headers and column order).
+    pub corpus: u64,
+    /// Fingerprint of the pipeline configuration and feature set.
+    pub config: u64,
+}
+
+/// Fingerprint a corpus: every value bit (via `f64::to_bits`, so `-0.0` vs `0.0` and NaN
+/// payloads are distinguished), every header byte, and the column order and boundaries.
+pub fn corpus_fingerprint(columns: &[GemColumn]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(columns.len() as u64);
+    for column in columns {
+        h.write_u64(column.header.len() as u64);
+        h.write(column.header.as_bytes());
+        h.write_u64(column.values.len() as u64);
+        for &v in &column.values {
+            h.write_u64(v.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint a pipeline configuration plus feature set. Hashes the `Debug` rendering,
+/// which covers every field of [`GemConfig`] (including the nested GMM configuration and
+/// composition) and stays in sync automatically when fields are added; float fields
+/// render with shortest-round-trip formatting, so distinct values never collide.
+///
+/// The `parallel` flag is canonicalised away first: it selects the execution strategy,
+/// not the fitted model (the parallel and serial paths are bit-identical by
+/// construction), so requests differing only in it share one cached model.
+pub fn config_fingerprint(config: &GemConfig, features: FeatureSet) -> u64 {
+    let canonical = config.clone().with_parallel(true);
+    let mut h = Fnv1a::new();
+    h.write(format!("{canonical:?}|{features:?}").as_bytes());
+    h.finish()
+}
+
+/// The full model key for fitting `config`/`features` on `columns`.
+pub fn model_key(columns: &[GemColumn], config: &GemConfig, features: FeatureSet) -> ModelKey {
+    ModelKey {
+        corpus: corpus_fingerprint(columns),
+        config: config_fingerprint(config, features),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::new(vec![1.0, 2.0, 3.0], "age"),
+            GemColumn::new(vec![10.0, 20.0], "price"),
+        ]
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        assert_eq!(
+            corpus_fingerprint(&columns()),
+            corpus_fingerprint(&columns())
+        );
+        let cfg = GemConfig::fast();
+        assert_eq!(
+            config_fingerprint(&cfg, FeatureSet::ds()),
+            config_fingerprint(&cfg, FeatureSet::ds())
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_values_headers_and_order() {
+        let base = corpus_fingerprint(&columns());
+        let mut changed_value = columns();
+        changed_value[0].values[1] = 2.0000000001;
+        assert_ne!(base, corpus_fingerprint(&changed_value));
+        let mut changed_header = columns();
+        changed_header[1].header = "cost".to_string();
+        assert_ne!(base, corpus_fingerprint(&changed_header));
+        let mut reordered = columns();
+        reordered.swap(0, 1);
+        assert_ne!(base, corpus_fingerprint(&reordered));
+        // Moving a value across a column boundary changes the key even though the flat
+        // value stream is unchanged.
+        let regrouped = vec![
+            GemColumn::new(vec![1.0, 2.0], "age"),
+            GemColumn::new(vec![3.0, 10.0, 20.0], "price"),
+        ];
+        let grouped = vec![
+            GemColumn::new(vec![1.0, 2.0, 3.0], "age"),
+            GemColumn::new(vec![10.0, 20.0], "price"),
+        ];
+        assert_ne!(corpus_fingerprint(&regrouped), corpus_fingerprint(&grouped));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_negative_zero_from_zero() {
+        let a = vec![GemColumn::values_only(vec![0.0])];
+        let b = vec![GemColumn::values_only(vec![-0.0])];
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&b));
+    }
+
+    #[test]
+    fn config_fingerprint_is_sensitive_to_every_axis() {
+        let base = config_fingerprint(&GemConfig::fast(), FeatureSet::ds());
+        assert_ne!(
+            base,
+            config_fingerprint(&GemConfig::fast(), FeatureSet::dsc())
+        );
+        let mut more_components = GemConfig::fast();
+        more_components.gmm.n_components += 1;
+        assert_ne!(base, config_fingerprint(&more_components, FeatureSet::ds()));
+        let mut other_seed = GemConfig::fast();
+        other_seed.gmm.seed ^= 1;
+        assert_ne!(base, config_fingerprint(&other_seed, FeatureSet::ds()));
+        let agg = GemConfig::fast().with_composition(gem_core::Composition::Aggregation);
+        assert_ne!(base, config_fingerprint(&agg, FeatureSet::ds()));
+    }
+
+    #[test]
+    fn parallel_flag_does_not_change_the_fingerprint() {
+        // `parallel` picks the execution strategy, not the model; both settings produce
+        // bit-identical fits, so they must share one cache entry.
+        let serial = GemConfig::fast().with_parallel(false);
+        let parallel = GemConfig::fast().with_parallel(true);
+        assert_eq!(
+            config_fingerprint(&serial, FeatureSet::ds()),
+            config_fingerprint(&parallel, FeatureSet::ds())
+        );
+    }
+
+    #[test]
+    fn model_key_combines_both_fingerprints() {
+        let cfg = GemConfig::fast();
+        let key = model_key(&columns(), &cfg, FeatureSet::ds());
+        assert_eq!(key.corpus, corpus_fingerprint(&columns()));
+        assert_eq!(key.config, config_fingerprint(&cfg, FeatureSet::ds()));
+        let other = model_key(&columns(), &cfg, FeatureSet::d());
+        assert_eq!(key.corpus, other.corpus);
+        assert_ne!(key, other);
+    }
+}

@@ -1,0 +1,54 @@
+//! # gem-serve
+//!
+//! The batch serving layer over the Gem pipeline's fit/transform split
+//! ([`gem_core::GemModel`]): the subsystem that turns the reproduction into a system that
+//! can answer embedding traffic instead of re-running experiments.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`fingerprint`] — deterministic [`ModelKey`]s: an FNV-1a corpus fingerprint (every
+//!   value bit, every header byte, column order) combined with a configuration hash. Two
+//!   requests share a key exactly when they can share a fitted model.
+//! * [`ModelCache`] — a capacity-bounded LRU of fitted models behind [`std::sync::Arc`],
+//!   with hit/miss/eviction counters. The expensive EM fit is paid once per distinct
+//!   corpus+configuration while it stays resident.
+//! * [`BatchEngine`] — groups a batch of embed requests per model, fits each distinct
+//!   cold model once (distinct fits in parallel), publishes the fits to the cache, and
+//!   fans every transform out across threads via `gem-parallel`.
+//! * [`EmbedService`] — the front-end: serves any [`gem_core::MethodRegistry`] method by
+//!   name. Gem pipeline variants are served through the model cache; methods without a
+//!   fit/transform seam dispatch straight to the registry.
+//!
+//! ```
+//! use gem_core::{FeatureSet, GemColumn, GemConfig, MethodRegistry};
+//! use gem_serve::{EmbedService, ServeRequest};
+//! use std::sync::Arc;
+//!
+//! let config = GemConfig::fast();
+//! let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
+//! service.register_gem_family(&config);
+//!
+//! let corpus = Arc::new(vec![
+//!     GemColumn::new((0..40).map(f64::from).collect(), "age"),
+//!     GemColumn::new((0..40).map(|i| 500.0 + 3.0 * f64::from(i)).collect(), "price"),
+//! ]);
+//! let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+//! assert!(!cold.cache_hit);
+//! // Same corpus again: the fitted model is reused, no EM re-fit.
+//! let warm = service.serve_one(ServeRequest::new("Gem (D+S)", corpus));
+//! assert!(warm.cache_hit);
+//! assert_eq!(cold.matrix.unwrap(), warm.matrix.unwrap());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod cache;
+mod engine;
+pub mod fingerprint;
+mod service;
+
+pub use cache::{CacheStats, ModelCache};
+pub use engine::{BatchEngine, EngineRequest, EngineResponse};
+pub use fingerprint::{config_fingerprint, corpus_fingerprint, model_key, ModelKey};
+pub use service::{EmbedService, ServeRequest, ServeResponse};

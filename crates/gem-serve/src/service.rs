@@ -1,0 +1,441 @@
+//! The serving front-end: embed requests addressed to any registry method by name.
+//!
+//! [`EmbedService`] wraps a [`MethodRegistry`] (so every method in the workspace — Gem,
+//! its variants, all baselines — is addressable by the same names the experiment
+//! harnesses use) and a [`BatchEngine`]. Methods registered as *Gem variants* are served
+//! through the fit/transform split and the fingerprint-keyed model cache: one EM fit per
+//! distinct corpus, cache hits for everything after. All other methods are one-shot by
+//! nature (they have no fit/transform seam) and are dispatched straight to the registry,
+//! still fanned out across threads per batch.
+
+use crate::engine::{BatchEngine, EngineRequest};
+use gem_core::{
+    gem_family_variants, FeatureSet, GemColumn, GemConfig, GemError, GemVariant, MethodRegistry,
+};
+use gem_numeric::Matrix;
+use std::sync::Arc;
+
+/// One serving request: embed `queries` (or the corpus itself) with the method named
+/// `method`, against the model fitted on `corpus` when the method supports the
+/// fit/transform split.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Registry name of the method to run (e.g. `"Gem (D+S)"`, `"PLE"`).
+    pub method: String,
+    /// The corpus defining the model (and the embedding input when `queries` is `None`).
+    pub corpus: Arc<Vec<GemColumn>>,
+    /// Columns to embed; `None` embeds the corpus itself. Methods without a
+    /// fit/transform seam embed these directly.
+    pub queries: Option<Vec<GemColumn>>,
+    /// Training labels for supervised methods.
+    pub labels: Option<Vec<String>>,
+}
+
+impl ServeRequest {
+    /// A request that embeds the corpus itself with `method`.
+    pub fn new(method: impl Into<String>, corpus: Arc<Vec<GemColumn>>) -> Self {
+        ServeRequest {
+            method: method.into(),
+            corpus,
+            queries: None,
+            labels: None,
+        }
+    }
+
+    /// Builder-style query columns.
+    pub fn with_queries(mut self, queries: Vec<GemColumn>) -> Self {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// Builder-style supervised labels.
+    pub fn with_labels(mut self, labels: Vec<String>) -> Self {
+        self.labels = Some(labels);
+        self
+    }
+}
+
+/// The outcome of one serving request.
+#[derive(Debug)]
+pub struct ServeResponse {
+    /// The method that was run.
+    pub method: String,
+    /// One embedding row per requested column, or the error.
+    pub matrix: Result<Matrix, GemError>,
+    /// Whether a cached model served the request (always `false` for methods without a
+    /// fit/transform seam).
+    pub cache_hit: bool,
+}
+
+/// Serves embed requests for any registered method by name, accelerating Gem variants
+/// with the fingerprint-keyed model cache.
+#[derive(Debug)]
+pub struct EmbedService {
+    registry: MethodRegistry,
+    engine: BatchEngine,
+    variants: Vec<GemVariant>,
+    parallel: bool,
+}
+
+impl EmbedService {
+    /// A service over `registry` whose model cache holds at most `cache_capacity` fitted
+    /// models. Register Gem variants with [`EmbedService::register_gem_family`] (or
+    /// [`EmbedService::register_gem_variant`]) to serve them through the cache.
+    ///
+    /// # Panics
+    /// Panics when `cache_capacity` is zero.
+    pub fn new(registry: MethodRegistry, cache_capacity: usize) -> Self {
+        EmbedService {
+            registry,
+            engine: BatchEngine::new(cache_capacity),
+            variants: Vec::new(),
+            parallel: true,
+        }
+    }
+
+    /// Disable (or re-enable) thread fan-out; results are identical either way.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.engine = self.engine.with_parallel(parallel);
+        self.parallel = parallel;
+        self
+    }
+
+    /// Register one Gem pipeline variant as cache-servable under `name`. Replaces an
+    /// earlier variant with the same name.
+    pub fn register_gem_variant(
+        &mut self,
+        name: impl Into<String>,
+        config: GemConfig,
+        features: FeatureSet,
+    ) {
+        let variant = GemVariant {
+            name: name.into(),
+            config,
+            features,
+            tags: &[],
+        };
+        match self.variants.iter_mut().find(|v| v.name == variant.name) {
+            Some(existing) => *existing = variant,
+            None => self.variants.push(variant),
+        }
+    }
+
+    /// Register the whole Gem method family derived from `config` as cache-servable.
+    /// The name → pipeline table comes from [`gem_core::gem_family_variants`] — the same
+    /// single source of truth [`MethodRegistry::register_gem_family`] registers from —
+    /// so the service and the registry can never disagree about what a name runs.
+    pub fn register_gem_family(&mut self, config: &GemConfig) {
+        for variant in gem_family_variants(config) {
+            self.register_gem_variant(variant.name, variant.config, variant.features);
+        }
+    }
+
+    /// All method names the service can run, in registry order.
+    pub fn methods(&self) -> Vec<&str> {
+        self.registry.names()
+    }
+
+    /// Whether `method` is served through the model cache.
+    pub fn is_cache_served(&self, method: &str) -> bool {
+        self.variants.iter().any(|v| v.name == method)
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &MethodRegistry {
+        &self.registry
+    }
+
+    /// Cumulative model-cache counters.
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Process a batch of requests, returning one response per request in input order.
+    ///
+    /// Requests for cache-servable Gem variants are grouped per model and run through the
+    /// [`BatchEngine`] (one fit per distinct corpus+configuration, transforms fanned out
+    /// across threads); all other known methods are dispatched to the registry, also
+    /// fanned out. Unknown names yield [`GemError::UnknownMethod`].
+    pub fn serve(&self, requests: Vec<ServeRequest>) -> Vec<ServeResponse> {
+        enum Plan {
+            Engine {
+                method: String,
+                slot: usize,
+            },
+            Registry {
+                method: String,
+                corpus: Arc<Vec<GemColumn>>,
+                queries: Option<Vec<GemColumn>>,
+                labels: Option<Vec<String>>,
+            },
+            Unknown {
+                method: String,
+            },
+        }
+        // Requests are consumed: their corpus handles and query columns move into the
+        // plan (no copies of column data on the serving path).
+        let mut engine_requests: Vec<EngineRequest> = Vec::new();
+        let plans: Vec<Plan> = requests
+            .into_iter()
+            .map(|request| {
+                if let Some(variant) = self.variants.iter().find(|v| v.name == request.method) {
+                    engine_requests.push(EngineRequest {
+                        config: variant.config.clone(),
+                        features: variant.features,
+                        corpus: request.corpus,
+                        queries: request.queries,
+                    });
+                    Plan::Engine {
+                        method: request.method,
+                        slot: engine_requests.len() - 1,
+                    }
+                } else if self.registry.get(&request.method).is_some() {
+                    Plan::Registry {
+                        method: request.method,
+                        corpus: request.corpus,
+                        queries: request.queries,
+                        labels: request.labels,
+                    }
+                } else {
+                    Plan::Unknown {
+                        method: request.method,
+                    }
+                }
+            })
+            .collect();
+
+        // The engine batch (fits + transforms) and the registry fan-out are independent,
+        // so run them side by side: a mixed batch pays max(engine, registry) wall-clock,
+        // not their sum. Registry-dispatched methods have no fit/transform seam.
+        let (engine_out, registry_results): (_, Vec<Option<Result<Matrix, GemError>>>) =
+            gem_parallel::join(
+                || self.engine.run(&engine_requests),
+                || {
+                    gem_parallel::par_map(&plans, self.parallel, |plan| match plan {
+                        Plan::Registry {
+                            method,
+                            corpus,
+                            queries,
+                            labels,
+                        } => {
+                            let columns: &[GemColumn] = match queries {
+                                Some(queries) => queries,
+                                None => corpus,
+                            };
+                            Some(
+                                self.registry
+                                    .require(method)
+                                    .and_then(|m| m.embed(columns, labels.as_deref())),
+                            )
+                        }
+                        _ => None,
+                    })
+                },
+            );
+        let mut engine_responses: Vec<Option<crate::EngineResponse>> =
+            engine_out.into_iter().map(Some).collect();
+
+        plans
+            .into_iter()
+            .zip(registry_results)
+            .map(|(plan, registry_result)| match plan {
+                Plan::Engine { method, slot } => {
+                    let response = engine_responses[slot]
+                        .take()
+                        .expect("one engine response per engine request");
+                    ServeResponse {
+                        method,
+                        matrix: response.embedding.map(|e| e.matrix),
+                        cache_hit: response.cache_hit,
+                    }
+                }
+                Plan::Registry { method, .. } => ServeResponse {
+                    method,
+                    matrix: registry_result.expect("registry plan produced a result"),
+                    cache_hit: false,
+                },
+                Plan::Unknown { method } => {
+                    let err = GemError::UnknownMethod(method.clone());
+                    ServeResponse {
+                        method,
+                        matrix: Err(err),
+                        cache_hit: false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience: serve a single request.
+    pub fn serve_one(&self, request: ServeRequest) -> ServeResponse {
+        self.serve(vec![request])
+            .into_iter()
+            .next()
+            .expect("one response per request")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{ColumnEmbedder, GemEmbedder};
+
+    fn corpus() -> Arc<Vec<GemColumn>> {
+        Arc::new(
+            (0..6)
+                .map(|c| {
+                    GemColumn::new(
+                        (0..50)
+                            .map(|i| (c * 80) as f64 + (i % 14) as f64 * 1.5)
+                            .collect(),
+                        format!("col_{c}"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    struct Identity;
+
+    impl ColumnEmbedder for Identity {
+        fn name(&self) -> &str {
+            "Identity"
+        }
+
+        fn embed_columns(&self, columns: &[GemColumn]) -> Result<Matrix, GemError> {
+            Ok(Matrix::filled(columns.len(), 2, 1.0))
+        }
+    }
+
+    fn service() -> EmbedService {
+        let config = GemConfig::fast();
+        let mut registry = MethodRegistry::with_gem(&config);
+        registry.register_unsupervised(Identity, &[]);
+        let mut service = EmbedService::new(registry, 4);
+        service.register_gem_family(&config);
+        service
+    }
+
+    #[test]
+    fn gem_methods_are_cache_served_and_exact() {
+        let service = service();
+        assert!(service.is_cache_served("Gem (D+S)"));
+        assert!(!service.is_cache_served("Identity"));
+        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
+        assert!(!cold.cache_hit);
+        let warm = service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
+        assert!(warm.cache_hit);
+        let direct = GemEmbedder::new(GemConfig::fast())
+            .embed(&corpus(), FeatureSet::ds())
+            .unwrap();
+        assert_eq!(cold.matrix.unwrap(), direct.matrix);
+        assert_eq!(warm.matrix.unwrap(), direct.matrix);
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn non_gem_methods_dispatch_to_the_registry() {
+        let service = service();
+        let response = service.serve_one(ServeRequest::new("Identity", corpus()));
+        assert!(!response.cache_hit);
+        let m = response.matrix.unwrap();
+        assert_eq!(m.shape(), (corpus().len(), 2));
+    }
+
+    #[test]
+    fn unknown_methods_error_without_disturbing_the_batch() {
+        let service = service();
+        let responses = service.serve(vec![
+            ServeRequest::new("Gem (D+S)", corpus()),
+            ServeRequest::new("no-such-method", corpus()),
+            ServeRequest::new("Identity", corpus()),
+        ]);
+        assert!(responses[0].matrix.is_ok());
+        assert!(matches!(
+            responses[1].matrix,
+            Err(GemError::UnknownMethod(_))
+        ));
+        assert!(responses[2].matrix.is_ok());
+        assert_eq!(responses[1].method, "no-such-method");
+    }
+
+    #[test]
+    fn queries_are_embedded_against_the_cached_corpus_model() {
+        let service = service();
+        // Warm the model.
+        service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
+        let queries = vec![GemColumn::new(
+            (0..25).map(|i| 100.0 + (i % 7) as f64).collect(),
+            "unseen",
+        )];
+        let response = service
+            .serve_one(ServeRequest::new("Gem (D+S)", corpus()).with_queries(queries.clone()));
+        assert!(response.cache_hit);
+        let m = response.matrix.unwrap();
+        assert_eq!(m.rows(), 1);
+        assert!(m.all_finite());
+        // The width matches the corpus embedding space, as a serving index requires.
+        let corpus_emb = service
+            .serve_one(ServeRequest::new("Gem (D+S)", corpus()))
+            .matrix
+            .unwrap();
+        assert_eq!(m.cols(), corpus_emb.cols());
+    }
+
+    #[test]
+    fn supervised_methods_run_with_labels_through_the_service() {
+        let config = GemConfig::fast();
+        let mut registry = MethodRegistry::with_gem(&config);
+        gem_baselines_stub(&mut registry);
+        let service = EmbedService::new(registry, 2);
+        let cols = corpus();
+        let labels: Vec<String> = (0..cols.len()).map(|i| format!("t{}", i % 2)).collect();
+        let ok = service
+            .serve_one(ServeRequest::new("StubSupervised", Arc::clone(&cols)).with_labels(labels));
+        assert!(ok.matrix.is_ok());
+        let missing = service.serve_one(ServeRequest::new("StubSupervised", cols));
+        assert!(matches!(missing.matrix, Err(GemError::MissingLabels(_))));
+    }
+
+    fn gem_baselines_stub(registry: &mut MethodRegistry) {
+        struct Stub;
+        impl gem_core::SupervisedColumnEmbedder for Stub {
+            fn name(&self) -> &str {
+                "StubSupervised"
+            }
+
+            fn fit_embed(
+                &self,
+                columns: &[GemColumn],
+                _labels: &[String],
+            ) -> Result<Matrix, GemError> {
+                Ok(Matrix::zeros(columns.len(), 3))
+            }
+        }
+        registry.register_supervised(Stub, &["supervised"]);
+    }
+
+    #[test]
+    fn every_registry_gem_method_is_cache_served() {
+        // register_gem_family consumes gem_core::gem_family_variants — the same table the
+        // registry registers from — so every Gem name the registry knows is cache-served.
+        let service = service();
+        for variant in gem_family_variants(&GemConfig::fast()) {
+            assert!(service.is_cache_served(&variant.name), "{}", variant.name);
+            assert!(
+                service.methods().contains(&variant.name.as_str()),
+                "{} not in registry",
+                variant.name
+            );
+        }
+    }
+
+    #[test]
+    fn replacing_a_variant_updates_in_place() {
+        let mut service = service();
+        let n = service.methods().len();
+        service.register_gem_variant("Gem (D+S)", GemConfig::fast(), FeatureSet::d());
+        assert_eq!(service.methods().len(), n);
+        assert!(service.is_cache_served("Gem (D+S)"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Serving: fit a corpus model once, then answer embed requests against it from a
+//! fingerprint-keyed cache — the fit-once / serve-many pattern `gem-serve` provides.
+//!
+//! Run with `cargo run --release --example serving`.
+
+use gem::core::{GemColumn, GemConfig, MethodRegistry};
+use gem::serve::{EmbedService, ServeRequest};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn corpus() -> Vec<GemColumn> {
+    // A synthetic data lake: 120 columns from four semantic families.
+    let mut columns = Vec::new();
+    for s in 0..30 {
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 18.0 + ((i * 7 + s) % 60) as f64).collect(),
+            format!("age_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80)
+                .map(|i| 9_000.0 + 410.0 * ((i * 3 + s) % 70) as f64)
+                .collect(),
+            format!("price_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 1.0 + ((i * 11 + s) % 100) as f64).collect(),
+            format!("rank_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 1950.0 + ((i + s) % 74) as f64).collect(),
+            format!("year_{s}"),
+        ));
+    }
+    columns
+}
+
+fn main() {
+    let config = GemConfig::fast();
+    let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
+    service.register_gem_family(&config);
+
+    let corpus = Arc::new(corpus());
+    println!(
+        "Serving {} methods over a {}-column corpus (cache capacity 8)\n",
+        service.methods().len(),
+        corpus.len()
+    );
+
+    // Request 1: cold — fits the model (the expensive EM step) and caches it.
+    let start = Instant::now();
+    let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let cold_s = start.elapsed().as_secs_f64();
+    let cold_matrix = cold.matrix.expect("corpus embeds");
+    println!(
+        "cold  embed: {:>8.2} ms  (cache_hit: {}, {} columns x {} dims)",
+        cold_s * 1e3,
+        cold.cache_hit,
+        cold_matrix.rows(),
+        cold_matrix.cols()
+    );
+
+    // Request 2: warm — same corpus fingerprint, so the cached model transforms only.
+    let start = Instant::now();
+    let warm = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let warm_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.matrix.expect("corpus embeds"),
+        cold_matrix,
+        "warm cache hits are bit-identical to the cold fit"
+    );
+    println!(
+        "warm  embed: {:>8.2} ms  (cache_hit: {}, {:.1}x faster, bit-identical output)",
+        warm_s * 1e3,
+        warm.cache_hit,
+        cold_s / warm_s.max(1e-9)
+    );
+
+    // Request 3: embed *new, unseen* columns against the frozen corpus model — what a
+    // query path needs: project a user's column into the lake's embedding space.
+    let queries = vec![
+        GemColumn::new((0..50).map(|i| 21.0 + (i % 55) as f64).collect(), "age_q"),
+        GemColumn::new(
+            (0..50)
+                .map(|i| 10_000.0 + 400.0 * (i % 65) as f64)
+                .collect(),
+            "price_q",
+        ),
+    ];
+    let start = Instant::now();
+    let response = service
+        .serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)).with_queries(queries));
+    let query_s = start.elapsed().as_secs_f64();
+    let query_matrix = response.matrix.expect("queries embed");
+    println!(
+        "query embed: {:>8.2} ms  (cache_hit: {}, {} unseen columns into the corpus space)",
+        query_s * 1e3,
+        response.cache_hit,
+        query_matrix.rows()
+    );
+
+    // Nearest corpus column per query, in the shared embedding space.
+    for (q, header) in ["age_q", "price_q"].iter().enumerate() {
+        let mut best = (0, f64::NEG_INFINITY);
+        for i in 0..cold_matrix.rows() {
+            let sim =
+                gem::numeric::cosine_similarity(query_matrix.row(q), cold_matrix.row(i)).unwrap();
+            if sim > best.1 {
+                best = (i, sim);
+            }
+        }
+        println!(
+            "  {:<8} nearest corpus column: {:<10} (similarity {:.3})",
+            header, corpus[best.0].header, best.1
+        );
+    }
+
+    // A mixed batch: Gem variants share the cached models; a batch of mixed methods runs
+    // in one engine pass.
+    let batch: Vec<ServeRequest> = ["Gem (D+S)", "Gem", "D+S", "SBERT (headers only)"]
+        .iter()
+        .map(|m| ServeRequest::new(*m, Arc::clone(&corpus)))
+        .collect();
+    let start = Instant::now();
+    let responses = service.serve(batch);
+    let batch_s = start.elapsed().as_secs_f64();
+    println!(
+        "\nmixed batch of {} methods in {:.2} ms:",
+        responses.len(),
+        batch_s * 1e3
+    );
+    for r in &responses {
+        println!(
+            "  {:<22} cache_hit: {:<5} dims: {}",
+            r.method,
+            r.cache_hit,
+            r.matrix.as_ref().map(|m| m.cols()).unwrap_or(0)
+        );
+    }
+
+    let stats = service.cache_stats();
+    println!(
+        "\ncache: {} hits, {} misses, {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    );
+}

@@ -12,6 +12,8 @@
 //! * [`baselines`] — PLE, PAF, Squashing_GMM/SOM, the KS statistic and the `_SC` baselines,
 //! * [`data`] — the column data model and the four synthetic corpus simulators,
 //! * [`eval`] — precision@k, ARI, ACC and experiment reporting,
+//! * [`serve`] — the batch serving layer: fingerprint-keyed LRU model cache over the
+//!   fit/transform split, per-model request batching, registry-backed embed service,
 //! * [`cluster`] — k-means, SDCN and TableDC,
 //! * [`numeric`], [`nn`], [`text`] — the numeric, neural-network and text substrates.
 //!
@@ -55,6 +57,14 @@ pub use gem_data as data;
 
 /// Evaluation metrics and reporting (re-export of `gem-eval`).
 pub use gem_eval as eval;
+
+/// Batch serving: fingerprint-keyed model cache, batch engine, embed service (re-export
+/// of `gem-serve`).
+pub use gem_serve as serve;
+
+/// JSON values and the `ToJson`/`FromJson` persistence traits (re-export of `gem-json`);
+/// fitted GMMs serialise through these so cached models survive restarts.
+pub use gem_json as json;
 
 /// Clustering algorithms (re-export of `gem-cluster`).
 pub use gem_cluster as cluster;

@@ -1,0 +1,212 @@
+//! The fit/transform contract, asserted as properties over the four corpus simulators:
+//!
+//! 1. `GemModel::fit` + `transform` reproduces the one-shot `GemEmbedder::embed`
+//!    **bit-for-bit** (exact `==` on every output block, not approximate equality) on all
+//!    four `CorpusKind` corpora, for every feature set and composition the registry's Gem
+//!    family feeds. This is what lets a serving system swap the refit-per-request path
+//!    for a cached model without changing a single output bit.
+//! 2. A frozen model embeds columns unseen at fit time into the corpus's embedding space.
+//! 3. A fitted GMM survives a JSON round trip exactly, so cached models can be
+//!    rehydrated after a restart without perturbing signatures.
+
+use gem::core::{
+    Composition, FeatureSet, GemColumn, GemConfig, GemEmbedder, GemModel, MethodRegistry,
+};
+use gem::data::{build_corpus, CorpusConfig, CorpusKind};
+use gem::gmm::GmmConfig;
+use gem::json::{FromJson, Json, ToJson};
+use gem::serve::{EmbedService, ServeRequest};
+use std::sync::Arc;
+
+const ALL_KINDS: [CorpusKind; 4] = [
+    CorpusKind::Gds,
+    CorpusKind::Wdc,
+    CorpusKind::SatoTables,
+    CorpusKind::GitTables,
+];
+
+fn corpus_columns(kind: CorpusKind) -> Vec<GemColumn> {
+    let dataset = build_corpus(
+        kind,
+        &CorpusConfig {
+            scale: 0.02,
+            min_values: 20,
+            max_values: 40,
+            seed: 11,
+        },
+    );
+    dataset
+        .columns
+        .iter()
+        .map(|c| GemColumn::new(c.values.clone(), c.header.clone()))
+        .collect()
+}
+
+fn fast_config() -> GemConfig {
+    GemConfig {
+        gmm: GmmConfig::with_components(6).restarts(2).with_seed(7),
+        text_dim: 32,
+        ..GemConfig::default()
+    }
+}
+
+#[test]
+fn fit_then_transform_is_bit_identical_to_embed_on_all_corpora() {
+    for kind in ALL_KINDS {
+        let columns = corpus_columns(kind);
+        let embedder = GemEmbedder::new(fast_config());
+        for features in [
+            FeatureSet::d(),
+            FeatureSet::s(),
+            FeatureSet::c(),
+            FeatureSet::ds(),
+            FeatureSet::cs(),
+            FeatureSet::dc(),
+            FeatureSet::dsc(),
+        ] {
+            let one_shot = embedder.embed(&columns, features).unwrap();
+            let model = embedder.fit(&columns, features).unwrap();
+            let transformed = model.transform(&columns).unwrap();
+            let label = format!("{kind:?}/{}", features.label());
+            // Exact equality — every f64 bit must match.
+            assert_eq!(one_shot.matrix, transformed.matrix, "{label}: matrix");
+            assert_eq!(
+                one_shot.signature, transformed.signature,
+                "{label}: signature"
+            );
+            assert_eq!(
+                one_shot.value_block, transformed.value_block,
+                "{label}: value block"
+            );
+            assert_eq!(
+                one_shot.header_block, transformed.header_block,
+                "{label}: header block"
+            );
+            assert_eq!(one_shot.gmm, transformed.gmm, "{label}: gmm");
+        }
+    }
+}
+
+#[test]
+fn fit_then_transform_is_bit_identical_across_compositions() {
+    let columns = corpus_columns(CorpusKind::Gds);
+    for composition in [
+        Composition::Concatenation,
+        Composition::Aggregation,
+        Composition::Autoencoder {
+            latent_dim: 8,
+            epochs: 30,
+        },
+    ] {
+        let config = fast_config().with_composition(composition);
+        let embedder = GemEmbedder::new(config);
+        let one_shot = embedder.embed(&columns, FeatureSet::dsc()).unwrap();
+        let model = embedder.fit(&columns, FeatureSet::dsc()).unwrap();
+        let transformed = model.transform(&columns).unwrap();
+        assert_eq!(
+            one_shot.matrix,
+            transformed.matrix,
+            "{}",
+            composition.label()
+        );
+    }
+}
+
+#[test]
+fn every_gem_registry_method_matches_its_cached_model_output() {
+    // The serving acceptance property: for each Gem family method the registry exposes,
+    // the cache-served path (fit once, transform) produces exactly the one-shot output.
+    let config = fast_config();
+    let registry = MethodRegistry::with_gem(&config);
+    let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 16);
+    service.register_gem_family(&config);
+    let columns = Arc::new(corpus_columns(CorpusKind::Wdc));
+    for name in [
+        "Gem",
+        "Gem (D+S)",
+        "SBERT (headers only)",
+        "D",
+        "D+S",
+        "C+S",
+    ] {
+        let direct = registry
+            .require(name)
+            .unwrap()
+            .embed(&columns, None)
+            .unwrap();
+        // Note: the first request for a name may already hit — method names that alias
+        // the same (config, features) pair (e.g. "Gem (D+S)" and the ablation "D+S")
+        // share one fingerprint and therefore one cached model.
+        let first = service.serve_one(ServeRequest::new(name, Arc::clone(&columns)));
+        let warm = service.serve_one(ServeRequest::new(name, Arc::clone(&columns)));
+        assert!(warm.cache_hit, "{name}");
+        assert_eq!(first.matrix.unwrap(), direct, "{name}: first");
+        assert_eq!(warm.matrix.unwrap(), direct, "{name}: warm");
+    }
+}
+
+#[test]
+fn alias_methods_share_one_cached_model() {
+    // "Gem (D+S)" and the Figure 3 ablation variant "D+S" run the identical pipeline, so
+    // they fingerprint to the same key and one fit serves both names.
+    let config = fast_config();
+    let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 4);
+    service.register_gem_family(&config);
+    let columns = Arc::new(corpus_columns(CorpusKind::Gds));
+    let a = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&columns)));
+    let b = service.serve_one(ServeRequest::new("D+S", Arc::clone(&columns)));
+    assert!(!a.cache_hit);
+    assert!(b.cache_hit, "alias name must reuse the cached model");
+    assert_eq!(a.matrix.unwrap(), b.matrix.unwrap());
+}
+
+#[test]
+fn frozen_models_embed_unseen_columns_on_every_corpus() {
+    for kind in ALL_KINDS {
+        let columns = corpus_columns(kind);
+        let model = GemModel::fit(&columns, &fast_config(), FeatureSet::ds()).unwrap();
+        // Columns the model never saw, including a degenerate empty one.
+        let unseen = vec![
+            GemColumn::new((0..35).map(|i| 7.0 + (i % 23) as f64 * 1.3).collect(), "q0"),
+            GemColumn::new(
+                (0..35)
+                    .map(|i| 40_000.0 + (i % 17) as f64 * 900.0)
+                    .collect(),
+                "q1",
+            ),
+            GemColumn::values_only(vec![]),
+        ];
+        let emb = model.transform(&unseen).unwrap();
+        assert_eq!(emb.n_columns(), 3, "{kind:?}");
+        assert_eq!(emb.dim(), model.dim(), "{kind:?}");
+        assert!(emb.matrix.all_finite(), "{kind:?}");
+        // The empty column's signature falls back to the GMM prior.
+        for (a, b) in emb
+            .signature
+            .row(2)
+            .iter()
+            .zip(model.gmm().unwrap().weights())
+        {
+            assert!((a - b).abs() < 1e-12, "{kind:?}");
+        }
+        // Transforming the same queries twice against the frozen model is deterministic.
+        let again = model.transform(&unseen).unwrap();
+        assert_eq!(emb.matrix, again.matrix, "{kind:?}");
+    }
+}
+
+#[test]
+fn fitted_gmm_survives_json_round_trip_inside_the_pipeline() {
+    let columns = corpus_columns(CorpusKind::SatoTables);
+    let model = GemModel::fit(&columns, &fast_config(), FeatureSet::d()).unwrap();
+    let gmm = model.gmm().unwrap();
+    let text = gmm.to_json().to_pretty_string();
+    let restored = gem::gmm::UnivariateGmm::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(&restored, gmm);
+    // Signatures from the rehydrated model are bit-identical.
+    let probe: Vec<f64> = (0..25).map(|i| i as f64 * 3.7).collect();
+    assert_eq!(
+        restored.mean_responsibilities(&probe),
+        gmm.mean_responsibilities(&probe)
+    );
+}
