@@ -1,7 +1,7 @@
 //! Serving benchmark: what the fit/transform split and the fingerprint-keyed model cache
 //! buy under repeated traffic against the same corpus.
 //!
-//! Three measurements on the 300-column scalability corpus (the same corpus the
+//! Four measurements on the 300-column scalability corpus (the same corpus the
 //! `scalability` bench uses for Gem (D+S)):
 //!
 //! * `cold_fit` — a fresh engine per iteration: every request pays the EM fit (the
@@ -9,7 +9,10 @@
 //! * `warm_hit` — a pre-warmed engine: every request is a cache hit and only pays the
 //!   transform,
 //! * `warm_hit_batch16` — sixteen warm requests grouped into one batch, the
-//!   per-request cost of saturated serving.
+//!   per-request cost of saturated serving,
+//! * `warm_start_disk` — a fresh engine per iteration over a pre-populated
+//!   `ModelStore`: the request misses memory, rehydrates the model from disk (no EM
+//!   re-fit) and transforms — the cost of the first request after a process restart.
 //!
 //! Snapshot with `GEM_CRITERION_JSON=BENCH_serving.json cargo bench -p gem-bench --bench
 //! serving`; the committed baseline lives at the repo root next to
@@ -17,9 +20,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gem_bench::{gem_config_with_components, strip_headers, to_gem_columns};
-use gem_core::{FeatureSet, GemColumn, GemConfig};
+use gem_core::{FeatureSet, GemColumn, GemConfig, GemModel};
 use gem_data::{gds, CorpusConfig};
-use gem_serve::{BatchEngine, EngineRequest};
+use gem_serve::{BatchEngine, EngineRequest, ServedFrom};
+use gem_store::{model_key, ModelStore};
 use std::sync::Arc;
 
 const N_COLUMNS: usize = 300;
@@ -78,6 +82,33 @@ fn bench_serving(criterion: &mut Criterion) {
             responses
         })
     });
+
+    // Warm start from disk: the model snapshot is on disk (as after a restart); each
+    // iteration uses a fresh engine whose memory tier is cold, so the request
+    // rehydrates from the store — deserialisation + transform, no EM re-fit.
+    let store_dir =
+        std::env::temp_dir().join(format!("gem-serving-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Arc::new(ModelStore::open(&store_dir).expect("bench store directory"));
+    let model =
+        GemModel::fit(&corpus, &bench_config(), FeatureSet::ds()).expect("bench corpus fits");
+    store
+        .save(
+            model_key(&corpus, &bench_config(), FeatureSet::ds()),
+            &model,
+        )
+        .expect("snapshot writes");
+    drop(model);
+    group.bench_function(BenchmarkId::new("warm_start_disk", N_COLUMNS), |b| {
+        b.iter(|| {
+            let engine = BatchEngine::new(4).with_store(Arc::clone(&store));
+            let response = engine.run_one(request());
+            assert!(response.embedding.is_ok());
+            assert_eq!(response.served_from, ServedFrom::DiskStore);
+            response
+        })
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     group.finish();
 }

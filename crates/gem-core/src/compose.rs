@@ -6,6 +6,7 @@
 //! Table 3 finds concatenation best, aggregation close behind and the autoencoder slightly
 //! behind that — the bench binary for Table 3 reproduces that comparison.
 
+use gem_json::{number, object, string, FromJson, Json, JsonError, ToJson};
 use gem_nn::{Autoencoder, AutoencoderConfig, Optimizer};
 use gem_numeric::Matrix;
 
@@ -43,6 +44,36 @@ impl Composition {
             Composition::Concatenation => "concatenation",
             Composition::Aggregation => "aggregation",
             Composition::Autoencoder { .. } => "AE",
+        }
+    }
+}
+
+impl ToJson for Composition {
+    fn to_json(&self) -> Json {
+        match self {
+            Composition::Concatenation => object(vec![("kind", string("concatenation"))]),
+            Composition::Aggregation => object(vec![("kind", string("aggregation"))]),
+            Composition::Autoencoder { latent_dim, epochs } => object(vec![
+                ("kind", string("autoencoder")),
+                ("latent_dim", number(*latent_dim as f64)),
+                ("epochs", number(*epochs as f64)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Composition {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.str_field("kind")?.as_str() {
+            "concatenation" => Ok(Composition::Concatenation),
+            "aggregation" => Ok(Composition::Aggregation),
+            "autoencoder" => Ok(Composition::Autoencoder {
+                latent_dim: value.num_field("latent_dim")? as usize,
+                epochs: value.num_field("epochs")? as usize,
+            }),
+            other => Err(JsonError::conversion(format!(
+                "unknown composition kind `{other}`"
+            ))),
         }
     }
 }
@@ -203,5 +234,24 @@ mod tests {
         let (a, _) = blocks();
         assert_eq!(compose(&[&a], Composition::Concatenation), a);
         assert_eq!(compose(&[&a], Composition::Aggregation), a);
+    }
+
+    #[test]
+    fn composition_round_trips_through_json() {
+        for composition in [
+            Composition::Concatenation,
+            Composition::Aggregation,
+            Composition::autoencoder(),
+            Composition::Autoencoder {
+                latent_dim: 5,
+                epochs: 17,
+            },
+        ] {
+            let text = composition.to_json().to_compact_string();
+            let back = Composition::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, composition);
+        }
+        let bad = object(vec![("kind", string("pca"))]);
+        assert!(Composition::from_json(&bad).is_err());
     }
 }

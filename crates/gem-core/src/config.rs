@@ -2,6 +2,7 @@
 
 use crate::compose::Composition;
 use gem_gmm::GmmConfig;
+use gem_json::{number, object, FromJson, Json, JsonError, ToJson};
 
 /// Which of Gem's three evidence types participate in an embedding.
 ///
@@ -172,6 +173,60 @@ impl GemConfig {
     }
 }
 
+impl ToJson for FeatureSet {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("distributional", Json::Bool(self.distributional)),
+            ("statistical", Json::Bool(self.statistical)),
+            ("contextual", Json::Bool(self.contextual)),
+        ])
+    }
+}
+
+impl FromJson for FeatureSet {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let flag = |key: &str| -> Result<bool, JsonError> {
+            value
+                .field(key)?
+                .as_bool()
+                .ok_or_else(|| JsonError::conversion(format!("field `{key}` is not a bool")))
+        };
+        Ok(FeatureSet {
+            distributional: flag("distributional")?,
+            statistical: flag("statistical")?,
+            contextual: flag("contextual")?,
+        })
+    }
+}
+
+/// Persistence of the full pipeline configuration — stored inside every saved
+/// [`crate::GemModel`] so a reloaded model carries exactly the configuration it was
+/// fitted with (and therefore fingerprints to the same cache key).
+impl ToJson for GemConfig {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("gmm", self.gmm.to_json()),
+            ("text_dim", number(self.text_dim as f64)),
+            ("composition", self.composition.to_json()),
+            ("parallel", Json::Bool(self.parallel)),
+        ])
+    }
+}
+
+impl FromJson for GemConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(GemConfig {
+            gmm: GmmConfig::from_json(value.field("gmm")?)?,
+            text_dim: value.num_field("text_dim")? as usize,
+            composition: Composition::from_json(value.field("composition")?)?,
+            parallel: value
+                .field("parallel")?
+                .as_bool()
+                .ok_or_else(|| JsonError::conversion("field `parallel` is not a bool"))?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +268,37 @@ mod tests {
         assert_eq!(c.composition, Composition::Aggregation);
         assert!(!c.parallel);
         assert!(GemConfig::fast().gmm.n_components < 20);
+    }
+
+    #[test]
+    fn feature_set_and_config_round_trip_through_json() {
+        for features in crate::ablation_feature_sets() {
+            let text = features.to_json().to_compact_string();
+            let back = FeatureSet::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, features);
+        }
+        for config in [
+            GemConfig::default(),
+            GemConfig::fast(),
+            GemConfig::with_components(12)
+                .with_composition(Composition::autoencoder())
+                .with_parallel(false),
+        ] {
+            let text = config.to_json().to_pretty_string();
+            let back = GemConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn config_decoding_reports_missing_and_mistyped_fields() {
+        let mut pairs = match GemConfig::fast().to_json() {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        pairs.retain(|(k, _)| k != "parallel");
+        assert!(GemConfig::from_json(&Json::Object(pairs.clone())).is_err());
+        pairs.push(("parallel".into(), number(1.0)));
+        assert!(GemConfig::from_json(&Json::Object(pairs)).is_err());
     }
 }

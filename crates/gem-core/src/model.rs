@@ -21,10 +21,16 @@ use crate::embedding::{GemColumn, GemEmbedding, GemError};
 use crate::features::{statistical_feature_matrix, STATISTICAL_FEATURE_NAMES};
 use crate::signature::{signature_matrix, stack_values};
 use gem_gmm::UnivariateGmm;
+use gem_json::{number, object, FromJson, Json, JsonError, ToJson};
 use gem_nn::Autoencoder;
 use gem_numeric::standardize::l1_normalize_rows;
 use gem_numeric::Matrix;
 use gem_text::{HashEmbedder, TextEmbedder};
+
+/// Schema version written into every serialised [`GemModel`]. Bump when the envelope's
+/// shape changes incompatibly; loaders reject snapshots whose version they do not
+/// understand instead of misinterpreting them.
+pub const GEM_MODEL_SCHEMA_VERSION: u64 = 1;
 
 /// Frozen per-feature standardisation parameters (Equation 7), estimated on the fit
 /// corpus and applied unchanged to every transformed column so new columns land in the
@@ -402,6 +408,157 @@ impl GemModel {
     }
 }
 
+impl GemModel {
+    /// Approximate resident memory of the fitted state, in bytes: GMM parameters,
+    /// standardisation parameters and autoencoder weights (each 8 bytes per `f64`) plus
+    /// the struct overhead. Used by memory-bounded caches to decide when to evict; the
+    /// estimate deliberately ignores allocator overhead and small container headers.
+    pub fn approx_mem_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<GemModel>() as u64;
+        if let Some(gmm) = &self.gmm {
+            // weights + means + variances.
+            bytes += 3 * 8 * gmm.n_components() as u64;
+        }
+        if let Some(scaler) = &self.scaler {
+            bytes += 8 * (scaler.means.len() + scaler.stds.len()) as u64;
+        }
+        if let Some(ae) = &self.autoencoder {
+            bytes += 8 * ae.n_parameters() as u64;
+        }
+        // Per-header scratch vector of the hash embedder.
+        bytes += 8 * self.config.text_dim as u64;
+        bytes
+    }
+}
+
+/// Bit-exact JSON persistence of the frozen standardisation parameters: the arrays use
+/// the IEEE-754 bit encoding, so a reloaded scaler standardises bit-identically.
+impl ToJson for FeatureScaler {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("means", gem_json::bits_array(&self.means)),
+            ("stds", gem_json::bits_array(&self.stds)),
+        ])
+    }
+}
+
+impl FromJson for FeatureScaler {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let means = gem_json::as_bits_array(value.field("means")?)?;
+        let stds = gem_json::as_bits_array(value.field("stds")?)?;
+        if means.len() != stds.len() {
+            return Err(JsonError::conversion(
+                "scaler means and stds must be equal-length",
+            ));
+        }
+        Ok(FeatureScaler { means, stds })
+    }
+}
+
+/// JSON persistence of the **entire** fitted model — the envelope the `gem-store`
+/// crate's `ModelStore` writes to disk. Every fitted component
+/// round-trips exactly (the GMM via shortest-round-trip decimals, the scaler and
+/// autoencoder weights via IEEE-754 bit patterns), so a model reloaded in a fresh
+/// process produces **bit-identical** [`GemModel::transform`] output — no EM re-fit, no
+/// autoencoder re-training. The envelope carries [`GEM_MODEL_SCHEMA_VERSION`] and the
+/// full fit configuration, and the loader cross-validates the component set against the
+/// feature set so a corrupted or hand-edited snapshot fails at load time rather than at
+/// serve time.
+impl ToJson for GemModel {
+    fn to_json(&self) -> Json {
+        let opt = |component: Option<Json>| component.unwrap_or(Json::Null);
+        object(vec![
+            ("schema_version", number(GEM_MODEL_SCHEMA_VERSION as f64)),
+            ("config", self.config.to_json()),
+            ("features", self.features.to_json()),
+            ("gmm", opt(self.gmm.as_ref().map(ToJson::to_json))),
+            ("scaler", opt(self.scaler.as_ref().map(ToJson::to_json))),
+            ("text", self.text.to_json()),
+            (
+                "autoencoder",
+                opt(self.autoencoder.as_ref().map(ToJson::to_json)),
+            ),
+            ("n_fit_columns", number(self.n_fit_columns as f64)),
+        ])
+    }
+}
+
+impl FromJson for GemModel {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let schema_version = value.num_field("schema_version")? as u64;
+        if schema_version != GEM_MODEL_SCHEMA_VERSION {
+            return Err(JsonError::conversion(format!(
+                "unsupported GemModel schema version {schema_version} \
+                 (this build reads version {GEM_MODEL_SCHEMA_VERSION})"
+            )));
+        }
+        let config = GemConfig::from_json(value.field("config")?)?;
+        let features = FeatureSet::from_json(value.field("features")?)?;
+        if !features.is_non_empty() {
+            return Err(JsonError::conversion(
+                "persisted model selects no evidence type",
+            ));
+        }
+        let optional = |key: &str| -> Result<Option<&Json>, JsonError> {
+            let field = value.field(key)?;
+            Ok(if field.is_null() { None } else { Some(field) })
+        };
+        let gmm = optional("gmm")?.map(UnivariateGmm::from_json).transpose()?;
+        let scaler = optional("scaler")?
+            .map(FeatureScaler::from_json)
+            .transpose()?;
+        let text = HashEmbedder::from_json(value.field("text")?)?;
+        let autoencoder = optional("autoencoder")?
+            .map(Autoencoder::from_json)
+            .transpose()?;
+
+        // Cross-field validation: the component set must match what a fit with this
+        // feature set would have produced.
+        if features.distributional != gmm.is_some() {
+            return Err(JsonError::conversion(
+                "distributional feature flag disagrees with GMM presence",
+            ));
+        }
+        if features.statistical != scaler.is_some() {
+            return Err(JsonError::conversion(
+                "statistical feature flag disagrees with scaler presence",
+            ));
+        }
+        // A scaler of the wrong width would pass its own (internally consistent)
+        // round-trip but panic at transform time; reject it while we can still name the
+        // file, not the request.
+        if let Some(scaler) = &scaler {
+            if scaler.means.len() != STATISTICAL_FEATURE_NAMES.len() {
+                return Err(JsonError::conversion(format!(
+                    "scaler has {} features, the statistical block computes {}",
+                    scaler.means.len(),
+                    STATISTICAL_FEATURE_NAMES.len()
+                )));
+            }
+        }
+        if text.dim() != config.text_dim {
+            return Err(JsonError::conversion(
+                "text embedder dimension disagrees with the configuration",
+            ));
+        }
+        let ae_composition = matches!(config.composition, Composition::Autoencoder { .. });
+        if autoencoder.is_some() && !ae_composition {
+            return Err(JsonError::conversion(
+                "autoencoder present but the composition is not autoencoder",
+            ));
+        }
+        Ok(GemModel {
+            config,
+            features,
+            gmm,
+            scaler,
+            text,
+            autoencoder,
+            n_fit_columns: value.num_field("n_fit_columns")? as usize,
+        })
+    }
+}
+
 fn present_blocks(blocks: &Blocks) -> Vec<&Matrix> {
     let mut parts = Vec::new();
     if blocks.value_block.cols() > 0 {
@@ -549,6 +706,104 @@ mod tests {
         );
         assert_eq!(out.column(1), vec![0.0, 0.0, 0.0]);
         assert_eq!(scaler.stds().len(), 2);
+    }
+
+    fn reparse(json: &Json) -> Json {
+        Json::parse(&json.to_pretty_string()).unwrap()
+    }
+
+    #[test]
+    fn model_round_trips_through_json_with_bit_identical_transform() {
+        let cols = corpus();
+        for (config, features) in [
+            (GemConfig::fast(), FeatureSet::dsc()),
+            (GemConfig::fast(), FeatureSet::d()),
+            (
+                GemConfig::fast().with_composition(Composition::Autoencoder {
+                    latent_dim: 5,
+                    epochs: 25,
+                }),
+                FeatureSet::ds(),
+            ),
+        ] {
+            let model = GemModel::fit(&cols, &config, features).unwrap();
+            let restored = GemModel::from_json(&reparse(&model.to_json())).unwrap();
+            assert_eq!(restored.features(), model.features());
+            assert_eq!(restored.config(), model.config());
+            assert_eq!(restored.n_fit_columns(), model.n_fit_columns());
+            assert_eq!(restored.dim(), model.dim());
+            let a = model.transform(&cols).unwrap();
+            let b = restored.transform(&cols).unwrap();
+            assert_eq!(a.matrix, b.matrix);
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.value_block, b.value_block);
+            assert_eq!(a.header_block, b.header_block);
+        }
+    }
+
+    #[test]
+    fn model_decoding_rejects_version_and_consistency_violations() {
+        let model = GemModel::fit(&corpus(), &GemConfig::fast(), FeatureSet::ds()).unwrap();
+        let tamper = |key: &str, new_value: Json| {
+            let mut pairs = match model.to_json() {
+                Json::Object(pairs) => pairs,
+                _ => unreachable!(),
+            };
+            for pair in pairs.iter_mut() {
+                if pair.0 == key {
+                    pair.1 = new_value.clone();
+                }
+            }
+            Json::Object(pairs)
+        };
+        // Future schema version.
+        let err = GemModel::from_json(&tamper("schema_version", number(99.0))).unwrap_err();
+        assert!(err.message.contains("schema version"), "{err}");
+        // GMM missing although distributional features are selected.
+        assert!(GemModel::from_json(&tamper("gmm", Json::Null)).is_err());
+        // Scaler missing although statistical features are selected.
+        assert!(GemModel::from_json(&tamper("scaler", Json::Null)).is_err());
+        // Scaler present but of the wrong width (internally consistent, so only the
+        // cross-field check can catch it before transform panics).
+        let narrow = FeatureScaler {
+            means: vec![0.0; 6],
+            stds: vec![1.0; 6],
+        };
+        let err = GemModel::from_json(&tamper("scaler", narrow.to_json())).unwrap_err();
+        assert!(err.message.contains("6"), "{err}");
+        // Unsolicited autoencoder.
+        let ae_cfg = GemConfig::fast().with_composition(Composition::Autoencoder {
+            latent_dim: 4,
+            epochs: 10,
+        });
+        let ae_model = GemModel::fit(&corpus(), &ae_cfg, FeatureSet::ds()).unwrap();
+        let mut pairs = match ae_model.to_json() {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        for pair in pairs.iter_mut() {
+            if pair.0 == "config" {
+                pair.1 = GemConfig::fast().to_json();
+            }
+        }
+        assert!(GemModel::from_json(&Json::Object(pairs)).is_err());
+        // The untampered envelope still loads.
+        assert!(GemModel::from_json(&model.to_json()).is_ok());
+    }
+
+    #[test]
+    fn approx_mem_bytes_tracks_fitted_components() {
+        let cols = corpus();
+        let small = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::d()).unwrap();
+        let larger = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::dsc()).unwrap();
+        assert!(small.approx_mem_bytes() > 0);
+        assert!(larger.approx_mem_bytes() > small.approx_mem_bytes());
+        let ae_cfg = GemConfig::fast().with_composition(Composition::Autoencoder {
+            latent_dim: 6,
+            epochs: 10,
+        });
+        let with_ae = GemModel::fit(&cols, &ae_cfg, FeatureSet::dsc()).unwrap();
+        assert!(with_ae.approx_mem_bytes() > larger.approx_mem_bytes());
     }
 
     #[test]

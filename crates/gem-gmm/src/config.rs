@@ -1,5 +1,7 @@
 //! Configuration of the EM fit.
 
+use gem_json::{number, object, string, FromJson, Json, JsonError, ToJson};
+
 /// How the EM algorithm is initialised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitMethod {
@@ -96,6 +98,69 @@ impl GmmConfig {
     }
 }
 
+impl InitMethod {
+    /// Stable persistence name of the scheme.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InitMethod::Random => "random",
+            InitMethod::KMeansPlusPlus => "kmeans++",
+            InitMethod::Quantile => "quantile",
+        }
+    }
+
+    /// Inverse of [`InitMethod::as_str`].
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] for an unknown name.
+    pub fn parse(name: &str) -> Result<Self, JsonError> {
+        match name {
+            "random" => Ok(InitMethod::Random),
+            "kmeans++" => Ok(InitMethod::KMeansPlusPlus),
+            "quantile" => Ok(InitMethod::Quantile),
+            other => Err(JsonError::conversion(format!(
+                "unknown GMM init method `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Persistence of the fit configuration — stored alongside a fitted model so a reloaded
+/// model knows exactly how it was produced. The `seed` is a `u64` but every value that
+/// actually occurs (defaults and test seeds) is exactly representable as an `f64` JSON
+/// number; seeds above 2^53 would lose precision, so they are serialised as a decimal
+/// string instead.
+impl ToJson for GmmConfig {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("n_components", number(self.n_components as f64)),
+            ("tolerance", number(self.tolerance)),
+            ("max_iterations", number(self.max_iterations as f64)),
+            ("n_restarts", number(self.n_restarts as f64)),
+            ("init", string(self.init.as_str())),
+            ("covariance_floor", number(self.covariance_floor)),
+            ("seed", string(self.seed.to_string())),
+        ])
+    }
+}
+
+impl FromJson for GmmConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let seed = value
+            .str_field("seed")?
+            .parse::<u64>()
+            .map_err(|_| JsonError::conversion("field `seed` is not a u64 string"))?;
+        Ok(GmmConfig {
+            n_components: value.num_field("n_components")? as usize,
+            tolerance: value.num_field("tolerance")?,
+            max_iterations: value.num_field("max_iterations")? as usize,
+            n_restarts: value.num_field("n_restarts")? as usize,
+            init: InitMethod::parse(&value.str_field("init")?)?,
+            covariance_floor: value.num_field("covariance_floor")?,
+            seed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +193,37 @@ mod tests {
     fn init_method_equality() {
         assert_eq!(InitMethod::Random, InitMethod::Random);
         assert_ne!(InitMethod::Random, InitMethod::KMeansPlusPlus);
+    }
+
+    #[test]
+    fn config_round_trips_through_json_exactly() {
+        for config in [
+            GmmConfig::default(),
+            GmmConfig::with_components(3)
+                .restarts(4)
+                .with_seed(u64::MAX)
+                .with_init(InitMethod::KMeansPlusPlus)
+                .with_tolerance(1e-7)
+                .with_max_iterations(33),
+            GmmConfig::default().with_init(InitMethod::Random),
+        ] {
+            let text = config.to_json().to_compact_string();
+            let back = GmmConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn config_decoding_rejects_bad_values() {
+        let mut pairs = match GmmConfig::default().to_json() {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        pairs.retain(|(k, _)| k != "init");
+        pairs.push(("init".into(), string("no-such-scheme")));
+        assert!(GmmConfig::from_json(&Json::Object(pairs.clone())).is_err());
+        pairs.retain(|(k, _)| k != "seed");
+        assert!(GmmConfig::from_json(&Json::Object(pairs)).is_err());
+        assert!(InitMethod::parse("quantile").is_ok());
     }
 }

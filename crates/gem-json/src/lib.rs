@@ -516,6 +516,51 @@ pub fn number_array(values: &[f64]) -> Json {
     Json::Array(values.iter().map(|&v| Json::Number(v)).collect())
 }
 
+/// Bit-exact `f64` encoding: the IEEE-754 bit pattern as a 16-digit lower-case hex
+/// string. Decimal shortest-round-trip formatting is exact for finite values but maps
+/// every non-finite value to `null`; the bit encoding preserves *every* `f64` — NaN
+/// payloads, infinities and `-0.0` included — which is what model-weight persistence
+/// needs to guarantee bit-identical outputs after a reload.
+pub fn bits(value: f64) -> Json {
+    Json::String(format!("{:016x}", value.to_bits()))
+}
+
+/// Decode a [`bits`]-encoded `f64`.
+///
+/// # Errors
+/// Returns a [`JsonError`] when the value is not a 16-digit hex string.
+pub fn as_bits(value: &Json) -> Result<f64, JsonError> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| JsonError::conversion("expected a hex-encoded f64 bit pattern"))?;
+    if text.len() != 16 {
+        return Err(JsonError::conversion(
+            "f64 bit pattern must be exactly 16 hex digits",
+        ));
+    }
+    u64::from_str_radix(text, 16)
+        .map(f64::from_bits)
+        .map_err(|_| JsonError::conversion("invalid hex in f64 bit pattern"))
+}
+
+/// Convenience: an array of bit-exact [`bits`]-encoded floats.
+pub fn bits_array(values: &[f64]) -> Json {
+    Json::Array(values.iter().map(|&v| bits(v)).collect())
+}
+
+/// Convenience: parse a JSON array of [`bits`]-encoded floats.
+///
+/// # Errors
+/// Returns a [`JsonError`] when the value is not an array of 16-digit hex strings.
+pub fn as_bits_array(value: &Json) -> Result<Vec<f64>, JsonError> {
+    value
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("expected an array of f64 bit patterns"))?
+        .iter()
+        .map(as_bits)
+        .collect()
+}
+
 /// Convenience: parse a JSON array of numbers.
 ///
 /// # Errors
@@ -621,6 +666,42 @@ mod tests {
     fn non_finite_numbers_serialize_as_null() {
         assert_eq!(Json::Number(f64::NAN).to_compact_string(), "null");
         assert_eq!(Json::Number(f64::INFINITY).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn bits_encoding_round_trips_every_f64_shape() {
+        let specials = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5e-308,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with a payload
+        ];
+        for v in specials {
+            let text = bits(v).to_compact_string();
+            let back = as_bits(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v}");
+        }
+        let arr = bits_array(&specials);
+        let text = arr.to_pretty_string();
+        let back = as_bits_array(&Json::parse(&text).unwrap()).unwrap();
+        for (a, b) in specials.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bits_decoding_rejects_malformed_patterns() {
+        assert!(as_bits(&Json::Number(1.0)).is_err());
+        assert!(as_bits(&string("abc")).is_err());
+        assert!(as_bits(&string("zzzzzzzzzzzzzzzz")).is_err());
+        assert!(as_bits(&string("3ff00000000000000")).is_err()); // 17 digits
+        assert!(as_bits_array(&string("3ff0000000000000")).is_err());
     }
 
     #[test]

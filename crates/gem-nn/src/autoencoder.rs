@@ -86,6 +86,40 @@ impl Autoencoder {
         }
     }
 
+    /// Rebuild an autoencoder from persisted halves. Inference ([`Autoencoder::encode`] /
+    /// [`Autoencoder::reconstruct`]) through the rebuilt model is bit-identical to the
+    /// model the halves came from.
+    ///
+    /// # Panics
+    /// Panics when `config` fails the [`Autoencoder::new`] validation.
+    pub fn from_parts(encoder: Sequential, decoder: Sequential, config: AutoencoderConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(
+            !config.encoder_dims.is_empty() && config.encoder_dims.iter().all(|&d| d > 0),
+            "encoder dimensions must be positive and non-empty"
+        );
+        Autoencoder {
+            encoder,
+            decoder,
+            config,
+        }
+    }
+
+    /// Shared access to the encoder network.
+    pub fn encoder(&self) -> &Sequential {
+        &self.encoder
+    }
+
+    /// Shared access to the decoder network.
+    pub fn decoder(&self) -> &Sequential {
+        &self.decoder
+    }
+
+    /// Total number of trainable parameters across both halves.
+    pub fn n_parameters(&self) -> usize {
+        self.encoder.n_parameters() + self.decoder.n_parameters()
+    }
+
     /// Latent dimensionality.
     pub fn latent_dim(&self) -> usize {
         *self

@@ -51,6 +51,38 @@ impl DenseLayer {
         }
     }
 
+    /// Rebuild a layer from persisted parameters. The training state (cached input,
+    /// gradients, Adam moments) starts empty, exactly like a freshly constructed layer:
+    /// inference through the rebuilt layer is bit-identical to the layer the parameters
+    /// came from, and training can resume from the weights (with reset optimiser
+    /// moments).
+    ///
+    /// # Panics
+    /// Panics when `bias.len() != weights.cols()` or either dimension is zero.
+    pub fn from_parameters(weights: Matrix, bias: Vec<f64>) -> Self {
+        assert!(
+            weights.rows() > 0 && weights.cols() > 0,
+            "layer dimensions must be positive"
+        );
+        assert_eq!(
+            bias.len(),
+            weights.cols(),
+            "bias length must equal the layer's out_dim"
+        );
+        DenseLayer {
+            weights,
+            bias,
+            cached_input: None,
+            grad_weights: None,
+            grad_bias: None,
+            adam_m_w: None,
+            adam_v_w: None,
+            adam_m_b: None,
+            adam_v_b: None,
+            adam_t: 0,
+        }
+    }
+
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
         self.weights.rows()

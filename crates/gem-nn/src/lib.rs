@@ -27,6 +27,7 @@ mod gcn;
 mod layer;
 mod loss;
 mod optimizer;
+mod persist;
 mod sequential;
 
 pub use activation::Activation;

@@ -1,0 +1,343 @@
+//! JSON persistence of trained networks.
+//!
+//! Serving systems cache fitted models and must survive restarts, so every frozen
+//! component the Gem pipeline embeds with — dense layers, sequential stacks, the
+//! composition autoencoder — round-trips through [`gem_json`]. Weights are encoded with
+//! the bit-exact [`gem_json::bits_array`] representation (IEEE-754 bit patterns, not
+//! decimal), so inference through a reloaded network is **bit-identical** to the network
+//! that was saved.
+//!
+//! What is persisted is the *frozen* model: weights, biases, layer structure and the
+//! training hyper-parameters. Transient training state (cached activations, gradients,
+//! Adam moments, dropout masks, RNG position) is deliberately not serialised — a reloaded
+//! network infers identically and can resume training from the weights, but with reset
+//! optimiser moments and a fresh dropout stream.
+
+use crate::activation::Activation;
+use crate::autoencoder::{Autoencoder, AutoencoderConfig};
+use crate::layer::{DenseLayer, Dropout};
+use crate::optimizer::{Optimizer, OptimizerKind};
+use crate::sequential::{Layer, Sequential};
+use gem_json::{number, object, string, FromJson, Json, JsonError, ToJson};
+use gem_numeric::Matrix;
+
+impl Activation {
+    /// Stable persistence name of the activation.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "softmax",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Inverse of [`Activation::as_str`].
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] for an unknown name.
+    pub fn parse(name: &str) -> Result<Self, JsonError> {
+        match name {
+            "relu" => Ok(Activation::Relu),
+            "sigmoid" => Ok(Activation::Sigmoid),
+            "tanh" => Ok(Activation::Tanh),
+            "softmax" => Ok(Activation::Softmax),
+            "identity" => Ok(Activation::Identity),
+            other => Err(JsonError::conversion(format!(
+                "unknown activation `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for Optimizer {
+    fn to_json(&self) -> Json {
+        let kind = match self.kind {
+            OptimizerKind::Sgd => "sgd",
+            OptimizerKind::Adam => "adam",
+        };
+        object(vec![
+            ("kind", string(kind)),
+            ("learning_rate", number(self.learning_rate)),
+        ])
+    }
+}
+
+impl FromJson for Optimizer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = match value.str_field("kind")?.as_str() {
+            "sgd" => OptimizerKind::Sgd,
+            "adam" => OptimizerKind::Adam,
+            other => {
+                return Err(JsonError::conversion(format!(
+                    "unknown optimizer kind `{other}`"
+                )))
+            }
+        };
+        Ok(Optimizer {
+            kind,
+            learning_rate: value.num_field("learning_rate")?,
+        })
+    }
+}
+
+impl ToJson for DenseLayer {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("weights", self.weights.to_json()),
+            ("bias", gem_json::bits_array(&self.bias)),
+        ])
+    }
+}
+
+impl FromJson for DenseLayer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let weights = Matrix::from_json(value.field("weights")?)?;
+        let bias = gem_json::as_bits_array(value.field("bias")?)?;
+        if weights.rows() == 0 || weights.cols() == 0 || bias.len() != weights.cols() {
+            return Err(JsonError::conversion(
+                "dense layer bias length must equal the weight matrix's out_dim",
+            ));
+        }
+        Ok(DenseLayer::from_parameters(weights, bias))
+    }
+}
+
+impl ToJson for Layer {
+    fn to_json(&self) -> Json {
+        match self {
+            Layer::Dense(dense) => {
+                object(vec![("kind", string("dense")), ("params", dense.to_json())])
+            }
+            Layer::Activation(act) => object(vec![
+                ("kind", string("activation")),
+                ("name", string(act.as_str())),
+            ]),
+            Layer::Dropout(drop) => object(vec![
+                ("kind", string("dropout")),
+                ("rate", number(drop.rate)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Layer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.str_field("kind")?.as_str() {
+            "dense" => Ok(Layer::Dense(Box::new(DenseLayer::from_json(
+                value.field("params")?,
+            )?))),
+            "activation" => Ok(Layer::Activation(Activation::parse(
+                &value.str_field("name")?,
+            )?)),
+            "dropout" => {
+                let rate = value.num_field("rate")?;
+                if !(0.0..1.0).contains(&rate) {
+                    return Err(JsonError::conversion("dropout rate must be in [0, 1)"));
+                }
+                Ok(Layer::Dropout(Dropout::new(rate)))
+            }
+            other => Err(JsonError::conversion(format!(
+                "unknown layer kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for Sequential {
+    fn to_json(&self) -> Json {
+        object(vec![(
+            "layers",
+            Json::Array(self.layers().iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for Sequential {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let layers = value
+            .field("layers")?
+            .as_array()
+            .ok_or_else(|| JsonError::conversion("field `layers` is not an array"))?
+            .iter()
+            .map(Layer::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Sequential::from_layers(layers, 0))
+    }
+}
+
+impl ToJson for AutoencoderConfig {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("input_dim", number(self.input_dim as f64)),
+            (
+                "encoder_dims",
+                Json::Array(
+                    self.encoder_dims
+                        .iter()
+                        .map(|&d| number(d as f64))
+                        .collect(),
+                ),
+            ),
+            ("epochs", number(self.epochs as f64)),
+            ("optimizer", self.optimizer.to_json()),
+            ("seed", string(self.seed.to_string())),
+        ])
+    }
+}
+
+impl FromJson for AutoencoderConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let encoder_dims = gem_json::as_number_array(value.field("encoder_dims")?)?
+            .into_iter()
+            .map(|d| d as usize)
+            .collect();
+        let seed = value
+            .str_field("seed")?
+            .parse::<u64>()
+            .map_err(|_| JsonError::conversion("field `seed` is not a u64 string"))?;
+        Ok(AutoencoderConfig {
+            input_dim: value.num_field("input_dim")? as usize,
+            encoder_dims,
+            epochs: value.num_field("epochs")? as usize,
+            optimizer: Optimizer::from_json(value.field("optimizer")?)?,
+            seed,
+        })
+    }
+}
+
+impl ToJson for Autoencoder {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("config", self.config().to_json()),
+            ("encoder", self.encoder().to_json()),
+            ("decoder", self.decoder().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Autoencoder {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let config = AutoencoderConfig::from_json(value.field("config")?)?;
+        if config.input_dim == 0
+            || config.encoder_dims.is_empty()
+            || config.encoder_dims.contains(&0)
+        {
+            return Err(JsonError::conversion(
+                "autoencoder config has degenerate dimensions",
+            ));
+        }
+        Ok(Autoencoder::from_parts(
+            Sequential::from_json(value.field("encoder")?)?,
+            Sequential::from_json(value.field("decoder")?)?,
+            config,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reparse(json: &Json) -> Json {
+        Json::parse(&json.to_pretty_string()).unwrap()
+    }
+
+    #[test]
+    fn dense_layer_round_trips_bit_exactly() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let layer = DenseLayer::new(4, 3, &mut rng);
+        let back = DenseLayer::from_json(&reparse(&layer.to_json())).unwrap();
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 1.1, 0.4]]).unwrap();
+        assert_eq!(layer.infer(&x), back.infer(&x));
+        assert_eq!(layer.weights, back.weights);
+        assert_eq!(layer.bias, back.bias);
+    }
+
+    #[test]
+    fn sequential_round_trip_infers_identically() {
+        let model = Sequential::new(7)
+            .dense(3, 8)
+            .activation(Activation::Tanh)
+            .dropout(0.25)
+            .dense(8, 2)
+            .activation(Activation::Softmax);
+        let back = Sequential::from_json(&reparse(&model.to_json())).unwrap();
+        assert_eq!(back.len(), model.len());
+        assert_eq!(back.n_parameters(), model.n_parameters());
+        let x = Matrix::from_rows(&[vec![0.1, -0.2, 0.3], vec![1.0, 2.0, -3.0]]).unwrap();
+        let (a, b) = (model.infer(&x), back.infer(&x));
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn trained_autoencoder_round_trips_bit_exactly() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 9.0;
+                vec![x.sin(), x.cos(), x.sin() - x.cos(), 0.5 * x.cos()]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let mut cfg = AutoencoderConfig::new(4, 2);
+        cfg.epochs = 80;
+        let mut ae = Autoencoder::new(cfg);
+        ae.fit(&data);
+        let back = Autoencoder::from_json(&reparse(&ae.to_json())).unwrap();
+        assert_eq!(back.latent_dim(), ae.latent_dim());
+        assert_eq!(back.n_parameters(), ae.n_parameters());
+        let (a, b) = (ae.encode(&data), back.encode(&data));
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let (a, b) = (ae.reconstruct(&data), back.reconstruct(&data));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimizer_and_activation_names_round_trip() {
+        for opt in [Optimizer::sgd(0.1), Optimizer::adam(5e-3)] {
+            assert_eq!(Optimizer::from_json(&reparse(&opt.to_json())).unwrap(), opt);
+        }
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Softmax,
+            Activation::Identity,
+        ] {
+            assert_eq!(Activation::parse(act.as_str()).unwrap(), act);
+        }
+        assert!(Activation::parse("gelu").is_err());
+    }
+
+    #[test]
+    fn decoding_rejects_corrupt_layers() {
+        // Unknown layer kind.
+        let bad = object(vec![("kind", string("conv"))]);
+        assert!(Layer::from_json(&bad).is_err());
+        // Bias/width mismatch.
+        let weights = Matrix::zeros(2, 3);
+        let bad = object(vec![
+            ("weights", weights.to_json()),
+            ("bias", gem_json::bits_array(&[0.0, 0.0])),
+        ]);
+        assert!(DenseLayer::from_json(&bad).is_err());
+        // Out-of-range dropout rate.
+        let bad = object(vec![("kind", string("dropout")), ("rate", number(1.5))]);
+        assert!(Layer::from_json(&bad).is_err());
+        // Degenerate autoencoder config.
+        let mut cfg = AutoencoderConfig::new(4, 2);
+        cfg.encoder_dims.clear();
+        let ae_json = object(vec![
+            ("config", cfg.to_json()),
+            ("encoder", Sequential::new(0).to_json()),
+            ("decoder", Sequential::new(0).to_json()),
+        ]);
+        assert!(Autoencoder::from_json(&ae_json).is_err());
+    }
+}

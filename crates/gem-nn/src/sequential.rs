@@ -59,6 +59,36 @@ impl Sequential {
         }
     }
 
+    /// Rebuild a model from persisted layers. The RNG (used only for weight
+    /// initialisation of *new* layers and for training-time dropout masks) is freshly
+    /// seeded with `seed`; inference through the rebuilt model is bit-identical to the
+    /// model the layers came from.
+    pub fn from_layers(layers: Vec<Layer>, seed: u64) -> Self {
+        Sequential {
+            layers,
+            rng: StdRng::seed_from_u64(seed),
+            forward_cache: Vec::new(),
+        }
+    }
+
+    /// The layers in order (dense, activation and dropout alike).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total number of trainable parameters (dense weights + biases).
+    pub fn n_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|layer| match layer {
+                Layer::Dense(dense) => {
+                    dense.weights.rows() * dense.weights.cols() + dense.bias.len()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Append a dense layer.
     pub fn dense(mut self, in_dim: usize, out_dim: usize) -> Self {
         let layer = DenseLayer::new(in_dim, out_dim, &mut self.rng);

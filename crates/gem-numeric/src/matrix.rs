@@ -412,6 +412,30 @@ impl Matrix {
     }
 }
 
+/// Bit-exact JSON persistence: the buffer is encoded with [`gem_json::bits_array`]
+/// (IEEE-754 bit patterns, not decimal), so `from_json(to_json(m))` reproduces every
+/// element bit-for-bit — including NaN payloads and signed zeros. This is the encoding
+/// model persistence uses for trained weights.
+impl gem_json::ToJson for Matrix {
+    fn to_json(&self) -> gem_json::Json {
+        gem_json::object(vec![
+            ("rows", gem_json::number(self.rows as f64)),
+            ("cols", gem_json::number(self.cols as f64)),
+            ("data", gem_json::bits_array(&self.data)),
+        ])
+    }
+}
+
+impl gem_json::FromJson for Matrix {
+    fn from_json(value: &gem_json::Json) -> Result<Self, gem_json::JsonError> {
+        let rows = value.num_field("rows")? as usize;
+        let cols = value.num_field("cols")? as usize;
+        let data = gem_json::as_bits_array(value.field("data")?)?;
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|_| gem_json::JsonError::conversion("matrix data length != rows * cols"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,5 +561,35 @@ mod tests {
         let m = sample();
         let rows = m.clone().into_rows();
         assert_eq!(Matrix::from_rows(&rows).unwrap(), m);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        use gem_json::{FromJson, Json, ToJson};
+        let mut m = sample();
+        m.set(0, 0, -0.0);
+        m.set(1, 2, 1.0 / 3.0);
+        let text = m.to_json().to_pretty_string();
+        let back = Matrix::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Zero-width matrices (empty blocks) survive too.
+        let empty = Matrix::zeros(3, 0);
+        let back = Matrix::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back.shape(), (3, 0));
+    }
+
+    #[test]
+    fn json_decoding_rejects_inconsistent_shapes() {
+        use gem_json::{FromJson, ToJson};
+        let m = sample();
+        let mut pairs = match m.to_json() {
+            gem_json::Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        pairs[0].1 = gem_json::number(5.0); // rows = 5 but data has 6 values
+        assert!(Matrix::from_json(&gem_json::Json::Object(pairs)).is_err());
     }
 }

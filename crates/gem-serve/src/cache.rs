@@ -1,27 +1,107 @@
-//! The fingerprint-keyed, capacity-bounded LRU model cache.
+//! The fingerprint-keyed, bounded, two-tier model cache.
 //!
 //! Fitting a [`GemModel`] is the expensive step of the pipeline (the EM fit over the
 //! stacked corpus); transforming against a fitted model is cheap. A serving system
 //! therefore caches fitted models keyed by [`ModelKey`] — the corpus fingerprint plus
-//! the configuration hash — and evicts least-recently-used models when the configured
-//! capacity is exceeded, bounding resident model memory.
+//! the configuration hash.
+//!
+//! The cache is bounded along three axes ([`CachePolicy`]): an entry-count capacity, an
+//! optional TTL (entries older than the TTL are expired on the next access), and an
+//! optional approximate-memory bound computed from [`GemModel::approx_mem_bytes`].
+//!
+//! Attaching a [`ModelStore`] turns it into a two-tier cache:
+//!
+//! * models evicted for the capacity or memory bound **spill** to the store (a disk
+//!   write instead of losing the fit), and
+//! * a lookup that misses memory **warm-starts** from the store — a deserialisation
+//!   (~ms) instead of an EM re-fit (~90ms on the bench corpus), with bit-identical
+//!   transform output.
+//!
+//! TTL-expired entries are *not* spilled: expiry says the entry has outlived its
+//! freshness budget, so writing it out would just move stale data to disk. Store I/O
+//! failures never fail a lookup — they count in [`CacheStats::store_errors`] and the
+//! cache falls back to the cold path, keeping a broken disk from taking serving down.
 
 use crate::fingerprint::{model_key, ModelKey};
 use gem_core::{FeatureSet, GemColumn, GemConfig, GemError, GemModel};
+use gem_store::ModelStore;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cumulative cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from resident memory.
     pub hits: u64,
-    /// Lookups that found no entry.
+    /// Lookups served by rehydrating a spilled model from the attached store.
+    pub warm_starts: u64,
+    /// Lookups that found the model in neither tier.
     pub misses: u64,
-    /// Entries evicted to respect the capacity bound.
+    /// Entries evicted to respect the capacity or memory bound.
     pub evictions: u64,
+    /// Entries dropped because they outlived the TTL.
+    pub expirations: u64,
+    /// Evicted entries successfully written to the attached store.
+    pub spills: u64,
+    /// Store reads or writes that failed (the lookup then proceeded as a miss).
+    pub store_errors: u64,
 }
 
-/// A capacity-bounded LRU cache of fitted models.
+/// Which tier satisfied a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The model was resident in memory.
+    Memory,
+    /// The model was rehydrated from the attached on-disk store.
+    Disk,
+}
+
+/// Eviction policy of a [`ModelCache`]. `capacity` always applies; the TTL and memory
+/// bounds are opt-in.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePolicy {
+    /// Maximum number of resident models.
+    pub capacity: usize,
+    /// Entries older than this are expired (checked on every access). `None` disables.
+    pub ttl: Option<Duration>,
+    /// Approximate resident-memory bound over [`GemModel::approx_mem_bytes`]. When
+    /// exceeded, least-recently-used entries are evicted — but the most recently used
+    /// entry always stays, so a single over-budget model still serves. `None` disables.
+    pub max_bytes: Option<u64>,
+}
+
+impl CachePolicy {
+    /// Capacity-only policy (the PR 2 behaviour).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CachePolicy {
+            capacity,
+            ttl: None,
+            max_bytes: None,
+        }
+    }
+
+    /// Builder-style TTL bound.
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Builder-style approximate-memory bound.
+    pub fn max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: ModelKey,
+    model: Arc<GemModel>,
+    inserted_at: Instant,
+    bytes: u64,
+}
+
+/// A bounded LRU cache of fitted models, optionally backed by an on-disk store tier.
 ///
 /// Models are stored behind [`Arc`] so a cache hit hands out a shared handle: transforms
 /// can proceed on many threads while the cache itself is only locked for the (cheap)
@@ -30,56 +110,163 @@ pub struct CacheStats {
 /// hash map plus intrusive list.
 #[derive(Debug)]
 pub struct ModelCache {
-    capacity: usize,
+    policy: CachePolicy,
     /// Most recently used first.
-    entries: Vec<(ModelKey, Arc<GemModel>)>,
+    entries: Vec<Entry>,
+    store: Option<Arc<ModelStore>>,
     stats: CacheStats,
 }
 
 impl ModelCache {
-    /// Create a cache holding at most `capacity` fitted models.
+    /// Create a capacity-bounded cache holding at most `capacity` fitted models.
     ///
     /// # Panics
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "model cache capacity must be positive");
+        Self::with_policy(CachePolicy::with_capacity(capacity))
+    }
+
+    /// Create a cache with a full eviction policy.
+    ///
+    /// # Panics
+    /// Panics when `policy.capacity` is zero.
+    pub fn with_policy(policy: CachePolicy) -> Self {
+        assert!(policy.capacity > 0, "model cache capacity must be positive");
         ModelCache {
-            capacity,
+            policy,
             entries: Vec::new(),
+            store: None,
             stats: CacheStats::default(),
         }
     }
 
-    /// Look up a model, marking it most recently used on a hit.
-    pub fn get(&mut self, key: ModelKey) -> Option<Arc<GemModel>> {
-        match self.entries.iter().position(|(k, _)| *k == key) {
-            Some(pos) => {
-                self.stats.hits += 1;
-                let entry = self.entries.remove(pos);
-                let model = Arc::clone(&entry.1);
-                self.entries.insert(0, entry);
-                Some(model)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+    /// Attach an on-disk store as the second tier: capacity/memory evictions spill to
+    /// it and lookups that miss memory warm-start from it.
+    pub fn with_store(mut self, store: Arc<ModelStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
-    /// Insert (or refresh) a model as most recently used, evicting from the LRU end when
-    /// the capacity is exceeded.
-    pub fn insert(&mut self, key: ModelKey, model: Arc<GemModel>) {
-        self.entries.retain(|(k, _)| *k != key);
-        self.entries.insert(0, (key, model));
-        while self.entries.len() > self.capacity {
-            self.entries.pop();
+    /// The attached store tier, if any.
+    pub fn store(&self) -> Option<&Arc<ModelStore>> {
+        self.store.as_ref()
+    }
+
+    /// Drop entries that outlived the TTL. Called on every access so expiry needs no
+    /// background thread; expired entries are not spilled (they are stale by policy).
+    fn expire(&mut self) {
+        let Some(ttl) = self.policy.ttl else {
+            return;
+        };
+        let before = self.entries.len();
+        self.entries.retain(|e| e.inserted_at.elapsed() < ttl);
+        self.stats.expirations += (before - self.entries.len()) as u64;
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Evict from the LRU end until the capacity and memory bounds hold, spilling each
+    /// eviction to the store tier. The memory bound never evicts the final entry: a
+    /// single model larger than the budget must still be servable.
+    fn enforce_bounds(&mut self) {
+        while self.entries.len() > self.policy.capacity
+            || (self.entries.len() > 1
+                && self
+                    .policy
+                    .max_bytes
+                    .is_some_and(|max| self.resident_bytes() > max))
+        {
+            let evicted = self.entries.pop().expect("loop guard ensures non-empty");
             self.stats.evictions += 1;
+            self.spill(&evicted);
         }
     }
 
-    /// Fetch the model for (`columns`, `config`, `features`), fitting and caching it on a
-    /// miss. Returns the model and whether it was served from the cache.
+    fn spill(&mut self, entry: &Entry) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        // The fit is deterministic in (corpus, config), so an existing snapshot is
+        // already identical — skip the rewrite.
+        if store.contains(entry.key) {
+            return;
+        }
+        match store.save(entry.key, &entry.model) {
+            Ok(_) => self.stats.spills += 1,
+            Err(_) => self.stats.store_errors += 1,
+        }
+    }
+
+    /// Look up a model, marking it most recently used on a hit and reporting which tier
+    /// satisfied the lookup. A memory miss consults the store tier (when attached):
+    /// a rehydrated model is inserted as most recently used and returned as
+    /// [`CacheTier::Disk`]. Store read failures count as [`CacheStats::store_errors`]
+    /// and degrade to a miss; a snapshot rejected as *corrupt* is additionally deleted,
+    /// so the next eviction of a freshly fitted model re-writes a good one (without the
+    /// delete, `spill`'s existence check would preserve the bad file forever). Version
+    /// mismatches are kept — they may belong to a newer deployment sharing the store.
+    pub fn get_with_tier(&mut self, key: ModelKey) -> Option<(Arc<GemModel>, CacheTier)> {
+        self.expire();
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            self.stats.hits += 1;
+            let entry = self.entries.remove(pos);
+            let model = Arc::clone(&entry.model);
+            self.entries.insert(0, entry);
+            return Some((model, CacheTier::Memory));
+        }
+        if let Some(store) = &self.store {
+            match store.load(key) {
+                Ok(Some(model)) => {
+                    self.stats.warm_starts += 1;
+                    let model = Arc::new(model);
+                    self.insert_resident(key, Arc::clone(&model));
+                    return Some((model, CacheTier::Disk));
+                }
+                Ok(None) => {}
+                Err(error) => {
+                    self.stats.store_errors += 1;
+                    if matches!(error, gem_store::StoreError::Corrupt { .. }) {
+                        let _ = store.remove(key);
+                    }
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Look up a model, marking it most recently used on a hit (either tier).
+    pub fn get(&mut self, key: ModelKey) -> Option<Arc<GemModel>> {
+        self.get_with_tier(key).map(|(model, _)| model)
+    }
+
+    fn insert_resident(&mut self, key: ModelKey, model: Arc<GemModel>) {
+        self.entries.retain(|e| e.key != key);
+        let bytes = model.approx_mem_bytes();
+        self.entries.insert(
+            0,
+            Entry {
+                key,
+                model,
+                inserted_at: Instant::now(),
+                bytes,
+            },
+        );
+        self.enforce_bounds();
+    }
+
+    /// Insert (or refresh) a model as most recently used, evicting from the LRU end
+    /// (spilling to the store tier) when the capacity or memory bound is exceeded.
+    pub fn insert(&mut self, key: ModelKey, model: Arc<GemModel>) {
+        self.expire();
+        self.insert_resident(key, model);
+    }
+
+    /// Fetch the model for (`columns`, `config`, `features`): from memory, else from the
+    /// store tier, else by fitting (and caching) it. Returns the model and whether a fit
+    /// was avoided (either tier).
     ///
     /// # Errors
     /// Propagates the [`GemError`] of a failed fit; failures are not cached.
@@ -98,32 +285,43 @@ impl ModelCache {
         Ok((model, false))
     }
 
-    /// Whether a model for `key` is currently cached (does not touch recency or stats).
+    /// Whether a model for `key` is currently resident in memory (does not consult the
+    /// store tier and does not touch recency or stats).
     pub fn contains(&self, key: ModelKey) -> bool {
-        self.entries.iter().any(|(k, _)| *k == key)
+        self.entries.iter().any(|e| e.key == key)
     }
 
-    /// Number of cached models.
+    /// Number of resident models.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether no models are resident.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// The capacity bound.
+    /// The entry-count capacity bound.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.policy.capacity
     }
 
-    /// Cumulative hit/miss/eviction counters.
+    /// The full eviction policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Approximate resident memory of the cached models, in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        self.resident_bytes()
+    }
+
+    /// Cumulative counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Drop every cached model (counters are kept).
+    /// Drop every resident model without spilling (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -146,6 +344,29 @@ mod tests {
             .collect()
     }
 
+    struct TempStore {
+        dir: std::path::PathBuf,
+        store: Arc<ModelStore>,
+    }
+
+    impl TempStore {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "gem-serve-cache-test-{}-{name}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(ModelStore::open(&dir).unwrap());
+            TempStore { dir, store }
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
     #[test]
     fn hit_miss_and_stats() {
         let mut cache = ModelCache::new(2);
@@ -164,6 +385,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
         assert_eq!(cache.capacity(), 2);
+        assert!(cache.approx_bytes() > 0);
     }
 
     #[test]
@@ -249,5 +471,177 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         ModelCache::new(0);
+    }
+
+    #[test]
+    fn ttl_expires_entries_and_counts_expirations() {
+        let cfg = GemConfig::fast();
+        // Zero TTL: every entry is already expired at the next access.
+        let mut cache = ModelCache::with_policy(CachePolicy::with_capacity(4).ttl(Duration::ZERO));
+        let key = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(cache.get(key).is_none(), "zero TTL must expire immediately");
+        assert_eq!(cache.stats().expirations, 1);
+        assert_eq!(cache.stats().misses, 2); // cold lookup + post-expiry lookup
+                                             // A generous TTL keeps entries alive.
+        let mut cache =
+            ModelCache::with_policy(CachePolicy::with_capacity(4).ttl(Duration::from_secs(3600)));
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(cache.get(key).is_some());
+        assert_eq!(cache.stats().expirations, 0);
+    }
+
+    #[test]
+    fn memory_bound_evicts_lru_but_never_the_newest_entry() {
+        let cfg = GemConfig::fast();
+        // A 1-byte budget forces every insert over budget; the newest entry must
+        // survive anyway so the cache can still serve.
+        let mut cache = ModelCache::with_policy(CachePolicy::with_capacity(10).max_bytes(1));
+        let k1 = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        let k2 = model_key(&corpus(2), &cfg, FeatureSet::ds());
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert_eq!(cache.len(), 1, "single over-budget entry stays resident");
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.contains(k1), "older entry evicted for memory");
+        assert!(cache.contains(k2));
+        assert_eq!(cache.stats().evictions, 1);
+        // A budget comfortably above both models keeps both.
+        let mut cache =
+            ModelCache::with_policy(CachePolicy::with_capacity(10).max_bytes(64 * 1024 * 1024));
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evictions_spill_to_the_store_and_misses_warm_start_from_it() {
+        let tmp = TempStore::new("spill");
+        let cfg = GemConfig::fast();
+        let k1 = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        let mut cache = ModelCache::new(1).with_store(Arc::clone(&tmp.store));
+        let (fitted, _) = cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        // Second model evicts the first, which spills to disk.
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(!cache.contains(k1));
+        assert_eq!(cache.stats().spills, 1);
+        assert!(tmp.store.contains(k1));
+        // The next lookup warm-starts from disk — no fit — and the rehydrated model
+        // transforms bit-identically.
+        let (model, tier) = cache.get_with_tier(k1).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(cache.stats().warm_starts, 1);
+        assert!(cache.contains(k1), "warm-started model becomes resident");
+        let cols = corpus(1);
+        assert_eq!(
+            model.transform(&cols).unwrap().matrix,
+            fitted.transform(&cols).unwrap().matrix
+        );
+        // A fresh cache (fresh process) over the same store warm-starts too: the fit
+        // survives the restart.
+        let mut fresh = ModelCache::new(2).with_store(Arc::clone(&tmp.store));
+        let (_, avoided_fit) = fresh
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(avoided_fit, "restart must not re-pay the EM fit");
+        assert_eq!(fresh.stats().warm_starts, 1);
+        assert_eq!(fresh.stats().misses, 0);
+    }
+
+    #[test]
+    fn spilling_skips_keys_already_on_disk() {
+        let tmp = TempStore::new("skip");
+        let cfg = GemConfig::fast();
+        let mut cache = ModelCache::new(1).with_store(Arc::clone(&tmp.store));
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap(); // spills corpus 1
+                       // Warm-start corpus 1 back in (evicting + spilling corpus 2), then evict
+                       // corpus 1 again: its snapshot already exists, so no second spill.
+        let k1 = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        assert!(cache.get(k1).is_some());
+        cache
+            .get_or_fit(&corpus(3), &cfg, FeatureSet::ds())
+            .unwrap(); // evicts corpus 1 again
+        assert_eq!(
+            cache.stats().spills,
+            2,
+            "corpus 1 spilled once, corpus 2 once"
+        );
+        assert_eq!(tmp.store.stats().unwrap().entries, 2);
+    }
+
+    #[test]
+    fn corrupt_store_entries_degrade_to_a_cold_fit() {
+        let tmp = TempStore::new("corrupt");
+        let cfg = GemConfig::fast();
+        let key = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        let mut cache = ModelCache::new(1).with_store(Arc::clone(&tmp.store));
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        cache
+            .get_or_fit(&corpus(2), &cfg, FeatureSet::ds())
+            .unwrap(); // spill corpus 1
+        std::fs::write(tmp.store.path_of(key), "{ not json").unwrap();
+        // The lookup surfaces no error: the corrupt snapshot counts a store_error, is
+        // deleted (so it cannot shadow future spills), and the caller proceeds to a
+        // cold fit.
+        assert!(cache.get(key).is_none());
+        assert_eq!(cache.stats().store_errors, 1);
+        assert!(
+            !tmp.store.contains(key),
+            "corrupt snapshot must be deleted, not preserved"
+        );
+        let (_, avoided_fit) = cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(!avoided_fit, "corrupt snapshot must fall back to fitting");
+        // Evicting the re-fitted model now re-writes a good snapshot in its place.
+        cache
+            .get_or_fit(&corpus(3), &cfg, FeatureSet::ds())
+            .unwrap();
+        assert!(tmp.store.contains(key), "eviction repairs the snapshot");
+        assert!(tmp.store.load(key).unwrap().is_some());
+    }
+
+    #[test]
+    fn ttl_expiry_does_not_spill() {
+        let tmp = TempStore::new("no-spill-on-expiry");
+        let cfg = GemConfig::fast();
+        let mut cache = ModelCache::with_policy(CachePolicy::with_capacity(4).ttl(Duration::ZERO))
+            .with_store(Arc::clone(&tmp.store));
+        cache
+            .get_or_fit(&corpus(1), &cfg, FeatureSet::ds())
+            .unwrap();
+        let key = model_key(&corpus(1), &cfg, FeatureSet::ds());
+        assert!(cache.get(key).is_none()); // expired
+        assert_eq!(cache.stats().expirations, 1);
+        assert_eq!(
+            cache.stats().spills,
+            0,
+            "expired entries are stale, not spilled"
+        );
+        assert_eq!(tmp.store.stats().unwrap().entries, 0);
     }
 }

@@ -7,9 +7,10 @@
 //! that makes repeated serving tractable. Distinct cold models are themselves fitted in
 //! parallel, and every transform in the batch runs in parallel, both via `gem-parallel`.
 
-use crate::cache::{CacheStats, ModelCache};
+use crate::cache::{CachePolicy, CacheStats, CacheTier, ModelCache};
 use crate::fingerprint::ModelKey;
 use gem_core::{FeatureSet, GemColumn, GemConfig, GemEmbedding, GemError, GemModel};
+use gem_store::ModelStore;
 use std::sync::{Arc, Mutex};
 
 /// One embed request: embed `queries` against the model fitted on `corpus` (or embed the
@@ -58,14 +59,28 @@ impl EngineRequest {
     }
 }
 
+/// Where the model that served a request came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// This batch fitted the model (or the fit failed).
+    ColdFit,
+    /// The model was resident in the in-memory cache.
+    MemoryCache,
+    /// The model was rehydrated from the on-disk store (warm start: deserialisation
+    /// instead of an EM re-fit).
+    DiskStore,
+}
+
 /// The outcome of one request.
 #[derive(Debug)]
 pub struct EngineResponse {
     /// The embedding (or the fit/transform error).
     pub embedding: Result<GemEmbedding, GemError>,
-    /// Whether the model was served from the cache (`false` when this batch fitted it,
-    /// or when the fit failed).
+    /// Whether a fit was avoided — the model came from either cache tier (`false` when
+    /// this batch fitted it, or when the fit failed).
     pub cache_hit: bool,
+    /// Which tier (or cold fit) produced the model.
+    pub served_from: ServedFrom,
 }
 
 /// Groups requests per model, fits each distinct cold model once (in parallel), caches
@@ -82,9 +97,31 @@ impl BatchEngine {
     /// # Panics
     /// Panics when `cache_capacity` is zero.
     pub fn new(cache_capacity: usize) -> Self {
+        Self::with_policy(CachePolicy::with_capacity(cache_capacity))
+    }
+
+    /// An engine with a full cache eviction policy (capacity, TTL, memory bound).
+    ///
+    /// # Panics
+    /// Panics when `policy.capacity` is zero.
+    pub fn with_policy(policy: CachePolicy) -> Self {
         BatchEngine {
-            cache: Mutex::new(ModelCache::new(cache_capacity)),
+            cache: Mutex::new(ModelCache::with_policy(policy)),
             parallel: true,
+        }
+    }
+
+    /// Attach an on-disk store as the cache's second tier: evictions spill to it and
+    /// misses warm-start from it before falling back to a cold fit.
+    pub fn with_store(self, store: Arc<ModelStore>) -> Self {
+        let cache = self
+            .cache
+            .into_inner()
+            .expect("model cache lock poisoned")
+            .with_store(store);
+        BatchEngine {
+            cache: Mutex::new(cache),
+            parallel: self.parallel,
         }
     }
 
@@ -127,12 +164,14 @@ impl BatchEngine {
             })
             .collect();
 
-        // Phase 1: cache lookups.
-        let mut resolved: Vec<Option<Arc<GemModel>>> = Vec::with_capacity(requests.len());
+        // Phase 1: cache lookups, both tiers (a disk warm-start is a deserialisation,
+        // far cheaper than the EM fit it replaces, so it stays inside the lock).
+        let mut resolved: Vec<Option<(Arc<GemModel>, CacheTier)>> =
+            Vec::with_capacity(requests.len());
         {
             let mut cache = self.cache.lock().expect("model cache lock poisoned");
             for &key in &keys {
-                resolved.push(cache.get(key));
+                resolved.push(cache.get_with_tier(key));
             }
         }
 
@@ -162,22 +201,23 @@ impl BatchEngine {
         }
 
         // Phase 4: transforms, fanned out over the whole batch.
-        let jobs: Vec<(usize, Result<Arc<GemModel>, GemError>, bool)> = resolved
+        let jobs: Vec<(usize, Result<Arc<GemModel>, GemError>, ServedFrom)> = resolved
             .into_iter()
             .enumerate()
             .map(|(i, cached)| match cached {
-                Some(model) => (i, Ok(model), true),
+                Some((model, CacheTier::Memory)) => (i, Ok(model), ServedFrom::MemoryCache),
+                Some((model, CacheTier::Disk)) => (i, Ok(model), ServedFrom::DiskStore),
                 None => {
                     let fit = fitted
                         .iter()
                         .find(|(k, _)| *k == keys[i])
                         .map(|(_, r)| r.clone())
                         .expect("every missing key was fitted");
-                    (i, fit, false)
+                    (i, fit, ServedFrom::ColdFit)
                 }
             })
             .collect();
-        gem_parallel::par_map(&jobs, self.parallel, |(i, model, cache_hit)| {
+        gem_parallel::par_map(&jobs, self.parallel, |(i, model, served_from)| {
             let request = &requests[*i];
             let embedding =
                 model
@@ -189,7 +229,8 @@ impl BatchEngine {
                     });
             EngineResponse {
                 embedding,
-                cache_hit: *cache_hit,
+                cache_hit: !matches!(served_from, ServedFrom::ColdFit),
+                served_from: *served_from,
             }
         })
     }
@@ -332,6 +373,78 @@ mod tests {
             assert!(!r.cache_hit);
         }
         assert_eq!(engine.cached_models(), 0);
+    }
+
+    /// Removes the wrapped directory even when the test's assertions fail.
+    struct DirGuard(std::path::PathBuf);
+
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn engine_warm_starts_from_the_store_across_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "gem-serve-engine-test-{}-warm-start",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = DirGuard(dir.clone());
+        let store = Arc::new(ModelStore::open(&dir).unwrap());
+        let cfg = GemConfig::fast();
+        let shared = corpus(7);
+
+        // Process 1: fit, then force a spill by overflowing the capacity-1 cache.
+        let engine = BatchEngine::new(1).with_store(Arc::clone(&store));
+        let first = engine.run_one(EngineRequest::corpus_only(
+            cfg.clone(),
+            FeatureSet::ds(),
+            Arc::clone(&shared),
+        ));
+        assert_eq!(first.served_from, ServedFrom::ColdFit);
+        engine.run_one(EngineRequest::corpus_only(
+            cfg.clone(),
+            FeatureSet::ds(),
+            corpus(8),
+        ));
+        assert_eq!(engine.cache_stats().spills, 1);
+
+        // "Process 2": a fresh engine over the same store directory. The lookup
+        // warm-starts from disk — no EM fit — and the output is bit-identical.
+        let restarted = BatchEngine::new(4).with_store(store);
+        let warm = restarted.run_one(EngineRequest::corpus_only(
+            cfg,
+            FeatureSet::ds(),
+            Arc::clone(&shared),
+        ));
+        assert_eq!(warm.served_from, ServedFrom::DiskStore);
+        assert!(warm.cache_hit);
+        assert_eq!(restarted.cache_stats().warm_starts, 1);
+        assert_eq!(restarted.cache_stats().misses, 0);
+        assert_eq!(
+            warm.embedding.unwrap().matrix,
+            first.embedding.unwrap().matrix
+        );
+    }
+
+    #[test]
+    fn engine_respects_a_full_cache_policy() {
+        use std::time::Duration;
+        let engine =
+            BatchEngine::with_policy(crate::CachePolicy::with_capacity(4).ttl(Duration::ZERO));
+        let cfg = GemConfig::fast();
+        let shared = corpus(1);
+        engine.run_one(EngineRequest::corpus_only(
+            cfg.clone(),
+            FeatureSet::ds(),
+            Arc::clone(&shared),
+        ));
+        // Zero TTL: the follow-up request finds an expired entry and re-fits.
+        let again = engine.run_one(EngineRequest::corpus_only(cfg, FeatureSet::ds(), shared));
+        assert_eq!(again.served_from, ServedFrom::ColdFit);
+        assert_eq!(engine.cache_stats().expirations, 1);
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //!
 //! * [`fingerprint`] — deterministic [`ModelKey`]s: an FNV-1a corpus fingerprint (every
 //!   value bit, every header byte, column order) combined with a configuration hash. Two
-//!   requests share a key exactly when they can share a fitted model.
-//! * [`ModelCache`] — a capacity-bounded LRU of fitted models behind [`std::sync::Arc`],
-//!   with hit/miss/eviction counters. The expensive EM fit is paid once per distinct
-//!   corpus+configuration while it stays resident.
+//!   requests share a key exactly when they can share a fitted model. (Hosted by
+//!   `gem-store`, re-exported here unchanged: the cache key doubles as the on-disk
+//!   address.)
+//! * [`ModelCache`] — a bounded LRU of fitted models behind [`std::sync::Arc`]:
+//!   capacity-, TTL- and approximate-memory-bounded ([`CachePolicy`]), with
+//!   hit/miss/eviction/expiration counters. Attach a [`gem_store::ModelStore`] and the
+//!   cache becomes two-tiered: models evicted for capacity/memory **spill** to disk, and
+//!   a lookup that misses memory **warm-starts** from disk — deserialisation instead of
+//!   an EM re-fit, with bit-identical transforms.
 //! * [`BatchEngine`] — groups a batch of embed requests per model, fits each distinct
 //!   cold model once (distinct fits in parallel), publishes the fits to the cache, and
 //!   fans every transform out across threads via `gem-parallel`.
@@ -45,10 +50,13 @@
 
 mod cache;
 mod engine;
-pub mod fingerprint;
 mod service;
 
-pub use cache::{CacheStats, ModelCache};
-pub use engine::{BatchEngine, EngineRequest, EngineResponse};
-pub use fingerprint::{config_fingerprint, corpus_fingerprint, model_key, ModelKey};
+pub use cache::{CachePolicy, CacheStats, CacheTier, ModelCache};
+pub use engine::{BatchEngine, EngineRequest, EngineResponse, ServedFrom};
+pub use gem_store::fingerprint;
+pub use gem_store::{
+    config_fingerprint, corpus_fingerprint, model_key, GcPolicy, ModelKey, ModelStore, StoreError,
+    StoreStats,
+};
 pub use service::{EmbedService, ServeRequest, ServeResponse};

@@ -8,11 +8,13 @@
 //! nature (they have no fit/transform seam) and are dispatched straight to the registry,
 //! still fanned out across threads per batch.
 
-use crate::engine::{BatchEngine, EngineRequest};
+use crate::cache::CachePolicy;
+use crate::engine::{BatchEngine, EngineRequest, ServedFrom};
 use gem_core::{
     gem_family_variants, FeatureSet, GemColumn, GemConfig, GemError, GemVariant, MethodRegistry,
 };
 use gem_numeric::Matrix;
+use gem_store::ModelStore;
 use std::sync::Arc;
 
 /// One serving request: embed `queries` (or the corpus itself) with the method named
@@ -62,9 +64,12 @@ pub struct ServeResponse {
     pub method: String,
     /// One embedding row per requested column, or the error.
     pub matrix: Result<Matrix, GemError>,
-    /// Whether a cached model served the request (always `false` for methods without a
-    /// fit/transform seam).
+    /// Whether a cached model (either tier) served the request (always `false` for
+    /// methods without a fit/transform seam).
     pub cache_hit: bool,
+    /// Which tier produced the model — [`ServedFrom::ColdFit`] for methods without a
+    /// fit/transform seam (they compute fresh by nature) and for unknown methods.
+    pub served_from: ServedFrom,
 }
 
 /// Serves embed requests for any registered method by name, accelerating Gem variants
@@ -85,12 +90,28 @@ impl EmbedService {
     /// # Panics
     /// Panics when `cache_capacity` is zero.
     pub fn new(registry: MethodRegistry, cache_capacity: usize) -> Self {
+        Self::with_policy(registry, CachePolicy::with_capacity(cache_capacity))
+    }
+
+    /// A service with a full cache eviction policy (capacity, TTL, memory bound).
+    ///
+    /// # Panics
+    /// Panics when `policy.capacity` is zero.
+    pub fn with_policy(registry: MethodRegistry, policy: CachePolicy) -> Self {
         EmbedService {
             registry,
-            engine: BatchEngine::new(cache_capacity),
+            engine: BatchEngine::with_policy(policy),
             variants: Vec::new(),
             parallel: true,
         }
+    }
+
+    /// Attach an on-disk model store as the cache's second tier: models evicted from
+    /// memory spill to it, and cache misses warm-start from it (deserialisation instead
+    /// of an EM re-fit) before falling back to a cold fit.
+    pub fn with_store(mut self, store: Arc<ModelStore>) -> Self {
+        self.engine = self.engine.with_store(store);
+        self
     }
 
     /// Disable (or re-enable) thread fan-out; results are identical either way.
@@ -247,12 +268,14 @@ impl EmbedService {
                         method,
                         matrix: response.embedding.map(|e| e.matrix),
                         cache_hit: response.cache_hit,
+                        served_from: response.served_from,
                     }
                 }
                 Plan::Registry { method, .. } => ServeResponse {
                     method,
                     matrix: registry_result.expect("registry plan produced a result"),
                     cache_hit: false,
+                    served_from: ServedFrom::ColdFit,
                 },
                 Plan::Unknown { method } => {
                     let err = GemError::UnknownMethod(method.clone());
@@ -260,6 +283,7 @@ impl EmbedService {
                         method,
                         matrix: Err(err),
                         cache_hit: false,
+                        served_from: ServedFrom::ColdFit,
                     }
                 }
             })
@@ -428,6 +452,51 @@ mod tests {
                 variant.name
             );
         }
+    }
+
+    /// Removes the wrapped directory even when the test's assertions fail.
+    struct DirGuard(std::path::PathBuf);
+
+    impl Drop for DirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn service_warm_starts_from_an_attached_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "gem-serve-service-test-{}-warm-start",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = DirGuard(dir.clone());
+        let store = Arc::new(ModelStore::open(&dir).unwrap());
+        let config = GemConfig::fast();
+        let cols = corpus();
+
+        // Incarnation 1: fit and spill by overflowing a capacity-1 cache.
+        let mut service = EmbedService::with_policy(
+            MethodRegistry::with_gem(&config),
+            CachePolicy::with_capacity(1),
+        )
+        .with_store(Arc::clone(&store));
+        service.register_gem_family(&config);
+        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&cols)));
+        assert_eq!(cold.served_from, ServedFrom::ColdFit);
+        service.serve_one(ServeRequest::new("Gem", Arc::clone(&cols))); // evicts + spills D+S
+        assert!(service.cache_stats().spills >= 1);
+
+        // Incarnation 2: a fresh service over the same store. The first request is a
+        // disk warm start, not a re-fit, and the output is bit-identical.
+        let mut restarted =
+            EmbedService::new(MethodRegistry::with_gem(&config), 4).with_store(Arc::clone(&store));
+        restarted.register_gem_family(&config);
+        let warm = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&cols)));
+        assert_eq!(warm.served_from, ServedFrom::DiskStore);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.matrix.unwrap(), cold.matrix.unwrap());
+        assert_eq!(restarted.cache_stats().warm_starts, 1);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Operate an on-disk model store from the command line.
+//!
+//! ```sh
+//! store list <dir>                      # entries, oldest first
+//! store stats <dir>                     # entry count and total bytes
+//! store inspect <dir> <fingerprint>     # validate one snapshot and summarise the model
+//! store gc <dir> [--max-age-secs N] [--max-entries N] [--max-bytes N] [--dry-run]
+//! ```
+//!
+//! `<fingerprint>` is the hex key a snapshot files under (`<corpus>-<config>`, as
+//! printed by `store list`). `gc` with no bounds removes nothing; `--dry-run` prints
+//! what would be removed without deleting.
+
+use gem_core::Composition;
+use gem_store::{GcPolicy, ModelKey, ModelStore, StoreEntry};
+use std::process::ExitCode;
+use std::time::{Duration, SystemTime};
+
+fn age_of(entry: &StoreEntry) -> String {
+    match SystemTime::now().duration_since(entry.modified) {
+        Ok(age) => format!("{:.0}s", age.as_secs_f64()),
+        Err(_) => "future".to_string(),
+    }
+}
+
+fn list(store: &ModelStore) -> Result<(), String> {
+    let entries = store.list().map_err(|e| e.to_string())?;
+    println!("{:<33} {:>10} {:>8}", "fingerprint", "bytes", "age");
+    for entry in &entries {
+        println!(
+            "{:<33} {:>10} {:>8}",
+            entry.key.to_hex(),
+            entry.bytes,
+            age_of(entry)
+        );
+    }
+    println!("{} entries", entries.len());
+    Ok(())
+}
+
+fn stats(store: &ModelStore) -> Result<(), String> {
+    let stats = store.stats().map_err(|e| e.to_string())?;
+    println!(
+        "{} entries, {} bytes ({})",
+        stats.entries,
+        stats.total_bytes,
+        store.dir().display()
+    );
+    Ok(())
+}
+
+fn inspect(store: &ModelStore, fingerprint: &str) -> Result<(), String> {
+    let key = ModelKey::from_hex(fingerprint)
+        .ok_or_else(|| format!("`{fingerprint}` is not a <corpus>-<config> hex fingerprint"))?;
+    let model = store
+        .load(key)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no snapshot for {fingerprint}"))?;
+    println!("fingerprint:    {}", key.to_hex());
+    println!("path:           {}", store.path_of(key).display());
+    println!("features:       {}", model.features().label());
+    println!("composition:    {}", model.config().composition.label());
+    match model.gmm() {
+        Some(gmm) => println!("gmm:            {} components", gmm.n_components()),
+        None => println!("gmm:            (not fitted — no distributional features)"),
+    }
+    println!(
+        "scaler:         {}",
+        if model.scaler().is_some() {
+            "fitted"
+        } else {
+            "(not fitted — no statistical features)"
+        }
+    );
+    if let Composition::Autoencoder { latent_dim, .. } = model.config().composition {
+        println!("autoencoder:    latent dim {latent_dim}");
+    }
+    println!("fit columns:    {}", model.n_fit_columns());
+    println!("embedding dim:  {}", model.dim());
+    println!(
+        "approx memory:  {} bytes resident",
+        model.approx_mem_bytes()
+    );
+    Ok(())
+}
+
+fn gc(store: &ModelStore, args: &[String]) -> Result<(), String> {
+    let mut policy = GcPolicy::default();
+    let mut dry_run = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut parse = |name: &str| -> Result<u64, String> {
+            iter.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("{name} needs a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--max-age-secs" => {
+                policy.max_age = Some(Duration::from_secs(parse("--max-age-secs")?))
+            }
+            "--max-entries" => policy.max_entries = Some(parse("--max-entries")? as usize),
+            "--max-bytes" => policy.max_total_bytes = Some(parse("--max-bytes")?),
+            "--dry-run" => dry_run = true,
+            other => return Err(format!("unknown gc flag `{other}`")),
+        }
+    }
+    let removed = if dry_run {
+        store.gc_plan(&policy).map_err(|e| e.to_string())?
+    } else {
+        store.gc(&policy).map_err(|e| e.to_string())?
+    };
+    let verb = if dry_run { "would remove" } else { "removed" };
+    for entry in &removed {
+        println!("{verb} {} ({} bytes)", entry.key.to_hex(), entry.bytes);
+    }
+    println!("{} entries {verb}", removed.len());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: store <list|stats|inspect|gc> <dir> [args]\n  \
+                 store list <dir>\n  \
+                 store stats <dir>\n  \
+                 store inspect <dir> <fingerprint>\n  \
+                 store gc <dir> [--max-age-secs N] [--max-entries N] [--max-bytes N] [--dry-run]";
+    let (command, dir) = match (args.first(), args.get(1)) {
+        (Some(command), Some(dir)) => (command.as_str(), dir),
+        _ => return Err(usage.to_string()),
+    };
+    // Every CLI command observes an existing store; silently mkdir-ing a typo'd path
+    // and reporting it as an empty store would mislead the operator.
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!(
+            "`{dir}` is not a directory (stores are created by the serving process, not the CLI)"
+        ));
+    }
+    let store = ModelStore::open(dir).map_err(|e| e.to_string())?;
+    match command {
+        "list" => list(&store),
+        "stats" => stats(&store),
+        "inspect" => {
+            let fingerprint = args.get(2).ok_or("inspect needs a <fingerprint>")?;
+            inspect(&store, fingerprint)
+        }
+        "gc" => gc(&store, &args[2..]),
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("store: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -51,6 +51,38 @@ pub struct ModelKey {
     pub config: u64,
 }
 
+impl ModelKey {
+    /// Canonical hex rendering `{corpus:016x}-{config:016x}` — the address a model store
+    /// files the key's model under, and the form the `store` CLI accepts.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}-{:016x}", self.corpus, self.config)
+    }
+
+    /// Parse a [`ModelKey::to_hex`] rendering. Returns `None` for anything that is not
+    /// exactly two 16-digit lower-case hex halves joined by `-` — the strictness
+    /// guarantees `from_hex(k.to_hex()) == Some(k)` *and* that every accepted string is
+    /// some key's `to_hex` (no `+`-prefixed or upper-case aliases for the same key).
+    pub fn from_hex(text: &str) -> Option<ModelKey> {
+        let (corpus, config) = text.split_once('-')?;
+        let parse = |half: &str| -> Option<u64> {
+            if half.len() != 16 || !half.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+                return None;
+            }
+            u64::from_str_radix(half, 16).ok()
+        };
+        Some(ModelKey {
+            corpus: parse(corpus)?,
+            config: parse(config)?,
+        })
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
 /// Fingerprint a corpus: every value bit (via `f64::to_bits`, so `-0.0` vs `0.0` and NaN
 /// payloads are distinguished), every header byte, and the column order and boundaries.
 pub fn corpus_fingerprint(columns: &[GemColumn]) -> u64 {
@@ -173,6 +205,27 @@ mod tests {
             config_fingerprint(&serial, FeatureSet::ds()),
             config_fingerprint(&parallel, FeatureSet::ds())
         );
+    }
+
+    #[test]
+    fn model_key_hex_rendering_round_trips() {
+        let key = model_key(&columns(), &GemConfig::fast(), FeatureSet::ds());
+        let hex = key.to_hex();
+        assert_eq!(hex.len(), 33);
+        assert_eq!(ModelKey::from_hex(&hex), Some(key));
+        assert_eq!(format!("{key}"), hex);
+        for bad in [
+            "",
+            "abc",
+            "0-1",
+            &hex[..32],
+            "zzzzzzzzzzzzzzzz-0000000000000000",
+            // Aliases u64 parsing would accept but to_hex never produces.
+            "+fffffffffffffff-0000000000000000",
+            "FFFFFFFFFFFFFFFF-0000000000000000",
+        ] {
+            assert_eq!(ModelKey::from_hex(bad), None, "{bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,655 @@
+//! The fingerprint-addressed on-disk model store.
+//!
+//! A [`ModelStore`] is a directory of serialised [`GemModel`]s, one file per
+//! [`ModelKey`], named by the key's hex rendering. It is the persistence tier beneath
+//! the in-memory serving cache: evicted models spill here, and a fresh process
+//! warm-starts from here instead of re-paying the EM fit.
+//!
+//! Durability properties:
+//!
+//! * **Atomic writes** — models are written to a temporary file in the store directory
+//!   and `rename`d into place, so a crash mid-write can never leave a half-written file
+//!   under a valid key name; readers either see the old snapshot or the new one.
+//! * **Versioned headers** — every file carries a magic string and a format version,
+//!   validated on load *before* the model payload is interpreted. A snapshot written by
+//!   an incompatible future format is rejected with [`StoreError::VersionMismatch`], and
+//!   anything unparseable with [`StoreError::Corrupt`] — never silently misread.
+//! * **Key integrity** — the header repeats the model key; a file whose header key
+//!   disagrees with its filename (a renamed or copied snapshot) is rejected as corrupt.
+
+use crate::fingerprint::ModelKey;
+use gem_core::GemModel;
+use gem_json::{object, string, FromJson, Json, ToJson};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// Magic string identifying a model-store file.
+pub const STORE_MAGIC: &str = "gem-model-store";
+
+/// On-disk format version of the store envelope (the wrapper around the model payload;
+/// the payload itself carries [`gem_core::GEM_MODEL_SCHEMA_VERSION`] separately).
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// Filename suffix of store entries.
+const ENTRY_SUFFIX: &str = ".gem.json";
+
+/// Monotonic discriminator for temporary file names, so concurrent saves within one
+/// process never collide (cross-process collisions are prevented by the pid component).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A file existed but could not be interpreted as a model snapshot.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A file was written by a store format this build does not read.
+    VersionMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Version found in the file header.
+        found: u64,
+        /// Version this build reads.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt store file {}: {reason}", path.display())
+            }
+            StoreError::VersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "store file {} has format version {found}, this build reads {expected}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One entry of a store listing.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// The model key, parsed back from the filename.
+    pub key: ModelKey,
+    /// Absolute or store-relative path of the snapshot file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-modified time (which for an atomically renamed snapshot is its write time).
+    pub modified: SystemTime,
+}
+
+/// Aggregate statistics of the on-disk state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of model snapshots.
+    pub entries: usize,
+    /// Total bytes across all snapshots.
+    pub total_bytes: u64,
+}
+
+/// What [`ModelStore::gc`] is allowed to delete. Bounds combine: an entry is removed
+/// when it violates *any* configured bound. Removal for the count/byte bounds is
+/// oldest-first, so the working set that survives is the most recently written one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcPolicy {
+    /// Remove entries whose snapshot is older than this.
+    pub max_age: Option<Duration>,
+    /// Keep at most this many entries.
+    pub max_entries: Option<usize>,
+    /// Keep at most this many total bytes.
+    pub max_total_bytes: Option<u64>,
+}
+
+impl GcPolicy {
+    /// A policy that only bounds entry age.
+    pub fn older_than(age: Duration) -> Self {
+        GcPolicy {
+            max_age: Some(age),
+            ..GcPolicy::default()
+        }
+    }
+}
+
+/// A directory of fitted models addressed by [`ModelKey`].
+///
+/// The store is safe to share across threads behind an `Arc` without extra locking: all
+/// state lives on the filesystem, writes are atomic renames, and loads re-read the file.
+#[derive(Debug)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Open (creating if necessary) the store rooted at `dir`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(ModelStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot path a key files under.
+    pub fn path_of(&self, key: ModelKey) -> PathBuf {
+        self.dir.join(format!("{}{ENTRY_SUFFIX}", key.to_hex()))
+    }
+
+    /// Whether a snapshot exists for `key` (existence only; the file is not validated).
+    pub fn contains(&self, key: ModelKey) -> bool {
+        self.path_of(key).is_file()
+    }
+
+    /// Persist `model` under `key`, atomically: the envelope is written to a temporary
+    /// file in the store directory, synced to disk, and renamed into place, replacing
+    /// any previous snapshot for the key. Returns the snapshot path.
+    ///
+    /// The sync-before-rename ordering means a crash (process or power) never leaves a
+    /// half-written file under a valid key name: the rename only becomes visible after
+    /// the data it names is durable. (The directory entry itself is not fsynced, so a
+    /// power loss immediately after rename can roll back to the *previous* snapshot —
+    /// an older-but-valid state, which the loader handles like any other cold start.)
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when writing, syncing or renaming fails.
+    pub fn save(&self, key: ModelKey, model: &GemModel) -> Result<PathBuf, StoreError> {
+        let envelope = object(vec![
+            ("magic", string(STORE_MAGIC)),
+            (
+                "format_version",
+                gem_json::number(STORE_FORMAT_VERSION as f64),
+            ),
+            ("key", string(key.to_hex())),
+            ("model", model.to_json()),
+        ]);
+        let target = self.path_of(key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{}",
+            key.to_hex(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io_err = |path: &Path, source: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let write_synced = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(envelope.to_compact_string().as_bytes())?;
+            // Rename is atomic for the namespace only; sync the data first so the name
+            // can never point at an unwritten file after a power failure.
+            file.sync_all()
+        };
+        if let Err(e) = write_synced() {
+            let _ = fs::remove_file(&tmp);
+            return Err(io_err(&tmp, e));
+        }
+        if let Err(e) = fs::rename(&tmp, &target) {
+            let _ = fs::remove_file(&tmp);
+            return Err(io_err(&target, e));
+        }
+        Ok(target)
+    }
+
+    /// Load the model stored under `key`. Returns `Ok(None)` when no snapshot exists;
+    /// a snapshot that exists but cannot be validated is an error, never `None`, so
+    /// corruption is surfaced instead of silently triggering a re-fit.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on read failures, [`StoreError::VersionMismatch`] for foreign
+    /// format versions, [`StoreError::Corrupt`] for unparseable or inconsistent files.
+    pub fn load(&self, key: ModelKey) -> Result<Option<GemModel>, StoreError> {
+        let path = self.path_of(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        self.decode(&path, &text, Some(key)).map(Some)
+    }
+
+    /// Load and validate the snapshot at `path` without knowing its key in advance
+    /// (the `store inspect` path). The header key must still match the filename.
+    ///
+    /// # Errors
+    /// See [`ModelStore::load`].
+    pub fn load_path(&self, path: &Path) -> Result<GemModel, StoreError> {
+        let text = fs::read_to_string(path).map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        self.decode(path, &text, entry_key(path))
+    }
+
+    fn decode(
+        &self,
+        path: &Path,
+        text: &str,
+        expected_key: Option<ModelKey>,
+    ) -> Result<GemModel, StoreError> {
+        let corrupt = |reason: String| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            reason,
+        };
+        let envelope = Json::parse(text).map_err(|e| corrupt(e.to_string()))?;
+        // Header validation first: magic, then version, then key integrity. Only a
+        // fully validated header earns an attempt at the model payload.
+        let magic = envelope
+            .str_field("magic")
+            .map_err(|e| corrupt(e.to_string()))?;
+        if magic != STORE_MAGIC {
+            return Err(corrupt(format!("bad magic `{magic}`")));
+        }
+        let found = envelope
+            .num_field("format_version")
+            .map_err(|e| corrupt(e.to_string()))? as u64;
+        if found != STORE_FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                path: path.to_path_buf(),
+                found,
+                expected: STORE_FORMAT_VERSION,
+            });
+        }
+        let header_key = envelope
+            .str_field("key")
+            .map_err(|e| corrupt(e.to_string()))?;
+        let header_key = ModelKey::from_hex(&header_key)
+            .ok_or_else(|| corrupt(format!("malformed header key `{header_key}`")))?;
+        if let Some(expected) = expected_key {
+            if header_key != expected {
+                return Err(corrupt(format!(
+                    "header key {header_key} does not match expected key {expected}"
+                )));
+            }
+        }
+        let model = envelope
+            .field("model")
+            .map_err(|e| corrupt(e.to_string()))?;
+        GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))
+    }
+
+    /// Remove the snapshot for `key`. Returns whether a snapshot existed.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the file exists but cannot be removed.
+    pub fn remove(&self, key: ModelKey) -> Result<bool, StoreError> {
+        let path = self.path_of(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(source) => Err(StoreError::Io { path, source }),
+        }
+    }
+
+    /// Enumerate every snapshot, oldest first (ties broken by path for determinism).
+    /// Files that are not store entries (foreign files, leftover temp files) are skipped.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<StoreEntry>, StoreError> {
+        let read_dir = fs::read_dir(&self.dir).map_err(|source| StoreError::Io {
+            path: self.dir.clone(),
+            source,
+        })?;
+        let mut entries = Vec::new();
+        for item in read_dir {
+            let item = item.map_err(|source| StoreError::Io {
+                path: self.dir.clone(),
+                source,
+            })?;
+            let path = item.path();
+            let Some(key) = entry_key(&path) else {
+                continue;
+            };
+            let meta = match item.metadata() {
+                Ok(meta) if meta.is_file() => meta,
+                _ => continue,
+            };
+            entries.push(StoreEntry {
+                key,
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                path,
+            });
+        }
+        entries.sort_by(|a, b| (a.modified, &a.path).cmp(&(b.modified, &b.path)));
+        Ok(entries)
+    }
+
+    /// Aggregate on-disk statistics.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the directory cannot be read.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let entries = self.list()?;
+        Ok(StoreStats {
+            entries: entries.len(),
+            total_bytes: entries.iter().map(|e| e.bytes).sum(),
+        })
+    }
+
+    /// What [`ModelStore::gc`] would remove under `policy`, without deleting anything
+    /// (the `store gc --dry-run` path). Selection is oldest-first: age-expired entries
+    /// first, then survivors until the count and byte bounds hold.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when the directory cannot be listed.
+    pub fn gc_plan(&self, policy: &GcPolicy) -> Result<Vec<StoreEntry>, StoreError> {
+        let entries = self.list()?; // oldest first
+        let now = SystemTime::now();
+        let mut keep: Vec<&StoreEntry> = Vec::new();
+        let mut remove: Vec<StoreEntry> = Vec::new();
+        for entry in &entries {
+            let expired = policy.max_age.is_some_and(|age| {
+                now.duration_since(entry.modified)
+                    .is_ok_and(|elapsed| elapsed > age)
+            });
+            if expired {
+                remove.push(entry.clone());
+            } else {
+                keep.push(entry);
+            }
+        }
+        // Count / byte bounds: drop survivors oldest-first until within both.
+        let mut total: u64 = keep.iter().map(|e| e.bytes).sum();
+        let mut idx = 0;
+        while idx < keep.len() {
+            let over_count = policy.max_entries.is_some_and(|max| keep.len() - idx > max);
+            let over_bytes = policy.max_total_bytes.is_some_and(|max| total > max);
+            if !over_count && !over_bytes {
+                break;
+            }
+            total -= keep[idx].bytes;
+            remove.push(keep[idx].clone());
+            idx += 1;
+        }
+        Ok(remove)
+    }
+
+    /// Apply `policy`, removing entries oldest-first until every configured bound holds.
+    /// Returns the removed entries. With an empty policy nothing is removed.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when listing or deletion fails.
+    pub fn gc(&self, policy: &GcPolicy) -> Result<Vec<StoreEntry>, StoreError> {
+        let remove = self.gc_plan(policy)?;
+        for entry in &remove {
+            fs::remove_file(&entry.path).map_err(|source| StoreError::Io {
+                path: entry.path.clone(),
+                source,
+            })?;
+        }
+        Ok(remove)
+    }
+
+    /// Remove every snapshot.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] when listing or deletion fails.
+    pub fn clear(&self) -> Result<usize, StoreError> {
+        let entries = self.list()?;
+        for entry in &entries {
+            fs::remove_file(&entry.path).map_err(|source| StoreError::Io {
+                path: entry.path.clone(),
+                source,
+            })?;
+        }
+        Ok(entries.len())
+    }
+}
+
+/// The key a store path encodes, if it is a valid entry filename.
+fn entry_key(path: &Path) -> Option<ModelKey> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(ENTRY_SUFFIX)?;
+    ModelKey::from_hex(stem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::model_key;
+    use gem_core::{FeatureSet, GemColumn, GemConfig};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("gem-store-test-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn corpus(seed: u64) -> Vec<GemColumn> {
+        (0..4)
+            .map(|c| {
+                GemColumn::new(
+                    (0..60)
+                        .map(|i| (seed * 300 + c * 11) as f64 + (i % 13) as f64 * 0.7)
+                        .collect(),
+                    format!("col_{seed}_{c}"),
+                )
+            })
+            .collect()
+    }
+
+    fn fitted(seed: u64) -> (ModelKey, GemModel) {
+        let cols = corpus(seed);
+        let config = GemConfig::fast();
+        let key = model_key(&cols, &config, FeatureSet::ds());
+        let model = GemModel::fit(&cols, &config, FeatureSet::ds()).unwrap();
+        (key, model)
+    }
+
+    #[test]
+    fn save_load_round_trip_transforms_bit_identically() {
+        let tmp = TempDir::new("round-trip");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        let path = store.save(key, &model).unwrap();
+        assert!(path.ends_with(format!("{}{ENTRY_SUFFIX}", key.to_hex())));
+        assert!(store.contains(key));
+        let loaded = store.load(key).unwrap().unwrap();
+        let cols = corpus(1);
+        assert_eq!(
+            model.transform(&cols).unwrap().matrix,
+            loaded.transform(&cols).unwrap().matrix
+        );
+        // Unknown keys are a clean None, not an error.
+        let (other_key, _) = fitted(2);
+        assert!(store.load(other_key).unwrap().is_none());
+        assert!(!store.contains(other_key));
+    }
+
+    #[test]
+    fn save_is_idempotent_and_replaces_atomically() {
+        let tmp = TempDir::new("replace");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        store.save(key, &model).unwrap();
+        store.save(key, &model).unwrap();
+        assert_eq!(store.stats().unwrap().entries, 1);
+        // No temp litter remains.
+        let leftovers: Vec<_> = fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn corrupt_files_error_instead_of_loading() {
+        let tmp = TempDir::new("corrupt");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        let path = store.save(key, &model).unwrap();
+        // Truncated JSON.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(store.load(key), Err(StoreError::Corrupt { .. })));
+        // Valid JSON, wrong magic.
+        fs::write(&path, text.replace(STORE_MAGIC, "not-a-store")).unwrap();
+        assert!(matches!(store.load(key), Err(StoreError::Corrupt { .. })));
+        // Header key mismatching the filename (file copied under another name).
+        let (other_key, other_model) = fitted(2);
+        store.save(other_key, &other_model).unwrap();
+        fs::copy(store.path_of(other_key), store.path_of(key)).unwrap();
+        let err = store.load(key).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Corrupt { reason, .. } if reason.contains("does not match")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn foreign_format_versions_are_rejected_with_both_versions_reported() {
+        let tmp = TempDir::new("version");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        let path = store.save(key, &model).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            text.replace(
+                &format!("\"format_version\":{STORE_FORMAT_VERSION}"),
+                "\"format_version\":99",
+            ),
+        )
+        .unwrap();
+        match store.load(key).unwrap_err() {
+            StoreError::VersionMismatch {
+                found, expected, ..
+            } => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, STORE_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn list_stats_and_clear_cover_all_entries() {
+        let tmp = TempDir::new("list");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        for seed in 1..=3 {
+            let (key, model) = fitted(seed);
+            store.save(key, &model).unwrap();
+        }
+        // A foreign file is ignored by listings.
+        fs::write(tmp.0.join("README.txt"), "not a model").unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| e.bytes > 0));
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.total_bytes, entries.iter().map(|e| e.bytes).sum());
+        assert_eq!(store.clear().unwrap(), 3);
+        assert_eq!(store.stats().unwrap(), StoreStats::default());
+    }
+
+    #[test]
+    fn gc_enforces_count_byte_and_age_bounds() {
+        let tmp = TempDir::new("gc");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let mut keys = Vec::new();
+        for seed in 1..=4 {
+            let (key, model) = fitted(seed);
+            store.save(key, &model).unwrap();
+            keys.push(key);
+        }
+        // Nothing to do with an empty policy.
+        assert!(store.gc(&GcPolicy::default()).unwrap().is_empty());
+        // Entry-count bound removes the oldest.
+        let removed = store
+            .gc(&GcPolicy {
+                max_entries: Some(3),
+                ..GcPolicy::default()
+            })
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(store.stats().unwrap().entries, 3);
+        // Byte bound of zero removes everything that remains.
+        let removed = store
+            .gc(&GcPolicy {
+                max_total_bytes: Some(0),
+                ..GcPolicy::default()
+            })
+            .unwrap();
+        assert_eq!(removed.len(), 3);
+        // Age bound: re-add one entry; a generous max_age keeps it, a zero max_age
+        // removes it.
+        let (key, model) = fitted(5);
+        store.save(key, &model).unwrap();
+        assert!(store
+            .gc(&GcPolicy::older_than(Duration::from_secs(3600)))
+            .unwrap()
+            .is_empty());
+        std::thread::sleep(Duration::from_millis(20));
+        let removed = store.gc(&GcPolicy::older_than(Duration::ZERO)).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].key, key);
+    }
+
+    #[test]
+    fn load_path_validates_like_load() {
+        let tmp = TempDir::new("load-path");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        let path = store.save(key, &model).unwrap();
+        let loaded = store.load_path(&path).unwrap();
+        assert_eq!(loaded.features(), model.features());
+        assert!(store.load_path(Path::new("/nonexistent/file")).is_err());
+    }
+}

@@ -64,6 +64,16 @@ impl HashEmbedder {
         l1_normalize(&self.embed(header))
     }
 
+    /// Relative weight of whole-token features.
+    pub fn token_weight(&self) -> f64 {
+        self.token_weight
+    }
+
+    /// Relative weight of character-trigram features.
+    pub fn trigram_weight(&self) -> f64 {
+        self.trigram_weight
+    }
+
     fn add_feature(&self, vec: &mut [f64], feature: &str, weight: f64) {
         let h = fnv1a(feature.as_bytes());
         let idx = (h % self.dim as u64) as usize;
@@ -104,6 +114,38 @@ impl TextEmbedder for HashEmbedder {
             *v /= n;
         }
         l2_normalize(&vec)
+    }
+}
+
+/// JSON persistence of the embedder's parameters. The embedder is fully deterministic —
+/// the hash function is FNV-1a and the synonym table is compiled in — so its embeddings
+/// are a pure function of (dim, token weight, trigram weight); persisting those three
+/// numbers rehydrates an embedder whose output is bit-identical to the saved one. The
+/// weights use the bit-exact encoding so future non-default values can never drift.
+impl gem_json::ToJson for HashEmbedder {
+    fn to_json(&self) -> gem_json::Json {
+        gem_json::object(vec![
+            ("dim", gem_json::number(self.dim as f64)),
+            ("token_weight", gem_json::bits(self.token_weight)),
+            ("trigram_weight", gem_json::bits(self.trigram_weight)),
+        ])
+    }
+}
+
+impl gem_json::FromJson for HashEmbedder {
+    fn from_json(value: &gem_json::Json) -> Result<Self, gem_json::JsonError> {
+        let dim = value.num_field("dim")? as usize;
+        if dim < 2 {
+            return Err(gem_json::JsonError::conversion(
+                "text embedding dimension must be at least 2",
+            ));
+        }
+        Ok(HashEmbedder {
+            dim,
+            synonyms: SynonymTable::new(),
+            token_weight: gem_json::as_bits(value.field("token_weight")?)?,
+            trigram_weight: gem_json::as_bits(value.field("trigram_weight")?)?,
+        })
     }
 }
 
@@ -211,5 +253,26 @@ mod tests {
     fn plural_and_singular_are_close() {
         let s = sim("temperatures", "temperature");
         assert!(s > 0.8, "similarity was {s}");
+    }
+
+    #[test]
+    fn embedder_round_trips_through_json_bit_exactly() {
+        use gem_json::{FromJson, Json, ToJson};
+        let e = HashEmbedder::new(48);
+        let text = e.to_json().to_compact_string();
+        let back = HashEmbedder::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.dim(), e.dim());
+        assert_eq!(back.token_weight(), e.token_weight());
+        assert_eq!(back.trigram_weight(), e.trigram_weight());
+        for header in ["engine_power", "MarketValue", "", "qty_sold"] {
+            assert_eq!(back.embed(header), e.embed(header), "{header}");
+        }
+        // A too-small dimension is rejected at load time.
+        let bad = gem_json::object(vec![
+            ("dim", gem_json::number(1.0)),
+            ("token_weight", gem_json::bits(1.0)),
+            ("trigram_weight", gem_json::bits(0.4)),
+        ]);
+        assert!(HashEmbedder::from_json(&bad).is_err());
     }
 }

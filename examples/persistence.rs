@@ -1,0 +1,116 @@
+//! Persistence: fit a corpus model once, save it to a fingerprint-addressed on-disk
+//! store, and show that a "restarted" process warm-starts from disk — reloading the
+//! model in milliseconds instead of re-paying the EM fit, with bit-identical output.
+//!
+//! Run with `cargo run --release --example persistence`.
+
+use gem::core::{FeatureSet, GemColumn, GemConfig, MethodRegistry};
+use gem::serve::{CachePolicy, EmbedService, ServeRequest, ServedFrom};
+use gem::store::{model_key, ModelStore};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn corpus() -> Vec<GemColumn> {
+    // A synthetic data lake: 120 columns from four semantic families.
+    let mut columns = Vec::new();
+    for s in 0..30 {
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 18.0 + ((i * 7 + s) % 60) as f64).collect(),
+            format!("age_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80)
+                .map(|i| 9_000.0 + 410.0 * ((i * 3 + s) % 70) as f64)
+                .collect(),
+            format!("price_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 1.0 + ((i * 11 + s) % 100) as f64).collect(),
+            format!("rank_{s}"),
+        ));
+        columns.push(GemColumn::new(
+            (0..80).map(|i| 1950.0 + ((i + s) % 74) as f64).collect(),
+            format!("year_{s}"),
+        ));
+    }
+    columns
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("gem-persistence-example-{}", std::process::id()));
+    let store = Arc::new(ModelStore::open(&dir).expect("store directory"));
+    let config = GemConfig::fast();
+    let corpus = Arc::new(corpus());
+    let key = model_key(&corpus, &config, FeatureSet::ds());
+    println!(
+        "Model store at {} — fingerprint {key}\n",
+        store.dir().display()
+    );
+
+    // ---- Incarnation 1: fit cold, then spill to disk. -----------------------------
+    let cold_matrix;
+    {
+        let mut service = EmbedService::with_policy(
+            MethodRegistry::with_gem(&config),
+            CachePolicy::with_capacity(1),
+        )
+        .with_store(Arc::clone(&store));
+        service.register_gem_family(&config);
+
+        let start = Instant::now();
+        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+        let cold_s = start.elapsed().as_secs_f64();
+        cold_matrix = cold.matrix.expect("corpus embeds");
+        println!(
+            "cold fit:        {:>8.2} ms  (served_from: {:?})",
+            cold_s * 1e3,
+            cold.served_from
+        );
+
+        // Serving a second pipeline overflows the capacity-1 cache; the D+S model
+        // spills to the store instead of being lost.
+        service.serve_one(ServeRequest::new("Gem", Arc::clone(&corpus)));
+        let stats = service.cache_stats();
+        println!(
+            "after overflow:  spills={} evictions={}  (on disk: {} snapshots, {} bytes)",
+            stats.spills,
+            stats.evictions,
+            store.stats().map(|s| s.entries).unwrap_or(0),
+            store.stats().map(|s| s.total_bytes).unwrap_or(0),
+        );
+    } // service dropped: every in-memory model is gone, as after a process exit.
+
+    // ---- Incarnation 2: a fresh service over the same directory. ------------------
+    let mut restarted =
+        EmbedService::new(MethodRegistry::with_gem(&config), 8).with_store(Arc::clone(&store));
+    restarted.register_gem_family(&config);
+
+    let start = Instant::now();
+    let warm = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let warm_s = start.elapsed().as_secs_f64();
+    let warm_matrix = warm.matrix.expect("corpus embeds");
+    println!(
+        "\nwarm start:      {:>8.2} ms  (served_from: {:?})",
+        warm_s * 1e3,
+        warm.served_from
+    );
+    assert_eq!(warm.served_from, ServedFrom::DiskStore);
+    assert_eq!(
+        warm_matrix, cold_matrix,
+        "a reloaded model must transform bit-identically"
+    );
+    println!("restart survived: warm-start output is bit-identical to the cold fit");
+
+    // Subsequent requests hit the (now warm) memory tier.
+    let again = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    println!("next request:    served_from: {:?}", again.served_from);
+
+    if std::env::var_os("GEM_PERSISTENCE_KEEP").is_some() {
+        println!(
+            "\nstore kept — inspect it with:\n  cargo run -p gem-store --release --bin store -- list {}",
+            dir.display()
+        );
+    } else {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

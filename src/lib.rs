@@ -14,6 +14,8 @@
 //! * [`eval`] — precision@k, ARI, ACC and experiment reporting,
 //! * [`serve`] — the batch serving layer: fingerprint-keyed LRU model cache over the
 //!   fit/transform split, per-model request batching, registry-backed embed service,
+//! * [`store`] — full model persistence: the fingerprint-addressed on-disk
+//!   [`store::ModelStore`] the serving cache spills to and warm-starts from,
 //! * [`cluster`] — k-means, SDCN and TableDC,
 //! * [`numeric`], [`nn`], [`text`] — the numeric, neural-network and text substrates.
 //!
@@ -61,6 +63,11 @@ pub use gem_eval as eval;
 /// Batch serving: fingerprint-keyed model cache, batch engine, embed service (re-export
 /// of `gem-serve`).
 pub use gem_serve as serve;
+
+/// Model persistence: deterministic fingerprints and the fingerprint-addressed on-disk
+/// model store (re-export of `gem-store`). A saved `GemModel` reloaded in a fresh
+/// process transforms bit-identically — restarts do not re-pay the EM fit.
+pub use gem_store as store;
 
 /// JSON values and the `ToJson`/`FromJson` persistence traits (re-export of `gem-json`);
 /// fitted GMMs serialise through these so cached models survive restarts.
