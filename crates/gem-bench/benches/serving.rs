@@ -13,6 +13,10 @@
 //! * `warm_start_disk` — a fresh engine per iteration over a pre-populated
 //!   `ModelStore`: the request misses memory, rehydrates the model from disk (no EM
 //!   re-fit) and transforms — the cost of the first request after a process restart.
+//! * `remote_round_trip` — one embed-by-handle request over a real loopback TCP
+//!   connection to a `GemServer` (16 query columns): the serving protocol's wire
+//!   overhead (JSON-line encode/decode, bit-pattern payloads, socket hop) on top of
+//!   the warm transform.
 //!
 //! Snapshot with `GEM_CRITERION_JSON=BENCH_serving.json cargo bench -p gem-bench --bench
 //! serving`; the committed baseline lives at the repo root next to
@@ -20,9 +24,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gem_bench::{gem_config_with_components, strip_headers, to_gem_columns};
-use gem_core::{FeatureSet, GemColumn, GemConfig, GemModel};
+use gem_core::{FeatureSet, GemColumn, GemConfig, GemModel, MethodRegistry};
 use gem_data::{gds, CorpusConfig};
-use gem_serve::{BatchEngine, EngineRequest, ServedFrom};
+use gem_serve::{BatchEngine, EmbedService, EngineRequest, GemClient, GemServer, ServedFrom};
 use gem_store::{model_key, ModelStore};
 use std::sync::Arc;
 
@@ -109,6 +113,36 @@ fn bench_serving(criterion: &mut Criterion) {
         })
     });
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Remote round trip: a real GemServer on an ephemeral loopback port; the model is
+    // fitted once (by handle), then every iteration is one embed request–response over
+    // the socket with 16 query columns. Compare against `warm_hit` to read off the
+    // protocol's wire overhead.
+    let service = EmbedService::new(MethodRegistry::with_gem(&bench_config()), 4);
+    let server =
+        GemServer::bind(Arc::new(service), ("127.0.0.1", 0)).expect("bind loopback server");
+    let server_handle = server.handle().expect("server handle");
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut client = GemClient::connect(server_handle.addr()).expect("connect");
+    let fitted = client
+        .fit(&corpus, &bench_config(), FeatureSet::ds())
+        .expect("remote fit");
+    let remote_queries: Vec<GemColumn> = corpus[..16].to_vec();
+    group.bench_function(BenchmarkId::new("remote_round_trip", 16), |b| {
+        b.iter(|| {
+            let outcome = client
+                .embed(fitted.handle, &remote_queries)
+                .expect("remote embed");
+            assert_eq!(outcome.matrix.rows(), 16);
+            outcome
+        })
+    });
+    drop(client);
+    server_handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
 
     group.finish();
 }

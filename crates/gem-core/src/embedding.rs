@@ -98,6 +98,29 @@ impl From<GmmError> for GemError {
     }
 }
 
+/// Bit-exact JSON encoding of a column: the header as a string, every value as an
+/// IEEE-754 bit pattern ([`gem_json::bits`]). Serving fingerprints hash value *bits*, so
+/// a column shipped over a wire or reloaded from disk must reproduce every value exactly
+/// — NaN payloads and signed zeros included — for the remote corpus to key the same
+/// model as the local one.
+impl gem_json::ToJson for GemColumn {
+    fn to_json(&self) -> gem_json::Json {
+        gem_json::object(vec![
+            ("header", gem_json::string(self.header.clone())),
+            ("values", gem_json::bits_array(&self.values)),
+        ])
+    }
+}
+
+impl gem_json::FromJson for GemColumn {
+    fn from_json(value: &gem_json::Json) -> Result<Self, gem_json::JsonError> {
+        Ok(GemColumn {
+            header: value.str_field("header")?,
+            values: gem_json::as_bits_array(value.field("values")?)?,
+        })
+    }
+}
+
 /// The output of the Gem pipeline: the composed embedding matrix plus the individual blocks
 /// (useful for ablations and for downstream systems that want the raw signature).
 #[derive(Debug, Clone, PartialEq)]
@@ -417,5 +440,20 @@ mod tests {
     fn default_embedder_uses_paper_configuration() {
         let e = GemEmbedder::default();
         assert_eq!(e.config().gmm.n_components, 50);
+    }
+
+    #[test]
+    fn gem_column_json_round_trip_is_bit_exact() {
+        use gem_json::{FromJson, Json, ToJson};
+        let column = GemColumn::new(
+            vec![1.5, -0.0, 0.0, f64::NAN, f64::INFINITY, 1e-308],
+            "wei\"rd\nheader",
+        );
+        let text = column.to_json().to_compact_string();
+        let back = GemColumn::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.header, column.header);
+        let bits = |c: &GemColumn| c.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&column));
+        assert!(GemColumn::from_json(&Json::Null).is_err());
     }
 }

@@ -1,0 +1,856 @@
+//! # gem-proto
+//!
+//! The serving wire protocol: what `gem-served` speaks on a socket and `GemClient`
+//! drives from the other end. One protocol message per line — a compact JSON envelope
+//! terminated by `\n` (newline-delimited JSON), so framing needs nothing beyond
+//! `BufRead::read_line` and any language with a JSON parser can interoperate.
+//!
+//! Shapes:
+//!
+//! * [`RequestEnvelope`] `{ id, version, body }` / [`ResponseEnvelope`]
+//!   `{ id, version, body }` — `id` is chosen by the client and echoed verbatim in the
+//!   response; `version` is [`PROTOCOL_VERSION`] and a mismatch is rejected *before* the
+//!   body is interpreted ([`ProtoError::VersionMismatch`]), mirroring `gem-store`'s
+//!   header-first validation.
+//! * [`RequestBody`] — the six request shapes of the handle-based serving API: `Fit`
+//!   (corpus + configuration → model handle), `Embed` (handle + query columns),
+//!   `EmbedCorpus` (the one-shot any-method path), `Stats`, `ListModels`, `Evict`.
+//! * [`ResponseBody`] — one success variant per request shape, plus `Error` carrying the
+//!   serving taxonomy's stable `code` (e.g. `unknown_model`) and a human message.
+//!
+//! **Payload codecs are bit-exact.** Column values and embedding matrices cross the wire
+//! as IEEE-754 bit patterns (`gem_json::bits`), not decimal — the corpus fingerprint
+//! that addresses models hashes value *bits*, so a corpus decoded on the server must
+//! fingerprint to exactly the key the client's corpus would produce locally, and an
+//! embedding decoded on the client must equal (`==`) the server's matrix. This is the
+//! same convention `gem-store` snapshots use on disk.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use gem_core::{Composition, FeatureSet, GemColumn, GemConfig};
+use gem_json::{number, object, string, FromJson, Json, JsonError, ToJson};
+use gem_numeric::Matrix;
+use std::fmt;
+
+/// Version of the wire protocol. Bump on any incompatible envelope or body change; both
+/// ends reject foreign versions before interpreting anything else.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Errors decoding a protocol line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The line was not a valid envelope (bad JSON, missing fields, unknown body type).
+    Parse {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The envelope was written by a different protocol version.
+    VersionMismatch {
+        /// Version found in the envelope.
+        found: u64,
+        /// Version this build speaks ([`PROTOCOL_VERSION`]).
+        expected: u64,
+    },
+}
+
+impl ProtoError {
+    /// Stable machine-readable code, carried in error response bodies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Parse { .. } => "protocol_error",
+            ProtoError::VersionMismatch { .. } => "version_mismatch",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Parse { message } => write!(f, "malformed protocol line: {message}"),
+            ProtoError::VersionMismatch { found, expected } => write!(
+                f,
+                "protocol version {found} is not supported (this build speaks {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError::Parse {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One serving request body. See the crate docs for the protocol shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Fit (or reuse) the model for `corpus`; the response carries its handle.
+    Fit {
+        /// The corpus defining the model.
+        corpus: Vec<GemColumn>,
+        /// Pipeline configuration to fit with.
+        config: GemConfig,
+        /// Which evidence types the model uses.
+        features: FeatureSet,
+        /// Optional composition override applied on top of `config`.
+        composition: Option<Composition>,
+    },
+    /// Embed `queries` against the model `handle` names. Carries no corpus, so the
+    /// server can only *resolve* the handle — an unknown handle is a typed error, never
+    /// a silent refit.
+    Embed {
+        /// Handle hex returned by an earlier `Fit`.
+        handle: String,
+        /// Columns to embed.
+        queries: Vec<GemColumn>,
+    },
+    /// One-shot: embed with any registry method by name (the back-compat path for
+    /// methods without a fit/transform seam).
+    EmbedCorpus {
+        /// Registry method name.
+        method: String,
+        /// The corpus defining the model / the embedding input.
+        corpus: Vec<GemColumn>,
+        /// Columns to embed; `None` embeds the corpus itself.
+        queries: Option<Vec<GemColumn>>,
+        /// Training labels for supervised methods.
+        labels: Option<Vec<String>>,
+    },
+    /// Report server statistics.
+    Stats,
+    /// List every resolvable model.
+    ListModels,
+    /// Remove the model `handle` names from both cache tiers.
+    Evict {
+        /// Handle hex of the model to remove.
+        handle: String,
+    },
+}
+
+/// Cumulative serving statistics as they cross the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Lookups served from resident memory.
+    pub hits: u64,
+    /// Lookups served by rehydrating a spilled model from the store tier.
+    pub warm_starts: u64,
+    /// Lookups that found the model in neither tier.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity or memory bound.
+    pub evictions: u64,
+    /// Entries dropped because they outlived the TTL.
+    pub expirations: u64,
+    /// Evicted entries successfully written to the store tier.
+    pub spills: u64,
+    /// Store reads or writes that failed.
+    pub store_errors: u64,
+    /// Models resident in the memory tier.
+    pub resident_models: u64,
+    /// Approximate bytes of the resident models.
+    pub resident_bytes: u64,
+    /// Snapshots in the store tier (`None` without a store).
+    pub store_entries: Option<u64>,
+    /// Total bytes of the store tier (`None` without a store).
+    pub store_bytes: Option<u64>,
+    /// Requests processed by the service.
+    pub requests: u64,
+}
+
+/// One resolvable model, as listed in a `models` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireModelInfo {
+    /// The model's handle hex.
+    pub handle: String,
+    /// `"memory"` or `"disk"` — the closest tier holding it.
+    pub tier: String,
+    /// Embedding dimensionality (known for resident models).
+    pub dim: Option<u64>,
+    /// Approximate resident bytes or snapshot file size.
+    pub bytes: u64,
+}
+
+/// One serving response body: a success variant per request shape, or `Error`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Outcome of a `Fit`.
+    Fitted {
+        /// Handle addressing the fitted model.
+        handle: String,
+        /// Embedding dimensionality of the model.
+        dim: u64,
+        /// Model provenance: `"cold_fit"`, `"memory_cache"` or `"disk_store"`.
+        served_from: String,
+    },
+    /// Outcome of an `Embed` or `EmbedCorpus`.
+    Embedded {
+        /// The embedding matrix (bit-exact).
+        matrix: Matrix,
+        /// Model provenance (see `Fitted::served_from`).
+        served_from: String,
+    },
+    /// Outcome of a `Stats` request.
+    Stats(WireStats),
+    /// Outcome of a `ListModels` request.
+    Models(
+        /// The resolvable models, memory tier first.
+        Vec<WireModelInfo>,
+    ),
+    /// Outcome of an `Evict` request.
+    Evicted {
+        /// Whether a model existed under the handle.
+        existed: bool,
+    },
+    /// Any failure: a stable code from the serving/protocol taxonomy plus a
+    /// self-explanatory message.
+    Error {
+        /// Stable machine-readable code (`unknown_model`, `fit_failed`,
+        /// `protocol_error`, …).
+        code: String,
+        /// Human-readable explanation naming the remedy where one exists.
+        message: String,
+    },
+}
+
+/// A framed request: client-chosen `id` (echoed in the response), protocol `version`,
+/// and the request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed verbatim in the response envelope.
+    pub id: u64,
+    /// Protocol version ([`PROTOCOL_VERSION`] for envelopes built by this crate).
+    pub version: u64,
+    /// The request body.
+    pub body: RequestBody,
+}
+
+impl RequestEnvelope {
+    /// An envelope for `body` under the current [`PROTOCOL_VERSION`].
+    pub fn new(id: u64, body: RequestBody) -> Self {
+        RequestEnvelope {
+            id,
+            version: PROTOCOL_VERSION,
+            body,
+        }
+    }
+}
+
+/// A framed response mirroring the request's `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The request's correlation id (0 when the request was too malformed to carry one).
+    pub id: u64,
+    /// Protocol version ([`PROTOCOL_VERSION`] for envelopes built by this crate).
+    pub version: u64,
+    /// The response body.
+    pub body: ResponseBody,
+}
+
+impl ResponseEnvelope {
+    /// An envelope for `body` under the current [`PROTOCOL_VERSION`].
+    pub fn new(id: u64, body: ResponseBody) -> Self {
+        ResponseEnvelope {
+            id,
+            version: PROTOCOL_VERSION,
+            body,
+        }
+    }
+}
+
+fn columns_json(columns: &[GemColumn]) -> Json {
+    Json::Array(columns.iter().map(|c| c.to_json()).collect())
+}
+
+fn columns_from(value: &Json) -> Result<Vec<GemColumn>, JsonError> {
+    value
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("expected an array of columns"))?
+        .iter()
+        .map(GemColumn::from_json)
+        .collect()
+}
+
+fn opt_columns_json(columns: &Option<Vec<GemColumn>>) -> Json {
+    match columns {
+        Some(columns) => columns_json(columns),
+        None => Json::Null,
+    }
+}
+
+fn opt_field<'a>(value: &'a Json, key: &str) -> Option<&'a Json> {
+    value.get(key).filter(|v| !v.is_null())
+}
+
+fn string_array(values: &[String]) -> Json {
+    Json::Array(values.iter().map(|s| string(s.clone())).collect())
+}
+
+fn as_string_array(value: &Json) -> Result<Vec<String>, JsonError> {
+    value
+        .as_array()
+        .ok_or_else(|| JsonError::conversion("expected an array of strings"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::conversion("expected a string"))
+        })
+        .collect()
+}
+
+impl ToJson for RequestBody {
+    fn to_json(&self) -> Json {
+        match self {
+            RequestBody::Fit {
+                corpus,
+                config,
+                features,
+                composition,
+            } => object(vec![
+                ("type", string("fit")),
+                ("corpus", columns_json(corpus)),
+                ("config", config.to_json()),
+                ("features", features.to_json()),
+                (
+                    "composition",
+                    match composition {
+                        Some(c) => c.to_json(),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            RequestBody::Embed { handle, queries } => object(vec![
+                ("type", string("embed")),
+                ("handle", string(handle.clone())),
+                ("queries", columns_json(queries)),
+            ]),
+            RequestBody::EmbedCorpus {
+                method,
+                corpus,
+                queries,
+                labels,
+            } => object(vec![
+                ("type", string("embed_corpus")),
+                ("method", string(method.clone())),
+                ("corpus", columns_json(corpus)),
+                ("queries", opt_columns_json(queries)),
+                (
+                    "labels",
+                    match labels {
+                        Some(labels) => string_array(labels),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            RequestBody::Stats => object(vec![("type", string("stats"))]),
+            RequestBody::ListModels => object(vec![("type", string("list_models"))]),
+            RequestBody::Evict { handle } => object(vec![
+                ("type", string("evict")),
+                ("handle", string(handle.clone())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for RequestBody {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.str_field("type")?.as_str() {
+            "fit" => Ok(RequestBody::Fit {
+                corpus: columns_from(value.field("corpus")?)?,
+                config: GemConfig::from_json(value.field("config")?)?,
+                features: FeatureSet::from_json(value.field("features")?)?,
+                composition: opt_field(value, "composition")
+                    .map(Composition::from_json)
+                    .transpose()?,
+            }),
+            "embed" => Ok(RequestBody::Embed {
+                handle: value.str_field("handle")?,
+                queries: columns_from(value.field("queries")?)?,
+            }),
+            "embed_corpus" => Ok(RequestBody::EmbedCorpus {
+                method: value.str_field("method")?,
+                corpus: columns_from(value.field("corpus")?)?,
+                queries: opt_field(value, "queries").map(columns_from).transpose()?,
+                labels: opt_field(value, "labels")
+                    .map(as_string_array)
+                    .transpose()?,
+            }),
+            "stats" => Ok(RequestBody::Stats),
+            "list_models" => Ok(RequestBody::ListModels),
+            "evict" => Ok(RequestBody::Evict {
+                handle: value.str_field("handle")?,
+            }),
+            other => Err(JsonError::conversion(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for WireStats {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("hits", number(self.hits as f64)),
+            ("warm_starts", number(self.warm_starts as f64)),
+            ("misses", number(self.misses as f64)),
+            ("evictions", number(self.evictions as f64)),
+            ("expirations", number(self.expirations as f64)),
+            ("spills", number(self.spills as f64)),
+            ("store_errors", number(self.store_errors as f64)),
+            ("resident_models", number(self.resident_models as f64)),
+            ("resident_bytes", number(self.resident_bytes as f64)),
+            (
+                "store_entries",
+                gem_json::opt_number(self.store_entries.map(|v| v as f64)),
+            ),
+            (
+                "store_bytes",
+                gem_json::opt_number(self.store_bytes.map(|v| v as f64)),
+            ),
+            ("requests", number(self.requests as f64)),
+        ])
+    }
+}
+
+impl FromJson for WireStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let num = |key: &str| value.num_field(key).map(|v| v as u64);
+        let opt = |key: &str| -> Result<Option<u64>, JsonError> {
+            Ok(opt_field(value, key)
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| JsonError::conversion(format!("`{key}` is not a number")))
+                })
+                .transpose()?
+                .map(|v| v as u64))
+        };
+        Ok(WireStats {
+            hits: num("hits")?,
+            warm_starts: num("warm_starts")?,
+            misses: num("misses")?,
+            evictions: num("evictions")?,
+            expirations: num("expirations")?,
+            spills: num("spills")?,
+            store_errors: num("store_errors")?,
+            resident_models: num("resident_models")?,
+            resident_bytes: num("resident_bytes")?,
+            store_entries: opt("store_entries")?,
+            store_bytes: opt("store_bytes")?,
+            requests: num("requests")?,
+        })
+    }
+}
+
+impl ToJson for WireModelInfo {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("handle", string(self.handle.clone())),
+            ("tier", string(self.tier.clone())),
+            ("dim", gem_json::opt_number(self.dim.map(|v| v as f64))),
+            ("bytes", number(self.bytes as f64)),
+        ])
+    }
+}
+
+impl FromJson for WireModelInfo {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(WireModelInfo {
+            handle: value.str_field("handle")?,
+            tier: value.str_field("tier")?,
+            dim: opt_field(value, "dim")
+                .map(|v| {
+                    v.as_f64()
+                        .map(|v| v as u64)
+                        .ok_or_else(|| JsonError::conversion("`dim` is not a number"))
+                })
+                .transpose()?,
+            bytes: value.num_field("bytes")? as u64,
+        })
+    }
+}
+
+impl ToJson for ResponseBody {
+    fn to_json(&self) -> Json {
+        match self {
+            ResponseBody::Fitted {
+                handle,
+                dim,
+                served_from,
+            } => object(vec![
+                ("type", string("fitted")),
+                ("handle", string(handle.clone())),
+                ("dim", number(*dim as f64)),
+                ("served_from", string(served_from.clone())),
+            ]),
+            ResponseBody::Embedded {
+                matrix,
+                served_from,
+            } => object(vec![
+                ("type", string("embedded")),
+                ("matrix", matrix.to_json()),
+                ("served_from", string(served_from.clone())),
+            ]),
+            ResponseBody::Stats(stats) => {
+                object(vec![("type", string("stats")), ("stats", stats.to_json())])
+            }
+            ResponseBody::Models(models) => object(vec![
+                ("type", string("models")),
+                (
+                    "models",
+                    Json::Array(models.iter().map(|m| m.to_json()).collect()),
+                ),
+            ]),
+            ResponseBody::Evicted { existed } => object(vec![
+                ("type", string("evicted")),
+                ("existed", Json::Bool(*existed)),
+            ]),
+            ResponseBody::Error { code, message } => object(vec![
+                ("type", string("error")),
+                ("code", string(code.clone())),
+                ("message", string(message.clone())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ResponseBody {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.str_field("type")?.as_str() {
+            "fitted" => Ok(ResponseBody::Fitted {
+                handle: value.str_field("handle")?,
+                dim: value.num_field("dim")? as u64,
+                served_from: value.str_field("served_from")?,
+            }),
+            "embedded" => Ok(ResponseBody::Embedded {
+                matrix: Matrix::from_json(value.field("matrix")?)?,
+                served_from: value.str_field("served_from")?,
+            }),
+            "stats" => Ok(ResponseBody::Stats(WireStats::from_json(
+                value.field("stats")?,
+            )?)),
+            "models" => Ok(ResponseBody::Models(
+                value
+                    .field("models")?
+                    .as_array()
+                    .ok_or_else(|| JsonError::conversion("`models` is not an array"))?
+                    .iter()
+                    .map(WireModelInfo::from_json)
+                    .collect::<Result<_, _>>()?,
+            )),
+            "evicted" => Ok(ResponseBody::Evicted {
+                existed: value
+                    .field("existed")?
+                    .as_bool()
+                    .ok_or_else(|| JsonError::conversion("`existed` is not a bool"))?,
+            }),
+            "error" => Ok(ResponseBody::Error {
+                code: value.str_field("code")?,
+                message: value.str_field("message")?,
+            }),
+            other => Err(JsonError::conversion(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+fn envelope_json(id: u64, version: u64, body: Json) -> Json {
+    object(vec![
+        ("id", number(id as f64)),
+        ("version", number(version as f64)),
+        ("body", body),
+    ])
+}
+
+/// Validate an envelope's version field and return `(id, version, body)`.
+fn decode_envelope(line: &str) -> Result<(u64, u64, Json), ProtoError> {
+    let value = Json::parse(line.trim_end_matches(['\r', '\n']))?;
+    let id = value.num_field("id")? as u64;
+    let version = value.num_field("version")? as u64;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError::VersionMismatch {
+            found: version,
+            expected: PROTOCOL_VERSION,
+        });
+    }
+    // Move the body out of the owned tree — it is the envelope's largest subtree (the
+    // whole corpus or matrix payload), so cloning it would double the decode cost.
+    let Json::Object(pairs) = value else {
+        // num_field above already required an object.
+        unreachable!("envelope with numeric fields must be an object");
+    };
+    let body = pairs
+        .into_iter()
+        .find_map(|(k, v)| (k == "body").then_some(v))
+        .ok_or_else(|| JsonError::conversion("missing field `body`"))?;
+    Ok((id, version, body))
+}
+
+/// Encode a request as one newline-terminated protocol line.
+pub fn encode_request(envelope: &RequestEnvelope) -> String {
+    let mut line =
+        envelope_json(envelope.id, envelope.version, envelope.body.to_json()).to_compact_string();
+    line.push('\n');
+    line
+}
+
+/// Decode one request line (the trailing newline may be present or not).
+///
+/// # Errors
+/// [`ProtoError::Parse`] for malformed lines, [`ProtoError::VersionMismatch`] for
+/// foreign protocol versions — checked before the body is interpreted.
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, ProtoError> {
+    let (id, version, body) = decode_envelope(line)?;
+    Ok(RequestEnvelope {
+        id,
+        version,
+        body: RequestBody::from_json(&body)?,
+    })
+}
+
+/// Encode a response as one newline-terminated protocol line.
+pub fn encode_response(envelope: &ResponseEnvelope) -> String {
+    let mut line =
+        envelope_json(envelope.id, envelope.version, envelope.body.to_json()).to_compact_string();
+    line.push('\n');
+    line
+}
+
+/// Decode one response line (the trailing newline may be present or not).
+///
+/// # Errors
+/// See [`decode_request`].
+pub fn decode_response(line: &str) -> Result<ResponseEnvelope, ProtoError> {
+    let (id, version, body) = decode_envelope(line)?;
+    Ok(ResponseEnvelope {
+        id,
+        version,
+        body: ResponseBody::from_json(&body)?,
+    })
+}
+
+/// Best-effort extraction of the `id` of a line that failed to decode, so error
+/// responses can still correlate. Returns 0 when even the id is unrecoverable.
+pub fn salvage_request_id(line: &str) -> u64 {
+    Json::parse(line.trim_end_matches(['\r', '\n']))
+        .ok()
+        .and_then(|v| v.num_field("id").ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NaN-free so envelopes compare with `==` (NaN != NaN under PartialEq); the
+    // NaN/±0 bit-exactness of the codec is covered by `corpus_payloads_are_bit_exact`.
+    fn columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::new(vec![1.5, -0.0, 2e-308], "age"),
+            GemColumn::values_only(vec![10.0, 20.0]),
+        ]
+    }
+
+    fn bits_of(columns: &[GemColumn]) -> Vec<Vec<u64>> {
+        columns
+            .iter()
+            .map(|c| c.values.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn every_request_shape_round_trips() {
+        let bodies = vec![
+            RequestBody::Fit {
+                corpus: columns(),
+                config: GemConfig::fast(),
+                features: FeatureSet::ds(),
+                composition: None,
+            },
+            RequestBody::Fit {
+                corpus: columns(),
+                config: GemConfig::fast(),
+                features: FeatureSet::dsc(),
+                composition: Some(Composition::Aggregation),
+            },
+            RequestBody::Embed {
+                handle: "0000000000000001-0000000000000002".into(),
+                queries: columns(),
+            },
+            RequestBody::EmbedCorpus {
+                method: "Gem (D+S)".into(),
+                corpus: columns(),
+                queries: Some(columns()),
+                labels: Some(vec!["a".into(), "b".into()]),
+            },
+            RequestBody::EmbedCorpus {
+                method: "PLE".into(),
+                corpus: columns(),
+                queries: None,
+                labels: None,
+            },
+            RequestBody::Stats,
+            RequestBody::ListModels,
+            RequestBody::Evict {
+                handle: "0000000000000001-0000000000000002".into(),
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let envelope = RequestEnvelope::new(i as u64 + 1, body);
+            let line = encode_request(&envelope);
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one line per message");
+            let back = decode_request(&line).unwrap();
+            assert_eq!(back, envelope);
+        }
+    }
+
+    #[test]
+    fn corpus_payloads_are_bit_exact() {
+        let specials = vec![
+            GemColumn::new(
+                vec![
+                    1.5,
+                    -0.0,
+                    0.0,
+                    f64::NAN,
+                    f64::from_bits(0x7ff8_0000_dead_beef), // NaN with a payload
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    2e-308,
+                ],
+                "specials",
+            ),
+            GemColumn::values_only(vec![10.0, 20.0]),
+        ];
+        let envelope = RequestEnvelope::new(
+            7,
+            RequestBody::Fit {
+                corpus: specials.clone(),
+                config: GemConfig::fast(),
+                features: FeatureSet::ds(),
+                composition: None,
+            },
+        );
+        let back = decode_request(&encode_request(&envelope)).unwrap();
+        let RequestBody::Fit { corpus, .. } = back.body else {
+            panic!("not a fit");
+        };
+        assert_eq!(bits_of(&corpus), bits_of(&specials));
+    }
+
+    #[test]
+    fn every_response_shape_round_trips() {
+        let matrix = Matrix::from_rows(&[vec![1.0, -0.0], vec![f64::NAN, 2.5]]).unwrap();
+        let bodies = vec![
+            ResponseBody::Fitted {
+                handle: "00000000000000ff-0000000000000001".into(),
+                dim: 18,
+                served_from: "cold_fit".into(),
+            },
+            ResponseBody::Embedded {
+                matrix: matrix.clone(),
+                served_from: "memory_cache".into(),
+            },
+            ResponseBody::Stats(WireStats {
+                hits: 3,
+                store_entries: Some(2),
+                store_bytes: Some(4096),
+                requests: 9,
+                ..WireStats::default()
+            }),
+            ResponseBody::Stats(WireStats::default()),
+            ResponseBody::Models(vec![WireModelInfo {
+                handle: "00000000000000ff-0000000000000001".into(),
+                tier: "memory".into(),
+                dim: Some(18),
+                bytes: 1024,
+            }]),
+            ResponseBody::Evicted { existed: true },
+            ResponseBody::Error {
+                code: "unknown_model".into(),
+                message: "no model for handle …".into(),
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let envelope = ResponseEnvelope::new(i as u64, body);
+            let line = encode_response(&envelope);
+            let back = decode_response(&line).unwrap();
+            // NaN != NaN under PartialEq, so compare matrices by bits.
+            match (&back.body, &envelope.body) {
+                (
+                    ResponseBody::Embedded { matrix: a, .. },
+                    ResponseBody::Embedded { matrix: b, .. },
+                ) => {
+                    let bits =
+                        |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(a), bits(b));
+                }
+                _ => assert_eq!(back, envelope),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_before_the_body() {
+        let line = encode_request(&RequestEnvelope::new(1, RequestBody::Stats))
+            .replace("\"version\":1", "\"version\":99");
+        match decode_request(&line).unwrap_err() {
+            ProtoError::VersionMismatch { found, expected } => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, PROTOCOL_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        // Even with a garbage body, the version check fires first.
+        let line = r#"{"id":1,"version":99,"body":{"type":"not-a-thing"}}"#;
+        assert!(matches!(
+            decode_request(line),
+            Err(ProtoError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_parse_errors_with_salvageable_ids() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"id":1,"version":1}"#,
+            r#"{"id":1,"version":1,"body":{"type":"no-such"}}"#,
+            r#"{"id":1,"version":1,"body":{"type":"embed"}}"#,
+        ] {
+            let err = decode_request(bad).unwrap_err();
+            assert_eq!(err.code(), "protocol_error", "{bad}");
+        }
+        assert_eq!(
+            salvage_request_id(r#"{"id":42,"version":1,"body":{"type":"no-such"}}"#),
+            42
+        );
+        assert_eq!(salvage_request_id("garbage"), 0);
+    }
+
+    #[test]
+    fn proto_error_codes_are_stable() {
+        assert_eq!(
+            ProtoError::Parse {
+                message: "x".into()
+            }
+            .code(),
+            "protocol_error"
+        );
+        assert_eq!(
+            ProtoError::VersionMismatch {
+                found: 2,
+                expected: 1
+            }
+            .code(),
+            "version_mismatch"
+        );
+    }
+}

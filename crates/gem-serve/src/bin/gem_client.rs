@@ -1,0 +1,380 @@
+//! Command-line client for `gem-served`.
+//!
+//! ```sh
+//! gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]
+//! gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]
+//! gem-client embed <addr> --handle <hex> --queries <file> [--out <file>]
+//! gem-client stats <addr>
+//! gem-client list <addr>
+//! gem-client evict <addr> --handle <hex>
+//! gem-client verify <addr> --corpus <file> [--components N] [--features D+S]
+//! ```
+//!
+//! * `gen-corpus` writes a deterministic synthetic corpus file (JSON `{"columns":
+//!   [...]}` with bit-pattern values) for smoke tests.
+//! * `fit` prints `handle: <hex>` — pass that hex to `embed`/`evict`.
+//! * `embed` prints the matrix shape and an FNV-1a digest of its value bits;
+//!   `--out` additionally writes the bit-exact matrix JSON (two identical embeds
+//!   produce byte-identical files).
+//! * `verify` runs the full remote round trip (fit + embed) *and* the same
+//!   fit + transform in-process, and fails unless the matrices are bit-identical —
+//!   the end-to-end correctness gate CI runs against a live server.
+//!
+//! Exit codes: `0` success, `1` usage/transport/verification failure, `2` typed server
+//! error (the stable code is printed, e.g. `unknown_model`).
+
+use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemModel};
+use gem_json::{FromJson, Json, ToJson};
+use gem_numeric::Matrix;
+use gem_serve::{ClientError, GemClient, ModelHandle};
+use std::process::ExitCode;
+
+/// Failures split by exit code: `Usage` exits 1, `Server` exits 2.
+enum CliError {
+    Usage(String),
+    Server { code: String, message: String },
+}
+
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Server { code, message } => CliError::Server { code, message },
+            other => CliError::Usage(other.to_string()),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("{name} needs a number, got `{text}`")),
+        None => Ok(default),
+    }
+}
+
+/// Reject typo'd or unknown flags instead of silently ignoring them (a silently ignored
+/// `--component 8` would fit a 50-component model and hand back a handle for the wrong
+/// model). Every gem-client flag takes a value, so arguments must come as
+/// `--flag value` pairs and a value may not itself look like a flag.
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected argument `{flag}`"));
+        }
+        if !allowed.contains(&flag.as_str()) {
+            return Err(format!(
+                "unknown flag `{flag}` (allowed here: {})",
+                allowed.join(", ")
+            ));
+        }
+        match args.get(i + 1) {
+            None => return Err(format!("{flag} needs a value")),
+            Some(value) if value.starts_with("--") => {
+                return Err(format!("{flag} needs a value, got the flag `{value}`"))
+            }
+            Some(_) => {}
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn parse_features(label: &str) -> Result<FeatureSet, String> {
+    let features = FeatureSet {
+        distributional: label.contains('D'),
+        statistical: label.contains('S'),
+        contextual: label.contains('C'),
+    };
+    let canonical = features.label();
+    if !features.is_non_empty() || canonical != label {
+        return Err(format!(
+            "`{label}` is not a feature set label (use one of D, S, C, D+S, C+S, D+C, D+C+S)"
+        ));
+    }
+    Ok(features)
+}
+
+fn parse_composition(name: &str) -> Result<Composition, String> {
+    match name {
+        "concatenation" => Ok(Composition::Concatenation),
+        "aggregation" => Ok(Composition::Aggregation),
+        other => Err(format!(
+            "`{other}` is not a composition (use `concatenation` or `aggregation`; \
+             autoencoder compositions need the library API)"
+        )),
+    }
+}
+
+fn read_columns(path: &str) -> Result<Vec<GemColumn>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read corpus {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    json.field("columns")
+        .and_then(|columns| {
+            columns
+                .as_array()
+                .ok_or_else(|| gem_json::JsonError::conversion("`columns` is not an array"))?
+                .iter()
+                .map(GemColumn::from_json)
+                .collect()
+        })
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn config_of(args: &[String]) -> Result<GemConfig, String> {
+    let components = flag_num(args, "--components", GemConfig::default().gmm.n_components)?;
+    Ok(GemConfig::with_components(components))
+}
+
+fn features_of(args: &[String]) -> Result<FeatureSet, String> {
+    match flag_value(args, "--features") {
+        Some(label) => parse_features(&label),
+        None => Ok(FeatureSet::ds()),
+    }
+}
+
+fn handle_of(args: &[String]) -> Result<ModelHandle, String> {
+    let text = flag_value(args, "--handle").ok_or("--handle <hex> is required")?;
+    ModelHandle::parse(&text)
+}
+
+/// FNV-1a over the matrix's value bits: a compact digest two bit-identical embeddings
+/// always share (and distinct ones essentially never do).
+fn matrix_digest(matrix: &Matrix) -> u64 {
+    let mut hasher = gem_serve::fingerprint::Fnv1a::new();
+    for value in matrix.as_slice() {
+        hasher.write_u64(value.to_bits());
+    }
+    hasher.finish()
+}
+
+fn gen_corpus(path: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--columns", "--rows", "--seed"])?;
+    let n_columns: usize = flag_num(args, "--columns", 24)?;
+    let rows: usize = flag_num(args, "--rows", 60)?;
+    let seed: u64 = flag_num(args, "--seed", 7)?;
+    let columns = gem_serve::demo::synthetic_corpus(n_columns, rows, seed);
+    let json = gem_json::object(vec![(
+        "columns",
+        Json::Array(columns.iter().map(|c| c.to_json()).collect()),
+    )]);
+    std::fs::write(path, json.to_compact_string())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {n_columns} columns x {rows} rows to {path}");
+    Ok(())
+}
+
+fn fit(addr: &str, args: &[String]) -> CliResult {
+    check_flags(
+        args,
+        &["--corpus", "--components", "--features", "--composition"],
+    )?;
+    let corpus = read_columns(&flag_value(args, "--corpus").ok_or("--corpus <file> is required")?)?;
+    let config = config_of(args)?;
+    let features = features_of(args)?;
+    let composition = flag_value(args, "--composition")
+        .map(|name| parse_composition(&name))
+        .transpose()?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let outcome = client
+        .fit_with_composition(&corpus, &config, features, composition)
+        .map_err(CliError::from)?;
+    println!("handle: {}", outcome.handle);
+    println!(
+        "dim: {} served_from: {}",
+        outcome.dim,
+        outcome.served_from.wire_name()
+    );
+    Ok(())
+}
+
+fn embed(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--handle", "--queries", "--out"])?;
+    let handle = handle_of(args)?;
+    let queries =
+        read_columns(&flag_value(args, "--queries").ok_or("--queries <file> is required")?)?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let outcome = client.embed(handle, &queries).map_err(CliError::from)?;
+    println!(
+        "rows: {} cols: {} served_from: {} digest: {:016x}",
+        outcome.matrix.rows(),
+        outcome.matrix.cols(),
+        outcome.served_from.wire_name(),
+        matrix_digest(&outcome.matrix)
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(&out, outcome.matrix.to_json().to_compact_string())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("matrix written to {out}");
+    }
+    Ok(())
+}
+
+fn stats(addr: &str) -> CliResult {
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let stats = client.stats().map_err(CliError::from)?;
+    println!(
+        "requests: {} resident_models: {} resident_bytes: {}",
+        stats.requests, stats.resident_models, stats.resident_bytes
+    );
+    println!(
+        "hits: {} warm_starts: {} misses: {} evictions: {} expirations: {} spills: {} \
+         store_errors: {}",
+        stats.hits,
+        stats.warm_starts,
+        stats.misses,
+        stats.evictions,
+        stats.expirations,
+        stats.spills,
+        stats.store_errors
+    );
+    match (stats.store_entries, stats.store_bytes) {
+        (Some(entries), Some(bytes)) => println!("store: {entries} entries, {bytes} bytes"),
+        _ => println!("store: (none attached)"),
+    }
+    Ok(())
+}
+
+fn list(addr: &str) -> CliResult {
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let models = client.list_models().map_err(CliError::from)?;
+    println!(
+        "{:<33} {:>6} {:>6} {:>10}",
+        "handle", "tier", "dim", "bytes"
+    );
+    for model in &models {
+        println!(
+            "{:<33} {:>6} {:>6} {:>10}",
+            model.handle,
+            model.tier,
+            model
+                .dim
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            model.bytes
+        );
+    }
+    println!("{} models", models.len());
+    Ok(())
+}
+
+fn evict(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--handle"])?;
+    let handle = handle_of(args)?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let existed = client.evict(handle).map_err(CliError::from)?;
+    println!(
+        "{}: {}",
+        handle,
+        if existed { "evicted" } else { "not found" }
+    );
+    Ok(())
+}
+
+fn verify(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--corpus", "--components", "--features"])?;
+    let corpus = read_columns(&flag_value(args, "--corpus").ok_or("--corpus <file> is required")?)?;
+    let config = config_of(args)?;
+    let features = features_of(args)?;
+
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let fitted = client
+        .fit(&corpus, &config, features)
+        .map_err(CliError::from)?;
+    let remote = client
+        .embed(fitted.handle, &corpus)
+        .map_err(CliError::from)?;
+
+    let local = GemModel::fit(&corpus, &config, features)
+        .and_then(|model| model.transform(&corpus))
+        .map_err(|e| format!("in-process fit/transform failed: {e}"))?;
+    if remote.matrix != local.matrix {
+        return Err(CliError::Usage(format!(
+            "MISMATCH: remote embedding (digest {:016x}) differs from in-process \
+             GemModel::fit+transform (digest {:016x})",
+            matrix_digest(&remote.matrix),
+            matrix_digest(&local.matrix)
+        )));
+    }
+    println!(
+        "verify: OK — remote round trip bit-identical to in-process fit+transform \
+         ({} x {}, handle {}, digest {:016x})",
+        remote.matrix.rows(),
+        remote.matrix.cols(),
+        fitted.handle,
+        matrix_digest(&remote.matrix)
+    );
+    Ok(())
+}
+
+fn run() -> CliResult {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: gem-client <gen-corpus|fit|embed|stats|list|evict|verify> ...\n  \
+                 gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]\n  \
+                 gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]\n  \
+                 gem-client embed <addr> --handle <hex> --queries <file> [--out <file>]\n  \
+                 gem-client stats <addr>\n  \
+                 gem-client list <addr>\n  \
+                 gem-client evict <addr> --handle <hex>\n  \
+                 gem-client verify <addr> --corpus <file> [--components N] [--features D+S]";
+    let (command, target) = match (args.first(), args.get(1)) {
+        (Some(command), Some(target)) => (command.as_str(), target.as_str()),
+        _ => return Err(CliError::Usage(usage.to_string())),
+    };
+    let rest = &args[2..];
+    match command {
+        "gen-corpus" => gen_corpus(target, rest),
+        "fit" => fit(target, rest),
+        "embed" => embed(target, rest),
+        "stats" => {
+            check_flags(rest, &[])?;
+            stats(target)
+        }
+        "list" => {
+            check_flags(rest, &[])?;
+            list(target)
+        }
+        "evict" => evict(target, rest),
+        "verify" => verify(target, rest),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{usage}"
+        ))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("gem-client: {message}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Server { code, message }) => {
+            eprintln!("gem-client: server error [{code}]: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

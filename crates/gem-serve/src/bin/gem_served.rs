@@ -1,0 +1,137 @@
+//! The serving daemon: `EmbedService` behind a TCP socket speaking newline-delimited
+//! `gem-proto` JSON envelopes.
+//!
+//! ```sh
+//! gem-served [--addr 127.0.0.1:7878] [--cache-capacity N] [--ttl-secs N]
+//!            [--max-bytes N] [--store DIR] [--components N] [--serial]
+//! ```
+//!
+//! * `--addr` — listen address; use port `0` for an ephemeral port. The resolved
+//!   address is printed as `gem-served listening on <addr>` once the socket is bound
+//!   (scripts wait for that line, then connect).
+//! * `--cache-capacity` / `--ttl-secs` / `--max-bytes` — the model-cache policy.
+//! * `--store DIR` — attach an on-disk model store: evictions spill, misses warm-start,
+//!   and client handles survive restarts.
+//! * `--components` — GMM components of the registered `EmbedCorpus` method family
+//!   (`Fit` requests carry their own configuration and are unaffected).
+//! * `--serial` — disable thread fan-out inside the service (identical output).
+//!
+//! Runs until killed; every connection gets its own thread.
+
+use gem_core::{GemConfig, MethodRegistry};
+use gem_serve::{CachePolicy, EmbedService, GemServer, ModelStore};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    capacity: usize,
+    ttl_secs: Option<u64>,
+    max_bytes: Option<u64>,
+    store: Option<String>,
+    components: usize,
+    serial: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        capacity: 64,
+        ttl_secs: None,
+        max_bytes: None,
+        store: None,
+        components: GemConfig::default().gmm.n_components,
+        serial: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--cache-capacity" => {
+                args.capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs a positive integer".to_string())?;
+            }
+            "--ttl-secs" => {
+                args.ttl_secs = Some(
+                    value("--ttl-secs")?
+                        .parse()
+                        .map_err(|_| "--ttl-secs needs a non-negative integer".to_string())?,
+                );
+            }
+            "--max-bytes" => {
+                args.max_bytes = Some(
+                    value("--max-bytes")?
+                        .parse()
+                        .map_err(|_| "--max-bytes needs a non-negative integer".to_string())?,
+                );
+            }
+            "--store" => args.store = Some(value("--store")?),
+            "--components" => {
+                args.components = value("--components")?
+                    .parse()
+                    .map_err(|_| "--components needs a positive integer".to_string())?;
+            }
+            "--serial" => args.serial = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.capacity == 0 {
+        return Err("--cache-capacity must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args().map_err(|e| {
+        format!(
+            "{e}\nusage: gem-served [--addr HOST:PORT] [--cache-capacity N] [--ttl-secs N] \
+             [--max-bytes N] [--store DIR] [--components N] [--serial]"
+        )
+    })?;
+
+    let mut policy = CachePolicy::with_capacity(args.capacity);
+    if let Some(secs) = args.ttl_secs {
+        policy = policy.ttl(Duration::from_secs(secs));
+    }
+    if let Some(bytes) = args.max_bytes {
+        policy = policy.max_bytes(bytes);
+    }
+
+    let config = GemConfig::with_components(args.components);
+    let mut service = EmbedService::with_policy(MethodRegistry::with_gem(&config), policy);
+    service.register_gem_family(&config);
+    if args.serial {
+        service = service.with_parallel(false);
+    }
+    if let Some(dir) = &args.store {
+        let store = ModelStore::open(dir).map_err(|e| e.to_string())?;
+        service = service.with_store(Arc::new(store));
+    }
+
+    let server = GemServer::bind(Arc::new(service), args.addr.as_str())
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Announce readiness on stdout (flushed) so scripts can wait for this exact line.
+    println!("gem-served listening on {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("gem-served: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The client side of the serving protocol: [`GemClient`] drives a `gem-served` (or any
+//! [`crate::net::GemServer`]) over TCP with typed calls — `fit` returns a
+//! [`crate::ModelHandle`], `embed` takes one, and server-side failures come back as
+//! [`ClientError::Server`] carrying the taxonomy's stable code, so callers branch on
+//! `err.code() == Some("unknown_model")` instead of parsing prose.
+
+use crate::handle::ModelHandle;
+use crate::net::served_from_of;
+use crate::ServedFrom;
+use gem_core::{Composition, FeatureSet, GemColumn, GemConfig};
+use gem_numeric::Matrix;
+use gem_proto::{self as proto, RequestBody, ResponseBody};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors from a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, write, read, or the server closed mid-response).
+    Io(std::io::Error),
+    /// The server's bytes were not a valid protocol line.
+    Proto(proto::ProtoError),
+    /// The server answered with a typed error body.
+    Server {
+        /// Stable code from the serving/protocol taxonomy (`unknown_model`, …).
+        code: String,
+        /// Self-explanatory message from the server.
+        message: String,
+    },
+    /// The response decoded but did not fit the call (wrong variant, wrong id, unknown
+    /// provenance string) — a protocol bug, not an operational condition.
+    Unexpected {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl ClientError {
+    /// The server's stable error code, when this is a [`ClientError::Server`].
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Proto(e) => write!(f, "bad response from server: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Unexpected { detail } => write!(f, "unexpected response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<proto::ProtoError> for ClientError {
+    fn from(e: proto::ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// The outcome of a `fit` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitOutcome {
+    /// Handle addressing the fitted model in later calls — on this connection, on
+    /// others, and across server restarts when a store is attached.
+    pub handle: ModelHandle,
+    /// Embedding dimensionality of the model.
+    pub dim: usize,
+    /// Where the model came from ([`ServedFrom::ColdFit`] when this call paid the fit).
+    pub served_from: ServedFrom,
+}
+
+/// The outcome of an `embed` / `embed_corpus` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbedOutcome {
+    /// One embedding row per query column, bit-identical to the server's matrix.
+    pub matrix: Matrix,
+    /// Where the model came from.
+    pub served_from: ServedFrom,
+}
+
+/// A synchronous protocol client over one TCP connection. Calls are sequential
+/// (request, then response); open one client per thread for concurrency — the server
+/// runs each connection on its own thread.
+#[derive(Debug)]
+pub struct GemClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl GemClient {
+    /// Connect to a serving address (`host:port`).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(GemClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Send one request body and decode the matching response body. Error bodies become
+    /// [`ClientError::Server`]; id mismatches are [`ClientError::Unexpected`].
+    fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = proto::encode_request(&proto::RequestEnvelope::new(id, body));
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )));
+        }
+        let envelope = proto::decode_response(&response)?;
+        if envelope.id != id {
+            return Err(ClientError::Unexpected {
+                detail: format!("response id {} for request id {id}", envelope.id),
+            });
+        }
+        match envelope.body {
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+            body => Ok(body),
+        }
+    }
+
+    /// Fit (or reuse) the model for `corpus` and return its handle. Idempotent: an
+    /// identical corpus + configuration returns an identical handle without re-fitting.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with code `fit_failed` when the pipeline rejects the
+    /// corpus; transport errors otherwise.
+    pub fn fit(
+        &mut self,
+        corpus: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+    ) -> Result<FitOutcome, ClientError> {
+        self.fit_with_composition(corpus, config, features, None)
+    }
+
+    /// [`GemClient::fit`] with an explicit composition override.
+    ///
+    /// # Errors
+    /// See [`GemClient::fit`].
+    pub fn fit_with_composition(
+        &mut self,
+        corpus: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+        composition: Option<Composition>,
+    ) -> Result<FitOutcome, ClientError> {
+        match self.call(RequestBody::Fit {
+            corpus: corpus.to_vec(),
+            config: config.clone(),
+            features,
+            composition,
+        })? {
+            ResponseBody::Fitted {
+                handle,
+                dim,
+                served_from,
+            } => Ok(FitOutcome {
+                handle: ModelHandle::from_hex(&handle).ok_or_else(|| ClientError::Unexpected {
+                    detail: format!("malformed handle `{handle}` in fit response"),
+                })?,
+                dim: dim as usize,
+                served_from: served_from_of(&served_from)?,
+            }),
+            other => Err(unexpected("fitted", &other)),
+        }
+    }
+
+    /// Embed `queries` against the model `handle` names. The handle is resolved, never
+    /// refitted: embedding through a handle the server no longer holds fails with code
+    /// `unknown_model` (re-`fit` and retry).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with `unknown_model` / `transform_failed`; transport
+    /// errors otherwise.
+    pub fn embed(
+        &mut self,
+        handle: ModelHandle,
+        queries: &[GemColumn],
+    ) -> Result<EmbedOutcome, ClientError> {
+        match self.call(RequestBody::Embed {
+            handle: handle.to_hex(),
+            queries: queries.to_vec(),
+        })? {
+            ResponseBody::Embedded {
+                matrix,
+                served_from,
+            } => Ok(EmbedOutcome {
+                matrix,
+                served_from: served_from_of(&served_from)?,
+            }),
+            other => Err(unexpected("embedded", &other)),
+        }
+    }
+
+    /// One-shot: embed `queries` (or the corpus itself) with any registry method by
+    /// name — the path for methods without a fit/transform seam.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with `unknown_method` / `invalid_request` / `fit_failed`;
+    /// transport errors otherwise.
+    pub fn embed_corpus(
+        &mut self,
+        method: &str,
+        corpus: &[GemColumn],
+        queries: Option<&[GemColumn]>,
+        labels: Option<&[String]>,
+    ) -> Result<EmbedOutcome, ClientError> {
+        match self.call(RequestBody::EmbedCorpus {
+            method: method.to_string(),
+            corpus: corpus.to_vec(),
+            queries: queries.map(<[GemColumn]>::to_vec),
+            labels: labels.map(<[String]>::to_vec),
+        })? {
+            ResponseBody::Embedded {
+                matrix,
+                served_from,
+            } => Ok(EmbedOutcome {
+                matrix,
+                served_from: served_from_of(&served_from)?,
+            }),
+            other => Err(unexpected("embedded", &other)),
+        }
+    }
+
+    /// Fetch the server's cumulative statistics.
+    ///
+    /// # Errors
+    /// Transport errors; the server never rejects a stats request.
+    pub fn stats(&mut self) -> Result<proto::WireStats, ClientError> {
+        match self.call(RequestBody::Stats)? {
+            ResponseBody::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// List every model the server can currently resolve (both tiers).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with `store_error` when the store tier cannot be listed.
+    pub fn list_models(&mut self) -> Result<Vec<proto::WireModelInfo>, ClientError> {
+        match self.call(RequestBody::ListModels)? {
+            ResponseBody::Models(models) => Ok(models),
+            other => Err(unexpected("models", &other)),
+        }
+    }
+
+    /// Remove the model `handle` names from both server tiers. Returns whether it
+    /// existed.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn evict(&mut self, handle: ModelHandle) -> Result<bool, ClientError> {
+        match self.call(RequestBody::Evict {
+            handle: handle.to_hex(),
+        })? {
+            ResponseBody::Evicted { existed } => Ok(existed),
+            other => Err(unexpected("evicted", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
+    let got = match got {
+        ResponseBody::Fitted { .. } => "fitted",
+        ResponseBody::Embedded { .. } => "embedded",
+        ResponseBody::Stats(_) => "stats",
+        ResponseBody::Models(_) => "models",
+        ResponseBody::Evicted { .. } => "evicted",
+        ResponseBody::Error { .. } => "error",
+    };
+    ClientError::Unexpected {
+        detail: format!("wanted a `{wanted}` response, got `{got}`"),
+    }
+}

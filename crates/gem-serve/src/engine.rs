@@ -71,6 +71,51 @@ pub enum ServedFrom {
     DiskStore,
 }
 
+impl ServedFrom {
+    /// The stable wire rendering used by the serving protocol (`gem-proto`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ServedFrom::ColdFit => "cold_fit",
+            ServedFrom::MemoryCache => "memory_cache",
+            ServedFrom::DiskStore => "disk_store",
+        }
+    }
+
+    /// Parse a [`ServedFrom::wire_name`] rendering.
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "cold_fit" => Some(ServedFrom::ColdFit),
+            "memory_cache" => Some(ServedFrom::MemoryCache),
+            "disk_store" => Some(ServedFrom::DiskStore),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheTier> for ServedFrom {
+    fn from(tier: CacheTier) -> Self {
+        match tier {
+            CacheTier::Memory => ServedFrom::MemoryCache,
+            CacheTier::Disk => ServedFrom::DiskStore,
+        }
+    }
+}
+
+/// One fit-only job for [`BatchEngine::fit_models`]: materialise (or reuse) the model
+/// `key` addresses, without transforming anything — the request shape behind the
+/// protocol's fit-once/embed-by-handle split.
+#[derive(Debug, Clone)]
+pub struct FitJob {
+    /// The model key (callers compute it once so it can double as the returned handle).
+    pub key: ModelKey,
+    /// The corpus defining the model.
+    pub corpus: Arc<Vec<GemColumn>>,
+    /// Pipeline configuration of the model.
+    pub config: GemConfig,
+    /// Feature set of the model.
+    pub features: FeatureSet,
+}
+
 /// The outcome of one request.
 #[derive(Debug)]
 pub struct EngineResponse {
@@ -165,14 +210,19 @@ impl BatchEngine {
             .collect();
 
         // Phase 1: cache lookups, both tiers (a disk warm-start is a deserialisation,
-        // far cheaper than the EM fit it replaces, so it stays inside the lock).
+        // far cheaper than the EM fit it replaces, so it stays inside the lock). Spill
+        // *writes* queued by warm-start evictions run after the lock drops.
         let mut resolved: Vec<Option<(Arc<GemModel>, CacheTier)>> =
             Vec::with_capacity(requests.len());
-        {
+        let spills = {
             let mut cache = self.cache.lock().expect("model cache lock poisoned");
             for &key in &keys {
                 resolved.push(cache.get_with_tier(key));
             }
+            cache.take_pending_spills()
+        };
+        for task in spills {
+            task.execute();
         }
 
         // Phase 2: one representative request per distinct missing key.
@@ -190,14 +240,19 @@ impl BatchEngine {
                 )
             });
 
-        // Phase 3: publish the successful fits.
-        {
+        // Phase 3: publish the successful fits; store writes for anything the inserts
+        // evicted happen off-lock, so a slow disk never blocks concurrent batches.
+        let spills = {
             let mut cache = self.cache.lock().expect("model cache lock poisoned");
             for (key, result) in &fitted {
                 if let Ok(model) = result {
                     cache.insert(*key, Arc::clone(model));
                 }
             }
+            cache.take_pending_spills()
+        };
+        for task in spills {
+            task.execute();
         }
 
         // Phase 4: transforms, fanned out over the whole batch.
@@ -241,6 +296,124 @@ impl BatchEngine {
             .into_iter()
             .next()
             .expect("one response per request")
+    }
+
+    /// Resolve `key` through both cache tiers — memory, then the attached store — and
+    /// report which tier satisfied it. **Never fits**: a model that exists in neither
+    /// tier is `None`, which the serving layer surfaces as its typed `UnknownModel`
+    /// error. This is the lookup behind embed-by-handle.
+    pub fn resolve(&self, key: ModelKey) -> Option<(Arc<GemModel>, CacheTier)> {
+        let (found, spills) = {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            let found = cache.get_with_tier(key);
+            (found, cache.take_pending_spills())
+        };
+        for task in spills {
+            task.execute();
+        }
+        found
+    }
+
+    /// Materialise the model behind every job: cache hit, disk warm-start, or — for keys
+    /// in neither tier — one fit per *distinct* key, distinct fits fanned out across
+    /// threads. Returns one `(model, provenance)` result per job, in input order.
+    /// Successful fits are published to the cache; eviction spill writes run off-lock.
+    pub fn fit_models(
+        &self,
+        jobs: &[FitJob],
+    ) -> Vec<(Result<Arc<GemModel>, GemError>, ServedFrom)> {
+        // Lookup pass (one lock).
+        let mut resolved: Vec<Option<(Arc<GemModel>, CacheTier)>> = Vec::with_capacity(jobs.len());
+        let spills = {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            for job in jobs {
+                resolved.push(cache.get_with_tier(job.key));
+            }
+            cache.take_pending_spills()
+        };
+        for task in spills {
+            task.execute();
+        }
+        // One representative job per distinct missing key; fits in parallel.
+        let mut missing: Vec<&FitJob> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if resolved[i].is_none() && !missing.iter().any(|m| m.key == job.key) {
+                missing.push(job);
+            }
+        }
+        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>)> =
+            gem_parallel::par_map(&missing, self.parallel, |job| {
+                (
+                    job.key,
+                    GemModel::fit(&job.corpus, &job.config, job.features).map(Arc::new),
+                )
+            });
+        // Publish, spilling off-lock.
+        let spills = {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            for (key, result) in &fitted {
+                if let Ok(model) = result {
+                    cache.insert(*key, Arc::clone(model));
+                }
+            }
+            cache.take_pending_spills()
+        };
+        for task in spills {
+            task.execute();
+        }
+        jobs.iter()
+            .zip(resolved)
+            .map(|(job, cached)| match cached {
+                Some((model, tier)) => (Ok(model), ServedFrom::from(tier)),
+                None => {
+                    let fit = fitted
+                        .iter()
+                        .find(|(k, _)| *k == job.key)
+                        .map(|(_, r)| r.clone())
+                        .expect("every missing key was fitted");
+                    (fit, ServedFrom::ColdFit)
+                }
+            })
+            .collect()
+    }
+
+    /// Remove `key` from both cache tiers (resident entry, queued spill, on-disk
+    /// snapshot). Returns whether the key existed in either tier. The memory tier is
+    /// cleared under the lock; the snapshot unlink — filesystem I/O — runs after the
+    /// lock drops, like every other store operation in this engine.
+    pub fn evict(&self, key: ModelKey) -> bool {
+        let (in_memory, task) = self
+            .cache
+            .lock()
+            .expect("model cache lock poisoned")
+            .evict_resident(key);
+        let on_disk = task.is_some_and(crate::cache::EvictTask::execute);
+        in_memory || on_disk
+    }
+
+    /// The resident models, most recently used first.
+    pub fn resident_models(&self) -> Vec<(ModelKey, Arc<GemModel>)> {
+        self.cache
+            .lock()
+            .expect("model cache lock poisoned")
+            .resident_models()
+    }
+
+    /// One-lock consistent snapshot of the memory tier: cumulative counters, resident
+    /// model count, and approximate resident bytes — so a stats report can never show a
+    /// count and a byte total from two different instants.
+    pub fn cache_snapshot(&self) -> (CacheStats, usize, u64) {
+        let cache = self.cache.lock().expect("model cache lock poisoned");
+        (cache.stats(), cache.len(), cache.approx_bytes())
+    }
+
+    /// The attached store tier, if any.
+    pub fn store(&self) -> Option<Arc<ModelStore>> {
+        self.cache
+            .lock()
+            .expect("model cache lock poisoned")
+            .store()
+            .map(Arc::clone)
     }
 
     /// Cumulative cache counters.

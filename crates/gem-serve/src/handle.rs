@@ -1,0 +1,84 @@
+//! Client-facing model handles.
+//!
+//! The fit-once/embed-by-handle protocol needs a value clients can hold between
+//! requests — and across processes — that names a fitted model without shipping the
+//! corpus again. The fingerprint [`ModelKey`] already *is* that value (it addresses both
+//! cache tiers and the on-disk snapshot), so a handle is nothing but its canonical hex
+//! rendering wrapped in a type: there is no handle table to leak or garbage-collect, any
+//! replica holding the same model resolves the same handle, and a client that re-fits an
+//! identical corpus gets an identical handle back.
+
+use crate::fingerprint::ModelKey;
+use std::fmt;
+
+/// A reference to a fitted model: the hex rendering of its [`ModelKey`]
+/// (`<corpus:016x>-<config:016x>`, as returned by a `Fit` request).
+///
+/// Handles are *resolved*, never fitted: embedding through an unknown handle yields the
+/// typed [`crate::ServeError::UnknownModel`] — the service cannot silently refit because
+/// a handle carries no corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelHandle(ModelKey);
+
+impl ModelHandle {
+    /// The underlying model key.
+    pub fn key(self) -> ModelKey {
+        self.0
+    }
+
+    /// The canonical hex rendering (the wire form).
+    pub fn to_hex(self) -> String {
+        self.0.to_hex()
+    }
+
+    /// Parse a [`ModelHandle::to_hex`] rendering; `None` for anything that is not a
+    /// canonical `<corpus>-<config>` hex pair.
+    pub fn from_hex(text: &str) -> Option<Self> {
+        ModelKey::from_hex(text).map(ModelHandle)
+    }
+
+    /// [`ModelHandle::from_hex`] with the canonical error message — the single wording
+    /// every surface (wire layer, CLI) reports for a malformed handle, so the accepted
+    /// format and its description cannot drift apart.
+    ///
+    /// # Errors
+    /// Returns the explanation for anything that is not a canonical handle.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_hex(text).ok_or_else(|| {
+            format!(
+                "`{text}` is not a <corpus>-<config> model handle (two 16-digit \
+                 lower-case hex halves joined by `-`, as returned by a Fit request)"
+            )
+        })
+    }
+}
+
+impl From<ModelKey> for ModelHandle {
+    fn from(key: ModelKey) -> Self {
+        ModelHandle(key)
+    }
+}
+
+impl fmt::Display for ModelHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_round_trips_through_hex() {
+        let key = ModelKey {
+            corpus: 0xdead_beef_0000_0001,
+            config: 0x1234_5678_9abc_def0,
+        };
+        let handle = ModelHandle::from(key);
+        assert_eq!(handle.key(), key);
+        assert_eq!(ModelHandle::from_hex(&handle.to_hex()), Some(handle));
+        assert_eq!(format!("{handle}"), handle.to_hex());
+        assert_eq!(ModelHandle::from_hex("not-a-handle"), None);
+    }
+}

@@ -19,10 +19,16 @@
 //!   an EM re-fit, with bit-identical transforms.
 //! * [`BatchEngine`] — groups a batch of embed requests per model, fits each distinct
 //!   cold model once (distinct fits in parallel), publishes the fits to the cache, and
-//!   fans every transform out across threads via `gem-parallel`.
-//! * [`EmbedService`] — the front-end: serves any [`gem_core::MethodRegistry`] method by
-//!   name. Gem pipeline variants are served through the model cache; methods without a
-//!   fit/transform seam dispatch straight to the registry.
+//!   fans every transform out across threads via `gem-parallel`. Store writes queued by
+//!   evictions execute **after the cache lock is released**, so a slow disk never blocks
+//!   concurrent lookups.
+//! * [`EmbedService`] — the front-end: the typed, handle-based [`ServeRequest`] protocol
+//!   (`Fit` → [`ModelHandle`] → `Embed`/`Evict`, plus the one-shot `EmbedCorpus` path for
+//!   any [`gem_core::MethodRegistry`] method by name) with the stable-coded
+//!   [`ServeError`] taxonomy.
+//! * [`net::GemServer`] / [`client::GemClient`] — the same protocol over TCP as
+//!   newline-delimited `gem-proto` JSON envelopes (the `gem-served` and `gem-client`
+//!   binaries wrap them).
 //!
 //! ```
 //! use gem_core::{FeatureSet, GemColumn, GemConfig, MethodRegistry};
@@ -37,26 +43,42 @@
 //!     GemColumn::new((0..40).map(f64::from).collect(), "age"),
 //!     GemColumn::new((0..40).map(|i| 500.0 + 3.0 * f64::from(i)).collect(), "price"),
 //! ]);
-//! let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
-//! assert!(!cold.cache_hit);
-//! // Same corpus again: the fitted model is reused, no EM re-fit.
-//! let warm = service.serve_one(ServeRequest::new("Gem (D+S)", corpus));
-//! assert!(warm.cache_hit);
-//! assert_eq!(cold.matrix.unwrap(), warm.matrix.unwrap());
+//! // Fit once; the returned handle names the model from now on.
+//! let fitted = service
+//!     .serve_one(ServeRequest::fit(Arc::clone(&corpus), config.clone(), FeatureSet::ds()))
+//!     .unwrap();
+//! let handle = fitted.handle().unwrap();
+//! // Embed by handle: the request carries no corpus, so nothing can be refitted.
+//! let served = service
+//!     .serve_one(ServeRequest::embed(handle, corpus.to_vec()))
+//!     .unwrap();
+//! assert!(served.cache_hit());
+//! assert_eq!(served.matrix().unwrap().rows(), corpus.len());
 //! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod cache;
+pub mod client;
+pub mod demo;
 mod engine;
+mod error;
+mod handle;
+pub mod net;
 mod service;
 
-pub use cache::{CachePolicy, CacheStats, CacheTier, ModelCache};
-pub use engine::{BatchEngine, EngineRequest, EngineResponse, ServedFrom};
+pub use cache::{CachePolicy, CacheStats, CacheTier, EvictTask, ModelCache, SpillTask};
+pub use client::{ClientError, EmbedOutcome, FitOutcome, GemClient};
+pub use engine::{BatchEngine, EngineRequest, EngineResponse, FitJob, ServedFrom};
+pub use error::ServeError;
 pub use gem_store::fingerprint;
 pub use gem_store::{
     config_fingerprint, corpus_fingerprint, model_key, GcPolicy, ModelKey, ModelStore, StoreError,
     StoreStats,
 };
-pub use service::{EmbedService, ServeRequest, ServeResponse};
+pub use handle::ModelHandle;
+pub use net::{GemServer, ServerCounters, ServerHandle};
+pub use service::{
+    EmbedService, ModelInfo, ServeRequest, ServeResponse, ServeResult, ServiceStats,
+};

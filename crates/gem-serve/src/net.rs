@@ -1,0 +1,563 @@
+//! The socket front-end: [`GemServer`] serves the handle-based protocol over TCP.
+//!
+//! Framing is newline-delimited `gem-proto` JSON (one [`gem_proto::RequestEnvelope`]
+//! per line in, one [`gem_proto::ResponseEnvelope`] per line out), so any language with
+//! sockets and JSON can speak to it. The server is deliberately `std::net`-only — one
+//! OS thread per connection, the same scoped-thread idiom `gem-parallel` builds on —
+//! because the expensive work (EM fits, transforms) is CPU-bound and already fanned out
+//! inside [`EmbedService`]; an async reactor would add a dependency without adding
+//! throughput here.
+//!
+//! Operational properties:
+//!
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] flips a flag and nudges the
+//!   acceptor awake; connection threads notice within their read-timeout tick, finish
+//!   the request in flight, and are joined before [`GemServer::run`] returns.
+//! * **Request counters** — connections accepted, requests served and protocol errors
+//!   are counted on shared atomics ([`ServerCounters`]), readable while running.
+//! * **Typed errors end-to-end** — serving failures travel as their stable
+//!   [`crate::ServeError::code`]s; malformed lines get `protocol_error` /
+//!   `version_mismatch` bodies (with the request id salvaged when possible) instead of
+//!   a dropped connection.
+
+use crate::error::ServeError;
+use crate::handle::ModelHandle;
+use crate::service::{EmbedService, ModelInfo, ServeRequest, ServeResponse, ServiceStats};
+use crate::{CacheTier, ServedFrom};
+use gem_proto::{self as proto, RequestBody, ResponseBody};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle connection thread wakes to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Pause after a failed `accept` so persistent errors (e.g. fd exhaustion) degrade to
+/// slow retries instead of a busy spin.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Monotonic counters shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Protocol lines answered so far (including error responses).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Lines that failed to decode (answered with `protocol_error`/`version_mismatch`).
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A remote control for a running [`GemServer`]: address, counters, shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live request counters.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Ask the server to stop: no new connections are accepted, in-flight requests
+    /// finish, idle connections close within one read-timeout tick. Safe to call more
+    /// than once.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `accept`; a throwaway connection wakes it so it can
+        // observe the flag without waiting for real traffic.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A TCP server over an [`EmbedService`]. Bind, then [`GemServer::run`] (blocking) or
+/// hold the [`ServerHandle`] from [`GemServer::handle`] to stop it from another thread.
+#[derive(Debug)]
+pub struct GemServer {
+    listener: TcpListener,
+    service: Arc<EmbedService>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+}
+
+impl GemServer {
+    /// Bind `addr` (use port 0 for an ephemeral port; read it back with
+    /// [`GemServer::local_addr`]).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(service: Arc<EmbedService>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(GemServer {
+            listener: TcpListener::bind(addr)?,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(ServerCounters::default()),
+        })
+    }
+
+    /// The bound address (ephemeral port resolved).
+    ///
+    /// # Errors
+    /// Propagates the socket-introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for observing and stopping the server from other threads.
+    ///
+    /// # Errors
+    /// Propagates the socket-introspection failure.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.listener.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    /// Accept connections until [`ServerHandle::shutdown`] is called, one thread per
+    /// connection. Joins every connection thread before returning, so when this returns
+    /// no request is still in flight.
+    ///
+    /// # Errors
+    /// Propagates accept failures (transient per-connection errors are skipped).
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(stream) => stream,
+                // A failed accept (peer vanished mid-handshake, fd exhaustion, …)
+                // should not take the server down — but a *persistent* error (EMFILE
+                // under a connection flood) would otherwise turn this loop into a
+                // 100%-CPU spin, so back off briefly before retrying.
+                Err(_) => {
+                    std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                    continue;
+                }
+            };
+            self.counters.connections.fetch_add(1, Ordering::Relaxed);
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let counters = Arc::clone(&self.counters);
+            workers.push(std::thread::spawn(move || {
+                serve_connection(stream, &service, &shutdown, &counters);
+            }));
+            workers.retain(|w| !w.is_finished());
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection: read protocol lines, answer each, until EOF or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    service: &EmbedService,
+    shutdown: &AtomicBool,
+    counters: &ServerCounters,
+) {
+    // The read timeout is a shutdown tick, not a deadline: on timeout the partial line
+    // is kept and reading resumes, so slow writers lose nothing.
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    // Lines are accumulated as raw bytes, NOT via `read_line`: `read_line`'s built-in
+    // UTF-8 validation (a) turns any invalid byte into an error that would drop the
+    // connection without a response, and (b) *discards* bytes already consumed from the
+    // stream when a read-timeout tick fires mid-multibyte character — a slow writer
+    // would silently lose part of a valid request. `read_until` keeps every byte across
+    // ticks; UTF-8 is validated here, where a failure can be answered properly.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                // Invalid UTF-8 is *rejected*, not lossily replaced: replacement
+                // characters inside a JSON string would parse fine and silently mutate
+                // a header that participates in the corpus fingerprint.
+                let response = match std::str::from_utf8(&line) {
+                    Ok(text) if text.trim().is_empty() => {
+                        line.clear();
+                        continue;
+                    }
+                    Ok(text) => {
+                        counters.requests.fetch_add(1, Ordering::Relaxed);
+                        respond(service, text, counters)
+                    }
+                    Err(_) => {
+                        counters.requests.fetch_add(1, Ordering::Relaxed);
+                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        proto::encode_response(&proto::ResponseEnvelope::new(
+                            0,
+                            ResponseBody::Error {
+                                code: "protocol_error".to_string(),
+                                message: "request line is not valid UTF-8".to_string(),
+                            },
+                        ))
+                    }
+                };
+                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                // A line without a trailing newline means EOF-mid-line; it was answered
+                // best-effort above, and the next read will report EOF.
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // shutdown tick; keep any partial line (bytes, not chars)
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode, execute and encode one protocol line. Never panics on foreign input: every
+/// failure becomes an error response body with a stable code.
+fn respond(service: &EmbedService, line: &str, counters: &ServerCounters) -> String {
+    let envelope = match proto::decode_request(line) {
+        Ok(envelope) => envelope,
+        Err(error) => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return proto::encode_response(&proto::ResponseEnvelope::new(
+                proto::salvage_request_id(line),
+                ResponseBody::Error {
+                    code: error.code().to_string(),
+                    message: error.to_string(),
+                },
+            ));
+        }
+    };
+    let body = match wire_to_request(envelope.body) {
+        Ok(request) => match service.serve_one(request) {
+            Ok(response) => response_to_wire(response),
+            Err(error) => error_body(&error),
+        },
+        Err(error) => error_body(&error),
+    };
+    proto::encode_response(&proto::ResponseEnvelope::new(envelope.id, body))
+}
+
+fn parse_handle(text: &str) -> Result<ModelHandle, ServeError> {
+    ModelHandle::parse(text).map_err(|reason| ServeError::InvalidRequest { reason })
+}
+
+/// Lower a wire request body into the service's typed request.
+pub(crate) fn wire_to_request(body: RequestBody) -> Result<ServeRequest, ServeError> {
+    Ok(match body {
+        RequestBody::Fit {
+            corpus,
+            config,
+            features,
+            composition,
+        } => ServeRequest::Fit {
+            corpus: Arc::new(corpus),
+            config,
+            features,
+            composition,
+        },
+        RequestBody::Embed { handle, queries } => ServeRequest::Embed {
+            handle: parse_handle(&handle)?,
+            queries,
+        },
+        RequestBody::EmbedCorpus {
+            method,
+            corpus,
+            queries,
+            labels,
+        } => ServeRequest::EmbedCorpus {
+            method,
+            corpus: Arc::new(corpus),
+            queries,
+            labels,
+        },
+        RequestBody::Stats => ServeRequest::Stats,
+        RequestBody::ListModels => ServeRequest::ListModels,
+        RequestBody::Evict { handle } => ServeRequest::Evict {
+            handle: parse_handle(&handle)?,
+        },
+    })
+}
+
+fn tier_wire_name(tier: CacheTier) -> &'static str {
+    match tier {
+        CacheTier::Memory => "memory",
+        CacheTier::Disk => "disk",
+    }
+}
+
+fn stats_to_wire(stats: ServiceStats) -> proto::WireStats {
+    proto::WireStats {
+        hits: stats.cache.hits,
+        warm_starts: stats.cache.warm_starts,
+        misses: stats.cache.misses,
+        evictions: stats.cache.evictions,
+        expirations: stats.cache.expirations,
+        spills: stats.cache.spills,
+        store_errors: stats.cache.store_errors,
+        resident_models: stats.resident_models as u64,
+        resident_bytes: stats.resident_bytes,
+        store_entries: stats.store_entries,
+        store_bytes: stats.store_bytes,
+        requests: stats.requests,
+    }
+}
+
+fn model_info_to_wire(info: ModelInfo) -> proto::WireModelInfo {
+    proto::WireModelInfo {
+        handle: info.handle.to_hex(),
+        tier: tier_wire_name(info.tier).to_string(),
+        dim: info.dim.map(|d| d as u64),
+        bytes: info.bytes,
+    }
+}
+
+/// Raise a service response into its wire body.
+pub(crate) fn response_to_wire(response: ServeResponse) -> ResponseBody {
+    match response {
+        ServeResponse::Fitted {
+            handle,
+            dim,
+            served_from,
+        } => ResponseBody::Fitted {
+            handle: handle.to_hex(),
+            dim: dim as u64,
+            served_from: served_from.wire_name().to_string(),
+        },
+        ServeResponse::Embedded {
+            matrix,
+            served_from,
+        } => ResponseBody::Embedded {
+            matrix,
+            served_from: served_from.wire_name().to_string(),
+        },
+        ServeResponse::Stats(stats) => ResponseBody::Stats(stats_to_wire(stats)),
+        ServeResponse::Models(models) => {
+            ResponseBody::Models(models.into_iter().map(model_info_to_wire).collect())
+        }
+        ServeResponse::Evicted { existed } => ResponseBody::Evicted { existed },
+    }
+}
+
+fn error_body(error: &ServeError) -> ResponseBody {
+    ResponseBody::Error {
+        code: error.code().to_string(),
+        message: error.to_string(),
+    }
+}
+
+/// Parse a wire `served_from` back into the typed provenance (client side).
+pub(crate) fn served_from_of(name: &str) -> Result<ServedFrom, crate::client::ClientError> {
+    ServedFrom::from_wire_name(name).ok_or_else(|| crate::client::ClientError::Unexpected {
+        detail: format!("unknown served_from `{name}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientError, GemClient};
+    use gem_core::{FeatureSet, GemColumn, GemConfig, GemModel, MethodRegistry};
+
+    fn corpus() -> Vec<GemColumn> {
+        (0..5)
+            .map(|c| {
+                GemColumn::new(
+                    (0..40)
+                        .map(|i| (c * 60) as f64 + (i % 9) as f64 * 2.0)
+                        .collect(),
+                    format!("col_{c}"),
+                )
+            })
+            .collect()
+    }
+
+    fn start_server() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+        let config = GemConfig::fast();
+        let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
+        service.register_gem_family(&config);
+        let server = GemServer::bind(Arc::new(service), ("127.0.0.1", 0)).unwrap();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    #[test]
+    fn fit_embed_round_trip_is_bit_identical_over_tcp() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        let cols = corpus();
+        let config = GemConfig::fast();
+
+        let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        assert_eq!(fitted.served_from, ServedFrom::ColdFit);
+        let served = client.embed(fitted.handle, &cols).unwrap();
+        assert!(served.served_from != ServedFrom::ColdFit);
+
+        // The matrix that crossed the wire equals the in-process fit+transform exactly.
+        let direct = GemModel::fit(&cols, &config, FeatureSet::ds())
+            .unwrap()
+            .transform(&cols)
+            .unwrap();
+        assert_eq!(served.matrix, direct.matrix);
+
+        // Idempotent fit: same handle, now cache-served.
+        let again = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        assert_eq!(again.handle, fitted.handle);
+        assert_eq!(again.served_from, ServedFrom::MemoryCache);
+
+        server.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(server.counters().connections(), 1);
+        assert_eq!(server.counters().requests(), 3);
+        assert_eq!(server.counters().protocol_errors(), 0);
+    }
+
+    #[test]
+    fn unknown_handles_surface_their_stable_code_over_tcp() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
+        let err = client.embed(bogus, &corpus()).unwrap_err();
+        match &err {
+            ClientError::Server { code, message } => {
+                assert_eq!(code, "unknown_model");
+                assert!(
+                    message.contains("Fit"),
+                    "message names the remedy: {message}"
+                );
+            }
+            other => panic!("expected a server error, got {other:?}"),
+        }
+        assert_eq!(err.code(), Some("unknown_model"));
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stats_list_evict_and_embed_corpus_work_over_tcp() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        let cols = corpus();
+        let config = GemConfig::fast();
+
+        // One-shot path (no handle): a Gem variant by registry name.
+        let one_shot = client.embed_corpus("Gem (D+S)", &cols, None, None).unwrap();
+        assert_eq!(one_shot.matrix.rows(), cols.len());
+
+        let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        let models = client.list_models().unwrap();
+        assert!(models.iter().any(|m| m.handle == fitted.handle.to_hex()));
+        let stats = client.stats().unwrap();
+        assert!(stats.resident_models >= 1);
+        assert!(stats.requests >= 2);
+
+        assert!(client.evict(fitted.handle).unwrap());
+        assert!(
+            !client.evict(fitted.handle).unwrap(),
+            "second evict is a no-op"
+        );
+        let err = client.embed(fitted.handle, &cols).unwrap_err();
+        assert_eq!(err.code(), Some("unknown_model"));
+
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_get_protocol_error_responses_not_disconnects() {
+        let (server, join) = start_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                b"this is not json\n{\"id\":7,\"version\":99,\"body\":{\"type\":\"stats\"}}\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let first = gem_proto::decode_response(&line).unwrap();
+        assert_eq!(first.id, 0, "unsalvageable id defaults to 0");
+        assert!(
+            matches!(&first.body, ResponseBody::Error { code, .. } if code == "protocol_error")
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let second = gem_proto::decode_response(&line).unwrap();
+        assert_eq!(second.id, 7, "id is salvaged from version-mismatched lines");
+        assert!(
+            matches!(&second.body, ResponseBody::Error { code, .. } if code == "version_mismatch")
+        );
+        // The connection survived both bad lines: a valid request still answers.
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        assert!(client.stats().is_ok());
+        assert_eq!(server.counters().protocol_errors(), 2);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served_on_separate_threads() {
+        let (server, join) = start_server();
+        let addr = server.addr();
+        let cols = Arc::new(corpus());
+        let config = GemConfig::fast();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let cols = Arc::clone(&cols);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    let mut client = GemClient::connect(addr).unwrap();
+                    let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+                    client.embed(fitted.handle, &cols).unwrap().matrix
+                })
+            })
+            .collect();
+        let matrices: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        for m in &matrices[1..] {
+            assert_eq!(m, &matrices[0], "all clients see bit-identical output");
+        }
+        assert_eq!(server.counters().connections(), 4);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+}

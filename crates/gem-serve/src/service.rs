@@ -1,42 +1,108 @@
-//! The serving front-end: embed requests addressed to any registry method by name.
+//! The serving front-end: a typed, handle-based request protocol over the model cache.
 //!
-//! [`EmbedService`] wraps a [`MethodRegistry`] (so every method in the workspace — Gem,
-//! its variants, all baselines — is addressable by the same names the experiment
-//! harnesses use) and a [`BatchEngine`]. Methods registered as *Gem variants* are served
-//! through the fit/transform split and the fingerprint-keyed model cache: one EM fit per
-//! distinct corpus, cache hits for everything after. All other methods are one-shot by
-//! nature (they have no fit/transform seam) and are dispatched straight to the registry,
-//! still fanned out across threads per batch.
+//! [`EmbedService`] wraps a [`MethodRegistry`] and a [`BatchEngine`] and answers
+//! [`ServeRequest`]s — the same six-shape protocol `gem-proto` carries over a wire:
+//!
+//! * [`ServeRequest::Fit`] — fit (or reuse) the model for a corpus and return its
+//!   [`ModelHandle`]. Fitting is idempotent: an identical corpus + configuration yields
+//!   an identical handle, served from whichever cache tier already holds it.
+//! * [`ServeRequest::Embed`] — embed query columns against the model a handle names.
+//!   Handles are **resolved, never refitted**: the memory tier is consulted, then the
+//!   store tier, and a miss is the typed [`ServeError::UnknownModel`] — the corpus is
+//!   not on the wire, so a silent refit is impossible by construction.
+//! * [`ServeRequest::EmbedCorpus`] — the one-shot path: embed a corpus (or queries
+//!   against it) with any registry method by name. Gem pipeline variants registered via
+//!   [`EmbedService::register_gem_family`] are served through the model cache; methods
+//!   without a fit/transform seam compute fresh.
+//! * [`ServeRequest::Stats`], [`ServeRequest::ListModels`], [`ServeRequest::Evict`] —
+//!   introspection and lifecycle control.
+//!
+//! Every outcome is a [`ServeResult`]: a typed [`ServeResponse`] or a [`ServeError`]
+//! from the stable-coded taxonomy. Within one batch, control requests are applied first
+//! (in request order), then all fits, then all embeds — so a `Fit` and an `Embed` of the
+//! resulting handle can share a batch.
 
 use crate::cache::CachePolicy;
-use crate::engine::{BatchEngine, EngineRequest, ServedFrom};
+use crate::engine::{BatchEngine, EngineRequest, FitJob, ServedFrom};
+use crate::error::ServeError;
+use crate::fingerprint::model_key;
+use crate::handle::ModelHandle;
+use crate::CacheTier;
 use gem_core::{
-    gem_family_variants, FeatureSet, GemColumn, GemConfig, GemError, GemVariant, MethodRegistry,
+    gem_family_variants, Composition, FeatureSet, GemColumn, GemConfig, GemVariant, MethodRegistry,
 };
 use gem_numeric::Matrix;
 use gem_store::ModelStore;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One serving request: embed `queries` (or the corpus itself) with the method named
-/// `method`, against the model fitted on `corpus` when the method supports the
-/// fit/transform split.
+/// One serving request. See the [module docs](self) for the protocol shape; construct
+/// variants with the [`ServeRequest::fit`], [`ServeRequest::embed`],
+/// [`ServeRequest::embed_corpus`] and [`ServeRequest::evict`] conveniences.
 #[derive(Debug, Clone)]
-pub struct ServeRequest {
-    /// Registry name of the method to run (e.g. `"Gem (D+S)"`, `"PLE"`).
-    pub method: String,
-    /// The corpus defining the model (and the embedding input when `queries` is `None`).
-    pub corpus: Arc<Vec<GemColumn>>,
-    /// Columns to embed; `None` embeds the corpus itself. Methods without a
-    /// fit/transform seam embed these directly.
-    pub queries: Option<Vec<GemColumn>>,
-    /// Training labels for supervised methods.
-    pub labels: Option<Vec<String>>,
+pub enum ServeRequest {
+    /// Fit (or reuse) the model for `corpus` and return its handle.
+    Fit {
+        /// The corpus defining the model.
+        corpus: Arc<Vec<GemColumn>>,
+        /// Pipeline configuration to fit with.
+        config: GemConfig,
+        /// Which evidence types the model uses.
+        features: FeatureSet,
+        /// Optional composition override applied on top of `config`.
+        composition: Option<Composition>,
+    },
+    /// Embed `queries` against the fitted model `handle` names.
+    Embed {
+        /// Handle returned by an earlier `Fit`.
+        handle: ModelHandle,
+        /// Columns to embed against the model.
+        queries: Vec<GemColumn>,
+    },
+    /// One-shot: embed `queries` (or the corpus itself) with the registry method
+    /// `method`, against the model fitted on `corpus` when the method has a
+    /// fit/transform seam.
+    EmbedCorpus {
+        /// Registry name of the method to run (e.g. `"Gem (D+S)"`, `"PLE"`).
+        method: String,
+        /// The corpus defining the model (and the embedding input when `queries` is
+        /// `None`).
+        corpus: Arc<Vec<GemColumn>>,
+        /// Columns to embed; `None` embeds the corpus itself.
+        queries: Option<Vec<GemColumn>>,
+        /// Training labels for supervised methods.
+        labels: Option<Vec<String>>,
+    },
+    /// Report cumulative service statistics.
+    Stats,
+    /// List every model the service can currently resolve, across both cache tiers.
+    ListModels,
+    /// Remove the model `handle` names from both cache tiers.
+    Evict {
+        /// Handle of the model to remove.
+        handle: ModelHandle,
+    },
 }
 
 impl ServeRequest {
-    /// A request that embeds the corpus itself with `method`.
-    pub fn new(method: impl Into<String>, corpus: Arc<Vec<GemColumn>>) -> Self {
-        ServeRequest {
+    /// A `Fit` request (no composition override).
+    pub fn fit(corpus: Arc<Vec<GemColumn>>, config: GemConfig, features: FeatureSet) -> Self {
+        ServeRequest::Fit {
+            corpus,
+            config,
+            features,
+            composition: None,
+        }
+    }
+
+    /// An `Embed` request.
+    pub fn embed(handle: ModelHandle, queries: Vec<GemColumn>) -> Self {
+        ServeRequest::Embed { handle, queries }
+    }
+
+    /// An `EmbedCorpus` request that embeds the corpus itself with `method`.
+    pub fn embed_corpus(method: impl Into<String>, corpus: Arc<Vec<GemColumn>>) -> Self {
+        ServeRequest::EmbedCorpus {
             method: method.into(),
             corpus,
             queries: None,
@@ -44,42 +110,151 @@ impl ServeRequest {
         }
     }
 
-    /// Builder-style query columns.
-    pub fn with_queries(mut self, queries: Vec<GemColumn>) -> Self {
-        self.queries = Some(queries);
+    /// An `Evict` request.
+    pub fn evict(handle: ModelHandle) -> Self {
+        ServeRequest::Evict { handle }
+    }
+
+    /// Builder-style query columns (meaningful on `EmbedCorpus`; no-op otherwise).
+    pub fn with_queries(mut self, new_queries: Vec<GemColumn>) -> Self {
+        if let ServeRequest::EmbedCorpus { queries, .. } = &mut self {
+            *queries = Some(new_queries);
+        }
         self
     }
 
-    /// Builder-style supervised labels.
-    pub fn with_labels(mut self, labels: Vec<String>) -> Self {
-        self.labels = Some(labels);
+    /// Builder-style supervised labels (meaningful on `EmbedCorpus`; no-op otherwise).
+    pub fn with_labels(mut self, new_labels: Vec<String>) -> Self {
+        if let ServeRequest::EmbedCorpus { labels, .. } = &mut self {
+            *labels = Some(new_labels);
+        }
         self
+    }
+
+    /// Builder-style composition override (meaningful on `Fit`; no-op otherwise).
+    pub fn with_composition(mut self, new_composition: Composition) -> Self {
+        if let ServeRequest::Fit { composition, .. } = &mut self {
+            *composition = Some(new_composition);
+        }
+        self
+    }
+}
+
+/// Cumulative service statistics: the model-cache counters plus resident/store sizing
+/// and the number of requests this service instance has processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Model-cache counters (hits, warm starts, spills, …).
+    pub cache: crate::CacheStats,
+    /// Models resident in the memory tier.
+    pub resident_models: usize,
+    /// Approximate bytes of the resident models.
+    pub resident_bytes: u64,
+    /// Snapshots in the store tier (`None` without a store, or when listing it failed).
+    pub store_entries: Option<u64>,
+    /// Total bytes of the store tier (`None` without a store, or on listing failure).
+    pub store_bytes: Option<u64>,
+    /// Requests processed by this service (every [`ServeRequest`] counts one).
+    pub requests: u64,
+}
+
+/// One resolvable model, as listed by [`ServeRequest::ListModels`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The model's handle.
+    pub handle: ModelHandle,
+    /// The *closest* tier holding it (memory shadows disk).
+    pub tier: CacheTier,
+    /// Embedding dimensionality — known for resident models, `None` for disk-only
+    /// snapshots (reporting it would require deserialising every file).
+    pub dim: Option<usize>,
+    /// Approximate resident bytes (memory tier) or snapshot file size (disk tier).
+    pub bytes: u64,
+}
+
+/// A successful serving response; one variant per request shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// Outcome of a `Fit`: the model's handle, its embedding dimensionality, and which
+    /// tier produced it ([`ServedFrom::ColdFit`] when this request paid the EM fit).
+    Fitted {
+        /// Handle addressing the fitted model in every later request.
+        handle: ModelHandle,
+        /// Embedding dimensionality of the model.
+        dim: usize,
+        /// Where the model came from.
+        served_from: ServedFrom,
+    },
+    /// Outcome of an `Embed` or `EmbedCorpus`: one embedding row per requested column.
+    Embedded {
+        /// The embedding matrix.
+        matrix: Matrix,
+        /// Where the model came from ([`ServedFrom::ColdFit`] for one-shot methods).
+        served_from: ServedFrom,
+    },
+    /// Outcome of a `Stats` request.
+    Stats(ServiceStats),
+    /// Outcome of a `ListModels` request, memory tier first.
+    Models(Vec<ModelInfo>),
+    /// Outcome of an `Evict`: whether the handle existed in either tier.
+    Evicted {
+        /// `true` when a model was actually removed.
+        existed: bool,
+    },
+}
+
+impl ServeResponse {
+    /// The embedding matrix, when this is an `Embedded` response.
+    pub fn matrix(&self) -> Option<&Matrix> {
+        match self {
+            ServeResponse::Embedded { matrix, .. } => Some(matrix),
+            _ => None,
+        }
+    }
+
+    /// Consume into the embedding matrix, when this is an `Embedded` response.
+    pub fn into_matrix(self) -> Option<Matrix> {
+        match self {
+            ServeResponse::Embedded { matrix, .. } => Some(matrix),
+            _ => None,
+        }
+    }
+
+    /// The model handle, when this is a `Fitted` response.
+    pub fn handle(&self) -> Option<ModelHandle> {
+        match self {
+            ServeResponse::Fitted { handle, .. } => Some(*handle),
+            _ => None,
+        }
+    }
+
+    /// The model provenance, when this response carries one.
+    pub fn served_from(&self) -> Option<ServedFrom> {
+        match self {
+            ServeResponse::Fitted { served_from, .. }
+            | ServeResponse::Embedded { served_from, .. } => Some(*served_from),
+            _ => None,
+        }
+    }
+
+    /// Whether a fit was avoided (the model came from either cache tier).
+    pub fn cache_hit(&self) -> bool {
+        !matches!(self.served_from(), Some(ServedFrom::ColdFit) | None)
     }
 }
 
 /// The outcome of one serving request.
-#[derive(Debug)]
-pub struct ServeResponse {
-    /// The method that was run.
-    pub method: String,
-    /// One embedding row per requested column, or the error.
-    pub matrix: Result<Matrix, GemError>,
-    /// Whether a cached model (either tier) served the request (always `false` for
-    /// methods without a fit/transform seam).
-    pub cache_hit: bool,
-    /// Which tier produced the model — [`ServedFrom::ColdFit`] for methods without a
-    /// fit/transform seam (they compute fresh by nature) and for unknown methods.
-    pub served_from: ServedFrom,
-}
+pub type ServeResult = Result<ServeResponse, ServeError>;
 
-/// Serves embed requests for any registered method by name, accelerating Gem variants
-/// with the fingerprint-keyed model cache.
+/// Serves the handle-based protocol for any registered method, accelerating Gem
+/// variants with the fingerprint-keyed model cache.
 #[derive(Debug)]
 pub struct EmbedService {
     registry: MethodRegistry,
     engine: BatchEngine,
     variants: Vec<GemVariant>,
     parallel: bool,
+    requests: AtomicU64,
 }
 
 impl EmbedService {
@@ -103,12 +278,13 @@ impl EmbedService {
             engine: BatchEngine::with_policy(policy),
             variants: Vec::new(),
             parallel: true,
+            requests: AtomicU64::new(0),
         }
     }
 
     /// Attach an on-disk model store as the cache's second tier: models evicted from
-    /// memory spill to it, and cache misses warm-start from it (deserialisation instead
-    /// of an EM re-fit) before falling back to a cold fit.
+    /// memory spill to it, cache misses warm-start from it, and handles resolve through
+    /// it — so a handle survives both eviction and a process restart.
     pub fn with_store(mut self, store: Arc<ModelStore>) -> Self {
         self.engine = self.engine.with_store(store);
         self
@@ -171,127 +347,262 @@ impl EmbedService {
         self.engine.cache_stats()
     }
 
-    /// Process a batch of requests, returning one response per request in input order.
+    /// Cumulative service statistics (cache counters, tier sizes, request count). The
+    /// memory-tier numbers come from one consistent cache snapshot; the store listing
+    /// (filesystem I/O) happens outside the cache lock and degrades to "unknown" on
+    /// failure — stats are best-effort, never an error.
+    pub fn stats(&self) -> ServiceStats {
+        let (cache, resident_models, resident_bytes) = self.engine.cache_snapshot();
+        let (store_entries, store_bytes) = match self.engine.store().map(|s| s.stats()) {
+            Some(Ok(stats)) => (Some(stats.entries as u64), Some(stats.total_bytes)),
+            Some(Err(_)) | None => (None, None),
+        };
+        ServiceStats {
+            cache,
+            resident_models,
+            resident_bytes,
+            store_entries,
+            store_bytes,
+            requests: self.requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every model the service can currently resolve: resident models first (most
+    /// recently used first), then disk-only snapshots.
     ///
-    /// Requests for cache-servable Gem variants are grouped per model and run through the
-    /// [`BatchEngine`] (one fit per distinct corpus+configuration, transforms fanned out
-    /// across threads); all other known methods are dispatched to the registry, also
-    /// fanned out. Unknown names yield [`GemError::UnknownMethod`].
-    pub fn serve(&self, requests: Vec<ServeRequest>) -> Vec<ServeResponse> {
-        enum Plan {
-            Engine {
-                method: String,
-                slot: usize,
-            },
+    /// # Errors
+    /// Returns [`ServeError::Store`] when the store tier exists but cannot be listed.
+    pub fn models(&self) -> Result<Vec<ModelInfo>, ServeError> {
+        let resident = self.engine.resident_models();
+        let mut infos: Vec<ModelInfo> = resident
+            .iter()
+            .map(|(key, model)| ModelInfo {
+                handle: ModelHandle::from(*key),
+                tier: CacheTier::Memory,
+                dim: Some(model.dim()),
+                bytes: model.approx_mem_bytes(),
+            })
+            .collect();
+        if let Some(store) = self.engine.store() {
+            let entries = store.list().map_err(|e| ServeError::Store {
+                message: e.to_string(),
+            })?;
+            for entry in entries {
+                if !resident.iter().any(|(key, _)| *key == entry.key) {
+                    infos.push(ModelInfo {
+                        handle: ModelHandle::from(entry.key),
+                        tier: CacheTier::Disk,
+                        dim: None,
+                        bytes: entry.bytes,
+                    });
+                }
+            }
+        }
+        Ok(infos)
+    }
+
+    /// Process a batch of requests, returning one result per request in input order.
+    ///
+    /// Execution order within a batch: control requests (`Stats`, `ListModels`,
+    /// `Evict`) apply first, in request order; then every `Fit` (one EM fit per
+    /// *distinct* key, distinct fits in parallel); then every embed — so an `Embed` may
+    /// use a handle `Fit` earlier in the same batch. Engine-served and one-shot embeds
+    /// run side by side, each fanned out across threads.
+    pub fn serve(&self, requests: Vec<ServeRequest>) -> Vec<ServeResult> {
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let n = requests.len();
+        let mut results: Vec<Option<ServeResult>> = (0..n).map(|_| None).collect();
+
+        // Side jobs: one-shot registry methods and embed-by-handle transforms, fanned
+        // out together opposite the engine batch.
+        enum SideJob {
             Registry {
+                index: usize,
                 method: String,
                 corpus: Arc<Vec<GemColumn>>,
                 queries: Option<Vec<GemColumn>>,
                 labels: Option<Vec<String>>,
             },
-            Unknown {
-                method: String,
+            Transform {
+                index: usize,
+                model: Arc<gem_core::GemModel>,
+                served_from: ServedFrom,
+                queries: Vec<GemColumn>,
             },
         }
-        // Requests are consumed: their corpus handles and query columns move into the
-        // plan (no copies of column data on the serving path).
-        let mut engine_requests: Vec<EngineRequest> = Vec::new();
-        let plans: Vec<Plan> = requests
-            .into_iter()
-            .map(|request| {
-                if let Some(variant) = self.variants.iter().find(|v| v.name == request.method) {
-                    engine_requests.push(EngineRequest {
-                        config: variant.config.clone(),
-                        features: variant.features,
-                        corpus: request.corpus,
-                        queries: request.queries,
-                    });
-                    Plan::Engine {
-                        method: request.method,
-                        slot: engine_requests.len() - 1,
-                    }
-                } else if self.registry.get(&request.method).is_some() {
-                    Plan::Registry {
-                        method: request.method,
-                        corpus: request.corpus,
-                        queries: request.queries,
-                        labels: request.labels,
-                    }
-                } else {
-                    Plan::Unknown {
-                        method: request.method,
-                    }
-                }
-            })
-            .collect();
 
-        // The engine batch (fits + transforms) and the registry fan-out are independent,
-        // so run them side by side: a mixed batch pays max(engine, registry) wall-clock,
-        // not their sum. Registry-dispatched methods have no fit/transform seam.
-        let (engine_out, registry_results): (_, Vec<Option<Result<Matrix, GemError>>>) =
-            gem_parallel::join(
-                || self.engine.run(&engine_requests),
-                || {
-                    gem_parallel::par_map(&plans, self.parallel, |plan| match plan {
-                        Plan::Registry {
+        // Pass 1: plan. Control requests answer immediately; fit and embed work is
+        // collected for the batched passes below.
+        let mut fit_slots: Vec<usize> = Vec::new();
+        let mut fit_jobs: Vec<FitJob> = Vec::new();
+        let mut embed_jobs: Vec<(usize, ModelHandle, Vec<GemColumn>)> = Vec::new();
+        let mut engine_slots: Vec<usize> = Vec::new();
+        let mut engine_requests: Vec<EngineRequest> = Vec::new();
+        let mut side_jobs: Vec<SideJob> = Vec::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            match request {
+                ServeRequest::Fit {
+                    corpus,
+                    mut config,
+                    features,
+                    composition,
+                } => {
+                    if let Some(composition) = composition {
+                        config.composition = composition;
+                    }
+                    let key = model_key(&corpus, &config, features);
+                    fit_slots.push(i);
+                    fit_jobs.push(FitJob {
+                        key,
+                        corpus,
+                        config,
+                        features,
+                    });
+                }
+                ServeRequest::Embed { handle, queries } => embed_jobs.push((i, handle, queries)),
+                ServeRequest::EmbedCorpus {
+                    method,
+                    corpus,
+                    queries,
+                    labels,
+                } => {
+                    if let Some(variant) = self.variants.iter().find(|v| v.name == method) {
+                        engine_slots.push(i);
+                        engine_requests.push(EngineRequest {
+                            config: variant.config.clone(),
+                            features: variant.features,
+                            corpus,
+                            queries,
+                        });
+                    } else if self.registry.get(&method).is_some() {
+                        side_jobs.push(SideJob::Registry {
+                            index: i,
                             method,
                             corpus,
                             queries,
                             labels,
-                        } => {
-                            let columns: &[GemColumn] = match queries {
-                                Some(queries) => queries,
-                                None => corpus,
-                            };
-                            Some(
-                                self.registry
-                                    .require(method)
-                                    .and_then(|m| m.embed(columns, labels.as_deref())),
-                            )
-                        }
-                        _ => None,
-                    })
-                },
-            );
-        let mut engine_responses: Vec<Option<crate::EngineResponse>> =
-            engine_out.into_iter().map(Some).collect();
+                        });
+                    } else {
+                        results[i] = Some(Err(ServeError::UnknownMethod { method }));
+                    }
+                }
+                ServeRequest::Stats => {
+                    results[i] = Some(Ok(ServeResponse::Stats(self.stats())));
+                }
+                ServeRequest::ListModels => {
+                    results[i] = Some(self.models().map(ServeResponse::Models));
+                }
+                ServeRequest::Evict { handle } => {
+                    results[i] = Some(Ok(ServeResponse::Evicted {
+                        existed: self.engine.evict(handle.key()),
+                    }));
+                }
+            }
+        }
 
-        plans
+        // Pass 2: fits (before embeds, so a batch can fit and embed the same handle).
+        for ((slot, job), (outcome, served_from)) in fit_slots
+            .iter()
+            .zip(&fit_jobs)
+            .zip(self.engine.fit_models(&fit_jobs))
+        {
+            results[*slot] = Some(match outcome {
+                Ok(model) => Ok(ServeResponse::Fitted {
+                    handle: ModelHandle::from(job.key),
+                    dim: model.dim(),
+                    served_from,
+                }),
+                Err(e) => Err(ServeError::Fit(e)),
+            });
+        }
+
+        // Pass 3: resolve embed handles (never fitting — a miss is UnknownModel).
+        for (index, handle, queries) in embed_jobs {
+            match self.engine.resolve(handle.key()) {
+                Some((model, tier)) => side_jobs.push(SideJob::Transform {
+                    index,
+                    model,
+                    served_from: ServedFrom::from(tier),
+                    queries,
+                }),
+                None => results[index] = Some(Err(ServeError::UnknownModel { handle })),
+            }
+        }
+
+        // Pass 4: the engine batch (grouped fits + transforms) and the side jobs are
+        // independent, so a mixed batch pays max(engine, side), not their sum.
+        let (engine_out, side_out): (_, Vec<(usize, ServeResult)>) = gem_parallel::join(
+            || self.engine.run(&engine_requests),
+            || {
+                gem_parallel::par_map(&side_jobs, self.parallel, |job| match job {
+                    SideJob::Registry {
+                        index,
+                        method,
+                        corpus,
+                        queries,
+                        labels,
+                    } => {
+                        let columns: &[GemColumn] = match queries {
+                            Some(queries) => queries,
+                            None => corpus,
+                        };
+                        let result = self
+                            .registry
+                            .require(method)
+                            .and_then(|m| m.embed(columns, labels.as_deref()))
+                            .map(|matrix| ServeResponse::Embedded {
+                                matrix,
+                                served_from: ServedFrom::ColdFit,
+                            })
+                            .map_err(ServeError::from_method_error);
+                        (*index, result)
+                    }
+                    SideJob::Transform {
+                        index,
+                        model,
+                        served_from,
+                        queries,
+                    } => {
+                        let result = model
+                            .transform(queries)
+                            .map(|embedding| ServeResponse::Embedded {
+                                matrix: embedding.matrix,
+                                served_from: *served_from,
+                            })
+                            .map_err(ServeError::Transform);
+                        (*index, result)
+                    }
+                })
+            },
+        );
+        for (slot, response) in engine_slots.iter().zip(engine_out) {
+            let served_from = response.served_from;
+            results[*slot] = Some(match response.embedding {
+                Ok(embedding) => Ok(ServeResponse::Embedded {
+                    matrix: embedding.matrix,
+                    served_from,
+                }),
+                // The engine conflates fit and transform failures; a cold model means
+                // the fit itself (or the fused pipeline) failed.
+                Err(e) => Err(match served_from {
+                    ServedFrom::ColdFit => ServeError::Fit(e),
+                    _ => ServeError::Transform(e),
+                }),
+            });
+        }
+        for (index, result) in side_out {
+            results[index] = Some(result);
+        }
+
+        results
             .into_iter()
-            .zip(registry_results)
-            .map(|(plan, registry_result)| match plan {
-                Plan::Engine { method, slot } => {
-                    let response = engine_responses[slot]
-                        .take()
-                        .expect("one engine response per engine request");
-                    ServeResponse {
-                        method,
-                        matrix: response.embedding.map(|e| e.matrix),
-                        cache_hit: response.cache_hit,
-                        served_from: response.served_from,
-                    }
-                }
-                Plan::Registry { method, .. } => ServeResponse {
-                    method,
-                    matrix: registry_result.expect("registry plan produced a result"),
-                    cache_hit: false,
-                    served_from: ServedFrom::ColdFit,
-                },
-                Plan::Unknown { method } => {
-                    let err = GemError::UnknownMethod(method.clone());
-                    ServeResponse {
-                        method,
-                        matrix: Err(err),
-                        cache_hit: false,
-                        served_from: ServedFrom::ColdFit,
-                    }
-                }
-            })
+            .map(|r| r.expect("every request slot was answered"))
             .collect()
     }
 
     /// Convenience: serve a single request.
-    pub fn serve_one(&self, request: ServeRequest) -> ServeResponse {
+    pub fn serve_one(&self, request: ServeRequest) -> ServeResult {
         self.serve(vec![request])
             .into_iter()
             .next()
@@ -302,7 +613,7 @@ impl EmbedService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gem_core::{ColumnEmbedder, GemEmbedder};
+    use gem_core::{ColumnEmbedder, GemEmbedder, GemError, GemModel};
 
     fn corpus() -> Arc<Vec<GemColumn>> {
         Arc::new(
@@ -341,68 +652,185 @@ mod tests {
     }
 
     #[test]
+    fn fit_returns_a_handle_and_is_idempotent() {
+        let service = service();
+        let cols = corpus();
+        let cold = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap();
+        let handle = cold.handle().expect("fit returns a handle");
+        assert_eq!(cold.served_from(), Some(ServedFrom::ColdFit));
+        // Same corpus + config: same handle, no second EM fit.
+        let warm = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap();
+        assert_eq!(warm.handle(), Some(handle));
+        assert_eq!(warm.served_from(), Some(ServedFrom::MemoryCache));
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn embed_by_handle_matches_in_process_fit_transform_exactly() {
+        let service = service();
+        let cols = corpus();
+        let handle = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let queries = vec![GemColumn::new(
+            (0..25).map(|i| 100.0 + (i % 7) as f64).collect(),
+            "unseen",
+        )];
+        let served = service
+            .serve_one(ServeRequest::embed(handle, queries.clone()))
+            .unwrap();
+        assert!(served.cache_hit());
+        let direct = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::ds())
+            .unwrap()
+            .transform(&queries)
+            .unwrap();
+        assert_eq!(served.into_matrix().unwrap(), direct.matrix);
+    }
+
+    #[test]
+    fn unknown_handles_error_instead_of_refitting() {
+        let service = service();
+        let bogus = ModelHandle::from_hex("0000000000000001-0000000000000002").unwrap();
+        let err = service
+            .serve_one(ServeRequest::embed(bogus, corpus().to_vec()))
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown_model");
+        assert!(matches!(err, ServeError::UnknownModel { handle } if handle == bogus));
+        // Nothing was fitted on our behalf.
+        assert_eq!(service.stats().resident_models, 0);
+    }
+
+    #[test]
+    fn fit_and_embed_compose_within_one_batch() {
+        let service = service();
+        let cols = corpus();
+        // The handle is deterministic, so a client that knows the fingerprint can pair
+        // a Fit and an Embed in a single batch.
+        let handle = ModelHandle::from(model_key(&cols, &GemConfig::fast(), FeatureSet::ds()));
+        let results = service.serve(vec![
+            ServeRequest::fit(Arc::clone(&cols), GemConfig::fast(), FeatureSet::ds()),
+            ServeRequest::embed(handle, cols.to_vec()),
+        ]);
+        assert_eq!(results[0].as_ref().unwrap().handle(), Some(handle));
+        let direct = GemEmbedder::new(GemConfig::fast())
+            .embed(&cols, FeatureSet::ds())
+            .unwrap();
+        assert_eq!(
+            results[1].as_ref().unwrap().matrix().unwrap(),
+            &direct.matrix
+        );
+    }
+
+    #[test]
+    fn evict_invalidates_a_handle() {
+        let service = service();
+        let cols = corpus();
+        let handle = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let evicted = service.serve_one(ServeRequest::evict(handle)).unwrap();
+        assert_eq!(evicted, ServeResponse::Evicted { existed: true });
+        let err = service
+            .serve_one(ServeRequest::embed(handle, cols.to_vec()))
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown_model");
+        // Evicting again reports the truth.
+        let again = service.serve_one(ServeRequest::evict(handle)).unwrap();
+        assert_eq!(again, ServeResponse::Evicted { existed: false });
+    }
+
+    #[test]
     fn gem_methods_are_cache_served_and_exact() {
         let service = service();
         assert!(service.is_cache_served("Gem (D+S)"));
         assert!(!service.is_cache_served("Identity"));
-        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
-        assert!(!cold.cache_hit);
-        let warm = service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
-        assert!(warm.cache_hit);
+        let cold = service
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", corpus()))
+            .unwrap();
+        assert!(!cold.cache_hit());
+        let warm = service
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", corpus()))
+            .unwrap();
+        assert!(warm.cache_hit());
         let direct = GemEmbedder::new(GemConfig::fast())
             .embed(&corpus(), FeatureSet::ds())
             .unwrap();
-        assert_eq!(cold.matrix.unwrap(), direct.matrix);
-        assert_eq!(warm.matrix.unwrap(), direct.matrix);
+        assert_eq!(cold.into_matrix().unwrap(), direct.matrix);
+        assert_eq!(warm.into_matrix().unwrap(), direct.matrix);
         assert_eq!(service.cache_stats().hits, 1);
     }
 
     #[test]
     fn non_gem_methods_dispatch_to_the_registry() {
         let service = service();
-        let response = service.serve_one(ServeRequest::new("Identity", corpus()));
-        assert!(!response.cache_hit);
-        let m = response.matrix.unwrap();
+        let response = service
+            .serve_one(ServeRequest::embed_corpus("Identity", corpus()))
+            .unwrap();
+        assert!(!response.cache_hit());
+        let m = response.into_matrix().unwrap();
         assert_eq!(m.shape(), (corpus().len(), 2));
     }
 
     #[test]
     fn unknown_methods_error_without_disturbing_the_batch() {
         let service = service();
-        let responses = service.serve(vec![
-            ServeRequest::new("Gem (D+S)", corpus()),
-            ServeRequest::new("no-such-method", corpus()),
-            ServeRequest::new("Identity", corpus()),
+        let results = service.serve(vec![
+            ServeRequest::embed_corpus("Gem (D+S)", corpus()),
+            ServeRequest::embed_corpus("no-such-method", corpus()),
+            ServeRequest::embed_corpus("Identity", corpus()),
         ]);
-        assert!(responses[0].matrix.is_ok());
-        assert!(matches!(
-            responses[1].matrix,
-            Err(GemError::UnknownMethod(_))
-        ));
-        assert!(responses[2].matrix.is_ok());
-        assert_eq!(responses[1].method, "no-such-method");
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.code(), "unknown_method");
+        assert!(results[2].is_ok());
     }
 
     #[test]
     fn queries_are_embedded_against_the_cached_corpus_model() {
         let service = service();
-        // Warm the model.
-        service.serve_one(ServeRequest::new("Gem (D+S)", corpus()));
+        service
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", corpus()))
+            .unwrap();
         let queries = vec![GemColumn::new(
             (0..25).map(|i| 100.0 + (i % 7) as f64).collect(),
             "unseen",
         )];
         let response = service
-            .serve_one(ServeRequest::new("Gem (D+S)", corpus()).with_queries(queries.clone()));
-        assert!(response.cache_hit);
-        let m = response.matrix.unwrap();
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", corpus()).with_queries(queries))
+            .unwrap();
+        assert!(response.cache_hit());
+        let corpus_emb = service
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", corpus()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        let m = response.into_matrix().unwrap();
         assert_eq!(m.rows(), 1);
         assert!(m.all_finite());
-        // The width matches the corpus embedding space, as a serving index requires.
-        let corpus_emb = service
-            .serve_one(ServeRequest::new("Gem (D+S)", corpus()))
-            .matrix
-            .unwrap();
         assert_eq!(m.cols(), corpus_emb.cols());
     }
 
@@ -414,11 +842,15 @@ mod tests {
         let service = EmbedService::new(registry, 2);
         let cols = corpus();
         let labels: Vec<String> = (0..cols.len()).map(|i| format!("t{}", i % 2)).collect();
-        let ok = service
-            .serve_one(ServeRequest::new("StubSupervised", Arc::clone(&cols)).with_labels(labels));
-        assert!(ok.matrix.is_ok());
-        let missing = service.serve_one(ServeRequest::new("StubSupervised", cols));
-        assert!(matches!(missing.matrix, Err(GemError::MissingLabels(_))));
+        let ok = service.serve_one(
+            ServeRequest::embed_corpus("StubSupervised", Arc::clone(&cols)).with_labels(labels),
+        );
+        assert!(ok.is_ok());
+        // Missing labels are the request's fault: a typed invalid_request, not a crash.
+        let missing = service
+            .serve_one(ServeRequest::embed_corpus("StubSupervised", cols))
+            .unwrap_err();
+        assert_eq!(missing.code(), "invalid_request");
     }
 
     fn gem_baselines_stub(registry: &mut MethodRegistry) {
@@ -441,8 +873,6 @@ mod tests {
 
     #[test]
     fn every_registry_gem_method_is_cache_served() {
-        // register_gem_family consumes gem_core::gem_family_variants — the same table the
-        // registry registers from — so every Gem name the registry knows is cache-served.
         let service = service();
         for variant in gem_family_variants(&GemConfig::fast()) {
             assert!(service.is_cache_served(&variant.name), "{}", variant.name);
@@ -452,6 +882,37 @@ mod tests {
                 variant.name
             );
         }
+    }
+
+    #[test]
+    fn stats_and_list_models_report_both_tiers() {
+        let service = service();
+        let cols = corpus();
+        let handle = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let stats = match service.serve_one(ServeRequest::Stats).unwrap() {
+            ServeResponse::Stats(stats) => stats,
+            other => panic!("expected Stats, got {other:?}"),
+        };
+        assert_eq!(stats.resident_models, 1);
+        assert!(stats.resident_bytes > 0);
+        assert_eq!(stats.store_entries, None, "no store attached");
+        assert_eq!(stats.requests, 2);
+        let models = match service.serve_one(ServeRequest::ListModels).unwrap() {
+            ServeResponse::Models(models) => models,
+            other => panic!("expected Models, got {other:?}"),
+        };
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].handle, handle);
+        assert_eq!(models[0].tier, CacheTier::Memory);
+        assert!(models[0].dim.is_some());
     }
 
     /// Removes the wrapped directory even when the test's assertions fail.
@@ -464,7 +925,7 @@ mod tests {
     }
 
     #[test]
-    fn service_warm_starts_from_an_attached_store() {
+    fn handles_survive_eviction_and_restart_through_the_store() {
         let dir = std::env::temp_dir().join(format!(
             "gem-serve-service-test-{}-warm-start",
             std::process::id()
@@ -482,21 +943,40 @@ mod tests {
         )
         .with_store(Arc::clone(&store));
         service.register_gem_family(&config);
-        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&cols)));
-        assert_eq!(cold.served_from, ServedFrom::ColdFit);
-        service.serve_one(ServeRequest::new("Gem", Arc::clone(&cols))); // evicts + spills D+S
+        let fitted = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                config.clone(),
+                FeatureSet::ds(),
+            ))
+            .unwrap();
+        let handle = fitted.handle().unwrap();
+        let cold = service
+            .serve_one(ServeRequest::embed(handle, cols.to_vec()))
+            .unwrap();
+        service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                config.clone(),
+                FeatureSet::dsc(),
+            ))
+            .unwrap(); // evicts + spills the D+S model
         assert!(service.cache_stats().spills >= 1);
 
-        // Incarnation 2: a fresh service over the same store. The first request is a
-        // disk warm start, not a re-fit, and the output is bit-identical.
+        // Incarnation 2: a fresh service over the same store. The *handle* still
+        // resolves — via a disk warm start — with bit-identical output.
         let mut restarted =
             EmbedService::new(MethodRegistry::with_gem(&config), 4).with_store(Arc::clone(&store));
         restarted.register_gem_family(&config);
-        let warm = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&cols)));
-        assert_eq!(warm.served_from, ServedFrom::DiskStore);
-        assert!(warm.cache_hit);
-        assert_eq!(warm.matrix.unwrap(), cold.matrix.unwrap());
+        let warm = restarted
+            .serve_one(ServeRequest::embed(handle, cols.to_vec()))
+            .unwrap();
+        assert_eq!(warm.served_from(), Some(ServedFrom::DiskStore));
+        assert_eq!(warm.into_matrix(), cold.into_matrix());
         assert_eq!(restarted.cache_stats().warm_starts, 1);
+        // ListModels sees the disk-only snapshots too.
+        let models = restarted.models().unwrap();
+        assert!(models.iter().any(|m| m.handle == handle));
     }
 
     #[test]
@@ -506,5 +986,29 @@ mod tests {
         service.register_gem_variant("Gem (D+S)", GemConfig::fast(), FeatureSet::d());
         assert_eq!(service.methods().len(), n);
         assert!(service.is_cache_served("Gem (D+S)"));
+    }
+
+    #[test]
+    fn fit_composition_override_changes_the_handle() {
+        let service = service();
+        let cols = corpus();
+        let plain = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let agg = service
+            .serve_one(
+                ServeRequest::fit(Arc::clone(&cols), GemConfig::fast(), FeatureSet::ds())
+                    .with_composition(Composition::Aggregation),
+            )
+            .unwrap()
+            .handle()
+            .unwrap();
+        assert_ne!(plain, agg, "composition participates in the fingerprint");
     }
 }

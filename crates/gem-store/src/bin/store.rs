@@ -9,12 +9,35 @@
 //!
 //! `<fingerprint>` is the hex key a snapshot files under (`<corpus>-<config>`, as
 //! printed by `store list`). `gc` with no bounds removes nothing; `--dry-run` prints
-//! what would be removed without deleting.
+//! what would be removed — entry count **and** the bytes it would free — without
+//! deleting.
+//!
+//! Exit codes (scriptable):
+//! * `0` — success,
+//! * `1` — usage or I/O failure,
+//! * `2` — `inspect` of a fingerprint with no snapshot,
+//! * `3` — `inspect` of a snapshot that exists but is corrupt or version-mismatched.
 
 use gem_core::Composition;
-use gem_store::{GcPolicy, ModelKey, ModelStore, StoreEntry};
+use gem_store::{GcPolicy, ModelStore, StoreEntry, StoreError};
 use std::process::ExitCode;
 use std::time::{Duration, SystemTime};
+
+/// A failed command, carrying its exit code class.
+enum Failure {
+    /// Bad arguments or an I/O problem (exit 1).
+    Usage(String),
+    /// The inspected fingerprint has no snapshot (exit 2).
+    Missing(String),
+    /// The inspected snapshot exists but cannot be trusted (exit 3).
+    Damaged(String),
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Failure::Usage(message)
+    }
+}
 
 fn age_of(entry: &StoreEntry) -> String {
     match SystemTime::now().duration_since(entry.modified) {
@@ -49,13 +72,19 @@ fn stats(store: &ModelStore) -> Result<(), String> {
     Ok(())
 }
 
-fn inspect(store: &ModelStore, fingerprint: &str) -> Result<(), String> {
-    let key = ModelKey::from_hex(fingerprint)
-        .ok_or_else(|| format!("`{fingerprint}` is not a <corpus>-<config> hex fingerprint"))?;
+fn inspect(store: &ModelStore, fingerprint: &str) -> Result<(), Failure> {
+    let key = ModelStore::parse_key(fingerprint).map_err(|e| Failure::Usage(e.to_string()))?;
     let model = store
         .load(key)
-        .map_err(|e| e.to_string())?
-        .ok_or_else(|| format!("no snapshot for {fingerprint}"))?;
+        .map_err(|e| match e {
+            // The snapshot is there but cannot be trusted: distinct exit code so
+            // monitoring can tell "never persisted" from "persisted and damaged".
+            StoreError::Corrupt { .. } | StoreError::VersionMismatch { .. } => {
+                Failure::Damaged(e.to_string())
+            }
+            other => Failure::Usage(other.to_string()),
+        })?
+        .ok_or_else(|| Failure::Missing(format!("no snapshot for {fingerprint}")))?;
     println!("fingerprint:    {}", key.to_hex());
     println!("path:           {}", store.path_of(key).display());
     println!("features:       {}", model.features().label());
@@ -113,11 +142,16 @@ fn gc(store: &ModelStore, args: &[String]) -> Result<(), String> {
     for entry in &removed {
         println!("{verb} {} ({} bytes)", entry.key.to_hex(), entry.bytes);
     }
-    println!("{} entries {verb}", removed.len());
+    let freed: u64 = removed.iter().map(|e| e.bytes).sum();
+    let freed_verb = if dry_run { "would be freed" } else { "freed" };
+    println!(
+        "{} entries {verb}, {freed} bytes {freed_verb}",
+        removed.len()
+    );
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: store <list|stats|inspect|gc> <dir> [args]\n  \
                  store list <dir>\n  \
@@ -126,34 +160,39 @@ fn run() -> Result<(), String> {
                  store gc <dir> [--max-age-secs N] [--max-entries N] [--max-bytes N] [--dry-run]";
     let (command, dir) = match (args.first(), args.get(1)) {
         (Some(command), Some(dir)) => (command.as_str(), dir),
-        _ => return Err(usage.to_string()),
+        _ => return Err(Failure::Usage(usage.to_string())),
     };
     // Every CLI command observes an existing store; silently mkdir-ing a typo'd path
     // and reporting it as an empty store would mislead the operator.
     if !std::path::Path::new(dir).is_dir() {
-        return Err(format!(
+        return Err(Failure::Usage(format!(
             "`{dir}` is not a directory (stores are created by the serving process, not the CLI)"
-        ));
+        )));
     }
-    let store = ModelStore::open(dir).map_err(|e| e.to_string())?;
+    let store = ModelStore::open(dir).map_err(|e| Failure::Usage(e.to_string()))?;
     match command {
-        "list" => list(&store),
-        "stats" => stats(&store),
+        "list" => list(&store).map_err(Failure::from),
+        "stats" => stats(&store).map_err(Failure::from),
         "inspect" => {
-            let fingerprint = args.get(2).ok_or("inspect needs a <fingerprint>")?;
+            let fingerprint = args
+                .get(2)
+                .ok_or_else(|| Failure::Usage("inspect needs a <fingerprint>".to_string()))?;
             inspect(&store, fingerprint)
         }
-        "gc" => gc(&store, &args[2..]),
-        other => Err(format!("unknown command `{other}`\n{usage}")),
+        "gc" => gc(&store, &args[2..]).map_err(Failure::from),
+        other => Err(Failure::Usage(format!(
+            "unknown command `{other}`\n{usage}"
+        ))),
     }
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("store: {message}");
-            ExitCode::FAILURE
-        }
-    }
+    let (message, code) = match run() {
+        Ok(()) => return ExitCode::SUCCESS,
+        Err(Failure::Usage(message)) => (message, 1),
+        Err(Failure::Missing(message)) => (message, 2),
+        Err(Failure::Damaged(message)) => (message, 3),
+    };
+    eprintln!("store: {message}");
+    ExitCode::from(code)
 }

@@ -12,27 +12,38 @@ use gem_core::{FeatureSet, GemColumn, GemConfig};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
-/// An incremental 64-bit FNV-1a hasher.
+/// An incremental 64-bit FNV-1a hasher — the workspace's canonical implementation
+/// (exposed so digest-printing tools don't grow their own copies of the constants).
 #[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Fnv1a {
-    fn new() -> Self {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
         Fnv1a(FNV_OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(FNV_PRIME);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    /// Absorb a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
     }
 
-    fn finish(self) -> u64 {
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
         self.0
     }
 }

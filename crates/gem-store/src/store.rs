@@ -66,6 +66,12 @@ pub enum StoreError {
         /// Version this build reads.
         expected: u64,
     },
+    /// A caller-supplied key string is not a canonical `<corpus>-<config>` hex pair
+    /// (the `*_hex` lookup entry points; typed [`ModelKey`]s cannot be malformed).
+    InvalidKey {
+        /// The rejected text.
+        text: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -85,6 +91,11 @@ impl fmt::Display for StoreError {
                 f,
                 "store file {} has format version {found}, this build reads {expected}",
                 path.display()
+            ),
+            StoreError::InvalidKey { text } => write!(
+                f,
+                "`{text}` is not a <corpus>-<config> model fingerprint (two 16-digit \
+                 lower-case hex halves joined by `-`, as printed by `store list`)"
             ),
         }
     }
@@ -309,6 +320,45 @@ impl ModelStore {
             .field("model")
             .map_err(|e| corrupt(e.to_string()))?;
         GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))
+    }
+
+    /// Parse a caller-supplied hex fingerprint into a [`ModelKey`], rejecting anything
+    /// non-canonical with [`StoreError::InvalidKey`] — the validation behind every
+    /// `*_hex` entry point (the serving protocol and the `store` CLI address snapshots
+    /// by hex string).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidKey`] for malformed fingerprints.
+    pub fn parse_key(hex: &str) -> Result<ModelKey, StoreError> {
+        ModelKey::from_hex(hex).ok_or_else(|| StoreError::InvalidKey {
+            text: hex.to_string(),
+        })
+    }
+
+    /// [`ModelStore::load`] addressed by hex fingerprint.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidKey`] for malformed fingerprints, otherwise as
+    /// [`ModelStore::load`].
+    pub fn load_hex(&self, hex: &str) -> Result<Option<GemModel>, StoreError> {
+        self.load(Self::parse_key(hex)?)
+    }
+
+    /// [`ModelStore::contains`] addressed by hex fingerprint.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::InvalidKey`] for malformed fingerprints.
+    pub fn contains_hex(&self, hex: &str) -> Result<bool, StoreError> {
+        Ok(self.contains(Self::parse_key(hex)?))
+    }
+
+    /// [`ModelStore::remove`] addressed by hex fingerprint.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidKey`] for malformed fingerprints, otherwise as
+    /// [`ModelStore::remove`].
+    pub fn remove_hex(&self, hex: &str) -> Result<bool, StoreError> {
+        self.remove(Self::parse_key(hex)?)
     }
 
     /// Remove the snapshot for `key`. Returns whether a snapshot existed.
@@ -640,6 +690,27 @@ mod tests {
         let removed = store.gc(&GcPolicy::older_than(Duration::ZERO)).unwrap();
         assert_eq!(removed.len(), 1);
         assert_eq!(removed[0].key, key);
+    }
+
+    #[test]
+    fn hex_lookups_mirror_the_typed_api_and_reject_malformed_keys() {
+        let tmp = TempDir::new("hex");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        store.save(key, &model).unwrap();
+        let hex = key.to_hex();
+        assert!(store.contains_hex(&hex).unwrap());
+        assert!(store.load_hex(&hex).unwrap().is_some());
+        let (other, _) = fitted(2);
+        assert!(!store.contains_hex(&other.to_hex()).unwrap());
+        assert!(store.load_hex(&other.to_hex()).unwrap().is_none());
+        for bad in ["", "zz", "0-1", "FFFFFFFFFFFFFFFF-0000000000000000"] {
+            let err = store.load_hex(bad).unwrap_err();
+            assert!(matches!(err, StoreError::InvalidKey { .. }), "{bad}: {err}");
+        }
+        assert!(store.remove_hex(&hex).unwrap());
+        assert!(!store.remove_hex(&hex).unwrap());
+        assert!(store.remove_hex("nope").is_err());
     }
 
     #[test]

@@ -58,18 +58,23 @@ fn main() {
         service.register_gem_family(&config);
 
         let start = Instant::now();
-        let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+        let cold = service
+            .serve_one(ServeRequest::embed_corpus("Gem (D+S)", Arc::clone(&corpus)))
+            .expect("corpus embeds");
         let cold_s = start.elapsed().as_secs_f64();
-        cold_matrix = cold.matrix.expect("corpus embeds");
+        let cold_from = cold.served_from();
+        cold_matrix = cold.into_matrix().expect("embedded response");
         println!(
             "cold fit:        {:>8.2} ms  (served_from: {:?})",
             cold_s * 1e3,
-            cold.served_from
+            cold_from
         );
 
         // Serving a second pipeline overflows the capacity-1 cache; the D+S model
         // spills to the store instead of being lost.
-        service.serve_one(ServeRequest::new("Gem", Arc::clone(&corpus)));
+        service
+            .serve_one(ServeRequest::embed_corpus("Gem", Arc::clone(&corpus)))
+            .expect("corpus embeds");
         let stats = service.cache_stats();
         println!(
             "after overflow:  spills={} evictions={}  (on disk: {} snapshots, {} bytes)",
@@ -86,15 +91,18 @@ fn main() {
     restarted.register_gem_family(&config);
 
     let start = Instant::now();
-    let warm = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let warm = restarted
+        .serve_one(ServeRequest::embed_corpus("Gem (D+S)", Arc::clone(&corpus)))
+        .expect("corpus embeds");
     let warm_s = start.elapsed().as_secs_f64();
-    let warm_matrix = warm.matrix.expect("corpus embeds");
+    let warm_from = warm.served_from();
+    let warm_matrix = warm.into_matrix().expect("embedded response");
     println!(
         "\nwarm start:      {:>8.2} ms  (served_from: {:?})",
         warm_s * 1e3,
-        warm.served_from
+        warm_from
     );
-    assert_eq!(warm.served_from, ServedFrom::DiskStore);
+    assert_eq!(warm_from, Some(ServedFrom::DiskStore));
     assert_eq!(
         warm_matrix, cold_matrix,
         "a reloaded model must transform bit-identically"
@@ -102,8 +110,10 @@ fn main() {
     println!("restart survived: warm-start output is bit-identical to the cold fit");
 
     // Subsequent requests hit the (now warm) memory tier.
-    let again = restarted.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
-    println!("next request:    served_from: {:?}", again.served_from);
+    let again = restarted
+        .serve_one(ServeRequest::embed_corpus("Gem (D+S)", Arc::clone(&corpus)))
+        .expect("corpus embeds");
+    println!("next request:    served_from: {:?}", again.served_from());
 
     if std::env::var_os("GEM_PERSISTENCE_KEEP").is_some() {
         println!(

@@ -9,29 +9,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn corpus() -> Vec<GemColumn> {
-    // A synthetic data lake: 120 columns from four semantic families.
-    let mut columns = Vec::new();
-    for s in 0..30 {
-        columns.push(GemColumn::new(
-            (0..80).map(|i| 18.0 + ((i * 7 + s) % 60) as f64).collect(),
-            format!("age_{s}"),
-        ));
-        columns.push(GemColumn::new(
-            (0..80)
-                .map(|i| 9_000.0 + 410.0 * ((i * 3 + s) % 70) as f64)
-                .collect(),
-            format!("price_{s}"),
-        ));
-        columns.push(GemColumn::new(
-            (0..80).map(|i| 1.0 + ((i * 11 + s) % 100) as f64).collect(),
-            format!("rank_{s}"),
-        ));
-        columns.push(GemColumn::new(
-            (0..80).map(|i| 1950.0 + ((i + s) % 74) as f64).collect(),
-            format!("year_{s}"),
-        ));
-    }
-    columns
+    // A synthetic data lake: 120 columns from four semantic families — the same
+    // generator `gem-client gen-corpus` writes to disk.
+    gem::serve::demo::synthetic_corpus(120, 80, 7)
 }
 
 fn main() {
@@ -48,31 +28,57 @@ fn main() {
 
     // Request 1: cold — fits the model (the expensive EM step) and caches it.
     let start = Instant::now();
-    let cold = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let cold = service
+        .serve_one(ServeRequest::embed_corpus("Gem (D+S)", Arc::clone(&corpus)))
+        .expect("corpus embeds");
     let cold_s = start.elapsed().as_secs_f64();
-    let cold_matrix = cold.matrix.expect("corpus embeds");
+    let was_hit = cold.cache_hit();
+    let cold_matrix = cold.into_matrix().expect("embedded response");
     println!(
         "cold  embed: {:>8.2} ms  (cache_hit: {}, {} columns x {} dims)",
         cold_s * 1e3,
-        cold.cache_hit,
+        was_hit,
         cold_matrix.rows(),
         cold_matrix.cols()
     );
 
     // Request 2: warm — same corpus fingerprint, so the cached model transforms only.
     let start = Instant::now();
-    let warm = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)));
+    let warm = service
+        .serve_one(ServeRequest::embed_corpus("Gem (D+S)", Arc::clone(&corpus)))
+        .expect("corpus embeds");
     let warm_s = start.elapsed().as_secs_f64();
+    let warm_hit = warm.cache_hit();
     assert_eq!(
-        warm.matrix.expect("corpus embeds"),
+        warm.into_matrix().expect("embedded response"),
         cold_matrix,
         "warm cache hits are bit-identical to the cold fit"
     );
     println!(
         "warm  embed: {:>8.2} ms  (cache_hit: {}, {:.1}x faster, bit-identical output)",
         warm_s * 1e3,
-        warm.cache_hit,
+        warm_hit,
         cold_s / warm_s.max(1e-9)
+    );
+
+    // The same seam, addressed by handle: fit once, then embed through the returned
+    // ModelHandle — the request shape that also travels over TCP (see the
+    // `remote_serving` example).
+    let fitted = service
+        .serve_one(ServeRequest::fit(
+            Arc::clone(&corpus),
+            config.clone(),
+            gem::core::FeatureSet::ds(),
+        ))
+        .expect("fit");
+    let handle = fitted.handle().expect("fitted response");
+    let by_handle = service
+        .serve_one(ServeRequest::embed(handle, corpus.to_vec()))
+        .expect("embed by handle");
+    println!(
+        "by-handle:   handle {} resolves without refitting (cache_hit: {})",
+        handle,
+        by_handle.cache_hit()
     );
 
     // Request 3: embed *new, unseen* columns against the frozen corpus model — what a
@@ -88,13 +94,15 @@ fn main() {
     ];
     let start = Instant::now();
     let response = service
-        .serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&corpus)).with_queries(queries));
+        .serve_one(ServeRequest::embed(handle, queries))
+        .expect("queries embed");
     let query_s = start.elapsed().as_secs_f64();
-    let query_matrix = response.matrix.expect("queries embed");
+    let query_hit = response.cache_hit();
+    let query_matrix = response.into_matrix().expect("embedded response");
     println!(
         "query embed: {:>8.2} ms  (cache_hit: {}, {} unseen columns into the corpus space)",
         query_s * 1e3,
-        response.cache_hit,
+        query_hit,
         query_matrix.rows()
     );
 
@@ -116,9 +124,10 @@ fn main() {
 
     // A mixed batch: Gem variants share the cached models; a batch of mixed methods runs
     // in one engine pass.
-    let batch: Vec<ServeRequest> = ["Gem (D+S)", "Gem", "D+S", "SBERT (headers only)"]
+    let methods = ["Gem (D+S)", "Gem", "D+S", "SBERT (headers only)"];
+    let batch: Vec<ServeRequest> = methods
         .iter()
-        .map(|m| ServeRequest::new(*m, Arc::clone(&corpus)))
+        .map(|m| ServeRequest::embed_corpus(*m, Arc::clone(&corpus)))
         .collect();
     let start = Instant::now();
     let responses = service.serve(batch);
@@ -128,12 +137,13 @@ fn main() {
         responses.len(),
         batch_s * 1e3
     );
-    for r in &responses {
+    for (method, r) in methods.iter().zip(&responses) {
+        let r = r.as_ref().expect("batch method embeds");
         println!(
             "  {:<22} cache_hit: {:<5} dims: {}",
-            r.method,
-            r.cache_hit,
-            r.matrix.as_ref().map(|m| m.cols()).unwrap_or(0)
+            method,
+            r.cache_hit(),
+            r.matrix().map(gem::numeric::Matrix::cols).unwrap_or(0)
         );
     }
 

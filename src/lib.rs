@@ -12,8 +12,13 @@
 //! * [`baselines`] — PLE, PAF, Squashing_GMM/SOM, the KS statistic and the `_SC` baselines,
 //! * [`data`] — the column data model and the four synthetic corpus simulators,
 //! * [`eval`] — precision@k, ARI, ACC and experiment reporting,
-//! * [`serve`] — the batch serving layer: fingerprint-keyed LRU model cache over the
-//!   fit/transform split, per-model request batching, registry-backed embed service,
+//! * [`serve`] — the serving layer: fingerprint-keyed LRU model cache over the
+//!   fit/transform split, per-model request batching, and the handle-based
+//!   [`serve::EmbedService`] protocol (`Fit` → [`serve::ModelHandle`] → `Embed`) with
+//!   its TCP front-end ([`serve::GemServer`] / [`serve::GemClient`], the `gem-served`
+//!   and `gem-client` binaries),
+//! * [`proto`] — the wire protocol those binaries speak: versioned JSON-line envelopes
+//!   with bit-exact column/matrix payload codecs,
 //! * [`store`] — full model persistence: the fingerprint-addressed on-disk
 //!   [`store::ModelStore`] the serving cache spills to and warm-starts from,
 //! * [`cluster`] — k-means, SDCN and TableDC,
@@ -60,9 +65,13 @@ pub use gem_data as data;
 /// Evaluation metrics and reporting (re-export of `gem-eval`).
 pub use gem_eval as eval;
 
-/// Batch serving: fingerprint-keyed model cache, batch engine, embed service (re-export
-/// of `gem-serve`).
+/// Serving: fingerprint-keyed model cache, batch engine, the handle-based embed
+/// service and its TCP server/client (re-export of `gem-serve`).
 pub use gem_serve as serve;
+
+/// The serving wire protocol: versioned JSON-line envelopes with bit-exact payload
+/// codecs (re-export of `gem-proto`).
+pub use gem_proto as proto;
 
 /// Model persistence: deterministic fingerprints and the fingerprint-addressed on-disk
 /// model store (re-export of `gem-store`). A saved `GemModel` reloaded in a fresh

@@ -137,11 +137,15 @@ fn every_gem_registry_method_matches_its_cached_model_output() {
         // Note: the first request for a name may already hit — method names that alias
         // the same (config, features) pair (e.g. "Gem (D+S)" and the ablation "D+S")
         // share one fingerprint and therefore one cached model.
-        let first = service.serve_one(ServeRequest::new(name, Arc::clone(&columns)));
-        let warm = service.serve_one(ServeRequest::new(name, Arc::clone(&columns)));
-        assert!(warm.cache_hit, "{name}");
-        assert_eq!(first.matrix.unwrap(), direct, "{name}: first");
-        assert_eq!(warm.matrix.unwrap(), direct, "{name}: warm");
+        let first = service
+            .serve_one(ServeRequest::embed_corpus(name, Arc::clone(&columns)))
+            .unwrap();
+        let warm = service
+            .serve_one(ServeRequest::embed_corpus(name, Arc::clone(&columns)))
+            .unwrap();
+        assert!(warm.cache_hit(), "{name}");
+        assert_eq!(first.into_matrix().unwrap(), direct, "{name}: first");
+        assert_eq!(warm.into_matrix().unwrap(), direct, "{name}: warm");
     }
 }
 
@@ -153,11 +157,18 @@ fn alias_methods_share_one_cached_model() {
     let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 4);
     service.register_gem_family(&config);
     let columns = Arc::new(corpus_columns(CorpusKind::Gds));
-    let a = service.serve_one(ServeRequest::new("Gem (D+S)", Arc::clone(&columns)));
-    let b = service.serve_one(ServeRequest::new("D+S", Arc::clone(&columns)));
-    assert!(!a.cache_hit);
-    assert!(b.cache_hit, "alias name must reuse the cached model");
-    assert_eq!(a.matrix.unwrap(), b.matrix.unwrap());
+    let a = service
+        .serve_one(ServeRequest::embed_corpus(
+            "Gem (D+S)",
+            Arc::clone(&columns),
+        ))
+        .unwrap();
+    let b = service
+        .serve_one(ServeRequest::embed_corpus("D+S", Arc::clone(&columns)))
+        .unwrap();
+    assert!(!a.cache_hit());
+    assert!(b.cache_hit(), "alias name must reuse the cached model");
+    assert_eq!(a.into_matrix().unwrap(), b.into_matrix().unwrap());
 }
 
 #[test]

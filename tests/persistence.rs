@@ -292,11 +292,15 @@ fn embed_service_round_trips_through_the_store_for_every_gem_variant() {
         .with_store(Arc::clone(&store));
         service.register_gem_family(&config);
         for name in names {
-            let response = service.serve_one(ServeRequest::new(name, Arc::clone(&columns)));
-            reference.push(response.matrix.unwrap());
+            let response = service
+                .serve_one(ServeRequest::embed_corpus(name, Arc::clone(&columns)))
+                .unwrap();
+            reference.push(response.into_matrix().unwrap());
         }
         // Overflow once more so the final resident model also spills.
-        service.serve_one(ServeRequest::new("S", Arc::clone(&columns)));
+        service
+            .serve_one(ServeRequest::embed_corpus("S", Arc::clone(&columns)))
+            .unwrap();
     }
 
     // Incarnation 2: every variant warm-starts from disk with bit-identical output.
@@ -304,13 +308,15 @@ fn embed_service_round_trips_through_the_store_for_every_gem_variant() {
         EmbedService::new(MethodRegistry::with_gem(&config), 8).with_store(Arc::clone(&store));
     service.register_gem_family(&config);
     for (name, expected) in names.iter().zip(&reference) {
-        let response = service.serve_one(ServeRequest::new(*name, Arc::clone(&columns)));
+        let response = service
+            .serve_one(ServeRequest::embed_corpus(*name, Arc::clone(&columns)))
+            .unwrap();
         assert_eq!(
-            response.served_from,
-            ServedFrom::DiskStore,
+            response.served_from(),
+            Some(ServedFrom::DiskStore),
             "{name} should warm-start"
         );
-        assert_eq!(&response.matrix.unwrap(), expected, "{name}");
+        assert_eq!(&response.into_matrix().unwrap(), expected, "{name}");
     }
     assert_eq!(service.cache_stats().warm_starts as usize, names.len());
 }
