@@ -17,6 +17,15 @@
 //!   connection to a `GemServer` (16 query columns): the serving protocol's wire
 //!   overhead (JSON-line encode/decode, bit-pattern payloads, socket hop) on top of
 //!   the warm transform.
+//! * `lockstep_round_trip` — a 16-query *mixed* batch (one slow cold fit + sixteen
+//!   cheap single-query embeds) driven the only way the PR 4 client could: one request
+//!   in flight at a time, so the embeds queue behind the fit (head-of-line blocking).
+//!   Measured: time until the last embed response.
+//! * `pipelined_round_trip` — the *same* mixed batch with all 17 requests in flight at
+//!   once: the executor pool answers out of order, the embeds overtake the
+//!   still-running fit, and the last embed lands in milliseconds. The ratio to
+//!   `lockstep_round_trip` is the head-of-line-blocking win of the multiplexed
+//!   protocol.
 //!
 //! Snapshot with `GEM_CRITERION_JSON=BENCH_serving.json cargo bench -p gem-bench --bench
 //! serving`; the committed baseline lives at the repo root next to
@@ -135,6 +144,90 @@ fn bench_serving(criterion: &mut Criterion) {
                 .expect("remote embed");
             assert_eq!(outcome.matrix.rows(), 16);
             outcome
+        })
+    });
+
+    // Lockstep vs pipelined on a 16-query MIXED batch: one deliberately slow cold Fit
+    // (a heavier configuration, evicted after every iteration so it never becomes a
+    // cache hit) plus sixteen cheap single-query embeds of the warm handle, all on one
+    // connection. Measured: time until the LAST EMBED response arrives — the latency
+    // this refactor exists to fix. The lockstep client cannot even send its first
+    // embed until the fit returns (head-of-line blocking: fit + 16 round trips); the
+    // pipelined client has all 17 requests in flight and its embeds overtake the fit
+    // on the executor pool, so they complete in milliseconds while the fit is still
+    // running (its response is drained outside the timed window).
+    let single_queries: Vec<Vec<GemColumn>> =
+        corpus[..16].iter().map(|c| vec![c.clone()]).collect();
+    let slow_config = gem_config_with_components(12);
+    group.bench_function(BenchmarkId::new("lockstep_round_trip", 16), |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let started = std::time::Instant::now();
+                let slow = client
+                    .fit(&corpus, &slow_config, FeatureSet::ds())
+                    .expect("lockstep slow fit");
+                for queries in &single_queries {
+                    let outcome = client
+                        .embed(fitted.handle, queries)
+                        .expect("lockstep embed");
+                    assert_eq!(outcome.matrix.rows(), 1);
+                }
+                total += started.elapsed();
+                assert_eq!(slow.served_from, ServedFrom::ColdFit);
+                assert!(client.evict(slow.handle).expect("evict slow handle"));
+            }
+            total
+        })
+    });
+    group.bench_function(BenchmarkId::new("pipelined_round_trip", 16), |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let started = std::time::Instant::now();
+                let fit_id = client
+                    .send(gem_proto::RequestBody::Fit {
+                        corpus: corpus.to_vec(),
+                        config: slow_config.clone(),
+                        features: FeatureSet::ds(),
+                        composition: None,
+                    })
+                    .expect("pipelined slow fit send");
+                for queries in &single_queries {
+                    client
+                        .send(gem_proto::RequestBody::Embed {
+                            handle: fitted.handle.to_hex(),
+                            queries: queries.clone(),
+                        })
+                        .expect("pipelined send");
+                }
+                let mut embeds_answered = 0;
+                while embeds_answered < single_queries.len() {
+                    let reply = client.recv_any().expect("pipelined recv");
+                    if reply.id == fit_id {
+                        continue; // the slow fit finishing early would end the timing
+                    }
+                    reply.outcome.expect("pipelined embed outcome");
+                    embeds_answered += 1;
+                }
+                total += started.elapsed();
+                // Drain the still-running fit and reset for the next iteration,
+                // outside the timed window.
+                while client.pending() > 0 {
+                    client
+                        .recv_any()
+                        .expect("drain fit")
+                        .outcome
+                        .expect("fit ok");
+                }
+                let slow_handle = gem_serve::ModelHandle::from(model_key(
+                    &corpus,
+                    &slow_config,
+                    FeatureSet::ds(),
+                ));
+                assert!(client.evict(slow_handle).expect("evict slow handle"));
+            }
+            total
         })
     });
     drop(client);

@@ -132,6 +132,27 @@ impl Bencher {
         self.min_s = min;
         self.max_s = max;
     }
+
+    /// Criterion-compatible `iter_custom`: `f` runs the workload the given number of
+    /// times and returns the measured [`Duration`] of *just the window it chooses to
+    /// time* — for benchmarks whose iteration includes setup or drain work that must
+    /// not count (e.g. collecting a background response after the measured batch
+    /// completed). Called with `1` per sample here; real criterion may batch.
+    pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, mut f: F) {
+        black_box(f(1)); // warm-up, also defeats dead-code elimination of the result
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.samples {
+            let dt = black_box(f(1)).as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.mean_s = total / self.samples as f64;
+        self.min_s = min;
+        self.max_s = max;
+    }
 }
 
 /// An opaque value barrier, preventing the optimiser from deleting the benchmarked work.

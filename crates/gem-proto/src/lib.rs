@@ -9,14 +9,41 @@
 //!
 //! * [`RequestEnvelope`] `{ id, version, body }` / [`ResponseEnvelope`]
 //!   `{ id, version, body }` — `id` is chosen by the client and echoed verbatim in the
-//!   response; `version` is [`PROTOCOL_VERSION`] and a mismatch is rejected *before* the
-//!   body is interpreted ([`ProtoError::VersionMismatch`]), mirroring `gem-store`'s
-//!   header-first validation.
-//! * [`RequestBody`] — the six request shapes of the handle-based serving API: `Fit`
+//!   response ([`ResponseEnvelope::in_reply_to`]); `version` is [`PROTOCOL_VERSION`] and
+//!   a mismatch is rejected *before* the body is interpreted
+//!   ([`ProtoError::VersionMismatch`]), mirroring `gem-store`'s header-first validation.
+//! * [`RequestBody`] — the request shapes of the handle-based serving API: `Fit`
 //!   (corpus + configuration → model handle), `Embed` (handle + query columns),
-//!   `EmbedCorpus` (the one-shot any-method path), `Stats`, `ListModels`, `Evict`.
+//!   `EmbedCorpus` (the one-shot any-method path), `PushModel` / `PullModel` (snapshot
+//!   shipping between replicas), `Stats`, `ListModels`, `Evict`.
 //! * [`ResponseBody`] — one success variant per request shape, plus `Error` carrying the
 //!   serving taxonomy's stable `code` (e.g. `unknown_model`) and a human message.
+//!
+//! ## Correlation contract: responses arrive in any order
+//!
+//! The envelope `id` is the *only* correlation mechanism. A server may execute requests
+//! from one connection concurrently and **must be assumed to answer out of order**: a
+//! client that pipelines requests matches each response to its request by
+//! `in_reply_to`, never by arrival position. (A lockstep client — one request in
+//! flight at a time — observes no difference.) Each response carries exactly one
+//! `in_reply_to`; ids should be unique among a connection's in-flight requests, or
+//! replies to duplicates are indistinguishable.
+//!
+//! Error responses follow the same contract: a line that fails to decode is answered
+//! with an `Error` body whose `in_reply_to` is the id salvaged from the malformed line
+//! ([`salvage_request_id`]) when one is recoverable, and **JSON `null` otherwise** — a
+//! pipelined client can therefore never mis-correlate an unattributable framing error
+//! with a real request (`id: 0` is a valid request id, not an error sentinel).
+//!
+//! ## Snapshot shipping: `PushModel` / `PullModel`
+//!
+//! `PullModel {handle}` returns the model's serialized snapshot — byte-for-byte the
+//! envelope `gem-store` files on disk (magic + format version + key + bit-exact model
+//! payload) — and `PushModel {snapshot}` installs such a snapshot on a server under the
+//! handle its header names. Together they let a replica acquire a handle **without
+//! refitting and without the corpus ever crossing the wire**: models ship as
+//! pre-verified artifacts, and because payloads are bit-exact, the pushed replica's
+//! `Embed` output is bit-identical to the origin's.
 //!
 //! **Payload codecs are bit-exact.** Column values and embedding matrices cross the wire
 //! as IEEE-754 bit patterns (`gem_json::bits`), not decimal — the corpus fingerprint
@@ -35,7 +62,12 @@ use std::fmt;
 
 /// Version of the wire protocol. Bump on any incompatible envelope or body change; both
 /// ends reject foreign versions before interpreting anything else.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History: 1 — the PR 4 lockstep protocol (in-order responses, numeric response `id`,
+/// six request shapes). 2 — out-of-order responses correlated by id, response `id` may
+/// be `null` (unattributable framing errors), `push_model`/`pull_model` bodies, and
+/// `coalesced_fits` in stats.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Errors decoding a protocol line.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +153,21 @@ pub enum RequestBody {
         /// Training labels for supervised methods.
         labels: Option<Vec<String>>,
     },
+    /// Install a serialized model snapshot (the `gem-store` envelope, as returned by
+    /// `PullModel` or read from a store file) under the handle its header names. The
+    /// corpus never crosses the wire and nothing is refitted: the model ships as a
+    /// pre-verified artifact.
+    PushModel {
+        /// The snapshot envelope (opaque here; validated against the store format by
+        /// the server before any of it is interpreted).
+        snapshot: Json,
+    },
+    /// Fetch the serialized snapshot of the model `handle` names, suitable for
+    /// `PushModel`-ing to another replica or filing into a `gem-store` directory.
+    PullModel {
+        /// Handle hex of the model to ship.
+        handle: String,
+    },
     /// Report server statistics.
     Stats,
     /// List every resolvable model.
@@ -145,6 +192,9 @@ pub struct WireStats {
     pub evictions: u64,
     /// Entries dropped because they outlived the TTL.
     pub expirations: u64,
+    /// Duplicate in-flight fits coalesced onto another request's computation
+    /// (single-flight: N concurrent fits of one handle pay one EM fit).
+    pub coalesced_fits: u64,
     /// Evicted entries successfully written to the store tier.
     pub spills: u64,
     /// Store reads or writes that failed.
@@ -191,6 +241,22 @@ pub enum ResponseBody {
         /// The embedding matrix (bit-exact).
         matrix: Matrix,
         /// Model provenance (see `Fitted::served_from`).
+        served_from: String,
+    },
+    /// Outcome of a `PushModel`: the snapshot was installed and its handle resolves.
+    Pushed {
+        /// Handle the snapshot's header named (now resolvable on this server).
+        handle: String,
+        /// Embedding dimensionality of the installed model.
+        dim: u64,
+    },
+    /// Outcome of a `PullModel`: the model's serialized snapshot.
+    Snapshot {
+        /// The model's handle hex (echoing the request).
+        handle: String,
+        /// The `gem-store` snapshot envelope, bit-exact.
+        snapshot: Json,
+        /// Which tier produced the model (see `Fitted::served_from`).
         served_from: String,
     },
     /// Outcome of a `Stats` request.
@@ -242,8 +308,12 @@ impl RequestEnvelope {
 /// A framed response mirroring the request's `id`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseEnvelope {
-    /// The request's correlation id (0 when the request was too malformed to carry one).
-    pub id: u64,
+    /// The correlation id of the request this answers — `None` (JSON `null` on the
+    /// wire) only for protocol-level errors about a line so malformed that no id could
+    /// be salvaged from it. Never `None` for a successfully decoded request, so a
+    /// pipelined client cannot mis-correlate a framing error with a real request
+    /// (including a request that legitimately chose id 0).
+    pub in_reply_to: Option<u64>,
     /// Protocol version ([`PROTOCOL_VERSION`] for envelopes built by this crate).
     pub version: u64,
     /// The response body.
@@ -251,10 +321,20 @@ pub struct ResponseEnvelope {
 }
 
 impl ResponseEnvelope {
-    /// An envelope for `body` under the current [`PROTOCOL_VERSION`].
+    /// An envelope answering request `id` under the current [`PROTOCOL_VERSION`].
     pub fn new(id: u64, body: ResponseBody) -> Self {
         ResponseEnvelope {
-            id,
+            in_reply_to: Some(id),
+            version: PROTOCOL_VERSION,
+            body,
+        }
+    }
+
+    /// An envelope for a protocol-level error that cannot be attributed to any request
+    /// (no id was salvageable from the offending line): `in_reply_to` is `null`.
+    pub fn uncorrelated(body: ResponseBody) -> Self {
+        ResponseEnvelope {
+            in_reply_to: None,
             version: PROTOCOL_VERSION,
             body,
         }
@@ -346,6 +426,14 @@ impl ToJson for RequestBody {
                     },
                 ),
             ]),
+            RequestBody::PushModel { snapshot } => object(vec![
+                ("type", string("push_model")),
+                ("snapshot", snapshot.clone()),
+            ]),
+            RequestBody::PullModel { handle } => object(vec![
+                ("type", string("pull_model")),
+                ("handle", string(handle.clone())),
+            ]),
             RequestBody::Stats => object(vec![("type", string("stats"))]),
             RequestBody::ListModels => object(vec![("type", string("list_models"))]),
             RequestBody::Evict { handle } => object(vec![
@@ -379,6 +467,12 @@ impl FromJson for RequestBody {
                     .map(as_string_array)
                     .transpose()?,
             }),
+            "push_model" => Ok(RequestBody::PushModel {
+                snapshot: value.field("snapshot")?.clone(),
+            }),
+            "pull_model" => Ok(RequestBody::PullModel {
+                handle: value.str_field("handle")?,
+            }),
             "stats" => Ok(RequestBody::Stats),
             "list_models" => Ok(RequestBody::ListModels),
             "evict" => Ok(RequestBody::Evict {
@@ -399,6 +493,7 @@ impl ToJson for WireStats {
             ("misses", number(self.misses as f64)),
             ("evictions", number(self.evictions as f64)),
             ("expirations", number(self.expirations as f64)),
+            ("coalesced_fits", number(self.coalesced_fits as f64)),
             ("spills", number(self.spills as f64)),
             ("store_errors", number(self.store_errors as f64)),
             ("resident_models", number(self.resident_models as f64)),
@@ -434,6 +529,7 @@ impl FromJson for WireStats {
             misses: num("misses")?,
             evictions: num("evictions")?,
             expirations: num("expirations")?,
+            coalesced_fits: num("coalesced_fits")?,
             spills: num("spills")?,
             store_errors: num("store_errors")?,
             resident_models: num("resident_models")?,
@@ -494,6 +590,21 @@ impl ToJson for ResponseBody {
                 ("matrix", matrix.to_json()),
                 ("served_from", string(served_from.clone())),
             ]),
+            ResponseBody::Pushed { handle, dim } => object(vec![
+                ("type", string("pushed")),
+                ("handle", string(handle.clone())),
+                ("dim", number(*dim as f64)),
+            ]),
+            ResponseBody::Snapshot {
+                handle,
+                snapshot,
+                served_from,
+            } => object(vec![
+                ("type", string("snapshot")),
+                ("handle", string(handle.clone())),
+                ("snapshot", snapshot.clone()),
+                ("served_from", string(served_from.clone())),
+            ]),
             ResponseBody::Stats(stats) => {
                 object(vec![("type", string("stats")), ("stats", stats.to_json())])
             }
@@ -529,6 +640,15 @@ impl FromJson for ResponseBody {
                 matrix: Matrix::from_json(value.field("matrix")?)?,
                 served_from: value.str_field("served_from")?,
             }),
+            "pushed" => Ok(ResponseBody::Pushed {
+                handle: value.str_field("handle")?,
+                dim: value.num_field("dim")? as u64,
+            }),
+            "snapshot" => Ok(ResponseBody::Snapshot {
+                handle: value.str_field("handle")?,
+                snapshot: value.field("snapshot")?.clone(),
+                served_from: value.str_field("served_from")?,
+            }),
             "stats" => Ok(ResponseBody::Stats(WireStats::from_json(
                 value.field("stats")?,
             )?)),
@@ -558,18 +678,24 @@ impl FromJson for ResponseBody {
     }
 }
 
-fn envelope_json(id: u64, version: u64, body: Json) -> Json {
+fn envelope_json(id: Option<u64>, version: u64, body: Json) -> Json {
     object(vec![
-        ("id", number(id as f64)),
+        ("id", gem_json::opt_number(id.map(|v| v as f64))),
         ("version", number(version as f64)),
         ("body", body),
     ])
 }
 
-/// Validate an envelope's version field and return `(id, version, body)`.
-fn decode_envelope(line: &str) -> Result<(u64, u64, Json), ProtoError> {
+/// Validate an envelope's version field and return `(id, version, body)`. The id is
+/// `None` when the field is JSON `null` (legal only on uncorrelatable error responses).
+fn decode_envelope(line: &str) -> Result<(Option<u64>, u64, Json), ProtoError> {
     let value = Json::parse(line.trim_end_matches(['\r', '\n']))?;
-    let id = value.num_field("id")? as u64;
+    let id = match value.field("id")? {
+        Json::Null => None,
+        v => Some(v.as_f64().ok_or_else(|| ProtoError::Parse {
+            message: "`id` is neither a number nor null".to_string(),
+        })? as u64),
+    };
     let version = value.num_field("version")? as u64;
     if version != PROTOCOL_VERSION {
         return Err(ProtoError::VersionMismatch {
@@ -580,8 +706,8 @@ fn decode_envelope(line: &str) -> Result<(u64, u64, Json), ProtoError> {
     // Move the body out of the owned tree — it is the envelope's largest subtree (the
     // whole corpus or matrix payload), so cloning it would double the decode cost.
     let Json::Object(pairs) = value else {
-        // num_field above already required an object.
-        unreachable!("envelope with numeric fields must be an object");
+        // field("id") above already required an object.
+        unreachable!("envelope with fields must be an object");
     };
     let body = pairs
         .into_iter()
@@ -592,8 +718,8 @@ fn decode_envelope(line: &str) -> Result<(u64, u64, Json), ProtoError> {
 
 /// Encode a request as one newline-terminated protocol line.
 pub fn encode_request(envelope: &RequestEnvelope) -> String {
-    let mut line =
-        envelope_json(envelope.id, envelope.version, envelope.body.to_json()).to_compact_string();
+    let mut line = envelope_json(Some(envelope.id), envelope.version, envelope.body.to_json())
+        .to_compact_string();
     line.push('\n');
     line
 }
@@ -601,10 +727,14 @@ pub fn encode_request(envelope: &RequestEnvelope) -> String {
 /// Decode one request line (the trailing newline may be present or not).
 ///
 /// # Errors
-/// [`ProtoError::Parse`] for malformed lines, [`ProtoError::VersionMismatch`] for
-/// foreign protocol versions — checked before the body is interpreted.
+/// [`ProtoError::Parse`] for malformed lines (a `null` id is only legal on responses),
+/// [`ProtoError::VersionMismatch`] for foreign protocol versions — checked before the
+/// body is interpreted.
 pub fn decode_request(line: &str) -> Result<RequestEnvelope, ProtoError> {
     let (id, version, body) = decode_envelope(line)?;
+    let id = id.ok_or_else(|| ProtoError::Parse {
+        message: "request envelopes must carry a numeric `id`".to_string(),
+    })?;
     Ok(RequestEnvelope {
         id,
         version,
@@ -614,8 +744,12 @@ pub fn decode_request(line: &str) -> Result<RequestEnvelope, ProtoError> {
 
 /// Encode a response as one newline-terminated protocol line.
 pub fn encode_response(envelope: &ResponseEnvelope) -> String {
-    let mut line =
-        envelope_json(envelope.id, envelope.version, envelope.body.to_json()).to_compact_string();
+    let mut line = envelope_json(
+        envelope.in_reply_to,
+        envelope.version,
+        envelope.body.to_json(),
+    )
+    .to_compact_string();
     line.push('\n');
     line
 }
@@ -625,22 +759,23 @@ pub fn encode_response(envelope: &ResponseEnvelope) -> String {
 /// # Errors
 /// See [`decode_request`].
 pub fn decode_response(line: &str) -> Result<ResponseEnvelope, ProtoError> {
-    let (id, version, body) = decode_envelope(line)?;
+    let (in_reply_to, version, body) = decode_envelope(line)?;
     Ok(ResponseEnvelope {
-        id,
+        in_reply_to,
         version,
         body: ResponseBody::from_json(&body)?,
     })
 }
 
 /// Best-effort extraction of the `id` of a line that failed to decode, so error
-/// responses can still correlate. Returns 0 when even the id is unrecoverable.
-pub fn salvage_request_id(line: &str) -> u64 {
+/// responses can still correlate. Returns `None` when no id is recoverable — the
+/// response then goes out with `in_reply_to: null` ([`ResponseEnvelope::uncorrelated`]),
+/// never a sentinel a real request id could collide with.
+pub fn salvage_request_id(line: &str) -> Option<u64> {
     Json::parse(line.trim_end_matches(['\r', '\n']))
         .ok()
         .and_then(|v| v.num_field("id").ok())
         .map(|v| v as u64)
-        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -693,6 +828,17 @@ mod tests {
                 corpus: columns(),
                 queries: None,
                 labels: None,
+            },
+            RequestBody::PushModel {
+                snapshot: object(vec![
+                    ("magic", string("gem-model-store")),
+                    ("format_version", number(1.0)),
+                    ("key", string("0000000000000001-0000000000000002")),
+                    ("model", object(vec![("schema_version", number(1.0))])),
+                ]),
+            },
+            RequestBody::PullModel {
+                handle: "0000000000000001-0000000000000002".into(),
             },
             RequestBody::Stats,
             RequestBody::ListModels,
@@ -757,8 +903,21 @@ mod tests {
                 matrix: matrix.clone(),
                 served_from: "memory_cache".into(),
             },
+            ResponseBody::Pushed {
+                handle: "00000000000000ff-0000000000000001".into(),
+                dim: 18,
+            },
+            ResponseBody::Snapshot {
+                handle: "00000000000000ff-0000000000000001".into(),
+                snapshot: object(vec![
+                    ("magic", string("gem-model-store")),
+                    ("key", string("00000000000000ff-0000000000000001")),
+                ]),
+                served_from: "memory_cache".into(),
+            },
             ResponseBody::Stats(WireStats {
                 hits: 3,
+                coalesced_fits: 5,
                 store_entries: Some(2),
                 store_bytes: Some(4096),
                 requests: 9,
@@ -799,7 +958,7 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected_before_the_body() {
         let line = encode_request(&RequestEnvelope::new(1, RequestBody::Stats))
-            .replace("\"version\":1", "\"version\":99");
+            .replace(&format!("\"version\":{PROTOCOL_VERSION}"), "\"version\":99");
         match decode_request(&line).unwrap_err() {
             ProtoError::VersionMismatch { found, expected } => {
                 assert_eq!(found, 99);
@@ -821,18 +980,38 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"id":1,"version":1}"#,
-            r#"{"id":1,"version":1,"body":{"type":"no-such"}}"#,
-            r#"{"id":1,"version":1,"body":{"type":"embed"}}"#,
+            r#"{"id":1,"version":2}"#,
+            r#"{"id":1,"version":2,"body":{"type":"no-such"}}"#,
+            r#"{"id":1,"version":2,"body":{"type":"embed"}}"#,
         ] {
             let err = decode_request(bad).unwrap_err();
             assert_eq!(err.code(), "protocol_error", "{bad}");
         }
         assert_eq!(
-            salvage_request_id(r#"{"id":42,"version":1,"body":{"type":"no-such"}}"#),
-            42
+            salvage_request_id(r#"{"id":42,"version":2,"body":{"type":"no-such"}}"#),
+            Some(42)
         );
-        assert_eq!(salvage_request_id("garbage"), 0);
+        assert_eq!(salvage_request_id("garbage"), None);
+    }
+
+    #[test]
+    fn uncorrelated_error_responses_carry_a_null_id_not_a_sentinel() {
+        let envelope = ResponseEnvelope::uncorrelated(ResponseBody::Error {
+            code: "protocol_error".into(),
+            message: "unsalvageable".into(),
+        });
+        let line = encode_response(&envelope);
+        assert!(line.contains("\"id\":null"), "{line}");
+        let back = decode_response(&line).unwrap();
+        assert_eq!(back.in_reply_to, None);
+        assert_eq!(back, envelope);
+        // A genuine request id 0 stays a number, distinct from the null above.
+        let zero = ResponseEnvelope::new(0, ResponseBody::Evicted { existed: false });
+        let back = decode_response(&encode_response(&zero)).unwrap();
+        assert_eq!(back.in_reply_to, Some(0));
+        // Requests must carry a numeric id: null is response-only.
+        let err = decode_request(r#"{"id":null,"version":2,"body":{"type":"stats"}}"#).unwrap_err();
+        assert_eq!(err.code(), "protocol_error");
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]
 //! gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]
 //! gem-client embed <addr> --handle <hex> --queries <file> [--out <file>]
+//! gem-client pull <addr> --handle <hex> --out <file>
+//! gem-client push <addr> --snapshot <file>
+//! gem-client pipeline <addr> --corpus <file> [--components N] [--features D+S] [--queries N]
 //! gem-client stats <addr>
 //! gem-client list <addr>
 //! gem-client evict <addr> --handle <hex>
@@ -12,10 +15,19 @@
 //!
 //! * `gen-corpus` writes a deterministic synthetic corpus file (JSON `{"columns":
 //!   [...]}` with bit-pattern values) for smoke tests.
-//! * `fit` prints `handle: <hex>` — pass that hex to `embed`/`evict`.
+//! * `fit` prints `handle: <hex>` — pass that hex to `embed`/`evict`/`pull`.
 //! * `embed` prints the matrix shape and an FNV-1a digest of its value bits;
 //!   `--out` additionally writes the bit-exact matrix JSON (two identical embeds
 //!   produce byte-identical files).
+//! * `pull` / `push` ship a model between replicas as its serialized snapshot (the
+//!   bit-exact `gem-store` envelope): pull a handle from one server into a file, push
+//!   the file to another, and the same handle resolves there — no corpus on the wire,
+//!   no refit.
+//! * `pipeline` fires a mixed pipelined workload on one connection — a deliberately
+//!   slow cold `Fit` followed by N cheap `Embed`s — and verifies the out-of-order
+//!   protocol end to end: every reply correlates to its request id, every embed is
+//!   bit-identical to the in-process serial path, the embeds overtake the fit, and
+//!   pipelining beats the same N embeds run lockstep (the speedup is printed).
 //! * `verify` runs the full remote round trip (fit + embed) *and* the same
 //!   fit + transform in-process, and fails unless the matrices are bit-identical —
 //!   the end-to-end correctness gate CI runs against a live server.
@@ -26,6 +38,7 @@
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemModel};
 use gem_json::{FromJson, Json, ToJson};
 use gem_numeric::Matrix;
+use gem_proto::{RequestBody, ResponseBody};
 use gem_serve::{ClientError, GemClient, ModelHandle};
 use std::process::ExitCode;
 
@@ -294,6 +307,181 @@ fn evict(addr: &str, args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn pull(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--handle", "--out"])?;
+    let handle = handle_of(args)?;
+    let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let pulled = client.pull_model(handle).map_err(CliError::from)?;
+    let text = pulled.snapshot.to_compact_string();
+    std::fs::write(&out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "pulled {} ({} bytes, served_from: {}) to {out}",
+        pulled.handle,
+        text.len(),
+        pulled.served_from.wire_name()
+    );
+    Ok(())
+}
+
+fn push(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--snapshot"])?;
+    let path = flag_value(args, "--snapshot").ok_or("--snapshot <file> is required")?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+    let snapshot = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let pushed = client.push_model(&snapshot).map_err(CliError::from)?;
+    println!("pushed: {} dim: {}", pushed.handle, pushed.dim);
+    Ok(())
+}
+
+/// The pipelined-protocol exercise: one connection, a slow cold `Fit` followed by N
+/// cheap `Embed`s, responses collected in completion order. Verifies correlation,
+/// bit-exactness against the in-process serial path, out-of-order overtaking, and the
+/// throughput edge over the same embeds run lockstep.
+fn pipeline(addr: &str, args: &[String]) -> CliResult {
+    check_flags(
+        args,
+        &["--corpus", "--components", "--features", "--queries"],
+    )?;
+    let corpus = read_columns(&flag_value(args, "--corpus").ok_or("--corpus <file> is required")?)?;
+    let config = config_of(args)?;
+    let features = features_of(args)?;
+    let n_queries: usize = flag_num(args, "--queries", 16)?;
+    if n_queries == 0 || corpus.is_empty() {
+        return Err("pipeline needs a non-empty corpus and --queries >= 1".into());
+    }
+    let queries: Vec<GemColumn> = (0..n_queries)
+        .map(|i| corpus[i % corpus.len()].clone())
+        .collect();
+
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    // Warm the embed handle, and compute the serial reference in-process.
+    let fitted = client
+        .fit(&corpus, &config, features)
+        .map_err(CliError::from)?;
+    let local = GemModel::fit(&corpus, &config, features)
+        .map_err(|e| format!("in-process fit failed: {e}"))?;
+    let reference: Vec<Matrix> = queries
+        .iter()
+        .map(|q| {
+            local
+                .transform(std::slice::from_ref(q))
+                .map(|e| e.matrix)
+                .map_err(|e| format!("in-process transform failed: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // The slow half of the mixed batch: a heavier configuration (never the cached
+    // handle), evicted between phases so each phase pays a genuinely cold fit.
+    let mut slow_config = config.clone();
+    slow_config.gmm.n_components += 16;
+
+    // Lockstep mixed batch: the PR 4 client's only mode — the fit must complete before
+    // the first embed can even be sent, so every embed queues behind it.
+    let started = std::time::Instant::now();
+    let slow = client
+        .fit(&corpus, &slow_config, features)
+        .map_err(CliError::from)?;
+    for (i, query) in queries.iter().enumerate() {
+        let outcome = client
+            .embed(fitted.handle, std::slice::from_ref(query))
+            .map_err(CliError::from)?;
+        if outcome.matrix != reference[i] {
+            return Err(CliError::Usage(format!(
+                "MISMATCH: lockstep embed {i} differs from the in-process serial path"
+            )));
+        }
+    }
+    let lockstep = started.elapsed();
+    client.evict(slow.handle).map_err(CliError::from)?;
+
+    // Pipelined mixed batch: all N+1 requests in flight at once; the clock stops when
+    // the last *embed* lands (the fit keeps running and is drained afterwards).
+    let started = std::time::Instant::now();
+    let fit_id = client
+        .send(RequestBody::Fit {
+            corpus: corpus.clone(),
+            config: slow_config,
+            features,
+            composition: None,
+        })
+        .map_err(CliError::from)?;
+    let mut embed_ids = Vec::with_capacity(n_queries);
+    for query in &queries {
+        embed_ids.push(
+            client
+                .send(RequestBody::Embed {
+                    handle: fitted.handle.to_hex(),
+                    queries: vec![query.clone()],
+                })
+                .map_err(CliError::from)?,
+        );
+    }
+    let mut arrival: Vec<u64> = Vec::new();
+    let mut verified = 0usize;
+    let mut pipelined = None;
+    while client.pending() > 0 {
+        let reply = client.recv_any().map_err(CliError::from)?;
+        arrival.push(reply.id);
+        let body = reply.outcome.map_err(CliError::from)?;
+        if reply.id == fit_id {
+            if !matches!(body, ResponseBody::Fitted { .. }) {
+                return Err("pipelined fit answered with a non-fitted body".into());
+            }
+        } else {
+            let index = embed_ids
+                .iter()
+                .position(|id| *id == reply.id)
+                .ok_or_else(|| format!("reply to id {} which was never sent", reply.id))?;
+            let ResponseBody::Embedded { matrix, .. } = body else {
+                return Err(
+                    format!("pipelined embed {index} answered with a non-embedded body").into(),
+                );
+            };
+            if matrix != reference[index] {
+                return Err(CliError::Usage(format!(
+                    "MISMATCH: pipelined embed {index} differs from the in-process serial path"
+                )));
+            }
+            verified += 1;
+            if verified == n_queries {
+                pipelined = Some(started.elapsed());
+            }
+        }
+    }
+    let pipelined = pipelined.expect("all embeds were answered");
+    client.evict(slow.handle).map_err(CliError::from)?;
+
+    let fit_position = arrival
+        .iter()
+        .position(|id| *id == fit_id)
+        .expect("fit was answered");
+    let overtook = fit_position; // replies that landed before the slow fit's
+    let speedup = lockstep.as_secs_f64() / pipelined.as_secs_f64().max(1e-9);
+    println!(
+        "pipeline: OK — {verified}/{n_queries} pipelined embeds bit-identical to the \
+         serial path, {overtook} overtook the slow fit (fit answered {}/{})",
+        fit_position + 1,
+        arrival.len()
+    );
+    println!(
+        "mixed batch (1 slow fit + {n_queries} embeds), time to last embed — \
+         lockstep: {:.2} ms  pipelined: {:.2} ms  speedup: {speedup:.2}x",
+        lockstep.as_secs_f64() * 1e3,
+        pipelined.as_secs_f64() * 1e3
+    );
+    if overtook == 0 {
+        return Err(CliError::Usage(
+            "pipelining had no effect: no embed overtook the slow fit (is the server \
+             running with --workers >= 2?)"
+                .to_string(),
+        ));
+    }
+    Ok(())
+}
+
 fn verify(addr: &str, args: &[String]) -> CliResult {
     check_flags(args, &["--corpus", "--components", "--features"])?;
     let corpus = read_columns(&flag_value(args, "--corpus").ok_or("--corpus <file> is required")?)?;
@@ -332,10 +520,13 @@ fn verify(addr: &str, args: &[String]) -> CliResult {
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: gem-client <gen-corpus|fit|embed|stats|list|evict|verify> ...\n  \
+    let usage = "usage: gem-client <gen-corpus|fit|embed|pull|push|pipeline|stats|list|evict|verify> ...\n  \
                  gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]\n  \
                  gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]\n  \
                  gem-client embed <addr> --handle <hex> --queries <file> [--out <file>]\n  \
+                 gem-client pull <addr> --handle <hex> --out <file>\n  \
+                 gem-client push <addr> --snapshot <file>\n  \
+                 gem-client pipeline <addr> --corpus <file> [--components N] [--features D+S] [--queries N]\n  \
                  gem-client stats <addr>\n  \
                  gem-client list <addr>\n  \
                  gem-client evict <addr> --handle <hex>\n  \
@@ -349,6 +540,9 @@ fn run() -> CliResult {
         "gen-corpus" => gen_corpus(target, rest),
         "fit" => fit(target, rest),
         "embed" => embed(target, rest),
+        "pull" => pull(target, rest),
+        "push" => push(target, rest),
+        "pipeline" => pipeline(target, rest),
         "stats" => {
             check_flags(rest, &[])?;
             stats(target)

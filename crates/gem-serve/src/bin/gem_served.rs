@@ -2,47 +2,57 @@
 //! `gem-proto` JSON envelopes.
 //!
 //! ```sh
-//! gem-served [--addr 127.0.0.1:7878] [--cache-capacity N] [--ttl-secs N]
-//!            [--max-bytes N] [--store DIR] [--components N] [--serial]
+//! gem-served [--addr 127.0.0.1:7878] [--workers N] [--cache-capacity N] [--ttl-secs N]
+//!            [--max-bytes N] [--store DIR] [--components N] [--serial] [--ctl-stdin]
 //! ```
 //!
 //! * `--addr` — listen address; use port `0` for an ephemeral port. The resolved
 //!   address is printed as `gem-served listening on <addr>` once the socket is bound
 //!   (scripts wait for that line, then connect).
+//! * `--workers` — executor-pool size: how many requests (across all connections)
+//!   execute concurrently; responses return out of order as they finish. Defaults to
+//!   the machine's parallelism clamped to `[2, 8]`.
 //! * `--cache-capacity` / `--ttl-secs` / `--max-bytes` — the model-cache policy.
 //! * `--store DIR` — attach an on-disk model store: evictions spill, misses warm-start,
 //!   and client handles survive restarts.
 //! * `--components` — GMM components of the registered `EmbedCorpus` method family
 //!   (`Fit` requests carry their own configuration and are unaffected).
 //! * `--serial` — disable thread fan-out inside the service (identical output).
-//!
-//! Runs until killed; every connection gets its own thread.
+//! * `--ctl-stdin` — watch stdin for graceful shutdown: a `shutdown` line (or EOF)
+//!   stops accepting, drains in-flight work, and logs the one-line structured
+//!   `shutdown summary` (requests served, coalesced fits, worker high-water) before
+//!   exiting — the hook scripts use to end soak runs debuggably. Without the flag the
+//!   server runs until killed.
 
 use gem_core::{GemConfig, MethodRegistry};
-use gem_serve::{CachePolicy, EmbedService, GemServer, ModelStore};
+use gem_serve::{shutdown_summary, CachePolicy, EmbedService, GemServer, ModelStore};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
     addr: String,
+    workers: Option<usize>,
     capacity: usize,
     ttl_secs: Option<u64>,
     max_bytes: Option<u64>,
     store: Option<String>,
     components: usize,
     serial: bool,
+    ctl_stdin: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
+        workers: None,
         capacity: 64,
         ttl_secs: None,
         max_bytes: None,
         store: None,
         components: GemConfig::default().gmm.n_components,
         serial: false,
+        ctl_stdin: false,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = raw.iter();
@@ -54,6 +64,13 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a positive integer".to_string())?,
+                );
+            }
             "--cache-capacity" => {
                 args.capacity = value("--cache-capacity")?
                     .parse()
@@ -80,11 +97,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--components needs a positive integer".to_string())?;
             }
             "--serial" => args.serial = true,
+            "--ctl-stdin" => args.ctl_stdin = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.capacity == 0 {
         return Err("--cache-capacity must be positive".to_string());
+    }
+    if args.workers == Some(0) {
+        return Err("--workers must be positive".to_string());
     }
     Ok(args)
 }
@@ -92,8 +113,9 @@ fn parse_args() -> Result<Args, String> {
 fn run() -> Result<(), String> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nusage: gem-served [--addr HOST:PORT] [--cache-capacity N] [--ttl-secs N] \
-             [--max-bytes N] [--store DIR] [--components N] [--serial]"
+            "{e}\nusage: gem-served [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
+             [--ttl-secs N] [--max-bytes N] [--store DIR] [--components N] [--serial] \
+             [--ctl-stdin]"
         )
     })?;
 
@@ -116,14 +138,44 @@ fn run() -> Result<(), String> {
         service = service.with_store(Arc::new(store));
     }
 
-    let server = GemServer::bind(Arc::new(service), args.addr.as_str())
+    let service = Arc::new(service);
+    let mut server = GemServer::bind(Arc::clone(&service), args.addr.as_str())
         .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    if let Some(workers) = args.workers {
+        server = server.with_workers(workers);
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    // Announce readiness on stdout (flushed) so scripts can wait for this exact line.
+    let handle = server.handle().map_err(|e| e.to_string())?;
+    if args.ctl_stdin {
+        // Graceful-shutdown control channel: a `shutdown` line (or stdin EOF) stops
+        // the server. Opt-in because a detached process inherits /dev/null — whose
+        // immediate EOF would otherwise shut a daemon down at startup.
+        let ctl = handle.clone();
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(text) if text.trim() == "shutdown" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            ctl.shutdown();
+        });
+    }
+    // Announce readiness on stdout (flushed) so scripts can wait for this exact line —
+    // the address line's format is load-bearing (scripts `sed` the address out of it).
+    println!("gem-served workers: {}", server.workers());
     println!("gem-served listening on {addr}");
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    server.run().map_err(|e| e.to_string())
+    server.run().map_err(|e| e.to_string())?;
+    // Only the graceful path reaches here (a kill never returns from run), so this is
+    // the soak-run debugging record: one structured line, greppable key=value fields.
+    println!("{}", shutdown_summary(handle.counters(), &service.stats()));
+    let _ = std::io::stdout().flush();
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -210,6 +210,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped because they outlived the TTL.
     pub expirations: u64,
+    /// Duplicate in-flight fits coalesced onto another request's computation. The cache
+    /// itself never fits, so this stays zero here; [`crate::BatchEngine`] — which owns
+    /// the single-flight registry — fills it in when reporting merged stats.
+    pub coalesced_fits: u64,
     /// Evicted entries successfully written to the attached store.
     pub spills: u64,
     /// Store reads or writes that failed (the lookup then proceeded as a miss).
@@ -555,6 +559,25 @@ impl ModelCache {
         let (in_memory, task) = self.evict_resident(key);
         let on_disk = task.is_some_and(EvictTask::execute);
         in_memory || on_disk
+    }
+
+    /// Stats-free, recency-free lookup of the resident entries and the spill pipeline
+    /// (queued and in-flight spills; **not** the store tier, and TTL is not enforced).
+    /// This is the single-flight re-check path in [`crate::BatchEngine`]: a second
+    /// would-be fit leader must see a fit the first leader just published, without
+    /// perturbing the hit/miss counters that the stat-conservation tests pin down.
+    pub fn peek(&self, key: ModelKey) -> Option<Arc<GemModel>> {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| Arc::clone(&e.model))
+            .or_else(|| {
+                self.pending_spills
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, m)| Arc::clone(m))
+            })
+            .or_else(|| self.spill_counters.in_flight(key))
     }
 
     /// The resident models, most recently used first (no recency or stat side effects).

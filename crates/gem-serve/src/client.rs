@@ -3,13 +3,29 @@
 //! [`crate::ModelHandle`], `embed` takes one, and server-side failures come back as
 //! [`ClientError::Server`] carrying the taxonomy's stable code, so callers branch on
 //! `err.code() == Some("unknown_model")` instead of parsing prose.
+//!
+//! ## Two modes on one connection
+//!
+//! * **Lockstep** — the typed calls ([`GemClient::fit`], [`GemClient::embed`], …) send
+//!   one request and block for its response. Simple, and exactly as fast as one request
+//!   at a time can be.
+//! * **Pipelined** — [`GemClient::send`] issues a raw [`RequestBody`] and returns its
+//!   correlation id immediately; many requests ride the connection concurrently and
+//!   [`GemClient::recv_any`] yields responses **in whatever order the server finishes
+//!   them** (the protocol's out-of-order contract), each correlated back to its id
+//!   through the client's in-flight map. A cheap `Embed` pipelined behind a slow `Fit`
+//!   returns first instead of queueing behind it. The two modes compose: a typed call
+//!   issued while pipelined requests are outstanding parks any foreign responses it
+//!   reads and [`GemClient::recv_any`] hands them out afterwards.
 
 use crate::handle::ModelHandle;
 use crate::net::served_from_of;
 use crate::ServedFrom;
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig};
+use gem_json::Json;
 use gem_numeric::Matrix;
 use gem_proto::{self as proto, RequestBody, ResponseBody};
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -28,8 +44,9 @@ pub enum ClientError {
         /// Self-explanatory message from the server.
         message: String,
     },
-    /// The response decoded but did not fit the call (wrong variant, wrong id, unknown
-    /// provenance string) — a protocol bug, not an operational condition.
+    /// The response decoded but did not fit the call (wrong variant, uncorrelatable or
+    /// unknown id, unknown provenance string) — a protocol bug, not an operational
+    /// condition.
     Unexpected {
         /// What was wrong.
         detail: String,
@@ -100,14 +117,50 @@ pub struct EmbedOutcome {
     pub served_from: ServedFrom,
 }
 
-/// A synchronous protocol client over one TCP connection. Calls are sequential
-/// (request, then response); open one client per thread for concurrency — the server
-/// runs each connection on its own thread.
+/// The outcome of a `push_model` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The handle the snapshot named, now resolvable on the server.
+    pub handle: ModelHandle,
+    /// Embedding dimensionality of the installed model.
+    pub dim: usize,
+}
+
+/// The outcome of a `pull_model` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotOutcome {
+    /// The handle the snapshot names.
+    pub handle: ModelHandle,
+    /// The serialized model — the bit-exact `gem-store` envelope, ready to
+    /// [`GemClient::push_model`] to another replica or file into a store directory.
+    pub snapshot: Json,
+    /// Where the model came from.
+    pub served_from: ServedFrom,
+}
+
+/// One correlated reply from a pipelined connection (see [`GemClient::recv_any`]).
+#[derive(Debug)]
+pub struct PipelinedReply {
+    /// The id of the request this reply answers (as returned by [`GemClient::send`]).
+    pub id: u64,
+    /// The response body, with typed server error bodies already raised to
+    /// [`ClientError::Server`].
+    pub outcome: Result<ResponseBody, ClientError>,
+}
+
+/// A protocol client over one TCP connection, usable lockstep (typed calls) or
+/// pipelined ([`GemClient::send`] / [`GemClient::recv_any`]) — see the module docs.
+/// One client per thread; the server multiplexes any number of connections onto its
+/// executor pool.
 #[derive(Debug)]
 pub struct GemClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Ids sent but not yet answered.
+    in_flight: HashSet<u64>,
+    /// Correlated responses read while waiting for a different id, in arrival order.
+    parked: VecDeque<(u64, ResponseBody)>,
 }
 
 impl GemClient {
@@ -117,22 +170,72 @@ impl GemClient {
     /// [`ClientError::Io`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        // Pipelining lives or dies on this: with Nagle's algorithm on, a burst of
+        // small request lines is held back waiting for ACKs (≈40ms of delayed-ACK
+        // stall per burst), which would serialize exactly the traffic pipelining
+        // exists to overlap.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(GemClient {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
+            in_flight: HashSet::new(),
+            parked: VecDeque::new(),
         })
     }
 
-    /// Send one request body and decode the matching response body. Error bodies become
-    /// [`ClientError::Server`]; id mismatches are [`ClientError::Unexpected`].
-    fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+    /// Pipeline a request: write it and return its correlation id *without waiting for
+    /// the response*. Collect responses — in server completion order, not send order —
+    /// with [`GemClient::recv_any`].
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the write fails.
+    pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let line = proto::encode_request(&proto::RequestEnvelope::new(id, body));
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
+        self.in_flight.insert(id);
+        Ok(id)
+    }
+
+    /// How many pipelined requests are awaiting their response (parked responses —
+    /// already received, not yet claimed — count as answered).
+    pub fn pending(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Receive the next response in **server completion order**: a parked response if
+    /// one is waiting, otherwise the next line off the socket. The reply is correlated
+    /// to its request id; typed server error bodies surface per-reply in
+    /// [`PipelinedReply::outcome`], so one failed request never poisons the others.
+    ///
+    /// # Errors
+    /// [`ClientError::Unexpected`] when nothing is in flight (or the server answers an
+    /// id this client never sent, or an uncorrelatable framing error arrives);
+    /// transport errors otherwise.
+    pub fn recv_any(&mut self) -> Result<PipelinedReply, ClientError> {
+        let (id, body) = match self.parked.pop_front() {
+            Some(reply) => reply,
+            None => {
+                if self.in_flight.is_empty() {
+                    return Err(ClientError::Unexpected {
+                        detail: "recv_any with no requests in flight".to_string(),
+                    });
+                }
+                self.read_correlated()?
+            }
+        };
+        Ok(PipelinedReply {
+            id,
+            outcome: raise_errors(body),
+        })
+    }
+
+    /// Read one response line and correlate it against the in-flight set.
+    fn read_correlated(&mut self) -> Result<(u64, ResponseBody), ClientError> {
         let mut response = String::new();
         if self.reader.read_line(&mut response)? == 0 {
             return Err(ClientError::Io(std::io::Error::new(
@@ -141,14 +244,40 @@ impl GemClient {
             )));
         }
         let envelope = proto::decode_response(&response)?;
-        if envelope.id != id {
+        let Some(id) = envelope.in_reply_to else {
+            // An uncorrelatable framing error: the server could not tell which request
+            // the offending line was. This client only writes well-formed lines, so
+            // something corrupted the stream — fail loudly rather than guess.
+            return Err(match envelope.body {
+                ResponseBody::Error { code, message } => ClientError::Server { code, message },
+                _ => ClientError::Unexpected {
+                    detail: "response with in_reply_to null and a non-error body".to_string(),
+                },
+            });
+        };
+        if !self.in_flight.remove(&id) {
             return Err(ClientError::Unexpected {
-                detail: format!("response id {} for request id {id}", envelope.id),
+                detail: format!("response for id {id}, which is not in flight"),
             });
         }
-        match envelope.body {
-            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
-            body => Ok(body),
+        Ok((id, envelope.body))
+    }
+
+    /// Send one request body and block for *its* response (responses to other in-flight
+    /// ids read along the way are parked for [`GemClient::recv_any`]). Error bodies
+    /// become [`ClientError::Server`].
+    fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.send(body)?;
+        // A freshly allocated id cannot already have a parked response: ids are
+        // monotonically increasing and parked entries were correlated against earlier
+        // in-flight ids.
+        debug_assert!(self.parked.iter().all(|(parked_id, _)| *parked_id != id));
+        loop {
+            let (got, body) = self.read_correlated()?;
+            if got == id {
+                return raise_errors(body);
+            }
+            self.parked.push_back((got, body));
         }
     }
 
@@ -256,6 +385,52 @@ impl GemClient {
         }
     }
 
+    /// Install a model snapshot (pulled from another replica, or read from a
+    /// `gem-store` file) on the server. The corpus never crosses the wire and the
+    /// server refits nothing.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with `invalid_request` for snapshots that fail store
+    /// validation; transport errors otherwise.
+    pub fn push_model(&mut self, snapshot: &Json) -> Result<PushOutcome, ClientError> {
+        match self.call(RequestBody::PushModel {
+            snapshot: snapshot.clone(),
+        })? {
+            ResponseBody::Pushed { handle, dim } => Ok(PushOutcome {
+                handle: ModelHandle::from_hex(&handle).ok_or_else(|| ClientError::Unexpected {
+                    detail: format!("malformed handle `{handle}` in push response"),
+                })?,
+                dim: dim as usize,
+            }),
+            other => Err(unexpected("pushed", &other)),
+        }
+    }
+
+    /// Fetch the serialized snapshot of the model `handle` names — bit-exact, suitable
+    /// for [`GemClient::push_model`] to another replica.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with `unknown_model` when the handle resolves in neither
+    /// tier; transport errors otherwise.
+    pub fn pull_model(&mut self, handle: ModelHandle) -> Result<SnapshotOutcome, ClientError> {
+        match self.call(RequestBody::PullModel {
+            handle: handle.to_hex(),
+        })? {
+            ResponseBody::Snapshot {
+                handle,
+                snapshot,
+                served_from,
+            } => Ok(SnapshotOutcome {
+                handle: ModelHandle::from_hex(&handle).ok_or_else(|| ClientError::Unexpected {
+                    detail: format!("malformed handle `{handle}` in snapshot response"),
+                })?,
+                snapshot,
+                served_from: served_from_of(&served_from)?,
+            }),
+            other => Err(unexpected("snapshot", &other)),
+        }
+    }
+
     /// Fetch the server's cumulative statistics.
     ///
     /// # Errors
@@ -293,10 +468,20 @@ impl GemClient {
     }
 }
 
+/// Raise a typed error body to [`ClientError::Server`]; pass everything else through.
+fn raise_errors(body: ResponseBody) -> Result<ResponseBody, ClientError> {
+    match body {
+        ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+        body => Ok(body),
+    }
+}
+
 fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
     let got = match got {
         ResponseBody::Fitted { .. } => "fitted",
         ResponseBody::Embedded { .. } => "embedded",
+        ResponseBody::Pushed { .. } => "pushed",
+        ResponseBody::Snapshot { .. } => "snapshot",
         ResponseBody::Stats(_) => "stats",
         ResponseBody::Models(_) => "models",
         ResponseBody::Evicted { .. } => "evicted",

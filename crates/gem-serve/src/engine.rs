@@ -6,12 +6,23 @@
 //! *distinct* (corpus, configuration) pair per cache miss — the amortise-by-caching move
 //! that makes repeated serving tractable. Distinct cold models are themselves fitted in
 //! parallel, and every transform in the batch runs in parallel, both via `gem-parallel`.
+//!
+//! **Fits are single-flight across concurrent callers.** With many executor threads
+//! serving one engine (the worker-pool server), N simultaneous requests for the same
+//! missing key must not pay N EM fits: the first caller becomes the *leader* and fits;
+//! the rest *coalesce* — they block on the leader's in-flight entry and receive the
+//! very same `Arc<GemModel>` (counted in [`CacheStats::coalesced_fits`]). The leader
+//! publishes to the cache *before* retiring its in-flight entry, and a new leader
+//! re-checks the cache after taking leadership, so exactly one cold fit happens per key
+//! no matter how the threads interleave.
 
 use crate::cache::{CachePolicy, CacheStats, CacheTier, ModelCache};
 use crate::fingerprint::ModelKey;
 use gem_core::{FeatureSet, GemColumn, GemConfig, GemEmbedding, GemError, GemModel};
 use gem_store::ModelStore;
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One embed request: embed `queries` against the model fitted on `corpus` (or embed the
 /// corpus itself when `queries` is `None`). The corpus is shared behind an [`Arc`] so
@@ -128,12 +139,43 @@ pub struct EngineResponse {
     pub served_from: ServedFrom,
 }
 
+/// One in-flight fit: the leader computes, concurrent duplicates block on the condvar
+/// until the outcome is published and then share it.
+#[derive(Debug, Default)]
+struct InFlightFit {
+    outcome: Mutex<Option<Result<Arc<GemModel>, GemError>>>,
+    done: Condvar,
+}
+
+impl InFlightFit {
+    fn publish(&self, result: Result<Arc<GemModel>, GemError>) {
+        *self.outcome.lock().expect("in-flight fit lock poisoned") = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<GemModel>, GemError> {
+        let mut outcome = self.outcome.lock().expect("in-flight fit lock poisoned");
+        while outcome.is_none() {
+            outcome = self
+                .done
+                .wait(outcome)
+                .expect("in-flight fit lock poisoned");
+        }
+        outcome.clone().expect("loop guard ensures an outcome")
+    }
+}
+
 /// Groups requests per model, fits each distinct cold model once (in parallel), caches
 /// the fits, and fans all transforms out across threads.
 #[derive(Debug)]
 pub struct BatchEngine {
     cache: Mutex<ModelCache>,
     parallel: bool,
+    /// Single-flight registry: keys whose fit is currently being computed, shared so
+    /// concurrent callers coalesce instead of re-fitting (see the module docs).
+    in_flight_fits: Mutex<HashMap<ModelKey, Arc<InFlightFit>>>,
+    /// How many fits coalesced onto another caller's computation.
+    coalesced_fits: AtomicU64,
 }
 
 impl BatchEngine {
@@ -153,6 +195,8 @@ impl BatchEngine {
         BatchEngine {
             cache: Mutex::new(ModelCache::with_policy(policy)),
             parallel: true,
+            in_flight_fits: Mutex::new(HashMap::new()),
+            coalesced_fits: AtomicU64::new(0),
         }
     }
 
@@ -167,6 +211,8 @@ impl BatchEngine {
         BatchEngine {
             cache: Mutex::new(cache),
             parallel: self.parallel,
+            in_flight_fits: self.in_flight_fits,
+            coalesced_fits: self.coalesced_fits,
         }
     }
 
@@ -174,6 +220,93 @@ impl BatchEngine {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Insert an externally produced model (a `PushModel` snapshot) under `key`, making
+    /// the handle resolvable exactly as if this engine had fitted it; any eviction the
+    /// insert causes spills off-lock as usual.
+    pub fn publish(&self, key: ModelKey, model: Arc<GemModel>) {
+        let spills = {
+            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            cache.insert(key, model);
+            cache.take_pending_spills()
+        };
+        for task in spills {
+            task.execute();
+        }
+    }
+
+    /// Materialise the model for a key that missed both cache tiers, single-flight:
+    /// exactly one concurrent caller (the leader) runs the EM fit and publishes it; the
+    /// rest coalesce onto that computation and share its `Arc`. Returns the outcome and
+    /// its provenance — `ColdFit` only for the leader that actually fitted, so "number
+    /// of cold fits" counts EM runs exactly.
+    fn fit_single_flight(
+        &self,
+        key: ModelKey,
+        corpus: &[GemColumn],
+        config: &GemConfig,
+        features: FeatureSet,
+    ) -> (Result<Arc<GemModel>, GemError>, ServedFrom) {
+        // Join (or open) the key's in-flight entry.
+        let (flight, leader) = {
+            let mut in_flight = self
+                .in_flight_fits
+                .lock()
+                .expect("in-flight fit registry poisoned");
+            match in_flight.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(InFlightFit::default());
+                    in_flight.insert(key, Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            // Coalesce: block until the leader's outcome, then share it. By the time
+            // the wait returns the model is resident (the leader publishes before
+            // retiring its entry), so the provenance is the memory tier.
+            self.coalesced_fits.fetch_add(1, Ordering::Relaxed);
+            let result = flight.wait();
+            let served_from = if result.is_ok() {
+                ServedFrom::MemoryCache
+            } else {
+                ServedFrom::ColdFit // a shared *failure* is still the fit's failure
+            };
+            return (result, served_from);
+        }
+        // Leader. Re-check the cache stats-free first: a previous leader may have
+        // published between this caller's lookup miss and its taking leadership (the
+        // registry entry is removed only after the cache insert, so a completed fit
+        // cannot hide from this peek). This too is a coalesced fit — the work was done
+        // by another request's computation — so the counter keeps the exact invariant
+        // "duplicate fits = hits + coalesced_fits".
+        let already = self
+            .cache
+            .lock()
+            .expect("model cache lock poisoned")
+            .peek(key);
+        if let Some(model) = already {
+            self.coalesced_fits.fetch_add(1, Ordering::Relaxed);
+            flight.publish(Ok(Arc::clone(&model)));
+            self.retire_flight(key);
+            return (Ok(model), ServedFrom::MemoryCache);
+        }
+        let result = GemModel::fit(corpus, config, features).map(Arc::new);
+        if let Ok(model) = &result {
+            self.publish(key, Arc::clone(model));
+        }
+        flight.publish(result.clone());
+        self.retire_flight(key);
+        (result, ServedFrom::ColdFit)
+    }
+
+    fn retire_flight(&self, key: ModelKey) {
+        self.in_flight_fits
+            .lock()
+            .expect("in-flight fit registry poisoned")
+            .remove(&key);
     }
 
     /// Process a batch of requests, returning one response per request in input order.
@@ -225,35 +358,26 @@ impl BatchEngine {
             task.execute();
         }
 
-        // Phase 2: one representative request per distinct missing key.
+        // Phase 2+3: one representative request per distinct missing key, each run
+        // through the single-flight protocol (the leader fits and publishes to the
+        // cache; duplicates racing in from other threads coalesce), distinct keys
+        // fanned out across threads.
         let mut missing: Vec<(ModelKey, &EngineRequest)> = Vec::new();
         for (i, request) in requests.iter().enumerate() {
             if resolved[i].is_none() && !missing.iter().any(|(k, _)| *k == keys[i]) {
                 missing.push((keys[i], request));
             }
         }
-        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>)> =
+        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>, ServedFrom)> =
             gem_parallel::par_map(&missing, self.parallel, |(key, request)| {
-                (
+                let (result, served_from) = self.fit_single_flight(
                     *key,
-                    GemModel::fit(&request.corpus, &request.config, request.features).map(Arc::new),
-                )
+                    &request.corpus,
+                    &request.config,
+                    request.features,
+                );
+                (*key, result, served_from)
             });
-
-        // Phase 3: publish the successful fits; store writes for anything the inserts
-        // evicted happen off-lock, so a slow disk never blocks concurrent batches.
-        let spills = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
-            for (key, result) in &fitted {
-                if let Ok(model) = result {
-                    cache.insert(*key, Arc::clone(model));
-                }
-            }
-            cache.take_pending_spills()
-        };
-        for task in spills {
-            task.execute();
-        }
 
         // Phase 4: transforms, fanned out over the whole batch.
         let jobs: Vec<(usize, Result<Arc<GemModel>, GemError>, ServedFrom)> = resolved
@@ -263,12 +387,12 @@ impl BatchEngine {
                 Some((model, CacheTier::Memory)) => (i, Ok(model), ServedFrom::MemoryCache),
                 Some((model, CacheTier::Disk)) => (i, Ok(model), ServedFrom::DiskStore),
                 None => {
-                    let fit = fitted
+                    let (fit, served_from) = fitted
                         .iter()
-                        .find(|(k, _)| *k == keys[i])
-                        .map(|(_, r)| r.clone())
+                        .find(|(k, _, _)| *k == keys[i])
+                        .map(|(_, r, sf)| (r.clone(), *sf))
                         .expect("every missing key was fitted");
-                    (i, fit, ServedFrom::ColdFit)
+                    (i, fit, served_from)
                 }
             })
             .collect();
@@ -334,45 +458,31 @@ impl BatchEngine {
         for task in spills {
             task.execute();
         }
-        // One representative job per distinct missing key; fits in parallel.
+        // One representative job per distinct missing key; each runs the single-flight
+        // protocol (leader fits and publishes, concurrent duplicates — typically the
+        // same Fit arriving on many executor threads — coalesce), distinct keys in
+        // parallel.
         let mut missing: Vec<&FitJob> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             if resolved[i].is_none() && !missing.iter().any(|m| m.key == job.key) {
                 missing.push(job);
             }
         }
-        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>)> =
+        let fitted: Vec<(ModelKey, Result<Arc<GemModel>, GemError>, ServedFrom)> =
             gem_parallel::par_map(&missing, self.parallel, |job| {
-                (
-                    job.key,
-                    GemModel::fit(&job.corpus, &job.config, job.features).map(Arc::new),
-                )
+                let (result, served_from) =
+                    self.fit_single_flight(job.key, &job.corpus, &job.config, job.features);
+                (job.key, result, served_from)
             });
-        // Publish, spilling off-lock.
-        let spills = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
-            for (key, result) in &fitted {
-                if let Ok(model) = result {
-                    cache.insert(*key, Arc::clone(model));
-                }
-            }
-            cache.take_pending_spills()
-        };
-        for task in spills {
-            task.execute();
-        }
         jobs.iter()
             .zip(resolved)
             .map(|(job, cached)| match cached {
                 Some((model, tier)) => (Ok(model), ServedFrom::from(tier)),
-                None => {
-                    let fit = fitted
-                        .iter()
-                        .find(|(k, _)| *k == job.key)
-                        .map(|(_, r)| r.clone())
-                        .expect("every missing key was fitted");
-                    (fit, ServedFrom::ColdFit)
-                }
+                None => fitted
+                    .iter()
+                    .find(|(k, _, _)| *k == job.key)
+                    .map(|(_, r, sf)| (r.clone(), *sf))
+                    .expect("every missing key was fitted"),
             })
             .collect()
     }
@@ -404,7 +514,17 @@ impl BatchEngine {
     /// count and a byte total from two different instants.
     pub fn cache_snapshot(&self) -> (CacheStats, usize, u64) {
         let cache = self.cache.lock().expect("model cache lock poisoned");
-        (cache.stats(), cache.len(), cache.approx_bytes())
+        (
+            self.merge_engine_stats(cache.stats()),
+            cache.len(),
+            cache.approx_bytes(),
+        )
+    }
+
+    /// Overlay the engine-owned counters (single-flight coalescing) onto the cache's.
+    fn merge_engine_stats(&self, mut stats: CacheStats) -> CacheStats {
+        stats.coalesced_fits = self.coalesced_fits.load(Ordering::Relaxed);
+        stats
     }
 
     /// The attached store tier, if any.
@@ -416,12 +536,15 @@ impl BatchEngine {
             .map(Arc::clone)
     }
 
-    /// Cumulative cache counters.
+    /// Cumulative cache counters, including the engine's single-flight
+    /// [`CacheStats::coalesced_fits`].
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache
+        let stats = self
+            .cache
             .lock()
             .expect("model cache lock poisoned")
-            .stats()
+            .stats();
+        self.merge_engine_stats(stats)
     }
 
     /// Number of models currently cached.
@@ -618,6 +741,69 @@ mod tests {
         let again = engine.run_one(EngineRequest::corpus_only(cfg, FeatureSet::ds(), shared));
         assert_eq!(again.served_from, ServedFrom::ColdFit);
         assert_eq!(engine.cache_stats().expirations, 1);
+    }
+
+    #[test]
+    fn concurrent_duplicate_fits_coalesce_onto_one_em_run() {
+        // Eight threads race the same cold Fit through one engine (the worker-pool
+        // server's shape). Single-flight guarantees exactly one of them pays the EM
+        // fit; the rest are either plain cache hits (they looked up after the leader
+        // published) or coalesced onto the in-flight computation — and the accounting
+        // is exact: duplicates = hits + coalesced_fits.
+        const THREADS: usize = 8;
+        let engine = BatchEngine::new(4);
+        let cfg = GemConfig::fast();
+        let shared = corpus(5);
+        let barrier = std::sync::Barrier::new(THREADS);
+        let outcomes: Vec<ServedFrom> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let (engine, cfg, shared, barrier) = (&engine, &cfg, &shared, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let response = engine.run_one(EngineRequest::corpus_only(
+                            cfg.clone(),
+                            FeatureSet::ds(),
+                            Arc::clone(shared),
+                        ));
+                        assert!(response.embedding.is_ok());
+                        response.served_from
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let cold = outcomes
+            .iter()
+            .filter(|sf| **sf == ServedFrom::ColdFit)
+            .count();
+        assert_eq!(cold, 1, "exactly one EM fit across {THREADS}: {outcomes:?}");
+        let stats = engine.cache_stats();
+        assert_eq!(
+            stats.coalesced_fits + stats.hits,
+            (THREADS - 1) as u64,
+            "every duplicate was a hit or coalesced: {stats:?}"
+        );
+        assert_eq!(engine.cached_models(), 1);
+        // All eight callers hold the same fitted model, bit for bit (same Arc even).
+        let again = engine.run_one(EngineRequest::corpus_only(cfg, FeatureSet::ds(), shared));
+        assert!(again.cache_hit);
+    }
+
+    #[test]
+    fn published_models_resolve_like_fitted_ones() {
+        // The PushModel path: an externally produced model enters via publish() and
+        // the handle resolves without this engine ever fitting.
+        let engine = BatchEngine::new(4);
+        let cfg = GemConfig::fast();
+        let cols = corpus(6);
+        let key = crate::fingerprint::model_key(&cols, &cfg, FeatureSet::ds());
+        let model = Arc::new(GemModel::fit(&cols, &cfg, FeatureSet::ds()).unwrap());
+        assert!(engine.resolve(key).is_none());
+        engine.publish(key, Arc::clone(&model));
+        let (resolved, tier) = engine.resolve(key).expect("published model resolves");
+        assert_eq!(tier, CacheTier::Memory);
+        assert!(Arc::ptr_eq(&resolved, &model));
     }
 
     #[test]

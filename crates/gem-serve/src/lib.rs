@@ -23,12 +23,17 @@
 //!   evictions execute **after the cache lock is released**, so a slow disk never blocks
 //!   concurrent lookups.
 //! * [`EmbedService`] — the front-end: the typed, handle-based [`ServeRequest`] protocol
-//!   (`Fit` → [`ModelHandle`] → `Embed`/`Evict`, plus the one-shot `EmbedCorpus` path for
-//!   any [`gem_core::MethodRegistry`] method by name) with the stable-coded
-//!   [`ServeError`] taxonomy.
+//!   (`Fit` → [`ModelHandle`] → `Embed`/`Evict`, the one-shot `EmbedCorpus` path for
+//!   any [`gem_core::MethodRegistry`] method by name, and `PushModel`/`PullModel`
+//!   snapshot shipping between replicas) with the stable-coded [`ServeError`] taxonomy.
+//!   Duplicate in-flight fits are **single-flight**: N concurrent requests for one
+//!   missing handle pay one EM fit ([`CacheStats::coalesced_fits`]).
 //! * [`net::GemServer`] / [`client::GemClient`] — the same protocol over TCP as
 //!   newline-delimited `gem-proto` JSON envelopes (the `gem-served` and `gem-client`
-//!   binaries wrap them).
+//!   binaries wrap them). The server multiplexes every connection onto one bounded
+//!   executor pool and answers **out of order** (a cheap `Embed` overtakes a slow
+//!   `Fit`); the client's pipelined mode ([`GemClient::send`] /
+//!   [`GemClient::recv_any`]) correlates replies by envelope id.
 //!
 //! ```
 //! use gem_core::{FeatureSet, GemColumn, GemConfig, MethodRegistry};
@@ -69,16 +74,18 @@ pub mod net;
 mod service;
 
 pub use cache::{CachePolicy, CacheStats, CacheTier, EvictTask, ModelCache, SpillTask};
-pub use client::{ClientError, EmbedOutcome, FitOutcome, GemClient};
+pub use client::{
+    ClientError, EmbedOutcome, FitOutcome, GemClient, PipelinedReply, PushOutcome, SnapshotOutcome,
+};
 pub use engine::{BatchEngine, EngineRequest, EngineResponse, FitJob, ServedFrom};
 pub use error::ServeError;
 pub use gem_store::fingerprint;
 pub use gem_store::{
-    config_fingerprint, corpus_fingerprint, model_key, GcPolicy, ModelKey, ModelStore, StoreError,
-    StoreStats,
+    config_fingerprint, corpus_fingerprint, decode_snapshot, encode_snapshot, model_key, GcPolicy,
+    ModelKey, ModelStore, SnapshotError, StoreError, StoreStats,
 };
 pub use handle::ModelHandle;
-pub use net::{GemServer, ServerCounters, ServerHandle};
+pub use net::{default_workers, shutdown_summary, GemServer, ServerCounters, ServerHandle};
 pub use service::{
     EmbedService, ModelInfo, ServeRequest, ServeResponse, ServeResult, ServiceStats,
 };

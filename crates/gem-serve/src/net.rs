@@ -1,49 +1,87 @@
-//! The socket front-end: [`GemServer`] serves the handle-based protocol over TCP.
+//! The socket front-end: [`GemServer`] serves the handle-based protocol over TCP with a
+//! **shared executor pool and out-of-order responses**.
 //!
 //! Framing is newline-delimited `gem-proto` JSON (one [`gem_proto::RequestEnvelope`]
 //! per line in, one [`gem_proto::ResponseEnvelope`] per line out), so any language with
-//! sockets and JSON can speak to it. The server is deliberately `std::net`-only — one
-//! OS thread per connection, the same scoped-thread idiom `gem-parallel` builds on —
-//! because the expensive work (EM fits, transforms) is CPU-bound and already fanned out
-//! inside [`EmbedService`]; an async reactor would add a dependency without adding
-//! throughput here.
+//! sockets and JSON can speak to it. The server is deliberately `std::net`-only — the
+//! expensive work (EM fits, transforms) is CPU-bound, so a bounded pool of OS threads
+//! *is* the right executor; an async reactor would add a dependency without adding
+//! throughput.
+//!
+//! ## Architecture: reader → shared queue → executor pool → per-connection writer
+//!
+//! The PR 4 design ran one thread per connection in lockstep (read a line, execute it,
+//! write the response, repeat), so one slow `Fit` stalled every queued request on that
+//! connection and N clients cost N service threads. Now each connection costs two
+//! *cheap* threads (a blocking reader and a blocking writer — both I/O-bound) while all
+//! CPU work is multiplexed onto one bounded pool:
+//!
+//! * the **reader** splits the byte stream into frames and pushes them onto a shared
+//!   MPMC work queue (it never decodes or executes anything);
+//! * **executors** ([`GemServer::with_workers`], default [`default_workers`]) pop
+//!   frames from the queue in arrival order — *across all connections* — decode,
+//!   execute through [`EmbedService`], and hand the encoded response to the owning
+//!   connection's writer;
+//! * the **writer** serializes completed responses onto the socket *as they finish*:
+//!   a cheap `Stats` or `Embed` pipelined behind a slow `Fit` overtakes it (out-of-order
+//!   responses, correlated by envelope id — see the `gem-proto` docs), fits for
+//!   distinct handles run concurrently on distinct executors, and duplicate in-flight
+//!   fits for the *same* handle coalesce onto one EM run (the engine's single-flight,
+//!   counted in `CacheStats::coalesced_fits`).
 //!
 //! Operational properties:
 //!
 //! * **Graceful shutdown** — [`ServerHandle::shutdown`] flips a flag and nudges the
-//!   acceptor awake; connection threads notice within their read-timeout tick, finish
-//!   the request in flight, and are joined before [`GemServer::run`] returns.
-//! * **Request counters** — connections accepted, requests served and protocol errors
-//!   are counted on shared atomics ([`ServerCounters`]), readable while running.
+//!   acceptor awake; readers stop feeding the queue within their read-timeout tick,
+//!   executors drain what was already queued, writers flush every produced response,
+//!   and all of them are joined before [`GemServer::run`] returns.
+//! * **Request counters** — connections accepted, requests served, protocol errors and
+//!   the executor-pool high-water mark are counted on shared atomics
+//!   ([`ServerCounters`]), readable while running; [`shutdown_summary`] renders them as
+//!   the one-line structured record `gem-served` logs on graceful shutdown.
 //! * **Typed errors end-to-end** — serving failures travel as their stable
 //!   [`crate::ServeError::code`]s; malformed lines get `protocol_error` /
-//!   `version_mismatch` bodies (with the request id salvaged when possible) instead of
-//!   a dropped connection.
+//!   `version_mismatch` bodies — with the request id salvaged when possible and
+//!   `in_reply_to: null` when not — instead of a dropped connection.
 
 use crate::error::ServeError;
 use crate::handle::ModelHandle;
 use crate::service::{EmbedService, ModelInfo, ServeRequest, ServeResponse, ServiceStats};
 use crate::{CacheTier, ServedFrom};
 use gem_proto::{self as proto, RequestBody, ResponseBody};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// How often an idle connection thread wakes to check the shutdown flag.
+/// How often an idle reader or executor wakes to check the shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Pause after a failed `accept` so persistent errors (e.g. fd exhaustion) degrade to
 /// slow retries instead of a busy spin.
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
 
-/// Monotonic counters shared by every connection thread.
+/// The default executor-pool size: the machine's available parallelism, clamped to
+/// `[2, 8]` — at least two so cheap requests can overtake a slow fit even on a
+/// single-core box, and bounded so a big machine isn't saturated by default.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// Monotonic counters shared by the acceptor, every reader, and every executor.
 #[derive(Debug, Default)]
 pub struct ServerCounters {
     connections: AtomicU64,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
+    busy_workers: AtomicU64,
+    workers_high_water: AtomicU64,
 }
 
 impl ServerCounters {
@@ -60,6 +98,86 @@ impl ServerCounters {
     /// Lines that failed to decode (answered with `protocol_error`/`version_mismatch`).
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most executors ever busy at one instant — how close the pool came to
+    /// saturation (equal to the pool size means requests queued behind busy workers).
+    pub fn workers_high_water(&self) -> u64 {
+        self.workers_high_water.load(Ordering::Relaxed)
+    }
+
+    fn enter_work(&self) {
+        let busy = self.busy_workers.fetch_add(1, Ordering::Relaxed) + 1;
+        self.workers_high_water.fetch_max(busy, Ordering::Relaxed);
+    }
+
+    fn leave_work(&self) {
+        self.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The one-line structured record `gem-served` logs on graceful shutdown, so soak runs
+/// leave a debuggable trace: every field is `key=value`, greppable and stable.
+pub fn shutdown_summary(counters: &ServerCounters, stats: &ServiceStats) -> String {
+    format!(
+        "gem-served shutdown summary: requests={} connections={} protocol_errors={} \
+         coalesced_fits={} workers_high_water={} cache_hits={} cache_misses={}",
+        counters.requests(),
+        counters.connections(),
+        counters.protocol_errors(),
+        stats.cache.coalesced_fits,
+        counters.workers_high_water(),
+        stats.cache.hits,
+        stats.cache.misses,
+    )
+}
+
+/// One frame read off a connection, awaiting an executor: the raw line and the sending
+/// half of the owning connection's writer channel (so the response lands on the right
+/// socket no matter which executor runs it, and no matter in which order it finishes).
+struct Frame {
+    line: Vec<u8>,
+    reply: mpsc::Sender<String>,
+}
+
+/// The shared MPMC work queue between readers and executors.
+#[derive(Default)]
+struct WorkQueue {
+    frames: Mutex<VecDeque<Frame>>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn push(&self, frame: Frame) {
+        self.frames
+            .lock()
+            .expect("work queue lock poisoned")
+            .push_back(frame);
+        self.ready.notify_one();
+    }
+
+    /// Pop the next frame, blocking until one arrives. Returns `None` only when
+    /// `inputs_closed` is set *and* the queue is drained. The flag must be raised only
+    /// after every producer (reader) has been joined — NOT at shutdown-request time —
+    /// otherwise all executors could retire in the instant the queue is empty while a
+    /// reader is still finishing a read, stranding its final frame forever (its writer
+    /// would never see channel closure, and `GemServer::run` would hang joining the
+    /// reader). Accepted work is always answered.
+    fn pop(&self, inputs_closed: &AtomicBool) -> Option<Frame> {
+        let mut frames = self.frames.lock().expect("work queue lock poisoned");
+        loop {
+            if let Some(frame) = frames.pop_front() {
+                return Some(frame);
+            }
+            if inputs_closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            frames = self
+                .ready
+                .wait_timeout(frames, READ_TICK)
+                .expect("work queue lock poisoned")
+                .0;
+        }
     }
 }
 
@@ -82,9 +200,9 @@ impl ServerHandle {
         &self.counters
     }
 
-    /// Ask the server to stop: no new connections are accepted, in-flight requests
-    /// finish, idle connections close within one read-timeout tick. Safe to call more
-    /// than once.
+    /// Ask the server to stop: no new connections are accepted, queued and in-flight
+    /// requests finish and their responses are flushed, idle connections close within
+    /// one read-timeout tick. Safe to call more than once.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The acceptor blocks in `accept`; a throwaway connection wakes it so it can
@@ -101,11 +219,13 @@ pub struct GemServer {
     service: Arc<EmbedService>,
     shutdown: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    workers: usize,
 }
 
 impl GemServer {
     /// Bind `addr` (use port 0 for an ephemeral port; read it back with
-    /// [`GemServer::local_addr`]).
+    /// [`GemServer::local_addr`]). The executor pool defaults to [`default_workers`];
+    /// override with [`GemServer::with_workers`].
     ///
     /// # Errors
     /// Propagates the bind failure.
@@ -115,7 +235,25 @@ impl GemServer {
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
             counters: Arc::new(ServerCounters::default()),
+            workers: default_workers(),
         })
+    }
+
+    /// Set the executor-pool size: how many requests (across all connections) execute
+    /// concurrently. A size of 1 serializes execution — responses still return as they
+    /// finish, but nothing overtakes.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "the executor pool needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// The executor-pool size [`GemServer::run`] will spawn.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The bound address (ephemeral port resolved).
@@ -138,14 +276,32 @@ impl GemServer {
         })
     }
 
-    /// Accept connections until [`ServerHandle::shutdown`] is called, one thread per
-    /// connection. Joins every connection thread before returning, so when this returns
-    /// no request is still in flight.
+    /// Accept connections until [`ServerHandle::shutdown`] is called. Each connection
+    /// gets a reader (and, lazily, a writer); all execution happens on the shared
+    /// executor pool. Joins every reader, writer and executor before returning — when
+    /// this returns, every accepted request has been answered and flushed (or its
+    /// connection is gone).
     ///
     /// # Errors
     /// Propagates accept failures (transient per-connection errors are skipped).
     pub fn run(self) -> std::io::Result<()> {
-        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let queue = Arc::new(WorkQueue::default());
+        // Raised only once every reader is joined (see `WorkQueue::pop`): executors
+        // must outlive all producers, or a frame pushed during shutdown could be
+        // stranded with no executor left to answer it.
+        let inputs_closed = Arc::new(AtomicBool::new(false));
+        let executors: Vec<std::thread::JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let service = Arc::clone(&self.service);
+                let inputs_closed = Arc::clone(&inputs_closed);
+                let counters = Arc::clone(&self.counters);
+                std::thread::spawn(move || {
+                    executor_loop(&queue, &service, &inputs_closed, &counters)
+                })
+            })
+            .collect();
+        let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for incoming in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -162,109 +318,81 @@ impl GemServer {
                 }
             };
             self.counters.connections.fetch_add(1, Ordering::Relaxed);
-            let service = Arc::clone(&self.service);
+            let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&self.shutdown);
-            let counters = Arc::clone(&self.counters);
-            workers.push(std::thread::spawn(move || {
-                serve_connection(stream, &service, &shutdown, &counters);
+            readers.push(std::thread::spawn(move || {
+                read_connection(stream, &queue, &shutdown);
             }));
-            workers.retain(|w| !w.is_finished());
+            readers.retain(|r| !r.is_finished());
         }
-        for worker in workers {
-            let _ = worker.join();
+        // Shutdown: readers stop feeding the queue within one tick (each one joins its
+        // connection's writer, which exits once the executors — guaranteed to still be
+        // running, because `inputs_closed` is not raised yet — have answered
+        // everything that was queued for it).
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // Only now can no new frame appear: let the executors drain what remains and
+        // retire.
+        inputs_closed.store(true, Ordering::SeqCst);
+        queue.ready.notify_all();
+        for executor in executors {
+            let _ = executor.join();
         }
         Ok(())
     }
 }
 
-/// One connection: read protocol lines, answer each, until EOF or shutdown.
-fn serve_connection(
-    stream: TcpStream,
+/// One executor: pop frames (from any connection, in arrival order), decode + execute +
+/// encode, and hand the response line to the owning connection's writer. Responses
+/// therefore complete — and are written — in *finish* order, not request order.
+fn executor_loop(
+    queue: &WorkQueue,
     service: &EmbedService,
-    shutdown: &AtomicBool,
+    inputs_closed: &AtomicBool,
     counters: &ServerCounters,
 ) {
-    // The read timeout is a shutdown tick, not a deadline: on timeout the partial line
-    // is kept and reading resumes, so slow writers lose nothing.
-    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
-        return;
-    }
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    // Lines are accumulated as raw bytes, NOT via `read_line`: `read_line`'s built-in
-    // UTF-8 validation (a) turns any invalid byte into an error that would drop the
-    // connection without a response, and (b) *discards* bytes already consumed from the
-    // stream when a read-timeout tick fires mid-multibyte character — a slow writer
-    // would silently lose part of a valid request. `read_until` keeps every byte across
-    // ticks; UTF-8 is validated here, where a failure can be answered properly.
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                // Invalid UTF-8 is *rejected*, not lossily replaced: replacement
-                // characters inside a JSON string would parse fine and silently mutate
-                // a header that participates in the corpus fingerprint.
-                let response = match std::str::from_utf8(&line) {
-                    Ok(text) if text.trim().is_empty() => {
-                        line.clear();
-                        continue;
-                    }
-                    Ok(text) => {
-                        counters.requests.fetch_add(1, Ordering::Relaxed);
-                        respond(service, text, counters)
-                    }
-                    Err(_) => {
-                        counters.requests.fetch_add(1, Ordering::Relaxed);
-                        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        proto::encode_response(&proto::ResponseEnvelope::new(
-                            0,
-                            ResponseBody::Error {
-                                code: "protocol_error".to_string(),
-                                message: "request line is not valid UTF-8".to_string(),
-                            },
-                        ))
-                    }
-                };
-                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-                    return;
-                }
-                // A line without a trailing newline means EOF-mid-line; it was answered
-                // best-effort above, and the next read will report EOF.
-                line.clear();
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                continue; // shutdown tick; keep any partial line (bytes, not chars)
-            }
-            Err(_) => return,
-        }
+    while let Some(frame) = queue.pop(inputs_closed) {
+        counters.enter_work();
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = respond_frame(service, &frame.line, counters);
+        // A send failure means the connection (and its writer) are gone; the work is
+        // simply dropped, like any response to a vanished peer.
+        let _ = frame.reply.send(response);
+        counters.leave_work();
     }
 }
 
-/// Decode, execute and encode one protocol line. Never panics on foreign input: every
-/// failure becomes an error response body with a stable code.
-fn respond(service: &EmbedService, line: &str, counters: &ServerCounters) -> String {
-    let envelope = match proto::decode_request(line) {
+/// Decode, execute and encode one frame. Never panics on foreign input: every failure
+/// becomes an error response body with a stable code.
+fn respond_frame(service: &EmbedService, line: &[u8], counters: &ServerCounters) -> String {
+    // Invalid UTF-8 is *rejected*, not lossily replaced: replacement characters inside
+    // a JSON string would parse fine and silently mutate a header that participates in
+    // the corpus fingerprint. Nothing correlatable survives, so `in_reply_to` is null.
+    let Ok(text) = std::str::from_utf8(line) else {
+        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return proto::encode_response(&proto::ResponseEnvelope::uncorrelated(
+            ResponseBody::Error {
+                code: "protocol_error".to_string(),
+                message: "request line is not valid UTF-8".to_string(),
+            },
+        ));
+    };
+    let envelope = match proto::decode_request(text) {
         Ok(envelope) => envelope,
         Err(error) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return proto::encode_response(&proto::ResponseEnvelope::new(
-                proto::salvage_request_id(line),
-                ResponseBody::Error {
-                    code: error.code().to_string(),
-                    message: error.to_string(),
-                },
-            ));
+            let body = ResponseBody::Error {
+                code: error.code().to_string(),
+                message: error.to_string(),
+            };
+            // Correlate the error when the malformed line still carried an id;
+            // `in_reply_to: null` otherwise — never a sentinel a real id could collide
+            // with.
+            return proto::encode_response(&match proto::salvage_request_id(text) {
+                Some(id) => proto::ResponseEnvelope::new(id, body),
+                None => proto::ResponseEnvelope::uncorrelated(body),
+            });
         }
     };
     let body = match wire_to_request(envelope.body) {
@@ -275,6 +403,78 @@ fn respond(service: &EmbedService, line: &str, counters: &ServerCounters) -> Str
         Err(error) => error_body(&error),
     };
     proto::encode_response(&proto::ResponseEnvelope::new(envelope.id, body))
+}
+
+/// One connection's reader: split the byte stream into frames and queue them. Spawns
+/// the connection's writer on first use and joins it before exiting, so a reader
+/// finishing (EOF or shutdown) never abandons responses that are still in flight.
+fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool) {
+    // The read timeout is a shutdown tick, not a deadline: on timeout the partial line
+    // is kept and reading resumes, so slow writers lose nothing.
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    // Out-of-order responses are written as many small lines; Nagle would batch them
+    // behind delayed ACKs and hand the latency win right back.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || write_responses(write_half, &reply_rx));
+    let mut reader = BufReader::new(stream);
+    // Lines are accumulated as raw bytes, NOT via `read_line`: `read_line`'s built-in
+    // UTF-8 validation (a) turns any invalid byte into an error that would drop the
+    // connection without a response, and (b) *discards* bytes already consumed from the
+    // stream when a read-timeout tick fires mid-multibyte character — a slow writer
+    // would silently lose part of a valid request. `read_until` keeps every byte across
+    // ticks; UTF-8 is validated by the executor, where a failure can be answered
+    // properly.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                // A line without a trailing newline means EOF-mid-line; it is answered
+                // best-effort like any other, and the next read will report EOF.
+                if !line.iter().all(u8::is_ascii_whitespace) {
+                    queue.push(Frame {
+                        line: std::mem::take(&mut line),
+                        reply: reply_tx.clone(),
+                    });
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // shutdown tick; keep any partial line (bytes, not chars)
+            }
+            Err(_) => break,
+        }
+    }
+    // Drop this reader's sender; the writer exits once every frame queued for this
+    // connection has been answered (each frame holds a sender clone) — executors keep
+    // draining concurrently, so this join cannot deadlock.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// One connection's writer: serialize completed responses onto the socket in the order
+/// the executors finish them. Exits when every sender (the reader's and every queued
+/// frame's) is gone, or on the first write failure (the peer vanished).
+fn write_responses(mut stream: TcpStream, responses: &mpsc::Receiver<String>) {
+    for response in responses {
+        if stream.write_all(response.as_bytes()).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
 }
 
 fn parse_handle(text: &str) -> Result<ModelHandle, ServeError> {
@@ -310,6 +510,23 @@ pub(crate) fn wire_to_request(body: RequestBody) -> Result<ServeRequest, ServeEr
             queries,
             labels,
         },
+        RequestBody::PushModel { snapshot } => {
+            // The snapshot is validated exactly like a store file (magic, format
+            // version, key well-formedness) before any of the model is trusted; a
+            // malformed artifact is the *request's* fault.
+            let (key, model) = gem_store::decode_snapshot(&snapshot, None).map_err(|e| {
+                ServeError::InvalidRequest {
+                    reason: format!("snapshot rejected: {e}"),
+                }
+            })?;
+            ServeRequest::PushModel {
+                handle: ModelHandle::from(key),
+                model: Arc::new(model),
+            }
+        }
+        RequestBody::PullModel { handle } => ServeRequest::PullModel {
+            handle: parse_handle(&handle)?,
+        },
         RequestBody::Stats => ServeRequest::Stats,
         RequestBody::ListModels => ServeRequest::ListModels,
         RequestBody::Evict { handle } => ServeRequest::Evict {
@@ -332,6 +549,7 @@ fn stats_to_wire(stats: ServiceStats) -> proto::WireStats {
         misses: stats.cache.misses,
         evictions: stats.cache.evictions,
         expirations: stats.cache.expirations,
+        coalesced_fits: stats.cache.coalesced_fits,
         spills: stats.cache.spills,
         store_errors: stats.cache.store_errors,
         resident_models: stats.resident_models as u64,
@@ -368,6 +586,19 @@ pub(crate) fn response_to_wire(response: ServeResponse) -> ResponseBody {
             served_from,
         } => ResponseBody::Embedded {
             matrix,
+            served_from: served_from.wire_name().to_string(),
+        },
+        ServeResponse::Pushed { handle, dim } => ResponseBody::Pushed {
+            handle: handle.to_hex(),
+            dim: dim as u64,
+        },
+        ServeResponse::Snapshot {
+            handle,
+            snapshot,
+            served_from,
+        } => ResponseBody::Snapshot {
+            handle: handle.to_hex(),
+            snapshot,
             served_from: served_from.wire_name().to_string(),
         },
         ServeResponse::Stats(stats) => ResponseBody::Stats(stats_to_wire(stats)),
@@ -415,7 +646,9 @@ mod tests {
         let config = GemConfig::fast();
         let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
         service.register_gem_family(&config);
-        let server = GemServer::bind(Arc::new(service), ("127.0.0.1", 0)).unwrap();
+        let server = GemServer::bind(Arc::new(service), ("127.0.0.1", 0))
+            .unwrap()
+            .with_workers(4);
         let handle = server.handle().unwrap();
         let join = std::thread::spawn(move || server.run());
         (handle, join)
@@ -450,6 +683,7 @@ mod tests {
         assert_eq!(server.counters().connections(), 1);
         assert_eq!(server.counters().requests(), 3);
         assert_eq!(server.counters().protocol_errors(), 0);
+        assert!(server.counters().workers_high_water() >= 1);
     }
 
     #[test]
@@ -513,20 +747,31 @@ mod tests {
             )
             .unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // The two error responses may return in either order (shared executor pool);
+        // collect both and match on correlation.
+        let mut replies = Vec::new();
         let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        let first = gem_proto::decode_response(&line).unwrap();
-        assert_eq!(first.id, 0, "unsalvageable id defaults to 0");
-        assert!(
-            matches!(&first.body, ResponseBody::Error { code, .. } if code == "protocol_error")
-        );
-        line.clear();
-        reader.read_line(&mut line).unwrap();
-        let second = gem_proto::decode_response(&line).unwrap();
-        assert_eq!(second.id, 7, "id is salvaged from version-mismatched lines");
-        assert!(
-            matches!(&second.body, ResponseBody::Error { code, .. } if code == "version_mismatch")
-        );
+        for _ in 0..2 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            replies.push(gem_proto::decode_response(&line).unwrap());
+        }
+        let unsalvageable = replies
+            .iter()
+            .find(|r| r.in_reply_to.is_none())
+            .expect("the non-JSON line has no salvageable id");
+        assert!(matches!(
+            &unsalvageable.body,
+            ResponseBody::Error { code, .. } if code == "protocol_error"
+        ));
+        let salvaged = replies
+            .iter()
+            .find(|r| r.in_reply_to == Some(7))
+            .expect("the id is salvaged from version-mismatched lines");
+        assert!(matches!(
+            &salvaged.body,
+            ResponseBody::Error { code, .. } if code == "version_mismatch"
+        ));
         // The connection survived both bad lines: a valid request still answers.
         let mut client = GemClient::connect(server.addr()).unwrap();
         assert!(client.stats().is_ok());
@@ -536,7 +781,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_clients_are_served_on_separate_threads() {
+    fn concurrent_clients_share_the_executor_pool() {
         let (server, join) = start_server();
         let addr = server.addr();
         let cols = Arc::new(corpus());
@@ -559,5 +804,47 @@ mod tests {
         assert_eq!(server.counters().connections(), 4);
         server.shutdown();
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn push_and_pull_ship_models_without_the_corpus() {
+        let (origin, origin_join) = start_server();
+        let (replica, replica_join) = start_server();
+        let cols = corpus();
+        let config = GemConfig::fast();
+
+        // Fit on the origin, pull its snapshot.
+        let mut origin_client = GemClient::connect(origin.addr()).unwrap();
+        let fitted = origin_client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        let pulled = origin_client.pull_model(fitted.handle).unwrap();
+        assert_eq!(pulled.handle, fitted.handle);
+
+        // Push to a fresh replica that has never seen the corpus; the handle resolves
+        // and embeds bit-identically to the origin.
+        let mut replica_client = GemClient::connect(replica.addr()).unwrap();
+        let pushed = replica_client.push_model(&pulled.snapshot).unwrap();
+        assert_eq!(pushed.handle, fitted.handle);
+        assert_eq!(pushed.dim, fitted.dim);
+        let from_replica = replica_client.embed(fitted.handle, &cols).unwrap();
+        let from_origin = origin_client.embed(fitted.handle, &cols).unwrap();
+        assert_eq!(from_replica.matrix, from_origin.matrix);
+
+        // Pulling an unknown handle is the typed unknown_model, and a garbage snapshot
+        // is a typed invalid_request — never a crash or a silent accept.
+        let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
+        assert_eq!(
+            replica_client.pull_model(bogus).unwrap_err().code(),
+            Some("unknown_model")
+        );
+        let garbage = gem_json::object(vec![("magic", gem_json::string("nope"))]);
+        assert_eq!(
+            replica_client.push_model(&garbage).unwrap_err().code(),
+            Some("invalid_request")
+        );
+
+        origin.shutdown();
+        replica.shutdown();
+        origin_join.join().unwrap().unwrap();
+        replica_join.join().unwrap().unwrap();
     }
 }

@@ -14,13 +14,17 @@
 //!   against it) with any registry method by name. Gem pipeline variants registered via
 //!   [`EmbedService::register_gem_family`] are served through the model cache; methods
 //!   without a fit/transform seam compute fresh.
+//! * [`ServeRequest::PushModel`] / [`ServeRequest::PullModel`] — snapshot shipping: a
+//!   pulled model is the bit-exact `gem-store` envelope, and pushing it to another
+//!   replica makes the same handle resolvable there **without refitting and without the
+//!   corpus on the wire** (models travel as pre-verified artifacts).
 //! * [`ServeRequest::Stats`], [`ServeRequest::ListModels`], [`ServeRequest::Evict`] —
 //!   introspection and lifecycle control.
 //!
 //! Every outcome is a [`ServeResult`]: a typed [`ServeResponse`] or a [`ServeError`]
-//! from the stable-coded taxonomy. Within one batch, control requests are applied first
-//! (in request order), then all fits, then all embeds — so a `Fit` and an `Embed` of the
-//! resulting handle can share a batch.
+//! from the stable-coded taxonomy. Within one batch, control requests (including
+//! push/pull) are applied first (in request order), then all fits, then all embeds — so
+//! a `Fit` (or a `PushModel`) and an `Embed` of the resulting handle can share a batch.
 
 use crate::cache::CachePolicy;
 use crate::engine::{BatchEngine, EngineRequest, FitJob, ServedFrom};
@@ -72,6 +76,23 @@ pub enum ServeRequest {
         queries: Option<Vec<GemColumn>>,
         /// Training labels for supervised methods.
         labels: Option<Vec<String>>,
+    },
+    /// Install an externally produced model (a shipped snapshot) under `handle`,
+    /// making the handle resolvable exactly as if this service had fitted it. The
+    /// snapshot's header integrity is validated at the wire layer; the key is trusted
+    /// like a store file's filename — snapshot shipping moves *pre-verified* artifacts
+    /// between replicas.
+    PushModel {
+        /// Handle the snapshot's header names.
+        handle: ModelHandle,
+        /// The rehydrated model.
+        model: Arc<gem_core::GemModel>,
+    },
+    /// Fetch the serialized snapshot of the model `handle` names (resolved, never
+    /// fitted), for shipping to another replica or filing into a store directory.
+    PullModel {
+        /// Handle of the model to ship.
+        handle: ModelHandle,
     },
     /// Report cumulative service statistics.
     Stats,
@@ -192,6 +213,23 @@ pub enum ServeResponse {
         /// Where the model came from ([`ServedFrom::ColdFit`] for one-shot methods).
         served_from: ServedFrom,
     },
+    /// Outcome of a `PushModel`: the snapshot is installed and its handle resolves.
+    Pushed {
+        /// The handle the snapshot named, now resolvable on this service.
+        handle: ModelHandle,
+        /// Embedding dimensionality of the installed model.
+        dim: usize,
+    },
+    /// Outcome of a `PullModel`: the model's serialized snapshot (the bit-exact
+    /// `gem-store` envelope, interchangeable with a store file's contents).
+    Snapshot {
+        /// The handle the snapshot names.
+        handle: ModelHandle,
+        /// The snapshot envelope.
+        snapshot: gem_json::Json,
+        /// Which tier produced the model.
+        served_from: ServedFrom,
+    },
     /// Outcome of a `Stats` request.
     Stats(ServiceStats),
     /// Outcome of a `ListModels` request, memory tier first.
@@ -220,10 +258,12 @@ impl ServeResponse {
         }
     }
 
-    /// The model handle, when this is a `Fitted` response.
+    /// The model handle, when this is a `Fitted` or `Pushed` response.
     pub fn handle(&self) -> Option<ModelHandle> {
         match self {
-            ServeResponse::Fitted { handle, .. } => Some(*handle),
+            ServeResponse::Fitted { handle, .. } | ServeResponse::Pushed { handle, .. } => {
+                Some(*handle)
+            }
             _ => None,
         }
     }
@@ -232,7 +272,8 @@ impl ServeResponse {
     pub fn served_from(&self) -> Option<ServedFrom> {
         match self {
             ServeResponse::Fitted { served_from, .. }
-            | ServeResponse::Embedded { served_from, .. } => Some(*served_from),
+            | ServeResponse::Embedded { served_from, .. }
+            | ServeResponse::Snapshot { served_from, .. } => Some(*served_from),
             _ => None,
         }
     }
@@ -486,6 +527,21 @@ impl EmbedService {
                     } else {
                         results[i] = Some(Err(ServeError::UnknownMethod { method }));
                     }
+                }
+                ServeRequest::PushModel { handle, model } => {
+                    let dim = model.dim();
+                    self.engine.publish(handle.key(), model);
+                    results[i] = Some(Ok(ServeResponse::Pushed { handle, dim }));
+                }
+                ServeRequest::PullModel { handle } => {
+                    results[i] = Some(match self.engine.resolve(handle.key()) {
+                        Some((model, tier)) => Ok(ServeResponse::Snapshot {
+                            handle,
+                            snapshot: gem_store::encode_snapshot(handle.key(), &model),
+                            served_from: ServedFrom::from(tier),
+                        }),
+                        None => Err(ServeError::UnknownModel { handle }),
+                    });
                 }
                 ServeRequest::Stats => {
                     results[i] = Some(Ok(ServeResponse::Stats(self.stats())));
@@ -977,6 +1033,70 @@ mod tests {
         // ListModels sees the disk-only snapshots too.
         let models = restarted.models().unwrap();
         assert!(models.iter().any(|m| m.handle == handle));
+    }
+
+    #[test]
+    fn push_and_pull_ship_models_between_services() {
+        let origin = service();
+        let cols = corpus();
+        let handle = origin
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let pulled = match origin
+            .serve_one(ServeRequest::PullModel { handle })
+            .unwrap()
+        {
+            ServeResponse::Snapshot {
+                handle: h,
+                snapshot,
+                served_from,
+            } => {
+                assert_eq!(h, handle);
+                assert_eq!(served_from, ServedFrom::MemoryCache);
+                snapshot
+            }
+            other => panic!("expected Snapshot, got {other:?}"),
+        };
+        // The snapshot is the store envelope: it validates exactly like a store file.
+        let (key, model) = gem_store::decode_snapshot(&pulled, Some(handle.key())).unwrap();
+        assert_eq!(key, handle.key());
+
+        // A fresh service that has never seen the corpus acquires the handle by push
+        // and embeds bit-identically — no corpus, no refit.
+        let replica = service();
+        let pushed = replica
+            .serve_one(ServeRequest::PushModel {
+                handle,
+                model: Arc::new(model),
+            })
+            .unwrap();
+        assert_eq!(pushed.handle(), Some(handle));
+        let from_origin = origin
+            .serve_one(ServeRequest::embed(handle, cols.to_vec()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        let from_replica = replica
+            .serve_one(ServeRequest::embed(handle, cols.to_vec()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        assert_eq!(from_origin, from_replica);
+        // The replica never fitted: its only miss-path activity was the push insert.
+        assert_eq!(replica.cache_stats().misses, 0);
+
+        // Pulling an unresolvable handle is the typed unknown_model — never a fit.
+        let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
+        let err = replica
+            .serve_one(ServeRequest::PullModel { handle: bogus })
+            .unwrap_err();
+        assert_eq!(err.code(), "unknown_model");
     }
 
     #[test]

@@ -32,5 +32,6 @@ mod store;
 
 pub use fingerprint::{config_fingerprint, corpus_fingerprint, model_key, ModelKey};
 pub use store::{
-    GcPolicy, ModelStore, StoreEntry, StoreError, StoreStats, STORE_FORMAT_VERSION, STORE_MAGIC,
+    decode_snapshot, encode_snapshot, GcPolicy, ModelStore, SnapshotError, StoreEntry, StoreError,
+    StoreStats, STORE_FORMAT_VERSION, STORE_MAGIC,
 };

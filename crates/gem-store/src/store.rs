@@ -40,6 +40,103 @@ const ENTRY_SUFFIX: &str = ".gem.json";
 /// process never collide (cross-process collisions are prevented by the pid component).
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Why a snapshot envelope (the JSON object a store file holds — and the payload a
+/// `PushModel` serving request ships) failed to validate, independent of any file path.
+/// [`StoreError`] wraps this with the offending path when the envelope came from disk.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The envelope could not be interpreted (bad magic, malformed header or payload).
+    Corrupt {
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The envelope was written by a snapshot format this build does not read.
+    VersionMismatch {
+        /// Version found in the envelope header.
+        found: u64,
+        /// Version this build reads ([`STORE_FORMAT_VERSION`]).
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Corrupt { reason } => write!(f, "corrupt model snapshot: {reason}"),
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "model snapshot has format version {found}, this build reads {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encode the snapshot envelope for (`key`, `model`): the exact JSON object
+/// [`ModelStore::save`] writes to disk — magic, format version, the key, and the full
+/// model payload. The serving protocol's `PushModel`/`PullModel` requests ship this
+/// object verbatim, so a pulled snapshot is byte-interchangeable with a store file.
+pub fn encode_snapshot(key: ModelKey, model: &GemModel) -> Json {
+    object(vec![
+        ("magic", string(STORE_MAGIC)),
+        (
+            "format_version",
+            gem_json::number(STORE_FORMAT_VERSION as f64),
+        ),
+        ("key", string(key.to_hex())),
+        ("model", model.to_json()),
+    ])
+}
+
+/// Decode and validate a snapshot envelope. Header validation comes first — magic, then
+/// format version, then key well-formedness (and agreement with `expected_key` when the
+/// caller knows which key the envelope should name) — and only a fully validated header
+/// earns an attempt at the model payload. Returns the key the envelope names and the
+/// rehydrated model.
+///
+/// # Errors
+/// [`SnapshotError::VersionMismatch`] for foreign format versions,
+/// [`SnapshotError::Corrupt`] for everything else.
+pub fn decode_snapshot(
+    envelope: &Json,
+    expected_key: Option<ModelKey>,
+) -> Result<(ModelKey, GemModel), SnapshotError> {
+    let corrupt = |reason: String| SnapshotError::Corrupt { reason };
+    let magic = envelope
+        .str_field("magic")
+        .map_err(|e| corrupt(e.to_string()))?;
+    if magic != STORE_MAGIC {
+        return Err(corrupt(format!("bad magic `{magic}`")));
+    }
+    let found = envelope
+        .num_field("format_version")
+        .map_err(|e| corrupt(e.to_string()))? as u64;
+    if found != STORE_FORMAT_VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found,
+            expected: STORE_FORMAT_VERSION,
+        });
+    }
+    let header_key = envelope
+        .str_field("key")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let header_key = ModelKey::from_hex(&header_key)
+        .ok_or_else(|| corrupt(format!("malformed header key `{header_key}`")))?;
+    if let Some(expected) = expected_key {
+        if header_key != expected {
+            return Err(corrupt(format!(
+                "header key {header_key} does not match expected key {expected}"
+            )));
+        }
+    }
+    let model = envelope
+        .field("model")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let model = GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))?;
+    Ok((header_key, model))
+}
+
 /// Errors from store operations.
 #[derive(Debug)]
 pub enum StoreError {
@@ -206,15 +303,7 @@ impl ModelStore {
     /// # Errors
     /// Returns [`StoreError::Io`] when writing, syncing or renaming fails.
     pub fn save(&self, key: ModelKey, model: &GemModel) -> Result<PathBuf, StoreError> {
-        let envelope = object(vec![
-            ("magic", string(STORE_MAGIC)),
-            (
-                "format_version",
-                gem_json::number(STORE_FORMAT_VERSION as f64),
-            ),
-            ("key", string(key.to_hex())),
-            ("model", model.to_json()),
-        ]);
+        let envelope = encode_snapshot(key, model);
         let target = self.path_of(key);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{}",
@@ -286,40 +375,17 @@ impl ModelStore {
             reason,
         };
         let envelope = Json::parse(text).map_err(|e| corrupt(e.to_string()))?;
-        // Header validation first: magic, then version, then key integrity. Only a
-        // fully validated header earns an attempt at the model payload.
-        let magic = envelope
-            .str_field("magic")
-            .map_err(|e| corrupt(e.to_string()))?;
-        if magic != STORE_MAGIC {
-            return Err(corrupt(format!("bad magic `{magic}`")));
-        }
-        let found = envelope
-            .num_field("format_version")
-            .map_err(|e| corrupt(e.to_string()))? as u64;
-        if found != STORE_FORMAT_VERSION {
-            return Err(StoreError::VersionMismatch {
-                path: path.to_path_buf(),
-                found,
-                expected: STORE_FORMAT_VERSION,
-            });
-        }
-        let header_key = envelope
-            .str_field("key")
-            .map_err(|e| corrupt(e.to_string()))?;
-        let header_key = ModelKey::from_hex(&header_key)
-            .ok_or_else(|| corrupt(format!("malformed header key `{header_key}`")))?;
-        if let Some(expected) = expected_key {
-            if header_key != expected {
-                return Err(corrupt(format!(
-                    "header key {header_key} does not match expected key {expected}"
-                )));
+        match decode_snapshot(&envelope, expected_key) {
+            Ok((_, model)) => Ok(model),
+            Err(SnapshotError::Corrupt { reason }) => Err(corrupt(reason)),
+            Err(SnapshotError::VersionMismatch { found, expected }) => {
+                Err(StoreError::VersionMismatch {
+                    path: path.to_path_buf(),
+                    found,
+                    expected,
+                })
             }
         }
-        let model = envelope
-            .field("model")
-            .map_err(|e| corrupt(e.to_string()))?;
-        GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))
     }
 
     /// Parse a caller-supplied hex fingerprint into a [`ModelKey`], rejecting anything

@@ -2,7 +2,7 @@
 //!
 //! This is the serving protocol end to end — a real `GemServer` on an ephemeral
 //! localhost port, a `GemClient` on the other side, newline-delimited `gem-proto` JSON
-//! in between — demonstrating the three properties the handle-based API guarantees:
+//! in between — demonstrating the properties the handle-based API guarantees:
 //!
 //! 1. **Fit once, embed by handle.** The corpus crosses the wire exactly once (the
 //!    `Fit` request); every `Embed` after that ships only the handle + query columns.
@@ -12,10 +12,17 @@
 //! 3. **Typed errors, never silent refits.** Embedding through an unknown handle
 //!    returns the stable `unknown_model` error code; the server cannot refit because
 //!    the request carries no corpus.
+//! 4. **Out-of-order pipelining.** Many requests ride one connection at once; the
+//!    server's executor pool answers them as they finish, so cheap embeds overtake a
+//!    slow fit instead of queueing behind it (responses correlate by envelope id).
+//! 5. **Snapshot shipping.** `pull_model` serializes a fitted model (the bit-exact
+//!    `gem-store` envelope) and `push_model` installs it on a fresh replica — the
+//!    handle resolves there without a refit and without the corpus on the wire.
 //!
 //! Run with `cargo run --release --example remote_serving`.
 
 use gem::core::{FeatureSet, GemColumn, GemConfig, GemModel, MethodRegistry};
+use gem::proto::RequestBody;
 use gem::serve::{ClientError, EmbedService, GemClient, GemServer, ModelHandle, ServedFrom};
 use std::sync::Arc;
 use std::time::Instant;
@@ -91,6 +98,71 @@ fn main() {
         remote.matrix.rows(),
         remote.matrix.cols()
     );
+
+    // Pipelined, out-of-order: a deliberately slow cold fit plus a burst of cheap
+    // embeds, all in flight on this one connection. The embeds are answered first —
+    // the slow fit no longer head-of-line-blocks them.
+    let fit_id = client
+        .send(RequestBody::Fit {
+            corpus: columns.clone(),
+            config: GemConfig::with_components(24),
+            features: FeatureSet::ds(),
+            composition: None,
+        })
+        .expect("pipelined fit send");
+    let embed_ids: Vec<u64> = (0..8)
+        .map(|_| {
+            client
+                .send(RequestBody::Embed {
+                    handle: fitted.handle.to_hex(),
+                    queries: queries.clone(),
+                })
+                .expect("pipelined embed send")
+        })
+        .collect();
+    let mut arrival = Vec::new();
+    while client.pending() > 0 {
+        let reply = client.recv_any().expect("pipelined recv");
+        reply.outcome.expect("pipelined outcome");
+        arrival.push(reply.id);
+    }
+    let fit_position = arrival.iter().position(|id| *id == fit_id).unwrap();
+    assert!(
+        embed_ids.iter().all(|id| arrival.contains(id)),
+        "every pipelined embed correlates"
+    );
+    println!(
+        "pipelined: slow fit sent first, answered {} of {} — {} cheap embeds overtook it ✓",
+        fit_position + 1,
+        arrival.len(),
+        fit_position
+    );
+
+    // Snapshot shipping: pull the fitted model and push it to a brand-new replica that
+    // has never seen the corpus. The same handle resolves there, bit-identically.
+    let replica_config = GemConfig::fast();
+    let mut replica_service = EmbedService::new(MethodRegistry::with_gem(&replica_config), 8);
+    replica_service.register_gem_family(&replica_config);
+    let replica = GemServer::bind(Arc::new(replica_service), ("127.0.0.1", 0)).expect("bind");
+    let replica_handle = replica.handle().expect("replica handle");
+    let replica_thread = std::thread::spawn(move || replica.run());
+    let pulled = client.pull_model(fitted.handle).expect("pull");
+    let mut replica_client = GemClient::connect(replica_handle.addr()).expect("connect replica");
+    let pushed = replica_client.push_model(&pulled.snapshot).expect("push");
+    assert_eq!(pushed.handle, fitted.handle);
+    let shipped = replica_client
+        .embed(fitted.handle, &queries)
+        .expect("embed on replica");
+    assert_eq!(
+        shipped.matrix, local.matrix,
+        "a pushed replica serves bit-identically — no corpus, no refit"
+    );
+    println!(
+        "shipped {} to a fresh replica: embed there == in-process fit+transform ✓",
+        fitted.handle
+    );
+    replica_handle.shutdown();
+    replica_thread.join().expect("join replica").expect("run");
 
     // An unknown handle is a typed error with a stable code — never a silent refit.
     let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
