@@ -228,6 +228,45 @@ impl GemModel {
         Ok((model, embedding))
     }
 
+    /// Fold `new_columns` into this fitted model **incrementally**: the expensive
+    /// corpus-level estimates — the EM-fitted GMM, the Equation 7 scaler, the trained
+    /// autoencoder — are reused frozen, and only the new columns' signatures are
+    /// computed (against the frozen GMM, which also validates that the new slice of the
+    /// corpus is embeddable). The hash embedder needs no retraining for the new
+    /// headers: its vocabulary is the feature-hash space itself, so unseen tokens
+    /// already have well-defined coordinates.
+    ///
+    /// The updated model is the Rao-Blackwellised serving story for corpus growth: a
+    /// replica absorbs `new_columns` in time proportional to the *new* columns instead
+    /// of re-running EM over the grown stack. The price is that the update is an
+    /// approximation — the GMM components and standardisation parameters still describe
+    /// the parent corpus. By construction, embeds of columns the parent has seen are
+    /// **bit-identical** between parent and updated model; callers that need the
+    /// parameters re-estimated run a full [`GemModel::fit`] instead.
+    ///
+    /// Identity bookkeeping (the updated fingerprint and the recorded `parent` lineage)
+    /// lives with the store/serving layer, which knows the model's key.
+    ///
+    /// # Errors
+    /// [`GemError::NoColumns`] when `new_columns` is empty — an empty update is almost
+    /// certainly a caller bug, and admitting it would mint a second key for the same
+    /// model state.
+    pub fn fit_update(&self, new_columns: &[GemColumn]) -> Result<Self, GemError> {
+        if new_columns.is_empty() {
+            return Err(GemError::NoColumns);
+        }
+        // The incremental work: the new columns' signatures under the frozen GMM (the
+        // per-column quantity a fresh fit would have recomputed for the whole corpus).
+        if let Some(gmm) = &self.gmm {
+            let values: Vec<&[f64]> = new_columns.iter().map(|c| c.values.as_slice()).collect();
+            let signature = signature_matrix(gmm, &values, self.config.parallel);
+            debug_assert!(signature.all_finite());
+        }
+        let mut updated = self.clone();
+        updated.n_fit_columns = self.n_fit_columns + new_columns.len();
+        Ok(updated)
+    }
+
     /// Embed `columns` against the frozen model — steps 2–6 of Algorithm 1 with every
     /// corpus-level estimate (GMM, Equation 7 parameters, autoencoder weights) reused
     /// rather than re-fitted. The input is borrowed; nothing proportional to the fit
@@ -374,6 +413,13 @@ impl GemModel {
     /// Number of columns in the fit corpus.
     pub fn n_fit_columns(&self) -> usize {
         self.n_fit_columns
+    }
+
+    /// EM iterations the winning GMM restart ran at fit time (`0` when distributional
+    /// features are not selected). A [`GemModel::fit_update`] inherits the parent's
+    /// count — its whole point is that no new EM iterations run.
+    pub fn em_iterations(&self) -> usize {
+        self.gmm.as_ref().map_or(0, UnivariateGmm::n_iterations)
     }
 
     /// Dimensionality of the embeddings [`GemModel::transform`] produces.
@@ -820,5 +866,80 @@ mod tests {
         );
         let k = model.gmm().unwrap().n_components();
         assert_eq!(model.dim(), k + 7 + model.config().text_dim);
+    }
+
+    fn growth_columns() -> Vec<GemColumn> {
+        vec![
+            GemColumn::new(
+                (0..60).map(|i| 22.0 + (i % 25) as f64 * 0.8).collect(),
+                "age_new",
+            ),
+            GemColumn::new(
+                (0..60).map(|i| 1800.0 + (i % 35) as f64 * 45.0).collect(),
+                "price_new",
+            ),
+        ]
+    }
+
+    #[test]
+    fn fit_update_keeps_old_column_embeddings_bit_identical() {
+        let cols = corpus();
+        let parent = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::dsc()).unwrap();
+        let updated = parent.fit_update(&growth_columns()).unwrap();
+        // Frozen components → every column the parent has seen embeds to the same bits.
+        let before = parent.transform(&cols).unwrap();
+        let after = updated.transform(&cols).unwrap();
+        assert_eq!(before.matrix, after.matrix);
+        assert_eq!(before.signature, after.signature);
+        // The update only grows the corpus accounting; dimensionality and the EM
+        // iteration count are inherited.
+        assert_eq!(updated.n_fit_columns(), cols.len() + 2);
+        assert_eq!(updated.dim(), parent.dim());
+        assert_eq!(updated.em_iterations(), parent.em_iterations());
+        assert!(parent.em_iterations() > 0);
+        // And the new columns are embeddable against the updated model.
+        let grown = updated.transform(&growth_columns()).unwrap();
+        assert_eq!(grown.n_columns(), 2);
+        assert!(grown.matrix.all_finite());
+    }
+
+    #[test]
+    fn fit_update_chains_accumulate_corpus_accounting() {
+        let cols = corpus();
+        let parent = GemModel::fit(&cols, &GemConfig::fast(), FeatureSet::ds()).unwrap();
+        let step1 = parent.fit_update(&growth_columns()).unwrap();
+        let step2 = step1.fit_update(&growth_columns()[..1]).unwrap();
+        assert_eq!(step2.n_fit_columns(), cols.len() + 3);
+        let before = parent.transform(&cols).unwrap();
+        let after = step2.transform(&cols).unwrap();
+        assert_eq!(before.matrix, after.matrix);
+    }
+
+    #[test]
+    fn fit_update_rejects_empty_updates() {
+        let model = GemModel::fit(&corpus(), &GemConfig::fast(), FeatureSet::ds()).unwrap();
+        assert_eq!(model.fit_update(&[]).unwrap_err(), GemError::NoColumns);
+    }
+
+    #[test]
+    fn serial_and_parallel_model_fits_are_bit_identical() {
+        let cols = corpus();
+        let serial_cfg = GemConfig::fast().with_parallel(false);
+        let parallel_cfg = GemConfig::fast().with_parallel(true);
+        let (serial, serial_emb) =
+            GemModel::fit_transform(&cols, &serial_cfg, FeatureSet::dsc()).unwrap();
+        let (parallel, parallel_emb) =
+            GemModel::fit_transform(&cols, &parallel_cfg, FeatureSet::dsc()).unwrap();
+        assert_eq!(serial_emb.matrix, parallel_emb.matrix);
+        let (sg, pg) = (serial.gmm().unwrap(), parallel.gmm().unwrap());
+        for (a, b) in sg.weights().iter().zip(pg.weights()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in sg.means().iter().zip(pg.means()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in sg.variances().iter().zip(pg.variances()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -29,10 +29,13 @@ pub fn stack_values<S: AsRef<[f64]>>(columns: &[S]) -> Vec<f64> {
 /// Rows sum to one (they are averages of probability vectors).
 ///
 /// When `parallel` is true the columns are fanned out across threads with
-/// [`gem_parallel::par_fill_rows`]; the GMM is immutable during this phase so sharing it
-/// by reference is free. Each worker writes its rows straight into the output matrix (no
-/// intermediate row vectors), and rows are assigned by column index, so the parallel and
-/// serial paths produce bit-identical matrices.
+/// [`gem_parallel::par_fill_rows_with_scratch`]; the GMM is immutable during this phase
+/// so sharing it by reference is free. Each worker writes its rows straight into the
+/// output matrix (no intermediate row vectors) and reuses one scratch buffer (hoisted
+/// log tables plus a responsibility row) for every column of its block, so the fan-out
+/// never touches the allocator per column. Rows are assigned by column index and the
+/// kernel is scratch-state-free, so the parallel and serial paths produce bit-identical
+/// matrices.
 pub fn signature_matrix<S: AsRef<[f64]> + Sync>(
     gmm: &UnivariateGmm,
     columns: &[S],
@@ -41,9 +44,16 @@ pub fn signature_matrix<S: AsRef<[f64]> + Sync>(
     let k = gmm.n_components();
     let n = columns.len();
     let mut out = Matrix::zeros(n, k);
-    gem_parallel::par_fill_rows(columns, out.as_mut_slice(), k, parallel, |col, row| {
-        gmm.mean_responsibilities_into(col.as_ref(), row);
-    });
+    gem_parallel::par_fill_rows_with_scratch(
+        columns,
+        out.as_mut_slice(),
+        k,
+        parallel,
+        Vec::new,
+        |col, row, scratch| {
+            gmm.mean_responsibilities_scratch(col.as_ref(), row, scratch);
+        },
+    );
     out
 }
 

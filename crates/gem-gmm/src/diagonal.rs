@@ -63,12 +63,19 @@ impl DiagonalGmm {
         let k = config.n_components.min(data.len()).max(1);
         // As in `UnivariateGmm::fit`: independent restarts fan out across threads, and the
         // strictly-greater scan in restart order keeps winner selection deterministic.
+        // Worker threads reuse one scratch buffer set across their restarts; every buffer
+        // is fully rewritten per iteration, so reuse cannot change the result.
         let n_restarts = config.n_restarts.max(1);
         let restarts: Vec<u64> = (0..n_restarts as u64).collect();
-        let fits = gem_parallel::par_map(&restarts, n_restarts > 1, |&restart| {
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart));
-            run_em(data, dim, k, config, config.init, &mut rng)
-        });
+        let fits = gem_parallel::par_map_with_scratch(
+            &restarts,
+            n_restarts > 1,
+            DiagEmScratch::default,
+            |&restart, scratch| {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart));
+                run_em(data, dim, k, config, config.init, &mut rng, scratch)
+            },
+        );
         let mut best: Option<DiagonalGmm> = None;
         for model in fits {
             let model = model?;
@@ -165,6 +172,41 @@ impl DiagonalGmm {
     }
 }
 
+/// Reusable buffers for one diagonal EM run, the multivariate sibling of the
+/// univariate `EmScratch`: the per-component tables and accumulators are kept flat
+/// (`k × dim`, row-major by component) so the fused passes stream memory instead of
+/// chasing nested `Vec`s. Every buffer is fully overwritten before it is read in each
+/// iteration, so cross-restart reuse cannot leak state.
+#[derive(Debug, Default, Clone)]
+struct DiagEmScratch {
+    /// Flat n × k responsibility matrix.
+    resp: Vec<f64>,
+    /// Per-component x-independent log-density part (k wide).
+    bias: Vec<f64>,
+    nk: Vec<f64>,
+    /// Flat k × dim tables: −½/σ², component means, and the M-step accumulators.
+    scale: Vec<f64>,
+    means_flat: Vec<f64>,
+    mean_acc: Vec<f64>,
+    var_acc: Vec<f64>,
+}
+
+impl DiagEmScratch {
+    fn reserve(&mut self, n: usize, k: usize, dim: usize) {
+        self.resp.resize(n * k, 0.0);
+        self.bias.resize(k, 0.0);
+        self.nk.resize(k, 0.0);
+        for buf in [
+            &mut self.scale,
+            &mut self.means_flat,
+            &mut self.mean_acc,
+            &mut self.var_acc,
+        ] {
+            buf.resize(k * dim, 0.0);
+        }
+    }
+}
+
 fn run_em(
     data: &[Vec<f64>],
     dim: usize,
@@ -172,6 +214,7 @@ fn run_em(
     config: &GmmConfig,
     init: InitMethod,
     rng: &mut StdRng,
+    scratch: &mut DiagEmScratch,
 ) -> Result<DiagonalGmm, GmmError> {
     let n = data.len();
     // Global per-dimension variance for the variance floor.
@@ -205,26 +248,71 @@ fn run_em(
     let mut prev_avg = f64::NEG_INFINITY;
     let mut total_ll = f64::NEG_INFINITY;
     let mut converged = false;
-    let mut resp = vec![0.0f64; n * k];
+
+    scratch.reserve(n, k, dim);
+    let DiagEmScratch {
+        resp,
+        bias,
+        nk,
+        scale,
+        means_flat,
+        mean_acc,
+        var_acc,
+    } = scratch;
 
     for _ in 0..config.max_iterations {
-        // E-step.
+        // Hoist the per-component tables out of the per-point loop: `bias[j]` carries
+        // ln πⱼ plus the x-independent part of the log-density summed over dimensions,
+        // `scale[j·dim + d] = −½/σ²ⱼd`, and the means are flattened so the kernel
+        // streams three contiguous `dim`-wide rows per component.
+        for j in 0..k {
+            let mut b = weights[j].max(1e-300).ln();
+            for d in 0..dim {
+                let v = variances[j][d].max(1e-300);
+                b += -0.5 * (LOG_2PI + v.ln());
+                scale[j * dim + d] = -0.5 / v;
+                means_flat[j * dim + d] = means[j][d];
+            }
+            bias[j] = b;
+        }
+
+        // Fused pass 1 (row-major): E-step log-densities + normalisation + the
+        // M-step's nk/mean accumulation, one streaming sweep over `resp`.
+        nk.fill(0.0);
+        mean_acc.fill(0.0);
         let mut ll = 0.0;
         for (i, p) in data.iter().enumerate() {
             let row = &mut resp[i * k..(i + 1) * k];
-            for j in 0..k {
-                let mut acc = weights[j].max(1e-300).ln();
-                for ((&xi, &mi), &vi) in p.iter().zip(means[j].iter()).zip(variances[j].iter()) {
-                    let v = vi.max(1e-300);
-                    let d = xi - mi;
-                    acc += -0.5 * (LOG_2PI + v.ln() + d * d / v);
+            for (j, slot) in row.iter_mut().enumerate() {
+                let m = &means_flat[j * dim..(j + 1) * dim];
+                let s = &scale[j * dim..(j + 1) * dim];
+                let mut acc = bias[j];
+                for d in 0..dim {
+                    let diff = p[d] - m[d];
+                    acc += s[d] * (diff * diff);
                 }
-                row[j] = acc;
+                *slot = acc;
             }
-            let norm = log_sum_exp(row);
-            ll += norm;
+            // Shifted-exponential normalisation (one `exp` per cell; the
+            // responsibilities are recovered with a reciprocal multiply, and the
+            // log-normaliser matches `log_sum_exp` bit for bit).
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
             for r in row.iter_mut() {
-                *r = (*r - norm).exp();
+                let e = (*r - m).exp();
+                *r = e;
+                sum += e;
+            }
+            ll += m + sum.ln();
+            let inv = 1.0 / sum;
+            for (j, r) in row.iter_mut().enumerate() {
+                let g = *r * inv;
+                *r = g;
+                nk[j] += g;
+                let ma = &mut mean_acc[j * dim..(j + 1) * dim];
+                for (a, &x) in ma.iter_mut().zip(p.iter()) {
+                    *a += g * x;
+                }
             }
         }
         if !ll.is_finite() {
@@ -234,40 +322,47 @@ fn run_em(
         }
         total_ll = ll;
 
-        // M-step.
+        // Parameter updates from the accumulators; dead components are re-seeded.
         for j in 0..k {
-            let mut nk = 0.0;
-            let mut mean_acc = vec![0.0; dim];
-            for (i, p) in data.iter().enumerate() {
-                let r = resp[i * k + j];
-                nk += r;
-                for (m, &x) in mean_acc.iter_mut().zip(p) {
-                    *m += r * x;
-                }
-            }
-            if nk < 1e-12 {
+            if nk[j] < 1e-12 {
                 means[j] = data[j % n].clone();
                 variances[j] = global_var.clone();
                 weights[j] = 1e-6;
-                continue;
+                for d in 0..dim {
+                    means_flat[j * dim + d] = means[j][d];
+                }
+            } else {
+                for d in 0..dim {
+                    let m = mean_acc[j * dim + d] / nk[j];
+                    means[j][d] = m;
+                    means_flat[j * dim + d] = m;
+                }
+                weights[j] = nk[j] / n as f64;
             }
-            for m in mean_acc.iter_mut() {
-                *m /= nk;
-            }
-            let mut var_acc = vec![0.0; dim];
-            for (i, p) in data.iter().enumerate() {
-                let r = resp[i * k + j];
-                for ((v, &x), &m) in var_acc.iter_mut().zip(p).zip(mean_acc.iter()) {
-                    *v += r * (x - m) * (x - m);
+        }
+
+        // Pass 2 (row-major): variance accumulation against the updated means. Dead
+        // components' accumulators are computed but not used below.
+        var_acc.fill(0.0);
+        for (i, p) in data.iter().enumerate() {
+            let row = &resp[i * k..(i + 1) * k];
+            for (j, &r) in row.iter().enumerate() {
+                let m = &means_flat[j * dim..(j + 1) * dim];
+                let va = &mut var_acc[j * dim..(j + 1) * dim];
+                for d in 0..dim {
+                    let diff = p[d] - m[d];
+                    va[d] += r * (diff * diff);
                 }
             }
-            for ((v, floor), _) in var_acc.iter_mut().zip(floors.iter()).zip(0..dim) {
-                *v = (*v / nk).max(*floor);
-            }
-            means[j] = mean_acc;
-            variances[j] = var_acc;
-            weights[j] = nk / n as f64;
         }
+        for j in 0..k {
+            if nk[j] >= 1e-12 {
+                for d in 0..dim {
+                    variances[j][d] = (var_acc[j * dim + d] / nk[j]).max(floors[d]);
+                }
+            }
+        }
+
         let wsum: f64 = weights.iter().sum();
         for w in weights.iter_mut() {
             *w /= wsum;

@@ -30,4 +30,6 @@ mod univariate;
 pub use config::{GmmConfig, InitMethod};
 pub use diagonal::DiagonalGmm;
 pub use selection::{select_components_aic, select_components_bic, ComponentSelection};
+#[doc(hidden)]
+pub use univariate::bench_kernels;
 pub use univariate::{GmmError, UnivariateGmm};

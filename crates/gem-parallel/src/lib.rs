@@ -9,6 +9,9 @@
 //!
 //! * [`par_map`] — an ordered parallel map over a slice,
 //! * [`par_map_indexed`] — the same with the item index passed to the closure,
+//! * [`par_map_with_scratch`] / [`par_fill_rows_with_scratch`] — the same with a
+//!   reusable per-thread scratch buffer, for hot paths whose per-item work needs large
+//!   temporaries (EM responsibility matrices, log-density tables),
 //! * [`join`] — run two closures potentially in parallel.
 //!
 //! Every entry point has a sequential fallback that produces **identical** output:
@@ -26,9 +29,21 @@
 /// callers with trivial per-item work should pass `parallel: false` instead.
 pub const MIN_PARALLEL_ITEMS: usize = 2;
 
+/// Parse a `GEM_NUM_THREADS` override: `Some(n)` for a positive integer, `None` for
+/// anything else. Reporting malformed values is [`max_threads`]'s job, not this one's,
+/// which keeps the policy unit-testable without touching the process environment.
+fn parse_thread_override(raw: &str) -> Option<usize> {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
 /// The number of worker threads parallel operations will use: the `GEM_NUM_THREADS`
-/// environment variable when set, otherwise [`std::thread::available_parallelism`].
-/// Returns 1 when the `threads` feature is disabled.
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`]. A malformed override (not a positive integer)
+/// falls back to available parallelism after one warning on stderr. Returns 1 when the
+/// `threads` feature is disabled.
 pub fn max_threads() -> usize {
     #[cfg(not(feature = "threads"))]
     {
@@ -36,12 +51,25 @@ pub fn max_threads() -> usize {
     }
     #[cfg(feature = "threads")]
     {
-        match std::env::var("GEM_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
+        let override_threads = match std::env::var("GEM_NUM_THREADS") {
+            Err(_) => None,
+            Ok(raw) => {
+                let parsed = parse_thread_override(&raw);
+                if parsed.is_none() {
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "gem-parallel: ignoring malformed GEM_NUM_THREADS={raw:?} \
+                             (expected a positive integer); using available parallelism"
+                        );
+                    });
+                }
+                parsed
+            }
+        };
+        match override_threads {
+            Some(n) => n,
+            None => std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1),
         }
@@ -101,6 +129,52 @@ where
     blocks.into_iter().flatten().collect()
 }
 
+/// Like [`par_map`], but hands the closure a reusable per-thread scratch value created
+/// by `init`: each worker thread calls `init()` once and reuses that scratch for every
+/// item of its block (the sequential path uses a single scratch for all items). Callers
+/// whose per-item work needs large temporaries — EM responsibility matrices, log-density
+/// tables — pay one allocation set per thread instead of one per item.
+///
+/// The scratch is a workspace, not an accumulator: `f` must fully overwrite whatever
+/// scratch state it reads, because the scratch arrives carrying whatever the previous
+/// item on the same thread left behind. Under that contract, sequential and parallel
+/// execution produce identical output for a deterministic `f`.
+pub fn par_map_with_scratch<T, R, S, I, F>(items: &[T], parallel: bool, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.max(1));
+    if !parallel || threads <= 1 || n < MIN_PARALLEL_ITEMS {
+        let mut scratch = init();
+        return items.iter().map(|x| f(x, &mut scratch)).collect();
+    }
+
+    let chunk = n.div_ceil(threads);
+    let mut blocks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for chunk_items in items.chunks(chunk) {
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
+                chunk_items
+                    .iter()
+                    .map(|x| f(x, &mut scratch))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            blocks.push(h.join().expect("gem-parallel worker panicked"));
+        }
+    });
+    blocks.into_iter().flatten().collect()
+}
+
 /// Fill a row-major output buffer in place: `out` is `items.len() × width`, and `f`
 /// writes the row for each item directly into its slot. Unlike [`par_map`], no
 /// intermediate per-item allocations are made — each output cell is written exactly once,
@@ -117,6 +191,35 @@ where
     T: Sync,
     F: Fn(&T, &mut [f64]) + Sync,
 {
+    par_fill_rows_with_scratch(
+        items,
+        out,
+        width,
+        parallel,
+        || (),
+        |item, row, _| f(item, row),
+    );
+}
+
+/// [`par_fill_rows`] with a reusable per-thread scratch (same contract as
+/// [`par_map_with_scratch`]): the per-column signature fan-out uses this so each worker
+/// thread reuses one set of log-table and responsibility-row buffers across all the
+/// columns of its block instead of hitting the allocator per column.
+///
+/// # Panics
+/// Panics when `out.len() != items.len() * width`.
+pub fn par_fill_rows_with_scratch<T, S, I, F>(
+    items: &[T],
+    out: &mut [f64],
+    width: usize,
+    parallel: bool,
+    init: I,
+    f: F,
+) where
+    T: Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut [f64], &mut S) + Sync,
+{
     let n = items.len();
     assert_eq!(
         out.len(),
@@ -131,8 +234,9 @@ where
     }
     let threads = max_threads().min(n);
     if !parallel || threads <= 1 || n < MIN_PARALLEL_ITEMS {
+        let mut scratch = init();
         for (item, row) in items.iter().zip(out.chunks_exact_mut(width)) {
-            f(item, row);
+            f(item, row, &mut scratch);
         }
         return;
     }
@@ -140,9 +244,11 @@ where
     std::thread::scope(|scope| {
         for (item_block, out_block) in items.chunks(chunk).zip(out.chunks_mut(chunk * width)) {
             let f = &f;
+            let init = &init;
             scope.spawn(move || {
+                let mut scratch = init();
                 for (item, row) in item_block.iter().zip(out_block.chunks_exact_mut(width)) {
-                    f(item, row);
+                    f(item, row, &mut scratch);
                 }
             });
         }
@@ -256,5 +362,81 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_accepts_only_positive_integers() {
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("8"), Some(8));
+        // Everything else is malformed and falls back to available parallelism
+        // (with a one-shot stderr warning from `max_threads`).
+        for bad in ["0", "", "banana", "-2", " 4", "4 ", "3.5", "+8x"] {
+            assert_eq!(parse_thread_override(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_map_parallel_and_sequential_agree() {
+        let items: Vec<u64> = (0..500).collect();
+        let work = |&x: &u64, scratch: &mut Vec<u64>| {
+            // Fully overwrite the scratch before reading it, per the contract.
+            scratch.clear();
+            scratch.extend(0..=x % 7);
+            scratch.iter().sum::<u64>() + x
+        };
+        let seq = par_map_with_scratch(&items, false, Vec::new, work);
+        let par = par_map_with_scratch(&items, true, Vec::new, work);
+        assert_eq!(seq, par);
+        // Item 10: scratch holds 0..=10 % 7 = 0..=3, so the sum is 6.
+        assert_eq!(seq[10], 10 + 6);
+    }
+
+    #[test]
+    fn scratch_is_created_once_per_worker_not_per_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..256).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with_scratch(
+            &items,
+            true,
+            || inits.fetch_add(1, Ordering::SeqCst),
+            |&x, _| x,
+        );
+        assert_eq!(out, items);
+        let created = inits.load(Ordering::SeqCst);
+        assert!(created >= 1);
+        assert!(
+            created <= max_threads(),
+            "expected at most one scratch per worker, got {created}"
+        );
+
+        inits.store(0, Ordering::SeqCst);
+        par_map_with_scratch(
+            &items,
+            false,
+            || inits.fetch_add(1, Ordering::SeqCst),
+            |&x, _| x,
+        );
+        assert_eq!(inits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scratch_fill_rows_parallel_and_sequential_agree() {
+        let items: Vec<f64> = (0..131).map(|i| i as f64).collect();
+        let width = 4;
+        let f = |x: &f64, row: &mut [f64], scratch: &mut Vec<f64>| {
+            scratch.clear();
+            scratch.extend_from_slice(&[*x, x + 1.0]);
+            row[0] = scratch[0];
+            row[1] = scratch[1];
+            row[2] = scratch.iter().sum();
+            row[3] = -x;
+        };
+        let mut seq = vec![0.0; items.len() * width];
+        let mut par = vec![0.0; items.len() * width];
+        par_fill_rows_with_scratch(&items, &mut seq, width, false, Vec::new, f);
+        par_fill_rows_with_scratch(&items, &mut par, width, true, Vec::new, f);
+        assert_eq!(seq, par);
+        assert_eq!(&seq[4..8], &[1.0, 2.0, 3.0, -1.0]);
     }
 }

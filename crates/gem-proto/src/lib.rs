@@ -66,8 +66,9 @@ use std::fmt;
 /// History: 1 — the PR 4 lockstep protocol (in-order responses, numeric response `id`,
 /// six request shapes). 2 — out-of-order responses correlated by id, response `id` may
 /// be `null` (unattributable framing errors), `push_model`/`pull_model` bodies, and
-/// `coalesced_fits` in stats.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// `coalesced_fits` in stats. 3 — `fit_update` body (incremental corpus growth against
+/// an existing handle) and the `fit_micros`/`em_iterations` fit-cost breakdown in stats.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Errors decoding a protocol line.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +154,18 @@ pub enum RequestBody {
         /// Training labels for supervised methods.
         labels: Option<Vec<String>>,
     },
+    /// Fold `corpus` (the *new* columns only) into the fitted model `handle` names,
+    /// producing a derived model under a new handle without a from-scratch EM run: the
+    /// parent's frozen GMM, scaler and embedder are reused and only the new columns'
+    /// signatures are computed. The response is a `Fitted` carrying the derived handle;
+    /// the server records the parent handle as lineage in its store tier. An unknown
+    /// handle is a typed error, never a silent full fit.
+    FitUpdate {
+        /// Handle hex of the fitted model to grow.
+        handle: String,
+        /// The new columns being folded in (not the full grown corpus).
+        corpus: Vec<GemColumn>,
+    },
     /// Install a serialized model snapshot (the `gem-store` envelope, as returned by
     /// `PullModel` or read from a store file) under the handle its header names. The
     /// corpus never crosses the wire and nothing is refitted: the model ships as a
@@ -199,6 +212,11 @@ pub struct WireStats {
     pub spills: u64,
     /// Store reads or writes that failed.
     pub store_errors: u64,
+    /// Total microseconds spent inside `GemModel::fit` EM runs (cold fits only;
+    /// cache hits, warm starts and incremental updates add nothing here).
+    pub fit_micros: u64,
+    /// Total EM iterations across those fits' winning restarts.
+    pub em_iterations: u64,
     /// Models resident in the memory tier.
     pub resident_models: u64,
     /// Approximate bytes of the resident models.
@@ -426,6 +444,11 @@ impl ToJson for RequestBody {
                     },
                 ),
             ]),
+            RequestBody::FitUpdate { handle, corpus } => object(vec![
+                ("type", string("fit_update")),
+                ("handle", string(handle.clone())),
+                ("corpus", columns_json(corpus)),
+            ]),
             RequestBody::PushModel { snapshot } => object(vec![
                 ("type", string("push_model")),
                 ("snapshot", snapshot.clone()),
@@ -467,6 +490,10 @@ impl FromJson for RequestBody {
                     .map(as_string_array)
                     .transpose()?,
             }),
+            "fit_update" => Ok(RequestBody::FitUpdate {
+                handle: value.str_field("handle")?,
+                corpus: columns_from(value.field("corpus")?)?,
+            }),
             "push_model" => Ok(RequestBody::PushModel {
                 snapshot: value.field("snapshot")?.clone(),
             }),
@@ -496,6 +523,8 @@ impl ToJson for WireStats {
             ("coalesced_fits", number(self.coalesced_fits as f64)),
             ("spills", number(self.spills as f64)),
             ("store_errors", number(self.store_errors as f64)),
+            ("fit_micros", number(self.fit_micros as f64)),
+            ("em_iterations", number(self.em_iterations as f64)),
             ("resident_models", number(self.resident_models as f64)),
             ("resident_bytes", number(self.resident_bytes as f64)),
             (
@@ -532,6 +561,8 @@ impl FromJson for WireStats {
             coalesced_fits: num("coalesced_fits")?,
             spills: num("spills")?,
             store_errors: num("store_errors")?,
+            fit_micros: num("fit_micros")?,
+            em_iterations: num("em_iterations")?,
             resident_models: num("resident_models")?,
             resident_bytes: num("resident_bytes")?,
             store_entries: opt("store_entries")?,
@@ -829,6 +860,10 @@ mod tests {
                 queries: None,
                 labels: None,
             },
+            RequestBody::FitUpdate {
+                handle: "0000000000000001-0000000000000002".into(),
+                corpus: columns(),
+            },
             RequestBody::PushModel {
                 snapshot: object(vec![
                     ("magic", string("gem-model-store")),
@@ -918,6 +953,8 @@ mod tests {
             ResponseBody::Stats(WireStats {
                 hits: 3,
                 coalesced_fits: 5,
+                fit_micros: 68_000,
+                em_iterations: 41,
                 store_entries: Some(2),
                 store_bytes: Some(4096),
                 requests: 9,
@@ -980,15 +1017,15 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"id":1,"version":2}"#,
-            r#"{"id":1,"version":2,"body":{"type":"no-such"}}"#,
-            r#"{"id":1,"version":2,"body":{"type":"embed"}}"#,
+            r#"{"id":1,"version":3}"#,
+            r#"{"id":1,"version":3,"body":{"type":"no-such"}}"#,
+            r#"{"id":1,"version":3,"body":{"type":"embed"}}"#,
         ] {
             let err = decode_request(bad).unwrap_err();
             assert_eq!(err.code(), "protocol_error", "{bad}");
         }
         assert_eq!(
-            salvage_request_id(r#"{"id":42,"version":2,"body":{"type":"no-such"}}"#),
+            salvage_request_id(r#"{"id":42,"version":3,"body":{"type":"no-such"}}"#),
             Some(42)
         );
         assert_eq!(salvage_request_id("garbage"), None);
@@ -1010,7 +1047,7 @@ mod tests {
         let back = decode_response(&encode_response(&zero)).unwrap();
         assert_eq!(back.in_reply_to, Some(0));
         // Requests must carry a numeric id: null is response-only.
-        let err = decode_request(r#"{"id":null,"version":2,"body":{"type":"stats"}}"#).unwrap_err();
+        let err = decode_request(r#"{"id":null,"version":3,"body":{"type":"stats"}}"#).unwrap_err();
         assert_eq!(err.code(), "protocol_error");
     }
 

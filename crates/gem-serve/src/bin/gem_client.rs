@@ -224,6 +224,24 @@ fn fit(addr: &str, args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn fit_update(addr: &str, args: &[String]) -> CliResult {
+    check_flags(args, &["--handle", "--corpus"])?;
+    let handle = handle_of(args)?;
+    let new_columns =
+        read_columns(&flag_value(args, "--corpus").ok_or("--corpus <file> is required")?)?;
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let outcome = client
+        .fit_update(handle, &new_columns)
+        .map_err(CliError::from)?;
+    println!("handle: {}", outcome.handle);
+    println!(
+        "dim: {} served_from: {}",
+        outcome.dim,
+        outcome.served_from.wire_name()
+    );
+    Ok(())
+}
+
 fn embed(addr: &str, args: &[String]) -> CliResult {
     check_flags(args, &["--handle", "--queries", "--out"])?;
     let handle = handle_of(args)?;
@@ -263,6 +281,10 @@ fn stats(addr: &str) -> CliResult {
         stats.expirations,
         stats.spills,
         stats.store_errors
+    );
+    println!(
+        "coalesced_fits: {} fit_micros: {} em_iterations: {}",
+        stats.coalesced_fits, stats.fit_micros, stats.em_iterations
     );
     match (stats.store_entries, stats.store_bytes) {
         (Some(entries), Some(bytes)) => println!("store: {entries} entries, {bytes} bytes"),
@@ -520,9 +542,10 @@ fn verify(addr: &str, args: &[String]) -> CliResult {
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: gem-client <gen-corpus|fit|embed|pull|push|pipeline|stats|list|evict|verify> ...\n  \
+    let usage = "usage: gem-client <gen-corpus|fit|fit-update|embed|pull|push|pipeline|stats|list|evict|verify> ...\n  \
                  gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]\n  \
                  gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]\n  \
+                 gem-client fit-update <addr> --handle <hex> --corpus <file-of-new-columns>\n  \
                  gem-client embed <addr> --handle <hex> --queries <file> [--out <file>]\n  \
                  gem-client pull <addr> --handle <hex> --out <file>\n  \
                  gem-client push <addr> --snapshot <file>\n  \
@@ -539,6 +562,7 @@ fn run() -> CliResult {
     match command {
         "gen-corpus" => gen_corpus(target, rest),
         "fit" => fit(target, rest),
+        "fit-update" => fit_update(target, rest),
         "embed" => embed(target, rest),
         "pull" => pull(target, rest),
         "push" => push(target, rest),

@@ -218,6 +218,16 @@ pub struct CacheStats {
     pub spills: u64,
     /// Store reads or writes that failed (the lookup then proceeded as a miss).
     pub store_errors: u64,
+    /// Total microseconds spent inside cold-fit EM runs. Like `coalesced_fits` this is
+    /// engine-owned — the cache itself never fits, so it stays zero here and
+    /// [`crate::BatchEngine`] fills it in when reporting merged stats. Cache hits, disk
+    /// warm starts and incremental `fit_update`s add nothing: the counter is exactly
+    /// the time the fused EM kernels ran.
+    pub fit_micros: u64,
+    /// Total EM iterations across those cold fits' winning restarts (engine-owned,
+    /// like `fit_micros`). `fit_micros / em_iterations` approximates the per-iteration
+    /// kernel cost a deployment actually pays.
+    pub em_iterations: u64,
 }
 
 /// Which tier satisfied a lookup.

@@ -328,6 +328,42 @@ impl GemClient {
         }
     }
 
+    /// Fold `new_columns` (the new columns only, not the full grown corpus) into the
+    /// fitted model `handle` names, returning the derived model's handle. The server
+    /// freezes the parent's components — no EM re-run, old-column embeddings stay
+    /// bit-identical under the new handle, and the parent is recorded as lineage in
+    /// the server's store tier. Idempotent like `fit`: the same parent + growth
+    /// returns the same handle from cache. Chains compose: the returned handle is a
+    /// valid parent for the next `fit_update`.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with code `unknown_model` when the server no longer
+    /// holds the parent (re-`fit` the full corpus), `fit_failed` when the update is
+    /// rejected (e.g. empty growth); transport errors otherwise.
+    pub fn fit_update(
+        &mut self,
+        handle: ModelHandle,
+        new_columns: &[GemColumn],
+    ) -> Result<FitOutcome, ClientError> {
+        match self.call(RequestBody::FitUpdate {
+            handle: handle.to_hex(),
+            corpus: new_columns.to_vec(),
+        })? {
+            ResponseBody::Fitted {
+                handle,
+                dim,
+                served_from,
+            } => Ok(FitOutcome {
+                handle: ModelHandle::from_hex(&handle).ok_or_else(|| ClientError::Unexpected {
+                    detail: format!("malformed handle `{handle}` in fit_update response"),
+                })?,
+                dim: dim as usize,
+                served_from: served_from_of(&served_from)?,
+            }),
+            other => Err(unexpected("fitted", &other)),
+        }
+    }
+
     /// Embed `queries` against the model `handle` names. The handle is resolved, never
     /// refitted: embedding through a handle the server no longer holds fails with code
     /// `unknown_model` (re-`fit` and retry).

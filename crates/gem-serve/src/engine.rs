@@ -176,6 +176,14 @@ pub struct BatchEngine {
     in_flight_fits: Mutex<HashMap<ModelKey, Arc<InFlightFit>>>,
     /// How many fits coalesced onto another caller's computation.
     coalesced_fits: AtomicU64,
+    /// Total microseconds spent inside cold-fit EM runs (leaders only — coalesced
+    /// callers, cache hits, warm starts and incremental updates add nothing).
+    fit_micros: AtomicU64,
+    /// Total EM iterations across those fits' winning restarts.
+    em_iterations: AtomicU64,
+    /// Lineage-save failures from `fit_update` (folded into the merged stats'
+    /// `store_errors`; the update itself still succeeds — the store is best-effort).
+    update_store_errors: AtomicU64,
 }
 
 impl BatchEngine {
@@ -197,6 +205,9 @@ impl BatchEngine {
             parallel: true,
             in_flight_fits: Mutex::new(HashMap::new()),
             coalesced_fits: AtomicU64::new(0),
+            fit_micros: AtomicU64::new(0),
+            em_iterations: AtomicU64::new(0),
+            update_store_errors: AtomicU64::new(0),
         }
     }
 
@@ -213,6 +224,9 @@ impl BatchEngine {
             parallel: self.parallel,
             in_flight_fits: self.in_flight_fits,
             coalesced_fits: self.coalesced_fits,
+            fit_micros: self.fit_micros,
+            em_iterations: self.em_iterations,
+            update_store_errors: self.update_store_errors,
         }
     }
 
@@ -247,6 +261,28 @@ impl BatchEngine {
         corpus: &[GemColumn],
         config: &GemConfig,
         features: FeatureSet,
+    ) -> (Result<Arc<GemModel>, GemError>, ServedFrom) {
+        self.single_flight(key, || {
+            let started = std::time::Instant::now();
+            let model = GemModel::fit(corpus, config, features)?;
+            // Leader-only accounting: this is exactly the time (and iteration count)
+            // the fused EM kernels ran — hits, warm starts and coalesced callers never
+            // reach this closure.
+            self.fit_micros
+                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            self.em_iterations
+                .fetch_add(model.em_iterations() as u64, Ordering::Relaxed);
+            Ok(model)
+        })
+    }
+
+    /// The single-flight protocol around an arbitrary model-producing computation:
+    /// exactly one concurrent caller per key (the leader) runs `produce` and publishes
+    /// the result to the cache; the rest coalesce and share its `Arc`.
+    fn single_flight(
+        &self,
+        key: ModelKey,
+        produce: impl FnOnce() -> Result<GemModel, GemError>,
     ) -> (Result<Arc<GemModel>, GemError>, ServedFrom) {
         // Join (or open) the key's in-flight entry.
         let (flight, leader) = {
@@ -293,7 +329,7 @@ impl BatchEngine {
             self.retire_flight(key);
             return (Ok(model), ServedFrom::MemoryCache);
         }
-        let result = GemModel::fit(corpus, config, features).map(Arc::new);
+        let result = produce().map(Arc::new);
         if let Ok(model) = &result {
             self.publish(key, Arc::clone(model));
         }
@@ -487,6 +523,42 @@ impl BatchEngine {
             .collect()
     }
 
+    /// Fold `new_columns` into the fitted model `parent` names: resolve the parent
+    /// through both cache tiers, derive the updated model with
+    /// [`GemModel::fit_update`] (frozen components, no EM run — cost proportional to
+    /// the *new* columns), and publish it under [`gem_store::updated_model_key`]'s
+    /// chain-sensitive key. Returns `None` when the parent resolves in neither tier
+    /// (the serving layer's typed `UnknownModel`); otherwise the derived key, the
+    /// model (or the update error) and its provenance — `ColdFit` when this call did
+    /// the incremental work, a cache tier when an identical update already happened.
+    ///
+    /// Updates are single-flight like fits, and the lineage (`parent`) is recorded in
+    /// the store tier *before* the derived model becomes resolvable; later eviction
+    /// spills skip keys that already have a snapshot, so the parent pointer survives.
+    pub fn fit_update(
+        &self,
+        parent: ModelKey,
+        new_columns: &[GemColumn],
+    ) -> Option<(ModelKey, Result<Arc<GemModel>, GemError>, ServedFrom)> {
+        let (parent_model, _) = self.resolve(parent)?;
+        let key = gem_store::updated_model_key(parent, new_columns);
+        if let Some((model, tier)) = self.resolve(key) {
+            return Some((key, Ok(model), ServedFrom::from(tier)));
+        }
+        let (result, served_from) = self.single_flight(key, || {
+            let updated = parent_model.fit_update(new_columns)?;
+            if let Some(store) = self.store() {
+                if store.save_with_parent(key, Some(parent), &updated).is_err() {
+                    // Best-effort like every store write: the update still succeeds,
+                    // the failure is visible in the merged stats.
+                    self.update_store_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(updated)
+        });
+        Some((key, result, served_from))
+    }
+
     /// Remove `key` from both cache tiers (resident entry, queued spill, on-disk
     /// snapshot). Returns whether the key existed in either tier. The memory tier is
     /// cleared under the lock; the snapshot unlink — filesystem I/O — runs after the
@@ -521,9 +593,17 @@ impl BatchEngine {
         )
     }
 
-    /// Overlay the engine-owned counters (single-flight coalescing) onto the cache's.
+    /// Overlay the engine-owned counters (single-flight coalescing, fit cost, lineage
+    /// write failures) onto the cache's. The fit-cost pair lives on the engine because
+    /// only the single-flight leader knows how long the EM run took; lineage-save
+    /// failures fold into `store_errors` so one counter covers every store write.
     fn merge_engine_stats(&self, mut stats: CacheStats) -> CacheStats {
         stats.coalesced_fits = self.coalesced_fits.load(Ordering::Relaxed);
+        stats.fit_micros = self.fit_micros.load(Ordering::Relaxed);
+        stats.em_iterations = self.em_iterations.load(Ordering::Relaxed);
+        stats.store_errors = stats
+            .store_errors
+            .saturating_add(self.update_store_errors.load(Ordering::Relaxed));
         stats
     }
 
@@ -723,6 +803,58 @@ mod tests {
             warm.embedding.unwrap().matrix,
             first.embedding.unwrap().matrix
         );
+    }
+
+    #[test]
+    fn fit_update_derives_a_lineaged_handle_without_a_new_em_run() {
+        let dir = std::env::temp_dir().join(format!(
+            "gem-serve-engine-test-{}-fit-update",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = DirGuard(dir.clone());
+        let store = Arc::new(ModelStore::open(&dir).unwrap());
+        let engine = BatchEngine::new(4).with_store(Arc::clone(&store));
+        let cfg = GemConfig::fast();
+        let shared = corpus(11);
+        let parent = crate::fingerprint::model_key(&shared, &cfg, FeatureSet::ds());
+        let growth = vec![GemColumn::new(
+            (0..60).map(|i| 500.0 + (i % 13) as f64 * 2.5).collect(),
+            "grown",
+        )];
+
+        // An unknown parent is a typed miss, never a fabricated model.
+        assert!(engine.fit_update(parent, &growth).is_none());
+
+        let fitted = engine.fit_models(&[FitJob {
+            key: parent,
+            corpus: Arc::clone(&shared),
+            config: cfg,
+            features: FeatureSet::ds(),
+        }]);
+        assert!(fitted[0].0.is_ok());
+        let after_fit = engine.cache_stats();
+        assert!(after_fit.fit_micros > 0);
+        assert!(after_fit.em_iterations > 0);
+
+        let (key, updated, served_from) = engine.fit_update(parent, &growth).unwrap();
+        let updated = updated.unwrap();
+        assert_ne!(key, parent);
+        assert_eq!(served_from, ServedFrom::ColdFit);
+        assert_eq!(updated.n_fit_columns(), shared.len() + 1);
+        // The update froze the parent's components: no EM ran, so the engine's
+        // fit-cost counters did not move.
+        let after_update = engine.cache_stats();
+        assert_eq!(after_update.fit_micros, after_fit.fit_micros);
+        assert_eq!(after_update.em_iterations, after_fit.em_iterations);
+        // Lineage was written to the store tier before the handle became resolvable.
+        assert_eq!(store.parent_of(key).unwrap(), Some(parent));
+
+        // The same growth again is a pure cache hit on the derived key.
+        let (key_again, hit, from_again) = engine.fit_update(parent, &growth).unwrap();
+        assert_eq!(key_again, key);
+        assert_eq!(from_again, ServedFrom::MemoryCache);
+        assert!(Arc::ptr_eq(&hit.unwrap(), &updated));
     }
 
     #[test]

@@ -495,6 +495,10 @@ pub(crate) fn wire_to_request(body: RequestBody) -> Result<ServeRequest, ServeEr
             features,
             composition,
         },
+        RequestBody::FitUpdate { handle, corpus } => ServeRequest::FitUpdate {
+            handle: parse_handle(&handle)?,
+            corpus: Arc::new(corpus),
+        },
         RequestBody::Embed { handle, queries } => ServeRequest::Embed {
             handle: parse_handle(&handle)?,
             queries,
@@ -552,6 +556,8 @@ fn stats_to_wire(stats: ServiceStats) -> proto::WireStats {
         coalesced_fits: stats.cache.coalesced_fits,
         spills: stats.cache.spills,
         store_errors: stats.cache.store_errors,
+        fit_micros: stats.cache.fit_micros,
+        em_iterations: stats.cache.em_iterations,
         resident_models: stats.resident_models as u64,
         resident_bytes: stats.resident_bytes,
         store_entries: stats.store_entries,
@@ -684,6 +690,55 @@ mod tests {
         assert_eq!(server.counters().requests(), 3);
         assert_eq!(server.counters().protocol_errors(), 0);
         assert!(server.counters().workers_high_water() >= 1);
+    }
+
+    #[test]
+    fn fit_update_chains_resolve_end_to_end_over_tcp() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        let cols = corpus();
+        let config = GemConfig::fast();
+        let growth_a = vec![GemColumn::new(
+            (0..40).map(|i| 900.0 + (i % 7) as f64 * 4.0).collect(),
+            "grown_a",
+        )];
+        let growth_b = vec![GemColumn::new(
+            (0..40).map(|i| 1500.0 + (i % 5) as f64 * 11.0).collect(),
+            "grown_b",
+        )];
+
+        // Three steps: fit, grow, grow again — each handle chains off the previous.
+        let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        let step_1 = client.fit_update(fitted.handle, &growth_a).unwrap();
+        let step_2 = client.fit_update(step_1.handle, &growth_b).unwrap();
+        assert_ne!(step_1.handle, fitted.handle);
+        assert_ne!(step_2.handle, step_1.handle);
+        assert_eq!(step_1.served_from, ServedFrom::ColdFit);
+        assert_eq!(step_2.served_from, ServedFrom::ColdFit);
+        assert_eq!(step_1.dim, fitted.dim);
+
+        // The chained handle embeds the original columns bit-identically to the
+        // in-process parent fit: components were frozen, never re-estimated.
+        let served = client.embed(step_2.handle, &cols).unwrap();
+        let direct = GemModel::fit(&cols, &config, FeatureSet::ds())
+            .unwrap()
+            .transform(&cols)
+            .unwrap();
+        assert_eq!(served.matrix, direct.matrix);
+
+        // Replaying the chain is pure cache: same handles, no cold work.
+        let replay = client.fit_update(fitted.handle, &growth_a).unwrap();
+        assert_eq!(replay.handle, step_1.handle);
+        assert_eq!(replay.served_from, ServedFrom::MemoryCache);
+
+        // The fit-cost breakdown crossed the wire: exactly one EM run was paid.
+        let stats = client.stats().unwrap();
+        assert!(stats.fit_micros > 0);
+        assert!(stats.em_iterations > 0);
+
+        server.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(server.counters().protocol_errors(), 0);
     }
 
     #[test]

@@ -41,8 +41,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One serving request. See the [module docs](self) for the protocol shape; construct
-/// variants with the [`ServeRequest::fit`], [`ServeRequest::embed`],
-/// [`ServeRequest::embed_corpus`] and [`ServeRequest::evict`] conveniences.
+/// variants with the [`ServeRequest::fit`], [`ServeRequest::fit_update`],
+/// [`ServeRequest::embed`], [`ServeRequest::embed_corpus`] and [`ServeRequest::evict`]
+/// conveniences.
 #[derive(Debug, Clone)]
 pub enum ServeRequest {
     /// Fit (or reuse) the model for `corpus` and return its handle.
@@ -55,6 +56,19 @@ pub enum ServeRequest {
         features: FeatureSet,
         /// Optional composition override applied on top of `config`.
         composition: Option<Composition>,
+    },
+    /// Fold new corpus columns into the fitted model `handle` names, producing a
+    /// derived model under a new handle without a from-scratch EM run. `corpus` holds
+    /// the *new* columns only; the parent's components are frozen and reused, so every
+    /// old-column embedding is bit-identical under the derived handle and the cost is
+    /// proportional to corpus growth, not corpus size. The parent handle is recorded
+    /// as lineage in the store tier. An unknown parent is `UnknownModel`, never a
+    /// silent full fit.
+    FitUpdate {
+        /// Handle of the fitted model to grow from.
+        handle: ModelHandle,
+        /// The new columns only (not the full grown corpus).
+        corpus: Arc<Vec<GemColumn>>,
     },
     /// Embed `queries` against the fitted model `handle` names.
     Embed {
@@ -114,6 +128,12 @@ impl ServeRequest {
             features,
             composition: None,
         }
+    }
+
+    /// A `FitUpdate` request: grow the model `handle` names by `corpus` (the new
+    /// columns only).
+    pub fn fit_update(handle: ModelHandle, corpus: Arc<Vec<GemColumn>>) -> Self {
+        ServeRequest::FitUpdate { handle, corpus }
     }
 
     /// An `Embed` request.
@@ -446,9 +466,11 @@ impl EmbedService {
     ///
     /// Execution order within a batch: control requests (`Stats`, `ListModels`,
     /// `Evict`) apply first, in request order; then every `Fit` (one EM fit per
-    /// *distinct* key, distinct fits in parallel); then every embed — so an `Embed` may
-    /// use a handle `Fit` earlier in the same batch. Engine-served and one-shot embeds
-    /// run side by side, each fanned out across threads.
+    /// *distinct* key, distinct fits in parallel); then every `FitUpdate` in request
+    /// order (so a batch can fit a model and grow it, or chain two updates); then
+    /// every embed — so an `Embed` may use a handle `Fit` or `FitUpdate` earlier in
+    /// the same batch. Engine-served and one-shot embeds run side by side, each fanned
+    /// out across threads.
     pub fn serve(&self, requests: Vec<ServeRequest>) -> Vec<ServeResult> {
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -477,6 +499,7 @@ impl EmbedService {
         // collected for the batched passes below.
         let mut fit_slots: Vec<usize> = Vec::new();
         let mut fit_jobs: Vec<FitJob> = Vec::new();
+        let mut update_jobs: Vec<(usize, ModelHandle, Arc<Vec<GemColumn>>)> = Vec::new();
         let mut embed_jobs: Vec<(usize, ModelHandle, Vec<GemColumn>)> = Vec::new();
         let mut engine_slots: Vec<usize> = Vec::new();
         let mut engine_requests: Vec<EngineRequest> = Vec::new();
@@ -500,6 +523,9 @@ impl EmbedService {
                         config,
                         features,
                     });
+                }
+                ServeRequest::FitUpdate { handle, corpus } => {
+                    update_jobs.push((i, handle, corpus));
                 }
                 ServeRequest::Embed { handle, queries } => embed_jobs.push((i, handle, queries)),
                 ServeRequest::EmbedCorpus {
@@ -570,6 +596,22 @@ impl EmbedService {
                     served_from,
                 }),
                 Err(e) => Err(ServeError::Fit(e)),
+            });
+        }
+
+        // Pass 2.5: incremental updates, after the fits so a batch can fit a model and
+        // grow it in one round trip. Sequential in request order: chained updates
+        // (grow, then grow again) within a batch each see the handle the previous one
+        // derived.
+        for (index, handle, new_columns) in update_jobs {
+            results[index] = Some(match self.engine.fit_update(handle.key(), &new_columns) {
+                None => Err(ServeError::UnknownModel { handle }),
+                Some((key, Ok(model), served_from)) => Ok(ServeResponse::Fitted {
+                    handle: ModelHandle::from(key),
+                    dim: model.dim(),
+                    served_from,
+                }),
+                Some((_, Err(e), _)) => Err(ServeError::Fit(e)),
             });
         }
 
@@ -759,6 +801,64 @@ mod tests {
             .transform(&queries)
             .unwrap();
         assert_eq!(served.into_matrix().unwrap(), direct.matrix);
+    }
+
+    #[test]
+    fn fit_update_grows_a_model_and_keeps_old_embeddings_bit_identical() {
+        let service = service();
+        let cols = corpus();
+        let parent = service
+            .serve_one(ServeRequest::fit(
+                Arc::clone(&cols),
+                GemConfig::fast(),
+                FeatureSet::ds(),
+            ))
+            .unwrap()
+            .handle()
+            .unwrap();
+        let growth = Arc::new(vec![GemColumn::new(
+            (0..50).map(|i| 700.0 + (i % 9) as f64 * 3.0).collect(),
+            "col_new",
+        )]);
+
+        let grown = service
+            .serve_one(ServeRequest::fit_update(parent, Arc::clone(&growth)))
+            .unwrap();
+        let derived = grown.handle().expect("fit_update returns a handle");
+        assert_ne!(derived, parent);
+        assert_eq!(grown.served_from(), Some(ServedFrom::ColdFit));
+
+        // The derived model froze the parent's components, so the old columns embed
+        // bit-identically under either handle, and the new column resolves too.
+        let via_parent = service
+            .serve_one(ServeRequest::embed(parent, (*cols).clone()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        let via_derived = service
+            .serve_one(ServeRequest::embed(derived, (*cols).clone()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        assert_eq!(via_parent, via_derived);
+        let new_embed = service
+            .serve_one(ServeRequest::embed(derived, (*growth).clone()))
+            .unwrap()
+            .into_matrix()
+            .unwrap();
+        assert_eq!(new_embed.rows(), 1);
+
+        // Growing an unknown handle is a typed error, never a silent full fit.
+        let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
+        let err = service
+            .serve_one(ServeRequest::fit_update(bogus, growth))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel { .. }));
+
+        // The one EM run is visible in the fit-cost stats; the update added nothing.
+        let stats = service.stats();
+        assert!(stats.cache.fit_micros > 0);
+        assert!(stats.cache.em_iterations > 0);
     }
 
     #[test]

@@ -133,6 +133,27 @@ pub fn model_key(columns: &[GemColumn], config: &GemConfig, features: FeatureSet
     }
 }
 
+/// The key of the model produced by folding `new_columns` into the model at `parent` via
+/// `GemModel::fit_update`.
+///
+/// The corpus half is a domain-separated chain over the parent's corpus fingerprint and
+/// the new columns' fingerprint, so it is sensitive to the *entire update history*: the
+/// same new columns folded into different parents — or the same columns applied in a
+/// different order along an update chain — yield distinct keys, and an updated model can
+/// never collide with a from-scratch fit of the grown corpus (which would wrongly claim
+/// its parameters were re-estimated). The config half is inherited unchanged: an update
+/// reuses the parent's frozen configuration by definition.
+pub fn updated_model_key(parent: ModelKey, new_columns: &[GemColumn]) -> ModelKey {
+    let mut h = Fnv1a::new();
+    h.write(b"gem-fit-update");
+    h.write_u64(parent.corpus);
+    h.write_u64(corpus_fingerprint(new_columns));
+    ModelKey {
+        corpus: h.finish(),
+        config: parent.config,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +258,30 @@ mod tests {
         ] {
             assert_eq!(ModelKey::from_hex(bad), None, "{bad}");
         }
+    }
+
+    #[test]
+    fn updated_key_is_chain_sensitive_and_collision_free() {
+        let cfg = GemConfig::fast();
+        let parent = model_key(&columns(), &cfg, FeatureSet::ds());
+        let growth = vec![GemColumn::new(vec![5.0, 6.0], "score")];
+        let updated = updated_model_key(parent, &growth);
+        // Config half inherited, corpus half distinct from both the parent's and a
+        // from-scratch fit of the grown corpus.
+        assert_eq!(updated.config, parent.config);
+        assert_ne!(updated.corpus, parent.corpus);
+        let mut grown = columns();
+        grown.extend(growth.iter().cloned());
+        let refit = model_key(&grown, &cfg, FeatureSet::ds());
+        assert_ne!(updated.corpus, refit.corpus);
+        // Deterministic, parent-sensitive, and order-sensitive along a chain.
+        assert_eq!(updated, updated_model_key(parent, &growth));
+        let other_parent = model_key(&grown, &cfg, FeatureSet::ds());
+        assert_ne!(updated, updated_model_key(other_parent, &growth));
+        let second = vec![GemColumn::new(vec![7.0], "rank")];
+        let a_then_b = updated_model_key(updated_model_key(parent, &growth), &second);
+        let b_then_a = updated_model_key(updated_model_key(parent, &second), &growth);
+        assert_ne!(a_then_b, b_then_a);
     }
 
     #[test]

@@ -30,8 +30,11 @@
 pub mod fingerprint;
 mod store;
 
-pub use fingerprint::{config_fingerprint, corpus_fingerprint, model_key, ModelKey};
+pub use fingerprint::{
+    config_fingerprint, corpus_fingerprint, model_key, updated_model_key, ModelKey,
+};
 pub use store::{
-    decode_snapshot, encode_snapshot, GcPolicy, ModelStore, SnapshotError, StoreEntry, StoreError,
-    StoreStats, STORE_FORMAT_VERSION, STORE_MAGIC,
+    decode_snapshot, encode_snapshot, encode_snapshot_with_parent, snapshot_parent, GcPolicy,
+    ModelStore, SnapshotError, StoreEntry, StoreError, StoreStats, STORE_FORMAT_MIN_VERSION,
+    STORE_FORMAT_VERSION, STORE_MAGIC,
 };

@@ -31,7 +31,21 @@ pub const STORE_MAGIC: &str = "gem-model-store";
 
 /// On-disk format version of the store envelope (the wrapper around the model payload;
 /// the payload itself carries [`gem_core::GEM_MODEL_SCHEMA_VERSION`] separately).
-pub const STORE_FORMAT_VERSION: u64 = 1;
+///
+/// Version history:
+/// * `1` — magic, format version, key, model payload.
+/// * `2` — adds the optional `parent` lineage field recording the [`ModelKey`] a
+///   `fit_update` model was derived from.
+///
+/// Writers emit the *lowest* version that can express a snapshot (version 1 when there
+/// is no lineage to record), so plain snapshots stay readable by older builds during a
+/// rolling upgrade; readers accept every version from
+/// [`STORE_FORMAT_MIN_VERSION`] to [`STORE_FORMAT_VERSION`].
+pub const STORE_FORMAT_VERSION: u64 = 2;
+
+/// Oldest store envelope version this build still reads (version-1 snapshots simply
+/// have no lineage recorded).
+pub const STORE_FORMAT_MIN_VERSION: u64 = 1;
 
 /// Filename suffix of store entries.
 const ENTRY_SUFFIX: &str = ".gem.json";
@@ -78,15 +92,34 @@ impl std::error::Error for SnapshotError {}
 /// model payload. The serving protocol's `PushModel`/`PullModel` requests ship this
 /// object verbatim, so a pulled snapshot is byte-interchangeable with a store file.
 pub fn encode_snapshot(key: ModelKey, model: &GemModel) -> Json {
-    object(vec![
+    encode_snapshot_with_parent(key, None, model)
+}
+
+/// [`encode_snapshot`] with lineage: when `parent` is `Some`, the envelope records the
+/// key of the model this one was derived from by an incremental `fit_update`, and the
+/// header carries format version 2. With `parent: None` the output is byte-identical to
+/// a plain [`encode_snapshot`] (version 1) — lineage-free snapshots never pay the
+/// version bump.
+pub fn encode_snapshot_with_parent(
+    key: ModelKey,
+    parent: Option<ModelKey>,
+    model: &GemModel,
+) -> Json {
+    let version = if parent.is_some() {
+        STORE_FORMAT_VERSION
+    } else {
+        STORE_FORMAT_MIN_VERSION
+    };
+    let mut fields = vec![
         ("magic", string(STORE_MAGIC)),
-        (
-            "format_version",
-            gem_json::number(STORE_FORMAT_VERSION as f64),
-        ),
+        ("format_version", gem_json::number(version as f64)),
         ("key", string(key.to_hex())),
-        ("model", model.to_json()),
-    ])
+    ];
+    if let Some(parent) = parent {
+        fields.push(("parent", string(parent.to_hex())));
+    }
+    fields.push(("model", model.to_json()));
+    object(fields)
 }
 
 /// Decode and validate a snapshot envelope. Header validation comes first — magic, then
@@ -103,6 +136,33 @@ pub fn decode_snapshot(
     expected_key: Option<ModelKey>,
 ) -> Result<(ModelKey, GemModel), SnapshotError> {
     let corrupt = |reason: String| SnapshotError::Corrupt { reason };
+    let header_key = validate_snapshot_header(envelope, expected_key)?;
+    let model = envelope
+        .field("model")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let model = GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))?;
+    Ok((header_key, model))
+}
+
+/// The lineage a snapshot envelope records: the [`ModelKey`] of the parent model a
+/// `fit_update` derived this one from, or `None` for models fitted from scratch (and
+/// for all version-1 envelopes, which predate lineage). The header is validated
+/// exactly like [`decode_snapshot`] but the model payload is *not* rehydrated, so this
+/// is cheap enough for listing tools to call per entry.
+///
+/// # Errors
+/// As [`decode_snapshot`], minus payload errors.
+pub fn snapshot_parent(envelope: &Json) -> Result<Option<ModelKey>, SnapshotError> {
+    validate_snapshot_header(envelope, None)?;
+    parse_parent_field(envelope)
+}
+
+/// Validate magic, format version and header key, returning the key the envelope names.
+fn validate_snapshot_header(
+    envelope: &Json,
+    expected_key: Option<ModelKey>,
+) -> Result<ModelKey, SnapshotError> {
+    let corrupt = |reason: String| SnapshotError::Corrupt { reason };
     let magic = envelope
         .str_field("magic")
         .map_err(|e| corrupt(e.to_string()))?;
@@ -112,11 +172,16 @@ pub fn decode_snapshot(
     let found = envelope
         .num_field("format_version")
         .map_err(|e| corrupt(e.to_string()))? as u64;
-    if found != STORE_FORMAT_VERSION {
+    if !(STORE_FORMAT_MIN_VERSION..=STORE_FORMAT_VERSION).contains(&found) {
         return Err(SnapshotError::VersionMismatch {
             found,
             expected: STORE_FORMAT_VERSION,
         });
+    }
+    if found < 2 && envelope.get("parent").is_some() {
+        return Err(corrupt(format!(
+            "version-{found} envelope carries a `parent` field, which only version 2 defines"
+        )));
     }
     let header_key = envelope
         .str_field("key")
@@ -130,11 +195,25 @@ pub fn decode_snapshot(
             )));
         }
     }
-    let model = envelope
-        .field("model")
-        .map_err(|e| corrupt(e.to_string()))?;
-    let model = GemModel::from_json(model).map_err(|e| corrupt(e.to_string()))?;
-    Ok((header_key, model))
+    // An envelope that records lineage must record it well-formed, even for callers
+    // that never look at it.
+    parse_parent_field(envelope)?;
+    Ok(header_key)
+}
+
+/// Parse the optional `parent` field (strictly: present means a canonical hex key).
+fn parse_parent_field(envelope: &Json) -> Result<Option<ModelKey>, SnapshotError> {
+    let Some(parent) = envelope.get("parent") else {
+        return Ok(None);
+    };
+    let text = parent.as_str().ok_or_else(|| SnapshotError::Corrupt {
+        reason: "`parent` field is not a string".to_string(),
+    })?;
+    ModelKey::from_hex(text)
+        .map(Some)
+        .ok_or_else(|| SnapshotError::Corrupt {
+            reason: format!("malformed parent key `{text}`"),
+        })
 }
 
 /// Errors from store operations.
@@ -303,7 +382,22 @@ impl ModelStore {
     /// # Errors
     /// Returns [`StoreError::Io`] when writing, syncing or renaming fails.
     pub fn save(&self, key: ModelKey, model: &GemModel) -> Result<PathBuf, StoreError> {
-        let envelope = encode_snapshot(key, model);
+        self.save_with_parent(key, None, model)
+    }
+
+    /// [`ModelStore::save`] with lineage: records `parent` (the key of the model `model`
+    /// was incrementally derived from) in the snapshot envelope, retrievable with
+    /// [`ModelStore::parent_of`].
+    ///
+    /// # Errors
+    /// As [`ModelStore::save`].
+    pub fn save_with_parent(
+        &self,
+        key: ModelKey,
+        parent: Option<ModelKey>,
+        model: &GemModel,
+    ) -> Result<PathBuf, StoreError> {
+        let envelope = encode_snapshot_with_parent(key, parent, model);
         let target = self.path_of(key);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{}",
@@ -332,6 +426,39 @@ impl ModelStore {
             return Err(io_err(&target, e));
         }
         Ok(target)
+    }
+
+    /// The lineage recorded for `key`'s snapshot: the parent model key a `fit_update`
+    /// derived it from. Returns `Ok(None)` both when no snapshot exists and when the
+    /// snapshot records no lineage (from-scratch fits, version-1 snapshots); use
+    /// [`ModelStore::contains`] to distinguish. The model payload is not rehydrated.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on read failures, [`StoreError::VersionMismatch`] /
+    /// [`StoreError::Corrupt`] for invalid snapshots.
+    pub fn parent_of(&self, key: ModelKey) -> Result<Option<ModelKey>, StoreError> {
+        let path = self.path_of(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(StoreError::Io { path, source }),
+        };
+        let corrupt = |reason: String| StoreError::Corrupt {
+            path: path.clone(),
+            reason,
+        };
+        let envelope = Json::parse(&text).map_err(|e| corrupt(e.to_string()))?;
+        match snapshot_parent(&envelope) {
+            Ok(parent) => Ok(parent),
+            Err(SnapshotError::Corrupt { reason }) => Err(corrupt(reason)),
+            Err(SnapshotError::VersionMismatch { found, expected }) => {
+                Err(StoreError::VersionMismatch {
+                    path,
+                    found,
+                    expected,
+                })
+            }
+        }
     }
 
     /// Load the model stored under `key`. Returns `Ok(None)` when no snapshot exists;
@@ -676,14 +803,9 @@ mod tests {
         let (key, model) = fitted(1);
         let path = store.save(key, &model).unwrap();
         let text = fs::read_to_string(&path).unwrap();
-        fs::write(
-            &path,
-            text.replace(
-                &format!("\"format_version\":{STORE_FORMAT_VERSION}"),
-                "\"format_version\":99",
-            ),
-        )
-        .unwrap();
+        let needle = format!("\"format_version\":{STORE_FORMAT_MIN_VERSION}");
+        assert!(text.contains(&needle), "snapshot header changed shape");
+        fs::write(&path, text.replace(&needle, "\"format_version\":99")).unwrap();
         match store.load(key).unwrap_err() {
             StoreError::VersionMismatch {
                 found, expected, ..
@@ -693,6 +815,72 @@ mod tests {
             }
             other => panic!("expected VersionMismatch, got {other}"),
         }
+    }
+
+    #[test]
+    fn lineage_round_trips_and_plain_snapshots_stay_version_1() {
+        let tmp = TempDir::new("lineage");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (parent_key, parent) = fitted(1);
+        store.save(parent_key, &parent).unwrap();
+        // A from-scratch save records no lineage and keeps the version-1 envelope, so
+        // older builds can still read it.
+        assert_eq!(store.parent_of(parent_key).unwrap(), None);
+        let text = fs::read_to_string(store.path_of(parent_key)).unwrap();
+        assert!(text.contains(&format!("\"format_version\":{STORE_FORMAT_MIN_VERSION}")));
+        assert!(!text.contains("\"parent\""));
+
+        // A fit_update save records its parent, retrievable without rehydration, and
+        // the updated model itself loads and transforms bit-identically to the parent.
+        let updated = parent.fit_update(&corpus(9)).unwrap();
+        let updated_key = crate::fingerprint::updated_model_key(parent_key, &corpus(9));
+        store
+            .save_with_parent(updated_key, Some(parent_key), &updated)
+            .unwrap();
+        assert_eq!(store.parent_of(updated_key).unwrap(), Some(parent_key));
+        let text = fs::read_to_string(store.path_of(updated_key)).unwrap();
+        assert!(text.contains(&format!("\"format_version\":{STORE_FORMAT_VERSION}")));
+        let loaded = store.load(updated_key).unwrap().unwrap();
+        let cols = corpus(1);
+        assert_eq!(
+            parent.transform(&cols).unwrap().matrix,
+            loaded.transform(&cols).unwrap().matrix
+        );
+        // Lineage of a missing key is a clean None.
+        let (other_key, _) = fitted(3);
+        assert_eq!(store.parent_of(other_key).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lineage_is_rejected_as_corrupt() {
+        let tmp = TempDir::new("bad-lineage");
+        let store = ModelStore::open(&tmp.0).unwrap();
+        let (key, model) = fitted(1);
+        let (parent_key, _) = fitted(2);
+        let path = store
+            .save_with_parent(key, Some(parent_key), &model)
+            .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        // A parent that is not a canonical key is corrupt — even via load(), which
+        // never looks at lineage.
+        fs::write(&path, text.replace(&parent_key.to_hex(), "not-a-key")).unwrap();
+        let err = store.load(key).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Corrupt { reason, .. } if reason.contains("parent")),
+            "{err}"
+        );
+        assert!(store.parent_of(key).is_err());
+        // A version-1 envelope must not smuggle a parent field.
+        let v1 = text.replace(
+            &format!("\"format_version\":{STORE_FORMAT_VERSION}"),
+            &format!("\"format_version\":{STORE_FORMAT_MIN_VERSION}"),
+        );
+        fs::write(&path, v1).unwrap();
+        let err = store.load(key).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Corrupt { reason, .. } if reason.contains("parent")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use gem::data::{build_corpus, CorpusConfig, CorpusKind};
 use gem::gmm::GmmConfig;
 use gem::json::{FromJson, Json, ToJson};
 use gem::serve::{CachePolicy, EmbedService, ModelCache, ServeRequest, ServedFrom};
-use gem::store::{model_key, GcPolicy, ModelStore, StoreError, STORE_FORMAT_VERSION};
+use gem::store::{model_key, GcPolicy, ModelStore, StoreError, STORE_FORMAT_MIN_VERSION};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -202,13 +202,16 @@ fn corrupt_files_and_version_mismatches_fail_at_load_time() {
         );
     }
 
-    // A foreign store format version is reported as a version mismatch.
+    // A foreign store format version is reported as a version mismatch. Plain saves
+    // (no lineage) are written at the oldest expressible version.
+    let version_needle = format!("\"format_version\":{STORE_FORMAT_MIN_VERSION}");
+    assert!(
+        pristine.contains(&version_needle),
+        "snapshot header changed shape"
+    );
     std::fs::write(
         &path,
-        pristine.replace(
-            &format!("\"format_version\":{STORE_FORMAT_VERSION}"),
-            "\"format_version\":999",
-        ),
+        pristine.replace(&version_needle, "\"format_version\":999"),
     )
     .unwrap();
     assert!(matches!(
