@@ -176,6 +176,27 @@ impl Json {
             .ok_or_else(|| JsonError::conversion(format!("field `{key}` is not a number")))
     }
 
+    /// The value as an unsigned integer, if it is a number that holds one exactly
+    /// (no fractional part, in range, and within `f64`'s 2^53 exact-integer window).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() != 0.0 || !(0.0..=MAX_EXACT_INT).contains(&n) {
+            return None;
+        }
+        Some(n as u64)
+    }
+
+    /// Mandatory unsigned-integer field (see [`Json::as_u64`] for what qualifies).
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] when the field is missing, not a number, or not an
+    /// exactly representable unsigned integer.
+    pub fn u64_field(&self, key: &str) -> Result<u64, JsonError> {
+        self.field(key)?.as_u64().ok_or_else(|| {
+            JsonError::conversion(format!("field `{key}` is not an unsigned integer"))
+        })
+    }
+
     /// Serialise without whitespace.
     pub fn to_compact_string(&self) -> String {
         let mut out = String::new();
@@ -511,6 +532,29 @@ pub fn opt_number(n: Option<f64>) -> Json {
     }
 }
 
+/// The largest integer `f64` represents exactly (2^53). JSON numbers are `f64`-backed
+/// here, so integers beyond this window would silently lose precision.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+/// An unsigned integer as a JSON number. This is the **one audited integer↔number
+/// seam** for codecs that otherwise ban `as f64` casts (counters, dimensions, version
+/// fields): the conversion is exact for every value up to 2^53, and values beyond that
+/// window saturate to it rather than rounding to an unpredictable neighbour. Floats
+/// themselves never go through here — they cross serialization boundaries as
+/// [`bits`] patterns.
+pub fn u64_number(n: u64) -> Json {
+    const MAX: u64 = 1 << 53;
+    Json::Number(if n > MAX { MAX_EXACT_INT } else { n as f64 })
+}
+
+/// Convenience: an optional unsigned integer (`null` when `None`).
+pub fn opt_u64_number(n: Option<u64>) -> Json {
+    match n {
+        Some(v) => u64_number(v),
+        None => Json::Null,
+    }
+}
+
 /// Convenience: an array of numbers.
 pub fn number_array(values: &[f64]) -> Json {
     Json::Array(values.iter().map(|&v| Json::Number(v)).collect())
@@ -702,6 +746,25 @@ mod tests {
         assert!(as_bits(&string("zzzzzzzzzzzzzzzz")).is_err());
         assert!(as_bits(&string("3ff00000000000000")).is_err()); // 17 digits
         assert!(as_bits_array(&string("3ff0000000000000")).is_err());
+    }
+
+    #[test]
+    fn u64_codec_is_exact_within_the_f64_window() {
+        for v in [0u64, 1, 42, (1 << 53) - 1, 1 << 53] {
+            assert_eq!(u64_number(v).as_u64(), Some(v), "{v}");
+        }
+        // Beyond 2^53 the encoder saturates instead of rounding silently.
+        assert_eq!(u64_number(u64::MAX), u64_number(1 << 53));
+        assert_eq!(opt_u64_number(None), Json::Null);
+        assert_eq!(opt_u64_number(Some(7)).as_u64(), Some(7));
+        // Decoding rejects anything that is not an exact unsigned integer.
+        assert_eq!(Json::Number(1.5).as_u64(), None);
+        assert_eq!(Json::Number(-1.0).as_u64(), None);
+        assert_eq!(string("3").as_u64(), None);
+        let v = object(vec![("n", number(12.0)), ("x", number(0.5))]);
+        assert_eq!(v.u64_field("n").unwrap(), 12);
+        assert!(v.u64_field("x").is_err());
+        assert!(v.u64_field("missing").is_err());
     }
 
     #[test]

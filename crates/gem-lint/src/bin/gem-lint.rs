@@ -1,0 +1,125 @@
+//! The `gem-lint` command: run the workspace invariants pass.
+//!
+//! ```text
+//! gem-lint [--root PATH] [--json] [--write-fingerprint] [--fingerprint-out PATH]
+//! ```
+//!
+//! * default — lint the workspace at `--root` (default: the current directory, or the
+//!   workspace this binary was built from when run via `cargo run -p gem-lint`) and
+//!   print the rustc-style report; exit 0 when clean, 1 on violations.
+//! * `--json` — print the machine-readable report instead (CI uploads this artifact).
+//! * `--write-fingerprint` — regenerate `wire-fingerprint.json` from `gem-proto` at
+//!   HEAD (to `--fingerprint-out` if given) instead of linting.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    write_fingerprint: bool,
+    fingerprint_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        json: false,
+        write_fingerprint: false,
+        fingerprint_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--write-fingerprint" => args.write_fingerprint = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--fingerprint-out" => {
+                args.fingerprint_out = Some(PathBuf::from(
+                    it.next().ok_or("--fingerprint-out needs a path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("gem-lint: enforce the workspace's serving invariants\n");
+    println!(
+        "usage: gem-lint [--root PATH] [--json] [--write-fingerprint] [--fingerprint-out PATH]\n"
+    );
+    println!("rules:");
+    for rule in gem_lint::rules::RULES {
+        println!("  {rule}  {}", gem_lint::rules::rule_summary(rule));
+    }
+    println!("\nsuppress a finding in-source (reason mandatory):");
+    println!("  // gem-lint: allow(L3, reason = \"why this one is sound\")");
+}
+
+/// The workspace root: the manifest dir's grandparent when built in-tree (so
+/// `cargo run -p gem-lint` works from anywhere inside the repo), else the CWD.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(|p| p.parent()) {
+        Some(root) if root.join("Cargo.toml").is_file() => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if args.write_fingerprint {
+        let proto = args.root.join("crates/gem-proto/src/lib.rs");
+        let src = std::fs::read_to_string(&proto)
+            .map_err(|e| format!("cannot read {}: {e}", proto.display()))?;
+        let fp = gem_lint::wire_fingerprint_of(&src)?;
+        let out = args
+            .fingerprint_out
+            .clone()
+            .unwrap_or_else(|| args.root.join("wire-fingerprint.json"));
+        std::fs::write(&out, gem_lint::fingerprint_json(&fp))
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        eprintln!(
+            "gem-lint: wrote {} (protocol version {}, digest {})",
+            out.display(),
+            fp.protocol_version,
+            fp.digest
+        );
+        return Ok(true);
+    }
+    let report = gem_lint::lint_workspace(&args.root, &gem_lint::LintConfig::default())
+        .map_err(|e| format!("workspace walk failed: {e}"))?;
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("gem-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("gem-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

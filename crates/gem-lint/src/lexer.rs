@@ -1,0 +1,336 @@
+//! A minimal line-oriented Rust lexer: just enough syntax awareness for the lint rules.
+//!
+//! The lexer does one pass over a source file and produces, per physical line:
+//!
+//! * a **code view** — the line with comments removed and string/char literal *contents*
+//!   blanked to spaces (delimiters kept, columns preserved), so token scans can never
+//!   match inside a string or a comment;
+//! * the **string literal fragments** that appeared on the line (for rules that inspect
+//!   format strings);
+//! * the **comment text** on the line (where `gem-lint:` pragmas live);
+//! * the brace **depth at line start** (strings/comments/char literals excluded);
+//! * whether the line is inside a **test region** — a `#[cfg(test)]` or `#[test]`
+//!   attribute covers the item it annotates, tracked by brace depth.
+//!
+//! This is deliberately not a real parser: the rules only need token positions relative
+//! to strings, comments, braces and test regions, and a full grammar would dwarf the
+//! checks it serves. Known approximation: a lifetime tick (`'a`) is distinguished from a
+//! char literal by lookahead, which handles every form the workspace uses.
+
+/// One physical source line, annotated by the lexer.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// 1-based line number.
+    pub number: usize,
+    /// The code view: comments stripped, literal contents blanked, columns preserved.
+    pub code: String,
+    /// Contents of string literals that appear (or continue) on this line.
+    pub strings: Vec<String>,
+    /// Comment text on this line (`//…` tail or the inside of a block comment).
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_at_start: usize,
+    /// True when the line belongs to a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// Per-line annotations, in order.
+    pub lines: Vec<LineInfo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lex `src` into per-line annotations. Never fails: unterminated constructs simply
+/// extend to end of file, which is the useful behaviour for linting work-in-progress
+/// code.
+pub fn lex(src: &str) -> SourceModel {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    let mut depth: usize = 0;
+    // Test-region tracking: `test_pending` is set when an attribute line was seen and
+    // the annotated item's opening brace has not arrived yet; `test_until_depth` holds
+    // the depth the region ends at (inclusive) once the brace opens.
+    let mut test_pending = false;
+    let mut test_until_depth: Option<usize> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut strings: Vec<String> = Vec::new();
+        let mut comment = String::new();
+        let mut current_string = String::new();
+        let depth_at_start = depth;
+        let in_test_at_start = test_until_depth.is_some();
+
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        // A line that starts inside a string continues collecting that literal.
+        if matches!(state, State::Str | State::RawStr(_)) {
+            current_string.push('\n');
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Normal => match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        state = State::LineComment;
+                        break;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        state = State::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' if starts_raw_string(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        state = State::RawStr(hashes);
+                        for _ in 0..(2 + hashes as usize) {
+                            code.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        i += 2 + hashes as usize;
+                    }
+                    '\'' => {
+                        // Lifetime or char literal? `'a` / `'static` have no closing
+                        // tick within two chars unless they are `'x'` / `'\x'` forms.
+                        if let Some(advance) = char_literal_len(&chars, i) {
+                            code.push('\'');
+                            for _ in 1..advance - 1 {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += advance;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        if test_pending && test_until_depth.is_none() {
+                            test_until_depth = Some(depth - 1);
+                            test_pending = false;
+                        }
+                        code.push('{');
+                        i += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_until_depth == Some(depth) {
+                            test_until_depth = None;
+                        }
+                        code.push('}');
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("line comments break out of the loop"),
+                State::BlockComment(n) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        if n == 1 {
+                            state = State::Normal;
+                        } else {
+                            state = State::BlockComment(n - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(n + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => {
+                        current_string.push(c);
+                        if let Some(&next) = chars.get(i + 1) {
+                            current_string.push(next);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    '"' => {
+                        strings.push(std::mem::take(&mut current_string));
+                        state = State::Normal;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        current_string.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        strings.push(std::mem::take(&mut current_string));
+                        state = State::Normal;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        current_string.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if state == State::LineComment {
+            state = State::Normal;
+        }
+        if matches!(state, State::Str | State::RawStr(_)) && !current_string.is_empty() {
+            // Expose the partial literal so format-string rules see multi-line strings.
+            strings.push(current_string.clone());
+        }
+
+        // An attribute marks the *next* item as test code; the attribute line itself is
+        // also treated as test-region (it only matters for pragma-free symmetry).
+        let code_trim = code.trim();
+        let is_test_attr = code_trim.starts_with("#[cfg(test)")
+            || code_trim.starts_with("#[test]")
+            || code_trim.starts_with("#[cfg(all(test");
+        if is_test_attr && test_until_depth.is_none() {
+            test_pending = true;
+        }
+
+        lines.push(LineInfo {
+            number: idx + 1,
+            code,
+            strings,
+            comment,
+            depth_at_start,
+            in_test: in_test_at_start || test_until_depth.is_some() || is_test_attr,
+        });
+    }
+    SourceModel { lines }
+}
+
+/// Does `r` at `i` begin a raw string (`r"…"`, `r#"…"#`, `br"…"` handled by the `b`
+/// being consumed as plain code)?
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    debug_assert_eq!(chars[i], 'r');
+    // Reject identifiers ending in `r` (e.g. `var"`), which cannot occur in valid Rust
+    // anyway, by requiring the previous char to not be alphanumeric.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    debug_assert_eq!(chars[i], '"');
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i` (which holds `'`), return its total length in chars;
+/// `None` means the tick is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: the char after the backslash is always content
+            // (covers `'\''`), then scan to the closing tick (covers `'\u{…}'`).
+            let mut j = i + 3;
+            while j < chars.len() {
+                if chars[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_never_leak_into_the_code_view() {
+        let src = r#"let x = "unwrap() inside a string"; // .unwrap() in a comment
+let y = 1; /* .expect( in a block */ let z = 2;
+"#;
+        let model = lex(src);
+        assert!(!model.lines[0].code.contains("unwrap"));
+        assert!(model.lines[0].comment.contains(".unwrap()"));
+        assert_eq!(model.lines[0].strings, vec!["unwrap() inside a string"]);
+        assert!(!model.lines[1].code.contains("expect"));
+        assert!(model.lines[1].code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_opaque() {
+        let src = "let s = r#\"panic!(\"x\")\"#;\nlet c = '\\n'; let l: &'static str = \"\";\n";
+        let model = lex(src);
+        assert!(!model.lines[0].code.contains("panic"));
+        assert_eq!(model.lines[0].strings, vec!["panic!(\"x\")"]);
+        // The lifetime tick did not start a char literal that swallows the rest.
+        assert!(model.lines[1].code.contains("str"));
+    }
+
+    #[test]
+    fn test_regions_follow_brace_depth() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let model = lex(src);
+        assert!(!model.lines[0].in_test);
+        assert!(model.lines[1].in_test, "the attribute line itself");
+        assert!(model.lines[2].in_test);
+        assert!(model.lines[3].in_test);
+        assert!(model.lines[4].in_test);
+        assert!(!model.lines[5].in_test, "after the closing brace");
+    }
+
+    #[test]
+    fn depth_tracking_ignores_braces_in_literals() {
+        let src = "fn a() {\n    let s = \"{{{\";\n    let t = '{';\n}\n";
+        let model = lex(src);
+        assert_eq!(model.lines[3].depth_at_start, 1);
+        assert_eq!(model.lines.last().unwrap().depth_at_start, 1);
+    }
+}

@@ -1,0 +1,19 @@
+// L1 fixture: a lock guard held across an EM fit and a store write. Linted under the
+// path `crates/gem-serve/src/engine.rs`; the violations are on lines 9 and 10 (the
+// guard binds on line 8). Line 15 shows the compliant shape: drop before fitting.
+
+impl Engine {
+    fn fit_under_lock(&self, key: ModelKey, corpus: &[GemColumn]) {
+        let config = self.config.clone();
+        let mut cache = crate::sync::lock_or_recover(&self.cache);
+        let model = GemModel::fit(corpus, &config, FeatureSet::ds());
+        self.store.save(key, &model).ok();
+        cache.insert(key, model);
+    }
+    fn fit_outside_lock(&self, key: ModelKey, corpus: &[GemColumn]) {
+        let config = self.config.clone();
+        let model = GemModel::fit(corpus, &config, FeatureSet::ds());
+        let mut cache = crate::sync::lock_or_recover(&self.cache);
+        cache.insert(key, model);
+    }
+}

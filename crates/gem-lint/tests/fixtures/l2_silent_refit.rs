@@ -1,0 +1,15 @@
+// L2 fixture: a serving module quietly re-fitting from a corpus instead of resolving
+// the handle. Linted under the path `crates/gem-serve/src/service.rs`; the violations
+// are on lines 8 and 13.
+
+impl EmbedService {
+    fn embed_fallback(&self, corpus: &[GemColumn]) -> Matrix {
+        // Unknown handle? Just refit — exactly the behaviour the protocol forbids.
+        GemEmbedder::embed(corpus, &self.config, FeatureSet::ds())
+    }
+    fn embed_via_model(&self, corpus: &[GemColumn]) -> Matrix {
+        let mut embedder = self.new_embedder();
+        let _ = &mut embedder;
+        embedder.fit_transform(corpus)
+    }
+}

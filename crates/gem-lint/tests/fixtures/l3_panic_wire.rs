@@ -1,0 +1,28 @@
+// L3 fixture: panic paths reachable from wire input. Linted under the path
+// `crates/gem-proto/src/lib.rs`; the violations are on lines 10 (panic!), 12 (slice
+// indexing), 13 (unwrap) and 18 (expect). Line 7's `.unwrap_or(…)` is deliberately
+// not a violation — it cannot panic.
+
+fn decode_frame(line: &str) -> Frame {
+    let value = Json::parse(line).unwrap_or(Json::Null);
+    let fields = match value {
+        Json::Object(fields) => fields,
+        _ => panic!("not an object"),
+    };
+    let first = fields[0].clone();
+    let id = first.1.as_f64().unwrap();
+    Frame { id: id as u64 }
+}
+
+fn version_of(value: &Json) -> u64 {
+    value.field("version").expect("version field") .as_u64().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        decode_frame("{}");
+        panic!("fine here");
+    }
+}

@@ -1,0 +1,22 @@
+// L5 fixture: decimal float formatting and narrowing casts in a serialization module.
+// Linted under the path `crates/gem-store/src/store.rs`; the violations are on lines
+// 7 (as f64), 8 ({:.}), and 12 ({:e} plus as f32).
+
+impl Snapshot {
+    fn header_json(&self) -> Json {
+        let version = self.version as f64;
+        let label = format!("v{:.1}", version);
+        object(vec![("format_version", number(version)), ("label", string(label))])
+    }
+    fn debug_row(&self, weight: f64) -> String {
+        format!("{:e}", weight as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_format_floats() {
+        assert_eq!(format!("{:.2}", 1.0_f64 as f32), "1.00");
+    }
+}

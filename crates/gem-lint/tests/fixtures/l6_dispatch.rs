@@ -1,0 +1,19 @@
+// L6 fixture: embedding-method structs constructed outside the MethodRegistry wiring.
+// Linted under the path `crates/gem-eval/src/harness.rs` (any non-exempt path); the
+// violations are on lines 7, 8 and 9.
+
+fn build_methods(config: &GemConfig) -> Vec<Box<dyn EmbeddingMethod>> {
+    vec![
+        Box::new(SatoSc::new(config.dim)),
+        Box::new(SelfOrganizingMap::default()),
+        Box::new(GemMethod { config: config.clone() }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_construct_methods_directly() {
+        let _ = SatoSc::new(4);
+    }
+}

@@ -1,0 +1,15 @@
+// Pragma fixture, linted under `crates/gem-proto/src/lib.rs` (an L3 scope).
+//
+// Line 9: a violation suppressed by a trailing reasoned pragma — no diagnostic.
+// Line 10–11: a violation suppressed by an own-line pragma above it — no diagnostic.
+// Line 12: a pragma with no reason — an L0 diagnostic AND the L3 still fires.
+// Line 13: a pragma naming the wrong rule — L3 fires (pragmas are rule-specific).
+
+fn startup(config: &Json) -> u64 {
+    let a = config.u64_field("a").unwrap(); // gem-lint: allow(L3, reason = "validated by the config loader before this point")
+    // gem-lint: allow(L3, reason = "static default, cannot fail")
+    let b = config.u64_field("b").unwrap();
+    let c = config.u64_field("c").unwrap(); // gem-lint: allow(L3)
+    let d = config.u64_field("d").unwrap(); // gem-lint: allow(L5, reason = "wrong rule")
+    a + b + c + d
+}

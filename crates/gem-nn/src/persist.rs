@@ -170,17 +170,17 @@ impl FromJson for Sequential {
 impl ToJson for AutoencoderConfig {
     fn to_json(&self) -> Json {
         object(vec![
-            ("input_dim", number(self.input_dim as f64)),
+            ("input_dim", gem_json::u64_number(self.input_dim as u64)),
             (
                 "encoder_dims",
                 Json::Array(
                     self.encoder_dims
                         .iter()
-                        .map(|&d| number(d as f64))
+                        .map(|&d| gem_json::u64_number(d as u64))
                         .collect(),
                 ),
             ),
-            ("epochs", number(self.epochs as f64)),
+            ("epochs", gem_json::u64_number(self.epochs as u64)),
             ("optimizer", self.optimizer.to_json()),
             ("seed", string(self.seed.to_string())),
         ])

@@ -56,7 +56,7 @@
 #![warn(clippy::all)]
 
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig};
-use gem_json::{number, object, string, FromJson, Json, JsonError, ToJson};
+use gem_json::{object, opt_u64_number, string, u64_number, FromJson, Json, JsonError, ToJson};
 use gem_numeric::Matrix;
 use std::fmt;
 
@@ -515,42 +515,36 @@ impl FromJson for RequestBody {
 impl ToJson for WireStats {
     fn to_json(&self) -> Json {
         object(vec![
-            ("hits", number(self.hits as f64)),
-            ("warm_starts", number(self.warm_starts as f64)),
-            ("misses", number(self.misses as f64)),
-            ("evictions", number(self.evictions as f64)),
-            ("expirations", number(self.expirations as f64)),
-            ("coalesced_fits", number(self.coalesced_fits as f64)),
-            ("spills", number(self.spills as f64)),
-            ("store_errors", number(self.store_errors as f64)),
-            ("fit_micros", number(self.fit_micros as f64)),
-            ("em_iterations", number(self.em_iterations as f64)),
-            ("resident_models", number(self.resident_models as f64)),
-            ("resident_bytes", number(self.resident_bytes as f64)),
-            (
-                "store_entries",
-                gem_json::opt_number(self.store_entries.map(|v| v as f64)),
-            ),
-            (
-                "store_bytes",
-                gem_json::opt_number(self.store_bytes.map(|v| v as f64)),
-            ),
-            ("requests", number(self.requests as f64)),
+            ("hits", u64_number(self.hits)),
+            ("warm_starts", u64_number(self.warm_starts)),
+            ("misses", u64_number(self.misses)),
+            ("evictions", u64_number(self.evictions)),
+            ("expirations", u64_number(self.expirations)),
+            ("coalesced_fits", u64_number(self.coalesced_fits)),
+            ("spills", u64_number(self.spills)),
+            ("store_errors", u64_number(self.store_errors)),
+            ("fit_micros", u64_number(self.fit_micros)),
+            ("em_iterations", u64_number(self.em_iterations)),
+            ("resident_models", u64_number(self.resident_models)),
+            ("resident_bytes", u64_number(self.resident_bytes)),
+            ("store_entries", opt_u64_number(self.store_entries)),
+            ("store_bytes", opt_u64_number(self.store_bytes)),
+            ("requests", u64_number(self.requests)),
         ])
     }
 }
 
 impl FromJson for WireStats {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
-        let num = |key: &str| value.num_field(key).map(|v| v as u64);
+        let num = |key: &str| value.u64_field(key);
         let opt = |key: &str| -> Result<Option<u64>, JsonError> {
-            Ok(opt_field(value, key)
+            opt_field(value, key)
                 .map(|v| {
-                    v.as_f64()
-                        .ok_or_else(|| JsonError::conversion(format!("`{key}` is not a number")))
+                    v.as_u64().ok_or_else(|| {
+                        JsonError::conversion(format!("`{key}` is not an unsigned integer"))
+                    })
                 })
-                .transpose()?
-                .map(|v| v as u64))
+                .transpose()
         };
         Ok(WireStats {
             hits: num("hits")?,
@@ -577,8 +571,8 @@ impl ToJson for WireModelInfo {
         object(vec![
             ("handle", string(self.handle.clone())),
             ("tier", string(self.tier.clone())),
-            ("dim", gem_json::opt_number(self.dim.map(|v| v as f64))),
-            ("bytes", number(self.bytes as f64)),
+            ("dim", opt_u64_number(self.dim)),
+            ("bytes", u64_number(self.bytes)),
         ])
     }
 }
@@ -590,12 +584,11 @@ impl FromJson for WireModelInfo {
             tier: value.str_field("tier")?,
             dim: opt_field(value, "dim")
                 .map(|v| {
-                    v.as_f64()
-                        .map(|v| v as u64)
-                        .ok_or_else(|| JsonError::conversion("`dim` is not a number"))
+                    v.as_u64()
+                        .ok_or_else(|| JsonError::conversion("`dim` is not an unsigned integer"))
                 })
                 .transpose()?,
-            bytes: value.num_field("bytes")? as u64,
+            bytes: value.u64_field("bytes")?,
         })
     }
 }
@@ -610,7 +603,7 @@ impl ToJson for ResponseBody {
             } => object(vec![
                 ("type", string("fitted")),
                 ("handle", string(handle.clone())),
-                ("dim", number(*dim as f64)),
+                ("dim", u64_number(*dim)),
                 ("served_from", string(served_from.clone())),
             ]),
             ResponseBody::Embedded {
@@ -624,7 +617,7 @@ impl ToJson for ResponseBody {
             ResponseBody::Pushed { handle, dim } => object(vec![
                 ("type", string("pushed")),
                 ("handle", string(handle.clone())),
-                ("dim", number(*dim as f64)),
+                ("dim", u64_number(*dim)),
             ]),
             ResponseBody::Snapshot {
                 handle,
@@ -664,7 +657,7 @@ impl FromJson for ResponseBody {
         match value.str_field("type")?.as_str() {
             "fitted" => Ok(ResponseBody::Fitted {
                 handle: value.str_field("handle")?,
-                dim: value.num_field("dim")? as u64,
+                dim: value.u64_field("dim")?,
                 served_from: value.str_field("served_from")?,
             }),
             "embedded" => Ok(ResponseBody::Embedded {
@@ -673,7 +666,7 @@ impl FromJson for ResponseBody {
             }),
             "pushed" => Ok(ResponseBody::Pushed {
                 handle: value.str_field("handle")?,
-                dim: value.num_field("dim")? as u64,
+                dim: value.u64_field("dim")?,
             }),
             "snapshot" => Ok(ResponseBody::Snapshot {
                 handle: value.str_field("handle")?,
@@ -711,8 +704,8 @@ impl FromJson for ResponseBody {
 
 fn envelope_json(id: Option<u64>, version: u64, body: Json) -> Json {
     object(vec![
-        ("id", gem_json::opt_number(id.map(|v| v as f64))),
-        ("version", number(version as f64)),
+        ("id", opt_u64_number(id)),
+        ("version", u64_number(version)),
         ("body", body),
     ])
 }
@@ -723,11 +716,11 @@ fn decode_envelope(line: &str) -> Result<(Option<u64>, u64, Json), ProtoError> {
     let value = Json::parse(line.trim_end_matches(['\r', '\n']))?;
     let id = match value.field("id")? {
         Json::Null => None,
-        v => Some(v.as_f64().ok_or_else(|| ProtoError::Parse {
-            message: "`id` is neither a number nor null".to_string(),
-        })? as u64),
+        v => Some(v.as_u64().ok_or_else(|| ProtoError::Parse {
+            message: "`id` is neither an unsigned integer nor null".to_string(),
+        })?),
     };
-    let version = value.num_field("version")? as u64;
+    let version = value.u64_field("version")?;
     if version != PROTOCOL_VERSION {
         return Err(ProtoError::VersionMismatch {
             found: version,
@@ -737,8 +730,11 @@ fn decode_envelope(line: &str) -> Result<(Option<u64>, u64, Json), ProtoError> {
     // Move the body out of the owned tree — it is the envelope's largest subtree (the
     // whole corpus or matrix payload), so cloning it would double the decode cost.
     let Json::Object(pairs) = value else {
-        // field("id") above already required an object.
-        unreachable!("envelope with fields must be an object");
+        // field("id") above already required an object; a non-object here means the
+        // parser and accessors disagree, which the wire must never turn into a panic.
+        return Err(ProtoError::Parse {
+            message: "envelope is not a JSON object".to_string(),
+        });
     };
     let body = pairs
         .into_iter()
@@ -805,13 +801,13 @@ pub fn decode_response(line: &str) -> Result<ResponseEnvelope, ProtoError> {
 pub fn salvage_request_id(line: &str) -> Option<u64> {
     Json::parse(line.trim_end_matches(['\r', '\n']))
         .ok()
-        .and_then(|v| v.num_field("id").ok())
-        .map(|v| v as u64)
+        .and_then(|v| v.u64_field("id").ok())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gem_json::number;
 
     // NaN-free so envelopes compare with `==` (NaN != NaN under PartialEq); the
     // NaN/±0 bit-exactness of the codec is covered by `corpus_payloads_are_bit_exact`.

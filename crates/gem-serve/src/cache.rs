@@ -66,43 +66,30 @@ struct SpillCounters {
 
 impl SpillCounters {
     fn generation_of(&self, key: ModelKey) -> u64 {
-        self.evict_generations
-            .lock()
-            .expect("evict-generation lock poisoned")
+        crate::sync::lock_or_recover(&self.evict_generations)
             .get(&key)
             .copied()
             .unwrap_or(0)
     }
 
     fn bump_generation(&self, key: ModelKey) {
-        *self
-            .evict_generations
-            .lock()
-            .expect("evict-generation lock poisoned")
+        *crate::sync::lock_or_recover(&self.evict_generations)
             .entry(key)
             .or_insert(0) += 1;
     }
 
     fn in_flight(&self, key: ModelKey) -> Option<Arc<GemModel>> {
-        self.in_flight_spills
-            .lock()
-            .expect("in-flight-spill lock poisoned")
+        crate::sync::lock_or_recover(&self.in_flight_spills)
             .get(&key)
             .cloned()
     }
 
     fn register_in_flight(&self, key: ModelKey, model: Arc<GemModel>) {
-        self.in_flight_spills
-            .lock()
-            .expect("in-flight-spill lock poisoned")
-            .insert(key, model);
+        crate::sync::lock_or_recover(&self.in_flight_spills).insert(key, model);
     }
 
     fn clear_in_flight(&self, key: ModelKey) {
-        self.in_flight_spills
-            .lock()
-            .expect("in-flight-spill lock poisoned")
-            .remove(&key);
+        crate::sync::lock_or_recover(&self.in_flight_spills).remove(&key);
     }
 }
 

@@ -149,17 +149,14 @@ struct InFlightFit {
 
 impl InFlightFit {
     fn publish(&self, result: Result<Arc<GemModel>, GemError>) {
-        *self.outcome.lock().expect("in-flight fit lock poisoned") = Some(result);
+        *crate::sync::lock_or_recover(&self.outcome) = Some(result);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<Arc<GemModel>, GemError> {
-        let mut outcome = self.outcome.lock().expect("in-flight fit lock poisoned");
+        let mut outcome = crate::sync::lock_or_recover(&self.outcome);
         while outcome.is_none() {
-            outcome = self
-                .done
-                .wait(outcome)
-                .expect("in-flight fit lock poisoned");
+            outcome = crate::sync::wait_or_recover(&self.done, outcome);
         }
         outcome.clone().expect("loop guard ensures an outcome")
     }
@@ -217,7 +214,7 @@ impl BatchEngine {
         let cache = self
             .cache
             .into_inner()
-            .expect("model cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .with_store(store);
         BatchEngine {
             cache: Mutex::new(cache),
@@ -241,7 +238,7 @@ impl BatchEngine {
     /// insert causes spills off-lock as usual.
     pub fn publish(&self, key: ModelKey, model: Arc<GemModel>) {
         let spills = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            let mut cache = crate::sync::lock_or_recover(&self.cache);
             cache.insert(key, model);
             cache.take_pending_spills()
         };
@@ -286,10 +283,7 @@ impl BatchEngine {
     ) -> (Result<Arc<GemModel>, GemError>, ServedFrom) {
         // Join (or open) the key's in-flight entry.
         let (flight, leader) = {
-            let mut in_flight = self
-                .in_flight_fits
-                .lock()
-                .expect("in-flight fit registry poisoned");
+            let mut in_flight = crate::sync::lock_or_recover(&self.in_flight_fits);
             match in_flight.get(&key) {
                 Some(flight) => (Arc::clone(flight), false),
                 None => {
@@ -318,11 +312,7 @@ impl BatchEngine {
         // cannot hide from this peek). This too is a coalesced fit — the work was done
         // by another request's computation — so the counter keeps the exact invariant
         // "duplicate fits = hits + coalesced_fits".
-        let already = self
-            .cache
-            .lock()
-            .expect("model cache lock poisoned")
-            .peek(key);
+        let already = crate::sync::lock_or_recover(&self.cache).peek(key);
         if let Some(model) = already {
             self.coalesced_fits.fetch_add(1, Ordering::Relaxed);
             flight.publish(Ok(Arc::clone(&model)));
@@ -339,10 +329,7 @@ impl BatchEngine {
     }
 
     fn retire_flight(&self, key: ModelKey) {
-        self.in_flight_fits
-            .lock()
-            .expect("in-flight fit registry poisoned")
-            .remove(&key);
+        crate::sync::lock_or_recover(&self.in_flight_fits).remove(&key);
     }
 
     /// Process a batch of requests, returning one response per request in input order.
@@ -384,7 +371,7 @@ impl BatchEngine {
         let mut resolved: Vec<Option<(Arc<GemModel>, CacheTier)>> =
             Vec::with_capacity(requests.len());
         let spills = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            let mut cache = crate::sync::lock_or_recover(&self.cache);
             for &key in &keys {
                 resolved.push(cache.get_with_tier(key));
             }
@@ -464,7 +451,7 @@ impl BatchEngine {
     /// error. This is the lookup behind embed-by-handle.
     pub fn resolve(&self, key: ModelKey) -> Option<(Arc<GemModel>, CacheTier)> {
         let (found, spills) = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            let mut cache = crate::sync::lock_or_recover(&self.cache);
             let found = cache.get_with_tier(key);
             (found, cache.take_pending_spills())
         };
@@ -485,7 +472,7 @@ impl BatchEngine {
         // Lookup pass (one lock).
         let mut resolved: Vec<Option<(Arc<GemModel>, CacheTier)>> = Vec::with_capacity(jobs.len());
         let spills = {
-            let mut cache = self.cache.lock().expect("model cache lock poisoned");
+            let mut cache = crate::sync::lock_or_recover(&self.cache);
             for job in jobs {
                 resolved.push(cache.get_with_tier(job.key));
             }
@@ -564,28 +551,21 @@ impl BatchEngine {
     /// cleared under the lock; the snapshot unlink — filesystem I/O — runs after the
     /// lock drops, like every other store operation in this engine.
     pub fn evict(&self, key: ModelKey) -> bool {
-        let (in_memory, task) = self
-            .cache
-            .lock()
-            .expect("model cache lock poisoned")
-            .evict_resident(key);
+        let (in_memory, task) = crate::sync::lock_or_recover(&self.cache).evict_resident(key);
         let on_disk = task.is_some_and(crate::cache::EvictTask::execute);
         in_memory || on_disk
     }
 
     /// The resident models, most recently used first.
     pub fn resident_models(&self) -> Vec<(ModelKey, Arc<GemModel>)> {
-        self.cache
-            .lock()
-            .expect("model cache lock poisoned")
-            .resident_models()
+        crate::sync::lock_or_recover(&self.cache).resident_models()
     }
 
     /// One-lock consistent snapshot of the memory tier: cumulative counters, resident
     /// model count, and approximate resident bytes — so a stats report can never show a
     /// count and a byte total from two different instants.
     pub fn cache_snapshot(&self) -> (CacheStats, usize, u64) {
-        let cache = self.cache.lock().expect("model cache lock poisoned");
+        let cache = crate::sync::lock_or_recover(&self.cache);
         (
             self.merge_engine_stats(cache.stats()),
             cache.len(),
@@ -609,9 +589,7 @@ impl BatchEngine {
 
     /// The attached store tier, if any.
     pub fn store(&self) -> Option<Arc<ModelStore>> {
-        self.cache
-            .lock()
-            .expect("model cache lock poisoned")
+        crate::sync::lock_or_recover(&self.cache)
             .store()
             .map(Arc::clone)
     }
@@ -619,17 +597,13 @@ impl BatchEngine {
     /// Cumulative cache counters, including the engine's single-flight
     /// [`CacheStats::coalesced_fits`].
     pub fn cache_stats(&self) -> CacheStats {
-        let stats = self
-            .cache
-            .lock()
-            .expect("model cache lock poisoned")
-            .stats();
+        let stats = crate::sync::lock_or_recover(&self.cache).stats();
         self.merge_engine_stats(stats)
     }
 
     /// Number of models currently cached.
     pub fn cached_models(&self) -> usize {
-        self.cache.lock().expect("model cache lock poisoned").len()
+        crate::sync::lock_or_recover(&self.cache).len()
     }
 }
 

@@ -72,6 +72,7 @@ mod error;
 mod handle;
 pub mod net;
 mod service;
+pub mod sync;
 
 pub use cache::{CachePolicy, CacheStats, CacheTier, EvictTask, ModelCache, SpillTask};
 pub use client::{
@@ -89,3 +90,4 @@ pub use net::{default_workers, shutdown_summary, GemServer, ServerCounters, Serv
 pub use service::{
     EmbedService, ModelInfo, ServeRequest, ServeResponse, ServeResult, ServiceStats,
 };
+pub use sync::{lock_or_recover, lock_recoveries};

@@ -82,6 +82,7 @@ pub struct ServerCounters {
     protocol_errors: AtomicU64,
     busy_workers: AtomicU64,
     workers_high_water: AtomicU64,
+    lock_recoveries: AtomicU64,
 }
 
 impl ServerCounters {
@@ -106,6 +107,17 @@ impl ServerCounters {
         self.workers_high_water.load(Ordering::Relaxed)
     }
 
+    /// Work-queue locks recovered after a holder panicked. Serving continued — a
+    /// poisoned queue mutex must not wedge the replica — but a non-zero value means
+    /// some executor died mid-request and is worth investigating.
+    pub fn lock_recoveries(&self) -> u64 {
+        self.lock_recoveries.load(Ordering::Relaxed)
+    }
+
+    fn note_lock_recovery(&self) {
+        self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn enter_work(&self) {
         let busy = self.busy_workers.fetch_add(1, Ordering::Relaxed) + 1;
         self.workers_high_water.fetch_max(busy, Ordering::Relaxed);
@@ -121,12 +133,14 @@ impl ServerCounters {
 pub fn shutdown_summary(counters: &ServerCounters, stats: &ServiceStats) -> String {
     format!(
         "gem-served shutdown summary: requests={} connections={} protocol_errors={} \
-         coalesced_fits={} workers_high_water={} cache_hits={} cache_misses={}",
+         coalesced_fits={} workers_high_water={} lock_recoveries={} cache_hits={} \
+         cache_misses={}",
         counters.requests(),
         counters.connections(),
         counters.protocol_errors(),
         stats.cache.coalesced_fits,
         counters.workers_high_water(),
+        counters.lock_recoveries(),
         stats.cache.hits,
         stats.cache.misses,
     )
@@ -141,18 +155,32 @@ struct Frame {
 }
 
 /// The shared MPMC work queue between readers and executors.
-#[derive(Default)]
 struct WorkQueue {
     frames: Mutex<VecDeque<Frame>>,
     ready: Condvar,
+    /// For counting poisoned-lock recoveries where operators see them
+    /// ([`ServerCounters::lock_recoveries`], rendered in the shutdown summary).
+    counters: Arc<ServerCounters>,
 }
 
 impl WorkQueue {
+    fn new(counters: Arc<ServerCounters>) -> Self {
+        WorkQueue {
+            frames: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            counters,
+        }
+    }
+
+    /// Take the queue lock, recovering (and counting) if a previous holder panicked:
+    /// a poisoned queue mutex must degrade to one lost request, never to every reader
+    /// and executor thread aborting — that would wedge the whole replica.
+    fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<Frame>> {
+        crate::sync::lock_or_recover_with(&self.frames, || self.counters.note_lock_recovery())
+    }
+
     fn push(&self, frame: Frame) {
-        self.frames
-            .lock()
-            .expect("work queue lock poisoned")
-            .push_back(frame);
+        self.locked().push_back(frame);
         self.ready.notify_one();
     }
 
@@ -164,7 +192,7 @@ impl WorkQueue {
     /// would never see channel closure, and `GemServer::run` would hang joining the
     /// reader). Accepted work is always answered.
     fn pop(&self, inputs_closed: &AtomicBool) -> Option<Frame> {
-        let mut frames = self.frames.lock().expect("work queue lock poisoned");
+        let mut frames = self.locked();
         loop {
             if let Some(frame) = frames.pop_front() {
                 return Some(frame);
@@ -172,11 +200,9 @@ impl WorkQueue {
             if inputs_closed.load(Ordering::SeqCst) {
                 return None;
             }
-            frames = self
-                .ready
-                .wait_timeout(frames, READ_TICK)
-                .expect("work queue lock poisoned")
-                .0;
+            frames = crate::sync::wait_timeout_or_recover(&self.ready, frames, READ_TICK, || {
+                self.counters.note_lock_recovery()
+            });
         }
     }
 }
@@ -285,7 +311,7 @@ impl GemServer {
     /// # Errors
     /// Propagates accept failures (transient per-connection errors are skipped).
     pub fn run(self) -> std::io::Result<()> {
-        let queue = Arc::new(WorkQueue::default());
+        let queue = Arc::new(WorkQueue::new(Arc::clone(&self.counters)));
         // Raised only once every reader is joined (see `WorkQueue::pop`): executors
         // must outlive all producers, or a frame pushed during shutdown could be
         // stranded with no executor left to answer it.
@@ -658,6 +684,42 @@ mod tests {
         let handle = server.handle().unwrap();
         let join = std::thread::spawn(move || server.run());
         (handle, join)
+    }
+
+    #[test]
+    fn poisoned_work_queue_recovers_instead_of_wedging() {
+        // Regression: a worker panicking while holding the queue mutex used to poison
+        // it, so the next `push`/`pop` aborted the reader or executor that touched it —
+        // one panicked worker wedged the whole replica. Now both paths recover and the
+        // event is counted.
+        let counters = Arc::new(ServerCounters::default());
+        let queue = Arc::new(WorkQueue::new(Arc::clone(&counters)));
+        {
+            let queue = Arc::clone(&queue);
+            let _ = std::thread::spawn(move || {
+                let _guard = queue.frames.lock();
+                panic!("worker dies while holding the queue lock");
+            })
+            .join();
+        }
+        assert!(queue.frames.lock().is_err(), "the mutex must be poisoned");
+
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        queue.push(Frame {
+            line: b"{}".to_vec(),
+            reply: reply_tx,
+        });
+        let inputs_closed = AtomicBool::new(false);
+        let frame = queue
+            .pop(&inputs_closed)
+            .expect("the pushed frame survives");
+        assert_eq!(frame.line, b"{}");
+        assert!(counters.lock_recoveries() >= 1);
+        drop(reply_rx);
+
+        // Drained + closed: pop still works on the recovered mutex and retires cleanly.
+        inputs_closed.store(true, Ordering::SeqCst);
+        assert!(queue.pop(&inputs_closed).is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl From<String> for Failure {
 
 fn age_of(entry: &StoreEntry) -> String {
     match SystemTime::now().duration_since(entry.modified) {
-        Ok(age) => format!("{:.0}s", age.as_secs_f64()),
+        Ok(age) => format!("{}s", age.as_secs()),
         Err(_) => "future".to_string(),
     }
 }

@@ -112,7 +112,7 @@ pub fn encode_snapshot_with_parent(
     };
     let mut fields = vec![
         ("magic", string(STORE_MAGIC)),
-        ("format_version", gem_json::number(version as f64)),
+        ("format_version", gem_json::u64_number(version)),
         ("key", string(key.to_hex())),
     ];
     if let Some(parent) = parent {
@@ -170,8 +170,8 @@ fn validate_snapshot_header(
         return Err(corrupt(format!("bad magic `{magic}`")));
     }
     let found = envelope
-        .num_field("format_version")
-        .map_err(|e| corrupt(e.to_string()))? as u64;
+        .u64_field("format_version")
+        .map_err(|e| corrupt(e.to_string()))?;
     if !(STORE_FORMAT_MIN_VERSION..=STORE_FORMAT_VERSION).contains(&found) {
         return Err(SnapshotError::VersionMismatch {
             found,

@@ -1,0 +1,58 @@
+//! Tier-1 gate: the whole workspace passes `gem-lint` with zero violations.
+//!
+//! This is the teeth of the static-analysis pass — the six serving invariants (lock
+//! discipline, no silent refits, panic-free wire, protocol-bump rule, bit-exactness,
+//! dispatch seam) are enforced on every `cargo test`, not just in CI. The gate also
+//! bounds the escape hatch: at most five reasoned `allow` pragmas may exist across
+//! the tree, so suppressions stay exceptional and reviewed.
+
+use gem_lint::{lint_workspace, LintConfig};
+use std::path::Path;
+use std::time::Instant;
+
+fn workspace_root() -> &'static Path {
+    // The umbrella crate's manifest dir *is* the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_has_zero_lint_violations() {
+    let report =
+        lint_workspace(workspace_root(), &LintConfig::default()).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "the walker should see the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "gem-lint found violations at HEAD:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn allow_pragmas_stay_exceptional() {
+    let report =
+        lint_workspace(workspace_root(), &LintConfig::default()).expect("workspace walk succeeds");
+    assert!(
+        report.allow_pragmas <= 5,
+        "{} allow pragmas in the tree — the budget is 5; fix violations instead of \
+         suppressing them",
+        report.allow_pragmas
+    );
+}
+
+#[test]
+fn full_pass_stays_under_the_two_second_budget() {
+    let started = Instant::now();
+    let report =
+        lint_workspace(workspace_root(), &LintConfig::default()).expect("workspace walk succeeds");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "lint pass took {elapsed:?} over {} files — it must stay cheap enough to run \
+         on every test invocation",
+        report.files_scanned
+    );
+}
