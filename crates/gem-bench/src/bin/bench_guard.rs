@@ -1,5 +1,6 @@
 //! Bench-regression guard: compare a fresh `GEM_CRITERION_JSON` snapshot against a
-//! committed baseline and flag benchmarks whose mean time regressed beyond a threshold.
+//! committed baseline and flag benchmarks whose mean — or 99th-percentile, when both
+//! snapshots record one — regressed beyond a threshold.
 //!
 //! ```sh
 //! GEM_CRITERION_JSON=/tmp/scalability.json cargo bench -p gem-bench --bench scalability
@@ -19,6 +20,10 @@ struct Entry {
     group: String,
     id: String,
     mean_s: f64,
+    /// 99th-percentile seconds, when the snapshot carries one (newer snapshots do).
+    /// Tail latency is guarded separately from the mean: a bench whose median is flat
+    /// but whose worst samples ballooned is a regression the mean hides.
+    p99_s: Option<f64>,
 }
 
 fn load(path: &str) -> Result<Vec<Entry>, String> {
@@ -38,6 +43,7 @@ fn load(path: &str) -> Result<Vec<Entry>, String> {
                 mean_s: item
                     .num_field("mean_s")
                     .map_err(|e| format!("{path}: {e}"))?,
+                p99_s: item.num_field("p99_s").ok(),
             })
         })
         .collect()
@@ -83,6 +89,22 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64, warn_only: bool)
                     ratio,
                     if regressed { "REGRESSED" } else { "ok" }
                 );
+                // Tail-latency guard, when both snapshots carry p99.
+                if let (Some(base_p99), Some(p99)) = (base.p99_s, entry.p99_s) {
+                    if base_p99 > 0.0 {
+                        compared += 1;
+                        let tail_ratio = p99 / base_p99;
+                        let tail_regressed = tail_ratio > 1.0 + threshold;
+                        if tail_regressed {
+                            regressions += 1;
+                        }
+                        println!(
+                            "{:<45} {base_p99:>12.6} {p99:>12.6} {tail_ratio:>8.2}x  {}",
+                            format!("{label} [p99]"),
+                            if tail_regressed { "REGRESSED" } else { "ok" }
+                        );
+                    }
+                }
             }
             _ => println!(
                 "{label:<45} {:>12} {:>12.6} {:>9}  no baseline (informational)",

@@ -35,6 +35,12 @@ pub struct BenchResult {
     pub min_s: f64,
     /// Slowest iteration in seconds.
     pub max_s: f64,
+    /// Median seconds per iteration (nearest-rank over the timed samples).
+    pub p50_s: f64,
+    /// 99th-percentile seconds per iteration (nearest-rank; equals the maximum below
+    /// 100 samples). Tail latency regresses independently of the mean — a guard that
+    /// only watches means misses it.
+    pub p99_s: f64,
 }
 
 impl BenchResult {
@@ -46,8 +52,21 @@ impl BenchResult {
             ("mean_s", number(self.mean_s)),
             ("min_s", number(self.min_s)),
             ("max_s", number(self.max_s)),
+            ("p50_s", number(self.p50_s)),
+            ("p99_s", number(self.p99_s)),
         ])
     }
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) over unsorted sample durations.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// A benchmark identifier: a function name plus a parameter, rendered `name/param`.
@@ -99,38 +118,27 @@ impl IntoBenchmarkId for String {
 /// Passed to benchmark closures; [`Bencher::iter`] runs and times the workload.
 pub struct Bencher {
     samples: usize,
-    mean_s: f64,
-    min_s: f64,
-    max_s: f64,
+    timings_s: Vec<f64>,
 }
 
 impl Bencher {
     fn new(samples: usize) -> Self {
         Bencher {
             samples,
-            mean_s: 0.0,
-            min_s: 0.0,
-            max_s: 0.0,
+            timings_s: Vec::new(),
         }
     }
 
     /// Run `f` once untimed (warm-up), then `samples` timed iterations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f()); // warm-up, also defeats dead-code elimination of the result
-        let mut total = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = 0.0f64;
-        for _ in 0..self.samples {
-            let start = Instant::now();
-            black_box(f());
-            let dt = start.elapsed().as_secs_f64();
-            total += dt;
-            min = min.min(dt);
-            max = max.max(dt);
-        }
-        self.mean_s = total / self.samples as f64;
-        self.min_s = min;
-        self.max_s = max;
+        self.timings_s = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
     }
 
     /// Criterion-compatible `iter_custom`: `f` runs the workload the given number of
@@ -140,18 +148,27 @@ impl Bencher {
     /// completed). Called with `1` per sample here; real criterion may batch.
     pub fn iter_custom<F: FnMut(u64) -> std::time::Duration>(&mut self, mut f: F) {
         black_box(f(1)); // warm-up, also defeats dead-code elimination of the result
-        let mut total = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = 0.0f64;
-        for _ in 0..self.samples {
-            let dt = black_box(f(1)).as_secs_f64();
-            total += dt;
-            min = min.min(dt);
-            max = max.max(dt);
+        self.timings_s = (0..self.samples)
+            .map(|_| black_box(f(1)).as_secs_f64())
+            .collect();
+    }
+
+    fn mean_s(&self) -> f64 {
+        if self.timings_s.is_empty() {
+            return 0.0;
         }
-        self.mean_s = total / self.samples as f64;
-        self.min_s = min;
-        self.max_s = max;
+        self.timings_s.iter().sum::<f64>() / self.timings_s.len() as f64
+    }
+
+    fn min_s(&self) -> f64 {
+        if self.timings_s.is_empty() {
+            return 0.0;
+        }
+        self.timings_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn max_s(&self) -> f64 {
+        self.timings_s.iter().copied().fold(0.0, f64::max)
     }
 }
 
@@ -212,9 +229,11 @@ impl Criterion {
             group: group.clone(),
             id: id.clone(),
             samples,
-            mean_s: bencher.mean_s,
-            min_s: bencher.min_s,
-            max_s: bencher.max_s,
+            mean_s: bencher.mean_s(),
+            min_s: bencher.min_s(),
+            max_s: bencher.max_s(),
+            p50_s: percentile(&bencher.timings_s, 0.50),
+            p99_s: percentile(&bencher.timings_s, 0.99),
         };
         let label = if group.is_empty() {
             id
@@ -222,8 +241,9 @@ impl Criterion {
             format!("{group}/{id}")
         };
         println!(
-            "bench {label:<55} mean {:>12.6}s  min {:>12.6}s  max {:>12.6}s  ({} samples)",
-            result.mean_s, result.min_s, result.max_s, result.samples
+            "bench {label:<55} mean {:>12.6}s  min {:>12.6}s  p50 {:>12.6}s  p99 {:>12.6}s  \
+             max {:>12.6}s  ({} samples)",
+            result.mean_s, result.min_s, result.p50_s, result.p99_s, result.max_s, result.samples
         );
         self.results.push(result);
     }
@@ -349,6 +369,9 @@ mod tests {
         assert!(results[0].mean_s >= 0.0);
         assert!(results[0].min_s <= results[0].mean_s);
         assert!(results[0].mean_s <= results[0].max_s);
+        assert!(results[0].min_s <= results[0].p50_s);
+        assert!(results[0].p50_s <= results[0].p99_s);
+        assert!(results[0].p99_s <= results[0].max_s);
         assert_eq!(results[1].id, "param/7");
         // Prevent the JSON drop hook from firing on test-controlled state.
         std::mem::forget(c);
@@ -370,9 +393,23 @@ mod tests {
             mean_s: 0.25,
             min_s: 0.2,
             max_s: 0.3,
+            p50_s: 0.24,
+            p99_s: 0.3,
         };
         let j = r.to_json();
         assert_eq!(j.str_field("group").unwrap(), "g");
         assert_eq!(j.num_field("mean_s").unwrap(), 0.25);
+        assert_eq!(j.num_field("p50_s").unwrap(), 0.24);
+        assert_eq!(j.num_field("p99_s").unwrap(), 0.3);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.99), 3.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 }

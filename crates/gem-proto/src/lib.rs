@@ -68,7 +68,10 @@ use std::fmt;
 /// be `null` (unattributable framing errors), `push_model`/`pull_model` bodies, and
 /// `coalesced_fits` in stats. 3 — `fit_update` body (incremental corpus growth against
 /// an existing handle) and the `fit_micros`/`em_iterations` fit-cost breakdown in stats.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// 4 — `health` request/response (`ok|degraded|overloaded` + queue depth + retry-after
+/// hint), `retry_after_ms` on error bodies (set when the server sheds load), and
+/// per-shape latency quantiles (`latencies`) in stats.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Errors decoding a protocol line.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +186,11 @@ pub enum RequestBody {
     },
     /// Report server statistics.
     Stats,
+    /// Report the replica's health state (`ok|degraded|overloaded`) with queue depth
+    /// and a retry-after hint — the cheap probe a load balancer or router polls. Health
+    /// requests are answered from the network layer's own gauges without touching the
+    /// model cache, so they stay cheap even when the replica is saturated.
+    Health,
     /// List every resolvable model.
     ListModels,
     /// Remove the model `handle` names from both cache tiers.
@@ -192,8 +200,25 @@ pub enum RequestBody {
     },
 }
 
+/// Latency quantiles for one request shape, as they cross the wire in a stats body.
+/// All values are integer microseconds (bucket upper bounds from the serving layer's
+/// log-scaled histograms) — no floats, so the payload is trivially bit-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLatency {
+    /// The request shape the series covers (`"fit"`, `"embed"`, …).
+    pub shape: String,
+    /// Requests of this shape observed since startup.
+    pub count: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile end-to-end latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: u64,
+}
+
 /// Cumulative serving statistics as they cross the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WireStats {
     /// Lookups served from resident memory.
     pub hits: u64,
@@ -227,6 +252,9 @@ pub struct WireStats {
     pub store_bytes: Option<u64>,
     /// Requests processed by the service.
     pub requests: u64,
+    /// Per-shape end-to-end latency quantiles, in the order the server tracks shapes
+    /// (empty when the server predates telemetry or has served nothing).
+    pub latencies: Vec<WireLatency>,
 }
 
 /// One resolvable model, as listed in a `models` response.
@@ -279,6 +307,23 @@ pub enum ResponseBody {
     },
     /// Outcome of a `Stats` request.
     Stats(WireStats),
+    /// Outcome of a `Health` request: the replica's admission-control view of itself.
+    Health {
+        /// `"ok"`, `"degraded"` (queue building or all workers busy) or
+        /// `"overloaded"` (queue full; new work is being shed).
+        state: String,
+        /// Frames waiting for an executor right now.
+        queue_depth: u64,
+        /// The bound the work queue sheds at.
+        queue_capacity: u64,
+        /// Executors currently inside a request.
+        busy_workers: u64,
+        /// Total executor threads.
+        workers: u64,
+        /// Suggested client backoff before retrying, milliseconds. `None` when the
+        /// replica is accepting work normally.
+        retry_after_ms: Option<u64>,
+    },
     /// Outcome of a `ListModels` request.
     Models(
         /// The resolvable models, memory tier first.
@@ -297,6 +342,9 @@ pub enum ResponseBody {
         code: String,
         /// Human-readable explanation naming the remedy where one exists.
         message: String,
+        /// Suggested backoff before retrying, milliseconds — set only by codes where a
+        /// retry is expected to help (today: `overloaded` shed responses).
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -458,6 +506,7 @@ impl ToJson for RequestBody {
                 ("handle", string(handle.clone())),
             ]),
             RequestBody::Stats => object(vec![("type", string("stats"))]),
+            RequestBody::Health => object(vec![("type", string("health"))]),
             RequestBody::ListModels => object(vec![("type", string("list_models"))]),
             RequestBody::Evict { handle } => object(vec![
                 ("type", string("evict")),
@@ -501,6 +550,7 @@ impl FromJson for RequestBody {
                 handle: value.str_field("handle")?,
             }),
             "stats" => Ok(RequestBody::Stats),
+            "health" => Ok(RequestBody::Health),
             "list_models" => Ok(RequestBody::ListModels),
             "evict" => Ok(RequestBody::Evict {
                 handle: value.str_field("handle")?,
@@ -530,7 +580,35 @@ impl ToJson for WireStats {
             ("store_entries", opt_u64_number(self.store_entries)),
             ("store_bytes", opt_u64_number(self.store_bytes)),
             ("requests", u64_number(self.requests)),
+            (
+                "latencies",
+                Json::Array(self.latencies.iter().map(|l| l.to_json()).collect()),
+            ),
         ])
+    }
+}
+
+impl ToJson for WireLatency {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("shape", string(self.shape.clone())),
+            ("count", u64_number(self.count)),
+            ("p50_us", u64_number(self.p50_us)),
+            ("p90_us", u64_number(self.p90_us)),
+            ("p99_us", u64_number(self.p99_us)),
+        ])
+    }
+}
+
+impl FromJson for WireLatency {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(WireLatency {
+            shape: value.str_field("shape")?,
+            count: value.u64_field("count")?,
+            p50_us: value.u64_field("p50_us")?,
+            p90_us: value.u64_field("p90_us")?,
+            p99_us: value.u64_field("p99_us")?,
+        })
     }
 }
 
@@ -562,6 +640,13 @@ impl FromJson for WireStats {
             store_entries: opt("store_entries")?,
             store_bytes: opt("store_bytes")?,
             requests: num("requests")?,
+            latencies: value
+                .field("latencies")?
+                .as_array()
+                .ok_or_else(|| JsonError::conversion("`latencies` is not an array"))?
+                .iter()
+                .map(WireLatency::from_json)
+                .collect::<Result<_, _>>()?,
         })
     }
 }
@@ -632,6 +717,22 @@ impl ToJson for ResponseBody {
             ResponseBody::Stats(stats) => {
                 object(vec![("type", string("stats")), ("stats", stats.to_json())])
             }
+            ResponseBody::Health {
+                state,
+                queue_depth,
+                queue_capacity,
+                busy_workers,
+                workers,
+                retry_after_ms,
+            } => object(vec![
+                ("type", string("health")),
+                ("state", string(state.clone())),
+                ("queue_depth", u64_number(*queue_depth)),
+                ("queue_capacity", u64_number(*queue_capacity)),
+                ("busy_workers", u64_number(*busy_workers)),
+                ("workers", u64_number(*workers)),
+                ("retry_after_ms", opt_u64_number(*retry_after_ms)),
+            ]),
             ResponseBody::Models(models) => object(vec![
                 ("type", string("models")),
                 (
@@ -643,10 +744,15 @@ impl ToJson for ResponseBody {
                 ("type", string("evicted")),
                 ("existed", Json::Bool(*existed)),
             ]),
-            ResponseBody::Error { code, message } => object(vec![
+            ResponseBody::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => object(vec![
                 ("type", string("error")),
                 ("code", string(code.clone())),
                 ("message", string(message.clone())),
+                ("retry_after_ms", opt_u64_number(*retry_after_ms)),
             ]),
         }
     }
@@ -676,6 +782,20 @@ impl FromJson for ResponseBody {
             "stats" => Ok(ResponseBody::Stats(WireStats::from_json(
                 value.field("stats")?,
             )?)),
+            "health" => Ok(ResponseBody::Health {
+                state: value.str_field("state")?,
+                queue_depth: value.u64_field("queue_depth")?,
+                queue_capacity: value.u64_field("queue_capacity")?,
+                busy_workers: value.u64_field("busy_workers")?,
+                workers: value.u64_field("workers")?,
+                retry_after_ms: opt_field(value, "retry_after_ms")
+                    .map(|v| {
+                        v.as_u64().ok_or_else(|| {
+                            JsonError::conversion("`retry_after_ms` is not an unsigned integer")
+                        })
+                    })
+                    .transpose()?,
+            }),
             "models" => Ok(ResponseBody::Models(
                 value
                     .field("models")?
@@ -694,6 +814,13 @@ impl FromJson for ResponseBody {
             "error" => Ok(ResponseBody::Error {
                 code: value.str_field("code")?,
                 message: value.str_field("message")?,
+                retry_after_ms: opt_field(value, "retry_after_ms")
+                    .map(|v| {
+                        v.as_u64().ok_or_else(|| {
+                            JsonError::conversion("`retry_after_ms` is not an unsigned integer")
+                        })
+                    })
+                    .transpose()?,
             }),
             other => Err(JsonError::conversion(format!(
                 "unknown response type `{other}`"
@@ -872,6 +999,7 @@ mod tests {
                 handle: "0000000000000001-0000000000000002".into(),
             },
             RequestBody::Stats,
+            RequestBody::Health,
             RequestBody::ListModels,
             RequestBody::Evict {
                 handle: "0000000000000001-0000000000000002".into(),
@@ -954,9 +1082,41 @@ mod tests {
                 store_entries: Some(2),
                 store_bytes: Some(4096),
                 requests: 9,
+                latencies: vec![
+                    WireLatency {
+                        shape: "fit".into(),
+                        count: 4,
+                        p50_us: 1_200,
+                        p90_us: 2_400,
+                        p99_us: 9_000,
+                    },
+                    WireLatency {
+                        shape: "embed".into(),
+                        count: 5,
+                        p50_us: 90,
+                        p90_us: 150,
+                        p99_us: 600,
+                    },
+                ],
                 ..WireStats::default()
             }),
             ResponseBody::Stats(WireStats::default()),
+            ResponseBody::Health {
+                state: "degraded".into(),
+                queue_depth: 12,
+                queue_capacity: 64,
+                busy_workers: 4,
+                workers: 4,
+                retry_after_ms: Some(250),
+            },
+            ResponseBody::Health {
+                state: "ok".into(),
+                queue_depth: 0,
+                queue_capacity: 1024,
+                busy_workers: 0,
+                workers: 8,
+                retry_after_ms: None,
+            },
             ResponseBody::Models(vec![WireModelInfo {
                 handle: "00000000000000ff-0000000000000001".into(),
                 tier: "memory".into(),
@@ -967,6 +1127,12 @@ mod tests {
             ResponseBody::Error {
                 code: "unknown_model".into(),
                 message: "no model for handle …".into(),
+                retry_after_ms: None,
+            },
+            ResponseBody::Error {
+                code: "overloaded".into(),
+                message: "work queue is full".into(),
+                retry_after_ms: Some(100),
             },
         ];
         for (i, body) in bodies.into_iter().enumerate() {
@@ -1013,15 +1179,15 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"id":1,"version":3}"#,
-            r#"{"id":1,"version":3,"body":{"type":"no-such"}}"#,
-            r#"{"id":1,"version":3,"body":{"type":"embed"}}"#,
+            r#"{"id":1,"version":4}"#,
+            r#"{"id":1,"version":4,"body":{"type":"no-such"}}"#,
+            r#"{"id":1,"version":4,"body":{"type":"embed"}}"#,
         ] {
             let err = decode_request(bad).unwrap_err();
             assert_eq!(err.code(), "protocol_error", "{bad}");
         }
         assert_eq!(
-            salvage_request_id(r#"{"id":42,"version":3,"body":{"type":"no-such"}}"#),
+            salvage_request_id(r#"{"id":42,"version":4,"body":{"type":"no-such"}}"#),
             Some(42)
         );
         assert_eq!(salvage_request_id("garbage"), None);
@@ -1032,6 +1198,7 @@ mod tests {
         let envelope = ResponseEnvelope::uncorrelated(ResponseBody::Error {
             code: "protocol_error".into(),
             message: "unsalvageable".into(),
+            retry_after_ms: None,
         });
         let line = encode_response(&envelope);
         assert!(line.contains("\"id\":null"), "{line}");
@@ -1043,7 +1210,7 @@ mod tests {
         let back = decode_response(&encode_response(&zero)).unwrap();
         assert_eq!(back.in_reply_to, Some(0));
         // Requests must carry a numeric id: null is response-only.
-        let err = decode_request(r#"{"id":null,"version":3,"body":{"type":"stats"}}"#).unwrap_err();
+        let err = decode_request(r#"{"id":null,"version":4,"body":{"type":"stats"}}"#).unwrap_err();
         assert_eq!(err.code(), "protocol_error");
     }
 

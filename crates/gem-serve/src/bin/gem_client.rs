@@ -8,6 +8,7 @@
 //! gem-client push <addr> --snapshot <file>
 //! gem-client pipeline <addr> --corpus <file> [--components N] [--features D+S] [--queries N]
 //! gem-client stats <addr>
+//! gem-client health <addr>
 //! gem-client list <addr>
 //! gem-client evict <addr> --handle <hex>
 //! gem-client verify <addr> --corpus <file> [--components N] [--features D+S]
@@ -31,27 +32,36 @@
 //! * `verify` runs the full remote round trip (fit + embed) *and* the same
 //!   fit + transform in-process, and fails unless the matrices are bit-identical —
 //!   the end-to-end correctness gate CI runs against a live server.
+//! * `stats` prints the cache/service counters plus the per-shape latency quantile
+//!   table (p50/p90/p99 in microseconds) the server accumulates.
+//! * `health` asks the admission layer how it is doing: `ok`, `degraded` (backlog or
+//!   all workers busy) or `overloaded` (queue full, new requests are being shed),
+//!   with queue depth and a retry-after hint. Load balancers and scripts branch on
+//!   the exit code without parsing output.
 //!
 //! Exit codes: `0` success, `1` usage/transport/verification failure, `2` typed server
-//! error (the stable code is printed, e.g. `unknown_model`).
+//! error (the stable code is printed, e.g. `unknown_model`), `3` the server reported
+//! `overloaded` health.
 
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemModel};
 use gem_json::{FromJson, Json, ToJson};
 use gem_numeric::Matrix;
 use gem_proto::{RequestBody, ResponseBody};
-use gem_serve::{ClientError, GemClient, ModelHandle};
+use gem_serve::{ClientError, GemClient, HealthState, ModelHandle};
 use std::process::ExitCode;
 
-/// Failures split by exit code: `Usage` exits 1, `Server` exits 2.
+/// Failures split by exit code: `Usage` exits 1, `Server` exits 2, `Overloaded`
+/// (the server's health probe reported it is shedding) exits 3.
 enum CliError {
     Usage(String),
     Server { code: String, message: String },
+    Overloaded,
 }
 
 impl From<ClientError> for CliError {
     fn from(e: ClientError) -> Self {
         match e {
-            ClientError::Server { code, message } => CliError::Server { code, message },
+            ClientError::Server { code, message, .. } => CliError::Server { code, message },
             other => CliError::Usage(other.to_string()),
         }
     }
@@ -289,6 +299,40 @@ fn stats(addr: &str) -> CliResult {
     match (stats.store_entries, stats.store_bytes) {
         (Some(entries), Some(bytes)) => println!("store: {entries} entries, {bytes} bytes"),
         _ => println!("store: (none attached)"),
+    }
+    if stats.latencies.is_empty() {
+        println!("latencies: (no requests observed yet)");
+    } else {
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10}",
+            "shape", "count", "p50_us", "p90_us", "p99_us"
+        );
+        for row in &stats.latencies {
+            println!(
+                "{:<16} {:>8} {:>10} {:>10} {:>10}",
+                row.shape, row.count, row.p50_us, row.p90_us, row.p99_us
+            );
+        }
+    }
+    Ok(())
+}
+
+fn health(addr: &str) -> CliResult {
+    let mut client = GemClient::connect(addr).map_err(CliError::from)?;
+    let health = client.health().map_err(CliError::from)?;
+    println!(
+        "state: {} queue: {}/{} busy_workers: {}/{}",
+        health.state,
+        health.queue_depth,
+        health.queue_capacity,
+        health.busy_workers,
+        health.workers
+    );
+    if let Some(ms) = health.retry_after_ms {
+        println!("retry_after_ms: {ms}");
+    }
+    if health.state == HealthState::Overloaded {
+        return Err(CliError::Overloaded);
     }
     Ok(())
 }
@@ -542,7 +586,7 @@ fn verify(addr: &str, args: &[String]) -> CliResult {
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: gem-client <gen-corpus|fit|fit-update|embed|pull|push|pipeline|stats|list|evict|verify> ...\n  \
+    let usage = "usage: gem-client <gen-corpus|fit|fit-update|embed|pull|push|pipeline|stats|health|list|evict|verify> ...\n  \
                  gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]\n  \
                  gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]\n  \
                  gem-client fit-update <addr> --handle <hex> --corpus <file-of-new-columns>\n  \
@@ -551,6 +595,7 @@ fn run() -> CliResult {
                  gem-client push <addr> --snapshot <file>\n  \
                  gem-client pipeline <addr> --corpus <file> [--components N] [--features D+S] [--queries N]\n  \
                  gem-client stats <addr>\n  \
+                 gem-client health <addr>\n  \
                  gem-client list <addr>\n  \
                  gem-client evict <addr> --handle <hex>\n  \
                  gem-client verify <addr> --corpus <file> [--components N] [--features D+S]";
@@ -570,6 +615,10 @@ fn run() -> CliResult {
         "stats" => {
             check_flags(rest, &[])?;
             stats(target)
+        }
+        "health" => {
+            check_flags(rest, &[])?;
+            health(target)
         }
         "list" => {
             check_flags(rest, &[])?;
@@ -593,6 +642,10 @@ fn main() -> ExitCode {
         Err(CliError::Server { code, message }) => {
             eprintln!("gem-client: server error [{code}]: {message}");
             ExitCode::from(2)
+        }
+        Err(CliError::Overloaded) => {
+            eprintln!("gem-client: server is overloaded (shedding new requests)");
+            ExitCode::from(3)
         }
     }
 }

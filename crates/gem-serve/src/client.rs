@@ -43,6 +43,9 @@ pub enum ClientError {
         code: String,
         /// Self-explanatory message from the server.
         message: String,
+        /// Server-suggested backoff before retrying, when the code warrants one
+        /// (today: `overloaded` shed responses).
+        retry_after_ms: Option<u64>,
     },
     /// The response decoded but did not fit the call (wrong variant, uncorrelatable or
     /// unknown id, unknown provenance string) — a protocol bug, not an operational
@@ -61,6 +64,15 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// The server's retry-after hint, when this is a [`ClientError::Server`] that
+    /// carried one (an `overloaded` shed response).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Server { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -68,7 +80,14 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "socket error: {e}"),
             ClientError::Proto(e) => write!(f, "bad response from server: {e}"),
-            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "server error [{code}]: {message} (retry after {ms} ms)"),
+                None => write!(f, "server error [{code}]: {message}"),
+            },
             ClientError::Unexpected { detail } => write!(f, "unexpected response: {detail}"),
         }
     }
@@ -136,6 +155,61 @@ pub struct SnapshotOutcome {
     pub snapshot: Json,
     /// Where the model came from.
     pub served_from: ServedFrom,
+}
+
+/// The outcome of a `health` probe: the replica's admission-control view of itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthOutcome {
+    /// `ok`, `degraded`, or `overloaded`.
+    pub state: HealthState,
+    /// Frames waiting for an executor at probe time.
+    pub queue_depth: u64,
+    /// The bound the work queue sheds at.
+    pub queue_capacity: u64,
+    /// Executors inside a request at probe time (includes the probe's own).
+    pub busy_workers: u64,
+    /// Total executor threads.
+    pub workers: u64,
+    /// Suggested backoff before sending real work, milliseconds (`None` when `ok`).
+    pub retry_after_ms: Option<u64>,
+}
+
+/// The three health states a replica reports, ordered from healthy to shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Accepting work normally.
+    Ok,
+    /// Still accepting, but the queue is building or every executor is busy — route
+    /// new work elsewhere when possible.
+    Degraded,
+    /// The queue is full; new requests are being shed with `overloaded` errors.
+    Overloaded,
+}
+
+impl HealthState {
+    /// The wire name (`"ok"` / `"degraded"` / `"overloaded"`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Overloaded => "overloaded",
+        }
+    }
+
+    fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "ok" => Some(HealthState::Ok),
+            "degraded" => Some(HealthState::Degraded),
+            "overloaded" => Some(HealthState::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
 }
 
 /// One correlated reply from a pipelined connection (see [`GemClient::recv_any`]).
@@ -249,7 +323,15 @@ impl GemClient {
             // the offending line was. This client only writes well-formed lines, so
             // something corrupted the stream — fail loudly rather than guess.
             return Err(match envelope.body {
-                ResponseBody::Error { code, message } => ClientError::Server { code, message },
+                ResponseBody::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                } => ClientError::Server {
+                    code,
+                    message,
+                    retry_after_ms,
+                },
                 _ => ClientError::Unexpected {
                     detail: "response with in_reply_to null and a non-error body".to_string(),
                 },
@@ -478,6 +560,38 @@ impl GemClient {
         }
     }
 
+    /// Probe the replica's health (`ok|degraded|overloaded`, queue depth, retry hint).
+    /// Answered by the serving front-end without touching the model cache, so it stays
+    /// cheap even when the replica is saturated — the probe a load balancer polls.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ClientError::Unexpected`] when the server reports a
+    /// health state this client does not know.
+    pub fn health(&mut self) -> Result<HealthOutcome, ClientError> {
+        match self.call(RequestBody::Health)? {
+            ResponseBody::Health {
+                state,
+                queue_depth,
+                queue_capacity,
+                busy_workers,
+                workers,
+                retry_after_ms,
+            } => Ok(HealthOutcome {
+                state: HealthState::from_wire_name(&state).ok_or_else(|| {
+                    ClientError::Unexpected {
+                        detail: format!("unknown health state `{state}`"),
+                    }
+                })?,
+                queue_depth,
+                queue_capacity,
+                busy_workers,
+                workers,
+                retry_after_ms,
+            }),
+            other => Err(unexpected("health", &other)),
+        }
+    }
+
     /// List every model the server can currently resolve (both tiers).
     ///
     /// # Errors
@@ -507,7 +621,15 @@ impl GemClient {
 /// Raise a typed error body to [`ClientError::Server`]; pass everything else through.
 fn raise_errors(body: ResponseBody) -> Result<ResponseBody, ClientError> {
     match body {
-        ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+        ResponseBody::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(ClientError::Server {
+            code,
+            message,
+            retry_after_ms,
+        }),
         body => Ok(body),
     }
 }
@@ -519,6 +641,7 @@ fn unexpected(wanted: &str, got: &ResponseBody) -> ClientError {
         ResponseBody::Pushed { .. } => "pushed",
         ResponseBody::Snapshot { .. } => "snapshot",
         ResponseBody::Stats(_) => "stats",
+        ResponseBody::Health { .. } => "health",
         ResponseBody::Models(_) => "models",
         ResponseBody::Evicted { .. } => "evicted",
         ResponseBody::Error { .. } => "error",

@@ -40,17 +40,28 @@ pub enum ServeError {
         /// The underlying store error.
         message: String,
     },
+    /// The work queue was full when the request arrived, so it was shed at admission
+    /// instead of stalling every connection behind an unbounded backlog. The request
+    /// was **not** executed; retrying after the hint is expected to succeed once the
+    /// queue drains.
+    Overloaded {
+        /// Frames already waiting when this one was shed.
+        queue_depth: u64,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl ServeError {
     /// Every stable error code, in declaration order — the protocol's error taxonomy.
-    pub const CODES: [&'static str; 6] = [
+    pub const CODES: [&'static str; 7] = [
         "unknown_model",
         "unknown_method",
         "invalid_request",
         "fit_failed",
         "transform_failed",
         "store_error",
+        "overloaded",
     ];
 
     /// The stable machine-readable code of this error. Codes never change meaning;
@@ -63,6 +74,7 @@ impl ServeError {
             ServeError::Fit(_) => "fit_failed",
             ServeError::Transform(_) => "transform_failed",
             ServeError::Store { .. } => "store_error",
+            ServeError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -99,6 +111,15 @@ impl fmt::Display for ServeError {
             ServeError::Fit(e) => write!(f, "fitting the model failed: {e}"),
             ServeError::Transform(e) => write!(f, "transforming the queries failed: {e}"),
             ServeError::Store { message } => write!(f, "model store operation failed: {message}"),
+            ServeError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "work queue is full ({queue_depth} requests waiting): this request was \
+                 shed without being executed — retry after {retry_after_ms} ms or send \
+                 it to another replica"
+            ),
         }
     }
 }
@@ -124,6 +145,10 @@ mod tests {
             ServeError::Transform(GemError::NoColumns),
             ServeError::Store {
                 message: "m".into(),
+            },
+            ServeError::Overloaded {
+                queue_depth: 64,
+                retry_after_ms: 100,
             },
         ];
         let codes: Vec<&str> = variants.iter().map(|v| v.code()).collect();

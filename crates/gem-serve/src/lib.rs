@@ -70,13 +70,15 @@ pub mod demo;
 mod engine;
 mod error;
 mod handle;
+pub mod metrics;
 pub mod net;
 mod service;
 pub mod sync;
 
 pub use cache::{CachePolicy, CacheStats, CacheTier, EvictTask, ModelCache, SpillTask};
 pub use client::{
-    ClientError, EmbedOutcome, FitOutcome, GemClient, PipelinedReply, PushOutcome, SnapshotOutcome,
+    ClientError, EmbedOutcome, FitOutcome, GemClient, HealthOutcome, HealthState, PipelinedReply,
+    PushOutcome, SnapshotOutcome,
 };
 pub use engine::{BatchEngine, EngineRequest, EngineResponse, FitJob, ServedFrom};
 pub use error::ServeError;
@@ -86,7 +88,11 @@ pub use gem_store::{
     ModelKey, ModelStore, SnapshotError, StoreError, StoreStats,
 };
 pub use handle::ModelHandle;
-pub use net::{default_workers, shutdown_summary, GemServer, ServerCounters, ServerHandle};
+pub use metrics::{RequestShape, ServerMetrics, SHAPES};
+pub use net::{
+    default_workers, shutdown_summary, GemServer, ServerCounters, ServerHandle,
+    DEFAULT_QUEUE_CAPACITY,
+};
 pub use service::{
     EmbedService, ModelInfo, ServeRequest, ServeResponse, ServeResult, ServiceStats,
 };

@@ -46,6 +46,7 @@
 
 use crate::error::ServeError;
 use crate::handle::ModelHandle;
+use crate::metrics::{RequestShape, ServerMetrics};
 use crate::service::{EmbedService, ModelInfo, ServeRequest, ServeResponse, ServiceStats};
 use crate::{CacheTier, ServedFrom};
 use gem_proto::{self as proto, RequestBody, ResponseBody};
@@ -55,10 +56,15 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often an idle reader or executor wakes to check the shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// The default work-queue bound: deliberately generous (deeper than any sane backlog —
+/// at that depth tail latency is already seconds), so shedding only fires under a
+/// genuine flood, never under a bursty-but-healthy workload.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 /// Pause after a failed `accept` so persistent errors (e.g. fd exhaustion) degrade to
 /// slow retries instead of a busy spin.
@@ -79,6 +85,7 @@ pub fn default_workers() -> usize {
 pub struct ServerCounters {
     connections: AtomicU64,
     requests: AtomicU64,
+    requests_shed: AtomicU64,
     protocol_errors: AtomicU64,
     busy_workers: AtomicU64,
     workers_high_water: AtomicU64,
@@ -94,6 +101,13 @@ impl ServerCounters {
     /// Protocol lines answered so far (including error responses).
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at admission because the work queue was full. Shed requests are
+    /// answered (with the typed `overloaded` error) but never executed, so they are
+    /// *not* part of [`ServerCounters::requests`].
+    pub fn requests_shed(&self) -> u64 {
+        self.requests_shed.load(Ordering::Relaxed)
     }
 
     /// Lines that failed to decode (answered with `protocol_error`/`version_mismatch`).
@@ -132,10 +146,11 @@ impl ServerCounters {
 /// leave a debuggable trace: every field is `key=value`, greppable and stable.
 pub fn shutdown_summary(counters: &ServerCounters, stats: &ServiceStats) -> String {
     format!(
-        "gem-served shutdown summary: requests={} connections={} protocol_errors={} \
-         coalesced_fits={} workers_high_water={} lock_recoveries={} cache_hits={} \
-         cache_misses={}",
+        "gem-served shutdown summary: requests={} requests_shed={} connections={} \
+         protocol_errors={} coalesced_fits={} workers_high_water={} lock_recoveries={} \
+         cache_hits={} cache_misses={}",
         counters.requests(),
+        counters.requests_shed(),
         counters.connections(),
         counters.protocol_errors(),
         stats.cache.coalesced_fits,
@@ -152,23 +167,34 @@ pub fn shutdown_summary(counters: &ServerCounters, stats: &ServiceStats) -> Stri
 struct Frame {
     line: Vec<u8>,
     reply: mpsc::Sender<String>,
+    /// When the reader queued the frame — the start of the queue-wait phase.
+    enqueued_at: Instant,
 }
 
-/// The shared MPMC work queue between readers and executors.
+/// The shared MPMC work queue between readers and executors — **bounded**: a push
+/// beyond `capacity` is refused and the caller sheds the frame with a typed
+/// `overloaded` response ([`WorkQueue::shed`]) instead of letting an unbounded backlog
+/// stall every connection behind it. Work already admitted always completes.
 struct WorkQueue {
     frames: Mutex<VecDeque<Frame>>,
     ready: Condvar,
+    capacity: usize,
     /// For counting poisoned-lock recoveries where operators see them
     /// ([`ServerCounters::lock_recoveries`], rendered in the shutdown summary).
     counters: Arc<ServerCounters>,
+    /// Queue-depth gauge and retry-hint source (updated under the queue lock, so the
+    /// gauge never drifts from the real backlog).
+    metrics: Arc<ServerMetrics>,
 }
 
 impl WorkQueue {
-    fn new(counters: Arc<ServerCounters>) -> Self {
+    fn new(counters: Arc<ServerCounters>, metrics: Arc<ServerMetrics>, capacity: usize) -> Self {
         WorkQueue {
             frames: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            capacity,
             counters,
+            metrics,
         }
     }
 
@@ -179,9 +205,41 @@ impl WorkQueue {
         crate::sync::lock_or_recover_with(&self.frames, || self.counters.note_lock_recovery())
     }
 
-    fn push(&self, frame: Frame) {
-        self.locked().push_back(frame);
+    /// Admit a frame, or hand it back when the queue is at capacity (the caller sheds
+    /// it — outside the lock, so response encoding never serializes the queue).
+    fn push(&self, frame: Frame) -> Result<(), Frame> {
+        {
+            let mut frames = self.locked();
+            if frames.len() >= self.capacity {
+                return Err(frame);
+            }
+            frames.push_back(frame);
+            self.metrics.depth_gauge().set(frames.len() as u64);
+        }
         self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Answer a refused frame with the typed `overloaded` error — correlated to the
+    /// request's id when one is salvageable — and count the shed. The frame never
+    /// reaches an executor: shedding is O(1) no matter how expensive the request was.
+    fn shed(&self, frame: Frame) {
+        self.counters.requests_shed.fetch_add(1, Ordering::Relaxed);
+        let queue_depth = self.metrics.queue_depth();
+        let error = ServeError::Overloaded {
+            queue_depth,
+            retry_after_ms: self.metrics.retry_hint_ms(queue_depth),
+        };
+        let body = error_body(&error);
+        let envelope = match std::str::from_utf8(&frame.line)
+            .ok()
+            .and_then(proto::salvage_request_id)
+        {
+            Some(id) => proto::ResponseEnvelope::new(id, body),
+            None => proto::ResponseEnvelope::uncorrelated(body),
+        };
+        // A send failure means the connection is already gone — nothing to shed to.
+        let _ = frame.reply.send(proto::encode_response(&envelope));
     }
 
     /// Pop the next frame, blocking until one arrives. Returns `None` only when
@@ -195,6 +253,7 @@ impl WorkQueue {
         let mut frames = self.locked();
         loop {
             if let Some(frame) = frames.pop_front() {
+                self.metrics.depth_gauge().set(frames.len() as u64);
                 return Some(frame);
             }
             if inputs_closed.load(Ordering::SeqCst) {
@@ -213,6 +272,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl ServerHandle {
@@ -224,6 +284,17 @@ impl ServerHandle {
     /// The live request counters.
     pub fn counters(&self) -> &ServerCounters {
         &self.counters
+    }
+
+    /// The live telemetry instruments (histograms, gauges, the Prometheus render).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Render the Prometheus text exposition document for this server, without cache
+    /// statistics (use [`ServerMetrics::render`] with the service's stats for those).
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render(&self.counters, None)
     }
 
     /// Ask the server to stop: no new connections are accepted, queued and in-flight
@@ -245,7 +316,9 @@ pub struct GemServer {
     service: Arc<EmbedService>,
     shutdown: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    metrics: Arc<ServerMetrics>,
     workers: usize,
+    queue_capacity: usize,
 }
 
 impl GemServer {
@@ -261,7 +334,9 @@ impl GemServer {
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
             counters: Arc::new(ServerCounters::default()),
+            metrics: Arc::new(ServerMetrics::new()),
             workers: default_workers(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
         })
     }
 
@@ -282,6 +357,31 @@ impl GemServer {
         self.workers
     }
 
+    /// Bound the work queue: a request arriving while `capacity` frames already wait
+    /// is shed with a typed `overloaded` error (and a retry-after hint) instead of
+    /// joining an unbounded backlog. Default [`DEFAULT_QUEUE_CAPACITY`].
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (a queue that sheds everything serves nothing).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "the work queue needs room for at least one frame"
+        );
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The work-queue bound [`GemServer::run`] will enforce.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The live telemetry instruments (shareable; scrape listeners clone this).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// The bound address (ephemeral port resolved).
     ///
     /// # Errors
@@ -299,6 +399,7 @@ impl GemServer {
             addr: self.listener.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
             counters: Arc::clone(&self.counters),
+            metrics: Arc::clone(&self.metrics),
         })
     }
 
@@ -311,7 +412,13 @@ impl GemServer {
     /// # Errors
     /// Propagates accept failures (transient per-connection errors are skipped).
     pub fn run(self) -> std::io::Result<()> {
-        let queue = Arc::new(WorkQueue::new(Arc::clone(&self.counters)));
+        self.metrics
+            .set_shape_of_pool(self.workers as u64, self.queue_capacity as u64);
+        let queue = Arc::new(WorkQueue::new(
+            Arc::clone(&self.counters),
+            Arc::clone(&self.metrics),
+            self.queue_capacity,
+        ));
         // Raised only once every reader is joined (see `WorkQueue::pop`): executors
         // must outlive all producers, or a frame pushed during shutdown could be
         // stranded with no executor left to answer it.
@@ -322,8 +429,9 @@ impl GemServer {
                 let service = Arc::clone(&self.service);
                 let inputs_closed = Arc::clone(&inputs_closed);
                 let counters = Arc::clone(&self.counters);
+                let metrics = Arc::clone(&self.metrics);
                 std::thread::spawn(move || {
-                    executor_loop(&queue, &service, &inputs_closed, &counters)
+                    executor_loop(&queue, &service, &inputs_closed, &counters, &metrics)
                 })
             })
             .collect();
@@ -377,11 +485,19 @@ fn executor_loop(
     service: &EmbedService,
     inputs_closed: &AtomicBool,
     counters: &ServerCounters,
+    metrics: &ServerMetrics,
 ) {
     while let Some(frame) = queue.pop(inputs_closed) {
+        let queue_wait = frame.enqueued_at.elapsed();
         counters.enter_work();
+        metrics.busy_gauge().inc();
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = respond_frame(service, &frame.line, counters);
+        let response = respond_frame(service, &frame.line, queue_wait, counters, metrics);
+        // The gauge drops before the reply is handed to the writer: once the response
+        // exists the worker is free for accounting purposes, and a lockstep client
+        // that reacts to the reply instantly must not see its *previous* request
+        // still counted as busy.
+        metrics.busy_gauge().dec();
         // A send failure means the connection (and its writer) are gone; the work is
         // simply dropped, like any response to a vanished peer.
         let _ = frame.reply.send(response);
@@ -389,46 +505,122 @@ fn executor_loop(
     }
 }
 
-/// Decode, execute and encode one frame. Never panics on foreign input: every failure
-/// becomes an error response body with a stable code.
-fn respond_frame(service: &EmbedService, line: &[u8], counters: &ServerCounters) -> String {
+/// Decode, execute and encode one frame, recording each phase's duration under the
+/// request's shape. Never panics on foreign input: every failure becomes an error
+/// response body with a stable code (timed like any other request, under the
+/// `protocol_error` shape).
+fn respond_frame(
+    service: &EmbedService,
+    line: &[u8],
+    queue_wait: Duration,
+    counters: &ServerCounters,
+    metrics: &ServerMetrics,
+) -> String {
+    let decode_started = Instant::now();
     // Invalid UTF-8 is *rejected*, not lossily replaced: replacement characters inside
     // a JSON string would parse fine and silently mutate a header that participates in
     // the corpus fingerprint. Nothing correlatable survives, so `in_reply_to` is null.
     let Ok(text) = std::str::from_utf8(line) else {
         counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return proto::encode_response(&proto::ResponseEnvelope::uncorrelated(
+        let decode = decode_started.elapsed();
+        let encode_started = Instant::now();
+        let response = proto::encode_response(&proto::ResponseEnvelope::uncorrelated(
             ResponseBody::Error {
                 code: "protocol_error".to_string(),
                 message: "request line is not valid UTF-8".to_string(),
+                retry_after_ms: None,
             },
         ));
+        metrics.observe(
+            RequestShape::ProtocolError,
+            queue_wait,
+            decode,
+            Duration::ZERO,
+            encode_started.elapsed(),
+        );
+        return response;
     };
     let envelope = match proto::decode_request(text) {
         Ok(envelope) => envelope,
         Err(error) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let decode = decode_started.elapsed();
             let body = ResponseBody::Error {
                 code: error.code().to_string(),
                 message: error.to_string(),
+                retry_after_ms: None,
             };
             // Correlate the error when the malformed line still carried an id;
             // `in_reply_to: null` otherwise — never a sentinel a real id could collide
             // with.
-            return proto::encode_response(&match proto::salvage_request_id(text) {
+            let encode_started = Instant::now();
+            let response = proto::encode_response(&match proto::salvage_request_id(text) {
                 Some(id) => proto::ResponseEnvelope::new(id, body),
                 None => proto::ResponseEnvelope::uncorrelated(body),
             });
+            metrics.observe(
+                RequestShape::ProtocolError,
+                queue_wait,
+                decode,
+                Duration::ZERO,
+                encode_started.elapsed(),
+            );
+            return response;
         }
     };
-    let body = match wire_to_request(envelope.body) {
-        Ok(request) => match service.serve_one(request) {
-            Ok(response) => response_to_wire(response),
+    let decode = decode_started.elapsed();
+    let shape = RequestShape::of_body(&envelope.body);
+    let execute_started = Instant::now();
+    let mut body = if matches!(envelope.body, RequestBody::Health) {
+        // Health is answered from the network layer's own gauges — it must stay cheap
+        // and lock-free precisely when the service is saturated.
+        health_body(metrics)
+    } else {
+        match wire_to_request(envelope.body) {
+            Ok(request) => match service.serve_one(request) {
+                Ok(response) => response_to_wire(response),
+                Err(error) => error_body(&error),
+            },
             Err(error) => error_body(&error),
-        },
-        Err(error) => error_body(&error),
+        }
     };
-    proto::encode_response(&proto::ResponseEnvelope::new(envelope.id, body))
+    // Stats responses carry the per-shape latency table, which lives here in the
+    // network layer — the service beneath has no notion of wire shapes.
+    if let ResponseBody::Stats(stats) = &mut body {
+        stats.latencies = metrics.latency_table();
+    }
+    let execute = execute_started.elapsed();
+    let encode_started = Instant::now();
+    let response = proto::encode_response(&proto::ResponseEnvelope::new(envelope.id, body));
+    metrics.observe(shape, queue_wait, decode, execute, encode_started.elapsed());
+    response
+}
+
+/// The replica's admission-control view of itself, derived from the live gauges:
+/// `overloaded` while the queue is at capacity (new work is being shed), `degraded`
+/// when the backlog passes half the bound or every executor is busy, `ok` otherwise.
+fn health_body(metrics: &ServerMetrics) -> ResponseBody {
+    let queue_depth = metrics.queue_depth();
+    let queue_capacity = metrics.queue_capacity();
+    let busy_workers = metrics.busy_workers();
+    let workers = metrics.workers();
+    let (state, retry_after_ms) = if queue_capacity > 0 && queue_depth >= queue_capacity {
+        ("overloaded", Some(metrics.retry_hint_ms(queue_depth)))
+    } else if (queue_capacity > 0 && queue_depth > queue_capacity / 2)
+        || (workers > 0 && busy_workers >= workers)
+    {
+        ("degraded", Some(metrics.retry_hint_ms(queue_depth.max(1))))
+    } else {
+        ("ok", None)
+    };
+    ResponseBody::Health {
+        state: state.to_string(),
+        queue_depth,
+        queue_capacity,
+        busy_workers,
+        workers,
+        retry_after_ms,
+    }
 }
 
 /// One connection's reader: split the byte stream into frames and queue them. Spawns
@@ -467,10 +659,17 @@ fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool) 
                 // A line without a trailing newline means EOF-mid-line; it is answered
                 // best-effort like any other, and the next read will report EOF.
                 if !line.iter().all(u8::is_ascii_whitespace) {
-                    queue.push(Frame {
+                    let frame = Frame {
                         line: std::mem::take(&mut line),
                         reply: reply_tx.clone(),
-                    });
+                        enqueued_at: Instant::now(),
+                    };
+                    // A full queue refuses the frame; shed it with the typed
+                    // `overloaded` error instead of blocking this reader (which would
+                    // stall the connection and, transitively, the client's pipeline).
+                    if let Err(refused) = queue.push(frame) {
+                        queue.shed(refused);
+                    }
                 }
                 line.clear();
             }
@@ -558,6 +757,14 @@ pub(crate) fn wire_to_request(body: RequestBody) -> Result<ServeRequest, ServeEr
             handle: parse_handle(&handle)?,
         },
         RequestBody::Stats => ServeRequest::Stats,
+        // Health is intercepted in `respond_frame` (it is answered from the network
+        // layer's gauges, which the service cannot see); reaching here means a caller
+        // lowered it out of context.
+        RequestBody::Health => {
+            return Err(ServeError::InvalidRequest {
+                reason: "health requests are answered by the serving front-end".to_string(),
+            })
+        }
         RequestBody::ListModels => ServeRequest::ListModels,
         RequestBody::Evict { handle } => ServeRequest::Evict {
             handle: parse_handle(&handle)?,
@@ -589,6 +796,9 @@ fn stats_to_wire(stats: ServiceStats) -> proto::WireStats {
         store_entries: stats.store_entries,
         store_bytes: stats.store_bytes,
         requests: stats.requests,
+        // Filled by `respond_frame`: latency lives in the network layer, not the
+        // service.
+        latencies: Vec::new(),
     }
 }
 
@@ -645,6 +855,10 @@ fn error_body(error: &ServeError) -> ResponseBody {
     ResponseBody::Error {
         code: error.code().to_string(),
         message: error.to_string(),
+        retry_after_ms: match error {
+            ServeError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        },
     }
 }
 
@@ -693,7 +907,12 @@ mod tests {
         // one panicked worker wedged the whole replica. Now both paths recover and the
         // event is counted.
         let counters = Arc::new(ServerCounters::default());
-        let queue = Arc::new(WorkQueue::new(Arc::clone(&counters)));
+        let metrics = Arc::new(ServerMetrics::new());
+        let queue = Arc::new(WorkQueue::new(
+            Arc::clone(&counters),
+            Arc::clone(&metrics),
+            DEFAULT_QUEUE_CAPACITY,
+        ));
         {
             let queue = Arc::clone(&queue);
             let _ = std::thread::spawn(move || {
@@ -705,21 +924,83 @@ mod tests {
         assert!(queue.frames.lock().is_err(), "the mutex must be poisoned");
 
         let (reply_tx, reply_rx) = mpsc::channel::<String>();
-        queue.push(Frame {
+        let pushed = queue.push(Frame {
             line: b"{}".to_vec(),
             reply: reply_tx,
+            enqueued_at: Instant::now(),
         });
+        assert!(pushed.is_ok(), "an empty queue admits the frame");
+        assert_eq!(metrics.queue_depth(), 1);
         let inputs_closed = AtomicBool::new(false);
         let frame = queue
             .pop(&inputs_closed)
             .expect("the pushed frame survives");
         assert_eq!(frame.line, b"{}");
+        assert_eq!(metrics.queue_depth(), 0, "the depth gauge tracks the drain");
         assert!(counters.lock_recoveries() >= 1);
         drop(reply_rx);
 
         // Drained + closed: pop still works on the recovered mutex and retires cleanly.
         inputs_closed.store(true, Ordering::SeqCst);
         assert!(queue.pop(&inputs_closed).is_none());
+    }
+
+    #[test]
+    fn full_queues_shed_with_typed_overloaded_responses() {
+        let counters = Arc::new(ServerCounters::default());
+        let metrics = Arc::new(ServerMetrics::new());
+        let queue = WorkQueue::new(Arc::clone(&counters), Arc::clone(&metrics), 2);
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        let frame = |id: u64| Frame {
+            line: format!("{{\"id\":{id},\"version\":4,\"body\":{{\"type\":\"stats\"}}}}")
+                .into_bytes(),
+            reply: reply_tx.clone(),
+            enqueued_at: Instant::now(),
+        };
+        assert!(queue.push(frame(1)).is_ok());
+        assert!(queue.push(frame(2)).is_ok());
+        assert_eq!(metrics.queue_depth(), 2);
+
+        // The third frame is refused, shed, and answered without ever executing.
+        let refused = match queue.push(frame(7)) {
+            Err(frame) => frame,
+            Ok(()) => panic!("a full queue must refuse the frame"),
+        };
+        queue.shed(refused);
+        assert_eq!(counters.requests_shed(), 1);
+        assert_eq!(counters.requests(), 0, "shed work is never executed");
+        let line = reply_rx.try_recv().expect("the shed response is immediate");
+        let response = proto::decode_response(&line).unwrap();
+        assert_eq!(
+            response.in_reply_to,
+            Some(7),
+            "correlated via the salvaged id"
+        );
+        match response.body {
+            ResponseBody::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
+                assert_eq!(code, "overloaded");
+                assert!(
+                    retry_after_ms.is_some(),
+                    "shed responses carry a retry hint"
+                );
+                assert!(message.contains("retry"), "{message}");
+            }
+            other => panic!("expected an overloaded error, got {other:?}"),
+        }
+
+        // A garbage line sheds too, with `in_reply_to: null` (nothing salvageable).
+        let garbage = Frame {
+            line: b"\xff\xfe not even utf-8".to_vec(),
+            reply: reply_tx.clone(),
+            enqueued_at: Instant::now(),
+        };
+        queue.shed(garbage);
+        let line = reply_rx.try_recv().unwrap();
+        assert_eq!(proto::decode_response(&line).unwrap().in_reply_to, None);
     }
 
     #[test]
@@ -810,7 +1091,7 @@ mod tests {
         let bogus = ModelHandle::from_hex("00000000000000aa-00000000000000bb").unwrap();
         let err = client.embed(bogus, &corpus()).unwrap_err();
         match &err {
-            ClientError::Server { code, message } => {
+            ClientError::Server { code, message, .. } => {
                 assert_eq!(code, "unknown_model");
                 assert!(
                     message.contains("Fit"),

@@ -169,7 +169,7 @@ fn main() {
     let err = client.embed(bogus, &queries).expect_err("bogus handle");
     assert_eq!(err.code(), Some("unknown_model"));
     match &err {
-        ClientError::Server { code, message } => {
+        ClientError::Server { code, message, .. } => {
             println!("unknown handle -> [{code}] {message}");
         }
         other => panic!("expected a typed server error, got {other:?}"),

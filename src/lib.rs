@@ -78,6 +78,11 @@ pub use gem_proto as proto;
 /// process transforms bit-identically — restarts do not re-pay the EM fit.
 pub use gem_store as store;
 
+/// Zero-dependency telemetry primitives: lock-free counters, gauges, log-scaled
+/// latency histograms and the Prometheus text-exposition registry the serving stack
+/// reports through (re-export of `gem-telemetry`).
+pub use gem_telemetry as telemetry;
+
 /// JSON values and the `ToJson`/`FromJson` persistence traits (re-export of `gem-json`);
 /// fitted GMMs serialise through these so cached models survive restarts.
 pub use gem_json as json;
