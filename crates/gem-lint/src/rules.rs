@@ -22,7 +22,9 @@ pub fn rule_summary(code: &str) -> &'static str {
             "lock discipline: no bare lock unwraps, no guard live across fit/transform/store I/O"
         }
         "L2" => "no silent refit: serving modules never call GemEmbedder::embed / fit_transform",
-        "L3" => "panic-free wire: no unwrap/expect/panic!/indexing in net, client, or gem-proto",
+        "L3" => {
+            "panic-free wire: no unwrap/expect/panic!/indexing in net, client, gem-proto, or gem-router"
+        }
         "L4" => {
             "protocol bump: gem-proto wire shapes may not change without a PROTOCOL_VERSION bump"
         }
@@ -133,8 +135,8 @@ pub fn suppressed(pragmas: &[Pragma], rule: &str, line: usize) -> bool {
 // Scopes
 // ---------------------------------------------------------------------------
 
-fn in_gem_serve(path: &str) -> bool {
-    path.starts_with("crates/gem-serve/src/")
+fn l1_scoped(path: &str) -> bool {
+    path.starts_with("crates/gem-serve/src/") || path.starts_with("crates/gem-router/src/")
 }
 
 fn l2_scoped(path: &str) -> bool {
@@ -151,6 +153,7 @@ fn l3_scoped(path: &str) -> bool {
         path,
         "crates/gem-serve/src/net.rs" | "crates/gem-serve/src/client.rs"
     ) || path.starts_with("crates/gem-proto/src/")
+        || path.starts_with("crates/gem-router/src/")
 }
 
 fn l5_scoped(path: &str) -> bool {
@@ -170,7 +173,7 @@ fn l6_exempt(path: &str) -> bool {
 /// Run every per-file rule over one lexed source file.
 pub fn check_file(path: &str, model: &SourceModel, config: &LintConfig, out: &mut Vec<Diagnostic>) {
     let enabled = |rule: &str| !config.disabled.iter().any(|d| d == rule);
-    if enabled("L1") && in_gem_serve(path) {
+    if enabled("L1") && l1_scoped(path) {
         check_l1_lock_tokens(path, model, out);
         check_l1_guard_liveness(path, model, out);
     }

@@ -60,6 +60,37 @@ fn l1_guard_held_across_fit_and_store_io_fires() {
 }
 
 #[test]
+fn l1_and_l3_cover_the_router_tier() {
+    // The cluster tier holds the same locks and speaks the same wire as gem-serve:
+    // both rule scopes include `crates/gem-router/src/`, so a bare lock unwrap there
+    // fires the lock-discipline rule AND the panic-free-wire rule.
+    let as_path = "crates/gem-router/src/cluster.rs";
+    let found = violations("router_lock_unwrap.rs", as_path, &LintConfig::default());
+    assert_eq!(
+        found,
+        vec![
+            ("L1".to_string(), 7),
+            ("L1".to_string(), 11),
+            ("L3".to_string(), 7),
+            ("L3".to_string(), 11),
+        ],
+        "{found:?}"
+    );
+    // Live checks: disabling either rule removes exactly its own findings.
+    let only_l3 = violations("router_lock_unwrap.rs", as_path, &LintConfig::without("L1"));
+    assert!(only_l3.iter().all(|(rule, _)| rule == "L3"), "{only_l3:?}");
+    let only_l1 = violations("router_lock_unwrap.rs", as_path, &LintConfig::without("L3"));
+    assert!(only_l1.iter().all(|(rule, _)| rule == "L1"), "{only_l1:?}");
+    // And the wire fixture fires under a router path exactly as under gem-proto.
+    expect(
+        "l3_panic_wire.rs",
+        "crates/gem-router/src/server.rs",
+        "L3",
+        &[10, 12, 13, 18],
+    );
+}
+
+#[test]
 fn l2_silent_refits_fire_in_serving_modules_only() {
     expect(
         "l2_silent_refit.rs",

@@ -1,0 +1,23 @@
+// L1 fixture under the router tier: bare lock unwraps in gem-router production code.
+// Linted under the path `crates/gem-router/src/cluster.rs`; the violations are on
+// lines 7 and 11.
+
+struct Membership { slots: std::sync::Mutex<Vec<String>> }
+impl Membership {
+    fn live(&self) -> usize { self.slots.lock().unwrap().len() }
+    fn add(&self, addr: String) {
+        // Call-site poisoning policy is exactly what the shared helper centralizes.
+        self.slots
+            .lock().expect("membership mutex poisoned")
+            .push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let m = std::sync::Mutex::new(Vec::<String>::new());
+        assert!(m.lock().unwrap().is_empty());
+    }
+}

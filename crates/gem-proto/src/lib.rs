@@ -931,6 +931,90 @@ pub fn salvage_request_id(line: &str) -> Option<u64> {
         .and_then(|v| v.u64_field("id").ok())
 }
 
+/// Best-effort extraction of the correlation id from a response line, without
+/// decoding the body. A routing tier forwarding replica responses verbatim uses this
+/// to correlate each line against its per-replica in-flight map before deciding
+/// whether the body needs decoding at all (fan-out merges do, plain forwards do not).
+/// On the wire both directions carry the id under the `id` key —
+/// [`ResponseEnvelope::in_reply_to`] is only the Rust-side field name. Returns `None`
+/// for unparseable lines and for `id: null` (uncorrelatable framing errors).
+pub fn salvage_reply_id(line: &str) -> Option<u64> {
+    Json::parse(line.trim_end_matches(['\r', '\n']))
+        .ok()
+        .and_then(|v| v.u64_field("id").ok())
+}
+
+/// Merge per-replica [`WireStats`] into one cluster-wide view, the shape a routing
+/// tier answers a fanned-out `Stats` request with. Counters and sizes sum across
+/// replicas; the optional store-tier sizes sum over the replicas that have a store
+/// (`None` only when none does). Latency series merge by shape: counts sum, and each
+/// quantile takes the **maximum** across replicas — a conservative upper bound, since
+/// true cluster-wide quantiles cannot be recovered from per-replica summaries.
+#[must_use]
+pub fn merge_stats(parts: &[WireStats]) -> WireStats {
+    let mut merged = WireStats::default();
+    let sum_opt = |field: &mut Option<u64>, part: &Option<u64>| {
+        if let Some(v) = part {
+            *field = Some(field.unwrap_or(0) + v);
+        }
+    };
+    for part in parts {
+        merged.hits += part.hits;
+        merged.warm_starts += part.warm_starts;
+        merged.misses += part.misses;
+        merged.evictions += part.evictions;
+        merged.expirations += part.expirations;
+        merged.coalesced_fits += part.coalesced_fits;
+        merged.spills += part.spills;
+        merged.store_errors += part.store_errors;
+        merged.fit_micros += part.fit_micros;
+        merged.em_iterations += part.em_iterations;
+        merged.resident_models += part.resident_models;
+        merged.resident_bytes += part.resident_bytes;
+        sum_opt(&mut merged.store_entries, &part.store_entries);
+        sum_opt(&mut merged.store_bytes, &part.store_bytes);
+        merged.requests += part.requests;
+        for latency in &part.latencies {
+            match merged
+                .latencies
+                .iter_mut()
+                .find(|l| l.shape == latency.shape)
+            {
+                Some(existing) => {
+                    existing.count += latency.count;
+                    existing.p50_us = existing.p50_us.max(latency.p50_us);
+                    existing.p90_us = existing.p90_us.max(latency.p90_us);
+                    existing.p99_us = existing.p99_us.max(latency.p99_us);
+                }
+                None => merged.latencies.push(latency.clone()),
+            }
+        }
+    }
+    merged
+}
+
+/// Merge per-replica `ListModels` responses into one deduplicated cluster-wide
+/// listing. A model replicated for fail-over appears on several replicas under the
+/// same handle; the merge keeps one entry per handle, preferring the `"memory"` tier
+/// over `"disk"` (the closest copy a request would actually be served from), and
+/// sorts by handle so the output is deterministic regardless of replica order.
+#[must_use]
+pub fn merge_models(parts: &[Vec<WireModelInfo>]) -> Vec<WireModelInfo> {
+    let mut merged: Vec<WireModelInfo> = Vec::new();
+    for info in parts.iter().flatten() {
+        match merged.iter_mut().find(|m| m.handle == info.handle) {
+            Some(existing) => {
+                if existing.tier != "memory" && info.tier == "memory" {
+                    *existing = info.clone();
+                }
+            }
+            None => merged.push(info.clone()),
+        }
+    }
+    merged.sort_by(|a, b| a.handle.cmp(&b.handle));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1231,5 +1315,99 @@ mod tests {
             .code(),
             "version_mismatch"
         );
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    fn stats(hits: u64, requests: u64, shape_p99: u64) -> WireStats {
+        WireStats {
+            hits,
+            requests,
+            fit_micros: 10,
+            resident_models: 1,
+            latencies: vec![WireLatency {
+                shape: "embed".to_string(),
+                count: 3,
+                p50_us: 5,
+                p90_us: 9,
+                p99_us: shape_p99,
+            }],
+            ..WireStats::default()
+        }
+    }
+
+    #[test]
+    fn merged_stats_sum_counters_and_take_max_quantiles() {
+        let merged = merge_stats(&[stats(2, 10, 100), stats(5, 7, 40)]);
+        assert_eq!(merged.hits, 7);
+        assert_eq!(merged.requests, 17);
+        assert_eq!(merged.fit_micros, 20);
+        assert_eq!(merged.resident_models, 2);
+        assert_eq!(merged.latencies.len(), 1);
+        let embed = &merged.latencies[0];
+        assert_eq!(embed.count, 6);
+        assert_eq!(embed.p99_us, 100, "quantiles merge as the max upper bound");
+        assert_eq!(merged.store_entries, None, "no replica had a store");
+    }
+
+    #[test]
+    fn merged_stats_sum_store_sizes_over_replicas_that_have_one() {
+        let with_store = WireStats {
+            store_entries: Some(4),
+            store_bytes: Some(1000),
+            ..WireStats::default()
+        };
+        let merged = merge_stats(&[with_store.clone(), WireStats::default(), with_store]);
+        assert_eq!(merged.store_entries, Some(8));
+        assert_eq!(merged.store_bytes, Some(2000));
+    }
+
+    #[test]
+    fn merged_stats_keep_distinct_shapes_separate() {
+        let mut other = stats(0, 0, 1);
+        other.latencies[0].shape = "fit".to_string();
+        let merged = merge_stats(&[stats(0, 0, 50), other]);
+        assert_eq!(merged.latencies.len(), 2);
+    }
+
+    #[test]
+    fn merged_models_dedupe_by_handle_preferring_memory() {
+        let mem = |handle: &str| WireModelInfo {
+            handle: handle.to_string(),
+            tier: "memory".to_string(),
+            dim: Some(8),
+            bytes: 100,
+        };
+        let disk = |handle: &str| WireModelInfo {
+            handle: handle.to_string(),
+            tier: "disk".to_string(),
+            dim: None,
+            bytes: 50,
+        };
+        let merged = merge_models(&[vec![disk("b"), mem("a")], vec![mem("b"), disk("a")]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].handle, "a");
+        assert_eq!(merged[0].tier, "memory", "memory copy wins over disk");
+        assert_eq!(merged[1].handle, "b");
+        assert_eq!(merged[1].tier, "memory");
+    }
+
+    #[test]
+    fn reply_id_salvage_reads_the_wire_id_and_rejects_null() {
+        let line = encode_response(&ResponseEnvelope::new(
+            7,
+            ResponseBody::Evicted { existed: true },
+        ));
+        assert_eq!(salvage_reply_id(&line), Some(7));
+        let uncorrelated = encode_response(&ResponseEnvelope::uncorrelated(ResponseBody::Error {
+            code: "protocol_error".to_string(),
+            message: "bad line".to_string(),
+            retry_after_ms: None,
+        }));
+        assert_eq!(salvage_reply_id(&uncorrelated), None);
+        assert_eq!(salvage_reply_id("not json"), None);
     }
 }

@@ -1,0 +1,916 @@
+//! The routing front-end: a gem-proto TCP server that forwards each request to the
+//! replica owning its route and streams the responses back, preserving the client's
+//! pipeline.
+//!
+//! ## Forwarding model
+//!
+//! Each client connection owns its **own** upstream connection to every replica it
+//! talks to. Client envelope ids are therefore unique per upstream connection by
+//! construction (a client already may not reuse an id it has in flight, exactly as
+//! against `gem-served` directly), so request lines are forwarded **verbatim** — no id
+//! rewriting, no re-encoding — and response lines come back the same way. The router
+//! decodes a request once, to route it; it never re-serializes what it forwards, so a
+//! byte-exact round trip through the router is structural, not incidental.
+//!
+//! Routing is key-aware without extra round trips: the router computes `Fit` model
+//! keys itself with the same [`gem_store::model_key`] the replica will use, derives
+//! `FitUpdate` keys with [`gem_store::updated_model_key`], and peeks the `key` header
+//! of `PushModel` snapshots — so it knows every handle *before* any replica answers.
+//!
+//! `Stats`, `ListModels`, and `Evict` fan out to every live replica and answer once
+//! with a merged body. `Health` is answered by the router itself from the last probe
+//! observations (a health probe that depended on the replicas being probed would be
+//! useless for deciding whether to route to them).
+//!
+//! ## Fail-over
+//!
+//! A connect or write failure against a replica marks it down *immediately* and the
+//! request retries against the next live ring node (which, for tracked handles, holds
+//! the write-through snapshot copy — see [`Cluster::replicate`]). A replica that dies
+//! with requests in flight EOFs its upstream reader, which answers every pending
+//! request with the typed `replica_unavailable` error — safe to retry, and the retry
+//! re-routes.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gem_proto::{
+    decode_request, decode_response, encode_response, merge_models, merge_stats, salvage_reply_id,
+    salvage_request_id, RequestBody, ResponseBody, ResponseEnvelope, WireModelInfo, WireStats,
+};
+use gem_serve::sync::lock_or_recover;
+use gem_serve::ModelHandle;
+use gem_store::fingerprint::Fnv1a;
+use gem_store::{corpus_fingerprint, model_key, updated_model_key};
+
+use crate::cluster::{Cluster, Transition};
+use crate::metrics::ReplicaInstruments;
+
+/// How often blocked client reads wake to check the shutdown flag (mirrors the
+/// serving tier's tick).
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Backoff after a failed `accept` so a transient error cannot spin the loop.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(20);
+/// The error code for "no live replica can own this route".
+pub const NO_REPLICA: &str = "no_replica";
+/// The error code for "the owning replica vanished mid-request" (safe to retry; the
+/// retry re-routes to the fail-over owner).
+pub const REPLICA_UNAVAILABLE: &str = "replica_unavailable";
+
+/// A handle for stopping a running [`RouterServer`] from another thread.
+#[derive(Debug, Clone)]
+pub struct RouterHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl RouterHandle {
+    /// Ask the router to stop: in-flight requests finish, the accept loop exits, and
+    /// [`RouterServer::run`] returns.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it notices the flag without waiting for a client.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The routing front-end. Bind, grab a [`RouterHandle`], then [`RouterServer::run`].
+#[derive(Debug)]
+pub struct RouterServer {
+    listener: TcpListener,
+    cluster: Arc<Cluster>,
+    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+}
+
+impl RouterServer {
+    /// Bind the front-end on `addr` (use port 0 to let the OS pick).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(cluster: Arc<Cluster>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(RouterServer {
+            listener,
+            cluster,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            local_addr,
+        })
+    }
+
+    /// The address the router is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown handle usable from any thread.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Accept and serve client connections until [`RouterHandle::shutdown`]. Joins
+    /// every connection thread before returning.
+    ///
+    /// # Errors
+    /// Propagates only fatal listener errors; per-connection errors end that
+    /// connection and are otherwise absorbed.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match incoming {
+                Ok(stream) => {
+                    let cluster = Arc::clone(&self.cluster);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    connections.push(std::thread::spawn(move || {
+                        serve_connection(stream, cluster, shutdown);
+                    }));
+                }
+                Err(_) => std::thread::sleep(ACCEPT_ERROR_BACKOFF),
+            }
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(())
+    }
+}
+
+/// One upstream connection's in-flight requests. `closed` flips (under the lock)
+/// when the upstream reader EOFs and drains: any forward that raced the death and
+/// would have registered *after* the drain is refused instead, so it retries on the
+/// fail-over route rather than waiting on a reader that already exited.
+#[derive(Default)]
+struct PendingMap {
+    closed: bool,
+    entries: HashMap<u64, Pending>,
+}
+
+/// What an in-flight forwarded request is waiting for.
+enum Pending {
+    /// Forward the response line to the client verbatim.
+    Forward { started: Instant },
+    /// Like `Forward`, but on success first record placement and write-through
+    /// replicate `handle` to its ring successor (fit / fit-update / push).
+    Tracked { started: Instant, handle: String },
+    /// One leg of a fan-out; fold the decoded body into the group.
+    Fan { started: Instant, group: u64 },
+}
+
+/// Which fan-out request a group merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FanKind {
+    Stats,
+    Models,
+    Evict,
+}
+
+/// One fan-out in flight: the client's id, how many legs are still pending, and the
+/// successful partial bodies collected so far.
+struct FanGroup {
+    client_id: u64,
+    kind: FanKind,
+    remaining: usize,
+    ok_legs: usize,
+    stats: Vec<WireStats>,
+    models: Vec<Vec<WireModelInfo>>,
+    existed: bool,
+    evict_handle: Option<String>,
+}
+
+/// State shared between the client reader and this connection's upstream readers.
+struct ConnShared {
+    cluster: Arc<Cluster>,
+    reply_tx: mpsc::Sender<String>,
+    groups: Mutex<HashMap<u64, FanGroup>>,
+    /// Set during orderly teardown so upstream EOFs stop being treated as replica
+    /// deaths.
+    closing: AtomicBool,
+}
+
+impl ConnShared {
+    fn send_response(&self, in_reply_to: Option<u64>, body: ResponseBody) {
+        let envelope = match in_reply_to {
+            Some(id) => ResponseEnvelope::new(id, body),
+            None => ResponseEnvelope::uncorrelated(body),
+        };
+        let _ = self.reply_tx.send(encode_response(&envelope));
+    }
+
+    fn send_error(&self, in_reply_to: Option<u64>, code: &str, message: String) {
+        let retry_after_ms = if code == NO_REPLICA || code == REPLICA_UNAVAILABLE {
+            Some(u64::try_from(self.cluster.probe_interval().as_millis()).unwrap_or(1_000))
+        } else {
+            None
+        };
+        self.send_response(
+            in_reply_to,
+            ResponseBody::Error {
+                code: code.to_string(),
+                message,
+                retry_after_ms,
+            },
+        );
+    }
+
+    /// Fold one fan-out leg (decoded success body, or `None` for a failed leg) into
+    /// its group; emits the merged response when the last leg lands.
+    fn fold_fan_leg(&self, group_id: u64, body: Option<ResponseBody>) {
+        let finished = {
+            let mut groups = lock_or_recover(&self.groups);
+            let Some(group) = groups.get_mut(&group_id) else {
+                return;
+            };
+            match body {
+                Some(ResponseBody::Stats(stats)) => {
+                    group.stats.push(stats);
+                    group.ok_legs += 1;
+                }
+                Some(ResponseBody::Models(models)) => {
+                    group.models.push(models);
+                    group.ok_legs += 1;
+                }
+                Some(ResponseBody::Evicted { existed }) => {
+                    group.existed |= existed;
+                    group.ok_legs += 1;
+                }
+                Some(_) | None => {}
+            }
+            group.remaining = group.remaining.saturating_sub(1);
+            if group.remaining == 0 {
+                groups.remove(&group_id)
+            } else {
+                None
+            }
+        };
+        if let Some(group) = finished {
+            self.finish_fan(group);
+        }
+    }
+
+    fn finish_fan(&self, group: FanGroup) {
+        if group.ok_legs == 0 {
+            self.send_error(
+                Some(group.client_id),
+                REPLICA_UNAVAILABLE,
+                "every fan-out leg failed; no replica answered".to_string(),
+            );
+            return;
+        }
+        let body = match group.kind {
+            FanKind::Stats => ResponseBody::Stats(merge_stats(&group.stats)),
+            FanKind::Models => ResponseBody::Models(merge_models(&group.models)),
+            FanKind::Evict => {
+                if let Some(handle) = &group.evict_handle {
+                    if group.existed {
+                        self.cluster.forget_placement(handle);
+                    }
+                }
+                ResponseBody::Evicted {
+                    existed: group.existed,
+                }
+            }
+        };
+        self.send_response(Some(group.client_id), body);
+    }
+}
+
+/// One upstream connection owned by a client connection.
+struct Upstream {
+    write: TcpStream,
+    pending: Arc<Mutex<PendingMap>>,
+    reader: Option<JoinHandle<()>>,
+    instruments: ReplicaInstruments,
+}
+
+impl Upstream {
+    /// Register `entry` under `id` unless the reader already drained and closed this
+    /// upstream (a write to a just-died socket can still buffer and "succeed", which
+    /// would strand the entry). Returns whether the registration was accepted.
+    fn register(&self, id: u64, entry: Pending) -> bool {
+        let mut pending = lock_or_recover(&self.pending);
+        if pending.closed {
+            return false;
+        }
+        pending.entries.insert(id, entry);
+        true
+    }
+
+    fn unregister(&self, id: u64) {
+        lock_or_recover(&self.pending).entries.remove(&id);
+    }
+}
+
+/// The per-client-connection forwarding state (owned by the client reader thread).
+struct Forwarder {
+    shared: Arc<ConnShared>,
+    upstreams: HashMap<String, Upstream>,
+    next_group: u64,
+}
+
+impl Forwarder {
+    fn cluster(&self) -> &Arc<Cluster> {
+        &self.shared.cluster
+    }
+
+    /// Get (or open) this connection's upstream to `addr`, spawning its reader.
+    fn upstream(&mut self, addr: &str) -> Result<&mut Upstream, ()> {
+        if !self.upstreams.contains_key(addr) {
+            let timeout = self.cluster().connect_timeout();
+            let stream = connect_stream(addr, timeout).map_err(|_| ())?;
+            let read_half = stream.try_clone().map_err(|_| ())?;
+            let pending = Arc::new(Mutex::new(PendingMap::default()));
+            let instruments = self.cluster().metrics().replica(addr);
+            let reader = {
+                let shared = Arc::clone(&self.shared);
+                let pending = Arc::clone(&pending);
+                let instruments = instruments.clone();
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    read_upstream(read_half, &addr, &shared, &pending, &instruments);
+                })
+            };
+            self.upstreams.insert(
+                addr.to_string(),
+                Upstream {
+                    write: stream,
+                    pending,
+                    reader: Some(reader),
+                    instruments,
+                },
+            );
+        }
+        self.upstreams.get_mut(addr).ok_or(())
+    }
+
+    /// Drop the upstream to `addr` after a failure: close both halves so its reader
+    /// drains every pending request to `replica_unavailable`, then join it.
+    fn discard_upstream(&mut self, addr: &str) {
+        if let Some(mut upstream) = self.upstreams.remove(addr) {
+            let _ = upstream.write.shutdown(Shutdown::Both);
+            if let Some(reader) = upstream.reader.take() {
+                let _ = reader.join();
+            }
+        }
+    }
+
+    /// A forwarding failure against `addr`: count it, mark the replica down, kick a
+    /// rebalance on the down edge, and drop the connection.
+    fn forward_failed(&mut self, addr: &str) {
+        if let Some(upstream) = self.upstreams.get(addr) {
+            upstream.instruments.errors.inc();
+        } else {
+            self.cluster().metrics().replica(addr).errors.inc();
+        }
+        if self.cluster().mark_down(addr) == Transition::WentDown {
+            let cluster = Arc::clone(self.cluster());
+            std::thread::spawn(move || {
+                let _ = cluster.rebalance();
+            });
+        }
+        self.discard_upstream(addr);
+    }
+
+    /// Forward `raw` to the replica `route` currently resolves to, retrying across
+    /// fail-over candidates: every failure marks the replica down, so re-running
+    /// `route` yields the next live ring node. Bounded by the membership size.
+    fn forward<R: Fn(&Cluster) -> Option<String>>(
+        &mut self,
+        id: u64,
+        raw: &[u8],
+        route: R,
+        pending_for: impl Fn() -> Pending,
+    ) {
+        let attempts = self.cluster().replica_states().len().max(1);
+        for _ in 0..attempts {
+            let Some(addr) = route(self.cluster()) else {
+                break;
+            };
+            let Ok(upstream) = self.upstream(&addr) else {
+                self.forward_failed(&addr);
+                continue;
+            };
+            // Register before writing: the response may race back before this thread
+            // regains control. A refused registration means the reader died and
+            // drained already — treat it exactly like a failed write.
+            if !upstream.register(id, pending_for()) {
+                self.forward_failed(&addr);
+                continue;
+            }
+            if write_line(&mut upstream.write, raw).is_ok() {
+                upstream.instruments.forwards.inc();
+                return;
+            }
+            upstream.unregister(id);
+            self.forward_failed(&addr);
+        }
+        self.cluster().metrics().inc_no_replica();
+        self.shared.send_error(
+            Some(id),
+            NO_REPLICA,
+            "no live replica can serve this request".to_string(),
+        );
+    }
+
+    /// Send `raw` to every live replica and answer once with the merged body.
+    fn fan_out(&mut self, id: u64, raw: &[u8], kind: FanKind, evict_handle: Option<String>) {
+        self.cluster().metrics().inc_fanout();
+        let live = self.cluster().live_replicas();
+        if live.is_empty() {
+            self.cluster().metrics().inc_no_replica();
+            self.shared.send_error(
+                Some(id),
+                NO_REPLICA,
+                "no live replica can serve this request".to_string(),
+            );
+            return;
+        }
+        self.next_group += 1;
+        let group_id = self.next_group;
+        lock_or_recover(&self.shared.groups).insert(
+            group_id,
+            FanGroup {
+                client_id: id,
+                kind,
+                remaining: live.len(),
+                ok_legs: 0,
+                stats: Vec::new(),
+                models: Vec::new(),
+                existed: false,
+                evict_handle,
+            },
+        );
+        for addr in live {
+            let sent = match self.upstream(&addr) {
+                Ok(upstream) => {
+                    let entry = Pending::Fan {
+                        started: Instant::now(),
+                        group: group_id,
+                    };
+                    if !upstream.register(id, entry) {
+                        false
+                    } else if write_line(&mut upstream.write, raw).is_ok() {
+                        upstream.instruments.forwards.inc();
+                        true
+                    } else {
+                        upstream.unregister(id);
+                        false
+                    }
+                }
+                Err(()) => false,
+            };
+            if !sent {
+                self.forward_failed(&addr);
+                self.shared.fold_fan_leg(group_id, None);
+            }
+        }
+    }
+
+    /// Decode, route, and forward one client line.
+    fn handle_line(&mut self, raw: &[u8]) {
+        let text = match std::str::from_utf8(raw) {
+            Ok(text) => text,
+            Err(_) => {
+                self.shared.send_error(
+                    None,
+                    "protocol_error",
+                    "request line is not valid UTF-8".to_string(),
+                );
+                return;
+            }
+        };
+        let envelope = match decode_request(text.trim_end_matches(['\r', '\n'])) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                self.shared
+                    .send_error(salvage_request_id(text), e.code(), e.to_string());
+                return;
+            }
+        };
+        self.cluster().metrics().inc_request();
+        let id = envelope.id;
+        match envelope.body {
+            RequestBody::Health => {
+                let view = self.cluster().health_view();
+                self.shared.send_response(
+                    Some(id),
+                    ResponseBody::Health {
+                        state: view.state.to_string(),
+                        queue_depth: view.queue_depth,
+                        queue_capacity: view.queue_capacity,
+                        busy_workers: view.busy_workers,
+                        workers: view.workers,
+                        retry_after_ms: view.retry_after_ms,
+                    },
+                );
+            }
+            RequestBody::Stats => self.fan_out(id, raw, FanKind::Stats, None),
+            RequestBody::ListModels => self.fan_out(id, raw, FanKind::Models, None),
+            RequestBody::Evict { handle } => {
+                self.fan_out(id, raw, FanKind::Evict, Some(handle));
+            }
+            RequestBody::Fit {
+                corpus,
+                mut config,
+                features,
+                composition,
+            } => {
+                // Compute the handle exactly as the replica will (composition override
+                // applied first), so the router can place the model before it exists.
+                if let Some(composition) = composition {
+                    config.composition = composition;
+                }
+                let handle = model_key(&corpus, &config, features).to_hex();
+                let route_handle = handle.clone();
+                self.forward(
+                    id,
+                    raw,
+                    move |cluster| cluster.route_handle(&route_handle),
+                    || Pending::Tracked {
+                        started: Instant::now(),
+                        handle: handle.clone(),
+                    },
+                );
+            }
+            RequestBody::FitUpdate { handle, corpus } => {
+                let parent = match ModelHandle::parse(&handle) {
+                    Ok(parent) => parent,
+                    Err(reason) => {
+                        self.shared.send_error(Some(id), "invalid_request", reason);
+                        return;
+                    }
+                };
+                // The derived model is created wherever the parent lives (placement
+                // first — the parent may itself be a derivative off its ring slot).
+                let derived = updated_model_key(parent.key(), &corpus).to_hex();
+                self.forward(
+                    id,
+                    raw,
+                    move |cluster| cluster.route_handle(&handle),
+                    || Pending::Tracked {
+                        started: Instant::now(),
+                        handle: derived.clone(),
+                    },
+                );
+            }
+            RequestBody::Embed { handle, .. } | RequestBody::PullModel { handle } => {
+                if let Err(reason) = ModelHandle::parse(&handle) {
+                    self.shared.send_error(Some(id), "invalid_request", reason);
+                    return;
+                }
+                self.forward(
+                    id,
+                    raw,
+                    move |cluster| cluster.route_handle(&handle),
+                    || Pending::Forward {
+                        started: Instant::now(),
+                    },
+                );
+            }
+            RequestBody::PushModel { snapshot } => {
+                // Route by the key the envelope header names; a snapshot too malformed
+                // to carry one goes to any live replica, whose store validation owns
+                // the canonical rejection.
+                let key = snapshot
+                    .get("key")
+                    .and_then(|k| k.as_str())
+                    .map(str::to_owned);
+                match key {
+                    Some(key) => {
+                        let route_key = key.clone();
+                        self.forward(
+                            id,
+                            raw,
+                            move |cluster| cluster.route_handle(&route_key),
+                            || Pending::Tracked {
+                                started: Instant::now(),
+                                handle: key.clone(),
+                            },
+                        );
+                    }
+                    None => self.forward(
+                        id,
+                        raw,
+                        |cluster| cluster.route_hash(0),
+                        || Pending::Forward {
+                            started: Instant::now(),
+                        },
+                    ),
+                }
+            }
+            RequestBody::EmbedCorpus { method, corpus, .. } => {
+                // One-shot embeds have no handle; shard them by method + corpus
+                // fingerprint so repeated calls hit the same replica's cache.
+                let mut h = Fnv1a::new();
+                h.write(b"gem-route-embed-corpus:");
+                h.write(method.as_bytes());
+                h.write_u64(corpus_fingerprint(&corpus));
+                let hash = h.finish();
+                self.forward(
+                    id,
+                    raw,
+                    move |cluster| cluster.route_hash(hash),
+                    || Pending::Forward {
+                        started: Instant::now(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Orderly teardown: stop treating upstream EOFs as deaths, close every upstream,
+    /// and join their readers.
+    fn close(&mut self) {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        let addrs: Vec<String> = self.upstreams.keys().cloned().collect();
+        for addr in addrs {
+            self.discard_upstream(&addr);
+        }
+    }
+}
+
+/// Resolve and connect with a timeout (mirrors `GemClient::connect_timeout`, but for
+/// the raw forwarding stream).
+fn connect_stream(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last: Option<std::io::Error> = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_write_timeout(Some(timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to no socket addresses",
+        )
+    }))
+}
+
+/// Write one request line, guaranteeing the trailing newline.
+fn write_line(stream: &mut TcpStream, raw: &[u8]) -> std::io::Result<()> {
+    stream.write_all(raw)?;
+    if !raw.ends_with(b"\n") {
+        stream.write_all(b"\n")?;
+    }
+    stream.flush()
+}
+
+/// One upstream connection's reader: correlate response lines with pending requests,
+/// run write-through replication for tracked handles, fold fan-out legs, and — if the
+/// replica dies with requests in flight — drain them to `replica_unavailable`.
+fn read_upstream(
+    stream: TcpStream,
+    addr: &str,
+    shared: &Arc<ConnShared>,
+    pending: &Arc<Mutex<PendingMap>>,
+    instruments: &ReplicaInstruments,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let Some(id) = salvage_reply_id(&line) else {
+                    continue; // uncorrelated noise; nothing to answer
+                };
+                let entry = lock_or_recover(pending).entries.remove(&id);
+                match entry {
+                    None => {}
+                    Some(Pending::Forward { started }) => {
+                        instruments.latency.record(started.elapsed());
+                        let _ = shared.reply_tx.send(std::mem::take(&mut line));
+                    }
+                    Some(Pending::Tracked { started, handle }) => {
+                        instruments.latency.record(started.elapsed());
+                        let trimmed = line.trim_end_matches(['\r', '\n']);
+                        let succeeded = matches!(
+                            decode_response(trimmed),
+                            Ok(envelope) if !matches!(envelope.body, ResponseBody::Error { .. })
+                        );
+                        if succeeded {
+                            // Write-through BEFORE the client sees success: once the
+                            // response is out, fail-over must already be covered.
+                            shared.cluster.record_placement(&handle, addr);
+                            let _ = shared.cluster.replicate(&handle, addr);
+                        }
+                        let _ = shared.reply_tx.send(std::mem::take(&mut line));
+                    }
+                    Some(Pending::Fan { started, group }) => {
+                        instruments.latency.record(started.elapsed());
+                        let trimmed = line.trim_end_matches(['\r', '\n']);
+                        let body = match decode_response(trimmed) {
+                            Ok(envelope) => match envelope.body {
+                                ResponseBody::Error { .. } => None,
+                                body => Some(body),
+                            },
+                            Err(_) => None,
+                        };
+                        shared.fold_fan_leg(group, body);
+                    }
+                }
+            }
+        }
+    }
+    if shared.closing.load(Ordering::SeqCst) {
+        return;
+    }
+    // The replica died under us. Mark it down, kick a rebalance on the edge, and
+    // answer everything still in flight with the retryable typed error.
+    instruments.errors.inc();
+    if shared.cluster.mark_down(addr) == Transition::WentDown {
+        let cluster = Arc::clone(&shared.cluster);
+        std::thread::spawn(move || {
+            let _ = cluster.rebalance();
+        });
+    }
+    // Close first, drain second, under one lock hold: a forward racing this teardown
+    // either lands in `entries` before the drain (answered below) or sees `closed`
+    // and retries on the fail-over route. Nothing can be stranded in between.
+    let drained: Vec<(u64, Pending)> = {
+        let mut pending = lock_or_recover(pending);
+        pending.closed = true;
+        pending.entries.drain().collect()
+    };
+    for (id, entry) in drained {
+        match entry {
+            Pending::Forward { .. } | Pending::Tracked { .. } => {
+                shared.send_error(
+                    Some(id),
+                    REPLICA_UNAVAILABLE,
+                    format!("replica {addr} disconnected with the request in flight"),
+                );
+            }
+            Pending::Fan { group, .. } => shared.fold_fan_leg(group, None),
+        }
+    }
+}
+
+/// Serve one client connection: reader loop here, writer on its own thread, upstream
+/// readers spawned on demand.
+fn serve_connection(stream: TcpStream, cluster: Arc<Cluster>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || write_replies(write_half, &reply_rx));
+    let shared = Arc::new(ConnShared {
+        cluster,
+        reply_tx,
+        groups: Mutex::new(HashMap::new()),
+        closing: AtomicBool::new(false),
+    });
+    let mut forwarder = Forwarder {
+        shared: Arc::clone(&shared),
+        upstreams: HashMap::new(),
+        next_group: 0,
+    };
+
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                if !line.iter().all(u8::is_ascii_whitespace) {
+                    forwarder.handle_line(&line);
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // shutdown tick; keep any partial line
+            }
+            Err(_) => break,
+        }
+    }
+    forwarder.close();
+    // Every holder of a reply sender (forwarder's shared clone, ours, and the
+    // upstream readers joined in `close`) must be gone before the writer can exit.
+    drop(forwarder);
+    drop(shared);
+    let _ = writer.join();
+}
+
+/// The client connection's writer: responses (forwarded lines and router-built ones)
+/// go out in completion order.
+fn write_replies(mut stream: TcpStream, replies: &mpsc::Receiver<String>) {
+    for reply in replies {
+        let newline_terminated = reply.ends_with('\n');
+        if stream.write_all(reply.as_bytes()).is_err() {
+            return;
+        }
+        if !newline_terminated && stream.write_all(b"\n").is_err() {
+            return;
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RouterMetrics;
+    use gem_serve::client::{ClientError, GemClient};
+
+    fn empty_router() -> (RouterHandle, SocketAddr, JoinHandle<std::io::Result<()>>) {
+        let metrics = Arc::new(RouterMetrics::new());
+        // A member that cannot be reached: connects to it fail instantly, so routing
+        // exercises the mark-down + no_replica path without sleeping.
+        let cluster = Arc::new(Cluster::with_options(
+            &["127.0.0.1:1".to_string()],
+            metrics,
+            8,
+            1,
+            Duration::from_millis(50),
+            Duration::from_millis(100),
+        ));
+        let server = RouterServer::bind(cluster, ("127.0.0.1", 0)).expect("bind");
+        let handle = server.handle();
+        let addr = server.local_addr();
+        let thread = std::thread::spawn(move || server.run());
+        (handle, addr, thread)
+    }
+
+    #[test]
+    fn health_is_answered_by_the_router_itself() {
+        let (handle, addr, thread) = empty_router();
+        let mut client = GemClient::connect(addr).expect("connect");
+        let health = client.health().expect("health");
+        // No probe has run and the only member is unreachable but not yet marked
+        // down, so the router reports ok with zeroed queue numbers.
+        assert_eq!(health.queue_depth, 0);
+        handle.shutdown();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn unroutable_requests_get_the_typed_no_replica_error() {
+        let (handle, addr, thread) = empty_router();
+        let mut client = GemClient::connect(addr).expect("connect");
+        let handle_hex = "00000000000000aa-00000000000000bb";
+        let err = client
+            .embed(ModelHandle::parse(handle_hex).expect("valid hex"), &[])
+            .expect_err("nothing can serve this");
+        match err {
+            ClientError::Server {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code, NO_REPLICA);
+                assert!(retry_after_ms.is_some(), "no_replica carries a retry hint");
+            }
+            other => panic!("expected a typed server error, got {other:?}"),
+        }
+        handle.shutdown();
+        let _ = thread.join();
+    }
+
+    #[test]
+    fn malformed_lines_answer_protocol_errors_with_salvaged_ids() {
+        let (handle, addr, thread) = empty_router();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"{\"id\": 42, \"version\": 999999, \"body\": {\"type\": \"stats\"}}\n")
+            .expect("write");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let envelope = decode_response(line.trim_end()).expect("decode");
+        assert_eq!(envelope.in_reply_to, Some(42), "id salvaged from bad line");
+        assert!(
+            matches!(envelope.body, ResponseBody::Error { ref code, .. } if code == "version_mismatch"),
+            "{envelope:?}"
+        );
+        handle.shutdown();
+        let _ = thread.join();
+    }
+}

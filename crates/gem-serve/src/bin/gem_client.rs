@@ -42,6 +42,11 @@
 //! Exit codes: `0` success, `1` usage/transport/verification failure, `2` typed server
 //! error (the stable code is printed, e.g. `unknown_model`), `3` the server reported
 //! `overloaded` health.
+//!
+//! `--retry N` (valid before any command) retries transient typed errors — an
+//! `overloaded` shed, or a router mid-fail-over (`replica_unavailable`, `no_replica`)
+//! — up to N times, sleeping the server's `retry_after_ms` hint (200 ms when the
+//! error carries none) between attempts, instead of exiting 2 on the first shed.
 
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig, GemModel};
 use gem_json::{FromJson, Json, ToJson};
@@ -54,14 +59,26 @@ use std::process::ExitCode;
 /// (the server's health probe reported it is shedding) exits 3.
 enum CliError {
     Usage(String),
-    Server { code: String, message: String },
+    Server {
+        code: String,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
     Overloaded,
 }
 
 impl From<ClientError> for CliError {
     fn from(e: ClientError) -> Self {
         match e {
-            ClientError::Server { code, message, .. } => CliError::Server { code, message },
+            ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            } => CliError::Server {
+                code,
+                message,
+                retry_after_ms,
+            },
             other => CliError::Usage(other.to_string()),
         }
     }
@@ -584,9 +601,59 @@ fn verify(addr: &str, args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Typed server errors that describe a transient condition worth retrying: the
+/// admission layer shedding load, or a routing tier mid-fail-over. Each carries a
+/// `retry_after_ms` hint the retry loop honors.
+fn retryable(code: &str) -> bool {
+    matches!(code, "overloaded" | "replica_unavailable" | "no_replica")
+}
+
+/// Remove a leading-anywhere `--retry N` pair from `args` (it is a global flag, not a
+/// per-command one, so the per-command `check_flags` never sees it). Returns the
+/// retry budget, 0 when absent.
+fn take_retry_flag(args: &mut Vec<String>) -> Result<u32, String> {
+    let Some(at) = args.iter().position(|a| a == "--retry") else {
+        return Ok(0);
+    };
+    let value = args
+        .get(at + 1)
+        .ok_or("--retry needs a number of attempts")?
+        .clone();
+    let retries = value
+        .parse()
+        .map_err(|_| format!("--retry needs a number, got `{value}`"))?;
+    args.drain(at..at + 2);
+    Ok(retries)
+}
+
+/// Default backoff when a retryable error carries no `retry_after_ms` hint.
+const DEFAULT_BACKOFF_MS: u64 = 200;
+
 fn run() -> CliResult {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: gem-client <gen-corpus|fit|fit-update|embed|pull|push|pipeline|stats|health|list|evict|verify> ...\n  \
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let retries = take_retry_flag(&mut args)?;
+    let mut attempt = 0u32;
+    loop {
+        match run_command(&args) {
+            Err(CliError::Server {
+                code,
+                message,
+                retry_after_ms,
+            }) if attempt < retries && retryable(&code) => {
+                attempt += 1;
+                let backoff = retry_after_ms.unwrap_or(DEFAULT_BACKOFF_MS);
+                eprintln!(
+                    "gem-client: [{code}] {message} — retrying ({attempt}/{retries}) in {backoff} ms"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+fn run_command(args: &[String]) -> CliResult {
+    let usage = "usage: gem-client [--retry N] <gen-corpus|fit|fit-update|embed|pull|push|pipeline|stats|health|list|evict|verify> ...\n  \
                  gem-client gen-corpus <file> [--columns N] [--rows N] [--seed N]\n  \
                  gem-client fit <addr> --corpus <file> [--components N] [--features D+S] [--composition NAME]\n  \
                  gem-client fit-update <addr> --handle <hex> --corpus <file-of-new-columns>\n  \
@@ -639,7 +706,7 @@ fn main() -> ExitCode {
             eprintln!("gem-client: {message}");
             ExitCode::FAILURE
         }
-        Err(CliError::Server { code, message }) => {
+        Err(CliError::Server { code, message, .. }) => {
             eprintln!("gem-client: server error [{code}]: {message}");
             ExitCode::from(2)
         }

@@ -243,7 +243,42 @@ impl GemClient {
     /// # Errors
     /// [`ClientError::Io`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// [`GemClient::connect`] with a deadline on *every* socket operation: the connect
+    /// itself, and each subsequent read and write. This is the constructor for control
+    /// planes — a health prober or a router's snapshot-shipping path must observe a
+    /// wedged replica as a typed [`ClientError::Io`] within the deadline, not hang on
+    /// it forever. Every resolved address is tried before giving up.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when resolution yields nothing or no address accepts within
+    /// `timeout`.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: std::time::Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Self::from_stream(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        })))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         // Pipelining lives or dies on this: with Nagle's algorithm on, a burst of
         // small request lines is held back waiting for ACKs (≈40ms of delayed-ACK
         // stall per burst), which would serialize exactly the traffic pipelining

@@ -19,6 +19,9 @@
 //!   and `gem-client` binaries),
 //! * [`proto`] — the wire protocol those binaries speak: versioned JSON-line envelopes
 //!   with bit-exact column/matrix payload codecs,
+//! * [`router`] — the sharded cluster tier: a routing front-end (`gem-routed`) that
+//!   consistent-hashes model handles across `gem-served` replicas, health-probes them,
+//!   and fails over by shipping snapshots between replicas — never by refitting,
 //! * [`store`] — full model persistence: the fingerprint-addressed on-disk
 //!   [`store::ModelStore`] the serving cache spills to and warm-starts from,
 //! * [`cluster`] — k-means, SDCN and TableDC,
@@ -72,6 +75,11 @@ pub use gem_serve as serve;
 /// The serving wire protocol: versioned JSON-line envelopes with bit-exact payload
 /// codecs (re-export of `gem-proto`).
 pub use gem_proto as proto;
+
+/// The sharded cluster tier: a gem-proto routing front-end that partitions model
+/// handles across `gem-served` replicas by consistent hashing, health-probes them,
+/// and fails over via snapshot shipping — never a refit (re-export of `gem-router`).
+pub use gem_router as router;
 
 /// Model persistence: deterministic fingerprints and the fingerprint-addressed on-disk
 /// model store (re-export of `gem-store`). A saved `GemModel` reloaded in a fresh
