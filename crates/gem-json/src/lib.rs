@@ -388,6 +388,23 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Swallow a maximal run of plain ASCII in one push. Anything else —
+            // validating from the current position to the END of the input per
+            // character, say — goes quadratic in the document size: a corpus of
+            // half a million bit-pattern hex strings would re-scan megabytes for
+            // every single digit.
+            let run_start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(&b) if b != b'"' && b != b'\\' && b < 0x80)
+            {
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                // The run is pure ASCII, hence valid UTF-8 by construction.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -415,10 +432,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
+                    // One multi-byte code point: a UTF-8 character is at most four
+                    // bytes, so decode from a bounded window.
+                    let end = self.bytes.len().min(self.pos + 4);
+                    let window = &self.bytes[self.pos..end];
+                    let prefix = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let Some(c) = prefix.chars().next() else {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -679,6 +707,32 @@ mod tests {
         let text = v.to_compact_string();
         assert_eq!(Json::parse(&text).unwrap(), v);
         assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn string_heavy_documents_parse_in_linear_time() {
+        // Half a million bit-pattern hex strings is the shape of a serialized
+        // corpus; a parser that re-validates the remaining input per string
+        // character goes quadratic and never finishes on documents this size.
+        let mut doc = String::from("[");
+        for i in 0..500_000u64 {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&format!("\"{i:016x}\""));
+        }
+        doc.push(']');
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 500_000);
+        assert_eq!(
+            parsed.as_array().unwrap()[7].as_str(),
+            Some("0000000000000007")
+        );
+        // The ASCII fast path leaves multi-byte decoding intact, mid-string too.
+        assert_eq!(
+            Json::parse("\"héllo\\n☃ snow\"").unwrap(),
+            Json::String("héllo\n☃ snow".into())
+        );
     }
 
     #[test]

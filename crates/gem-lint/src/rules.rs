@@ -151,7 +151,9 @@ fn l2_scoped(path: &str) -> bool {
 fn l3_scoped(path: &str) -> bool {
     matches!(
         path,
-        "crates/gem-serve/src/net.rs" | "crates/gem-serve/src/client.rs"
+        "crates/gem-serve/src/net.rs"
+            | "crates/gem-serve/src/client.rs"
+            | "crates/gem-serve/src/framing.rs"
     ) || path.starts_with("crates/gem-proto/src/")
         || path.starts_with("crates/gem-router/src/")
 }
@@ -160,6 +162,7 @@ fn l5_scoped(path: &str) -> bool {
     path.starts_with("crates/gem-store/src/")
         || path.starts_with("crates/gem-proto/src/")
         || path.ends_with("/persist.rs")
+        || path == "crates/gem-serve/src/framing.rs"
 }
 
 fn l6_exempt(path: &str) -> bool {

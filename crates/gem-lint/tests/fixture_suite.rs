@@ -127,6 +127,25 @@ fn l3_panic_paths_fire_with_tests_exempt() {
 }
 
 #[test]
+fn l3_covers_the_binary_codec_modules() {
+    // The negotiated binary codec is wire surface: gem-proto's frame codec rides the
+    // existing crate-prefix scope, and gem-serve's framing module (the server-side
+    // frame pump) is enumerated explicitly.
+    expect(
+        "l3_panic_wire.rs",
+        "crates/gem-proto/src/binary.rs",
+        "L3",
+        &[10, 12, 13, 18],
+    );
+    expect(
+        "l3_panic_wire.rs",
+        "crates/gem-serve/src/framing.rs",
+        "L3",
+        &[10, 12, 13, 18],
+    );
+}
+
+#[test]
 fn l5_float_formatting_and_casts_fire_in_serialization_modules() {
     expect(
         "l5_bit_exactness.rs",
@@ -141,6 +160,24 @@ fn l5_float_formatting_and_casts_fire_in_serialization_modules() {
         &LintConfig::default(),
     );
     assert_eq!(persist.len(), 4);
+}
+
+#[test]
+fn l5_covers_the_binary_codec_modules() {
+    // Raw little-endian IEEE-754 bytes are the whole point of the binary codec: a
+    // float cast or decimal render in either codec module would break bit-exactness.
+    expect(
+        "l5_bit_exactness.rs",
+        "crates/gem-proto/src/binary.rs",
+        "L5",
+        &[7, 8, 12, 12],
+    );
+    expect(
+        "l5_bit_exactness.rs",
+        "crates/gem-serve/src/framing.rs",
+        "L5",
+        &[7, 8, 12, 12],
+    );
 }
 
 #[test]

@@ -1,9 +1,19 @@
 //! # gem-proto
 //!
 //! The serving wire protocol: what `gem-served` speaks on a socket and `GemClient`
-//! drives from the other end. One protocol message per line — a compact JSON envelope
-//! terminated by `\n` (newline-delimited JSON), so framing needs nothing beyond
-//! `BufRead::read_line` and any language with a JSON parser can interoperate.
+//! drives from the other end. Two codecs share one envelope model:
+//!
+//! * **JSON lines** (the debug/compat codec, and every connection's starting state):
+//!   one protocol message per line — a compact JSON envelope terminated by `\n`
+//!   (newline-delimited JSON), so framing needs nothing beyond `BufRead::read_line`
+//!   and any language with a JSON parser can interoperate. A single line is capped at
+//!   [`MAX_JSON_LINE_BYTES`]; corpora beyond that must use the binary codec's chunked
+//!   upload.
+//! * **Negotiated binary frames** ([`binary`]): a client may open with the
+//!   [`binary::hello_line`] handshake; once accepted, messages become
+//!   `[u32 len][u8 kind][payload]` frames with f64 payloads as raw little-endian
+//!   IEEE-754 bytes, plus chunked corpus upload and streamed embed responses. JSON
+//!   stays available on every server; binary is the fast path.
 //!
 //! Shapes:
 //!
@@ -71,7 +81,18 @@ use std::fmt;
 /// 4 — `health` request/response (`ok|degraded|overloaded` + queue depth + retry-after
 /// hint), `retry_after_ms` on error bodies (set when the server sheds load), and
 /// per-shape latency quantiles (`latencies`) in stats.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// 5 — the negotiated binary codec ([`binary`]): `gem-wire-binary` handshake lines,
+/// length-prefixed frames with raw-IEEE-754 f64 payloads, chunked corpus upload
+/// (`begin_fit`/`corpus_chunk`/`end_fit`), streamed embed responses
+/// (`embed_rows`/`embed_done`), and the [`MAX_JSON_LINE_BYTES`] cap on the JSON codec.
+pub const PROTOCOL_VERSION: u64 = 5;
+
+/// Upper bound on one JSON-codec protocol line. Lines beyond this are answered with a
+/// typed `protocol_error` instead of being buffered without limit — corpora too large
+/// to fit use the [`binary`] codec's chunked upload, which has no such ceiling.
+pub const MAX_JSON_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+pub mod binary;
 
 /// Errors decoding a protocol line.
 #[derive(Debug, Clone, PartialEq)]
@@ -1263,15 +1284,15 @@ mod tests {
             "",
             "not json",
             "{}",
-            r#"{"id":1,"version":4}"#,
-            r#"{"id":1,"version":4,"body":{"type":"no-such"}}"#,
-            r#"{"id":1,"version":4,"body":{"type":"embed"}}"#,
+            r#"{"id":1,"version":5}"#,
+            r#"{"id":1,"version":5,"body":{"type":"no-such"}}"#,
+            r#"{"id":1,"version":5,"body":{"type":"embed"}}"#,
         ] {
             let err = decode_request(bad).unwrap_err();
             assert_eq!(err.code(), "protocol_error", "{bad}");
         }
         assert_eq!(
-            salvage_request_id(r#"{"id":42,"version":4,"body":{"type":"no-such"}}"#),
+            salvage_request_id(r#"{"id":42,"version":5,"body":{"type":"no-such"}}"#),
             Some(42)
         );
         assert_eq!(salvage_request_id("garbage"), None);
@@ -1294,7 +1315,7 @@ mod tests {
         let back = decode_response(&encode_response(&zero)).unwrap();
         assert_eq!(back.in_reply_to, Some(0));
         // Requests must carry a numeric id: null is response-only.
-        let err = decode_request(r#"{"id":null,"version":4,"body":{"type":"stats"}}"#).unwrap_err();
+        let err = decode_request(r#"{"id":null,"version":5,"body":{"type":"stats"}}"#).unwrap_err();
         assert_eq!(err.code(), "protocol_error");
     }
 

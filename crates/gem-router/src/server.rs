@@ -17,6 +17,21 @@
 //! `FitUpdate` keys with [`gem_store::updated_model_key`], and peeks the `key` header
 //! of `PushModel` snapshots — so it knows every handle *before* any replica answers.
 //!
+//! ## Codecs
+//!
+//! The router speaks both wire codecs. A client may negotiate the `gem_proto::binary`
+//! codec exactly as against `gem-served`; each of that connection's upstreams then
+//! negotiates binary toward its replica too, so matching codecs forward **frames
+//! verbatim** — streamed `embed_rows` frames pass through without retiring the
+//! in-flight entry (the closing `embed_done` does), and chunked corpus uploads are
+//! reassembled here once, **fingerprinted incrementally while the chunks arrive**
+//! ([`gem_store::CorpusHasher`] — the routing key is ready the moment the upload
+//! completes, no second pass over megabytes of corpus), then re-chunked toward the
+//! owning replica. A replica that declines the hello (an older build, or
+//! `--json-only`) gets JSON on that upstream and the router converts: requests are
+//! re-encoded from the decoded envelope, response lines are wrapped into binary
+//! frames for the client.
+//!
 //! `Stats`, `ListModels`, and `Evict` fan out to every live replica and answer once
 //! with a merged body. `Health` is answered by the router itself from the last probe
 //! observations (a health probe that depended on the replicas being probed would be
@@ -40,13 +55,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gem_proto::{
-    decode_request, decode_response, encode_response, merge_models, merge_stats, salvage_reply_id,
-    salvage_request_id, RequestBody, ResponseBody, ResponseEnvelope, WireModelInfo, WireStats,
+    binary, decode_request, decode_response, encode_request, encode_response, merge_models,
+    merge_stats, salvage_reply_id, salvage_request_id, RequestBody, RequestEnvelope, ResponseBody,
+    ResponseEnvelope, WireModelInfo, WireStats, PROTOCOL_VERSION,
 };
 use gem_serve::sync::lock_or_recover;
 use gem_serve::ModelHandle;
 use gem_store::fingerprint::Fnv1a;
-use gem_store::{corpus_fingerprint, model_key, updated_model_key};
+use gem_store::{
+    config_fingerprint, corpus_fingerprint, updated_model_key_from_fingerprint, CorpusHasher,
+    ModelKey,
+};
 
 use crate::cluster::{Cluster, Transition};
 use crate::metrics::ReplicaInstruments;
@@ -190,22 +209,74 @@ struct FanGroup {
 }
 
 /// State shared between the client reader and this connection's upstream readers.
+///
+/// `reply_tx` carries **exact wire blobs**: newline-terminated JSON lines toward a
+/// JSON client, complete binary frames toward one that negotiated the binary codec.
+/// The writer thread never edits what it is handed — the codec decision is made
+/// here, once, by whoever builds the reply.
 struct ConnShared {
     cluster: Arc<Cluster>,
-    reply_tx: mpsc::Sender<String>,
+    reply_tx: mpsc::Sender<Vec<u8>>,
     groups: Mutex<HashMap<u64, FanGroup>>,
     /// Set during orderly teardown so upstream EOFs stop being treated as replica
     /// deaths.
     closing: AtomicBool,
+    /// Whether this client negotiated the binary codec (its hello was the first
+    /// line, so the flag is stable before any request can be forwarded).
+    client_binary: AtomicBool,
 }
 
 impl ConnShared {
+    fn client_is_binary(&self) -> bool {
+        self.client_binary.load(Ordering::SeqCst)
+    }
+
     fn send_response(&self, in_reply_to: Option<u64>, body: ResponseBody) {
         let envelope = match in_reply_to {
             Some(id) => ResponseEnvelope::new(id, body),
             None => ResponseEnvelope::uncorrelated(body),
         };
-        let _ = self.reply_tx.send(encode_response(&envelope));
+        let line = encode_response(&envelope);
+        if self.client_is_binary() {
+            if let Ok(frame) = binary::wrap_response_line(in_reply_to, &line) {
+                let _ = self.reply_tx.send(frame);
+            }
+        } else {
+            let mut bytes = line.into_bytes();
+            if !bytes.ends_with(b"\n") {
+                bytes.push(b'\n');
+            }
+            let _ = self.reply_tx.send(bytes);
+        }
+    }
+
+    /// Forward a replica's JSON response line to the client in the client's codec:
+    /// verbatim toward a JSON client, wrapped into a `resp_json` frame toward a
+    /// binary one (the id is salvaged from the line so the wrap stays correlated).
+    fn forward_json_line(&self, line: &str) {
+        if self.client_is_binary() {
+            let id = salvage_reply_id(line);
+            match binary::wrap_response_line(id, line) {
+                Ok(frame) => {
+                    let _ = self.reply_tx.send(frame);
+                }
+                Err(e) => self.send_error(id, e.code(), e.to_string()),
+            }
+        } else {
+            let mut bytes = line.as_bytes().to_vec();
+            if !bytes.ends_with(b"\n") {
+                bytes.push(b'\n');
+            }
+            let _ = self.reply_tx.send(bytes);
+        }
+    }
+
+    /// Forward a replica's binary response frame to the client verbatim (only ever
+    /// called when the client negotiated binary — upstreams mirror the client codec).
+    fn forward_frame(&self, frame: &binary::Frame) {
+        if let Ok(bytes) = binary::frame_bytes(frame.kind, &frame.payload) {
+            let _ = self.reply_tx.send(bytes);
+        }
     }
 
     fn send_error(&self, in_reply_to: Option<u64>, code: &str, message: String) {
@@ -286,15 +357,71 @@ impl ConnShared {
     }
 }
 
+/// Which codec one upstream connection negotiated with its replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UpstreamCodec {
+    Json,
+    Binary,
+}
+
+/// What the router has in hand for one request when it forwards it. Matching codecs
+/// forward the verbatim bytes; a mismatch (or a reassembled chunked upload, which has
+/// no single verbatim form) re-encodes from the decoded envelope.
+enum ForwardPayload<'a> {
+    /// The client's original newline-delimited JSON request line.
+    JsonLine(&'a [u8]),
+    /// The client's original binary frame, re-serialized byte-for-byte.
+    Frame(&'a [u8]),
+    /// No verbatim bytes exist: always re-encode from the envelope (re-chunking the
+    /// corpus toward binary replicas).
+    Reencode,
+}
+
 /// One upstream connection owned by a client connection.
 struct Upstream {
     write: TcpStream,
+    codec: UpstreamCodec,
     pending: Arc<Mutex<PendingMap>>,
     reader: Option<JoinHandle<()>>,
     instruments: ReplicaInstruments,
 }
 
 impl Upstream {
+    /// Send one request on this upstream in its negotiated codec.
+    fn send(
+        &mut self,
+        payload: &ForwardPayload<'_>,
+        envelope: &RequestEnvelope,
+    ) -> std::io::Result<()> {
+        match (payload, self.codec) {
+            (ForwardPayload::JsonLine(raw), UpstreamCodec::Json) => {
+                write_line(&mut self.write, raw)
+            }
+            (ForwardPayload::Frame(bytes), UpstreamCodec::Binary) => {
+                self.write.write_all(bytes)?;
+                self.write.flush()
+            }
+            (_, UpstreamCodec::Binary) => {
+                // Re-encode (and re-chunk a large corpus) toward the binary replica.
+                let frames = binary::encode_request_frames(envelope, binary::DEFAULT_CHUNK_BYTES)
+                    .map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                for frame in &frames {
+                    self.write.write_all(frame)?;
+                }
+                self.write.flush()
+            }
+            (_, UpstreamCodec::Json) => {
+                // A JSON replica gets one line; if the corpus outgrows the replica's
+                // line cap it answers the typed over-cap error, which forwards back —
+                // the client's remedy is a replica set that accepts binary.
+                let line = encode_request(envelope);
+                write_line(&mut self.write, line.as_bytes())
+            }
+        }
+    }
+
     /// Register `entry` under `id` unless the reader already drained and closed this
     /// upstream (a write to a just-died socket can still buffer and "succeed", which
     /// would strand the entry). Returns whether the registration was accepted.
@@ -325,11 +452,22 @@ impl Forwarder {
     }
 
     /// Get (or open) this connection's upstream to `addr`, spawning its reader.
+    ///
+    /// When the client negotiated binary the new upstream offers the replica the same
+    /// hello before anything else crosses it; a declined offer (an older replica, or
+    /// one running `--json-only`) leaves that upstream on JSON and the forwarding
+    /// layer converts per request.
     fn upstream(&mut self, addr: &str) -> Result<&mut Upstream, ()> {
         if !self.upstreams.contains_key(addr) {
             let timeout = self.cluster().connect_timeout();
-            let stream = connect_stream(addr, timeout).map_err(|_| ())?;
+            let mut stream = connect_stream(addr, timeout).map_err(|_| ())?;
             let read_half = stream.try_clone().map_err(|_| ())?;
+            let mut buffered = BufReader::new(read_half);
+            let codec = if self.shared.client_is_binary() {
+                negotiate_upstream_codec(&mut stream, &mut buffered, timeout).map_err(|_| ())?
+            } else {
+                UpstreamCodec::Json
+            };
             let pending = Arc::new(Mutex::new(PendingMap::default()));
             let instruments = self.cluster().metrics().replica(addr);
             let reader = {
@@ -338,13 +476,14 @@ impl Forwarder {
                 let instruments = instruments.clone();
                 let addr = addr.to_string();
                 std::thread::spawn(move || {
-                    read_upstream(read_half, &addr, &shared, &pending, &instruments);
+                    read_upstream(buffered, codec, &addr, &shared, &pending, &instruments);
                 })
             };
             self.upstreams.insert(
                 addr.to_string(),
                 Upstream {
                     write: stream,
+                    codec,
                     pending,
                     reader: Some(reader),
                     instruments,
@@ -382,13 +521,15 @@ impl Forwarder {
         self.discard_upstream(addr);
     }
 
-    /// Forward `raw` to the replica `route` currently resolves to, retrying across
-    /// fail-over candidates: every failure marks the replica down, so re-running
-    /// `route` yields the next live ring node. Bounded by the membership size.
+    /// Forward one request to the replica `route` currently resolves to, retrying
+    /// across fail-over candidates: every failure marks the replica down, so
+    /// re-running `route` yields the next live ring node. Bounded by the membership
+    /// size.
     fn forward<R: Fn(&Cluster) -> Option<String>>(
         &mut self,
         id: u64,
-        raw: &[u8],
+        payload: &ForwardPayload<'_>,
+        envelope: &RequestEnvelope,
         route: R,
         pending_for: impl Fn() -> Pending,
     ) {
@@ -408,7 +549,7 @@ impl Forwarder {
                 self.forward_failed(&addr);
                 continue;
             }
-            if write_line(&mut upstream.write, raw).is_ok() {
+            if upstream.send(payload, envelope).is_ok() {
                 upstream.instruments.forwards.inc();
                 return;
             }
@@ -423,8 +564,15 @@ impl Forwarder {
         );
     }
 
-    /// Send `raw` to every live replica and answer once with the merged body.
-    fn fan_out(&mut self, id: u64, raw: &[u8], kind: FanKind, evict_handle: Option<String>) {
+    /// Send one request to every live replica and answer once with the merged body.
+    fn fan_out(
+        &mut self,
+        id: u64,
+        payload: &ForwardPayload<'_>,
+        envelope: &RequestEnvelope,
+        kind: FanKind,
+        evict_handle: Option<String>,
+    ) {
         self.cluster().metrics().inc_fanout();
         let live = self.cluster().live_replicas();
         if live.is_empty() {
@@ -460,7 +608,7 @@ impl Forwarder {
                     };
                     if !upstream.register(id, entry) {
                         false
-                    } else if write_line(&mut upstream.write, raw).is_ok() {
+                    } else if upstream.send(payload, envelope).is_ok() {
                         upstream.instruments.forwards.inc();
                         true
                     } else {
@@ -477,7 +625,7 @@ impl Forwarder {
         }
     }
 
-    /// Decode, route, and forward one client line.
+    /// Decode, route, and forward one client JSON line.
     fn handle_line(&mut self, raw: &[u8]) {
         let text = match std::str::from_utf8(raw) {
             Ok(text) => text,
@@ -498,9 +646,23 @@ impl Forwarder {
                 return;
             }
         };
+        self.dispatch(envelope, ForwardPayload::JsonLine(raw), None);
+    }
+
+    /// Route and forward one decoded request, whatever codec it arrived in.
+    ///
+    /// `corpus_fp` is the incremental corpus fingerprint a chunked upload computed
+    /// while its chunks streamed in — passing it here is what makes chunked routing
+    /// O(1) instead of a second pass over the reassembled corpus.
+    fn dispatch(
+        &mut self,
+        envelope: RequestEnvelope,
+        payload: ForwardPayload<'_>,
+        corpus_fp: Option<u64>,
+    ) {
         self.cluster().metrics().inc_request();
         let id = envelope.id;
-        match envelope.body {
+        match &envelope.body {
             RequestBody::Health => {
                 let view = self.cluster().health_view();
                 self.shared.send_response(
@@ -515,27 +677,36 @@ impl Forwarder {
                     },
                 );
             }
-            RequestBody::Stats => self.fan_out(id, raw, FanKind::Stats, None),
-            RequestBody::ListModels => self.fan_out(id, raw, FanKind::Models, None),
+            RequestBody::Stats => self.fan_out(id, &payload, &envelope, FanKind::Stats, None),
+            RequestBody::ListModels => {
+                self.fan_out(id, &payload, &envelope, FanKind::Models, None);
+            }
             RequestBody::Evict { handle } => {
-                self.fan_out(id, raw, FanKind::Evict, Some(handle));
+                let handle = handle.clone();
+                self.fan_out(id, &payload, &envelope, FanKind::Evict, Some(handle));
             }
             RequestBody::Fit {
                 corpus,
-                mut config,
+                config,
                 features,
                 composition,
             } => {
                 // Compute the handle exactly as the replica will (composition override
                 // applied first), so the router can place the model before it exists.
+                let mut config = config.clone();
                 if let Some(composition) = composition {
-                    config.composition = composition;
+                    config.composition = *composition;
                 }
-                let handle = model_key(&corpus, &config, features).to_hex();
+                let key = ModelKey {
+                    corpus: corpus_fp.unwrap_or_else(|| corpus_fingerprint(corpus)),
+                    config: config_fingerprint(&config, *features),
+                };
+                let handle = key.to_hex();
                 let route_handle = handle.clone();
                 self.forward(
                     id,
-                    raw,
+                    &payload,
+                    &envelope,
                     move |cluster| cluster.route_handle(&route_handle),
                     || Pending::Tracked {
                         started: Instant::now(),
@@ -544,7 +715,7 @@ impl Forwarder {
                 );
             }
             RequestBody::FitUpdate { handle, corpus } => {
-                let parent = match ModelHandle::parse(&handle) {
+                let parent = match ModelHandle::parse(handle) {
                     Ok(parent) => parent,
                     Err(reason) => {
                         self.shared.send_error(Some(id), "invalid_request", reason);
@@ -553,11 +724,17 @@ impl Forwarder {
                 };
                 // The derived model is created wherever the parent lives (placement
                 // first — the parent may itself be a derivative off its ring slot).
-                let derived = updated_model_key(parent.key(), &corpus).to_hex();
+                let derived = updated_model_key_from_fingerprint(
+                    parent.key(),
+                    corpus_fp.unwrap_or_else(|| corpus_fingerprint(corpus)),
+                )
+                .to_hex();
+                let route_handle = handle.clone();
                 self.forward(
                     id,
-                    raw,
-                    move |cluster| cluster.route_handle(&handle),
+                    &payload,
+                    &envelope,
+                    move |cluster| cluster.route_handle(&route_handle),
                     || Pending::Tracked {
                         started: Instant::now(),
                         handle: derived.clone(),
@@ -565,13 +742,15 @@ impl Forwarder {
                 );
             }
             RequestBody::Embed { handle, .. } | RequestBody::PullModel { handle } => {
-                if let Err(reason) = ModelHandle::parse(&handle) {
+                if let Err(reason) = ModelHandle::parse(handle) {
                     self.shared.send_error(Some(id), "invalid_request", reason);
                     return;
                 }
+                let handle = handle.clone();
                 self.forward(
                     id,
-                    raw,
+                    &payload,
+                    &envelope,
                     move |cluster| cluster.route_handle(&handle),
                     || Pending::Forward {
                         started: Instant::now(),
@@ -591,7 +770,8 @@ impl Forwarder {
                         let route_key = key.clone();
                         self.forward(
                             id,
-                            raw,
+                            &payload,
+                            &envelope,
                             move |cluster| cluster.route_handle(&route_key),
                             || Pending::Tracked {
                                 started: Instant::now(),
@@ -601,7 +781,8 @@ impl Forwarder {
                     }
                     None => self.forward(
                         id,
-                        raw,
+                        &payload,
+                        &envelope,
                         |cluster| cluster.route_hash(0),
                         || Pending::Forward {
                             started: Instant::now(),
@@ -615,11 +796,12 @@ impl Forwarder {
                 let mut h = Fnv1a::new();
                 h.write(b"gem-route-embed-corpus:");
                 h.write(method.as_bytes());
-                h.write_u64(corpus_fingerprint(&corpus));
+                h.write_u64(corpus_fingerprint(corpus));
                 let hash = h.finish();
                 self.forward(
                     id,
-                    raw,
+                    &payload,
+                    &envelope,
                     move |cluster| cluster.route_hash(hash),
                     || Pending::Forward {
                         started: Instant::now(),
@@ -671,63 +853,49 @@ fn write_line(stream: &mut TcpStream, raw: &[u8]) -> std::io::Result<()> {
     stream.flush()
 }
 
-/// One upstream connection's reader: correlate response lines with pending requests,
-/// run write-through replication for tracked handles, fold fan-out legs, and — if the
+/// Offer the binary hello on a fresh upstream and read the replica's one-line
+/// verdict. Anything other than a version-matched accept (a typed decline from a
+/// `--json-only` or older replica) leaves the upstream on JSON; the verdict line is
+/// consumed either way, so the upstream reader starts on a clean stream.
+fn negotiate_upstream_codec(
+    write: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    timeout: Duration,
+) -> std::io::Result<UpstreamCodec> {
+    write.write_all(binary::hello_line().as_bytes())?;
+    write.flush()?;
+    // The verdict read is the one upstream read this thread performs itself; bound it
+    // so a stalled replica cannot wedge the client's request.
+    reader.get_ref().set_read_timeout(Some(timeout))?;
+    let mut verdict = String::new();
+    let n = reader.read_line(&mut verdict)?;
+    reader.get_ref().set_read_timeout(None)?;
+    if n == 0 {
+        return Err(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+    }
+    Ok(
+        if binary::parse_accept(&verdict) == Some(PROTOCOL_VERSION) {
+            UpstreamCodec::Binary
+        } else {
+            UpstreamCodec::Json
+        },
+    )
+}
+
+/// One upstream connection's reader: correlate responses with pending requests, run
+/// write-through replication for tracked handles, fold fan-out legs, and — if the
 /// replica dies with requests in flight — drain them to `replica_unavailable`.
 fn read_upstream(
-    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    codec: UpstreamCodec,
     addr: &str,
     shared: &Arc<ConnShared>,
     pending: &Arc<Mutex<PendingMap>>,
     instruments: &ReplicaInstruments,
 ) {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {
-                let Some(id) = salvage_reply_id(&line) else {
-                    continue; // uncorrelated noise; nothing to answer
-                };
-                let entry = lock_or_recover(pending).entries.remove(&id);
-                match entry {
-                    None => {}
-                    Some(Pending::Forward { started }) => {
-                        instruments.latency.record(started.elapsed());
-                        let _ = shared.reply_tx.send(std::mem::take(&mut line));
-                    }
-                    Some(Pending::Tracked { started, handle }) => {
-                        instruments.latency.record(started.elapsed());
-                        let trimmed = line.trim_end_matches(['\r', '\n']);
-                        let succeeded = matches!(
-                            decode_response(trimmed),
-                            Ok(envelope) if !matches!(envelope.body, ResponseBody::Error { .. })
-                        );
-                        if succeeded {
-                            // Write-through BEFORE the client sees success: once the
-                            // response is out, fail-over must already be covered.
-                            shared.cluster.record_placement(&handle, addr);
-                            let _ = shared.cluster.replicate(&handle, addr);
-                        }
-                        let _ = shared.reply_tx.send(std::mem::take(&mut line));
-                    }
-                    Some(Pending::Fan { started, group }) => {
-                        instruments.latency.record(started.elapsed());
-                        let trimmed = line.trim_end_matches(['\r', '\n']);
-                        let body = match decode_response(trimmed) {
-                            Ok(envelope) => match envelope.body {
-                                ResponseBody::Error { .. } => None,
-                                body => Some(body),
-                            },
-                            Err(_) => None,
-                        };
-                        shared.fold_fan_leg(group, body);
-                    }
-                }
-            }
-        }
+    match codec {
+        UpstreamCodec::Json => read_upstream_lines(reader, addr, shared, pending, instruments),
+        UpstreamCodec::Binary => read_upstream_frames(reader, addr, shared, pending, instruments),
     }
     if shared.closing.load(Ordering::SeqCst) {
         return;
@@ -763,8 +931,179 @@ fn read_upstream(
     }
 }
 
+/// The JSON upstream reader loop: newline-delimited response lines, forwarded in the
+/// client's codec. Returns when the upstream EOFs or fails.
+fn read_upstream_lines(
+    mut reader: BufReader<TcpStream>,
+    addr: &str,
+    shared: &Arc<ConnShared>,
+    pending: &Arc<Mutex<PendingMap>>,
+    instruments: &ReplicaInstruments,
+) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let Some(id) = salvage_reply_id(&line) else {
+                    continue; // uncorrelated noise; nothing to answer
+                };
+                let entry = lock_or_recover(pending).entries.remove(&id);
+                match entry {
+                    None => {}
+                    Some(Pending::Forward { started }) => {
+                        instruments.latency.record(started.elapsed());
+                        shared.forward_json_line(&line);
+                    }
+                    Some(Pending::Tracked { started, handle }) => {
+                        instruments.latency.record(started.elapsed());
+                        let trimmed = line.trim_end_matches(['\r', '\n']);
+                        let succeeded = matches!(
+                            decode_response(trimmed),
+                            Ok(envelope) if !matches!(envelope.body, ResponseBody::Error { .. })
+                        );
+                        if succeeded {
+                            // Write-through BEFORE the client sees success: once the
+                            // response is out, fail-over must already be covered.
+                            shared.cluster.record_placement(&handle, addr);
+                            let _ = shared.cluster.replicate(&handle, addr);
+                        }
+                        shared.forward_json_line(&line);
+                    }
+                    Some(Pending::Fan { started, group }) => {
+                        instruments.latency.record(started.elapsed());
+                        let trimmed = line.trim_end_matches(['\r', '\n']);
+                        let body = match decode_response(trimmed) {
+                            Ok(envelope) => match envelope.body {
+                                ResponseBody::Error { .. } => None,
+                                body => Some(body),
+                            },
+                            Err(_) => None,
+                        };
+                        shared.fold_fan_leg(group, body);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The binary upstream reader loop: length-prefixed frames. Streamed `embed_rows`
+/// frames pass through to the client **without retiring** the in-flight entry — the
+/// closing `embed_done` (or a wrapped JSON response) does that. Returns when the
+/// upstream EOFs, fails, or violates framing (indistinguishable from corruption, so
+/// it is treated as a replica death and everything in flight drains to the retryable
+/// error).
+fn read_upstream_frames(
+    mut reader: BufReader<TcpStream>,
+    addr: &str,
+    shared: &Arc<ConnShared>,
+    pending: &Arc<Mutex<PendingMap>>,
+    instruments: &ReplicaInstruments,
+) {
+    let mut assembler = binary::FrameAssembler::new();
+    let mut partials = binary::EmbedPartials::new();
+    loop {
+        let frame = match assembler.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                match reader.fill_buf() {
+                    Ok([]) => return,
+                    Ok(buf) => {
+                        let n = buf.len();
+                        assembler.push(buf);
+                        reader.consume(n);
+                    }
+                    Err(_) => return,
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        match frame.kind {
+            binary::KIND_EMBED_ROWS => {
+                // Stream through verbatim while the request stays pending; rows for
+                // an id that already drained (replica raced its own death) vanish —
+                // the drain already answered that id.
+                let live = frame
+                    .correlation_id()
+                    .is_some_and(|id| lock_or_recover(pending).entries.contains_key(&id));
+                if live {
+                    shared.forward_frame(&frame);
+                }
+            }
+            binary::KIND_EMBED_DONE => {
+                let Some(id) = frame.correlation_id() else {
+                    continue;
+                };
+                let entry = lock_or_recover(pending).entries.remove(&id);
+                match entry {
+                    None => {}
+                    Some(Pending::Forward { started }) | Some(Pending::Tracked { started, .. }) => {
+                        instruments.latency.record(started.elapsed());
+                        shared.forward_frame(&frame);
+                    }
+                    // Embeds never fan out; fold defensively so a confused replica
+                    // cannot wedge a fan group forever.
+                    Some(Pending::Fan { started, group }) => {
+                        instruments.latency.record(started.elapsed());
+                        shared.fold_fan_leg(group, None);
+                    }
+                }
+            }
+            binary::KIND_RESP_JSON => {
+                let Some(id) = frame.correlation_id() else {
+                    continue;
+                };
+                let decoded = binary::decode_response_frame(&frame, &mut partials);
+                let entry = lock_or_recover(pending).entries.remove(&id);
+                match entry {
+                    None => {}
+                    Some(Pending::Forward { started }) => {
+                        instruments.latency.record(started.elapsed());
+                        shared.forward_frame(&frame);
+                    }
+                    Some(Pending::Tracked { started, handle }) => {
+                        instruments.latency.record(started.elapsed());
+                        let succeeded = matches!(
+                            &decoded,
+                            Ok(Some(envelope))
+                                if !matches!(envelope.body, ResponseBody::Error { .. })
+                        );
+                        if succeeded {
+                            // Write-through BEFORE the client sees success: once the
+                            // response is out, fail-over must already be covered.
+                            shared.cluster.record_placement(&handle, addr);
+                            let _ = shared.cluster.replicate(&handle, addr);
+                        }
+                        shared.forward_frame(&frame);
+                    }
+                    Some(Pending::Fan { started, group }) => {
+                        instruments.latency.record(started.elapsed());
+                        let body = match decoded {
+                            Ok(Some(envelope)) => match envelope.body {
+                                ResponseBody::Error { .. } => None,
+                                body => Some(body),
+                            },
+                            _ => None,
+                        };
+                        shared.fold_fan_leg(group, body);
+                    }
+                }
+            }
+            _ => {} // an unknown response kind is uncorrelated noise
+        }
+    }
+}
+
 /// Serve one client connection: reader loop here, writer on its own thread, upstream
 /// readers spawned on demand.
+///
+/// A connection starts in JSON line mode. If the **first** line is a version-matched
+/// binary hello the router accepts it (it always speaks binary; upstream replicas may
+/// still individually negotiate down) and the connection switches to frame mode for
+/// its whole remaining life.
 fn serve_connection(stream: TcpStream, cluster: Arc<Cluster>, shutdown: Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
@@ -773,13 +1112,14 @@ fn serve_connection(stream: TcpStream, cluster: Arc<Cluster>, shutdown: Arc<Atom
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
     let writer = std::thread::spawn(move || write_replies(write_half, &reply_rx));
     let shared = Arc::new(ConnShared {
         cluster,
         reply_tx,
         groups: Mutex::new(HashMap::new()),
         closing: AtomicBool::new(false),
+        client_binary: AtomicBool::new(false),
     });
     let mut forwarder = Forwarder {
         shared: Arc::clone(&shared),
@@ -789,13 +1129,44 @@ fn serve_connection(stream: TcpStream, cluster: Arc<Cluster>, shutdown: Arc<Atom
 
     let mut reader = BufReader::new(stream);
     let mut line: Vec<u8> = Vec::new();
+    let mut awaiting_first_line = true;
     while !shutdown.load(Ordering::SeqCst) {
         match reader.read_until(b'\n', &mut line) {
             Ok(0) => break, // client hung up
             Ok(_) => {
-                if !line.iter().all(u8::is_ascii_whitespace) {
-                    forwarder.handle_line(&line);
+                if line.iter().all(u8::is_ascii_whitespace) {
+                    line.clear();
+                    continue;
                 }
+                if awaiting_first_line {
+                    awaiting_first_line = false;
+                    let offer = std::str::from_utf8(&line)
+                        .ok()
+                        .and_then(binary::parse_hello);
+                    match offer {
+                        Some(version) if version == PROTOCOL_VERSION => {
+                            shared.client_binary.store(true, Ordering::SeqCst);
+                            let _ = shared.reply_tx.send(binary::accept_line().into_bytes());
+                            serve_binary_client(reader, &mut forwarder, &shutdown);
+                            break;
+                        }
+                        Some(version) => {
+                            shared.send_error(
+                                None,
+                                "version_mismatch",
+                                format!(
+                                    "binary codec hello names protocol version \
+                                     {version}; this router speaks {PROTOCOL_VERSION} \
+                                     — continuing in JSON"
+                                ),
+                            );
+                            line.clear();
+                            continue;
+                        }
+                        None => {} // an ordinary request line; fall through
+                    }
+                }
+                forwarder.handle_line(&line);
                 line.clear();
             }
             Err(e)
@@ -817,15 +1188,104 @@ fn serve_connection(stream: TcpStream, cluster: Arc<Cluster>, shutdown: Arc<Atom
     let _ = writer.join();
 }
 
-/// The client connection's writer: responses (forwarded lines and router-built ones)
-/// go out in completion order.
-fn write_replies(mut stream: TcpStream, replies: &mpsc::Receiver<String>) {
-    for reply in replies {
-        let newline_terminated = reply.ends_with('\n');
-        if stream.write_all(reply.as_bytes()).is_err() {
-            return;
+/// The frame-mode client reader loop, entered after an accepted binary hello.
+///
+/// Chunked uploads are reassembled here exactly once, and — the routing win — the
+/// corpus fingerprint is computed **incrementally from the chunk events**, so by the
+/// time `end_fit` lands the model key (identical to the replica's, and to an offline
+/// [`gem_store::model_key`]) costs two hash finishes instead of a second multi-
+/// megabyte corpus walk.
+fn serve_binary_client(
+    mut reader: BufReader<TcpStream>,
+    forwarder: &mut Forwarder,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut assembler = binary::FrameAssembler::new();
+    let mut chunks = binary::ChunkAssembler::new();
+    let mut hashers: HashMap<u64, CorpusHasher> = HashMap::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let frame = match assembler.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                match reader.fill_buf() {
+                    Ok([]) => return, // client hung up
+                    Ok(buf) => {
+                        let n = buf.len();
+                        assembler.push(buf);
+                        reader.consume(n);
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        continue; // shutdown tick
+                    }
+                    Err(_) => return,
+                }
+                continue;
+            }
+            Err(e) => {
+                // A framing violation has no resynchronisation point on a byte
+                // stream: answer the typed error uncorrelated and drop the link.
+                forwarder.shared.send_error(None, e.code(), e.to_string());
+                return;
+            }
+        };
+        if binary::ChunkAssembler::is_chunk_kind(frame.kind) {
+            let accepted = chunks.accept(&frame, |event| match event {
+                binary::ChunkEvent::Begin { id, total_columns } => {
+                    hashers.insert(id, CorpusHasher::new(total_columns));
+                }
+                binary::ChunkEvent::Columns { id, columns } => {
+                    if let Some(hasher) = hashers.get_mut(&id) {
+                        hasher.push_columns(columns);
+                    }
+                }
+            });
+            match accepted {
+                Ok(Some(envelope)) => {
+                    let corpus_fp = hashers.remove(&envelope.id).map(CorpusHasher::finish);
+                    forwarder.dispatch(envelope, ForwardPayload::Reencode, corpus_fp);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // A chunk-sequence violation costs only that upload: the
+                    // assembler already dropped its partial state, we drop the
+                    // matching hasher, and the connection (with any interleaved
+                    // uploads) lives on.
+                    let id = frame.correlation_id();
+                    if let Some(id) = id {
+                        hashers.remove(&id);
+                    }
+                    forwarder.shared.send_error(id, e.code(), e.to_string());
+                }
+            }
+        } else {
+            match binary::decode_request_frame(&frame) {
+                Ok(envelope) => match binary::frame_bytes(frame.kind, &frame.payload) {
+                    Ok(raw) => {
+                        forwarder.dispatch(envelope, ForwardPayload::Frame(&raw), None);
+                    }
+                    Err(_) => forwarder.dispatch(envelope, ForwardPayload::Reencode, None),
+                },
+                Err(e) => {
+                    forwarder
+                        .shared
+                        .send_error(frame.correlation_id(), e.code(), e.to_string());
+                }
+            }
         }
-        if !newline_terminated && stream.write_all(b"\n").is_err() {
+    }
+}
+
+/// The client connection's writer: every queued reply is a complete wire blob in the
+/// client's codec (newline-terminated JSON line or binary frame) and is written
+/// byte-for-byte — editing here would corrupt binary frames.
+fn write_replies(mut stream: TcpStream, replies: &mpsc::Receiver<Vec<u8>>) {
+    for reply in replies {
+        if stream.write_all(&reply).is_err() {
             return;
         }
         if stream.flush().is_err() {
@@ -838,7 +1298,9 @@ fn write_replies(mut stream: TcpStream, replies: &mpsc::Receiver<String>) {
 mod tests {
     use super::*;
     use crate::metrics::RouterMetrics;
+    use gem_core::{FeatureSet, GemColumn, GemConfig, MethodRegistry};
     use gem_serve::client::{ClientError, GemClient};
+    use gem_serve::{model_key, EmbedService, GemServer, ServerHandle};
 
     fn empty_router() -> (RouterHandle, SocketAddr, JoinHandle<std::io::Result<()>>) {
         let metrics = Arc::new(RouterMetrics::new());
@@ -892,6 +1354,131 @@ mod tests {
         }
         handle.shutdown();
         let _ = thread.join();
+    }
+
+    fn real_replica(json_only: bool) -> (ServerHandle, JoinHandle<std::io::Result<()>>) {
+        let config = GemConfig::fast();
+        let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
+        service.register_gem_family(&config);
+        let mut server = GemServer::bind(Arc::new(service), ("127.0.0.1", 0))
+            .expect("bind replica")
+            .with_workers(2);
+        if json_only {
+            server = server.with_json_only();
+        }
+        let handle = server.handle().expect("replica handle");
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn router_over(
+        replica: SocketAddr,
+    ) -> (
+        Arc<Cluster>,
+        RouterHandle,
+        SocketAddr,
+        JoinHandle<std::io::Result<()>>,
+    ) {
+        let metrics = Arc::new(RouterMetrics::new());
+        let cluster = Arc::new(Cluster::with_options(
+            &[replica.to_string()],
+            metrics,
+            8,
+            1,
+            Duration::from_millis(50),
+            Duration::from_millis(500),
+        ));
+        let server = RouterServer::bind(Arc::clone(&cluster), ("127.0.0.1", 0)).expect("bind");
+        let handle = server.handle();
+        let addr = server.local_addr();
+        let thread = std::thread::spawn(move || server.run());
+        (cluster, handle, addr, thread)
+    }
+
+    fn test_corpus() -> Vec<GemColumn> {
+        (0..4)
+            .map(|c| {
+                GemColumn::new(
+                    (0..300)
+                        .map(|i| f64::from(i) * 0.25 + f64::from(c) * 40.0)
+                        .collect(),
+                    format!("col_{c}"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_clients_chunk_fits_through_the_router_with_incremental_keys() {
+        let (replica, replica_join) = real_replica(false);
+        let (cluster, handle, addr, thread) = router_over(replica.addr());
+        let config = GemConfig::fast();
+        let corpus = test_corpus();
+
+        // chunk_bytes(1) clamps to the 1 KiB floor, so this ~10 KiB corpus genuinely
+        // travels as a begin_fit / corpus_chunk* / end_fit sequence.
+        let mut client = GemClient::connect(addr)
+            .expect("connect")
+            .with_chunk_bytes(1);
+        assert_eq!(client.codec_name(), "binary");
+        let fitted = client
+            .fit(&corpus, &config, FeatureSet::ds())
+            .expect("chunked fit through the router");
+        let expected = model_key(&corpus, &config, FeatureSet::ds());
+        assert_eq!(fitted.handle, ModelHandle::from(expected));
+        // The router keyed its placement from the *incremental* chunk hash — it must
+        // land on the same hex as the offline derivation, or fail-over would look the
+        // model up under a name nobody else computes.
+        assert_eq!(
+            cluster.placement_of(&expected.to_hex()),
+            Some(replica.addr().to_string()),
+            "placement recorded under the incrementally fingerprinted key"
+        );
+
+        // Streamed embed rows forward through the router verbatim and match what the
+        // replica serves directly.
+        let embedded = client.embed(fitted.handle, &corpus).expect("embed");
+        assert_eq!(embedded.matrix.rows(), corpus.len());
+        let mut direct = GemClient::connect_json(replica.addr()).expect("direct connect");
+        let via_direct = direct.embed(fitted.handle, &corpus).expect("direct embed");
+        assert_eq!(embedded.matrix, via_direct.matrix);
+
+        handle.shutdown();
+        let _ = thread.join();
+        replica.shutdown();
+        let _ = replica_join.join();
+    }
+
+    #[test]
+    fn json_only_replicas_still_serve_binary_clients_through_the_router() {
+        let (replica, replica_join) = real_replica(true);
+        let (_cluster, handle, addr, thread) = router_over(replica.addr());
+        let config = GemConfig::fast();
+        let corpus = test_corpus();
+
+        // The client negotiates binary with the router; the replica declines the
+        // router's upstream hello, so every request is converted to JSON on the way
+        // up and every response wrapped into a frame on the way back.
+        let mut client = GemClient::connect(addr).expect("connect");
+        assert_eq!(client.codec_name(), "binary");
+        let fitted = client
+            .fit(&corpus, &config, FeatureSet::ds())
+            .expect("fit through codec conversion");
+        assert_eq!(
+            fitted.handle,
+            ModelHandle::from(model_key(&corpus, &config, FeatureSet::ds()))
+        );
+        let embedded = client.embed(fitted.handle, &corpus).expect("embed");
+        assert_eq!(embedded.matrix.rows(), corpus.len());
+        let mut direct = GemClient::connect_json(replica.addr()).expect("direct connect");
+        let via_direct = direct.embed(fitted.handle, &corpus).expect("direct embed");
+        assert_eq!(embedded.matrix, via_direct.matrix);
+
+        handle.shutdown();
+        let _ = thread.join();
+        replica.shutdown();
+        let _ = replica_join.join();
     }
 
     #[test]

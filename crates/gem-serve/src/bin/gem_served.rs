@@ -4,7 +4,8 @@
 //! ```sh
 //! gem-served [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
 //!            [--metrics-addr HOST:PORT] [--cache-capacity N] [--ttl-secs N]
-//!            [--max-bytes N] [--store DIR] [--components N] [--serial] [--ctl-stdin]
+//!            [--max-bytes N] [--store DIR] [--components N] [--serial] [--json-only]
+//!            [--ctl-stdin]
 //! ```
 //!
 //! * `--addr` — listen address; use port `0` for an ephemeral port. The resolved
@@ -28,6 +29,10 @@
 //! * `--components` — GMM components of the registered `EmbedCorpus` method family
 //!   (`Fit` requests carry their own configuration and are unaffected).
 //! * `--serial` — disable thread fan-out inside the service (identical output).
+//! * `--json-only` — decline the binary-codec hello: every connection stays on
+//!   newline-delimited JSON envelopes. Negotiating clients fall back transparently.
+//!   For debugging with line tools and for exercising mixed-codec fleets; corpora
+//!   whose JSON rendering exceeds the line cap cannot fit through such a server.
 //! * `--ctl-stdin` — watch stdin for graceful shutdown: a `shutdown` line (or EOF)
 //!   stops accepting, drains in-flight work, and logs the one-line structured
 //!   `shutdown summary` (requests served, coalesced fits, worker high-water) before
@@ -86,6 +91,7 @@ struct Args {
     store: Option<String>,
     components: usize,
     serial: bool,
+    json_only: bool,
     ctl_stdin: bool,
 }
 
@@ -101,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         store: None,
         components: GemConfig::default().gmm.n_components,
         serial: false,
+        json_only: false,
         ctl_stdin: false,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -154,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--components needs a positive integer".to_string())?;
             }
             "--serial" => args.serial = true,
+            "--json-only" => args.json_only = true,
             "--ctl-stdin" => args.ctl_stdin = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -175,7 +183,7 @@ fn run() -> Result<(), String> {
         format!(
             "{e}\nusage: gem-served [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
              [--metrics-addr HOST:PORT] [--cache-capacity N] [--ttl-secs N] [--max-bytes N] \
-             [--store DIR] [--components N] [--serial] [--ctl-stdin]"
+             [--store DIR] [--components N] [--serial] [--json-only] [--ctl-stdin]"
         )
     })?;
 
@@ -206,6 +214,9 @@ fn run() -> Result<(), String> {
     }
     if let Some(capacity) = args.queue_capacity {
         server = server.with_queue_capacity(capacity);
+    }
+    if args.json_only {
+        server = server.with_json_only();
     }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let handle = server.handle().map_err(|e| e.to_string())?;

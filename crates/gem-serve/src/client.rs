@@ -17,6 +17,20 @@
 //!   returns first instead of queueing behind it. The two modes compose: a typed call
 //!   issued while pipelined requests are outstanding parks any foreign responses it
 //!   reads and [`GemClient::recv_any`] hands them out afterwards.
+//!
+//! ## Codec negotiation
+//!
+//! [`GemClient::connect`] opens the connection in JSON, sends the `gem_proto::binary`
+//! hello as its first line, and switches to the length-prefixed binary codec when the
+//! server accepts — f64 matrices cross the wire as raw little-endian IEEE-754 bytes
+//! (bit-exact both ways, no hex strings, no per-value allocation), oversized `Fit`
+//! corpora go up as chunked uploads ([`GemClient::with_chunk_bytes`]), and `Embed`
+//! responses stream back as row frames that are reassembled here. A server that
+//! declines the hello (a pre-v5 build, or `gem-served --json-only`) answers it with an
+//! uncorrelated error line, which this client consumes as "negotiate down": the *same*
+//! connection continues in JSON, no reconnect. [`GemClient::connect_json`] skips the
+//! hello for debugging with a wire dump; [`GemClient::codec_name`] reports what was
+//! negotiated.
 
 use crate::handle::ModelHandle;
 use crate::net::served_from_of;
@@ -24,7 +38,7 @@ use crate::ServedFrom;
 use gem_core::{Composition, FeatureSet, GemColumn, GemConfig};
 use gem_json::Json;
 use gem_numeric::Matrix;
-use gem_proto::{self as proto, RequestBody, ResponseBody};
+use gem_proto::{self as proto, binary, RequestBody, ResponseBody};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -235,15 +249,41 @@ pub struct GemClient {
     in_flight: HashSet<u64>,
     /// Correlated responses read while waiting for a different id, in arrival order.
     parked: VecDeque<(u64, ResponseBody)>,
+    /// The codec negotiated at connect time; never changes afterwards.
+    codec: WireCodec,
+    /// Binary-codec frame reassembly (unused in JSON mode).
+    assembler: binary::FrameAssembler,
+    /// Streamed embed rows accumulated per in-flight id (unused in JSON mode).
+    partials: binary::EmbedPartials,
+    /// Corpus payloads above this many wire bytes go up as chunked uploads.
+    chunk_bytes: usize,
+}
+
+/// Which codec a [`GemClient`] connection settled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireCodec {
+    Json,
+    Binary,
 }
 
 impl GemClient {
-    /// Connect to a serving address (`host:port`).
+    /// Connect to a serving address (`host:port`), negotiating the binary codec and
+    /// falling back to JSON on the same connection when the server declines.
     ///
     /// # Errors
     /// [`ClientError::Io`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        Self::from_stream(TcpStream::connect(addr)?)
+        Self::from_stream(TcpStream::connect(addr)?, true)
+    }
+
+    /// Connect speaking newline-delimited JSON only — no binary hello is sent. For
+    /// debugging with a readable wire dump, and for byte-level compatibility checks
+    /// (`gem-client --codec json`).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect_json(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::from_stream(TcpStream::connect(addr)?, false)
     }
 
     /// [`GemClient::connect`] with a deadline on *every* socket operation: the connect
@@ -265,7 +305,7 @@ impl GemClient {
                 Ok(stream) => {
                     stream.set_read_timeout(Some(timeout))?;
                     stream.set_write_timeout(Some(timeout))?;
-                    return Self::from_stream(stream);
+                    return Self::from_stream(stream, true);
                 }
                 Err(e) => last = Some(e),
             }
@@ -278,20 +318,70 @@ impl GemClient {
         })))
     }
 
-    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
+    fn from_stream(stream: TcpStream, negotiate: bool) -> Result<Self, ClientError> {
         // Pipelining lives or dies on this: with Nagle's algorithm on, a burst of
         // small request lines is held back waiting for ACKs (≈40ms of delayed-ACK
         // stall per burst), which would serialize exactly the traffic pipelining
         // exists to overlap.
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(GemClient {
+        let mut client = GemClient {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
             in_flight: HashSet::new(),
             parked: VecDeque::new(),
-        })
+            codec: WireCodec::Json,
+            assembler: binary::FrameAssembler::new(),
+            partials: binary::EmbedPartials::new(),
+            chunk_bytes: binary::DEFAULT_CHUNK_BYTES,
+        };
+        if negotiate {
+            client.negotiate_binary()?;
+        }
+        Ok(client)
+    }
+
+    /// Send the binary hello and read the server's one-line verdict. An accept at our
+    /// protocol version switches the connection to the binary codec; *any other
+    /// answer* — a `protocol_error` from a JSON-only or pre-v5 server that saw the
+    /// hello as a malformed request, a `version_mismatch` decline — downgrades to JSON
+    /// on the same connection. Only transport failures are errors.
+    fn negotiate_binary(&mut self) -> Result<(), ClientError> {
+        self.writer.write_all(binary::hello_line().as_bytes())?;
+        self.writer.flush()?;
+        let mut verdict = String::new();
+        if self.reader.read_line(&mut verdict)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection during codec negotiation",
+            )));
+        }
+        if binary::parse_accept(&verdict) == Some(proto::PROTOCOL_VERSION) {
+            self.codec = WireCodec::Binary;
+        }
+        // Any non-accept verdict (an uncorrelated error line from a server that
+        // cannot or will not speak binary) is consumed here; the connection simply
+        // stays in JSON. A garbled verdict line also lands here: JSON is the codec
+        // that makes no assumptions about the peer.
+        Ok(())
+    }
+
+    /// The wire codec this connection negotiated: `"binary"` or `"json"`.
+    pub fn codec_name(&self) -> &'static str {
+        match self.codec {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Set the chunk budget (in wire bytes) for corpus uploads on the binary codec:
+    /// a `Fit`/`FitUpdate` whose corpus exceeds it is sent as a
+    /// `begin_fit`/`corpus_chunk`/`end_fit` sequence instead of one giant frame.
+    /// Values below 1 KiB are clamped up. No effect on the JSON codec.
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes;
+        self
     }
 
     /// Pipeline a request: write it and return its correlation id *without waiting for
@@ -303,8 +393,21 @@ impl GemClient {
     pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = proto::encode_request(&proto::RequestEnvelope::new(id, body));
-        self.writer.write_all(line.as_bytes())?;
+        let envelope = proto::RequestEnvelope::new(id, body);
+        match self.codec {
+            WireCodec::Json => {
+                let line = proto::encode_request(&envelope);
+                self.writer.write_all(line.as_bytes())?;
+            }
+            WireCodec::Binary => {
+                // One frame normally; a corpus above the chunk budget becomes the
+                // begin/chunk/end upload sequence. The frames are written back to
+                // back and flushed once: one TCP push per request.
+                for frame in binary::encode_request_frames(&envelope, self.chunk_bytes)? {
+                    self.writer.write_all(&frame)?;
+                }
+            }
+        }
         self.writer.flush()?;
         self.in_flight.insert(id);
         Ok(id)
@@ -343,16 +446,41 @@ impl GemClient {
         })
     }
 
-    /// Read one response line and correlate it against the in-flight set.
+    /// Read one complete response off the socket — a JSON line, or however many binary
+    /// frames it takes to finish one (streamed embed row frames accumulate in
+    /// [`binary::EmbedPartials`] until their `embed_done`) — and correlate it against
+    /// the in-flight set.
     fn read_correlated(&mut self) -> Result<(u64, ResponseBody), ClientError> {
-        let mut response = String::new();
-        if self.reader.read_line(&mut response)? == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before responding",
-            )));
-        }
-        let envelope = proto::decode_response(&response)?;
+        let envelope = match self.codec {
+            WireCodec::Json => {
+                let mut response = String::new();
+                if self.reader.read_line(&mut response)? == 0 {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before responding",
+                    )));
+                }
+                proto::decode_response(&response)?
+            }
+            WireCodec::Binary => loop {
+                if let Some(frame) = self.assembler.next_frame()? {
+                    match binary::decode_response_frame(&frame, &mut self.partials)? {
+                        Some(envelope) => break envelope,
+                        None => continue, // a row frame; keep accumulating
+                    }
+                }
+                let buffered = self.reader.fill_buf()?;
+                if buffered.is_empty() {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before responding",
+                    )));
+                }
+                let read = buffered.len();
+                self.assembler.push(buffered);
+                self.reader.consume(read);
+            },
+        };
         let Some(id) = envelope.in_reply_to else {
             // An uncorrelatable framing error: the server could not tell which request
             // the offending line was. This client only writes well-formed lines, so

@@ -1,0 +1,87 @@
+//! Codec-agnostic socket plumbing shared by every connection: the byte-counting
+//! response writer and the binary-frame read pump.
+//!
+//! Both codecs produce **exact wire blobs** upstream of this module (JSON senders
+//! include their trailing `\n`; binary senders produce complete frames), so the writer
+//! here never re-frames anything — it writes what it is handed, coalescing
+//! already-completed responses into one flush so streamed embed rows and pipelined
+//! responses ride a single TCP push (the sockets run `TCP_NODELAY`, so every flush is
+//! a segment on the wire).
+//!
+//! This module is inside the lint gate's wire scope (L3 panic-free, L5 bit-exact):
+//! nothing here may panic on foreign bytes, and no float ever passes through a lossy
+//! cast or formatting.
+
+use crate::metrics::ServerMetrics;
+use gem_proto::binary::FrameAssembler;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+
+/// What one pump step observed on the socket.
+pub(crate) enum ReadStep {
+    /// Bytes arrived and were pushed into the assembler.
+    Bytes,
+    /// The read timed out (the shutdown-check tick) — nothing was lost.
+    Tick,
+    /// The peer closed the stream.
+    Eof,
+    /// The read failed for good (connection reset, …).
+    Failed,
+}
+
+/// Pull whatever the socket has buffered into the frame assembler, counting the bytes
+/// into the wire-read telemetry. A read-timeout tick loses nothing: the assembler
+/// keeps partial frames across calls.
+pub(crate) fn pump_frames(
+    reader: &mut BufReader<TcpStream>,
+    assembler: &mut FrameAssembler,
+    metrics: &ServerMetrics,
+) -> ReadStep {
+    match reader.fill_buf() {
+        Ok([]) => ReadStep::Eof,
+        Ok(bytes) => {
+            let read = bytes.len();
+            assembler.push(bytes);
+            reader.consume(read);
+            metrics.count_wire_read(read as u64);
+            ReadStep::Bytes
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            ReadStep::Tick
+        }
+        Err(_) => ReadStep::Failed,
+    }
+}
+
+/// One connection's writer loop: write completed responses in the order executors
+/// finish them, counting every byte into the wire-written telemetry. Exits when every
+/// sender is gone or on the first write failure (the peer vanished). Responses already
+/// waiting in the channel are coalesced into one flush.
+pub(crate) fn write_responses(
+    mut stream: TcpStream,
+    responses: &mpsc::Receiver<Vec<u8>>,
+    metrics: &ServerMetrics,
+) {
+    for response in responses {
+        if stream.write_all(&response).is_err() {
+            return;
+        }
+        let mut written = response.len() as u64;
+        while let Ok(next) = responses.try_recv() {
+            if stream.write_all(&next).is_err() {
+                return;
+            }
+            written = written.saturating_add(next.len() as u64);
+        }
+        metrics.count_wire_written(written);
+        if stream.flush().is_err() {
+            return;
+        }
+    }
+}

@@ -28,9 +28,12 @@
 //!   snapshot shipping between replicas) with the stable-coded [`ServeError`] taxonomy.
 //!   Duplicate in-flight fits are **single-flight**: N concurrent requests for one
 //!   missing handle pay one EM fit ([`CacheStats::coalesced_fits`]).
-//! * [`net::GemServer`] / [`client::GemClient`] — the same protocol over TCP as
-//!   newline-delimited `gem-proto` JSON envelopes (the `gem-served` and `gem-client`
-//!   binaries wrap them). The server multiplexes every connection onto one bounded
+//! * [`net::GemServer`] / [`client::GemClient`] — the same protocol over TCP (the
+//!   `gem-served` and `gem-client` binaries wrap them). Connections start as
+//!   newline-delimited `gem-proto` JSON envelopes; the client negotiates the binary
+//!   codec (`gem_proto::binary`: length-prefixed frames, raw-IEEE-754 f64 payloads,
+//!   chunked corpus upload, streamed embed rows) and falls back to JSON against
+//!   servers that decline. The server multiplexes every connection onto one bounded
 //!   executor pool and answers **out of order** (a cheap `Embed` overtakes a slow
 //!   `Fit`); the client's pipelined mode ([`GemClient::send`] /
 //!   [`GemClient::recv_any`]) correlates replies by envelope id.
@@ -69,6 +72,7 @@ pub mod client;
 pub mod demo;
 mod engine;
 mod error;
+mod framing;
 mod handle;
 pub mod metrics;
 pub mod net;

@@ -18,7 +18,7 @@
 use crate::net::ServerCounters;
 use crate::service::ServiceStats;
 use gem_proto::{RequestBody, WireLatency};
-use gem_telemetry::{FloatGauge, Gauge, Histogram, MetricsRegistry, RateWindow};
+use gem_telemetry::{Counter, FloatGauge, Gauge, Histogram, MetricsRegistry, RateWindow};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -144,6 +144,10 @@ pub struct ServerMetrics {
     service_time: Arc<Histogram>,
     requests_per_second: Arc<FloatGauge>,
     rate: RateWindow,
+    wire_bytes_read: Arc<Counter>,
+    wire_bytes_written: Arc<Counter>,
+    conn_inflight: Arc<Gauge>,
+    conn_inflight_peak: Arc<Gauge>,
 }
 
 impl Default for ServerMetrics {
@@ -173,6 +177,22 @@ impl ServerMetrics {
         let service_time = registry.histogram(
             "gem_service_seconds",
             "execute-phase latency across all request shapes",
+        );
+        let wire_bytes_read = registry.counter(
+            "gem_wire_bytes_read_total",
+            "bytes read off client sockets (both codecs, payload and framing)",
+        );
+        let wire_bytes_written = registry.counter(
+            "gem_wire_bytes_written_total",
+            "bytes written to client sockets (both codecs, payload and framing)",
+        );
+        let conn_inflight = registry.gauge(
+            "gem_connection_inflight_depth",
+            "in-flight pipeline depth of the connection that most recently changed",
+        );
+        let conn_inflight_peak = registry.gauge(
+            "gem_connection_inflight_peak",
+            "deepest any single connection's pipeline has ever been",
         );
         let shapes = SHAPES
             .iter()
@@ -209,6 +229,10 @@ impl ServerMetrics {
             service_time,
             requests_per_second,
             rate: RateWindow::new(),
+            wire_bytes_read,
+            wire_bytes_written,
+            conn_inflight,
+            conn_inflight_peak,
         }
     }
 
@@ -240,6 +264,39 @@ impl ServerMetrics {
     /// The live busy-executors gauge.
     pub(crate) fn busy_gauge(&self) -> &Gauge {
         &self.busy_gauge
+    }
+
+    /// Count bytes read off a client socket (either codec).
+    pub(crate) fn count_wire_read(&self, bytes: u64) {
+        self.wire_bytes_read.add(bytes);
+    }
+
+    /// Count bytes written to a client socket (either codec).
+    pub(crate) fn count_wire_written(&self, bytes: u64) {
+        self.wire_bytes_written.add(bytes);
+    }
+
+    /// Record that some connection's in-flight pipeline depth changed: the depth gauge
+    /// follows the most recent change, the peak gauge only ratchets upward — the
+    /// fairness signal (who flooded the queue) survives the offender disconnecting.
+    pub(crate) fn observe_connection_depth(&self, depth: u64) {
+        self.conn_inflight.set(depth);
+        self.conn_inflight_peak.ratchet(depth);
+    }
+
+    /// Total bytes read off client sockets.
+    pub fn wire_bytes_read(&self) -> u64 {
+        self.wire_bytes_read.get()
+    }
+
+    /// Total bytes written to client sockets.
+    pub fn wire_bytes_written(&self) -> u64 {
+        self.wire_bytes_written.get()
+    }
+
+    /// The deepest any single connection's pipeline has ever been.
+    pub fn connection_inflight_peak(&self) -> u64 {
+        self.conn_inflight_peak.get()
     }
 
     /// Pin the pool-size and queue-capacity gauges (once, at server start).

@@ -1,9 +1,18 @@
 //! The socket front-end: [`GemServer`] serves the handle-based protocol over TCP with a
 //! **shared executor pool and out-of-order responses**.
 //!
-//! Framing is newline-delimited `gem-proto` JSON (one [`gem_proto::RequestEnvelope`]
-//! per line in, one [`gem_proto::ResponseEnvelope`] per line out), so any language with
-//! sockets and JSON can speak to it. The server is deliberately `std::net`-only — the
+//! Every connection starts as newline-delimited `gem-proto` JSON (one
+//! [`gem_proto::RequestEnvelope`] per line in, one [`gem_proto::ResponseEnvelope`] per
+//! line out, lines capped at [`gem_proto::MAX_JSON_LINE_BYTES`]), so any language with
+//! sockets and JSON can speak to it. A client may negotiate the **binary codec** by
+//! sending the `gem_proto::binary` hello as its first line: the reader answers the
+//! accept line and the connection switches to `[u32 len][u8 kind][payload]` frames —
+//! f64 payloads as raw little-endian IEEE-754 bytes, `Fit`/`FitUpdate` corpora too
+//! large for one frame streamed as chunked uploads (reassembled in the reader, in
+//! order), and `Embed` responses streamed as row slices while the transform batches
+//! complete. Servers built [`GemServer::with_json_only`] decline the hello exactly like
+//! a pre-v5 build (an uncorrelated `protocol_error` line), which is what clients treat
+//! as "negotiate down to JSON". The server is deliberately `std::net`-only — the
 //! expensive work (EM fits, transforms) is CPU-bound, so a bounded pool of OS threads
 //! *is* the right executor; an async reactor would add a dependency without adding
 //! throughput.
@@ -45,13 +54,15 @@
 //!   `in_reply_to: null` when not — instead of a dropped connection.
 
 use crate::error::ServeError;
+use crate::framing::{pump_frames, write_responses, ReadStep};
 use crate::handle::ModelHandle;
 use crate::metrics::{RequestShape, ServerMetrics};
 use crate::service::{EmbedService, ModelInfo, ServeRequest, ServeResponse, ServiceStats};
 use crate::{CacheTier, ServedFrom};
-use gem_proto::{self as proto, RequestBody, ResponseBody};
+use gem_numeric::Matrix;
+use gem_proto::{self as proto, binary, RequestBody, ResponseBody};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -161,14 +172,83 @@ pub fn shutdown_summary(counters: &ServerCounters, stats: &ServiceStats) -> Stri
     )
 }
 
-/// One frame read off a connection, awaiting an executor: the raw line and the sending
-/// half of the owning connection's writer channel (so the response lands on the right
-/// socket no matter which executor runs it, and no matter in which order it finishes).
+/// Which codec a connection (and therefore each of its frames) speaks. Selected once
+/// per connection by the hello negotiation; never changes mid-connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Codec {
+    /// Newline-delimited JSON envelopes — every connection's starting state.
+    Json,
+    /// Length-prefixed `gem_proto::binary` frames.
+    Binary,
+}
+
+/// The undecoded request a reader queued, in whichever shape the codec delivered it.
+/// Decoding stays on the executor (the reader never parses payloads) — except chunked
+/// uploads, which the reader must reassemble in arrival order.
+enum FramePayload {
+    /// A JSON-codec line, raw bytes (UTF-8 validated by the executor).
+    JsonLine(Vec<u8>),
+    /// A binary-codec frame (split from the stream, payload not yet decoded).
+    Binary(binary::Frame),
+    /// A request the reader already assembled from a chunked upload sequence.
+    Assembled(Box<proto::RequestEnvelope>),
+}
+
+impl FramePayload {
+    /// Best-effort request id for correlating an error response without decoding.
+    fn salvage_id(&self) -> Option<u64> {
+        match self {
+            FramePayload::JsonLine(line) => std::str::from_utf8(line)
+                .ok()
+                .and_then(proto::salvage_request_id),
+            FramePayload::Binary(frame) => frame.correlation_id(),
+            FramePayload::Assembled(envelope) => Some(envelope.id),
+        }
+    }
+}
+
+/// One frame read off a connection, awaiting an executor: the undecoded payload, the
+/// connection's codec, and the sending half of the owning connection's writer channel
+/// (so the response lands on the right socket no matter which executor runs it, and no
+/// matter in which order it finishes).
 struct Frame {
-    line: Vec<u8>,
-    reply: mpsc::Sender<String>,
+    payload: FramePayload,
+    codec: Codec,
+    reply: mpsc::Sender<Vec<u8>>,
     /// When the reader queued the frame — the start of the queue-wait phase.
     enqueued_at: Instant,
+    /// The owning connection's in-flight depth (shared with its reader): incremented
+    /// at enqueue, decremented when the frame is answered or shed — the
+    /// per-connection fairness signal surfaced through `ServerMetrics`.
+    depth: Arc<AtomicU64>,
+}
+
+impl Frame {
+    /// Mark the frame answered (or shed): drop it from its connection's in-flight
+    /// depth and surface the new depth.
+    fn retire(&self, metrics: &ServerMetrics) {
+        let before = self.depth.fetch_sub(1, Ordering::Relaxed);
+        metrics.observe_connection_depth(before.saturating_sub(1));
+    }
+}
+
+/// Encode an error (or any) response body as exact wire bytes for `codec` — JSON lines
+/// include their trailing newline; binary bodies become complete frames.
+fn encode_error_bytes(codec: Codec, id: Option<u64>, body: ResponseBody) -> Vec<u8> {
+    let envelope = match id {
+        Some(id) => proto::ResponseEnvelope::new(id, body),
+        None => proto::ResponseEnvelope::uncorrelated(body),
+    };
+    match codec {
+        Codec::Json => proto::encode_response(&envelope).into_bytes(),
+        // Error bodies always fit a frame; an encode failure here would mean the
+        // message itself exceeded the frame bound, in which case nothing useful can be
+        // said — send nothing rather than corrupt the stream.
+        Codec::Binary => {
+            binary::wrap_response_line(envelope.in_reply_to, &proto::encode_response(&envelope))
+                .unwrap_or_default()
+        }
+    }
 }
 
 /// The shared MPMC work queue between readers and executors — **bounded**: a push
@@ -221,8 +301,9 @@ impl WorkQueue {
     }
 
     /// Answer a refused frame with the typed `overloaded` error — correlated to the
-    /// request's id when one is salvageable — and count the shed. The frame never
-    /// reaches an executor: shedding is O(1) no matter how expensive the request was.
+    /// request's id when one is salvageable, encoded for the connection's codec — and
+    /// count the shed. The frame never reaches an executor: shedding is O(1) no matter
+    /// how expensive the request was.
     fn shed(&self, frame: Frame) {
         self.counters.requests_shed.fetch_add(1, Ordering::Relaxed);
         let queue_depth = self.metrics.queue_depth();
@@ -231,15 +312,10 @@ impl WorkQueue {
             retry_after_ms: self.metrics.retry_hint_ms(queue_depth),
         };
         let body = error_body(&error);
-        let envelope = match std::str::from_utf8(&frame.line)
-            .ok()
-            .and_then(proto::salvage_request_id)
-        {
-            Some(id) => proto::ResponseEnvelope::new(id, body),
-            None => proto::ResponseEnvelope::uncorrelated(body),
-        };
+        let bytes = encode_error_bytes(frame.codec, frame.payload.salvage_id(), body);
         // A send failure means the connection is already gone — nothing to shed to.
-        let _ = frame.reply.send(proto::encode_response(&envelope));
+        let _ = frame.reply.send(bytes);
+        frame.retire(&self.metrics);
     }
 
     /// Pop the next frame, blocking until one arrives. Returns `None` only when
@@ -319,6 +395,7 @@ pub struct GemServer {
     metrics: Arc<ServerMetrics>,
     workers: usize,
     queue_capacity: usize,
+    json_only: bool,
 }
 
 impl GemServer {
@@ -337,7 +414,22 @@ impl GemServer {
             metrics: Arc::new(ServerMetrics::new()),
             workers: default_workers(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            json_only: false,
         })
+    }
+
+    /// Decline binary-codec negotiation: the hello line is answered like any malformed
+    /// request (an uncorrelated `protocol_error`), exactly as a pre-v5 build would, so
+    /// negotiating clients downgrade to JSON on the same connection. For debugging and
+    /// for testing the downgrade path (`gem-served --json-only`).
+    pub fn with_json_only(mut self) -> Self {
+        self.json_only = true;
+        self
+    }
+
+    /// Whether this server declines binary-codec negotiation.
+    pub fn json_only(&self) -> bool {
+        self.json_only
     }
 
     /// Set the executor-pool size: how many requests (across all connections) execute
@@ -454,8 +546,9 @@ impl GemServer {
             self.counters.connections.fetch_add(1, Ordering::Relaxed);
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&self.shutdown);
+            let json_only = self.json_only;
             readers.push(std::thread::spawn(move || {
-                read_connection(stream, &queue, &shutdown);
+                read_connection(stream, &queue, &shutdown, json_only);
             }));
             readers.retain(|r| !r.is_finished());
         }
@@ -492,57 +585,232 @@ fn executor_loop(
         counters.enter_work();
         metrics.busy_gauge().inc();
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let response = respond_frame(service, &frame.line, queue_wait, counters, metrics);
-        // The gauge drops before the reply is handed to the writer: once the response
-        // exists the worker is free for accounting purposes, and a lockstep client
-        // that reacts to the reply instantly must not see its *previous* request
-        // still counted as busy.
+        // `respond_frame` streams intermediate frames (embed rows) to the writer
+        // itself but hands the *final* frame back, so the gauges drop before the
+        // reply that completes the request leaves: a lockstep client that reacts to
+        // the reply instantly must not see its previous request still counted as
+        // busy or in flight. A send failure means the connection (and its writer)
+        // are gone; the work is simply dropped, like any response to a vanished
+        // peer.
+        let final_frame = respond_frame(service, &frame, queue_wait, counters, metrics);
         metrics.busy_gauge().dec();
-        // A send failure means the connection (and its writer) are gone; the work is
-        // simply dropped, like any response to a vanished peer.
-        let _ = frame.reply.send(response);
+        frame.retire(metrics);
         counters.leave_work();
+        if let Some(bytes) = final_frame {
+            let _ = frame.reply.send(bytes);
+        }
     }
 }
 
+/// How many query columns a streamed binary embed transforms per flushed row frame:
+/// small enough that the first rows reach the client while later batches still
+/// compute, large enough that framing overhead stays negligible.
+const EMBED_STREAM_BATCH: usize = 32;
+
+/// How many result rows ride one `embed_rows` frame when a fully-materialized matrix
+/// (e.g. an `embed_corpus` response) is sliced for the binary codec.
+const EMBED_ROWS_PER_FRAME: usize = 512;
+
+/// Obtain the request envelope from whatever shape the reader queued, or the id to
+/// correlate the decode error with.
+fn decode_payload(
+    payload: &FramePayload,
+) -> Result<proto::RequestEnvelope, (Option<u64>, proto::ProtoError)> {
+    match payload {
+        FramePayload::JsonLine(line) => {
+            // Invalid UTF-8 is *rejected*, not lossily replaced: replacement
+            // characters inside a JSON string would parse fine and silently mutate a
+            // header that participates in the corpus fingerprint. Nothing
+            // correlatable survives, so the error is uncorrelated.
+            let Ok(text) = std::str::from_utf8(line) else {
+                return Err((
+                    None,
+                    proto::ProtoError::Parse {
+                        message: "request line is not valid UTF-8".to_string(),
+                    },
+                ));
+            };
+            proto::decode_request(text).map_err(|e| (proto::salvage_request_id(text), e))
+        }
+        FramePayload::Binary(frame) => {
+            binary::decode_request_frame(frame).map_err(|e| (frame.correlation_id(), e))
+        }
+        FramePayload::Assembled(envelope) => Ok((**envelope).clone()),
+    }
+}
+
+/// Slice a fully-materialized embedding matrix into `embed_rows` frames plus the
+/// closing `embed_done` — the binary rendering of an `Embedded` body.
+fn matrix_frames(id: u64, served_from: &str, matrix: &Matrix) -> Vec<u8> {
+    let cols = matrix.cols();
+    let mut out = Vec::new();
+    if cols > 0 {
+        for rows in matrix
+            .as_slice()
+            .chunks(EMBED_ROWS_PER_FRAME.saturating_mul(cols))
+        {
+            match binary::embed_rows_frame(id, served_from, cols, rows) {
+                Ok(frame) => out.extend_from_slice(&frame),
+                Err(_) => return Vec::new(),
+            }
+        }
+    }
+    match binary::embed_done_frame(id, served_from, cols, matrix.rows()) {
+        Ok(frame) => {
+            out.extend_from_slice(&frame);
+            out
+        }
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Encode a response body as exact wire bytes for `codec`.
+fn encode_body_bytes(codec: Codec, id: u64, body: ResponseBody) -> Vec<u8> {
+    match codec {
+        Codec::Json => proto::encode_response(&proto::ResponseEnvelope::new(id, body)).into_bytes(),
+        Codec::Binary => match &body {
+            ResponseBody::Embedded {
+                matrix,
+                served_from,
+            } => matrix_frames(id, served_from, matrix),
+            _ => encode_error_bytes(Codec::Binary, Some(id), body),
+        },
+    }
+}
+
+/// Serve a binary-codec `Embed` as a row stream: transform the query columns in
+/// batches and flush each batch's rows as an `embed_rows` frame the moment it
+/// completes, closing with `embed_done` — the client starts receiving rows while
+/// later batches are still computing. A failure mid-stream becomes the typed error
+/// frame; the client discards the partial rows it accumulated for this id. Returns
+/// the closing frame (`embed_done` or the typed error) for the executor to send
+/// after the accounting gauges drop; only intermediate row frames are sent here.
+#[allow(clippy::too_many_arguments)]
+fn stream_embed(
+    service: &EmbedService,
+    id: u64,
+    handle: ModelHandle,
+    queries: Vec<gem_core::GemColumn>,
+    reply: &mpsc::Sender<Vec<u8>>,
+    queue_wait: Duration,
+    decode: Duration,
+    metrics: &ServerMetrics,
+) -> Option<Vec<u8>> {
+    let execute_started = Instant::now();
+    let mut encode_time = Duration::ZERO;
+    let mut sent_rows = 0usize;
+    let mut cols = 0usize;
+    let mut served_from = String::new();
+    // Zero queries still resolve the handle (and surface unknown_model) through one
+    // empty serve call, exactly like the JSON path.
+    let batches: Vec<&[gem_core::GemColumn]> = if queries.is_empty() {
+        vec![queries.as_slice()]
+    } else {
+        queries.chunks(EMBED_STREAM_BATCH).collect()
+    };
+    for batch in batches {
+        match service.serve_one(ServeRequest::Embed {
+            handle,
+            queries: batch.to_vec(),
+        }) {
+            Ok(ServeResponse::Embedded {
+                matrix,
+                served_from: from,
+            }) => {
+                cols = matrix.cols();
+                sent_rows = sent_rows.saturating_add(matrix.rows());
+                served_from = from.wire_name().to_string();
+                let encode_started = Instant::now();
+                let frame = if cols > 0 || matrix.rows() == 0 {
+                    binary::embed_rows_frame(id, &served_from, cols, matrix.as_slice())
+                } else {
+                    Err(proto::ProtoError::Parse {
+                        message: "embed produced rows without columns".to_string(),
+                    })
+                };
+                let sent = match frame {
+                    Ok(bytes) => reply.send(bytes).is_ok(),
+                    Err(_) => false,
+                };
+                encode_time += encode_started.elapsed();
+                if !sent {
+                    // The connection is gone (or the frame was unencodable); stop
+                    // transforming for a peer that cannot receive the rows.
+                    metrics.observe(
+                        RequestShape::Embed,
+                        queue_wait,
+                        decode,
+                        execute_started.elapsed().saturating_sub(encode_time),
+                        encode_time,
+                    );
+                    return None;
+                }
+            }
+            Ok(_) => {
+                let body = ResponseBody::Error {
+                    code: "invalid_request".to_string(),
+                    message: "embed produced a non-embedding response".to_string(),
+                    retry_after_ms: None,
+                };
+                metrics.observe(
+                    RequestShape::Embed,
+                    queue_wait,
+                    decode,
+                    execute_started.elapsed().saturating_sub(encode_time),
+                    encode_time,
+                );
+                return Some(encode_error_bytes(Codec::Binary, Some(id), body));
+            }
+            Err(error) => {
+                // The error frame supersedes any rows already streamed: the client
+                // drops its partial accumulation for this id on seeing it.
+                metrics.observe(
+                    RequestShape::Embed,
+                    queue_wait,
+                    decode,
+                    execute_started.elapsed().saturating_sub(encode_time),
+                    encode_time,
+                );
+                return Some(encode_error_bytes(
+                    Codec::Binary,
+                    Some(id),
+                    error_body(&error),
+                ));
+            }
+        }
+    }
+    let encode_started = Instant::now();
+    let done = binary::embed_done_frame(id, &served_from, cols, sent_rows).ok();
+    encode_time += encode_started.elapsed();
+    metrics.observe(
+        RequestShape::Embed,
+        queue_wait,
+        decode,
+        execute_started.elapsed().saturating_sub(encode_time),
+        encode_time,
+    );
+    done
+}
+
 /// Decode, execute and encode one frame, recording each phase's duration under the
-/// request's shape. Never panics on foreign input: every failure becomes an error
-/// response body with a stable code (timed like any other request, under the
-/// `protocol_error` shape).
+/// request's shape. Intermediate frames (streamed binary embed rows) go to the
+/// owning connection's writer directly; the *final* frame is returned so the
+/// executor can drop the accounting gauges before it leaves. Never panics on
+/// foreign input: every failure becomes an error response body with a stable code
+/// (malformed payloads are timed under the `protocol_error` shape), correlated when
+/// an id is salvageable and `in_reply_to: null` when not — never a sentinel a real
+/// id could collide with.
 fn respond_frame(
     service: &EmbedService,
-    line: &[u8],
+    frame: &Frame,
     queue_wait: Duration,
     counters: &ServerCounters,
     metrics: &ServerMetrics,
-) -> String {
+) -> Option<Vec<u8>> {
     let decode_started = Instant::now();
-    // Invalid UTF-8 is *rejected*, not lossily replaced: replacement characters inside
-    // a JSON string would parse fine and silently mutate a header that participates in
-    // the corpus fingerprint. Nothing correlatable survives, so `in_reply_to` is null.
-    let Ok(text) = std::str::from_utf8(line) else {
-        counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        let decode = decode_started.elapsed();
-        let encode_started = Instant::now();
-        let response = proto::encode_response(&proto::ResponseEnvelope::uncorrelated(
-            ResponseBody::Error {
-                code: "protocol_error".to_string(),
-                message: "request line is not valid UTF-8".to_string(),
-                retry_after_ms: None,
-            },
-        ));
-        metrics.observe(
-            RequestShape::ProtocolError,
-            queue_wait,
-            decode,
-            Duration::ZERO,
-            encode_started.elapsed(),
-        );
-        return response;
-    };
-    let envelope = match proto::decode_request(text) {
+    let envelope = match decode_payload(&frame.payload) {
         Ok(envelope) => envelope,
-        Err(error) => {
+        Err((id, error)) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
             let decode = decode_started.elapsed();
             let body = ResponseBody::Error {
@@ -550,14 +818,8 @@ fn respond_frame(
                 message: error.to_string(),
                 retry_after_ms: None,
             };
-            // Correlate the error when the malformed line still carried an id;
-            // `in_reply_to: null` otherwise — never a sentinel a real id could collide
-            // with.
             let encode_started = Instant::now();
-            let response = proto::encode_response(&match proto::salvage_request_id(text) {
-                Some(id) => proto::ResponseEnvelope::new(id, body),
-                None => proto::ResponseEnvelope::uncorrelated(body),
-            });
+            let bytes = encode_error_bytes(frame.codec, id, body);
             metrics.observe(
                 RequestShape::ProtocolError,
                 queue_wait,
@@ -565,11 +827,42 @@ fn respond_frame(
                 Duration::ZERO,
                 encode_started.elapsed(),
             );
-            return response;
+            return Some(bytes);
         }
     };
     let decode = decode_started.elapsed();
     let shape = RequestShape::of_body(&envelope.body);
+    // Binary embeds stream: rows are flushed as transform batches complete instead of
+    // materializing the whole matrix before the first byte leaves.
+    if frame.codec == Codec::Binary {
+        if let RequestBody::Embed { handle, queries } = envelope.body {
+            return match parse_handle(&handle) {
+                Ok(handle) => stream_embed(
+                    service,
+                    envelope.id,
+                    handle,
+                    queries,
+                    &frame.reply,
+                    queue_wait,
+                    decode,
+                    metrics,
+                ),
+                Err(error) => {
+                    let encode_started = Instant::now();
+                    let bytes =
+                        encode_error_bytes(Codec::Binary, Some(envelope.id), error_body(&error));
+                    metrics.observe(
+                        shape,
+                        queue_wait,
+                        decode,
+                        Duration::ZERO,
+                        encode_started.elapsed(),
+                    );
+                    Some(bytes)
+                }
+            };
+        }
+    }
     let execute_started = Instant::now();
     let mut body = if matches!(envelope.body, RequestBody::Health) {
         // Health is answered from the network layer's own gauges — it must stay cheap
@@ -591,9 +884,9 @@ fn respond_frame(
     }
     let execute = execute_started.elapsed();
     let encode_started = Instant::now();
-    let response = proto::encode_response(&proto::ResponseEnvelope::new(envelope.id, body));
+    let bytes = encode_body_bytes(frame.codec, envelope.id, body);
     metrics.observe(shape, queue_wait, decode, execute, encode_started.elapsed());
-    response
+    Some(bytes)
 }
 
 /// The replica's admission-control view of itself, derived from the live gauges:
@@ -623,24 +916,77 @@ fn health_body(metrics: &ServerMetrics) -> ResponseBody {
     }
 }
 
+/// Best-effort id salvage for a line too large to parse: the protocol's own encoder
+/// always emits `{"id":N,` first, so a prefix scan recovers the id from conforming
+/// clients in O(digits) instead of an O(line) JSON parse — an oversized line must
+/// never monopolize its reader just to be rejected. Foreign encodings that put `id`
+/// elsewhere salvage as `None`, which is the documented best-effort contract.
+fn salvage_oversized_id(line: &[u8]) -> Option<u64> {
+    let digits: Vec<u8> = line
+        .strip_prefix(b"{\"id\":")?
+        .iter()
+        .copied()
+        .take_while(u8::is_ascii_digit)
+        .collect();
+    std::str::from_utf8(&digits).ok()?.parse().ok()
+}
+
+/// Queue one frame (incrementing the connection's in-flight depth first, so the depth
+/// covers shed frames too); a full queue refuses it and it is shed with the typed
+/// `overloaded` error instead of blocking the reader (which would stall the connection
+/// and, transitively, the client's pipeline).
+fn enqueue(
+    queue: &WorkQueue,
+    payload: FramePayload,
+    codec: Codec,
+    reply: &mpsc::Sender<Vec<u8>>,
+    depth: &Arc<AtomicU64>,
+) {
+    let now_in_flight = depth.fetch_add(1, Ordering::Relaxed) + 1;
+    queue.metrics.observe_connection_depth(now_in_flight);
+    let frame = Frame {
+        payload,
+        codec,
+        reply: reply.clone(),
+        enqueued_at: Instant::now(),
+        depth: Arc::clone(depth),
+    };
+    if let Err(refused) = queue.push(frame) {
+        queue.shed(refused);
+    }
+}
+
 /// One connection's reader: split the byte stream into frames and queue them. Spawns
-/// the connection's writer on first use and joins it before exiting, so a reader
+/// the connection's writer immediately and joins it before exiting, so a reader
 /// finishing (EOF or shutdown) never abandons responses that are still in flight.
-fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool) {
+///
+/// Every connection starts in the JSON codec. Unless the server is `json_only`, the
+/// *first* line may be the `gem_proto::binary` hello: the reader answers the accept
+/// line itself (no executor round-trip — the handshake must resolve before any queued
+/// response could interleave with it) and hands the rest of the stream to
+/// [`read_binary_frames`]. A version-mismatched hello is declined with an uncorrelated
+/// `version_mismatch` line and the connection stays JSON; under `json_only` the hello
+/// is not intercepted at all and fails as the malformed JSON line it is — exactly the
+/// pre-v5 behaviour clients treat as "negotiate down".
+fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool, json_only: bool) {
     // The read timeout is a shutdown tick, not a deadline: on timeout the partial line
     // is kept and reading resumes, so slow writers lose nothing.
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }
-    // Out-of-order responses are written as many small lines; Nagle would batch them
+    // Out-of-order responses are written as many small buffers; Nagle would batch them
     // behind delayed ACKs and hand the latency win right back.
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
-    let writer = std::thread::spawn(move || write_responses(write_half, &reply_rx));
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer_metrics = Arc::clone(&queue.metrics);
+    let writer =
+        std::thread::spawn(move || write_responses(write_half, &reply_rx, &writer_metrics));
     let mut reader = BufReader::new(stream);
+    // The connection's in-flight depth: shared with every frame this reader queues.
+    let depth = Arc::new(AtomicU64::new(0));
     // Lines are accumulated as raw bytes, NOT via `read_line`: `read_line`'s built-in
     // UTF-8 validation (a) turns any invalid byte into an error that would drop the
     // connection without a response, and (b) *discards* bytes already consumed from the
@@ -649,27 +995,93 @@ fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool) 
     // ticks; UTF-8 is validated by the executor, where a failure can be answered
     // properly.
     let mut line: Vec<u8> = Vec::new();
+    let mut awaiting_first_line = !json_only;
+    // Set after an oversized line was answered: the rest of that line (still in
+    // flight on the socket) is discarded up to its newline, then parsing resumes.
+    let mut discarding = false;
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         match reader.read_until(b'\n', &mut line) {
             Ok(0) => break, // EOF
-            Ok(_) => {
+            Ok(n) => {
+                queue.metrics.count_wire_read(n as u64);
+                if discarding {
+                    if line.ends_with(b"\n") {
+                        discarding = false;
+                    }
+                    line.clear();
+                    continue;
+                }
+                if line.len() > proto::MAX_JSON_LINE_BYTES {
+                    // Answer directly (never queue a rejected line). The id is
+                    // salvaged with a prefix scan, NOT `salvage_request_id`: parsing
+                    // megabytes of JSON just to reject them would let an oversized
+                    // line monopolize this reader.
+                    queue
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let id = salvage_oversized_id(&line);
+                    let body = ResponseBody::Error {
+                        code: "protocol_error".to_string(),
+                        message: format!(
+                            "request line exceeds the {} byte JSON cap; negotiate the \
+                             binary codec and use a chunked corpus upload",
+                            proto::MAX_JSON_LINE_BYTES
+                        ),
+                        retry_after_ms: None,
+                    };
+                    let _ = reply_tx.send(encode_error_bytes(Codec::Json, id, body));
+                    discarding = !line.ends_with(b"\n");
+                    line.clear();
+                    awaiting_first_line = false;
+                    continue;
+                }
+                if awaiting_first_line {
+                    awaiting_first_line = false;
+                    if let Some(version) = std::str::from_utf8(&line)
+                        .ok()
+                        .and_then(binary::parse_hello)
+                    {
+                        if version == proto::PROTOCOL_VERSION {
+                            let _ = reply_tx.send(binary::accept_line().into_bytes());
+                            line.clear();
+                            read_binary_frames(&mut reader, queue, shutdown, &reply_tx, &depth);
+                            break;
+                        }
+                        // A hello from a different protocol generation: decline it
+                        // (typed, uncorrelated) and keep speaking JSON.
+                        queue
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let body = ResponseBody::Error {
+                            code: "version_mismatch".to_string(),
+                            message: format!(
+                                "binary hello speaks protocol version {version}, \
+                                 this server speaks {}",
+                                proto::PROTOCOL_VERSION
+                            ),
+                            retry_after_ms: None,
+                        };
+                        let _ = reply_tx.send(encode_error_bytes(Codec::Json, None, body));
+                        line.clear();
+                        continue;
+                    }
+                    // Not a hello: fall through and treat it as the JSON line it is.
+                }
                 // A line without a trailing newline means EOF-mid-line; it is answered
                 // best-effort like any other, and the next read will report EOF.
                 if !line.iter().all(u8::is_ascii_whitespace) {
-                    let frame = Frame {
-                        line: std::mem::take(&mut line),
-                        reply: reply_tx.clone(),
-                        enqueued_at: Instant::now(),
-                    };
-                    // A full queue refuses the frame; shed it with the typed
-                    // `overloaded` error instead of blocking this reader (which would
-                    // stall the connection and, transitively, the client's pipeline).
-                    if let Err(refused) = queue.push(frame) {
-                        queue.shed(refused);
-                    }
+                    enqueue(
+                        queue,
+                        FramePayload::JsonLine(std::mem::take(&mut line)),
+                        Codec::Json,
+                        &reply_tx,
+                        &depth,
+                    );
                 }
                 line.clear();
             }
@@ -691,13 +1103,93 @@ fn read_connection(stream: TcpStream, queue: &WorkQueue, shutdown: &AtomicBool) 
     let _ = writer.join();
 }
 
-/// One connection's writer: serialize completed responses onto the socket in the order
-/// the executors finish them. Exits when every sender (the reader's and every queued
-/// frame's) is gone, or on the first write failure (the peer vanished).
-fn write_responses(mut stream: TcpStream, responses: &mpsc::Receiver<String>) {
-    for response in responses {
-        if stream.write_all(response.as_bytes()).is_err() || stream.flush().is_err() {
+/// The binary half of a negotiated connection: pump bytes into a
+/// [`binary::FrameAssembler`], queue complete frames, and reassemble chunked corpus
+/// uploads in arrival order (chunk sequencing is stateful, so it *must* happen here in
+/// the reader — executors see only complete requests).
+///
+/// Error discipline mirrors the codec's: a payload-level violation inside valid
+/// framing (a chunk out of sequence, an unknown upload id) is answered with a
+/// correlated typed error and the connection — including other in-flight uploads —
+/// survives; a framing-level violation (zero or oversized length prefix) means the
+/// stream position is unrecoverable, so the error is sent uncorrelated and the
+/// connection closes.
+fn read_binary_frames(
+    reader: &mut BufReader<TcpStream>,
+    queue: &WorkQueue,
+    shutdown: &AtomicBool,
+    reply_tx: &mpsc::Sender<Vec<u8>>,
+    depth: &Arc<AtomicU64>,
+) {
+    let mut assembler = binary::FrameAssembler::new();
+    let mut chunks = binary::ChunkAssembler::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        // Drain every complete frame the assembler holds before reading again.
+        loop {
+            match assembler.next_frame() {
+                Ok(Some(frame)) => {
+                    if binary::ChunkAssembler::is_chunk_kind(frame.kind) {
+                        match chunks.accept(&frame, |_| {}) {
+                            Ok(Some(envelope)) => enqueue(
+                                queue,
+                                FramePayload::Assembled(Box::new(envelope)),
+                                Codec::Binary,
+                                reply_tx,
+                                depth,
+                            ),
+                            Ok(None) => {}
+                            Err(error) => {
+                                // The violating upload's state is dropped, but the
+                                // framing is intact: answer and keep serving.
+                                queue
+                                    .counters
+                                    .protocol_errors
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let body = ResponseBody::Error {
+                                    code: error.code().to_string(),
+                                    message: error.to_string(),
+                                    retry_after_ms: None,
+                                };
+                                let _ = reply_tx.send(encode_error_bytes(
+                                    Codec::Binary,
+                                    frame.correlation_id(),
+                                    body,
+                                ));
+                            }
+                        }
+                    } else {
+                        enqueue(
+                            queue,
+                            FramePayload::Binary(frame),
+                            Codec::Binary,
+                            reply_tx,
+                            depth,
+                        );
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    // Framing lost: nothing after this point can be trusted.
+                    queue
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let body = ResponseBody::Error {
+                        code: error.code().to_string(),
+                        message: error.to_string(),
+                        retry_after_ms: None,
+                    };
+                    let _ = reply_tx.send(encode_error_bytes(Codec::Binary, None, body));
+                    return;
+                }
+            }
+        }
+        match pump_frames(reader, &mut assembler, &queue.metrics) {
+            ReadStep::Bytes | ReadStep::Tick => {}
+            ReadStep::Eof | ReadStep::Failed => return,
         }
     }
 }
@@ -874,6 +1366,7 @@ mod tests {
     use super::*;
     use crate::client::{ClientError, GemClient};
     use gem_core::{FeatureSet, GemColumn, GemConfig, GemModel, MethodRegistry};
+    use std::io::Write;
 
     fn corpus() -> Vec<GemColumn> {
         (0..5)
@@ -923,11 +1416,13 @@ mod tests {
         }
         assert!(queue.frames.lock().is_err(), "the mutex must be poisoned");
 
-        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
         let pushed = queue.push(Frame {
-            line: b"{}".to_vec(),
+            payload: FramePayload::JsonLine(b"{}".to_vec()),
+            codec: Codec::Json,
             reply: reply_tx,
             enqueued_at: Instant::now(),
+            depth: Arc::new(AtomicU64::new(1)),
         });
         assert!(pushed.is_ok(), "an empty queue admits the frame");
         assert_eq!(metrics.queue_depth(), 1);
@@ -935,7 +1430,10 @@ mod tests {
         let frame = queue
             .pop(&inputs_closed)
             .expect("the pushed frame survives");
-        assert_eq!(frame.line, b"{}");
+        match &frame.payload {
+            FramePayload::JsonLine(line) => assert_eq!(line, b"{}"),
+            _ => panic!("expected the JSON line back, got a different payload shape"),
+        }
         assert_eq!(metrics.queue_depth(), 0, "the depth gauge tracks the drain");
         assert!(counters.lock_recoveries() >= 1);
         drop(reply_rx);
@@ -950,12 +1448,16 @@ mod tests {
         let counters = Arc::new(ServerCounters::default());
         let metrics = Arc::new(ServerMetrics::new());
         let queue = WorkQueue::new(Arc::clone(&counters), Arc::clone(&metrics), 2);
-        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
         let frame = |id: u64| Frame {
-            line: format!("{{\"id\":{id},\"version\":4,\"body\":{{\"type\":\"stats\"}}}}")
-                .into_bytes(),
+            payload: FramePayload::JsonLine(
+                format!("{{\"id\":{id},\"version\":5,\"body\":{{\"type\":\"stats\"}}}}")
+                    .into_bytes(),
+            ),
+            codec: Codec::Json,
             reply: reply_tx.clone(),
             enqueued_at: Instant::now(),
+            depth: Arc::new(AtomicU64::new(1)),
         };
         assert!(queue.push(frame(1)).is_ok());
         assert!(queue.push(frame(2)).is_ok());
@@ -969,8 +1471,9 @@ mod tests {
         queue.shed(refused);
         assert_eq!(counters.requests_shed(), 1);
         assert_eq!(counters.requests(), 0, "shed work is never executed");
-        let line = reply_rx.try_recv().expect("the shed response is immediate");
-        let response = proto::decode_response(&line).unwrap();
+        let bytes = reply_rx.try_recv().expect("the shed response is immediate");
+        let line = std::str::from_utf8(&bytes).unwrap();
+        let response = proto::decode_response(line).unwrap();
         assert_eq!(
             response.in_reply_to,
             Some(7),
@@ -994,13 +1497,16 @@ mod tests {
 
         // A garbage line sheds too, with `in_reply_to: null` (nothing salvageable).
         let garbage = Frame {
-            line: b"\xff\xfe not even utf-8".to_vec(),
+            payload: FramePayload::JsonLine(b"\xff\xfe not even utf-8".to_vec()),
+            codec: Codec::Json,
             reply: reply_tx.clone(),
             enqueued_at: Instant::now(),
+            depth: Arc::new(AtomicU64::new(1)),
         };
         queue.shed(garbage);
-        let line = reply_rx.try_recv().unwrap();
-        assert_eq!(proto::decode_response(&line).unwrap().in_reply_to, None);
+        let bytes = reply_rx.try_recv().unwrap();
+        let line = std::str::from_utf8(&bytes).unwrap();
+        assert_eq!(proto::decode_response(line).unwrap().in_reply_to, None);
     }
 
     #[test]
@@ -1200,6 +1706,256 @@ mod tests {
             assert_eq!(m, &matrices[0], "all clients see bit-identical output");
         }
         assert_eq!(server.counters().connections(), 4);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connect_negotiates_binary_and_counts_wire_bytes() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        assert_eq!(client.codec_name(), "binary");
+        let cols = corpus();
+        let config = GemConfig::fast();
+        let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        let served = client.embed(fitted.handle, &cols).unwrap();
+
+        // The raw-IEEE-754 path is bit-identical to the in-process fit+transform.
+        let direct = GemModel::fit(&cols, &config, FeatureSet::ds())
+            .unwrap()
+            .transform(&cols)
+            .unwrap();
+        assert_eq!(served.matrix, direct.matrix);
+
+        // The wire-bytes telemetry saw both directions, and the fairness gauge saw
+        // this connection's in-flight frames.
+        assert!(server.metrics().wire_bytes_read() > 0);
+        assert!(server.metrics().wire_bytes_written() > 0);
+        assert!(server.metrics().connection_inflight_peak() >= 1);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(server.counters().protocol_errors(), 0);
+    }
+
+    #[test]
+    fn json_only_servers_downgrade_negotiating_clients_on_the_same_connection() {
+        let config = GemConfig::fast();
+        let mut service = EmbedService::new(MethodRegistry::with_gem(&config), 8);
+        service.register_gem_family(&config);
+        let server = GemServer::bind(Arc::new(service), ("127.0.0.1", 0))
+            .unwrap()
+            .with_workers(2)
+            .with_json_only();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run());
+
+        // The hello is answered like any malformed JSON line; the client consumes the
+        // decline and keeps working — same connection, JSON codec.
+        let mut client = GemClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.codec_name(), "json");
+        let cols = corpus();
+        let fitted = client.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        let served = client.embed(fitted.handle, &cols).unwrap();
+        let direct = GemModel::fit(&cols, &config, FeatureSet::ds())
+            .unwrap()
+            .transform(&cols)
+            .unwrap();
+        assert_eq!(served.matrix, direct.matrix);
+        assert_eq!(
+            handle.counters().connections(),
+            1,
+            "the downgrade must not reconnect"
+        );
+        // The declined hello is the connection's one protocol error.
+        assert_eq!(handle.counters().protocol_errors(), 1);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn chunked_fit_handles_match_one_shot_fits_and_in_process_keys() {
+        let (server, join) = start_server();
+        let cols = corpus();
+        let config = GemConfig::fast();
+
+        // A 1 KiB chunk budget (the clamp floor) forces this corpus through the
+        // begin/chunk/end upload path.
+        assert!(gem_proto::binary::corpus_wire_bytes(&cols) > 1024);
+        let mut chunked = GemClient::connect(server.addr())
+            .unwrap()
+            .with_chunk_bytes(1);
+        assert_eq!(chunked.codec_name(), "binary");
+        let via_chunks = chunked.fit(&cols, &config, FeatureSet::ds()).unwrap();
+
+        // One-shot over the same wire, and the in-process key derivation, agree.
+        let mut one_shot = GemClient::connect(server.addr()).unwrap();
+        let direct = one_shot.fit(&cols, &config, FeatureSet::ds()).unwrap();
+        assert_eq!(via_chunks.handle, direct.handle);
+        assert_eq!(
+            via_chunks.handle,
+            ModelHandle::from(crate::model_key(&cols, &config, FeatureSet::ds())),
+            "the chunked upload fingerprints to the same ModelKey as in-process"
+        );
+        assert_eq!(direct.served_from, ServedFrom::MemoryCache);
+
+        // The chunked handle serves embeds bit-identically.
+        let served = chunked.embed(via_chunks.handle, &cols).unwrap();
+        let in_process = GemModel::fit(&cols, &config, FeatureSet::ds())
+            .unwrap()
+            .transform(&cols)
+            .unwrap();
+        assert_eq!(served.matrix, in_process.matrix);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+        assert_eq!(server.counters().protocol_errors(), 0);
+    }
+
+    #[test]
+    fn chunk_sequence_violations_answer_typed_errors_and_spare_the_connection() {
+        let (server, join) = start_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(binary::hello_line().as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut accept = String::new();
+        reader.read_line(&mut accept).unwrap();
+        assert_eq!(binary::parse_accept(&accept), Some(5));
+
+        // A corpus_chunk with no begin_fit before it: a payload-level violation inside
+        // valid framing. Payload = correlation header only (has_id=1, id=9) plus a
+        // column count of zero.
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let frame = binary::frame_bytes(binary::KIND_CORPUS_CHUNK, &payload).unwrap();
+        stream.write_all(&frame).unwrap();
+
+        let mut assembler = binary::FrameAssembler::new();
+        let mut partials = binary::EmbedPartials::new();
+        let envelope = loop {
+            let mut buf = [0u8; 4096];
+            let n = std::io::Read::read(&mut reader, &mut buf).unwrap();
+            assert!(n > 0, "server must answer, not hang up");
+            assembler.push(&buf[..n]);
+            if let Some(frame) = assembler.next_frame().unwrap() {
+                if let Some(envelope) =
+                    binary::decode_response_frame(&frame, &mut partials).unwrap()
+                {
+                    break envelope;
+                }
+            }
+        };
+        assert_eq!(
+            envelope.in_reply_to,
+            Some(9),
+            "correlated via the chunk's id"
+        );
+        assert!(matches!(
+            &envelope.body,
+            ResponseBody::Error { code, .. } if code == "protocol_error"
+        ));
+
+        // Framing stayed intact: the same connection still serves real requests.
+        drop(stream);
+        let mut client = GemClient::connect(server.addr()).unwrap();
+        assert!(client.stats().is_ok());
+        assert!(server.counters().protocol_errors() >= 1);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_length_prefixes_close_the_connection_with_a_typed_error() {
+        let (server, join) = start_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(binary::hello_line().as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut accept = String::new();
+        reader.read_line(&mut accept).unwrap();
+        assert_eq!(binary::parse_accept(&accept), Some(5));
+
+        // A length prefix beyond MAX_FRAME_LEN: framing is unrecoverable.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bogus.push(binary::KIND_EMBED);
+        stream.write_all(&bogus).unwrap();
+
+        let mut assembler = binary::FrameAssembler::new();
+        let mut partials = binary::EmbedPartials::new();
+        let mut closed = false;
+        let mut saw_error = false;
+        while !saw_error {
+            let mut buf = [0u8; 4096];
+            let n = std::io::Read::read(&mut reader, &mut buf).unwrap_or(0);
+            if n == 0 {
+                closed = true;
+                break;
+            }
+            assembler.push(&buf[..n]);
+            while let Ok(Some(frame)) = assembler.next_frame() {
+                if let Ok(Some(envelope)) = binary::decode_response_frame(&frame, &mut partials) {
+                    assert_eq!(envelope.in_reply_to, None, "nothing is salvageable");
+                    assert!(matches!(
+                        &envelope.body,
+                        ResponseBody::Error { code, .. } if code == "protocol_error"
+                    ));
+                    saw_error = true;
+                }
+            }
+        }
+        assert!(
+            saw_error,
+            "the framing error must be answered before closing"
+        );
+        // The server closes its half after the uncorrelated error; the next read
+        // reports EOF.
+        if !closed {
+            let mut buf = [0u8; 64];
+            assert_eq!(std::io::Read::read(&mut reader, &mut buf).unwrap_or(0), 0);
+        }
+        assert!(server.counters().protocol_errors() >= 1);
+        server.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_json_lines_answer_a_typed_cap_error_and_keep_the_connection() {
+        let (server, join) = start_server();
+        let mut client = GemClient::connect_json(server.addr()).unwrap();
+        assert_eq!(client.codec_name(), "json");
+
+        // A raw oversized line on a second connection (the client API cannot produce
+        // one without a real giant corpus, which would make the test slow).
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut line = String::from("{\"id\":42,\"version\":5,\"padding\":\"");
+        line.push_str(&"x".repeat(proto::MAX_JSON_LINE_BYTES));
+        line.push_str("\"}\n");
+        stream.write_all(line.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let envelope = proto::decode_response(&response).unwrap();
+        assert_eq!(envelope.in_reply_to, Some(42), "the id is salvaged");
+        match &envelope.body {
+            ResponseBody::Error { code, message, .. } => {
+                assert_eq!(code, "protocol_error");
+                assert!(
+                    message.contains("chunked"),
+                    "points at the remedy: {message}"
+                );
+            }
+            other => panic!("expected the cap error, got {other:?}"),
+        }
+        // The connection survives: a well-formed request on the same socket answers.
+        stream
+            .write_all(b"{\"id\":43,\"version\":5,\"body\":{\"type\":\"stats\"}}\n")
+            .unwrap();
+        response.clear();
+        reader.read_line(&mut response).unwrap();
+        assert_eq!(
+            proto::decode_response(&response).unwrap().in_reply_to,
+            Some(43)
+        );
+        assert!(client.stats().is_ok());
         server.shutdown();
         join.join().unwrap().unwrap();
     }

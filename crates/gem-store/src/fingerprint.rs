@@ -97,17 +97,56 @@ impl std::fmt::Display for ModelKey {
 /// Fingerprint a corpus: every value bit (via `f64::to_bits`, so `-0.0` vs `0.0` and NaN
 /// payloads are distinguished), every header byte, and the column order and boundaries.
 pub fn corpus_fingerprint(columns: &[GemColumn]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write_u64(columns.len() as u64);
-    for column in columns {
-        h.write_u64(column.header.len() as u64);
-        h.write(column.header.as_bytes());
-        h.write_u64(column.values.len() as u64);
+    let mut h = CorpusHasher::new(columns.len() as u64);
+    h.push_columns(columns);
+    h.finish()
+}
+
+/// Incremental form of [`corpus_fingerprint`] for corpora that arrive in slices — the
+/// binary wire codec's chunked upload streams columns through one of these so a server
+/// (or routing tier) computes the fingerprint **as chunks land**, without a second pass
+/// over the assembled corpus. The digest depends only on the column stream, never on
+/// chunk boundaries: feeding the same columns in any slicing yields exactly
+/// `corpus_fingerprint` of the whole — which is what keeps a chunk-uploaded fit's handle
+/// bit-identical to the key the client computes locally.
+///
+/// The total column count is hashed first (it prefixes the flat encoding), which is why
+/// the chunked upload protocol declares it up front in `begin_fit`.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusHasher {
+    h: Fnv1a,
+}
+
+impl CorpusHasher {
+    /// Start a corpus digest that will cover exactly `total_columns` columns.
+    pub fn new(total_columns: u64) -> Self {
+        let mut h = Fnv1a::new();
+        h.write_u64(total_columns);
+        CorpusHasher { h }
+    }
+
+    /// Absorb the next column of the stream (corpus order).
+    pub fn push_column(&mut self, column: &GemColumn) {
+        self.h.write_u64(column.header.len() as u64);
+        self.h.write(column.header.as_bytes());
+        self.h.write_u64(column.values.len() as u64);
         for &v in &column.values {
-            h.write_u64(v.to_bits());
+            self.h.write_u64(v.to_bits());
         }
     }
-    h.finish()
+
+    /// Absorb a slice of consecutive columns.
+    pub fn push_columns(&mut self, columns: &[GemColumn]) {
+        for column in columns {
+            self.push_column(column);
+        }
+    }
+
+    /// The corpus fingerprint. Equals [`corpus_fingerprint`] of the concatenated stream
+    /// when exactly the declared number of columns was pushed.
+    pub fn finish(self) -> u64 {
+        self.h.finish()
+    }
 }
 
 /// Fingerprint a pipeline configuration plus feature set. Hashes the `Debug` rendering,
@@ -144,10 +183,17 @@ pub fn model_key(columns: &[GemColumn], config: &GemConfig, features: FeatureSet
 /// its parameters were re-estimated). The config half is inherited unchanged: an update
 /// reuses the parent's frozen configuration by definition.
 pub fn updated_model_key(parent: ModelKey, new_columns: &[GemColumn]) -> ModelKey {
+    updated_model_key_from_fingerprint(parent, corpus_fingerprint(new_columns))
+}
+
+/// [`updated_model_key`] when the new columns' fingerprint is already known — e.g.
+/// computed incrementally by a [`CorpusHasher`] while a chunked upload streamed in, so
+/// routing a chunked `fit_update` never re-walks the assembled corpus.
+pub fn updated_model_key_from_fingerprint(parent: ModelKey, new_corpus: u64) -> ModelKey {
     let mut h = Fnv1a::new();
     h.write(b"gem-fit-update");
     h.write_u64(parent.corpus);
-    h.write_u64(corpus_fingerprint(new_columns));
+    h.write_u64(new_corpus);
     ModelKey {
         corpus: h.finish(),
         config: parent.config,
@@ -282,6 +328,52 @@ mod tests {
         let a_then_b = updated_model_key(updated_model_key(parent, &growth), &second);
         let b_then_a = updated_model_key(updated_model_key(parent, &second), &growth);
         assert_ne!(a_then_b, b_then_a);
+    }
+
+    #[test]
+    fn incremental_hashing_is_chunking_invariant() {
+        // The chunked-upload equality the wire protocol depends on: any slicing of the
+        // column stream digests to the one-shot fingerprint.
+        let corpus: Vec<GemColumn> = (0..17)
+            .map(|c| {
+                GemColumn::new(
+                    (0..(c % 5) + 1)
+                        .map(|i| (c * 31 + i) as f64 * 0.25 - 3.0)
+                        .collect(),
+                    format!("col_{c}"),
+                )
+            })
+            .collect();
+        let one_shot = corpus_fingerprint(&corpus);
+        for chunk_size in [1, 2, 3, 5, 16, 17, 100] {
+            let mut h = CorpusHasher::new(corpus.len() as u64);
+            for slice in corpus.chunks(chunk_size) {
+                h.push_columns(slice);
+            }
+            assert_eq!(h.finish(), one_shot, "chunk_size {chunk_size}");
+        }
+        // Column-at-a-time matches too, and the declared count matters.
+        let mut h = CorpusHasher::new(corpus.len() as u64);
+        for column in &corpus {
+            h.push_column(column);
+        }
+        assert_eq!(h.finish(), one_shot);
+        let mut wrong_total = CorpusHasher::new(corpus.len() as u64 + 1);
+        wrong_total.push_columns(&corpus);
+        assert_ne!(wrong_total.finish(), one_shot);
+    }
+
+    #[test]
+    fn updated_key_from_fingerprint_matches_the_column_form() {
+        let cfg = GemConfig::fast();
+        let parent = model_key(&columns(), &cfg, FeatureSet::ds());
+        let growth = vec![GemColumn::new(vec![5.0, 6.0], "score")];
+        let mut h = CorpusHasher::new(growth.len() as u64);
+        h.push_columns(&growth);
+        assert_eq!(
+            updated_model_key_from_fingerprint(parent, h.finish()),
+            updated_model_key(parent, &growth)
+        );
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl Gauge {
         self.high_water.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Raise the level to `value` if it is higher, never lowering it — a monotone
+    /// "peak" gauge (e.g. the deepest any connection's pipeline has ever been) that
+    /// concurrent observers can feed without a read-modify-write race.
+    pub fn ratchet(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+        self.high_water.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Raise the level by one; returns the new level.
     pub fn inc(&self) -> u64 {
         let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
